@@ -1,0 +1,90 @@
+//! Per-query-class cost on both GDPR connectors: why metadata-conditioned
+//! queries dominate GDPRbench completion times (Figures 5 and 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdpr_core::{GdprConnector, GdprQuery, Session};
+use std::sync::Arc;
+use workload::datagen;
+use workload::gdpr::{load_corpus, stable_corpus};
+
+fn connectors(records: usize) -> Vec<(&'static str, Arc<dyn GdprConnector>)> {
+    let corpus = stable_corpus(records);
+    let redis = Arc::new(connectors::RedisConnector::new(
+        kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap(),
+    ));
+    load_corpus(redis.as_ref(), &corpus).unwrap();
+    let pg = Arc::new(
+        connectors::PostgresConnector::new(
+            relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+        )
+        .unwrap(),
+    );
+    load_corpus(pg.as_ref(), &corpus).unwrap();
+    let pg_mi = Arc::new(
+        connectors::PostgresConnector::with_metadata_indices(
+            relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+        )
+        .unwrap(),
+    );
+    load_corpus(pg_mi.as_ref(), &corpus).unwrap();
+    vec![
+        ("redis", redis as Arc<dyn GdprConnector>),
+        ("postgres", pg as Arc<dyn GdprConnector>),
+        ("postgres-mi", pg_mi as Arc<dyn GdprConnector>),
+    ]
+}
+
+fn bench_query_classes(c: &mut Criterion) {
+    const RECORDS: usize = 2_000;
+    let corpus = stable_corpus(RECORDS);
+    let conns = connectors(RECORDS);
+    let mut group = c.benchmark_group("gdpr");
+
+    // A key-based read (cheap everywhere) vs a user-scoped metadata read
+    // (O(n) on redis, seq-scan on postgres, probe on postgres-mi).
+    let record = datagen::record_of(42, &corpus);
+    let user = record.metadata.user.clone();
+    let purpose = record.metadata.purposes[0].clone();
+    for (name, conn) in &conns {
+        let processor = Session::processor(purpose.clone());
+        let by_key = GdprQuery::ReadDataByKey(record.key.clone());
+        group.bench_with_input(BenchmarkId::new("read-data-by-key", name), conn, |b, conn| {
+            b.iter(|| conn.execute(&processor, &by_key).unwrap());
+        });
+
+        let customer = Session::customer(user.clone());
+        let by_usr = GdprQuery::ReadDataByUser(user.clone());
+        group.bench_with_input(BenchmarkId::new("read-data-by-usr", name), conn, |b, conn| {
+            b.iter(|| conn.execute(&customer, &by_usr).unwrap());
+        });
+
+        let regulator = Session::regulator();
+        let meta_usr = GdprQuery::ReadMetadataByUser(user.clone());
+        group.bench_with_input(
+            BenchmarkId::new("read-metadata-by-usr", name),
+            conn,
+            |b, conn| {
+                b.iter(|| conn.execute(&regulator, &meta_usr).unwrap());
+            },
+        );
+
+        let by_pur = GdprQuery::ReadDataByPurpose(purpose.clone());
+        let processor2 = Session::processor(purpose.clone());
+        group.bench_with_input(BenchmarkId::new("read-data-by-pur", name), conn, |b, conn| {
+            b.iter(|| conn.execute(&processor2, &by_pur).unwrap());
+        });
+
+        let verify = GdprQuery::VerifyDeletion("ph-nonexistent".into());
+        group.bench_with_input(BenchmarkId::new("verify-deletion", name), conn, |b, conn| {
+            b.iter(|| conn.execute(&regulator, &verify).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_query_classes
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Generator microbenchmarks: the request-distribution machinery must be
+//! cheap relative to the operations it drives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use workload::generator::{IndexGenerator, ScrambledZipfian, Uniform, Zipfian};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    let mut uniform = Uniform::new(1_000_000);
+    group.bench_function("uniform", |b| b.iter(|| uniform.next(&mut rng)));
+
+    let mut zipf = Zipfian::new(1_000_000);
+    group.bench_function("zipfian", |b| b.iter(|| zipf.next(&mut rng)));
+
+    let mut scrambled = ScrambledZipfian::new(1_000_000);
+    group.bench_function("scrambled_zipfian", |b| b.iter(|| scrambled.next(&mut rng)));
+    group.finish();
+
+    c.bench_function("zipfian/construct_1M", |b| {
+        b.iter(|| Zipfian::new(1_000_000));
+    });
+}
+
+fn bench_record_generation(c: &mut Criterion) {
+    let corpus = workload::datagen::CorpusConfig::default();
+    c.bench_function("datagen/record_of", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            workload::datagen::record_of(i, &corpus)
+        });
+    });
+    c.bench_function("wire/serialize_parse", |b| {
+        let record = workload::datagen::record_of(7, &corpus);
+        b.iter(|| {
+            let wire = gdpr_core::wire::serialize(&record);
+            gdpr_core::wire::parse(&wire).unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_generators, bench_record_generation
+}
+criterion_main!(benches);

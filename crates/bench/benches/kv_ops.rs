@@ -1,0 +1,83 @@
+//! Per-command costs of the Redis-like store, with and without the GDPR
+//! retrofits — the microscopic view of Figure 4a.
+
+use bench::experiments::configs::{kv_config, Feature, ScratchDir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvstore::KvStore;
+use std::sync::Arc;
+
+fn store_with(feature: Feature, scratch: &ScratchDir, records: u64) -> Arc<KvStore> {
+    let store = KvStore::open(kv_config(feature, scratch)).unwrap();
+    for i in 0..records {
+        store
+            .set(format!("user{i:012}").as_bytes(), &[0x55; 100])
+            .unwrap();
+    }
+    store
+}
+
+fn bench_set_get(c: &mut Criterion) {
+    let scratch = ScratchDir::new("kvbench");
+    let mut group = c.benchmark_group("kvstore");
+    for feature in [Feature::Baseline, Feature::Encrypt, Feature::Log, Feature::Combined] {
+        let store = store_with(feature, &scratch, 10_000);
+        group.bench_with_input(
+            BenchmarkId::new("set", feature.name()),
+            &store,
+            |b, store| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    store
+                        .set(format!("bench{:08}", i % 10_000).as_bytes(), &[0x66; 100])
+                        .unwrap();
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("get", feature.name()),
+            &store,
+            |b, store| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    store
+                        .get(format!("user{:012}", i % 10_000).as_bytes())
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let scratch = ScratchDir::new("kvbench-scan");
+    let store = store_with(Feature::Baseline, &scratch, 10_000);
+    c.bench_function("kvstore/scan_full_10k", |b| {
+        b.iter(|| {
+            let mut cursor = 0usize;
+            let mut seen = 0usize;
+            loop {
+                let reply = store
+                    .execute(kvstore::Command::Scan { cursor, count: 512, pattern: None })
+                    .unwrap();
+                let parts = reply.as_array().unwrap();
+                seen += parts[1].as_array().unwrap().len();
+                let next = parts[0].as_int().unwrap() as usize;
+                if next == 0 {
+                    break;
+                }
+                cursor = next;
+            }
+            seen
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_set_get, bench_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Per-statement costs of the PostgreSQL-like engine as secondary indices
+//! accumulate — the microscopic view of Figure 3b.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relstore::{ColumnType, Database, Datum, Predicate, RelConfig, Statement};
+use std::sync::Arc;
+
+fn db_with_indices(rows: usize, indices: usize) -> Arc<Database> {
+    let db = Database::open(RelConfig::default()).unwrap();
+    db.execute(&Statement::CreateTable {
+        table: "t".into(),
+        columns: vec![
+            ("key".into(), ColumnType::Int),
+            ("a".into(), ColumnType::Int),
+            ("b".into(), ColumnType::Int),
+            ("c".into(), ColumnType::Text),
+        ],
+        pk: "key".into(),
+    })
+    .unwrap();
+    for i in 0..rows {
+        db.execute(&Statement::Insert {
+            table: "t".into(),
+            row: vec![
+                Datum::Int(i as i64),
+                Datum::Int((i % 97) as i64),
+                Datum::Int((i % 31) as i64),
+                Datum::Text(format!("val{i:06}")),
+            ],
+        })
+        .unwrap();
+    }
+    for col in ["a", "b", "c"].iter().take(indices) {
+        db.execute(&Statement::CreateIndex {
+            table: "t".into(),
+            index: format!("{col}_idx"),
+            column: col.to_string(),
+            inverted: false,
+        })
+        .unwrap();
+    }
+    db
+}
+
+fn bench_insert_vs_indices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relstore/insert");
+    for indices in [0usize, 1, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(indices),
+            &indices,
+            |bench, &indices| {
+                let db = db_with_indices(5_000, indices);
+                let mut i = 1_000_000i64;
+                bench.iter(|| {
+                    i += 1;
+                    db.execute(&Statement::Insert {
+                        table: "t".into(),
+                        row: vec![
+                            Datum::Int(i),
+                            Datum::Int(i % 97),
+                            Datum::Int(i % 31),
+                            Datum::Text(format!("val{i:06}")),
+                        ],
+                    })
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_select_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relstore/select");
+    // Sequential scan vs index probe on the same predicate.
+    let seq_db = db_with_indices(5_000, 0);
+    group.bench_function("seq_scan", |b| {
+        b.iter(|| {
+            seq_db
+                .execute(&Statement::Select {
+                    table: "t".into(),
+                    pred: Predicate::Eq("a".into(), Datum::Int(13)),
+                })
+                .unwrap()
+        });
+    });
+    let idx_db = db_with_indices(5_000, 1);
+    group.bench_function("index_probe", |b| {
+        b.iter(|| {
+            idx_db
+                .execute(&Statement::Select {
+                    table: "t".into(),
+                    pred: Predicate::Eq("a".into(), Datum::Int(13)),
+                })
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_insert_vs_indices, bench_select_paths
+}
+criterion_main!(benches);

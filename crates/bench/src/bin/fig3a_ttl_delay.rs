@@ -1,0 +1,10 @@
+//! Regenerates Figure 3a: Redis lazy vs strict TTL erasure delay
+//! (simulated clock; `--records` caps the largest population).
+fn main() {
+    let mut params = bench::cli::Params::from_env();
+    if params.records == bench::cli::Params::default().records {
+        params.records = 128_000; // the paper's x-axis endpoint
+    }
+    let (table, _) = bench::experiments::fig3a::run(params.records);
+    table.print();
+}

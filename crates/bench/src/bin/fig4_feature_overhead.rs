@@ -1,0 +1,11 @@
+//! Regenerates Figure 4a/4b: per-feature GDPR overhead on YCSB A–F.
+fn main() {
+    let params = bench::cli::Params::from_env();
+    for db in ["redis", "postgres"] {
+        if params.wants_db(db) {
+            let (table, _) =
+                bench::experiments::fig4::run(db, params.records as u64, params.ops, params.threads);
+            table.print();
+        }
+    }
+}

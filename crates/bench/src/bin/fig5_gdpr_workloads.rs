@@ -1,0 +1,12 @@
+//! Regenerates Figure 5a/5b/5c: GDPRbench completion times on compliant
+//! Redis, PostgreSQL, and PostgreSQL with metadata indices.
+fn main() {
+    let params = bench::cli::Params::from_env();
+    for db in ["redis", "postgres", "postgres-mi"] {
+        if params.wants_db(db) {
+            let (table, _) =
+                bench::experiments::fig5::run_one(db, params.records, params.ops, params.threads);
+            table.print();
+        }
+    }
+}

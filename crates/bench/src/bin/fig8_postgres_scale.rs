@@ -1,0 +1,17 @@
+//! Regenerates Figure 8: PostgreSQL (metadata-indexed) under scale —
+//! (a) YCSB-C stays flat, (b) the customer workload grows only moderately.
+use bench::experiments::fig7_8;
+fn main() {
+    let params = bench::cli::Params::from_env();
+    if params.wants_part("a") {
+        let scales = fig7_8::default_scales(params.records.max(64_000), "a");
+        let (table, _) =
+            fig7_8::run_part_a("postgres", &scales, params.ops.max(10_000), params.threads);
+        table.print();
+    }
+    if params.wants_part("b") {
+        let scales = fig7_8::default_scales(params.records, "b");
+        let (table, _) = fig7_8::run_part_b("postgres-mi", &scales, params.ops, params.threads);
+        table.print();
+    }
+}

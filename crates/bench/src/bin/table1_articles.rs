@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper plus a live compliance assessment.
+fn main() {
+    bench::experiments::table1::article_map_table().print();
+    bench::experiments::table1::compliance_table().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 3: storage space overhead of GDPR metadata.
+fn main() {
+    let params = bench::cli::Params::from_env();
+    let (table, _) = bench::experiments::table3::run(params.records);
+    table.print();
+}

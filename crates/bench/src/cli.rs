@@ -1,0 +1,132 @@
+//! Minimal flag parsing for the experiment binaries (`--records N`,
+//! `--ops N`, `--threads N`, `--db NAME`, `--part a|b`).
+
+/// Common experiment parameters with benchmark-friendly defaults.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Records to preload.
+    pub records: usize,
+    /// Operations to execute.
+    pub ops: u64,
+    /// Client threads.
+    pub threads: usize,
+    /// Database selector (`redis`, `postgres`, `postgres-mi`, `all`).
+    pub db: String,
+    /// Sub-figure selector (`a`, `b`, `all`).
+    pub part: String,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            records: 10_000,
+            ops: 2_000,
+            threads: 4,
+            db: "all".to_string(),
+            part: "all".to_string(),
+        }
+    }
+}
+
+impl Params {
+    /// Parse from an iterator of arguments (exposed for tests).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Params, String> {
+        let mut params = Params::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut take = |name: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("flag {name} requires a value"))
+            };
+            match flag.as_str() {
+                "--records" => {
+                    params.records = take("--records")?
+                        .parse()
+                        .map_err(|e| format!("--records: {e}"))?;
+                }
+                "--ops" => {
+                    params.ops = take("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?;
+                }
+                "--threads" => {
+                    params.threads = take("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--db" => params.db = take("--db")?,
+                "--part" => params.part = take("--part")?,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--records N] [--ops N] [--threads N] [--db redis|postgres|postgres-mi|all] [--part a|b|all]"
+                            .to_string(),
+                    );
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if params.threads == 0 {
+            return Err("--threads must be > 0".into());
+        }
+        Ok(params)
+    }
+
+    /// Parse the process arguments, exiting with a message on error.
+    pub fn from_env() -> Params {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(p) => p,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Does the `--db` selector include `name`?
+    pub fn wants_db(&self, name: &str) -> bool {
+        self.db == "all" || self.db == name
+    }
+
+    /// Does the `--part` selector include `part`?
+    pub fn wants_part(&self, part: &str) -> bool {
+        self.part == "all" || self.part == part
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Params, String> {
+        Params::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let p = parse(&[]).unwrap();
+        assert_eq!(p.records, 10_000);
+        assert!(p.wants_db("redis") && p.wants_db("postgres"));
+        assert!(p.wants_part("a"));
+    }
+
+    #[test]
+    fn full_flags() {
+        let p = parse(&[
+            "--records", "500", "--ops", "100", "--threads", "2", "--db", "redis", "--part", "b",
+        ])
+        .unwrap();
+        assert_eq!(p.records, 500);
+        assert_eq!(p.ops, 100);
+        assert_eq!(p.threads, 2);
+        assert!(p.wants_db("redis"));
+        assert!(!p.wants_db("postgres"));
+        assert!(p.wants_part("b") && !p.wants_part("a"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--records"]).is_err());
+        assert!(parse(&["--records", "abc"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

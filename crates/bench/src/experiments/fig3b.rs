@@ -1,0 +1,146 @@
+//! Figure 3b: PostgreSQL throughput versus number of secondary indices.
+//!
+//! The paper runs pgbench against a table and adds secondary indices one at
+//! a time; two indices (on the metadata criteria of purpose and user-id)
+//! already cut throughput to ~33% of baseline. This reproduction runs a
+//! pgbench-style transaction mix (update-by-pk + select-by-pk) over a table
+//! with `k` indexed columns, sweeping `k`, so each write pays `k` extra
+//! index-maintenance operations.
+
+use crate::report::{fmt_ops, fmt_pct, ExperimentTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use relstore::{ColumnType, Database, Datum, Predicate, RelConfig, Statement};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Columns available for secondary indexing.
+const INDEXABLE: [&str; 7] = ["c0", "c1", "c2", "c3", "c4", "c5", "c6"];
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct IndexPoint {
+    pub indices: usize,
+    pub tps: f64,
+}
+
+fn build_db(rows: usize, index_count: usize) -> Arc<Database> {
+    let db = Database::open(RelConfig::default()).expect("open");
+    let mut columns = vec![("key".to_string(), ColumnType::Int)];
+    for c in INDEXABLE {
+        columns.push((c.to_string(), ColumnType::Int));
+    }
+    columns.push(("filler".to_string(), ColumnType::Text));
+    db.execute(&Statement::CreateTable {
+        table: "accounts".into(),
+        columns,
+        pk: "key".into(),
+    })
+    .expect("create");
+    for i in 0..rows {
+        let mut row = vec![Datum::Int(i as i64)];
+        for (c, _) in INDEXABLE.iter().enumerate() {
+            row.push(Datum::Int((i * (c + 3)) as i64 % 1000));
+        }
+        row.push(Datum::Text(format!("filler-{i:06}")));
+        db.execute(&Statement::Insert { table: "accounts".into(), row })
+            .expect("insert");
+    }
+    for column in INDEXABLE.iter().take(index_count) {
+        db.execute(&Statement::CreateIndex {
+            table: "accounts".into(),
+            index: format!("{column}_idx"),
+            column: column.to_string(),
+            inverted: false,
+        })
+        .expect("index");
+    }
+    db
+}
+
+/// Run the pgbench-like mix: each transaction updates one row's indexed
+/// columns by primary key, then reads it back. Returns transactions/second.
+pub fn measure_tps(rows: usize, index_count: usize, txs: u64, threads: usize) -> f64 {
+    let db = build_db(rows, index_count);
+    let per_thread = txs / threads as u64;
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(0x9b + t as u64);
+            for _ in 0..per_thread {
+                let key = rng.gen_range(0..rows) as i64;
+                let delta = rng.gen_range(0..1000);
+                let assignments: Vec<(String, Datum)> = INDEXABLE
+                    .iter()
+                    .map(|c| (c.to_string(), Datum::Int(delta)))
+                    .collect();
+                db.execute(&Statement::Update {
+                    table: "accounts".into(),
+                    pred: Predicate::Eq("key".into(), Datum::Int(key)),
+                    assignments,
+                })
+                .expect("update");
+                db.execute(&Statement::Select {
+                    table: "accounts".into(),
+                    pred: Predicate::Eq("key".into(), Datum::Int(key)),
+                })
+                .expect("select");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+    txs as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Sweep index counts 0..=max_indices.
+pub fn run(
+    rows: usize,
+    txs: u64,
+    threads: usize,
+    max_indices: usize,
+) -> (ExperimentTable, Vec<IndexPoint>) {
+    let mut table = ExperimentTable::new(
+        "Figure 3b — PostgreSQL throughput vs. secondary indices (pgbench-style)",
+        &["indices", "tps", "vs baseline"],
+    );
+    let mut points = Vec::new();
+    let mut baseline = 0.0;
+    for k in 0..=max_indices.min(INDEXABLE.len()) {
+        let tps = measure_tps(rows, k, txs, threads);
+        if k == 0 {
+            baseline = tps;
+        }
+        table.push_row(vec![k.to_string(), fmt_ops(tps), fmt_pct(tps, baseline)]);
+        points.push(IndexPoint { indices: k, tps });
+    }
+    (table, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_declines_as_indices_are_added() {
+        let (_, points) = run(2000, 2000, 2, 4);
+        assert_eq!(points.len(), 5);
+        let baseline = points[0].tps;
+        let with_four = points[4].tps;
+        assert!(
+            with_four < baseline * 0.9,
+            "4 indices should cost >10% of tps: {baseline:.0} -> {with_four:.0}"
+        );
+        // Broadly monotone decline (tolerate ±15% noise between neighbours).
+        for w in points.windows(2) {
+            assert!(
+                w[1].tps < w[0].tps * 1.15,
+                "throughput should not rise with more indices: {:?}",
+                points.iter().map(|p| p.tps as u64).collect::<Vec<_>>()
+            );
+        }
+    }
+}

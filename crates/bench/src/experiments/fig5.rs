@@ -1,0 +1,130 @@
+//! Figure 5: GDPRbench workload completion times on the compliant stores.
+//!
+//! The paper loads 100 K personal records and runs 10 K operations for each
+//! of the four workloads against compliant Redis (5a), compliant PostgreSQL
+//! (5b), and PostgreSQL with metadata indices (5c). Expected shape: the
+//! processor workload is fastest (key-heavy), the controller slowest;
+//! PostgreSQL beats Redis by about an order of magnitude; metadata indices
+//! improve every workload further.
+
+use super::configs::{compliant_postgres, compliant_postgres_mi, compliant_redis, ScratchDir};
+use crate::report::{fmt_duration, ExperimentTable};
+use gdpr_core::GdprConnector;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use workload::gdpr::{load_corpus, stable_corpus, GdprWorkloadKind};
+use workload::run_gdpr_workload;
+
+/// Completion times per workload for one connector.
+pub type Series = HashMap<&'static str, Duration>;
+
+/// A connector plus the background machinery keeping it compliant (the
+/// PostgreSQL TTL daemon must live as long as the connector).
+pub struct ConnectorHandle {
+    pub connector: Arc<dyn GdprConnector>,
+    daemon: Option<relstore::ttl::TtlDaemon>,
+}
+
+impl Drop for ConnectorHandle {
+    fn drop(&mut self) {
+        if let Some(daemon) = &mut self.daemon {
+            daemon.stop();
+        }
+    }
+}
+
+/// Build the named compliant connector. The returned scratch dir must stay
+/// alive for the connector's lifetime (it holds the AOF/WAL files).
+pub fn build_connector(db: &str, scratch: &ScratchDir) -> ConnectorHandle {
+    match db {
+        "redis" => ConnectorHandle {
+            connector: compliant_redis(scratch) as Arc<dyn GdprConnector>,
+            daemon: None,
+        },
+        "postgres" => {
+            let pg = compliant_postgres(scratch);
+            let mut daemon = pg.ttl_daemon();
+            daemon.start();
+            ConnectorHandle {
+                connector: pg as Arc<dyn GdprConnector>,
+                daemon: Some(daemon),
+            }
+        }
+        "postgres-mi" => {
+            let pg = compliant_postgres_mi(scratch);
+            let mut daemon = pg.ttl_daemon();
+            daemon.start();
+            ConnectorHandle {
+                connector: pg as Arc<dyn GdprConnector>,
+                daemon: Some(daemon),
+            }
+        }
+        other => panic!("unknown db {other}"),
+    }
+}
+
+/// Run the four workloads against one connector variant.
+pub fn run_one(db: &str, records: usize, ops: u64, threads: usize) -> (ExperimentTable, Series) {
+    let mut series = Series::new();
+    let mut table = ExperimentTable::new(
+        format!("Figure 5 — GDPRbench completion time ({db}, {records} records, {ops} ops/workload)"),
+        &["workload", "completion", "ops/s", "errors"],
+    );
+    for kind in GdprWorkloadKind::ALL {
+        // Fresh store per workload, as the paper does per run.
+        let scratch = ScratchDir::new("fig5");
+        let handle = build_connector(db, &scratch);
+        let corpus = stable_corpus(records);
+        load_corpus(handle.connector.as_ref(), &corpus).expect("load corpus");
+        let report = run_gdpr_workload(
+            Arc::clone(&handle.connector),
+            kind,
+            corpus,
+            ops,
+            threads,
+            false,
+        );
+        table.push_row(vec![
+            kind.name().to_string(),
+            fmt_duration(report.completion),
+            crate::report::fmt_ops(report.throughput_ops_per_sec()),
+            report.errors.to_string(),
+        ]);
+        series.insert(kind.name(), report.completion);
+    }
+    (table, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline Figure 5 shape at toy scale: per-op, the processor
+    /// workload (80% key lookups) is far cheaper than the controller
+    /// workload (all metadata-conditioned scans) on Redis, and the
+    /// metadata-indexed PostgreSQL beats compliant Redis on the
+    /// controller-style workloads.
+    #[test]
+    fn processor_fastest_controller_slowest_on_redis() {
+        let (_, series) = run_one("redis", 800, 160, 2);
+        let controller = series["controller"];
+        let processor = series["processor"];
+        assert!(
+            controller > processor,
+            "controller {controller:?} should exceed processor {processor:?}"
+        );
+    }
+
+    #[test]
+    fn postgres_mi_beats_redis_on_customer_workload() {
+        let (_, redis) = run_one("redis", 800, 160, 2);
+        let (_, pg_mi) = run_one("postgres-mi", 800, 160, 2);
+        assert!(
+            pg_mi["customer"] < redis["customer"],
+            "postgres-mi {:?} should beat redis {:?}",
+            pg_mi["customer"],
+            redis["customer"]
+        );
+    }
+}

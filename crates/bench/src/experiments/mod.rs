@@ -1,0 +1,11 @@
+//! Experiment implementations, one module per paper table/figure.
+
+pub mod configs;
+pub mod fig3a;
+pub mod fig3b;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7_8;
+pub mod table1;
+pub mod table3;

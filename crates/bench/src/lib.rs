@@ -1,0 +1,23 @@
+//! The GDPRbench-rs experiment harness.
+//!
+//! Every table and figure in the paper's evaluation has a binary under
+//! `src/bin/` that regenerates it; the logic lives in [`experiments`] so
+//! integration tests can run each experiment at toy scale. Binaries accept
+//! `--records N --ops N --threads N` to scale toward the paper's sizes
+//! (which take hours at full scale, exactly as the paper's runs did).
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1_articles` | Table 1 (article → attribute/action map) |
+//! | `fig3a_ttl_delay` | Fig 3a (Redis lazy vs strict expiration lag) |
+//! | `fig3b_index_overhead` | Fig 3b (PostgreSQL throughput vs #indices) |
+//! | `fig4_feature_overhead` | Fig 4a/4b (YCSB throughput per GDPR feature) |
+//! | `fig5_gdpr_workloads` | Fig 5a/5b/5c (GDPRbench completion times) |
+//! | `table3_space_overhead` | Table 3 (space overhead factors) |
+//! | `fig6_ycsb_vs_gdpr` | Fig 6 (YCSB vs GDPRbench throughput) |
+//! | `fig7_redis_scale` | Fig 7a/7b (Redis scaling) |
+//! | `fig8_postgres_scale` | Fig 8a/8b (PostgreSQL scaling) |
+
+pub mod cli;
+pub mod experiments;
+pub mod report;

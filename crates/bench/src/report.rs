@@ -1,0 +1,148 @@
+//! Experiment output: aligned text tables, matching the rows/series the
+//! paper's figures plot.
+
+use std::fmt::Write as _;
+
+/// A titled table of results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTable {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        ExperimentTable {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Cell at (row, column-name), for assertions in tests.
+    pub fn cell(&self, row: usize, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// All values of one column.
+    pub fn column(&self, column: &str) -> Vec<&str> {
+        let Some(col) = self.columns.iter().position(|c| c == column) else {
+            return Vec::new();
+        };
+        self.rows.iter().filter_map(|r| r.get(col).map(String::as_str)).collect()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+}
+
+/// Format a duration for table cells: ms under a second, seconds otherwise.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    if d.as_secs() >= 100 {
+        format!("{:.1}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_micros() >= 1000 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{}us", d.as_micros())
+    }
+}
+
+/// Format a throughput value.
+pub fn fmt_ops(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1000.0 {
+        format!("{:.1}k", ops_per_sec / 1000.0)
+    } else {
+        format!("{ops_per_sec:.1}")
+    }
+}
+
+/// Percentage of a baseline.
+pub fn fmt_pct(value: f64, baseline: f64) -> String {
+    if baseline <= 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:.0}%", value / baseline * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let mut t = ExperimentTable::new("Demo", &["workload", "tput"]);
+        t.push_row(vec!["A".into(), "123.4k".into()]);
+        t.push_row(vec!["longer-name".into(), "5".into()]);
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        assert!(r.contains("workload"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.cell(0, "tput"), Some("123.4k"));
+        assert_eq!(t.column("workload"), vec!["A", "longer-name"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = ExperimentTable::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00s");
+        assert_eq!(fmt_duration(Duration::from_secs(120)), "120.0s");
+        assert_eq!(fmt_ops(12_345.0), "12.3k");
+        assert_eq!(fmt_ops(12.0), "12.0");
+        assert_eq!(fmt_pct(50.0, 100.0), "50%");
+        assert_eq!(fmt_pct(50.0, 0.0), "n/a");
+    }
+}

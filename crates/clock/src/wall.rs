@@ -1,0 +1,59 @@
+use crate::{Clock, Timestamp};
+use std::time::{Duration, Instant};
+
+/// A [`Clock`] backed by the operating system's monotonic clock.
+///
+/// The epoch is the moment this `WallClock` was constructed, so timestamps
+/// from different `WallClock` instances are not comparable.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::from_nanos(self.origin.elapsed().as_nanos() as u64)
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotonic() {
+        let c = WallClock::new();
+        let mut prev = c.now();
+        for _ in 0..100 {
+            let t = c.now();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn sleep_advances_at_least_requested() {
+        let c = WallClock::new();
+        let before = c.now();
+        c.sleep(Duration::from_millis(5));
+        assert!(c.now() - before >= Duration::from_millis(5));
+    }
+}

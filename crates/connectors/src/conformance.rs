@@ -1,0 +1,421 @@
+//! Cross-connector conformance: both bindings must expose identical GDPR
+//! semantics, whatever their storage layout. Every scenario here runs
+//! against the Redis-shaped and the PostgreSQL-shaped connector (baseline
+//! and metadata-index variants).
+
+use crate::{PostgresConnector, RedisConnector};
+use gdpr_core::query::{GdprQuery, MetadataField, MetadataUpdate};
+use gdpr_core::record::{Metadata, PersonalRecord};
+use gdpr_core::response::GdprResponse;
+use gdpr_core::role::Session;
+use gdpr_core::{GdprConnector, GdprError};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn connectors() -> Vec<Box<dyn GdprConnector>> {
+    let redis = RedisConnector::new(
+        kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap(),
+    );
+    let pg = PostgresConnector::new(
+        relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+    )
+    .unwrap();
+    let pg_mi = PostgresConnector::with_metadata_indices(
+        relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+    )
+    .unwrap();
+    vec![Box::new(redis), Box::new(pg), Box::new(pg_mi)]
+}
+
+fn record(key: &str, user: &str, purposes: &[&str], data: &str) -> PersonalRecord {
+    PersonalRecord::new(
+        key,
+        data,
+        Metadata::new(
+            user,
+            purposes.iter().map(|s| s.to_string()).collect(),
+            Duration::from_secs(3600),
+        ),
+    )
+}
+
+fn seed(conn: &dyn GdprConnector) {
+    let controller = Session::controller();
+    let specs = [
+        ("ph-1", "neo", &["ads", "2fa"][..], "111-111"),
+        ("ph-2", "neo", &["2fa"][..], "222-222"),
+        ("ph-3", "trinity", &["ads"][..], "333-333"),
+        ("ph-4", "trinity", &["analytics"][..], "444-444"),
+        ("ph-5", "morpheus", &["ads"][..], "555-555"),
+    ];
+    for (key, user, purposes, data) in specs {
+        conn.execute(&controller, &GdprQuery::CreateRecord(record(key, user, purposes, data)))
+            .unwrap();
+    }
+}
+
+#[test]
+fn create_then_duplicate_rejected() {
+    for conn in connectors() {
+        let controller = Session::controller();
+        let r = record("dup-1", "neo", &["ads"], "x");
+        assert_eq!(
+            conn.execute(&controller, &GdprQuery::CreateRecord(r.clone())).unwrap(),
+            GdprResponse::Created,
+            "{}",
+            conn.name()
+        );
+        assert!(matches!(
+            conn.execute(&controller, &GdprQuery::CreateRecord(r)),
+            Err(GdprError::AlreadyExists(_))
+        ));
+        assert_eq!(conn.record_count(), 1);
+    }
+}
+
+#[test]
+fn customer_reads_own_data_only() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let neo = Session::customer("neo");
+        let resp = conn
+            .execute(&neo, &GdprQuery::ReadDataByUser("neo".into()))
+            .unwrap();
+        let mut keys: Vec<_> = resp.as_data().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        assert_eq!(keys, vec!["ph-1", "ph-2"], "{}", conn.name());
+        // Cross-user access denied statically.
+        assert!(matches!(
+            conn.execute(&neo, &GdprQuery::ReadDataByUser("trinity".into())),
+            Err(GdprError::AccessDenied { .. })
+        ));
+        // Key-scoped access to someone else's record denied per-record.
+        assert!(matches!(
+            conn.execute(&neo, &GdprQuery::ReadMetadataByKey("ph-3".into())),
+            Err(GdprError::AccessDenied { .. })
+        ));
+    }
+}
+
+#[test]
+fn processor_reads_by_purpose_with_objections_respected() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let ads = Session::processor("ads");
+        let resp = conn
+            .execute(&ads, &GdprQuery::ReadDataByPurpose("ads".into()))
+            .unwrap();
+        let mut keys: Vec<_> = resp.as_data().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        assert_eq!(keys, vec!["ph-1", "ph-3", "ph-5"], "{}", conn.name());
+
+        // neo objects to ads on ph-1 → it must drop out.
+        let neo = Session::customer("neo");
+        conn.execute(
+            &neo,
+            &GdprQuery::UpdateMetadataByKey {
+                key: "ph-1".into(),
+                update: MetadataUpdate::Add(MetadataField::Objections, "ads".into()),
+            },
+        )
+        .unwrap();
+        let resp = conn
+            .execute(&ads, &GdprQuery::ReadDataByPurpose("ads".into()))
+            .unwrap();
+        let mut keys: Vec<_> = resp.as_data().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        assert_eq!(keys, vec!["ph-3", "ph-5"], "{}: objection must filter", conn.name());
+
+        // Purpose-scoped key read: ph-1 is no longer visible to 'ads'.
+        assert!(matches!(
+            conn.execute(&ads, &GdprQuery::ReadDataByKey("ph-1".into())),
+            Err(GdprError::AccessDenied { .. })
+        ));
+        assert!(conn.execute(&ads, &GdprQuery::ReadDataByKey("ph-3".into())).is_ok());
+    }
+}
+
+#[test]
+fn right_to_be_forgotten_erases_and_verifies() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let trinity = Session::customer("trinity");
+        let resp = conn
+            .execute(&trinity, &GdprQuery::DeleteByUser("trinity".into()))
+            .unwrap();
+        assert_eq!(resp, GdprResponse::Deleted(2), "{}", conn.name());
+        assert_eq!(conn.record_count(), 3);
+
+        let regulator = Session::regulator();
+        assert_eq!(
+            conn.execute(&regulator, &GdprQuery::VerifyDeletion("ph-3".into()))
+                .unwrap(),
+            GdprResponse::DeletionVerified(true)
+        );
+        assert_eq!(
+            conn.execute(&regulator, &GdprQuery::VerifyDeletion("ph-1".into()))
+                .unwrap(),
+            GdprResponse::DeletionVerified(false)
+        );
+    }
+}
+
+#[test]
+fn rectification_updates_data() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let neo = Session::customer("neo");
+        conn.execute(
+            &neo,
+            &GdprQuery::UpdateDataByKey { key: "ph-1".into(), data: "999-999".into() },
+        )
+        .unwrap();
+        let resp = conn.execute(&neo, &GdprQuery::ReadDataByUser("neo".into())).unwrap();
+        let data: Vec<_> = resp.as_data().unwrap().to_vec();
+        assert!(data.contains(&("ph-1".to_string(), "999-999".to_string())));
+        // A customer cannot rectify someone else's record.
+        assert!(matches!(
+            conn.execute(
+                &neo,
+                &GdprQuery::UpdateDataByKey { key: "ph-3".into(), data: "hack".into() }
+            ),
+            Err(GdprError::AccessDenied { .. })
+        ));
+    }
+}
+
+#[test]
+fn portability_includes_metadata() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let neo = Session::customer("neo");
+        let resp = conn
+            .execute(&neo, &GdprQuery::ReadMetadataByUser("neo".into()))
+            .unwrap();
+        let metadata = resp.as_metadata().unwrap();
+        assert_eq!(metadata.len(), 2, "{}", conn.name());
+        let ph1 = metadata.iter().find(|(k, _)| k == "ph-1").unwrap();
+        assert_eq!(ph1.1.user, "neo");
+        assert_eq!(ph1.1.purposes, vec!["ads", "2fa"]);
+        assert_eq!(ph1.1.ttl, Some(Duration::from_secs(3600)));
+        assert_eq!(ph1.1.source, "first-party");
+    }
+}
+
+#[test]
+fn purpose_completion_deletes_group() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let controller = Session::controller();
+        let resp = conn
+            .execute(&controller, &GdprQuery::DeleteByPurpose("ads".into()))
+            .unwrap();
+        assert_eq!(resp, GdprResponse::Deleted(3), "{}", conn.name());
+        assert_eq!(conn.record_count(), 2);
+    }
+}
+
+#[test]
+fn controller_manages_sharing_metadata_by_user() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let controller = Session::controller();
+        conn.execute(
+            &controller,
+            &GdprQuery::UpdateMetadataByUser {
+                user: "neo".into(),
+                update: MetadataUpdate::Add(MetadataField::Sharing, "x-corp".into()),
+            },
+        )
+        .unwrap();
+        let regulator = Session::regulator();
+        let resp = conn
+            .execute(&regulator, &GdprQuery::ReadMetadataBySharedWith("x-corp".into()))
+            .unwrap();
+        assert_eq!(resp.as_metadata().unwrap().len(), 2, "{}", conn.name());
+    }
+}
+
+#[test]
+fn decision_opt_out_excludes_from_eligible_set() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let neo = Session::customer("neo");
+        conn.execute(
+            &neo,
+            &GdprQuery::UpdateMetadataByKey {
+                key: "ph-2".into(),
+                update: MetadataUpdate::Add(
+                    MetadataField::Decisions,
+                    Metadata::DEC_OPT_OUT.into(),
+                ),
+            },
+        )
+        .unwrap();
+        let processor = Session::processor("2fa");
+        let resp = conn
+            .execute(&processor, &GdprQuery::ReadDataDecisionEligible)
+            .unwrap();
+        let keys: Vec<_> = resp.as_data().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        assert!(!keys.contains(&"ph-2".to_string()), "{}", conn.name());
+        assert_eq!(keys.len(), 4);
+    }
+}
+
+#[test]
+fn regulator_gets_logs_but_never_data() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let neo = Session::customer("neo");
+        conn.execute(&neo, &GdprQuery::ReadDataByUser("neo".into())).unwrap();
+        let regulator = Session::regulator();
+        let resp = conn
+            .execute(&regulator, &GdprQuery::GetSystemLogs { from_ms: 0, to_ms: u64::MAX })
+            .unwrap();
+        match resp {
+            GdprResponse::Logs(lines) => {
+                assert!(
+                    lines.iter().any(|l| l.operation == "read-data-by-usr"),
+                    "{}: audit trail must contain the customer read",
+                    conn.name()
+                );
+                // Seed creates must be in the trail too.
+                assert!(lines.iter().any(|l| l.operation == "create-record"));
+            }
+            other => panic!("expected logs, got {other:?}"),
+        }
+        assert!(matches!(
+            conn.execute(&regulator, &GdprQuery::ReadDataByUser("neo".into())),
+            Err(GdprError::AccessDenied { .. })
+        ));
+    }
+}
+
+#[test]
+fn features_report_and_space_report() {
+    for conn in connectors() {
+        seed(conn.as_ref());
+        let controller = Session::controller();
+        let resp = conn.execute(&controller, &GdprQuery::GetSystemFeatures).unwrap();
+        assert!(matches!(resp, GdprResponse::Features(_)));
+        let space = conn.space_report();
+        assert!(space.personal_data_bytes > 0, "{}", conn.name());
+        assert!(
+            space.overhead_factor() > 1.0,
+            "{}: metadata explosion means total > personal ({:?})",
+            conn.name(),
+            space
+        );
+    }
+}
+
+#[test]
+fn metadata_index_variant_reports_more_space() {
+    let pg = PostgresConnector::new(
+        relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+    )
+    .unwrap();
+    let pg_mi = PostgresConnector::with_metadata_indices(
+        relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+    )
+    .unwrap();
+    seed(&pg);
+    seed(&pg_mi);
+    let base = pg.space_report();
+    let mi = pg_mi.space_report();
+    assert_eq!(base.personal_data_bytes, mi.personal_data_bytes);
+    assert!(
+        mi.total_bytes > base.total_bytes,
+        "metadata indices must cost space: {mi:?} vs {base:?}"
+    );
+}
+
+#[test]
+fn expired_records_vanish() {
+    // Redis: lazy-on-access hides expired keys immediately.
+    let sim = clock::sim();
+    let store =
+        kvstore::KvStore::open_with_clock(kvstore::KvConfig::default(), sim.clone()).unwrap();
+    let redis = RedisConnector::new(store);
+    let controller = Session::controller();
+    let mut r = record("exp-1", "neo", &["ads"], "d");
+    r.metadata.ttl = Some(Duration::from_secs(10));
+    redis.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+    sim.advance(Duration::from_secs(11));
+    assert!(matches!(
+        redis.execute(&Session::customer("neo"), &GdprQuery::ReadMetadataByKey("exp-1".into())),
+        Err(GdprError::NotFound(_))
+    ));
+
+    // Postgres: the sweep daemon removes them.
+    let sim = clock::sim();
+    let db = relstore::Database::open_with_clock(relstore::RelConfig::default(), sim.clone())
+        .unwrap();
+    let pg = PostgresConnector::new(db).unwrap();
+    let mut r = record("exp-1", "neo", &["ads"], "d");
+    r.metadata.ttl = Some(Duration::from_secs(10));
+    pg.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+    sim.advance(Duration::from_secs(11));
+    let daemon = pg.ttl_daemon();
+    assert_eq!(daemon.sweep_once().unwrap(), 1);
+    assert_eq!(pg.record_count(), 0);
+    assert_eq!(
+        pg.execute(&Session::regulator(), &GdprQuery::VerifyDeletion("exp-1".into()))
+            .unwrap(),
+        GdprResponse::DeletionVerified(true)
+    );
+}
+
+#[test]
+fn delete_expired_query_purges() {
+    // Redis strict mode reaps in one cycle via DELETE-RECORD-BY-TTL.
+    let sim = clock::sim();
+    let store = kvstore::KvStore::open_with_clock(
+        kvstore::KvConfig {
+            expiration: kvstore::ExpirationMode::Strict,
+            ..Default::default()
+        },
+        sim.clone(),
+    )
+    .unwrap();
+    let redis = RedisConnector::new(store);
+    let controller = Session::controller();
+    for i in 0..10 {
+        let mut r = record(&format!("e{i}"), "u", &["ads"], "d");
+        r.metadata.ttl = Some(Duration::from_secs(5));
+        redis.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+    }
+    sim.advance(Duration::from_secs(6));
+    let resp = redis.execute(&controller, &GdprQuery::DeleteExpired).unwrap();
+    assert_eq!(resp, GdprResponse::Deleted(10));
+
+    // Postgres equivalent.
+    let sim = clock::sim();
+    let db = relstore::Database::open_with_clock(relstore::RelConfig::default(), sim.clone())
+        .unwrap();
+    let pg = PostgresConnector::new(db).unwrap();
+    for i in 0..10 {
+        let mut r = record(&format!("e{i}"), "u", &["ads"], "d");
+        r.metadata.ttl = Some(Duration::from_secs(5));
+        pg.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+    }
+    sim.advance(Duration::from_secs(6));
+    let resp = pg.execute(&controller, &GdprQuery::DeleteExpired).unwrap();
+    assert_eq!(resp, GdprResponse::Deleted(10));
+}
+
+#[test]
+fn postgres_mi_uses_index_scans_for_metadata_queries() {
+    let db = relstore::Database::open(relstore::RelConfig::default()).unwrap();
+    let pg = PostgresConnector::with_metadata_indices(Arc::clone(&db)).unwrap();
+    seed(&pg);
+    let before = db.table(crate::postgres::TABLE).unwrap().read().plan_stats();
+    pg.execute(
+        &Session::customer("neo"),
+        &GdprQuery::ReadDataByUser("neo".into()),
+    )
+    .unwrap();
+    let after = db.table(crate::postgres::TABLE).unwrap().read().plan_stats();
+    assert!(after.index_scans > before.index_scans);
+    assert_eq!(after.seq_scans, before.seq_scans, "usr query must not seq-scan");
+}

@@ -1,0 +1,28 @@
+//! GDPR client stubs: [`gdpr_core::GdprConnector`] implementations over the
+//! two stores, mirroring the per-database clients the paper adds to
+//! GDPRbench (§4.3: "~400 LoC for Redis and PostgreSQL clients").
+//!
+//! * [`redis::RedisConnector`] — records live as wire-format strings under
+//!   `rec:<key>` with native `EXPIRE` for TTL. The store has **no secondary
+//!   indexes**, so every metadata-conditioned query SCANs the keyspace and
+//!   filters client-side — the O(n) behaviour behind Figures 5a and 7b.
+//!   Access control is enforced in the client, exactly as the paper does.
+//! * [`postgres::PostgresConnector`] — one `personal_data` table with a
+//!   column per metadata attribute (arrays for multi-valued ones). In
+//!   baseline form only the primary key is indexed (metadata queries
+//!   seq-scan, Figure 5b); with
+//!   [`postgres::PostgresConnector::with_metadata_indices`] every metadata
+//!   column gets a secondary index (Figure 5c) at the space cost Table 3
+//!   reports.
+//!
+//! Both connectors enforce the Figure 1 role matrix via [`gdpr_core::acl`]
+//! and keep a [`gdpr_core::audit::AuditTrail`] that serves GET-SYSTEM-LOGS.
+
+pub mod postgres;
+pub mod redis;
+
+pub use postgres::PostgresConnector;
+pub use redis::RedisConnector;
+
+#[cfg(test)]
+mod conformance;

@@ -1,0 +1,481 @@
+//! The PostgreSQL-shaped GDPR connector (§5.2 of the paper).
+//!
+//! One `personal_data` table holds everything: the key, the data payload,
+//! and one column per metadata attribute (`text[]` for the multi-valued
+//! ones). TTL is materialized twice, as the paper's retrofit does: the
+//! declared duration (`ttl_secs`, reported back to customers per G13.2a)
+//! and the absolute `expiry` timestamp the 1-second sweep daemon deletes by.
+//!
+//! Two configurations reproduce the paper's two PostgreSQL bars:
+//! * **baseline** — only the primary key is indexed; every metadata query
+//!   is a sequential scan (Figure 5b),
+//! * **metadata-index** — a secondary index on every metadata column
+//!   (inverted for the array ones), turning those scans into probes
+//!   (Figure 5c) at the Table 3 space cost (3.5× → 5.95×).
+
+use gdpr_core::acl::{authorize, record_visible};
+use gdpr_core::audit::AuditTrail;
+use gdpr_core::compliance::{FeatureReport, FeatureSupport};
+use gdpr_core::connector::SpaceReport;
+use gdpr_core::error::{GdprError, GdprResult};
+use gdpr_core::query::GdprQuery;
+use gdpr_core::record::{Metadata, PersonalRecord};
+use gdpr_core::response::GdprResponse;
+use gdpr_core::role::Session;
+use gdpr_core::GdprConnector;
+use relstore::ttl::{SweepTarget, TtlDaemon};
+use relstore::{ColumnType, Database, Datum, Predicate, RelConfig, Statement, StatementResult};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The personal-data table name.
+pub const TABLE: &str = "personal_data";
+
+/// GDPR connector over [`relstore::Database`].
+pub struct PostgresConnector {
+    db: Arc<Database>,
+    audit: AuditTrail,
+    metadata_indices: bool,
+    variant_name: &'static str,
+}
+
+impl PostgresConnector {
+    /// Create the connector and its `personal_data` table over an open
+    /// database (baseline: primary-key index only).
+    pub fn new(db: Arc<Database>) -> GdprResult<Self> {
+        let audit = AuditTrail::new(db.clock().clone());
+        let connector = PostgresConnector {
+            db,
+            audit,
+            metadata_indices: false,
+            variant_name: "postgres",
+        };
+        connector.create_table()?;
+        Ok(connector)
+    }
+
+    /// As [`Self::new`], then add a secondary index on every metadata
+    /// column — the paper's metadata-index configuration.
+    pub fn with_metadata_indices(db: Arc<Database>) -> GdprResult<Self> {
+        let mut connector = Self::new(db)?;
+        connector.create_metadata_indices()?;
+        connector.metadata_indices = true;
+        connector.variant_name = "postgres-mi";
+        Ok(connector)
+    }
+
+    /// Open a fully compliant in-memory database and wrap it (baseline
+    /// indexing).
+    pub fn open_compliant() -> GdprResult<Self> {
+        let db = Database::open(RelConfig::gdpr_compliant_in_memory())
+            .map_err(|e| GdprError::Store(e.to_string()))?;
+        Self::new(db)
+    }
+
+    /// The underlying database (for harnesses and daemons).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &AuditTrail {
+        &self.audit
+    }
+
+    /// A TTL sweep daemon targeting the personal-data table (§5.2's
+    /// 1-second expiry daemon). Call `start()` on the result, or
+    /// `sweep_once()` from simulated-clock harnesses.
+    pub fn ttl_daemon(&self) -> TtlDaemon {
+        TtlDaemon::new(
+            Arc::clone(&self.db),
+            vec![SweepTarget {
+                table: TABLE.to_string(),
+                expiry_column: "expiry".to_string(),
+            }],
+        )
+    }
+
+    fn create_table(&self) -> GdprResult<()> {
+        self.exec(&Statement::CreateTable {
+            table: TABLE.into(),
+            columns: vec![
+                ("key".into(), ColumnType::Text),
+                ("data".into(), ColumnType::Text),
+                ("pur".into(), ColumnType::TextArray),
+                ("ttl_secs".into(), ColumnType::Int),
+                ("expiry".into(), ColumnType::Timestamp),
+                ("usr".into(), ColumnType::Text),
+                ("obj".into(), ColumnType::TextArray),
+                ("dec".into(), ColumnType::TextArray),
+                ("shr".into(), ColumnType::TextArray),
+                ("src".into(), ColumnType::Text),
+            ],
+            pk: "key".into(),
+        })
+        .map(|_| ())
+    }
+
+    fn create_metadata_indices(&self) -> GdprResult<()> {
+        let specs: [(&str, &str, bool); 7] = [
+            ("usr_idx", "usr", false),
+            ("expiry_idx", "expiry", false),
+            ("src_idx", "src", false),
+            ("pur_idx", "pur", true),
+            ("obj_idx", "obj", true),
+            ("dec_idx", "dec", true),
+            ("shr_idx", "shr", true),
+        ];
+        for (index, column, inverted) in specs {
+            self.exec(&Statement::CreateIndex {
+                table: TABLE.into(),
+                index: index.into(),
+                column: column.into(),
+                inverted,
+            })?;
+        }
+        Ok(())
+    }
+
+    fn exec(&self, stmt: &Statement) -> GdprResult<StatementResult> {
+        self.db
+            .execute(stmt)
+            .map_err(|e| GdprError::Store(e.to_string()))
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.db.clock().now().as_millis()
+    }
+
+    fn to_row(&self, record: &PersonalRecord) -> Vec<Datum> {
+        let m = &record.metadata;
+        let (ttl_secs, expiry) = match m.ttl {
+            Some(ttl) => (
+                Datum::Int(ttl.as_secs() as i64),
+                Datum::Timestamp(self.now_ms() + ttl.as_millis() as u64),
+            ),
+            None => (Datum::Null, Datum::Null),
+        };
+        vec![
+            Datum::Text(record.key.clone()),
+            Datum::Text(record.data.clone()),
+            Datum::TextArray(m.purposes.clone()),
+            ttl_secs,
+            expiry,
+            Datum::Text(m.user.clone()),
+            Datum::TextArray(m.objections.clone()),
+            Datum::TextArray(m.decisions.clone()),
+            Datum::TextArray(m.sharing.clone()),
+            Datum::Text(m.source.clone()),
+        ]
+    }
+
+    fn from_row(row: &[Datum]) -> GdprResult<PersonalRecord> {
+        let text = |i: usize| -> String {
+            row.get(i).and_then(Datum::as_text).unwrap_or_default().to_string()
+        };
+        let array = |i: usize| -> Vec<String> {
+            row.get(i)
+                .and_then(Datum::as_text_array)
+                .map(<[String]>::to_vec)
+                .unwrap_or_default()
+        };
+        let ttl = row
+            .get(3)
+            .and_then(Datum::as_int)
+            .map(|secs| Duration::from_secs(secs.max(0) as u64));
+        Ok(PersonalRecord {
+            key: text(0),
+            data: text(1),
+            metadata: Metadata {
+                purposes: array(2),
+                ttl,
+                user: text(5),
+                objections: array(6),
+                decisions: array(7),
+                sharing: array(8),
+                source: text(9),
+            },
+        })
+    }
+
+    fn select_records(&self, pred: Predicate) -> GdprResult<Vec<PersonalRecord>> {
+        let result = self.exec(&Statement::Select { table: TABLE.into(), pred })?;
+        result.rows().iter().map(|r| Self::from_row(r)).collect()
+    }
+
+    fn fetch(&self, key: &str) -> GdprResult<Option<PersonalRecord>> {
+        let mut records = self.select_records(Predicate::eq_text("key", key))?;
+        Ok(records.pop())
+    }
+
+    /// Write back one record's metadata/data columns (expiry untouched
+    /// unless `new_ttl`).
+    fn rewrite(&self, record: &PersonalRecord, ttl_changed: bool) -> GdprResult<usize> {
+        let m = &record.metadata;
+        let mut assignments = vec![
+            ("data".to_string(), Datum::Text(record.data.clone())),
+            ("pur".to_string(), Datum::TextArray(m.purposes.clone())),
+            ("usr".to_string(), Datum::Text(m.user.clone())),
+            ("obj".to_string(), Datum::TextArray(m.objections.clone())),
+            ("dec".to_string(), Datum::TextArray(m.decisions.clone())),
+            ("shr".to_string(), Datum::TextArray(m.sharing.clone())),
+            ("src".to_string(), Datum::Text(m.source.clone())),
+        ];
+        if ttl_changed {
+            match m.ttl {
+                Some(ttl) => {
+                    assignments.push(("ttl_secs".into(), Datum::Int(ttl.as_secs() as i64)));
+                    assignments.push((
+                        "expiry".into(),
+                        Datum::Timestamp(self.now_ms() + ttl.as_millis() as u64),
+                    ));
+                }
+                None => {
+                    assignments.push(("ttl_secs".into(), Datum::Null));
+                    assignments.push(("expiry".into(), Datum::Null));
+                }
+            }
+        }
+        let result = self.exec(&Statement::Update {
+            table: TABLE.into(),
+            pred: Predicate::eq_text("key", &record.key),
+            assignments,
+        })?;
+        Ok(result.rows_affected())
+    }
+
+    fn delete_where(&self, pred: Predicate) -> GdprResult<usize> {
+        let result = self.exec(&Statement::Delete { table: TABLE.into(), pred })?;
+        Ok(result.rows_affected())
+    }
+
+    fn dispatch(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        use GdprQuery::*;
+        let decision = authorize(session, query)?;
+        let guard = |record: &PersonalRecord| -> GdprResult<()> {
+            if decision.requires_record_check && !record_visible(session, record) {
+                Err(GdprError::AccessDenied {
+                    role: session.role.name().to_string(),
+                    query: query.name().to_string(),
+                    reason: "record not visible to this session".to_string(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+
+        match query {
+            CreateRecord(record) => {
+                let row = self.to_row(record);
+                match self.db.execute(&Statement::Insert { table: TABLE.into(), row }) {
+                    Ok(_) => Ok(GdprResponse::Created),
+                    Err(relstore::RelError::UniqueViolation { .. }) => {
+                        Err(GdprError::AlreadyExists(record.key.clone()))
+                    }
+                    Err(e) => Err(GdprError::Store(e.to_string())),
+                }
+            }
+
+            DeleteByKey(key) => {
+                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                Ok(GdprResponse::Deleted(
+                    self.delete_where(Predicate::eq_text("key", key))?,
+                ))
+            }
+            DeleteByPurpose(purpose) => Ok(GdprResponse::Deleted(
+                self.delete_where(Predicate::contains("pur", purpose))?,
+            )),
+            DeleteExpired => Ok(GdprResponse::Deleted(self.delete_where(Predicate::Le(
+                "expiry".into(),
+                Datum::Timestamp(self.now_ms()),
+            ))?)),
+            DeleteByUser(user) => Ok(GdprResponse::Deleted(
+                self.delete_where(Predicate::eq_text("usr", user))?,
+            )),
+
+            ReadDataByKey(key) => {
+                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                Ok(GdprResponse::Data(vec![(record.key, record.data)]))
+            }
+            ReadDataByPurpose(purpose) => {
+                // Declared purpose AND no objection to it (G5.1b + G21).
+                let pred = Predicate::And(vec![
+                    Predicate::contains("pur", purpose),
+                    Predicate::Not(Box::new(Predicate::contains("obj", purpose))),
+                ]);
+                let data = self
+                    .select_records(pred)?
+                    .into_iter()
+                    .map(|r| (r.key, r.data))
+                    .collect();
+                Ok(GdprResponse::Data(data))
+            }
+            ReadDataByUser(user) => {
+                let data = self
+                    .select_records(Predicate::eq_text("usr", user))?
+                    .into_iter()
+                    .map(|r| (r.key, r.data))
+                    .collect();
+                Ok(GdprResponse::Data(data))
+            }
+            ReadDataNotObjecting(usage) => {
+                let pred = Predicate::Not(Box::new(Predicate::contains("obj", usage)));
+                let data = self
+                    .select_records(pred)?
+                    .into_iter()
+                    .map(|r| (r.key, r.data))
+                    .collect();
+                Ok(GdprResponse::Data(data))
+            }
+            ReadDataDecisionEligible => {
+                let pred = Predicate::Not(Box::new(Predicate::contains(
+                    "dec",
+                    Metadata::DEC_OPT_OUT,
+                )));
+                let data = self
+                    .select_records(pred)?
+                    .into_iter()
+                    .map(|r| (r.key, r.data))
+                    .collect();
+                Ok(GdprResponse::Data(data))
+            }
+
+            ReadMetadataByKey(key) => {
+                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                Ok(GdprResponse::Metadata(vec![(record.key, record.metadata)]))
+            }
+            ReadMetadataByUser(user) => {
+                let meta = self
+                    .select_records(Predicate::eq_text("usr", user))?
+                    .into_iter()
+                    .map(|r| (r.key, r.metadata))
+                    .collect();
+                Ok(GdprResponse::Metadata(meta))
+            }
+            ReadMetadataBySharedWith(party) => {
+                let meta = self
+                    .select_records(Predicate::contains("shr", party))?
+                    .into_iter()
+                    .map(|r| (r.key, r.metadata))
+                    .collect();
+                Ok(GdprResponse::Metadata(meta))
+            }
+
+            UpdateDataByKey { key, data } => {
+                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                let result = self.exec(&Statement::Update {
+                    table: TABLE.into(),
+                    pred: Predicate::eq_text("key", key),
+                    assignments: vec![("data".into(), Datum::Text(data.clone()))],
+                })?;
+                Ok(GdprResponse::Updated(result.rows_affected()))
+            }
+            UpdateMetadataByKey { key, update } => {
+                let mut record =
+                    self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
+                update.apply(&mut record.metadata)?;
+                Ok(GdprResponse::Updated(self.rewrite(&record, ttl_changed)?))
+            }
+            UpdateMetadataByPurpose { purpose, update } => {
+                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
+                let mut n = 0;
+                for mut record in self.select_records(Predicate::contains("pur", purpose))? {
+                    update.apply(&mut record.metadata)?;
+                    n += self.rewrite(&record, ttl_changed)?;
+                }
+                Ok(GdprResponse::Updated(n))
+            }
+            UpdateMetadataByUser { user, update } => {
+                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
+                let mut n = 0;
+                for mut record in self.select_records(Predicate::eq_text("usr", user))? {
+                    update.apply(&mut record.metadata)?;
+                    n += self.rewrite(&record, ttl_changed)?;
+                }
+                Ok(GdprResponse::Updated(n))
+            }
+
+            GetSystemLogs { from_ms, to_ms } => {
+                Ok(GdprResponse::Logs(self.audit.lines_between(*from_ms, *to_ms)))
+            }
+            GetSystemFeatures => Ok(GdprResponse::Features(self.features())),
+            VerifyDeletion(key) => {
+                let result = self.exec(&Statement::Count {
+                    table: TABLE.into(),
+                    pred: Predicate::eq_text("key", key),
+                })?;
+                Ok(GdprResponse::DeletionVerified(result.rows_affected() == 0))
+            }
+        }
+    }
+}
+
+impl GdprConnector for PostgresConnector {
+    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        let result = self.dispatch(session, query);
+        let err_text = result.as_ref().err().map(ToString::to_string);
+        let outcome = match &result {
+            Ok(resp) => Ok(resp.cardinality()),
+            Err(_) => Err(err_text.as_deref().unwrap_or("error")),
+        };
+        self.audit
+            .record(session, query.name(), format!("{query:?}"), outcome);
+        result
+    }
+
+    fn features(&self) -> FeatureReport {
+        let config = self.db.config();
+        FeatureReport {
+            // No native row TTL; the sweep daemon retrofits it (§5.2).
+            timely_deletion: FeatureSupport::Retrofitted,
+            monitoring_and_logging: if config.log_statements && config.log_reads {
+                FeatureSupport::Native // csvlog + row-level response logging
+            } else {
+                FeatureSupport::Unsupported
+            },
+            metadata_indexing: if self.metadata_indices {
+                FeatureSupport::Native // built-in secondary indices
+            } else {
+                // Metadata queries still work (sequential scans), so the
+                // capability is present even when no index backs it.
+                FeatureSupport::Retrofitted
+            },
+            encryption: if config.encrypt_at_rest && config.encrypt_transit {
+                FeatureSupport::Retrofitted // LUKS + SSL
+            } else {
+                FeatureSupport::Unsupported
+            },
+            access_control: FeatureSupport::Retrofitted, // client-enforced
+        }
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        let personal = self
+            .select_records(Predicate::True)
+            .map(|records| records.iter().map(PersonalRecord::data_bytes).sum())
+            .unwrap_or(0);
+        // Total = heap + indices + WAL; the connector-side audit trail is
+        // client state, not database size.
+        SpaceReport {
+            personal_data_bytes: personal,
+            total_bytes: self.db.total_size_bytes() + self.db.wal_bytes() as usize,
+        }
+    }
+
+    fn record_count(&self) -> usize {
+        self.db
+            .table(TABLE)
+            .map(|t| t.read().row_count())
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &str {
+        self.variant_name
+    }
+}

@@ -1,0 +1,435 @@
+//! The Redis-shaped GDPR connector (§5.1 of the paper).
+//!
+//! Layout: one string key `rec:<key>` per record, holding the §4.2.1 wire
+//! form, with a native `EXPIRE` when the record carries a TTL. There are no
+//! secondary structures — queries that select by purpose, user, objection,
+//! decision, or sharing SCAN the whole `rec:*` keyspace, parse each record,
+//! and filter client-side. That is precisely how the paper's Redis behaves
+//! and why its GDPR workloads run orders of magnitude slower than YCSB.
+
+use bytes::Bytes;
+use gdpr_core::acl::{authorize, record_visible};
+use gdpr_core::audit::AuditTrail;
+use gdpr_core::compliance::{FeatureReport, FeatureSupport};
+use gdpr_core::connector::SpaceReport;
+use gdpr_core::error::{GdprError, GdprResult};
+use gdpr_core::query::GdprQuery;
+use gdpr_core::record::PersonalRecord;
+use gdpr_core::response::GdprResponse;
+use gdpr_core::role::Session;
+use gdpr_core::wire;
+use gdpr_core::GdprConnector;
+use kvstore::expire::ExpirationMode;
+use kvstore::{Command, KvConfig, KvStore};
+use std::sync::Arc;
+
+const KEY_PREFIX: &str = "rec:";
+const SCAN_BATCH: usize = 512;
+
+/// GDPR connector over [`kvstore::KvStore`].
+pub struct RedisConnector {
+    store: Arc<KvStore>,
+    audit: AuditTrail,
+}
+
+impl RedisConnector {
+    /// Wrap an open store.
+    pub fn new(store: Arc<KvStore>) -> Self {
+        let audit = AuditTrail::new(store.clock().clone());
+        RedisConnector { store, audit }
+    }
+
+    /// Open a fully GDPR-compliant in-memory store (strict TTL, read
+    /// logging, encryption) and wrap it.
+    pub fn open_compliant() -> GdprResult<Self> {
+        let store = KvStore::open(KvConfig::gdpr_compliant_in_memory())
+            .map_err(|e| GdprError::Store(e.to_string()))?;
+        Ok(Self::new(store))
+    }
+
+    /// The underlying store (for experiment harnesses).
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &AuditTrail {
+        &self.audit
+    }
+
+    fn storage_key(key: &str) -> Bytes {
+        Bytes::from(format!("{KEY_PREFIX}{key}"))
+    }
+
+    fn fetch(&self, key: &str) -> GdprResult<Option<PersonalRecord>> {
+        let reply = self
+            .store
+            .get(Self::storage_key(key).as_ref())
+            .map_err(|e| GdprError::Store(e.to_string()))?;
+        match reply {
+            Some(bytes) => {
+                let text = std::str::from_utf8(&bytes)
+                    .map_err(|e| GdprError::InvalidRecord(e.to_string()))?;
+                Ok(Some(wire::parse(text)?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Store a record, setting EXPIRE from its TTL.
+    fn put(&self, record: &PersonalRecord) -> GdprResult<()> {
+        let key = Self::storage_key(&record.key);
+        let value = wire::serialize(record);
+        match record.metadata.ttl {
+            Some(ttl) => self
+                .store
+                .set_ex(key.as_ref(), value.as_bytes(), ttl)
+                .map_err(|e| GdprError::Store(e.to_string())),
+            None => self
+                .store
+                .set(key.as_ref(), value.as_bytes())
+                .map_err(|e| GdprError::Store(e.to_string())),
+        }
+    }
+
+    /// Full keyspace walk: SCAN `rec:*` in batches and parse every record —
+    /// the O(n) path every metadata query takes on Redis.
+    fn scan_all(&self) -> GdprResult<Vec<PersonalRecord>> {
+        let mut records = Vec::new();
+        let mut cursor = 0usize;
+        loop {
+            let reply = self
+                .store
+                .execute(Command::Scan {
+                    cursor,
+                    count: SCAN_BATCH,
+                    pattern: Some(Bytes::from_static(b"rec:*")),
+                })
+                .map_err(|e| GdprError::Store(e.to_string()))?;
+            let parts = reply
+                .as_array()
+                .ok_or_else(|| GdprError::Store("SCAN reply shape".into()))?;
+            let next = parts[0].as_int().unwrap_or(0) as usize;
+            let keys: Vec<Bytes> = parts[1]
+                .as_array()
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|r| r.as_bulk().cloned())
+                .collect();
+            for key in keys {
+                if let Ok(Some(reply)) = self.store.get(key.as_ref()).map_err(|e| e.to_string()) {
+                    if let Ok(text) = std::str::from_utf8(&reply) {
+                        if let Ok(record) = wire::parse(text) {
+                            records.push(record);
+                        }
+                    }
+                }
+            }
+            if next == 0 {
+                break;
+            }
+            cursor = next;
+        }
+        Ok(records)
+    }
+
+    fn delete_keys(&self, keys: impl IntoIterator<Item = String>) -> GdprResult<usize> {
+        let mut n = 0;
+        for key in keys {
+            if self
+                .store
+                .del(Self::storage_key(&key).as_ref())
+                .map_err(|e| GdprError::Store(e.to_string()))?
+            {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Rewrite a record in place, preserving its remaining store-level TTL
+    /// unless the update changed the TTL itself.
+    fn rewrite(&self, record: &PersonalRecord, ttl_changed: bool) -> GdprResult<()> {
+        let key = Self::storage_key(&record.key);
+        let remaining = if ttl_changed {
+            record.metadata.ttl
+        } else {
+            // TTL of the live key, so SET does not clear the deadline.
+            let reply = self
+                .store
+                .execute(Command::Ttl { key: key.clone() })
+                .map_err(|e| GdprError::Store(e.to_string()))?;
+            match reply.as_int() {
+                Some(secs) if secs >= 0 => Some(std::time::Duration::from_secs(secs as u64)),
+                _ => None,
+            }
+        };
+        let value = wire::serialize(record);
+        match remaining {
+            Some(ttl) => self
+                .store
+                .set_ex(key.as_ref(), value.as_bytes(), ttl)
+                .map_err(|e| GdprError::Store(e.to_string())),
+            None => self
+                .store
+                .set(key.as_ref(), value.as_bytes())
+                .map_err(|e| GdprError::Store(e.to_string())),
+        }
+    }
+
+    fn dispatch(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        use GdprQuery::*;
+        let decision = authorize(session, query)?;
+        let guard = |record: &PersonalRecord| -> GdprResult<()> {
+            if decision.requires_record_check && !record_visible(session, record) {
+                Err(GdprError::AccessDenied {
+                    role: session.role.name().to_string(),
+                    query: query.name().to_string(),
+                    reason: "record not visible to this session".to_string(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+
+        match query {
+            CreateRecord(record) => {
+                if self.fetch(&record.key)?.is_some() {
+                    return Err(GdprError::AlreadyExists(record.key.clone()));
+                }
+                self.put(record)?;
+                Ok(GdprResponse::Created)
+            }
+
+            DeleteByKey(key) => {
+                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                self.delete_keys([key.clone()])?;
+                Ok(GdprResponse::Deleted(1))
+            }
+            DeleteByPurpose(purpose) => {
+                let victims: Vec<String> = self
+                    .scan_all()?
+                    .into_iter()
+                    .filter(|r| r.metadata.purposes.iter().any(|p| p == purpose))
+                    .map(|r| r.key)
+                    .collect();
+                Ok(GdprResponse::Deleted(self.delete_keys(victims)?))
+            }
+            DeleteExpired => {
+                // Timely deletion is the store's job (EXPIRE); purging now
+                // means running an active-expiration cycle synchronously.
+                let stats = self.store.run_expiration_cycle();
+                Ok(GdprResponse::Deleted(stats.reaped))
+            }
+            DeleteByUser(user) => {
+                let victims: Vec<String> = self
+                    .scan_all()?
+                    .into_iter()
+                    .filter(|r| r.metadata.user == *user)
+                    .map(|r| r.key)
+                    .collect();
+                Ok(GdprResponse::Deleted(self.delete_keys(victims)?))
+            }
+
+            ReadDataByKey(key) => {
+                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                Ok(GdprResponse::Data(vec![(record.key, record.data)]))
+            }
+            ReadDataByPurpose(purpose) => {
+                let data = self
+                    .scan_all()?
+                    .into_iter()
+                    .filter(|r| r.metadata.allows_purpose(purpose))
+                    .map(|r| (r.key, r.data))
+                    .collect();
+                Ok(GdprResponse::Data(data))
+            }
+            ReadDataByUser(user) => {
+                let data = self
+                    .scan_all()?
+                    .into_iter()
+                    .filter(|r| r.metadata.user == *user)
+                    .map(|r| (r.key, r.data))
+                    .collect();
+                Ok(GdprResponse::Data(data))
+            }
+            ReadDataNotObjecting(usage) => {
+                let data = self
+                    .scan_all()?
+                    .into_iter()
+                    .filter(|r| !r.metadata.objections.iter().any(|o| o == usage))
+                    .map(|r| (r.key, r.data))
+                    .collect();
+                Ok(GdprResponse::Data(data))
+            }
+            ReadDataDecisionEligible => {
+                let data = self
+                    .scan_all()?
+                    .into_iter()
+                    .filter(|r| r.metadata.allows_automated_decisions())
+                    .map(|r| (r.key, r.data))
+                    .collect();
+                Ok(GdprResponse::Data(data))
+            }
+
+            ReadMetadataByKey(key) => {
+                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                Ok(GdprResponse::Metadata(vec![(record.key, record.metadata)]))
+            }
+            ReadMetadataByUser(user) => {
+                let meta = self
+                    .scan_all()?
+                    .into_iter()
+                    .filter(|r| r.metadata.user == *user)
+                    .map(|r| (r.key, r.metadata))
+                    .collect();
+                Ok(GdprResponse::Metadata(meta))
+            }
+            ReadMetadataBySharedWith(party) => {
+                let meta = self
+                    .scan_all()?
+                    .into_iter()
+                    .filter(|r| r.metadata.sharing.iter().any(|s| s == party))
+                    .map(|r| (r.key, r.metadata))
+                    .collect();
+                Ok(GdprResponse::Metadata(meta))
+            }
+
+            UpdateDataByKey { key, data } => {
+                let mut record =
+                    self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                record.data = data.clone();
+                self.rewrite(&record, false)?;
+                Ok(GdprResponse::Updated(1))
+            }
+            UpdateMetadataByKey { key, update } => {
+                let mut record =
+                    self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
+                guard(&record)?;
+                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
+                update.apply(&mut record.metadata)?;
+                self.rewrite(&record, ttl_changed)?;
+                Ok(GdprResponse::Updated(1))
+            }
+            UpdateMetadataByPurpose { purpose, update } => {
+                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
+                let mut n = 0;
+                for mut record in self.scan_all()? {
+                    if record.metadata.purposes.iter().any(|p| p == purpose) {
+                        update.apply(&mut record.metadata)?;
+                        self.rewrite(&record, ttl_changed)?;
+                        n += 1;
+                    }
+                }
+                Ok(GdprResponse::Updated(n))
+            }
+            UpdateMetadataByUser { user, update } => {
+                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
+                let mut n = 0;
+                for mut record in self.scan_all()? {
+                    if record.metadata.user == *user {
+                        update.apply(&mut record.metadata)?;
+                        self.rewrite(&record, ttl_changed)?;
+                        n += 1;
+                    }
+                }
+                Ok(GdprResponse::Updated(n))
+            }
+
+            GetSystemLogs { from_ms, to_ms } => {
+                Ok(GdprResponse::Logs(self.audit.lines_between(*from_ms, *to_ms)))
+            }
+            GetSystemFeatures => Ok(GdprResponse::Features(self.features())),
+            VerifyDeletion(key) => Ok(GdprResponse::DeletionVerified(self.fetch(key)?.is_none())),
+        }
+    }
+}
+
+impl GdprConnector for RedisConnector {
+    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        let result = self.dispatch(session, query);
+        let err_text = result.as_ref().err().map(ToString::to_string);
+        let outcome = match &result {
+            Ok(resp) => Ok(resp.cardinality()),
+            Err(_) => Err(err_text.as_deref().unwrap_or("error")),
+        };
+        self.audit
+            .record(session, query.name(), detail_of(query), outcome);
+        result
+    }
+
+    fn features(&self) -> FeatureReport {
+        let config = self.store.config();
+        FeatureReport {
+            // Native EXPIRE exists but is lazy; strict mode is the paper's
+            // retrofit.
+            timely_deletion: match config.expiration {
+                ExpirationMode::Strict => FeatureSupport::Retrofitted,
+                ExpirationMode::Lazy => FeatureSupport::Unsupported,
+            },
+            monitoring_and_logging: if config.log_reads {
+                FeatureSupport::Retrofitted
+            } else {
+                FeatureSupport::Unsupported
+            },
+            // No secondary indexes exist in the store; metadata-based
+            // access is retrofitted as client-side SCAN+filter (the paper's
+            // "partial support" — capability present, efficiency absent).
+            metadata_indexing: FeatureSupport::Retrofitted,
+            encryption: if config.encrypt_at_rest && config.encrypt_transit {
+                FeatureSupport::Retrofitted
+            } else {
+                FeatureSupport::Unsupported
+            },
+            // Enforced in this client, per the paper.
+            access_control: FeatureSupport::Retrofitted,
+        }
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        let personal: usize = self
+            .scan_all()
+            .map(|records| records.iter().map(PersonalRecord::data_bytes).sum())
+            .unwrap_or(0);
+        // Total = what the datastore holds (keyspace + AOF). The GDPR-layer
+        // audit trail lives client-side in this connector and is not part
+        // of the paper's "total DB size".
+        SpaceReport {
+            personal_data_bytes: personal,
+            total_bytes: self.store.memory_usage() + self.store.aof_bytes() as usize,
+        }
+    }
+
+    fn record_count(&self) -> usize {
+        self.store.dbsize()
+    }
+
+    fn name(&self) -> &str {
+        "redis"
+    }
+}
+
+fn detail_of(query: &GdprQuery) -> String {
+    use GdprQuery::*;
+    match query {
+        CreateRecord(r) => format!("key={}", r.key),
+        DeleteByKey(k) | ReadDataByKey(k) | ReadMetadataByKey(k) | VerifyDeletion(k) => {
+            format!("key={k}")
+        }
+        DeleteByPurpose(p) | ReadDataByPurpose(p) => format!("pur={p}"),
+        DeleteExpired => "ttl".into(),
+        DeleteByUser(u) | ReadDataByUser(u) | ReadMetadataByUser(u) => format!("usr={u}"),
+        ReadDataNotObjecting(o) => format!("obj={o}"),
+        ReadDataDecisionEligible => "dec".into(),
+        ReadMetadataBySharedWith(s) => format!("shr={s}"),
+        UpdateDataByKey { key, .. } | UpdateMetadataByKey { key, .. } => format!("key={key}"),
+        UpdateMetadataByPurpose { purpose, .. } => format!("pur={purpose}"),
+        UpdateMetadataByUser { user, .. } => format!("usr={user}"),
+        GetSystemLogs { from_ms, to_ms } => format!("range={from_ms}..{to_ms}"),
+        GetSystemFeatures => "features".into(),
+    }
+}

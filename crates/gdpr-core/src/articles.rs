@@ -1,0 +1,226 @@
+//! Table 1 of the paper, as data: the map from GDPR articles to database
+//! attributes and actions.
+//!
+//! This is both documentation and an executable checklist — tests assert
+//! the map covers exactly the paper's twelve rows, and
+//! [`articles_satisfied_by`] relates a store's [`FeatureReport`] back to the
+//! articles it addresses (the substance of a GET-SYSTEM-FEATURES audit).
+
+use crate::compliance::{ComplianceFeature, FeatureReport};
+use crate::query::MetadataField;
+
+/// A database-relevant action demanded by an article (Table 1's "Actions"
+/// column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbAction {
+    MetadataIndexing,
+    TimelyDeletion,
+    AccessControl,
+    MonitorAndLog,
+    Encryption,
+}
+
+impl DbAction {
+    /// The compliance feature that implements this action.
+    pub fn feature(&self) -> ComplianceFeature {
+        match self {
+            DbAction::MetadataIndexing => ComplianceFeature::MetadataIndexing,
+            DbAction::TimelyDeletion => ComplianceFeature::TimelyDeletion,
+            DbAction::AccessControl => ComplianceFeature::AccessControl,
+            DbAction::MonitorAndLog => ComplianceFeature::MonitoringAndLogging,
+            DbAction::Encryption => ComplianceFeature::Encryption,
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArticleRequirement {
+    /// GDPR article number.
+    pub article: u8,
+    /// The article/clause title.
+    pub clause: &'static str,
+    /// What it regulates, in the paper's words.
+    pub regulates: &'static str,
+    /// Metadata attributes involved (Table 1's "Attributes" column).
+    pub attributes: &'static [MetadataField],
+    /// Whether the TTL attribute is involved (TTL is not a
+    /// [`MetadataField`] — it has dedicated handling).
+    pub involves_ttl: bool,
+    /// Database actions demanded.
+    pub actions: &'static [DbAction],
+}
+
+/// The twelve rows of Table 1.
+pub const ARTICLE_MAP: &[ArticleRequirement] = &[
+    ArticleRequirement {
+        article: 5,
+        clause: "Purpose limitation",
+        regulates: "Collect data for explicit purposes",
+        attributes: &[MetadataField::Purposes],
+        involves_ttl: false,
+        actions: &[DbAction::MetadataIndexing],
+    },
+    ArticleRequirement {
+        article: 5,
+        clause: "Storage limitation",
+        regulates: "Do not store data indefinitely",
+        attributes: &[],
+        involves_ttl: true,
+        actions: &[DbAction::TimelyDeletion],
+    },
+    ArticleRequirement {
+        article: 13, // and 14
+        clause: "Information to be provided [...]",
+        regulates: "Inform customers about all the GDPR metadata associated with their data",
+        attributes: &[
+            MetadataField::Purposes,
+            MetadataField::Source,
+            MetadataField::Sharing,
+        ],
+        involves_ttl: true,
+        actions: &[DbAction::MetadataIndexing],
+    },
+    ArticleRequirement {
+        article: 15,
+        clause: "Right of access by users",
+        regulates: "Allow customers to access all their data",
+        attributes: &[MetadataField::User],
+        involves_ttl: false,
+        actions: &[DbAction::MetadataIndexing],
+    },
+    ArticleRequirement {
+        article: 17,
+        clause: "Right to be forgotten",
+        regulates: "Allow customers to erasure their data",
+        attributes: &[],
+        involves_ttl: true,
+        actions: &[DbAction::TimelyDeletion],
+    },
+    ArticleRequirement {
+        article: 21,
+        clause: "Right to object",
+        regulates: "Do not use data for any objected reasons",
+        attributes: &[MetadataField::Objections],
+        involves_ttl: false,
+        actions: &[DbAction::MetadataIndexing],
+    },
+    ArticleRequirement {
+        article: 22,
+        clause: "Automated individual decision-making",
+        regulates: "Allow customers to withdraw from fully algorithmic decision-making",
+        attributes: &[MetadataField::Decisions],
+        involves_ttl: false,
+        actions: &[DbAction::MetadataIndexing],
+    },
+    ArticleRequirement {
+        article: 25,
+        clause: "Data protection by design and default",
+        regulates: "Safeguard and restrict access to data",
+        attributes: &[],
+        involves_ttl: false,
+        actions: &[DbAction::AccessControl],
+    },
+    ArticleRequirement {
+        article: 28,
+        clause: "Processor",
+        regulates: "Do not grant unlimited access to data",
+        attributes: &[],
+        involves_ttl: false,
+        actions: &[DbAction::AccessControl],
+    },
+    ArticleRequirement {
+        article: 30,
+        clause: "Records of processing activity",
+        regulates: "Audit all operations on personal data",
+        attributes: &[],
+        involves_ttl: false,
+        actions: &[DbAction::MonitorAndLog],
+    },
+    ArticleRequirement {
+        article: 32,
+        clause: "Security of processing",
+        regulates: "Implement appropriate data security",
+        attributes: &[],
+        involves_ttl: false,
+        actions: &[DbAction::Encryption],
+    },
+    ArticleRequirement {
+        article: 33,
+        clause: "Notification of personal data breach",
+        regulates: "Share audit trails from affected systems",
+        attributes: &[],
+        involves_ttl: false,
+        actions: &[DbAction::MonitorAndLog],
+    },
+];
+
+/// Which Table 1 rows a store's feature report satisfies.
+pub fn articles_satisfied_by(report: &FeatureReport) -> Vec<&'static ArticleRequirement> {
+    ARTICLE_MAP
+        .iter()
+        .filter(|req| {
+            req.actions
+                .iter()
+                .all(|a| report.support_for(a.feature()).is_supported())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compliance::FeatureSupport;
+
+    #[test]
+    fn table1_has_twelve_rows() {
+        assert_eq!(ARTICLE_MAP.len(), 12);
+    }
+
+    #[test]
+    fn every_action_family_appears() {
+        use std::collections::HashSet;
+        let actions: HashSet<_> = ARTICLE_MAP
+            .iter()
+            .flat_map(|r| r.actions.iter().copied())
+            .collect();
+        assert_eq!(actions.len(), 5, "all five DB actions must be demanded");
+    }
+
+    #[test]
+    fn articles_match_papers_numbers() {
+        let numbers: Vec<u8> = ARTICLE_MAP.iter().map(|r| r.article).collect();
+        assert_eq!(numbers, vec![5, 5, 13, 15, 17, 21, 22, 25, 28, 30, 32, 33]);
+    }
+
+    #[test]
+    fn full_report_satisfies_all_rows() {
+        let report = FeatureReport {
+            timely_deletion: FeatureSupport::Retrofitted,
+            monitoring_and_logging: FeatureSupport::Retrofitted,
+            metadata_indexing: FeatureSupport::Retrofitted,
+            encryption: FeatureSupport::Retrofitted,
+            access_control: FeatureSupport::Retrofitted,
+        };
+        assert_eq!(articles_satisfied_by(&report).len(), 12);
+    }
+
+    #[test]
+    fn missing_logging_drops_articles_30_and_33() {
+        let report = FeatureReport {
+            timely_deletion: FeatureSupport::Native,
+            monitoring_and_logging: FeatureSupport::Unsupported,
+            metadata_indexing: FeatureSupport::Native,
+            encryption: FeatureSupport::Native,
+            access_control: FeatureSupport::Native,
+        };
+        let satisfied = articles_satisfied_by(&report);
+        assert_eq!(satisfied.len(), 10);
+        assert!(satisfied.iter().all(|r| r.article != 30 && r.article != 33));
+    }
+
+    #[test]
+    fn bare_store_satisfies_nothing() {
+        assert!(articles_satisfied_by(&FeatureReport::default()).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! The five security-centric features a compliant store must support
+//! (§3.2), and the capability report GET-SYSTEM-FEATURES returns (G24, G25).
+
+use std::fmt;
+
+/// One of the paper's five GDPR security features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComplianceFeature {
+    /// G5(1e), G17: expired and erased data must actually go away, promptly.
+    TimelyDeletion,
+    /// G30, G33(3a): audit every data- and control-path operation.
+    MonitoringAndLogging,
+    /// G15-18, G20-22, G25(2), G28(3c), G31: group access via metadata.
+    MetadataIndexing,
+    /// G32: encryption at rest and in transit.
+    Encryption,
+    /// G25(2): fine-grained, dynamic access control.
+    AccessControl,
+}
+
+impl ComplianceFeature {
+    pub const ALL: [ComplianceFeature; 5] = [
+        ComplianceFeature::TimelyDeletion,
+        ComplianceFeature::MonitoringAndLogging,
+        ComplianceFeature::MetadataIndexing,
+        ComplianceFeature::Encryption,
+        ComplianceFeature::AccessControl,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComplianceFeature::TimelyDeletion => "timely-deletion",
+            ComplianceFeature::MonitoringAndLogging => "monitoring-and-logging",
+            ComplianceFeature::MetadataIndexing => "metadata-indexing",
+            ComplianceFeature::Encryption => "encryption",
+            ComplianceFeature::AccessControl => "access-control",
+        }
+    }
+}
+
+impl fmt::Display for ComplianceFeature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a store provides a feature — natively, via external machinery, or
+/// not at all. This mirrors the paper's assessment grid (§5: Redis offers
+/// no native encryption but LUKS+stunnel retrofit it; PostgreSQL has no
+/// native TTL but a daemon retrofits it, etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeatureSupport {
+    /// Implemented inside the store.
+    Native,
+    /// Bolted on (external module, client-side enforcement, daemon, ...).
+    Retrofitted,
+    /// Absent.
+    #[default]
+    Unsupported,
+}
+
+impl FeatureSupport {
+    pub fn is_supported(&self) -> bool {
+        !matches!(self, FeatureSupport::Unsupported)
+    }
+}
+
+/// The capability report a connector returns for GET-SYSTEM-FEATURES.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeatureReport {
+    pub timely_deletion: FeatureSupport,
+    pub monitoring_and_logging: FeatureSupport,
+    pub metadata_indexing: FeatureSupport,
+    pub encryption: FeatureSupport,
+    pub access_control: FeatureSupport,
+}
+
+impl FeatureReport {
+    pub fn support_for(&self, feature: ComplianceFeature) -> FeatureSupport {
+        match feature {
+            ComplianceFeature::TimelyDeletion => self.timely_deletion,
+            ComplianceFeature::MonitoringAndLogging => self.monitoring_and_logging,
+            ComplianceFeature::MetadataIndexing => self.metadata_indexing,
+            ComplianceFeature::Encryption => self.encryption,
+            ComplianceFeature::AccessControl => self.access_control,
+        }
+    }
+
+    /// True when every feature is at least retrofitted.
+    pub fn is_fully_compliant(&self) -> bool {
+        ComplianceFeature::ALL
+            .iter()
+            .all(|f| self.support_for(*f).is_supported())
+    }
+
+    /// Features that are missing entirely.
+    pub fn gaps(&self) -> Vec<ComplianceFeature> {
+        ComplianceFeature::ALL
+            .iter()
+            .copied()
+            .filter(|f| !self.support_for(*f).is_supported())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> FeatureReport {
+        FeatureReport {
+            timely_deletion: FeatureSupport::Retrofitted,
+            monitoring_and_logging: FeatureSupport::Native,
+            metadata_indexing: FeatureSupport::Native,
+            encryption: FeatureSupport::Retrofitted,
+            access_control: FeatureSupport::Retrofitted,
+        }
+    }
+
+    #[test]
+    fn full_report_is_compliant() {
+        assert!(full().is_fully_compliant());
+        assert!(full().gaps().is_empty());
+    }
+
+    #[test]
+    fn default_report_has_all_gaps() {
+        let r = FeatureReport::default();
+        assert!(!r.is_fully_compliant());
+        assert_eq!(r.gaps().len(), 5);
+    }
+
+    #[test]
+    fn single_gap_detected() {
+        let mut r = full();
+        r.encryption = FeatureSupport::Unsupported;
+        assert!(!r.is_fully_compliant());
+        assert_eq!(r.gaps(), vec![ComplianceFeature::Encryption]);
+    }
+
+    #[test]
+    fn support_lookup_matches_fields() {
+        let r = full();
+        assert_eq!(
+            r.support_for(ComplianceFeature::MonitoringAndLogging),
+            FeatureSupport::Native
+        );
+        assert_eq!(
+            r.support_for(ComplianceFeature::TimelyDeletion),
+            FeatureSupport::Retrofitted
+        );
+    }
+}

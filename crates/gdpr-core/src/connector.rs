@@ -1,0 +1,67 @@
+//! The DB interface layer: the trait every database binding implements —
+//! the equivalent of the per-store client stubs in the paper's GDPRbench
+//! architecture (Figure 2b).
+
+use crate::compliance::FeatureReport;
+use crate::error::GdprResult;
+use crate::query::GdprQuery;
+use crate::response::GdprResponse;
+use crate::role::Session;
+
+/// Space accounting for the Table 3 metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpaceReport {
+    /// Bytes of personal data proper (the `<Data>` payloads).
+    pub personal_data_bytes: usize,
+    /// Total bytes the store holds for those records (data + metadata +
+    /// index structures + audit state).
+    pub total_bytes: usize,
+}
+
+impl SpaceReport {
+    /// Total ÷ personal — always > 1 for a GDPR store ("metadata explosion").
+    pub fn overhead_factor(&self) -> f64 {
+        if self.personal_data_bytes == 0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 / self.personal_data_bytes as f64
+    }
+}
+
+/// A GDPR-compliant database binding.
+///
+/// Implementations are expected to:
+/// * enforce [`crate::acl::authorize`] and [`crate::acl::record_visible`]
+///   on every call,
+/// * maintain an audit trail serving `GetSystemLogs`,
+/// * respond to `GetSystemFeatures` with an honest [`FeatureReport`].
+pub trait GdprConnector: Send + Sync {
+    /// Execute one GDPR query under a session.
+    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse>;
+
+    /// The store's compliance capability report.
+    fn features(&self) -> FeatureReport;
+
+    /// Space accounting for the space-overhead metric.
+    fn space_report(&self) -> SpaceReport;
+
+    /// Live personal-data records (DBSIZE-equivalent, for scale experiments).
+    fn record_count(&self) -> usize;
+
+    /// Human-readable connector name (e.g. `redis`, `postgres`,
+    /// `postgres-mi`).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_factor() {
+        let r = SpaceReport { personal_data_bytes: 10, total_bytes: 35 };
+        assert!((r.overhead_factor() - 3.5).abs() < 1e-9);
+        let zero = SpaceReport::default();
+        assert_eq!(zero.overhead_factor(), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+use std::fmt;
+
+/// Errors surfaced by the GDPR layer and its connectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GdprError {
+    /// The session's role (or identity) may not perform this query — the
+    /// access-control matrix of Figure 1.
+    AccessDenied { role: String, query: String, reason: String },
+    /// No record under this key.
+    NotFound(String),
+    /// A record with this key already exists.
+    AlreadyExists(String),
+    /// The record (or its wire form) is malformed.
+    InvalidRecord(String),
+    /// The underlying store rejected or failed the operation.
+    Store(String),
+    /// The query is not supported by this connector/configuration.
+    Unsupported(String),
+}
+
+impl fmt::Display for GdprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdprError::AccessDenied { role, query, reason } => {
+                write!(f, "access denied: role {role} may not {query}: {reason}")
+            }
+            GdprError::NotFound(key) => write!(f, "no record with key {key:?}"),
+            GdprError::AlreadyExists(key) => write!(f, "record {key:?} already exists"),
+            GdprError::InvalidRecord(msg) => write!(f, "invalid record: {msg}"),
+            GdprError::Store(msg) => write!(f, "store error: {msg}"),
+            GdprError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GdprError {}
+
+/// Result alias for the GDPR layer.
+pub type GdprResult<T> = Result<T, GdprError>;

@@ -1,0 +1,47 @@
+//! The GDPR data model, query taxonomy, and compliance layer — the primary
+//! contribution of *Understanding and Benchmarking the Impact of GDPR on
+//! Database Systems* (VLDB 2020), reimplemented as a library.
+//!
+//! The paper's §3 analysis distills GDPR's articles into three demands on a
+//! database system, and this crate provides each as a first-class artifact:
+//!
+//! 1. **Metadata explosion** (§3.1): every personal data item carries seven
+//!    metadata attributes — purpose, time-to-live, objections, audit trail,
+//!    origin/sharing, automated-decision flags, and the associated person.
+//!    [`record::PersonalRecord`] is that representation, and [`wire`]
+//!    implements the paper's §4.2.1 ASCII record format.
+//! 2. **Protection by design** (§3.2): the five security features —
+//!    timely deletion, monitoring/logging, metadata indexing, encryption,
+//!    access control — appear as [`compliance::ComplianceFeature`]s so a
+//!    store's posture is a checkable [`compliance::FeatureReport`].
+//! 3. **GDPR queries** (§3.3): the complete query taxonomy (CREATE-RECORD,
+//!    DELETE-RECORD-BY-*, READ-DATA-BY-*, READ-METADATA-BY-*,
+//!    UPDATE-DATA-BY-KEY, UPDATE-METADATA-BY-*, GET-SYSTEM-*) is
+//!    [`query::GdprQuery`], and [`acl`] enforces which of the four roles
+//!    (controller, customer, processor, regulator — Figure 1) may issue
+//!    which query over whose records.
+//!
+//! Table 1 of the paper — the article-to-attribute/action map — is encoded
+//! verbatim in [`articles`]. Database bindings implement
+//! [`connector::GdprConnector`]; see the `connectors` crate for the Redis-
+//! and PostgreSQL-shaped implementations.
+
+pub mod acl;
+pub mod articles;
+pub mod audit;
+pub mod compliance;
+pub mod connector;
+pub mod error;
+pub mod query;
+pub mod record;
+pub mod response;
+pub mod role;
+pub mod wire;
+
+pub use compliance::{ComplianceFeature, FeatureReport};
+pub use connector::GdprConnector;
+pub use error::GdprError;
+pub use query::{GdprQuery, MetadataField, MetadataUpdate};
+pub use record::{Metadata, PersonalRecord};
+pub use response::GdprResponse;
+pub use role::{Role, Session};

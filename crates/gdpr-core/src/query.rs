@@ -1,0 +1,279 @@
+//! The GDPR query taxonomy (§3.3 of the paper): every control- and data-path
+//! operation the four roles may issue against a personal-data store.
+
+use crate::error::{GdprError, GdprResult};
+use crate::record::{Metadata, PersonalRecord};
+use std::time::Duration;
+
+/// A metadata attribute that can be targeted by an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetadataField {
+    Purposes,
+    Objections,
+    Decisions,
+    Sharing,
+    Source,
+    User,
+}
+
+impl MetadataField {
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetadataField::Purposes => "PUR",
+            MetadataField::Objections => "OBJ",
+            MetadataField::Decisions => "DEC",
+            MetadataField::Sharing => "SHR",
+            MetadataField::Source => "SRC",
+            MetadataField::User => "USR",
+        }
+    }
+}
+
+/// A single metadata mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetadataUpdate {
+    /// Add a value to a list attribute (e.g. record a new objection, G21;
+    /// register an automated decision, G22.3; add a sharing entry, G13.3).
+    Add(MetadataField, String),
+    /// Remove a value from a list attribute (e.g. withdraw consent for a
+    /// purpose, G7.3).
+    Remove(MetadataField, String),
+    /// Replace a scalar attribute (USR or SRC).
+    SetScalar(MetadataField, String),
+    /// Change the record's time-to-live.
+    SetTtl(Duration),
+}
+
+impl MetadataUpdate {
+    /// Apply to a metadata block.
+    pub fn apply(&self, m: &mut Metadata) -> GdprResult<()> {
+        match self {
+            MetadataUpdate::Add(field, value) => {
+                let list = list_of(m, *field)?;
+                if !list.contains(value) {
+                    list.push(value.clone());
+                }
+                Ok(())
+            }
+            MetadataUpdate::Remove(field, value) => {
+                let list = list_of(m, *field)?;
+                list.retain(|v| v != value);
+                Ok(())
+            }
+            MetadataUpdate::SetScalar(field, value) => {
+                match field {
+                    MetadataField::User => m.user = value.clone(),
+                    MetadataField::Source => m.source = value.clone(),
+                    other => {
+                        return Err(GdprError::InvalidRecord(format!(
+                            "{} is not a scalar attribute",
+                            other.name()
+                        )))
+                    }
+                }
+                Ok(())
+            }
+            MetadataUpdate::SetTtl(ttl) => {
+                m.ttl = Some(*ttl);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn list_of(m: &mut Metadata, field: MetadataField) -> GdprResult<&mut Vec<String>> {
+    Ok(match field {
+        MetadataField::Purposes => &mut m.purposes,
+        MetadataField::Objections => &mut m.objections,
+        MetadataField::Decisions => &mut m.decisions,
+        MetadataField::Sharing => &mut m.sharing,
+        other => {
+            return Err(GdprError::InvalidRecord(format!(
+                "{} is not a list attribute",
+                other.name()
+            )))
+        }
+    })
+}
+
+/// A GDPR query. Grouping and naming follow §3.3 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdprQuery {
+    /// CREATE-RECORD (G24): controller inserts a record with metadata.
+    CreateRecord(PersonalRecord),
+
+    /// DELETE-RECORD-BY-KEY (G17): erase one record.
+    DeleteByKey(String),
+    /// DELETE-RECORD-BY-PUR (G5.1b): erase records of a completed purpose.
+    DeleteByPurpose(String),
+    /// DELETE-RECORD-BY-TTL (G5.1e): purge expired records.
+    DeleteExpired,
+    /// DELETE-RECORD-BY-USR: erase all records of one person.
+    DeleteByUser(String),
+
+    /// READ-DATA-BY-KEY (G28): processor fetches one data item.
+    ReadDataByKey(String),
+    /// READ-DATA-BY-PUR (G28): data usable for a purpose.
+    ReadDataByPurpose(String),
+    /// READ-DATA-BY-USR (G20): all of a person's data (portability).
+    ReadDataByUser(String),
+    /// READ-DATA-BY-OBJ (G21.3): data *not* objecting to a usage.
+    ReadDataNotObjecting(String),
+    /// READ-DATA-BY-DEC (G22): data eligible for automated decision-making.
+    ReadDataDecisionEligible,
+
+    /// READ-METADATA-BY-KEY (G15): metadata of one record.
+    ReadMetadataByKey(String),
+    /// READ-METADATA-BY-USR (G15): metadata of a person's records.
+    ReadMetadataByUser(String),
+    /// READ-METADATA-BY-SHR (G13.1): records shared with a third party.
+    ReadMetadataBySharedWith(String),
+
+    /// UPDATE-DATA-BY-KEY (G16): rectify the data payload.
+    UpdateDataByKey { key: String, data: String },
+
+    /// UPDATE-METADATA-BY-KEY (G18.1, G7.3): mutate one record's metadata.
+    UpdateMetadataByKey { key: String, update: MetadataUpdate },
+    /// UPDATE-METADATA-BY-PUR (G13.3): mutate metadata of a purpose group.
+    UpdateMetadataByPurpose { purpose: String, update: MetadataUpdate },
+    /// UPDATE-METADATA-BY-USR (G22.3): mutate metadata of a person's records.
+    UpdateMetadataByUser { user: String, update: MetadataUpdate },
+
+    /// GET-SYSTEM-LOGS (G33, G34): audit log for a time range (ms).
+    GetSystemLogs { from_ms: u64, to_ms: u64 },
+    /// GET-SYSTEM-FEATURES (G24, G25): supported security capabilities.
+    GetSystemFeatures,
+    /// verify-deletion: regulator confirms a key is really gone (G17).
+    VerifyDeletion(String),
+}
+
+impl GdprQuery {
+    /// The benchmark name of this query class.
+    pub fn name(&self) -> &'static str {
+        use GdprQuery::*;
+        match self {
+            CreateRecord(_) => "create-record",
+            DeleteByKey(_) => "delete-record-by-key",
+            DeleteByPurpose(_) => "delete-record-by-pur",
+            DeleteExpired => "delete-record-by-ttl",
+            DeleteByUser(_) => "delete-record-by-usr",
+            ReadDataByKey(_) => "read-data-by-key",
+            ReadDataByPurpose(_) => "read-data-by-pur",
+            ReadDataByUser(_) => "read-data-by-usr",
+            ReadDataNotObjecting(_) => "read-data-by-obj",
+            ReadDataDecisionEligible => "read-data-by-dec",
+            ReadMetadataByKey(_) => "read-metadata-by-key",
+            ReadMetadataByUser(_) => "read-metadata-by-usr",
+            ReadMetadataBySharedWith(_) => "read-metadata-by-shr",
+            UpdateDataByKey { .. } => "update-data-by-key",
+            UpdateMetadataByKey { .. } => "update-metadata-by-key",
+            UpdateMetadataByPurpose { .. } => "update-metadata-by-pur",
+            UpdateMetadataByUser { .. } => "update-metadata-by-usr",
+            GetSystemLogs { .. } => "get-system-logs",
+            GetSystemFeatures => "get-system-features",
+            VerifyDeletion(_) => "verify-deletion",
+        }
+    }
+
+    /// Does the query mutate the store?
+    pub fn is_write(&self) -> bool {
+        use GdprQuery::*;
+        matches!(
+            self,
+            CreateRecord(_)
+                | DeleteByKey(_)
+                | DeleteByPurpose(_)
+                | DeleteExpired
+                | DeleteByUser(_)
+                | UpdateDataByKey { .. }
+                | UpdateMetadataByKey { .. }
+                | UpdateMetadataByPurpose { .. }
+                | UpdateMetadataByUser { .. }
+        )
+    }
+
+    /// Is this a metadata-conditioned operation (rather than a plain key
+    /// lookup)? The paper's observation is that GDPR workloads are heavily
+    /// skewed toward these.
+    pub fn is_metadata_based(&self) -> bool {
+        use GdprQuery::*;
+        !matches!(
+            self,
+            CreateRecord(_)
+                | DeleteByKey(_)
+                | ReadDataByKey(_)
+                | UpdateDataByKey { .. }
+                | GetSystemLogs { .. }
+                | GetSystemFeatures
+                | VerifyDeletion(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_add_and_remove_on_lists() {
+        let mut m = Metadata::default();
+        MetadataUpdate::Add(MetadataField::Objections, "ads".into())
+            .apply(&mut m)
+            .unwrap();
+        MetadataUpdate::Add(MetadataField::Objections, "ads".into())
+            .apply(&mut m)
+            .unwrap();
+        assert_eq!(m.objections, vec!["ads"], "add must be idempotent");
+        MetadataUpdate::Remove(MetadataField::Objections, "ads".into())
+            .apply(&mut m)
+            .unwrap();
+        assert!(m.objections.is_empty());
+    }
+
+    #[test]
+    fn update_scalars_and_ttl() {
+        let mut m = Metadata::default();
+        MetadataUpdate::SetScalar(MetadataField::Source, "third-party".into())
+            .apply(&mut m)
+            .unwrap();
+        assert_eq!(m.source, "third-party");
+        MetadataUpdate::SetTtl(Duration::from_secs(60))
+            .apply(&mut m)
+            .unwrap();
+        assert_eq!(m.ttl, Some(Duration::from_secs(60)));
+    }
+
+    #[test]
+    fn update_type_errors() {
+        let mut m = Metadata::default();
+        assert!(MetadataUpdate::Add(MetadataField::User, "x".into())
+            .apply(&mut m)
+            .is_err());
+        assert!(
+            MetadataUpdate::SetScalar(MetadataField::Purposes, "x".into())
+                .apply(&mut m)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn names_cover_the_paper_taxonomy() {
+        let q = GdprQuery::DeleteExpired;
+        assert_eq!(q.name(), "delete-record-by-ttl");
+        assert_eq!(GdprQuery::GetSystemFeatures.name(), "get-system-features");
+        assert_eq!(
+            GdprQuery::ReadDataNotObjecting("ads".into()).name(),
+            "read-data-by-obj"
+        );
+    }
+
+    #[test]
+    fn write_and_metadata_classification() {
+        assert!(GdprQuery::DeleteByUser("u".into()).is_write());
+        assert!(!GdprQuery::ReadDataByKey("k".into()).is_write());
+        assert!(GdprQuery::ReadDataByPurpose("p".into()).is_metadata_based());
+        assert!(!GdprQuery::ReadDataByKey("k".into()).is_metadata_based());
+        assert!(GdprQuery::DeleteExpired.is_metadata_based());
+        assert!(!GdprQuery::VerifyDeletion("k".into()).is_metadata_based());
+    }
+}

@@ -1,0 +1,97 @@
+//! Responses to GDPR queries.
+
+use crate::compliance::FeatureReport;
+use crate::record::{Metadata, PersonalRecord};
+
+/// One audit/system log line returned to a regulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogLine {
+    pub timestamp_ms: u64,
+    pub actor: String,
+    pub operation: String,
+    pub detail: String,
+}
+
+/// The response to a [`crate::GdprQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdprResponse {
+    /// CREATE-RECORD succeeded.
+    Created,
+    /// Deletion removed this many records.
+    Deleted(usize),
+    /// Full records (key + data + metadata).
+    Records(Vec<PersonalRecord>),
+    /// Data-only pairs `(key, data)` — what processors see.
+    Data(Vec<(String, String)>),
+    /// Metadata-only pairs `(key, metadata)` — what regulators see.
+    Metadata(Vec<(String, Metadata)>),
+    /// Update touched this many records.
+    Updated(usize),
+    /// System log lines for a time range.
+    Logs(Vec<LogLine>),
+    /// Capability report (GET-SYSTEM-FEATURES).
+    Features(FeatureReport),
+    /// verify-deletion: true iff the key is gone.
+    DeletionVerified(bool),
+}
+
+impl GdprResponse {
+    /// Records/rows conveyed, for stats and correctness accounting.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            GdprResponse::Created => 1,
+            GdprResponse::Deleted(n) | GdprResponse::Updated(n) => *n,
+            GdprResponse::Records(v) => v.len(),
+            GdprResponse::Data(v) => v.len(),
+            GdprResponse::Metadata(v) => v.len(),
+            GdprResponse::Logs(v) => v.len(),
+            GdprResponse::Features(_) => 1,
+            GdprResponse::DeletionVerified(_) => 1,
+        }
+    }
+
+    pub fn as_data(&self) -> Option<&[(String, String)]> {
+        match self {
+            GdprResponse::Data(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_records(&self) -> Option<&[PersonalRecord]> {
+        match self {
+            GdprResponse::Records(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_metadata(&self) -> Option<&[(String, Metadata)]> {
+        match self {
+            GdprResponse::Metadata(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities() {
+        assert_eq!(GdprResponse::Created.cardinality(), 1);
+        assert_eq!(GdprResponse::Deleted(7).cardinality(), 7);
+        assert_eq!(
+            GdprResponse::Data(vec![("k".into(), "v".into())]).cardinality(),
+            1
+        );
+        assert_eq!(GdprResponse::DeletionVerified(true).cardinality(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = GdprResponse::Data(vec![("k".into(), "v".into())]);
+        assert!(r.as_data().is_some());
+        assert!(r.as_records().is_none());
+        assert!(r.as_metadata().is_none());
+    }
+}

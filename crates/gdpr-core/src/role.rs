@@ -1,0 +1,105 @@
+//! The four GDPR roles and the session identity a query executes under
+//! (Figure 1 of the paper).
+
+use std::fmt;
+
+/// Who is talking to the datastore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Collects and manages personal data (e.g. Netflix).
+    Controller,
+    /// The data subject exercising GDPR rights over their own records.
+    Customer,
+    /// Processes personal data on the controller's behalf (e.g. a cloud
+    /// MapReduce service).
+    Processor,
+    /// Supervisory authority investigating complaints.
+    Regulator,
+}
+
+impl Role {
+    pub const ALL: [Role; 4] = [
+        Role::Controller,
+        Role::Customer,
+        Role::Processor,
+        Role::Regulator,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Role::Controller => "controller",
+            Role::Customer => "customer",
+            Role::Processor => "processor",
+            Role::Regulator => "regulator",
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An authenticated session: a role plus, where relevant, an identity.
+///
+/// * Customers carry their user id — they may only touch their own records.
+/// * Processors carry the purpose they are processing under (G28: access
+///   only with requisite purpose).
+/// * Controllers and regulators act under their role alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    pub role: Role,
+    /// The customer's user id (required for [`Role::Customer`]).
+    pub user: Option<String>,
+    /// The processing purpose (required for [`Role::Processor`] data reads).
+    pub purpose: Option<String>,
+}
+
+impl Session {
+    pub fn controller() -> Session {
+        Session { role: Role::Controller, user: None, purpose: None }
+    }
+
+    pub fn customer(user: impl Into<String>) -> Session {
+        Session {
+            role: Role::Customer,
+            user: Some(user.into()),
+            purpose: None,
+        }
+    }
+
+    pub fn processor(purpose: impl Into<String>) -> Session {
+        Session {
+            role: Role::Processor,
+            user: None,
+            purpose: Some(purpose.into()),
+        }
+    }
+
+    pub fn regulator() -> Session {
+        Session { role: Role::Regulator, user: None, purpose: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_identities() {
+        assert_eq!(Session::controller().role, Role::Controller);
+        let c = Session::customer("neo");
+        assert_eq!(c.role, Role::Customer);
+        assert_eq!(c.user.as_deref(), Some("neo"));
+        let p = Session::processor("ads");
+        assert_eq!(p.purpose.as_deref(), Some("ads"));
+        assert_eq!(Session::regulator().role, Role::Regulator);
+    }
+
+    #[test]
+    fn role_names() {
+        assert_eq!(Role::Controller.to_string(), "controller");
+        assert_eq!(Role::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,1306 @@
+//! The command set: typed commands, their wire (RESP) form, and their
+//! execution against the keyspace.
+//!
+//! This mirrors Redis' dispatch table: each command knows its name, whether
+//! it mutates the keyspace (and therefore must be AOF-logged), its RESP
+//! encoding (for the AOF and the encrypted transit boundary), and how to
+//! apply itself to a [`Db`].
+
+use crate::db::Db;
+use crate::error::{KvError, KvResult};
+use crate::rng::XorShift64;
+use crate::value::{Value, ZSet};
+use bytes::Bytes;
+use clock::Timestamp;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Duration;
+
+/// A reply from the store — the RESP reply universe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `+OK`
+    Ok,
+    /// Null bulk string.
+    Nil,
+    /// `:n`
+    Int(i64),
+    /// `$len\r\n...`
+    Bulk(Bytes),
+    /// `*n` of nested replies.
+    Array(Vec<Reply>),
+}
+
+impl Reply {
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Reply::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bulk(&self) -> Option<&Bytes> {
+        match self {
+            Reply::Bulk(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Reply]> {
+        match self {
+            Reply::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Reply::Nil)
+    }
+
+    /// RESP-encode this reply (for the encrypted transit boundary).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Reply::Ok => out.extend_from_slice(b"+OK\r\n"),
+            Reply::Nil => out.extend_from_slice(b"$-1\r\n"),
+            Reply::Int(n) => out.extend_from_slice(format!(":{n}\r\n").as_bytes()),
+            Reply::Bulk(b) => {
+                out.extend_from_slice(format!("${}\r\n", b.len()).as_bytes());
+                out.extend_from_slice(b);
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Array(items) => {
+                out.extend_from_slice(format!("*{}\r\n", items.len()).as_bytes());
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+        }
+    }
+}
+
+/// A typed store command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    // --- strings / generic ---
+    Set {
+        key: Bytes,
+        value: Bytes,
+        expire: Option<Duration>,
+    },
+    Get { key: Bytes },
+    Del { keys: Vec<Bytes> },
+    Exists { keys: Vec<Bytes> },
+    Expire { key: Bytes, ttl: Duration },
+    /// Absolute-deadline expiry (what the AOF logs, as Redis logs PEXPIREAT).
+    ExpireAt { key: Bytes, at_ms: u64 },
+    Ttl { key: Bytes },
+    Persist { key: Bytes },
+    TypeOf { key: Bytes },
+    Keys { pattern: Bytes },
+    Scan {
+        cursor: usize,
+        count: usize,
+        pattern: Option<Bytes>,
+    },
+    RandomKey,
+    DbSize,
+    FlushAll,
+    IncrBy { key: Bytes, delta: i64 },
+    Append { key: Bytes, value: Bytes },
+    Strlen { key: Bytes },
+    // --- hashes ---
+    HSet { key: Bytes, pairs: Vec<(Bytes, Bytes)> },
+    HGet { key: Bytes, field: Bytes },
+    HGetAll { key: Bytes },
+    HDel { key: Bytes, fields: Vec<Bytes> },
+    HLen { key: Bytes },
+    HExists { key: Bytes, field: Bytes },
+    // --- sets ---
+    SAdd { key: Bytes, members: Vec<Bytes> },
+    SRem { key: Bytes, members: Vec<Bytes> },
+    SMembers { key: Bytes },
+    SIsMember { key: Bytes, member: Bytes },
+    SCard { key: Bytes },
+    // --- lists ---
+    LPush { key: Bytes, values: Vec<Bytes> },
+    RPush { key: Bytes, values: Vec<Bytes> },
+    LPop { key: Bytes },
+    RPop { key: Bytes },
+    LRange { key: Bytes, start: i64, stop: i64 },
+    LLen { key: Bytes },
+    // --- sorted sets ---
+    ZAdd { key: Bytes, entries: Vec<(f64, Bytes)> },
+    ZRem { key: Bytes, members: Vec<Bytes> },
+    ZScore { key: Bytes, member: Bytes },
+    ZCard { key: Bytes },
+    ZRangeByScore {
+        key: Bytes,
+        min: f64,
+        max: f64,
+        /// `LIMIT 0 n` — cap on members returned.
+        limit: Option<usize>,
+    },
+    ZRange { key: Bytes, start: i64, stop: i64 },
+}
+
+impl Command {
+    /// The command's wire name.
+    pub fn name(&self) -> &'static str {
+        use Command::*;
+        match self {
+            Set { .. } => "SET",
+            Get { .. } => "GET",
+            Del { .. } => "DEL",
+            Exists { .. } => "EXISTS",
+            Expire { .. } => "EXPIRE",
+            ExpireAt { .. } => "EXPIREAT",
+            Ttl { .. } => "TTL",
+            Persist { .. } => "PERSIST",
+            TypeOf { .. } => "TYPE",
+            Keys { .. } => "KEYS",
+            Scan { .. } => "SCAN",
+            RandomKey => "RANDOMKEY",
+            DbSize => "DBSIZE",
+            FlushAll => "FLUSHALL",
+            IncrBy { .. } => "INCRBY",
+            Append { .. } => "APPEND",
+            Strlen { .. } => "STRLEN",
+            HSet { .. } => "HSET",
+            HGet { .. } => "HGET",
+            HGetAll { .. } => "HGETALL",
+            HDel { .. } => "HDEL",
+            HLen { .. } => "HLEN",
+            HExists { .. } => "HEXISTS",
+            SAdd { .. } => "SADD",
+            SRem { .. } => "SREM",
+            SMembers { .. } => "SMEMBERS",
+            SIsMember { .. } => "SISMEMBER",
+            SCard { .. } => "SCARD",
+            LPush { .. } => "LPUSH",
+            RPush { .. } => "RPUSH",
+            LPop { .. } => "LPOP",
+            RPop { .. } => "RPOP",
+            LRange { .. } => "LRANGE",
+            LLen { .. } => "LLEN",
+            ZAdd { .. } => "ZADD",
+            ZRem { .. } => "ZREM",
+            ZScore { .. } => "ZSCORE",
+            ZCard { .. } => "ZCARD",
+            ZRangeByScore { .. } => "ZRANGEBYSCORE",
+            ZRange { .. } => "ZRANGE",
+        }
+    }
+
+    /// Does this command mutate the keyspace? Mutating commands are always
+    /// AOF-logged; read commands only under GDPR read-logging.
+    pub fn is_write(&self) -> bool {
+        use Command::*;
+        matches!(
+            self,
+            Set { .. }
+                | Del { .. }
+                | Expire { .. }
+                | ExpireAt { .. }
+                | Persist { .. }
+                | FlushAll
+                | IncrBy { .. }
+                | Append { .. }
+                | HSet { .. }
+                | HDel { .. }
+                | SAdd { .. }
+                | SRem { .. }
+                | LPush { .. }
+                | RPush { .. }
+                | LPop { .. }
+                | RPop { .. }
+                | ZAdd { .. }
+                | ZRem { .. }
+        )
+    }
+
+    /// Wire (RESP array) form: command name followed by arguments.
+    pub fn to_wire(&self) -> Vec<Bytes> {
+        use Command::*;
+        let s = |t: &str| Bytes::copy_from_slice(t.as_bytes());
+        let mut parts = vec![s(self.name())];
+        match self {
+            Set { key, value, expire } => {
+                parts.push(key.clone());
+                parts.push(value.clone());
+                if let Some(d) = expire {
+                    parts.push(s("PX"));
+                    parts.push(s(&d.as_millis().to_string()));
+                }
+            }
+            Get { key } | Ttl { key } | Persist { key } | TypeOf { key } | Strlen { key }
+            | HGetAll { key } | HLen { key } | SMembers { key } | SCard { key }
+            | LPop { key } | RPop { key } | LLen { key } | ZCard { key } => {
+                parts.push(key.clone());
+            }
+            Del { keys } | Exists { keys } => parts.extend(keys.iter().cloned()),
+            Expire { key, ttl } => {
+                parts.push(key.clone());
+                parts.push(s(&ttl.as_millis().to_string()));
+            }
+            ExpireAt { key, at_ms } => {
+                parts.push(key.clone());
+                parts.push(s(&at_ms.to_string()));
+            }
+            Keys { pattern } => parts.push(pattern.clone()),
+            Scan { cursor, count, pattern } => {
+                parts.push(s(&cursor.to_string()));
+                parts.push(s("COUNT"));
+                parts.push(s(&count.to_string()));
+                if let Some(p) = pattern {
+                    parts.push(s("MATCH"));
+                    parts.push(p.clone());
+                }
+            }
+            RandomKey | DbSize | FlushAll => {}
+            IncrBy { key, delta } => {
+                parts.push(key.clone());
+                parts.push(s(&delta.to_string()));
+            }
+            Append { key, value } => {
+                parts.push(key.clone());
+                parts.push(value.clone());
+            }
+            HSet { key, pairs } => {
+                parts.push(key.clone());
+                for (f, v) in pairs {
+                    parts.push(f.clone());
+                    parts.push(v.clone());
+                }
+            }
+            HGet { key, field } | HExists { key, field } => {
+                parts.push(key.clone());
+                parts.push(field.clone());
+            }
+            HDel { key, fields } => {
+                parts.push(key.clone());
+                parts.extend(fields.iter().cloned());
+            }
+            SAdd { key, members } | SRem { key, members } | ZRem { key, members } => {
+                parts.push(key.clone());
+                parts.extend(members.iter().cloned());
+            }
+            SIsMember { key, member } | ZScore { key, member } => {
+                parts.push(key.clone());
+                parts.push(member.clone());
+            }
+            LPush { key, values } | RPush { key, values } => {
+                parts.push(key.clone());
+                parts.extend(values.iter().cloned());
+            }
+            LRange { key, start, stop } | ZRange { key, start, stop } => {
+                parts.push(key.clone());
+                parts.push(s(&start.to_string()));
+                parts.push(s(&stop.to_string()));
+            }
+            ZAdd { key, entries } => {
+                parts.push(key.clone());
+                for (score, member) in entries {
+                    parts.push(s(&score.to_string()));
+                    parts.push(member.clone());
+                }
+            }
+            ZRangeByScore { key, min, max, limit } => {
+                parts.push(key.clone());
+                parts.push(s(&min.to_string()));
+                parts.push(s(&max.to_string()));
+                if let Some(n) = limit {
+                    parts.push(s("LIMIT"));
+                    parts.push(s("0"));
+                    parts.push(s(&n.to_string()));
+                }
+            }
+        }
+        parts
+    }
+
+    /// Parse a wire-form command (used by AOF replay).
+    pub fn from_wire(parts: &[Bytes]) -> KvResult<Command> {
+        use Command::*;
+        let name = parts
+            .first()
+            .ok_or_else(|| KvError::Syntax("empty command".into()))?;
+        let name = std::str::from_utf8(name)
+            .map_err(|_| KvError::Syntax("non-utf8 command name".into()))?
+            .to_ascii_uppercase();
+        let args = &parts[1..];
+        let arity = |n: usize| -> KvResult<()> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(KvError::Syntax(format!(
+                    "{name} expects {n} args, got {}",
+                    args.len()
+                )))
+            }
+        };
+        let at_least = |n: usize| -> KvResult<()> {
+            if args.len() >= n {
+                Ok(())
+            } else {
+                Err(KvError::Syntax(format!(
+                    "{name} expects at least {n} args, got {}",
+                    args.len()
+                )))
+            }
+        };
+        Ok(match name.as_str() {
+            "SET" => {
+                at_least(2)?;
+                let expire = if args.len() >= 4 {
+                    let unit = std::str::from_utf8(&args[2]).unwrap_or("");
+                    let n = parse_u64(&args[3])?;
+                    match unit.to_ascii_uppercase().as_str() {
+                        "PX" => Some(Duration::from_millis(n)),
+                        "EX" => Some(Duration::from_secs(n)),
+                        other => return Err(KvError::Syntax(format!("bad SET option {other}"))),
+                    }
+                } else {
+                    None
+                };
+                Set {
+                    key: args[0].clone(),
+                    value: args[1].clone(),
+                    expire,
+                }
+            }
+            "GET" => {
+                arity(1)?;
+                Get { key: args[0].clone() }
+            }
+            "DEL" => {
+                at_least(1)?;
+                Del { keys: args.to_vec() }
+            }
+            "EXISTS" => {
+                at_least(1)?;
+                Exists { keys: args.to_vec() }
+            }
+            "EXPIRE" => {
+                arity(2)?;
+                Expire {
+                    key: args[0].clone(),
+                    ttl: Duration::from_millis(parse_u64(&args[1])?),
+                }
+            }
+            "EXPIREAT" => {
+                arity(2)?;
+                ExpireAt {
+                    key: args[0].clone(),
+                    at_ms: parse_u64(&args[1])?,
+                }
+            }
+            "TTL" => {
+                arity(1)?;
+                Ttl { key: args[0].clone() }
+            }
+            "PERSIST" => {
+                arity(1)?;
+                Persist { key: args[0].clone() }
+            }
+            "TYPE" => {
+                arity(1)?;
+                TypeOf { key: args[0].clone() }
+            }
+            "KEYS" => {
+                arity(1)?;
+                Keys { pattern: args[0].clone() }
+            }
+            "SCAN" => {
+                at_least(1)?;
+                let cursor = parse_u64(&args[0])? as usize;
+                let mut count = 10usize;
+                let mut pattern = None;
+                let mut i = 1;
+                while i + 1 < args.len() + 1 && i < args.len() {
+                    let opt = std::str::from_utf8(&args[i]).unwrap_or("").to_ascii_uppercase();
+                    match opt.as_str() {
+                        "COUNT" => {
+                            count = parse_u64(args.get(i + 1).ok_or_else(|| {
+                                KvError::Syntax("COUNT missing value".into())
+                            })?)? as usize;
+                            i += 2;
+                        }
+                        "MATCH" => {
+                            pattern = Some(
+                                args.get(i + 1)
+                                    .ok_or_else(|| KvError::Syntax("MATCH missing value".into()))?
+                                    .clone(),
+                            );
+                            i += 2;
+                        }
+                        other => return Err(KvError::Syntax(format!("bad SCAN option {other}"))),
+                    }
+                }
+                Scan { cursor, count, pattern }
+            }
+            "RANDOMKEY" => RandomKey,
+            "DBSIZE" => DbSize,
+            "FLUSHALL" => FlushAll,
+            "INCRBY" => {
+                arity(2)?;
+                IncrBy {
+                    key: args[0].clone(),
+                    delta: parse_i64(&args[1])?,
+                }
+            }
+            "APPEND" => {
+                arity(2)?;
+                Append {
+                    key: args[0].clone(),
+                    value: args[1].clone(),
+                }
+            }
+            "STRLEN" => {
+                arity(1)?;
+                Strlen { key: args[0].clone() }
+            }
+            "HSET" => {
+                at_least(3)?;
+                if args.len() % 2 != 1 {
+                    return Err(KvError::Syntax("HSET needs field/value pairs".into()));
+                }
+                HSet {
+                    key: args[0].clone(),
+                    pairs: args[1..]
+                        .chunks_exact(2)
+                        .map(|c| (c[0].clone(), c[1].clone()))
+                        .collect(),
+                }
+            }
+            "HGET" => {
+                arity(2)?;
+                HGet {
+                    key: args[0].clone(),
+                    field: args[1].clone(),
+                }
+            }
+            "HGETALL" => {
+                arity(1)?;
+                HGetAll { key: args[0].clone() }
+            }
+            "HDEL" => {
+                at_least(2)?;
+                HDel {
+                    key: args[0].clone(),
+                    fields: args[1..].to_vec(),
+                }
+            }
+            "HLEN" => {
+                arity(1)?;
+                HLen { key: args[0].clone() }
+            }
+            "HEXISTS" => {
+                arity(2)?;
+                HExists {
+                    key: args[0].clone(),
+                    field: args[1].clone(),
+                }
+            }
+            "SADD" => {
+                at_least(2)?;
+                SAdd {
+                    key: args[0].clone(),
+                    members: args[1..].to_vec(),
+                }
+            }
+            "SREM" => {
+                at_least(2)?;
+                SRem {
+                    key: args[0].clone(),
+                    members: args[1..].to_vec(),
+                }
+            }
+            "SMEMBERS" => {
+                arity(1)?;
+                SMembers { key: args[0].clone() }
+            }
+            "SISMEMBER" => {
+                arity(2)?;
+                SIsMember {
+                    key: args[0].clone(),
+                    member: args[1].clone(),
+                }
+            }
+            "SCARD" => {
+                arity(1)?;
+                SCard { key: args[0].clone() }
+            }
+            "LPUSH" => {
+                at_least(2)?;
+                LPush {
+                    key: args[0].clone(),
+                    values: args[1..].to_vec(),
+                }
+            }
+            "RPUSH" => {
+                at_least(2)?;
+                RPush {
+                    key: args[0].clone(),
+                    values: args[1..].to_vec(),
+                }
+            }
+            "LPOP" => {
+                arity(1)?;
+                LPop { key: args[0].clone() }
+            }
+            "RPOP" => {
+                arity(1)?;
+                RPop { key: args[0].clone() }
+            }
+            "LRANGE" => {
+                arity(3)?;
+                LRange {
+                    key: args[0].clone(),
+                    start: parse_i64(&args[1])?,
+                    stop: parse_i64(&args[2])?,
+                }
+            }
+            "LLEN" => {
+                arity(1)?;
+                LLen { key: args[0].clone() }
+            }
+            "ZADD" => {
+                at_least(3)?;
+                if args.len() % 2 != 1 {
+                    return Err(KvError::Syntax("ZADD needs score/member pairs".into()));
+                }
+                ZAdd {
+                    key: args[0].clone(),
+                    entries: args[1..]
+                        .chunks_exact(2)
+                        .map(|c| Ok((parse_f64(&c[0])?, c[1].clone())))
+                        .collect::<KvResult<_>>()?,
+                }
+            }
+            "ZREM" => {
+                at_least(2)?;
+                ZRem {
+                    key: args[0].clone(),
+                    members: args[1..].to_vec(),
+                }
+            }
+            "ZSCORE" => {
+                arity(2)?;
+                ZScore {
+                    key: args[0].clone(),
+                    member: args[1].clone(),
+                }
+            }
+            "ZCARD" => {
+                arity(1)?;
+                ZCard { key: args[0].clone() }
+            }
+            "ZRANGEBYSCORE" => {
+                at_least(3)?;
+                let limit = if args.len() == 6 {
+                    Some(parse_u64(&args[5])? as usize)
+                } else if args.len() == 3 {
+                    None
+                } else {
+                    return Err(KvError::Syntax("ZRANGEBYSCORE takes 3 args or LIMIT 0 n".into()));
+                };
+                ZRangeByScore {
+                    key: args[0].clone(),
+                    min: parse_f64(&args[1])?,
+                    max: parse_f64(&args[2])?,
+                    limit,
+                }
+            }
+            "ZRANGE" => {
+                arity(3)?;
+                ZRange {
+                    key: args[0].clone(),
+                    start: parse_i64(&args[1])?,
+                    stop: parse_i64(&args[2])?,
+                }
+            }
+            other => return Err(KvError::Syntax(format!("unknown command {other}"))),
+        })
+    }
+
+    /// Execute against a keyspace. `rng` serves RANDOMKEY.
+    pub fn execute(&self, db: &mut Db, rng: &mut XorShift64) -> KvResult<Reply> {
+        use Command::*;
+        Ok(match self {
+            Set { key, value, expire } => {
+                db.set(key.clone(), Value::Str(value.clone()));
+                if let Some(d) = expire {
+                    let at = db.clock().now() + *d;
+                    db.set_expiry(key, at);
+                }
+                Reply::Ok
+            }
+            Get { key } => match db.get(key) {
+                Some(v) => Reply::Bulk(v.as_str()?.clone()),
+                None => Reply::Nil,
+            },
+            Del { keys } => {
+                let mut n = 0;
+                for key in keys {
+                    if db.remove(key) {
+                        n += 1;
+                    }
+                }
+                Reply::Int(n)
+            }
+            Exists { keys } => {
+                let mut n = 0;
+                for key in keys {
+                    if db.exists(key) {
+                        n += 1;
+                    }
+                }
+                Reply::Int(n)
+            }
+            Expire { key, ttl } => {
+                let at = db.clock().now() + *ttl;
+                Reply::Int(db.set_expiry(key, at) as i64)
+            }
+            ExpireAt { key, at_ms } => {
+                Reply::Int(db.set_expiry(key, Timestamp::from_millis(*at_ms)) as i64)
+            }
+            Ttl { key } => match db.ttl(key) {
+                None => Reply::Int(-2),
+                Some(None) => Reply::Int(-1),
+                Some(Some(d)) => Reply::Int(d.as_secs() as i64),
+            },
+            Persist { key } => Reply::Int(db.clear_expiry(key) as i64),
+            TypeOf { key } => match db.get(key) {
+                Some(v) => Reply::Bulk(Bytes::copy_from_slice(v.type_name().as_bytes())),
+                None => Reply::Bulk(Bytes::from_static(b"none")),
+            },
+            Keys { pattern } => {
+                Reply::Array(db.keys_matching(pattern).into_iter().map(Reply::Bulk).collect())
+            }
+            Scan { cursor, count, pattern } => {
+                let (keys, next) = db.scan(*cursor, *count, pattern.as_deref());
+                Reply::Array(vec![
+                    Reply::Int(next as i64),
+                    Reply::Array(keys.into_iter().map(Reply::Bulk).collect()),
+                ])
+            }
+            RandomKey => match db.random_key(rng) {
+                Some(k) => Reply::Bulk(k),
+                None => Reply::Nil,
+            },
+            DbSize => Reply::Int(db.len() as i64),
+            FlushAll => {
+                db.flush();
+                Reply::Ok
+            }
+            IncrBy { key, delta } => {
+                let current = match db.get(key) {
+                    Some(v) => parse_i64(v.as_str()?)?,
+                    None => 0,
+                };
+                let next = current
+                    .checked_add(*delta)
+                    .ok_or_else(|| KvError::Syntax("increment overflow".into()))?;
+                // INCR preserves any TTL (unlike SET).
+                let expiry = db.expiry_of(key);
+                db.set(key.clone(), Value::Str(Bytes::from(next.to_string())));
+                if let Some(at) = expiry {
+                    db.set_expiry(key, at);
+                }
+                Reply::Int(next)
+            }
+            Append { key, value } => {
+                let existing = match db.get(key) {
+                    Some(v) => v.as_str()?.to_vec(),
+                    None => Vec::new(),
+                };
+                let mut combined = existing;
+                combined.extend_from_slice(value);
+                let len = combined.len();
+                db.set(key.clone(), Value::Str(Bytes::from(combined)));
+                Reply::Int(len as i64)
+            }
+            Strlen { key } => match db.get(key) {
+                Some(v) => Reply::Int(v.as_str()?.len() as i64),
+                None => Reply::Int(0),
+            },
+            HSet { key, pairs } => {
+                let hash = db
+                    .get_or_create(key, || Value::Hash(HashMap::new()), |v| {
+                        matches!(v, Value::Hash(_))
+                    })?
+                    .as_hash_mut()?;
+                let mut added = 0;
+                for (f, v) in pairs {
+                    if hash.insert(f.clone(), v.clone()).is_none() {
+                        added += 1;
+                    }
+                }
+                Reply::Int(added)
+            }
+            HGet { key, field } => match db.get(key) {
+                Some(v) => match v.as_hash()?.get(field) {
+                    Some(val) => Reply::Bulk(val.clone()),
+                    None => Reply::Nil,
+                },
+                None => Reply::Nil,
+            },
+            HGetAll { key } => match db.get(key) {
+                Some(v) => {
+                    let hash = v.as_hash()?;
+                    let mut items = Vec::with_capacity(hash.len() * 2);
+                    for (f, val) in hash {
+                        items.push(Reply::Bulk(f.clone()));
+                        items.push(Reply::Bulk(val.clone()));
+                    }
+                    Reply::Array(items)
+                }
+                None => Reply::Array(vec![]),
+            },
+            HDel { key, fields } => {
+                let mut removed = 0;
+                if let Some(v) = db.get_mut(key) {
+                    let hash = v.as_hash_mut()?;
+                    for f in fields {
+                        if hash.remove(f).is_some() {
+                            removed += 1;
+                        }
+                    }
+                }
+                db.drop_if_empty(key);
+                Reply::Int(removed)
+            }
+            HLen { key } => match db.get(key) {
+                Some(v) => Reply::Int(v.as_hash()?.len() as i64),
+                None => Reply::Int(0),
+            },
+            HExists { key, field } => match db.get(key) {
+                Some(v) => Reply::Int(v.as_hash()?.contains_key(field) as i64),
+                None => Reply::Int(0),
+            },
+            SAdd { key, members } => {
+                let set = db
+                    .get_or_create(key, || Value::Set(HashSet::new()), |v| {
+                        matches!(v, Value::Set(_))
+                    })?
+                    .as_set_mut()?;
+                let mut added = 0;
+                for m in members {
+                    if set.insert(m.clone()) {
+                        added += 1;
+                    }
+                }
+                Reply::Int(added)
+            }
+            SRem { key, members } => {
+                let mut removed = 0;
+                if let Some(v) = db.get_mut(key) {
+                    let set = v.as_set_mut()?;
+                    for m in members {
+                        if set.remove(m) {
+                            removed += 1;
+                        }
+                    }
+                }
+                db.drop_if_empty(key);
+                Reply::Int(removed)
+            }
+            SMembers { key } => match db.get(key) {
+                Some(v) => Reply::Array(v.as_set()?.iter().cloned().map(Reply::Bulk).collect()),
+                None => Reply::Array(vec![]),
+            },
+            SIsMember { key, member } => match db.get(key) {
+                Some(v) => Reply::Int(v.as_set()?.contains(member) as i64),
+                None => Reply::Int(0),
+            },
+            SCard { key } => match db.get(key) {
+                Some(v) => Reply::Int(v.as_set()?.len() as i64),
+                None => Reply::Int(0),
+            },
+            LPush { key, values } | RPush { key, values } => {
+                let front = matches!(self, LPush { .. });
+                let list = db
+                    .get_or_create(key, || Value::List(VecDeque::new()), |v| {
+                        matches!(v, Value::List(_))
+                    })?
+                    .as_list_mut()?;
+                for v in values {
+                    if front {
+                        list.push_front(v.clone());
+                    } else {
+                        list.push_back(v.clone());
+                    }
+                }
+                Reply::Int(list.len() as i64)
+            }
+            LPop { key } | RPop { key } => {
+                let front = matches!(self, LPop { .. });
+                let popped = match db.get_mut(key) {
+                    Some(v) => {
+                        let list = v.as_list_mut()?;
+                        if front {
+                            list.pop_front()
+                        } else {
+                            list.pop_back()
+                        }
+                    }
+                    None => None,
+                };
+                db.drop_if_empty(key);
+                match popped {
+                    Some(v) => Reply::Bulk(v),
+                    None => Reply::Nil,
+                }
+            }
+            LRange { key, start, stop } => match db.get(key) {
+                Some(v) => {
+                    let list = v.as_list()?;
+                    let (s, e) = normalize_range(*start, *stop, list.len());
+                    Reply::Array(
+                        list.iter()
+                            .skip(s)
+                            .take(e.saturating_sub(s))
+                            .cloned()
+                            .map(Reply::Bulk)
+                            .collect(),
+                    )
+                }
+                None => Reply::Array(vec![]),
+            },
+            LLen { key } => match db.get(key) {
+                Some(v) => Reply::Int(v.as_list()?.len() as i64),
+                None => Reply::Int(0),
+            },
+            ZAdd { key, entries } => {
+                let zset = db
+                    .get_or_create(key, || Value::ZSet(ZSet::new()), |v| {
+                        matches!(v, Value::ZSet(_))
+                    })?
+                    .as_zset_mut()?;
+                let mut added = 0;
+                for (score, member) in entries {
+                    if zset.add(member.clone(), *score) {
+                        added += 1;
+                    }
+                }
+                Reply::Int(added)
+            }
+            ZRem { key, members } => {
+                let mut removed = 0;
+                if let Some(v) = db.get_mut(key) {
+                    let zset = v.as_zset_mut()?;
+                    for m in members {
+                        if zset.remove(m) {
+                            removed += 1;
+                        }
+                    }
+                }
+                db.drop_if_empty(key);
+                Reply::Int(removed)
+            }
+            ZScore { key, member } => match db.get(key) {
+                Some(v) => match v.as_zset()?.score(member) {
+                    Some(score) => Reply::Bulk(Bytes::from(score.to_string())),
+                    None => Reply::Nil,
+                },
+                None => Reply::Nil,
+            },
+            ZCard { key } => match db.get(key) {
+                Some(v) => Reply::Int(v.as_zset()?.len() as i64),
+                None => Reply::Int(0),
+            },
+            ZRangeByScore { key, min, max, limit } => match db.get(key) {
+                Some(v) => Reply::Array(
+                    v.as_zset()?
+                        .range_by_score_limit(*min, *max, limit.unwrap_or(usize::MAX))
+                        .into_iter()
+                        .map(|(m, _)| Reply::Bulk(m))
+                        .collect(),
+                ),
+                None => Reply::Array(vec![]),
+            },
+            ZRange { key, start, stop } => match db.get(key) {
+                Some(v) => {
+                    let zset = v.as_zset()?;
+                    let (s, e) = normalize_range(*start, *stop, zset.len());
+                    if s >= e {
+                        Reply::Array(vec![])
+                    } else {
+                        Reply::Array(
+                            zset.range_by_rank(s, e - 1)
+                                .into_iter()
+                                .map(|(m, _)| Reply::Bulk(m))
+                                .collect(),
+                        )
+                    }
+                }
+                None => Reply::Array(vec![]),
+            },
+        })
+    }
+}
+
+/// Map Redis-style inclusive indices (negative = from end) onto `[s, e)`.
+fn normalize_range(start: i64, stop: i64, len: usize) -> (usize, usize) {
+    let len = len as i64;
+    let s = if start < 0 { (len + start).max(0) } else { start.min(len) };
+    let e = if stop < 0 { len + stop + 1 } else { (stop + 1).min(len) };
+    ((s.max(0)) as usize, (e.max(0)) as usize)
+}
+
+fn parse_u64(b: &[u8]) -> KvResult<u64> {
+    std::str::from_utf8(b)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| KvError::Syntax(format!("bad integer {:?}", String::from_utf8_lossy(b))))
+}
+
+fn parse_i64(b: &[u8]) -> KvResult<i64> {
+    std::str::from_utf8(b)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| KvError::Syntax(format!("bad integer {:?}", String::from_utf8_lossy(b))))
+}
+
+fn parse_f64(b: &[u8]) -> KvResult<f64> {
+    std::str::from_utf8(b)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| KvError::Syntax(format!("bad float {:?}", String::from_utf8_lossy(b))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn fresh() -> (Db, XorShift64) {
+        (Db::new(clock::sim()), XorShift64::new(7))
+    }
+
+    fn run(db: &mut Db, rng: &mut XorShift64, cmd: Command) -> Reply {
+        cmd.execute(db, rng).unwrap()
+    }
+
+    #[test]
+    fn set_get_del() {
+        let (mut db, mut rng) = fresh();
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Set { key: b("k"), value: b("v"), expire: None }),
+            Reply::Ok
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Get { key: b("k") }),
+            Reply::Bulk(b("v"))
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Del { keys: vec![b("k"), b("ghost")] }),
+            Reply::Int(1)
+        );
+        assert_eq!(run(&mut db, &mut rng, Command::Get { key: b("k") }), Reply::Nil);
+    }
+
+    #[test]
+    fn set_with_expiry_and_ttl() {
+        let sim = clock::sim();
+        let mut db = Db::new(sim.clone());
+        let mut rng = XorShift64::new(1);
+        run(
+            &mut db,
+            &mut rng,
+            Command::Set { key: b("k"), value: b("v"), expire: Some(Duration::from_secs(10)) },
+        );
+        assert_eq!(run(&mut db, &mut rng, Command::Ttl { key: b("k") }), Reply::Int(10));
+        sim.advance(Duration::from_secs(11));
+        assert_eq!(run(&mut db, &mut rng, Command::Get { key: b("k") }), Reply::Nil);
+        assert_eq!(run(&mut db, &mut rng, Command::Ttl { key: b("k") }), Reply::Int(-2));
+    }
+
+    #[test]
+    fn ttl_reports_minus_one_without_expiry() {
+        let (mut db, mut rng) = fresh();
+        run(&mut db, &mut rng, Command::Set { key: b("k"), value: b("v"), expire: None });
+        assert_eq!(run(&mut db, &mut rng, Command::Ttl { key: b("k") }), Reply::Int(-1));
+    }
+
+    #[test]
+    fn incrby_preserves_ttl() {
+        let sim = clock::sim();
+        let mut db = Db::new(sim.clone());
+        let mut rng = XorShift64::new(1);
+        run(&mut db, &mut rng, Command::Set { key: b("n"), value: b("5"), expire: Some(Duration::from_secs(100)) });
+        assert_eq!(
+            run(&mut db, &mut rng, Command::IncrBy { key: b("n"), delta: 3 }),
+            Reply::Int(8)
+        );
+        assert_eq!(run(&mut db, &mut rng, Command::Ttl { key: b("n") }), Reply::Int(100));
+    }
+
+    #[test]
+    fn incrby_on_non_numeric_fails() {
+        let (mut db, mut rng) = fresh();
+        run(&mut db, &mut rng, Command::Set { key: b("s"), value: b("abc"), expire: None });
+        assert!(Command::IncrBy { key: b("s"), delta: 1 }.execute(&mut db, &mut rng).is_err());
+    }
+
+    #[test]
+    fn hash_commands() {
+        let (mut db, mut rng) = fresh();
+        let pairs = vec![(b("data"), b("123")), (b("usr"), b("neo"))];
+        assert_eq!(
+            run(&mut db, &mut rng, Command::HSet { key: b("rec"), pairs }),
+            Reply::Int(2)
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::HGet { key: b("rec"), field: b("usr") }),
+            Reply::Bulk(b("neo"))
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::HLen { key: b("rec") }),
+            Reply::Int(2)
+        );
+        let all = run(&mut db, &mut rng, Command::HGetAll { key: b("rec") });
+        assert_eq!(all.as_array().unwrap().len(), 4);
+        assert_eq!(
+            run(&mut db, &mut rng, Command::HDel { key: b("rec"), fields: vec![b("data"), b("usr")] }),
+            Reply::Int(2)
+        );
+        // Hash became empty → key removed.
+        assert_eq!(run(&mut db, &mut rng, Command::Exists { keys: vec![b("rec")] }), Reply::Int(0));
+    }
+
+    #[test]
+    fn hset_overwrite_counts_only_new_fields() {
+        let (mut db, mut rng) = fresh();
+        run(&mut db, &mut rng, Command::HSet { key: b("h"), pairs: vec![(b("f"), b("1"))] });
+        assert_eq!(
+            run(&mut db, &mut rng, Command::HSet { key: b("h"), pairs: vec![(b("f"), b("2"))] }),
+            Reply::Int(0)
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::HGet { key: b("h"), field: b("f") }),
+            Reply::Bulk(b("2"))
+        );
+    }
+
+    #[test]
+    fn wrongtype_across_commands() {
+        let (mut db, mut rng) = fresh();
+        run(&mut db, &mut rng, Command::Set { key: b("s"), value: b("v"), expire: None });
+        assert_eq!(
+            Command::HGet { key: b("s"), field: b("f") }
+                .execute(&mut db, &mut rng)
+                .unwrap_err(),
+            KvError::WrongType
+        );
+        assert_eq!(
+            Command::SAdd { key: b("s"), members: vec![b("m")] }
+                .execute(&mut db, &mut rng)
+                .unwrap_err(),
+            KvError::WrongType
+        );
+    }
+
+    #[test]
+    fn set_commands() {
+        let (mut db, mut rng) = fresh();
+        assert_eq!(
+            run(&mut db, &mut rng, Command::SAdd { key: b("s"), members: vec![b("a"), b("b"), b("a")] }),
+            Reply::Int(2)
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::SIsMember { key: b("s"), member: b("a") }),
+            Reply::Int(1)
+        );
+        assert_eq!(run(&mut db, &mut rng, Command::SCard { key: b("s") }), Reply::Int(2));
+        assert_eq!(
+            run(&mut db, &mut rng, Command::SRem { key: b("s"), members: vec![b("a"), b("b")] }),
+            Reply::Int(2)
+        );
+        assert_eq!(run(&mut db, &mut rng, Command::Exists { keys: vec![b("s")] }), Reply::Int(0));
+    }
+
+    #[test]
+    fn list_commands() {
+        let (mut db, mut rng) = fresh();
+        run(&mut db, &mut rng, Command::RPush { key: b("l"), values: vec![b("1"), b("2"), b("3")] });
+        run(&mut db, &mut rng, Command::LPush { key: b("l"), values: vec![b("0")] });
+        assert_eq!(run(&mut db, &mut rng, Command::LLen { key: b("l") }), Reply::Int(4));
+        let range = run(&mut db, &mut rng, Command::LRange { key: b("l"), start: 0, stop: -1 });
+        assert_eq!(
+            range,
+            Reply::Array(vec![
+                Reply::Bulk(b("0")),
+                Reply::Bulk(b("1")),
+                Reply::Bulk(b("2")),
+                Reply::Bulk(b("3"))
+            ])
+        );
+        assert_eq!(run(&mut db, &mut rng, Command::LPop { key: b("l") }), Reply::Bulk(b("0")));
+        assert_eq!(run(&mut db, &mut rng, Command::RPop { key: b("l") }), Reply::Bulk(b("3")));
+    }
+
+    #[test]
+    fn zset_commands() {
+        let (mut db, mut rng) = fresh();
+        run(
+            &mut db,
+            &mut rng,
+            Command::ZAdd { key: b("z"), entries: vec![(2.0, b("b")), (1.0, b("a")), (3.0, b("c"))] },
+        );
+        assert_eq!(run(&mut db, &mut rng, Command::ZCard { key: b("z") }), Reply::Int(3));
+        assert_eq!(
+            run(&mut db, &mut rng, Command::ZScore { key: b("z"), member: b("b") }),
+            Reply::Bulk(b("2"))
+        );
+        let range = run(&mut db, &mut rng, Command::ZRangeByScore { key: b("z"), min: 1.5, max: 3.0, limit: None });
+        assert_eq!(
+            range,
+            Reply::Array(vec![Reply::Bulk(b("b")), Reply::Bulk(b("c"))])
+        );
+        let by_rank = run(&mut db, &mut rng, Command::ZRange { key: b("z"), start: 0, stop: 1 });
+        assert_eq!(by_rank.as_array().unwrap().len(), 2);
+        assert_eq!(
+            run(&mut db, &mut rng, Command::ZRem { key: b("z"), members: vec![b("a"), b("b"), b("c")] }),
+            Reply::Int(3)
+        );
+        assert_eq!(run(&mut db, &mut rng, Command::Exists { keys: vec![b("z")] }), Reply::Int(0));
+    }
+
+    #[test]
+    fn append_and_strlen() {
+        let (mut db, mut rng) = fresh();
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Append { key: b("s"), value: b("foo") }),
+            Reply::Int(3)
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Append { key: b("s"), value: b("bar") }),
+            Reply::Int(6)
+        );
+        assert_eq!(run(&mut db, &mut rng, Command::Strlen { key: b("s") }), Reply::Int(6));
+        assert_eq!(run(&mut db, &mut rng, Command::Get { key: b("s") }), Reply::Bulk(b("foobar")));
+    }
+
+    #[test]
+    fn scan_and_dbsize() {
+        let (mut db, mut rng) = fresh();
+        for i in 0..25 {
+            run(&mut db, &mut rng, Command::Set { key: b(&format!("k{i}")), value: b("v"), expire: None });
+        }
+        assert_eq!(run(&mut db, &mut rng, Command::DbSize), Reply::Int(25));
+        let reply = run(&mut db, &mut rng, Command::Scan { cursor: 0, count: 10, pattern: None });
+        let parts = reply.as_array().unwrap();
+        assert_eq!(parts[0], Reply::Int(10));
+        assert_eq!(parts[1].as_array().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn wire_roundtrip_all_commands() {
+        let samples = vec![
+            Command::Set { key: b("k"), value: b("v"), expire: Some(Duration::from_millis(1500)) },
+            Command::Set { key: b("k"), value: b("v"), expire: None },
+            Command::Get { key: b("k") },
+            Command::Del { keys: vec![b("a"), b("b")] },
+            Command::Exists { keys: vec![b("a")] },
+            Command::Expire { key: b("k"), ttl: Duration::from_secs(9) },
+            Command::ExpireAt { key: b("k"), at_ms: 123456 },
+            Command::Ttl { key: b("k") },
+            Command::Persist { key: b("k") },
+            Command::TypeOf { key: b("k") },
+            Command::Keys { pattern: b("rec:*") },
+            Command::Scan { cursor: 5, count: 64, pattern: Some(b("x*")) },
+            Command::Scan { cursor: 0, count: 10, pattern: None },
+            Command::RandomKey,
+            Command::DbSize,
+            Command::FlushAll,
+            Command::IncrBy { key: b("n"), delta: -4 },
+            Command::Append { key: b("s"), value: b("x") },
+            Command::Strlen { key: b("s") },
+            Command::HSet { key: b("h"), pairs: vec![(b("f"), b("v"))] },
+            Command::HGet { key: b("h"), field: b("f") },
+            Command::HGetAll { key: b("h") },
+            Command::HDel { key: b("h"), fields: vec![b("f")] },
+            Command::HLen { key: b("h") },
+            Command::HExists { key: b("h"), field: b("f") },
+            Command::SAdd { key: b("s"), members: vec![b("m")] },
+            Command::SRem { key: b("s"), members: vec![b("m")] },
+            Command::SMembers { key: b("s") },
+            Command::SIsMember { key: b("s"), member: b("m") },
+            Command::SCard { key: b("s") },
+            Command::LPush { key: b("l"), values: vec![b("v")] },
+            Command::RPush { key: b("l"), values: vec![b("v")] },
+            Command::LPop { key: b("l") },
+            Command::RPop { key: b("l") },
+            Command::LRange { key: b("l"), start: 0, stop: -1 },
+            Command::LLen { key: b("l") },
+            Command::ZAdd { key: b("z"), entries: vec![(1.5, b("m"))] },
+            Command::ZRem { key: b("z"), members: vec![b("m")] },
+            Command::ZScore { key: b("z"), member: b("m") },
+            Command::ZCard { key: b("z") },
+            Command::ZRangeByScore { key: b("z"), min: 0.0, max: 10.0, limit: None },
+            Command::ZRangeByScore { key: b("z"), min: 0.0, max: 10.0, limit: Some(25) },
+            Command::ZRange { key: b("z"), start: 0, stop: 5 },
+        ];
+        for cmd in samples {
+            let wire = cmd.to_wire();
+            let parsed = Command::from_wire(&wire)
+                .unwrap_or_else(|e| panic!("{}: {e}", cmd.name()));
+            assert_eq!(parsed, cmd, "wire roundtrip mismatch for {}", cmd.name());
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        assert!(Command::from_wire(&[b("BOGUS")]).is_err());
+        assert!(Command::from_wire(&[]).is_err());
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(Command::from_wire(&[b("GET")]).is_err());
+        assert!(Command::from_wire(&[b("SET"), b("k")]).is_err());
+        assert!(Command::from_wire(&[b("HSET"), b("k"), b("f")]).is_err());
+        assert!(Command::from_wire(&[b("EXPIRE"), b("k"), b("abc")]).is_err());
+    }
+
+    #[test]
+    fn normalize_range_semantics() {
+        assert_eq!(normalize_range(0, -1, 5), (0, 5));
+        assert_eq!(normalize_range(1, 3, 5), (1, 4));
+        assert_eq!(normalize_range(-2, -1, 5), (3, 5));
+        assert_eq!(normalize_range(0, 100, 5), (0, 5));
+        assert_eq!(normalize_range(10, 20, 5), (5, 5));
+        assert_eq!(normalize_range(0, -1, 0), (0, 0));
+    }
+
+    #[test]
+    fn reply_encoding() {
+        assert_eq!(Reply::Ok.encode(), b"+OK\r\n");
+        assert_eq!(Reply::Nil.encode(), b"$-1\r\n");
+        assert_eq!(Reply::Int(-3).encode(), b":-3\r\n");
+        assert_eq!(Reply::Bulk(b("hi")).encode(), b"$2\r\nhi\r\n");
+        assert_eq!(
+            Reply::Array(vec![Reply::Int(1), Reply::Bulk(b("x"))]).encode(),
+            b"*2\r\n:1\r\n$1\r\nx\r\n"
+        );
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(Command::Set { key: b("k"), value: b("v"), expire: None }.is_write());
+        assert!(Command::FlushAll.is_write());
+        assert!(Command::LPop { key: b("l") }.is_write());
+        assert!(!Command::Get { key: b("k") }.is_write());
+        assert!(!Command::Scan { cursor: 0, count: 1, pattern: None }.is_write());
+        assert!(!Command::HGetAll { key: b("h") }.is_write());
+    }
+}

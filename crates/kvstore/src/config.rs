@@ -1,0 +1,125 @@
+//! Store configuration: the knobs the paper turns in §5.1 / Figure 4a.
+
+use crate::expire::ExpirationMode;
+use std::path::PathBuf;
+
+/// When the append-only file is flushed to stable storage — Redis'
+/// `appendfsync` directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every logged command (durable, slow).
+    Always,
+    /// fsync at most once per second (the paper's configuration: "not
+    /// synchronously in real-time, but in batches synchronized once every
+    /// second").
+    #[default]
+    EverySec,
+    /// Let the OS decide (fast, weakest durability).
+    Never,
+}
+
+/// Where the append-only file lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AofStorage {
+    /// No AOF at all (the Figure 4a baseline).
+    Disabled,
+    /// A real file on disk.
+    File(PathBuf),
+    /// An in-memory buffer — for tests and deterministic replay checks.
+    Memory,
+}
+
+/// Full store configuration.
+///
+/// The default configuration is "stock Redis with no security" — the
+/// baseline of Figure 4a. Each GDPR feature from §5.1 is one toggle:
+///
+/// | paper feature    | knob |
+/// |------------------|------|
+/// | Encrypt (LUKS+TLS) | [`encrypt_at_rest`](Self::encrypt_at_rest) + [`encrypt_transit`](Self::encrypt_transit) |
+/// | TTL (timely deletion) | [`expiration`](Self::expiration) = [`ExpirationMode::Strict`] |
+/// | Log (audit via AOF)   | [`aof`](Self::aof) enabled + [`log_reads`](Self::log_reads) |
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Active-expiration algorithm.
+    pub expiration: ExpirationMode,
+    /// Append-only-file persistence/auditing.
+    pub aof: AofStorage,
+    /// AOF flush policy.
+    pub fsync: FsyncPolicy,
+    /// Log read and scan commands to the AOF as well — the paper's
+    /// modification for GDPR monitoring ("we update its internal logic to
+    /// log all interactions including reads and scans").
+    pub log_reads: bool,
+    /// Seal every AOF record with the at-rest cipher (the LUKS stand-in).
+    pub encrypt_at_rest: bool,
+    /// Round-trip every command and reply through an encrypted session (the
+    /// stunnel stand-in).
+    pub encrypt_transit: bool,
+    /// Key material for the ciphers.
+    pub cipher_seed: Vec<u8>,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            expiration: ExpirationMode::Lazy,
+            aof: AofStorage::Disabled,
+            fsync: FsyncPolicy::EverySec,
+            log_reads: false,
+            encrypt_at_rest: false,
+            encrypt_transit: false,
+            cipher_seed: b"gdprbench-default-key".to_vec(),
+        }
+    }
+}
+
+impl KvConfig {
+    /// The paper's fully GDPR-compliant Redis: strict TTL, full audit
+    /// logging (reads included), encryption at rest and in transit.
+    pub fn gdpr_compliant(aof_path: impl Into<PathBuf>) -> Self {
+        KvConfig {
+            expiration: ExpirationMode::Strict,
+            aof: AofStorage::File(aof_path.into()),
+            fsync: FsyncPolicy::EverySec,
+            log_reads: true,
+            encrypt_at_rest: true,
+            encrypt_transit: true,
+            ..Default::default()
+        }
+    }
+
+    /// In-memory variant of [`Self::gdpr_compliant`] for tests.
+    pub fn gdpr_compliant_in_memory() -> Self {
+        KvConfig {
+            expiration: ExpirationMode::Strict,
+            aof: AofStorage::Memory,
+            fsync: FsyncPolicy::EverySec,
+            log_reads: true,
+            encrypt_at_rest: true,
+            encrypt_transit: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_stock_redis() {
+        let c = KvConfig::default();
+        assert_eq!(c.expiration, ExpirationMode::Lazy);
+        assert_eq!(c.aof, AofStorage::Disabled);
+        assert!(!c.log_reads && !c.encrypt_at_rest && !c.encrypt_transit);
+    }
+
+    #[test]
+    fn compliant_config_enables_all_features() {
+        let c = KvConfig::gdpr_compliant("/tmp/x.aof");
+        assert_eq!(c.expiration, ExpirationMode::Strict);
+        assert!(matches!(c.aof, AofStorage::File(_)));
+        assert!(c.log_reads && c.encrypt_at_rest && c.encrypt_transit);
+    }
+}

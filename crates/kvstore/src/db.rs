@@ -1,0 +1,448 @@
+//! The keyspace: one dictionary of values plus the expires dictionary,
+//! mirroring Redis' `redisDb` (`dict` + `expires`).
+//!
+//! Expiry is enforced in two complementary ways, as in Redis:
+//! lazily-on-access here (a lookup of a past-due key deletes it and reports
+//! a miss), and actively by the expiration cycle in [`crate::expire`].
+
+use crate::error::{KvError, KvResult};
+use crate::glob::glob_match;
+use crate::rng::XorShift64;
+use crate::sampleset::SampleSet;
+use crate::value::Value;
+use bytes::Bytes;
+use clock::{SharedClock, Timestamp};
+use std::collections::HashMap;
+
+/// The keyspace.
+pub struct Db {
+    dict: HashMap<Bytes, Value>,
+    expires: HashMap<Bytes, Timestamp>,
+    /// Keys with an expiry, sampleable in O(1) — Redis' `expires` dict.
+    expire_set: SampleSet<Bytes>,
+    /// All keys, dense-indexed for SCAN cursors and RANDOMKEY.
+    key_index: SampleSet<Bytes>,
+    clock: SharedClock,
+    /// Count of keys reaped lazily on access, for INFO/stats.
+    lazy_expired: u64,
+}
+
+impl Db {
+    pub fn new(clock: SharedClock) -> Self {
+        Db {
+            dict: HashMap::new(),
+            expires: HashMap::new(),
+            expire_set: SampleSet::new(),
+            key_index: SampleSet::new(),
+            clock,
+            lazy_expired: 0,
+        }
+    }
+
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Number of live keys (may include keys past due that no cycle has
+    /// reaped yet — exactly as `DBSIZE` does in Redis).
+    pub fn len(&self) -> usize {
+        self.dict.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.dict.is_empty()
+    }
+
+    /// True if `key` has an expiry and it is past due.
+    fn is_past_due(&self, key: &[u8]) -> bool {
+        match self.expires.get(key) {
+            Some(&at) => self.clock.now() >= at,
+            None => false,
+        }
+    }
+
+    /// Expire-on-access: if `key` is past due, delete it and report whether
+    /// it was reaped.
+    fn reap_if_due(&mut self, key: &[u8]) -> bool {
+        if self.is_past_due(key) {
+            let owned = Bytes::copy_from_slice(key);
+            self.remove(&owned);
+            self.lazy_expired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Non-mutating read: like [`Self::get`] but without the
+    /// reap-on-access side effect — past-due keys read as absent and stay
+    /// for the expiration machinery. Snapshots use this so `&Db` suffices.
+    pub fn peek(&self, key: &[u8]) -> Option<&Value> {
+        if self.is_past_due(key) {
+            None
+        } else {
+            self.dict.get(key)
+        }
+    }
+
+    /// Read access to a live (non-expired) value.
+    pub fn get(&mut self, key: &[u8]) -> Option<&Value> {
+        if self.reap_if_due(key) {
+            return None;
+        }
+        self.dict.get(key)
+    }
+
+    /// Write access to a live (non-expired) value.
+    pub fn get_mut(&mut self, key: &[u8]) -> Option<&mut Value> {
+        if self.reap_if_due(key) {
+            return None;
+        }
+        self.dict.get_mut(key)
+    }
+
+    /// Write access to a live value, creating it with `make` when absent.
+    /// Fails with `WrongType` if present but of a different type, as checked
+    /// by `check`.
+    pub fn get_or_create(
+        &mut self,
+        key: &[u8],
+        make: impl FnOnce() -> Value,
+        check: impl Fn(&Value) -> bool,
+    ) -> KvResult<&mut Value> {
+        self.reap_if_due(key);
+        if !self.dict.contains_key(key) {
+            let owned = Bytes::copy_from_slice(key);
+            self.key_index.insert(owned.clone());
+            self.dict.insert(owned, make());
+        }
+        let v = self.dict.get_mut(key).expect("just inserted");
+        if check(v) {
+            Ok(v)
+        } else {
+            Err(KvError::WrongType)
+        }
+    }
+
+    /// Insert or replace the value at `key`. Clears any existing expiry, as
+    /// `SET` does in Redis.
+    pub fn set(&mut self, key: Bytes, value: Value) {
+        self.clear_expiry(&key);
+        self.key_index.insert(key.clone());
+        self.dict.insert(key, value);
+    }
+
+    /// Remove a key entirely. Returns `true` if it existed.
+    pub fn remove(&mut self, key: &Bytes) -> bool {
+        self.clear_expiry(key);
+        self.key_index.remove(key);
+        self.dict.remove(key).is_some()
+    }
+
+    /// Remove the key if its container value became empty.
+    pub fn drop_if_empty(&mut self, key: &[u8]) {
+        if self.dict.get(key).is_some_and(Value::is_empty_container) {
+            let owned = Bytes::copy_from_slice(key);
+            self.remove(&owned);
+        }
+    }
+
+    /// True if `key` exists and is not past due.
+    pub fn exists(&mut self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Set an absolute expiry. Returns `false` if the key does not exist.
+    pub fn set_expiry(&mut self, key: &[u8], at: Timestamp) -> bool {
+        if self.reap_if_due(key) || !self.dict.contains_key(key) {
+            return false;
+        }
+        let owned = Bytes::copy_from_slice(key);
+        self.expires.insert(owned.clone(), at);
+        self.expire_set.insert(owned);
+        true
+    }
+
+    /// Remove any expiry from `key` (Redis `PERSIST`). Returns `true` if an
+    /// expiry was removed.
+    pub fn clear_expiry(&mut self, key: &Bytes) -> bool {
+        self.expire_set.remove(key);
+        self.expires.remove(key).is_some()
+    }
+
+    /// Remaining time to live: `None` if the key does not exist, `Some(None)`
+    /// if it has no expiry, `Some(Some(d))` otherwise.
+    pub fn ttl(&mut self, key: &[u8]) -> Option<Option<std::time::Duration>> {
+        if self.reap_if_due(key) || !self.dict.contains_key(key) {
+            return None;
+        }
+        Some(
+            self.expires
+                .get(key)
+                .map(|&at| at.saturating_since(self.clock.now())),
+        )
+    }
+
+    /// The absolute expiry time of `key`, if any.
+    pub fn expiry_of(&self, key: &[u8]) -> Option<Timestamp> {
+        self.expires.get(key).copied()
+    }
+
+    /// Number of keys carrying an expiry.
+    pub fn expire_set_len(&self) -> usize {
+        self.expire_set.len()
+    }
+
+    /// Sample up to `n` random keys from the expire-set (with replacement),
+    /// exactly as the lazy expiration cycle does.
+    pub fn sample_expire_keys(&self, n: usize, rng: &mut XorShift64) -> Vec<Bytes> {
+        (0..n)
+            .filter_map(|_| self.expire_set.sample(rng).cloned())
+            .collect()
+    }
+
+    /// All keys in the expire-set (for the strict sweep).
+    pub fn all_expire_keys(&self) -> Vec<Bytes> {
+        self.expire_set.iter().cloned().collect()
+    }
+
+    /// Delete `key` if past due. Returns `true` if deleted.
+    pub fn evict_if_due(&mut self, key: &Bytes) -> bool {
+        if self.is_past_due(key) {
+            self.remove(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Keys matching a glob pattern (the `KEYS` command) — O(n).
+    pub fn keys_matching(&self, pattern: &[u8]) -> Vec<Bytes> {
+        self.key_index
+            .iter()
+            .filter(|k| glob_match(pattern, k))
+            .cloned()
+            .collect()
+    }
+
+    /// Cursor-based iteration (the `SCAN` command). Returns matching keys in
+    /// the window plus the next cursor (0 when done). The guarantee matches
+    /// Redis': every key present for the whole scan is returned at least
+    /// once; no stability under concurrent mutation.
+    pub fn scan(&self, cursor: usize, count: usize, pattern: Option<&[u8]>) -> (Vec<Bytes>, usize) {
+        let mut out = Vec::new();
+        let mut idx = cursor;
+        let end = (cursor + count).min(self.key_index.len());
+        while idx < end {
+            if let Some(key) = self.key_index.get_at(idx) {
+                if pattern.is_none_or(|p| glob_match(p, key)) {
+                    out.push(key.clone());
+                }
+            }
+            idx += 1;
+        }
+        let next = if idx >= self.key_index.len() { 0 } else { idx };
+        (out, next)
+    }
+
+    /// Uniformly random live key (`RANDOMKEY`).
+    pub fn random_key(&self, rng: &mut XorShift64) -> Option<Bytes> {
+        self.key_index.sample(rng).cloned()
+    }
+
+    /// Remove everything (`FLUSHALL`).
+    pub fn flush(&mut self) {
+        self.dict.clear();
+        self.expires.clear();
+        self.expire_set = SampleSet::new();
+        self.key_index = SampleSet::new();
+    }
+
+    /// Keys reaped lazily on access since startup.
+    pub fn lazy_expired_count(&self) -> u64 {
+        self.lazy_expired
+    }
+
+    /// Approximate memory footprint of all keys and values, for the
+    /// space-overhead metric (Table 3).
+    pub fn memory_usage(&self) -> usize {
+        self.dict
+            .iter()
+            .map(|(k, v)| k.len() + 48 + v.memory_usage())
+            .sum::<usize>()
+            + self.expires.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn sim_db() -> (std::sync::Arc<clock::SimClock>, Db) {
+        let sim = clock::sim();
+        let db = Db::new(sim.clone());
+        (sim, db)
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let (_c, mut db) = sim_db();
+        db.set(b("k"), Value::Str(b("v")));
+        assert!(db.exists(b"k"));
+        assert_eq!(db.get(b"k").unwrap().as_str().unwrap(), &b("v"));
+        assert!(db.remove(&b("k")));
+        assert!(!db.exists(b"k"));
+        assert!(!db.remove(&b("k")));
+    }
+
+    #[test]
+    fn lazy_expiry_on_access() {
+        let (sim, mut db) = sim_db();
+        db.set(b("k"), Value::Str(b("v")));
+        db.set_expiry(b"k", Timestamp::from_secs(10));
+        assert!(db.exists(b"k"));
+        sim.advance(Duration::from_secs(11));
+        assert!(db.get(b"k").is_none(), "past-due key must be reaped on access");
+        assert_eq!(db.len(), 0);
+        assert_eq!(db.lazy_expired_count(), 1);
+    }
+
+    #[test]
+    fn set_clears_previous_expiry() {
+        let (sim, mut db) = sim_db();
+        db.set(b("k"), Value::Str(b("v1")));
+        db.set_expiry(b"k", Timestamp::from_secs(10));
+        db.set(b("k"), Value::Str(b("v2"))); // plain SET removes the TTL
+        sim.advance(Duration::from_secs(11));
+        assert!(db.exists(b"k"));
+        assert_eq!(db.ttl(b"k"), Some(None));
+    }
+
+    #[test]
+    fn ttl_reporting() {
+        let (sim, mut db) = sim_db();
+        assert_eq!(db.ttl(b"nope"), None);
+        db.set(b("k"), Value::Str(b("v")));
+        assert_eq!(db.ttl(b"k"), Some(None));
+        db.set_expiry(b"k", Timestamp::from_secs(10));
+        sim.advance(Duration::from_secs(4));
+        assert_eq!(db.ttl(b"k"), Some(Some(Duration::from_secs(6))));
+    }
+
+    #[test]
+    fn expire_on_missing_key_fails() {
+        let (_c, mut db) = sim_db();
+        assert!(!db.set_expiry(b"ghost", Timestamp::from_secs(5)));
+    }
+
+    #[test]
+    fn persist_removes_expiry() {
+        let (sim, mut db) = sim_db();
+        db.set(b("k"), Value::Str(b("v")));
+        db.set_expiry(b"k", Timestamp::from_secs(1));
+        assert!(db.clear_expiry(&b("k")));
+        assert!(!db.clear_expiry(&b("k")));
+        sim.advance(Duration::from_secs(5));
+        assert!(db.exists(b"k"));
+    }
+
+    #[test]
+    fn expire_set_tracks_membership() {
+        let (_c, mut db) = sim_db();
+        for i in 0..10 {
+            let k = b(&format!("k{i}"));
+            db.set(k.clone(), Value::Str(b("v")));
+            if i % 2 == 0 {
+                db.set_expiry(&k, Timestamp::from_secs(100));
+            }
+        }
+        assert_eq!(db.expire_set_len(), 5);
+        let mut rng = XorShift64::new(1);
+        let sampled = db.sample_expire_keys(20, &mut rng);
+        assert_eq!(sampled.len(), 20, "sampling is with replacement");
+        assert!(sampled
+            .iter()
+            .all(|k| db.expiry_of(k).is_some()));
+    }
+
+    #[test]
+    fn scan_visits_all_keys() {
+        let (_c, mut db) = sim_db();
+        for i in 0..100 {
+            db.set(b(&format!("k{i:03}")), Value::Str(b("v")));
+        }
+        let mut cursor = 0;
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            let (keys, next) = db.scan(cursor, 7, None);
+            seen.extend(keys);
+            if next == 0 {
+                break;
+            }
+            cursor = next;
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn scan_with_pattern_filters() {
+        let (_c, mut db) = sim_db();
+        db.set(b("rec:1"), Value::Str(b("v")));
+        db.set(b("idx:1"), Value::Str(b("v")));
+        db.set(b("rec:2"), Value::Str(b("v")));
+        let (keys, next) = db.scan(0, 100, Some(b"rec:*"));
+        assert_eq!(next, 0);
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn keys_matching_glob() {
+        let (_c, mut db) = sim_db();
+        db.set(b("user:1"), Value::Str(b("a")));
+        db.set(b("user:2"), Value::Str(b("b")));
+        db.set(b("order:1"), Value::Str(b("c")));
+        assert_eq!(db.keys_matching(b"user:*").len(), 2);
+        assert_eq!(db.keys_matching(b"*").len(), 3);
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let (_c, mut db) = sim_db();
+        db.set(b("k"), Value::Str(b("v")));
+        db.set_expiry(b"k", Timestamp::from_secs(1));
+        db.flush();
+        assert!(db.is_empty());
+        assert_eq!(db.expire_set_len(), 0);
+        assert_eq!(db.memory_usage(), 0);
+    }
+
+    #[test]
+    fn memory_usage_grows_with_data() {
+        let (_c, mut db) = sim_db();
+        let before = db.memory_usage();
+        db.set(b("k"), Value::Str(Bytes::from(vec![0u8; 4096])));
+        assert!(db.memory_usage() >= before + 4096);
+    }
+
+    #[test]
+    fn get_or_create_enforces_type() {
+        let (_c, mut db) = sim_db();
+        db.set(b("s"), Value::Str(b("v")));
+        let err = db
+            .get_or_create(b"s", || Value::Hash(Default::default()), |v| {
+                matches!(v, Value::Hash(_))
+            })
+            .unwrap_err();
+        assert_eq!(err, KvError::WrongType);
+        assert!(db
+            .get_or_create(b"h", || Value::Hash(Default::default()), |v| {
+                matches!(v, Value::Hash(_))
+            })
+            .is_ok());
+    }
+}

@@ -1,0 +1,178 @@
+//! Redis-style glob pattern matching for `KEYS` and `SCAN ... MATCH`.
+//!
+//! Supports `*` (any run of bytes), `?` (any single byte), `[abc]` /
+//! `[a-z]` / `[^abc]` character classes, and `\` escapes — the semantics of
+//! Redis' `stringmatchlen`.
+
+/// Returns true if `pattern` matches all of `text`.
+pub fn glob_match(pattern: &[u8], text: &[u8]) -> bool {
+    match_inner(pattern, text)
+}
+
+fn match_inner(mut pat: &[u8], mut text: &[u8]) -> bool {
+    while let Some(&p) = pat.first() {
+        match p {
+            b'*' => {
+                // Collapse consecutive stars.
+                while pat.first() == Some(&b'*') {
+                    pat = &pat[1..];
+                }
+                if pat.is_empty() {
+                    return true;
+                }
+                // Try to match the remainder at every suffix of text.
+                for i in 0..=text.len() {
+                    if match_inner(pat, &text[i..]) {
+                        return true;
+                    }
+                }
+                return false;
+            }
+            b'?' => {
+                if text.is_empty() {
+                    return false;
+                }
+                pat = &pat[1..];
+                text = &text[1..];
+            }
+            b'[' => {
+                let Some(&c) = text.first() else {
+                    return false;
+                };
+                let (matched, rest) = match_class(&pat[1..], c);
+                if !matched {
+                    return false;
+                }
+                pat = rest;
+                text = &text[1..];
+            }
+            b'\\' if pat.len() >= 2 => {
+                if text.first() != Some(&pat[1]) {
+                    return false;
+                }
+                pat = &pat[2..];
+                text = &text[1..];
+            }
+            _ => {
+                if text.first() != Some(&p) {
+                    return false;
+                }
+                pat = &pat[1..];
+                text = &text[1..];
+            }
+        }
+    }
+    text.is_empty()
+}
+
+/// Match one character against the class starting after `[`. Returns whether
+/// it matched and the pattern remainder after the closing `]`.
+fn match_class(pat: &[u8], c: u8) -> (bool, &[u8]) {
+    let mut i = 0;
+    let negate = pat.first() == Some(&b'^');
+    if negate {
+        i += 1;
+    }
+    let mut matched = false;
+    let mut first = true;
+    while i < pat.len() {
+        match pat[i] {
+            b']' if !first => {
+                return (matched != negate, &pat[i + 1..]);
+            }
+            b'\\' if i + 1 < pat.len() => {
+                if pat[i + 1] == c {
+                    matched = true;
+                }
+                i += 2;
+            }
+            lo if i + 2 < pat.len() && pat[i + 1] == b'-' && pat[i + 2] != b']' => {
+                let hi = pat[i + 2];
+                let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                if (lo..=hi).contains(&c) {
+                    matched = true;
+                }
+                i += 3;
+            }
+            lit => {
+                if lit == c {
+                    matched = true;
+                }
+                i += 1;
+            }
+        }
+        first = false;
+    }
+    // Unterminated class: treat as no match, consume everything (Redis treats
+    // a missing ']' as matching to end; we are stricter but consistent).
+    (false, &pat[pat.len()..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(p: &str, t: &str) -> bool {
+        glob_match(p.as_bytes(), t.as_bytes())
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(m("hello", "hello"));
+        assert!(!m("hello", "hellO"));
+        assert!(!m("hello", "hell"));
+        assert!(!m("hell", "hello"));
+    }
+
+    #[test]
+    fn star_matches_any_run() {
+        assert!(m("*", ""));
+        assert!(m("*", "anything"));
+        assert!(m("user:*", "user:42"));
+        assert!(m("*:42", "user:42"));
+        assert!(m("u*2", "user:42"));
+        assert!(!m("u*3", "user:42"));
+        assert!(m("a**b", "ab"));
+        assert!(m("*x*", "axb"));
+    }
+
+    #[test]
+    fn question_matches_single() {
+        assert!(m("h?llo", "hello"));
+        assert!(m("h?llo", "hallo"));
+        assert!(!m("h?llo", "hllo"));
+        assert!(!m("?", ""));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("h[ae]llo", "hello"));
+        assert!(m("h[ae]llo", "hallo"));
+        assert!(!m("h[ae]llo", "hillo"));
+        assert!(m("h[a-z]llo", "hqllo"));
+        assert!(!m("h[a-z]llo", "hQllo"));
+        assert!(m("h[^e]llo", "hallo"));
+        assert!(!m("h[^e]llo", "hello"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("h\\*llo", "h*llo"));
+        assert!(!m("h\\*llo", "hxllo"));
+        assert!(m("h\\?llo", "h?llo"));
+        assert!(!m("h\\?llo", "hello"));
+    }
+
+    #[test]
+    fn key_prefix_patterns_used_by_connectors() {
+        assert!(m("rec:*", "rec:ph-1x4b"));
+        assert!(!m("rec:*", "idx:usr:neo"));
+        assert!(m("idx:usr:*", "idx:usr:neo"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+    }
+}

@@ -1,0 +1,125 @@
+//! REdis Serialization Protocol (RESP) encoding.
+//!
+//! Commands are encoded as arrays of bulk strings — the same representation
+//! Redis uses both on the wire and in the append-only file. The AOF stores
+//! RESP-encoded commands ([`crate::aof`]), and the in-transit encryption
+//! boundary seals RESP frames ([`crate::server`]).
+
+use crate::error::{KvError, KvResult};
+use bytes::Bytes;
+
+/// Encode a command (name + args) as a RESP array of bulk strings.
+pub fn encode_command(parts: &[Bytes]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + parts.iter().map(|p| p.len() + 16).sum::<usize>());
+    out.extend_from_slice(format!("*{}\r\n", parts.len()).as_bytes());
+    for part in parts {
+        out.extend_from_slice(format!("${}\r\n", part.len()).as_bytes());
+        out.extend_from_slice(part);
+        out.extend_from_slice(b"\r\n");
+    }
+    out
+}
+
+/// Parse one RESP array of bulk strings. Returns the parts and the number of
+/// bytes consumed.
+pub fn parse_command(buf: &[u8]) -> KvResult<(Vec<Bytes>, usize)> {
+    let mut pos = 0;
+    let n = expect_sized_header(buf, &mut pos, b'*')?;
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = expect_sized_header(buf, &mut pos, b'$')?;
+        if buf.len() < pos + len + 2 {
+            return Err(KvError::Syntax("truncated bulk string".into()));
+        }
+        parts.push(Bytes::copy_from_slice(&buf[pos..pos + len]));
+        pos += len;
+        if &buf[pos..pos + 2] != b"\r\n" {
+            return Err(KvError::Syntax("missing bulk terminator".into()));
+        }
+        pos += 2;
+    }
+    Ok((parts, pos))
+}
+
+fn expect_sized_header(buf: &[u8], pos: &mut usize, marker: u8) -> KvResult<usize> {
+    if buf.len() <= *pos || buf[*pos] != marker {
+        return Err(KvError::Syntax(format!(
+            "expected '{}' header at offset {}",
+            marker as char, *pos
+        )));
+    }
+    *pos += 1;
+    let start = *pos;
+    while *pos < buf.len() && buf[*pos] != b'\r' {
+        *pos += 1;
+    }
+    if buf.len() < *pos + 2 || buf[*pos + 1] != b'\n' {
+        return Err(KvError::Syntax("missing CRLF".into()));
+    }
+    let digits = std::str::from_utf8(&buf[start..*pos])
+        .map_err(|_| KvError::Syntax("non-utf8 length".into()))?;
+    let n: usize = digits
+        .parse()
+        .map_err(|_| KvError::Syntax(format!("bad length {digits:?}")))?;
+    *pos += 2;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn encode_matches_resp_spec() {
+        let enc = encode_command(&[b("SET"), b("k"), b("v")]);
+        assert_eq!(enc, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let parts = vec![b("HSET"), b("rec:1"), b("data"), b("123-456")];
+        let enc = encode_command(&parts);
+        let (parsed, consumed) = parse_command(&enc).unwrap();
+        assert_eq!(parsed, parts);
+        assert_eq!(consumed, enc.len());
+    }
+
+    #[test]
+    fn roundtrip_with_binary_and_empty_parts() {
+        let parts = vec![b(""), Bytes::from(vec![0u8, 255, 13, 10, 42])];
+        let enc = encode_command(&parts);
+        let (parsed, _) = parse_command(&enc).unwrap();
+        assert_eq!(parsed, parts);
+    }
+
+    #[test]
+    fn multiple_commands_in_stream() {
+        let mut stream = encode_command(&[b("SET"), b("a"), b("1")]);
+        stream.extend(encode_command(&[b("DEL"), b("a")]));
+        let (first, used) = parse_command(&stream).unwrap();
+        assert_eq!(first[0], b("SET"));
+        let (second, used2) = parse_command(&stream[used..]).unwrap();
+        assert_eq!(second[0], b("DEL"));
+        assert_eq!(used + used2, stream.len());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let enc = encode_command(&[b("SET"), b("key"), b("value")]);
+        for cut in [1, 5, 10, enc.len() - 1] {
+            assert!(parse_command(&enc[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse_command(b"!3\r\n").is_err());
+        assert!(parse_command(b"*x\r\n").is_err());
+        assert!(parse_command(b"*1\r\n$abc\r\n").is_err());
+        assert!(parse_command(b"").is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! A tiny deterministic RNG (xorshift64*) for the store's internal sampling.
+//!
+//! The expiration cycle needs cheap random key sampling. Pulling in a full
+//! RNG crate for this would couple the store's behaviour to an external
+//! dependency's stream; a 3-line xorshift keeps cycle behaviour reproducible
+//! in tests (the workload generators in the `workload` crate use `rand`
+//! properly — this RNG is internal to the store, as Redis' own `rand()` use
+//! is internal to it).
+
+/// xorshift64* PRNG.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator. A zero seed is remapped (xorshift cannot hold 0).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        let first = r.next_u64();
+        assert_ne!(first, 0);
+        assert_ne!(r.next_u64(), first);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = XorShift64::new(99);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut r = XorShift64::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.next_below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+}

@@ -1,0 +1,594 @@
+//! The store front-end: single-threaded command execution, AOF logging,
+//! transit encryption, and the active-expiration driver.
+//!
+//! Like Redis, all commands — reads and writes alike — serialize through one
+//! execution context (here, one mutex). Under GDPR retrofits this is the
+//! property that makes Redis' slowdown so much steeper than PostgreSQL's:
+//! every added per-operation cost (cipher, audit append, strict expiry
+//! bookkeeping) is paid inside the serial section.
+
+use crate::aof::{self, Aof};
+use crate::commands::{Command, Reply};
+use crate::config::{AofStorage, KvConfig};
+use crate::db::Db;
+use crate::error::{KvError, KvResult};
+use crate::expire::{CycleStats, ExpirationCycle, CYCLE_PERIOD};
+use crate::rng::XorShift64;
+use bytes::Bytes;
+use clock::SharedClock;
+use crypto::channel::SecureChannel;
+use crypto::Volume;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Inner {
+    db: Db,
+    cycle: ExpirationCycle,
+    aof: Option<Aof>,
+    transit: Option<Transit>,
+    rng: XorShift64,
+}
+
+/// Both endpoints of the simulated client↔server encrypted session. Holding
+/// both in-process means every command pays seal+open twice (request and
+/// reply), which is the cost stunnel adds.
+struct Transit {
+    client: crypto::channel::DuplexChannel,
+    server: crypto::channel::DuplexChannel,
+}
+
+/// Operation counters, exposed for INFO-style reporting.
+#[derive(Debug, Default)]
+pub struct KvStats {
+    pub commands: AtomicU64,
+    pub writes: AtomicU64,
+    pub reads: AtomicU64,
+    pub aof_records: AtomicU64,
+    pub expired_actively: AtomicU64,
+}
+
+/// The key-value store.
+pub struct KvStore {
+    inner: Mutex<Inner>,
+    config: KvConfig,
+    clock: SharedClock,
+    stats: KvStats,
+    shutdown: Arc<AtomicBool>,
+    expirer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl KvStore {
+    /// Open a store with the given configuration against the wall clock.
+    pub fn open(config: KvConfig) -> KvResult<Arc<Self>> {
+        Self::open_with_clock(config, clock::wall())
+    }
+
+    /// Open a store against an explicit clock (simulated in experiments).
+    pub fn open_with_clock(config: KvConfig, clk: SharedClock) -> KvResult<Arc<Self>> {
+        let volume = config
+            .encrypt_at_rest
+            .then(|| Volume::new(&config.cipher_seed));
+        let aof = Aof::open(&config.aof, config.fsync, volume, clk.clone())?;
+        let transit = config.encrypt_transit.then(|| {
+            let (client, server) = SecureChannel::pair(&config.cipher_seed);
+            Transit { client, server }
+        });
+        Ok(Arc::new(KvStore {
+            inner: Mutex::new(Inner {
+                db: Db::new(clk.clone()),
+                cycle: ExpirationCycle::new(config.expiration),
+                aof,
+                transit,
+                rng: XorShift64::new(0xD15C_0B44),
+            }),
+            config,
+            clock: clk,
+            stats: KvStats::default(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            expirer: Mutex::new(None),
+        }))
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &KvConfig {
+        &self.config
+    }
+
+    /// The store's clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+
+    /// Execute one command through the full pipeline: transit decryption,
+    /// serial execution, AOF logging, transit encryption of the reply.
+    pub fn execute(&self, cmd: Command) -> KvResult<Reply> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+
+        // In-transit boundary: the "client" seals the request, the "server"
+        // opens it — then the reverse for the reply. The store executes the
+        // typed command; the wire trip exists to pay the honest cipher cost
+        // and to catch any tampering in tests.
+        if let Some(transit) = &mut inner.transit {
+            let wire = crate::resp::encode_command(&cmd.to_wire());
+            let sealed = transit.client.seal(&wire);
+            let opened = transit
+                .server
+                .open(&sealed)
+                .map_err(|e| KvError::Corrupt(format!("transit: {e}")))?;
+            debug_assert_eq!(opened, wire);
+        }
+
+        let is_write = cmd.is_write();
+        let reply = cmd.execute(&mut inner.db, &mut inner.rng)?;
+
+        if let Some(aof) = &mut inner.aof {
+            if is_write || self.config.log_reads {
+                for logged in Self::aof_form(&cmd, &inner.db) {
+                    aof.append(&logged.to_wire())?;
+                }
+                self.stats.aof_records.store(aof.records, Ordering::Relaxed);
+            }
+        }
+
+        if let Some(transit) = &mut inner.transit {
+            let wire = reply.encode();
+            let sealed = transit.server.seal(&wire);
+            let opened = transit
+                .client
+                .open(&sealed)
+                .map_err(|e| KvError::Corrupt(format!("transit: {e}")))?;
+            debug_assert_eq!(opened, wire);
+        }
+
+        self.stats.commands.fetch_add(1, Ordering::Relaxed);
+        if is_write {
+            self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(reply)
+    }
+
+    /// Rewrite a command into its replay-safe AOF form. Relative expiries
+    /// become absolute deadlines (as Redis rewrites EXPIRE to PEXPIREAT), so
+    /// replay at a later time does not resurrect TTLs.
+    fn aof_form(cmd: &Command, db: &Db) -> Vec<Command> {
+        match cmd {
+            Command::Set { key, value, expire: Some(_) } => {
+                let at = db.expiry_of(key).expect("expiry was just set");
+                vec![
+                    Command::Set { key: key.clone(), value: value.clone(), expire: None },
+                    Command::ExpireAt { key: key.clone(), at_ms: at.as_millis() },
+                ]
+            }
+            Command::Expire { key, .. } => match db.expiry_of(key) {
+                Some(at) => vec![Command::ExpireAt { key: key.clone(), at_ms: at.as_millis() }],
+                // EXPIRE on a missing key mutates nothing; log nothing.
+                None => vec![],
+            },
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Run one active-expiration cycle now. Experiment harnesses call this
+    /// against a simulated clock; production uses the background driver.
+    pub fn run_expiration_cycle(&self) -> CycleStats {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let stats = inner.cycle.run_cycle(&mut inner.db);
+        self.stats
+            .expired_actively
+            .fetch_add(stats.reaped as u64, Ordering::Relaxed);
+        stats
+    }
+
+    /// Start the background expiration driver (one cycle per
+    /// [`CYCLE_PERIOD`]), as `serverCron` does in Redis. Idempotent.
+    pub fn start_expiration_driver(self: &Arc<Self>) {
+        let mut guard = self.expirer.lock();
+        if guard.is_some() {
+            return;
+        }
+        // Hold the store weakly: a driver with a strong Arc would keep the
+        // store alive forever and the thread spinning after the last user
+        // handle is gone.
+        let store = Arc::downgrade(self);
+        let shutdown = Arc::clone(&self.shutdown);
+        *guard = Some(std::thread::spawn(move || {
+            while !shutdown.load(Ordering::Relaxed) {
+                let Some(store) = store.upgrade() else {
+                    break;
+                };
+                store.run_expiration_cycle();
+                let clock = store.clock.clone();
+                drop(store); // do not pin the store across the sleep
+                clock.sleep(CYCLE_PERIOD);
+            }
+        }));
+    }
+
+    /// Stop the background expiration driver, if running.
+    pub fn stop_expiration_driver(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.expirer.lock().take() {
+            // The driver can be the caller when it holds the last Arc (its
+            // upgrade raced the owner's drop); a thread must not join
+            // itself — shutdown is set, so it exits on its next check.
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+        self.shutdown.store(false, Ordering::Relaxed);
+    }
+
+    /// Force an AOF flush/fsync.
+    pub fn sync_aof(&self) -> KvResult<()> {
+        if let Some(aof) = &mut self.inner.lock().aof {
+            aof.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes appended to the AOF so far.
+    pub fn aof_bytes(&self) -> u64 {
+        self.inner.lock().aof.as_ref().map_or(0, |a| a.bytes)
+    }
+
+    /// Handle to the in-memory AOF buffer (memory-backed stores only).
+    pub fn aof_memory_buffer(&self) -> Option<aof::MemBuffer> {
+        self.inner.lock().aof.as_ref().and_then(|a| a.memory_buffer())
+    }
+
+    /// Serialize the keyspace to a point-in-time snapshot (the RDB file),
+    /// sealed when encryption at rest is configured.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let volume = self
+            .config
+            .encrypt_at_rest
+            .then(|| Volume::new(&self.config.cipher_seed));
+        crate::rdb::snapshot(&self.inner.lock().db, volume.as_ref())
+    }
+
+    /// Restore a snapshot produced by [`Self::snapshot_bytes`] into this
+    /// store (overwriting clashing keys). Returns keys restored.
+    pub fn restore_snapshot(&self, data: &[u8]) -> KvResult<usize> {
+        let volume = self
+            .config
+            .encrypt_at_rest
+            .then(|| Volume::new(&self.config.cipher_seed));
+        crate::rdb::restore(&mut self.inner.lock().db, data, volume.as_ref())
+    }
+
+    /// Replay an AOF byte stream into a fresh store with this configuration.
+    pub fn replay(config: KvConfig, data: &[u8], clk: SharedClock) -> KvResult<Arc<Self>> {
+        let volume = config
+            .encrypt_at_rest
+            .then(|| Volume::new(&config.cipher_seed));
+        let commands = aof::decode_stream(data, volume.as_ref())?;
+        // Replay with logging and transit disabled, then re-enable.
+        let store = Self::open_with_clock(
+            KvConfig {
+                aof: AofStorage::Disabled,
+                encrypt_transit: false,
+                ..config
+            },
+            clk,
+        )?;
+        {
+            let mut inner = store.inner.lock();
+            let inner = &mut *inner;
+            for parts in commands {
+                let cmd = Command::from_wire(&parts)?;
+                // Read commands may appear in GDPR audit logs; applying them
+                // is harmless but pointless, so skip.
+                if cmd.is_write() {
+                    cmd.execute(&mut inner.db, &mut inner.rng)?;
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    // ----- convenience wrappers used by connectors and tests -----
+
+    pub fn set(&self, key: &[u8], value: &[u8]) -> KvResult<()> {
+        self.execute(Command::Set {
+            key: Bytes::copy_from_slice(key),
+            value: Bytes::copy_from_slice(value),
+            expire: None,
+        })
+        .map(|_| ())
+    }
+
+    pub fn set_ex(&self, key: &[u8], value: &[u8], ttl: Duration) -> KvResult<()> {
+        self.execute(Command::Set {
+            key: Bytes::copy_from_slice(key),
+            value: Bytes::copy_from_slice(value),
+            expire: Some(ttl),
+        })
+        .map(|_| ())
+    }
+
+    pub fn get(&self, key: &[u8]) -> KvResult<Option<Bytes>> {
+        Ok(self
+            .execute(Command::Get { key: Bytes::copy_from_slice(key) })?
+            .as_bulk()
+            .cloned())
+    }
+
+    pub fn del(&self, key: &[u8]) -> KvResult<bool> {
+        Ok(self
+            .execute(Command::Del { keys: vec![Bytes::copy_from_slice(key)] })?
+            .as_int()
+            .unwrap_or(0)
+            > 0)
+    }
+
+    pub fn exists(&self, key: &[u8]) -> KvResult<bool> {
+        Ok(self
+            .execute(Command::Exists { keys: vec![Bytes::copy_from_slice(key)] })?
+            .as_int()
+            .unwrap_or(0)
+            > 0)
+    }
+
+    pub fn expire(&self, key: &[u8], ttl: Duration) -> KvResult<bool> {
+        Ok(self
+            .execute(Command::Expire { key: Bytes::copy_from_slice(key), ttl })?
+            .as_int()
+            .unwrap_or(0)
+            > 0)
+    }
+
+    pub fn dbsize(&self) -> usize {
+        self.inner.lock().db.len()
+    }
+
+    /// Number of keys carrying an expiry.
+    pub fn expire_set_len(&self) -> usize {
+        self.inner.lock().db.expire_set_len()
+    }
+
+    /// Approximate memory footprint of the keyspace (Table 3 metric).
+    pub fn memory_usage(&self) -> usize {
+        self.inner.lock().db.memory_usage()
+    }
+}
+
+impl Drop for KvStore {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.expirer.lock().take() {
+            // Drop may run on the driver thread itself (the driver's Arc
+            // upgrade can be the last handle); joining oneself deadlocks.
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+        if let Some(aof) = &mut self.inner.lock().aof {
+            let _ = aof.sync();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FsyncPolicy;
+    use crate::expire::ExpirationMode;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn basic_set_get_through_server() {
+        let store = KvStore::open(KvConfig::default()).unwrap();
+        store.set(b"k", b"v").unwrap();
+        assert_eq!(store.get(b"k").unwrap().unwrap().as_ref(), b"v");
+        assert!(store.del(b"k").unwrap());
+        assert_eq!(store.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn stats_count_reads_and_writes() {
+        let store = KvStore::open(KvConfig::default()).unwrap();
+        store.set(b"k", b"v").unwrap();
+        store.get(b"k").unwrap();
+        store.get(b"k").unwrap();
+        assert_eq!(store.stats().writes.load(Ordering::Relaxed), 1);
+        assert_eq!(store.stats().reads.load(Ordering::Relaxed), 2);
+        assert_eq!(store.stats().commands.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn transit_encryption_preserves_semantics() {
+        let config = KvConfig {
+            encrypt_transit: true,
+            ..Default::default()
+        };
+        let store = KvStore::open(config).unwrap();
+        store.set(b"k", b"v").unwrap();
+        assert_eq!(store.get(b"k").unwrap().unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn aof_logs_only_writes_by_default() {
+        let config = KvConfig {
+            aof: AofStorage::Memory,
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let store = KvStore::open(config).unwrap();
+        store.set(b"k", b"v").unwrap();
+        store.get(b"k").unwrap();
+        store.get(b"k").unwrap();
+        let buf = store.aof_memory_buffer().unwrap();
+        let commands = aof::decode_stream(&buf.lock(), None).unwrap();
+        assert_eq!(commands.len(), 1, "reads must not be logged by default");
+    }
+
+    #[test]
+    fn gdpr_mode_logs_reads_too() {
+        let config = KvConfig {
+            aof: AofStorage::Memory,
+            fsync: FsyncPolicy::Never,
+            log_reads: true,
+            ..Default::default()
+        };
+        let store = KvStore::open(config).unwrap();
+        store.set(b"k", b"v").unwrap();
+        store.get(b"k").unwrap();
+        store.get(b"missing").unwrap();
+        let buf = store.aof_memory_buffer().unwrap();
+        let commands = aof::decode_stream(&buf.lock(), None).unwrap();
+        assert_eq!(commands.len(), 3, "GDPR audit must log reads and misses");
+    }
+
+    #[test]
+    fn replay_reconstructs_state() {
+        let config = KvConfig {
+            aof: AofStorage::Memory,
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let store = KvStore::open(config.clone()).unwrap();
+        store.set(b"a", b"1").unwrap();
+        store.set(b"b", b"2").unwrap();
+        store.del(b"a").unwrap();
+        store
+            .execute(Command::HSet { key: b("h"), pairs: vec![(b("f"), b("v"))] })
+            .unwrap();
+        let raw = store.aof_memory_buffer().unwrap().lock().clone();
+
+        let replayed = KvStore::replay(config, &raw, clock::wall()).unwrap();
+        assert_eq!(replayed.get(b"a").unwrap(), None);
+        assert_eq!(replayed.get(b"b").unwrap().unwrap().as_ref(), b"2");
+        assert_eq!(
+            replayed
+                .execute(Command::HGet { key: b("h"), field: b("f") })
+                .unwrap(),
+            Reply::Bulk(b("v"))
+        );
+    }
+
+    #[test]
+    fn replay_of_encrypted_aof() {
+        let config = KvConfig {
+            aof: AofStorage::Memory,
+            fsync: FsyncPolicy::Never,
+            encrypt_at_rest: true,
+            ..Default::default()
+        };
+        let store = KvStore::open(config.clone()).unwrap();
+        store.set(b"secret", b"payload").unwrap();
+        let raw = store.aof_memory_buffer().unwrap().lock().clone();
+        assert!(!raw.windows(7).any(|w| w == b"payload"));
+        let replayed = KvStore::replay(config, &raw, clock::wall()).unwrap();
+        assert_eq!(replayed.get(b"secret").unwrap().unwrap().as_ref(), b"payload");
+    }
+
+    #[test]
+    fn expiry_survives_replay_as_absolute_deadline() {
+        let sim = clock::sim();
+        let config = KvConfig {
+            aof: AofStorage::Memory,
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let store = KvStore::open_with_clock(config.clone(), sim.clone()).unwrap();
+        store.set_ex(b"k", b"v", Duration::from_secs(10)).unwrap();
+        let raw = store.aof_memory_buffer().unwrap().lock().clone();
+
+        // Replay at t=5s: key still has ~5s to live.
+        sim.advance(Duration::from_secs(5));
+        let replayed = KvStore::replay(config.clone(), &raw, sim.clone()).unwrap();
+        assert!(replayed.exists(b"k").unwrap());
+
+        // Replay at t=11s: the absolute deadline has passed.
+        sim.advance(Duration::from_secs(6));
+        let replayed = KvStore::replay(config, &raw, sim.clone()).unwrap();
+        assert!(!replayed.exists(b"k").unwrap());
+    }
+
+    #[test]
+    fn strict_expiration_cycle_via_server() {
+        let sim = clock::sim();
+        let config = KvConfig {
+            expiration: ExpirationMode::Strict,
+            ..Default::default()
+        };
+        let store = KvStore::open_with_clock(config, sim.clone()).unwrap();
+        for i in 0..100 {
+            store
+                .set_ex(format!("k{i}").as_bytes(), b"v", Duration::from_secs(1))
+                .unwrap();
+        }
+        sim.advance(Duration::from_secs(2));
+        let stats = store.run_expiration_cycle();
+        assert_eq!(stats.reaped, 100);
+        assert_eq!(store.dbsize(), 0);
+    }
+
+    #[test]
+    fn background_driver_reaps_with_wall_clock() {
+        let config = KvConfig {
+            expiration: ExpirationMode::Strict,
+            ..Default::default()
+        };
+        let store = KvStore::open(config).unwrap();
+        for i in 0..50 {
+            store
+                .set_ex(format!("k{i}").as_bytes(), b"v", Duration::from_millis(50))
+                .unwrap();
+        }
+        store.start_expiration_driver();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while store.dbsize() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        store.stop_expiration_driver();
+        assert_eq!(store.dbsize(), 0, "driver should have reaped all keys");
+    }
+
+    #[test]
+    fn concurrent_clients_serialize_correctly() {
+        let store = KvStore::open(KvConfig::default()).unwrap();
+        let mut handles = vec![];
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let key = format!("t{t}:k{i}");
+                    store.set(key.as_bytes(), b"v").unwrap();
+                    assert!(store.exists(key.as_bytes()).unwrap());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.dbsize(), 8 * 200);
+    }
+
+    #[test]
+    fn expire_on_missing_key_logs_nothing() {
+        let config = KvConfig {
+            aof: AofStorage::Memory,
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let store = KvStore::open(config).unwrap();
+        store.expire(b"ghost", Duration::from_secs(5)).unwrap();
+        let buf = store.aof_memory_buffer().unwrap();
+        assert!(aof::decode_stream(&buf.lock(), None).unwrap().is_empty());
+    }
+}

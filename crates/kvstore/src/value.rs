@@ -1,0 +1,290 @@
+//! The value types a key can hold: string, list, hash, set, sorted set —
+//! the five core Redis data types.
+
+use crate::error::{KvError, KvResult};
+use crate::skiplist::SkipList;
+use bytes::Bytes;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A sorted set: a skiplist for order plus a member→score map for O(1) score
+/// lookup, mirroring Redis' dual representation.
+#[derive(Default)]
+pub struct ZSet {
+    list: SkipList,
+    scores: HashMap<Bytes, f64>,
+}
+
+impl ZSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add or update a member. Returns `true` if the member was new.
+    pub fn add(&mut self, member: Bytes, score: f64) -> bool {
+        match self.scores.insert(member.clone(), score) {
+            Some(old) => {
+                if old != score {
+                    self.list.remove(&member, old);
+                    self.list.insert(member, score);
+                }
+                false
+            }
+            None => {
+                self.list.insert(member, score);
+                true
+            }
+        }
+    }
+
+    /// Remove a member. Returns `true` if it was present.
+    pub fn remove(&mut self, member: &[u8]) -> bool {
+        match self.scores.remove(member) {
+            Some(score) => {
+                self.list.remove(member, score);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn score(&self, member: &[u8]) -> Option<f64> {
+        self.scores.get(member).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Members with `min <= score <= max`, in score order.
+    pub fn range_by_score(&self, min: f64, max: f64) -> Vec<(Bytes, f64)> {
+        self.list.range_by_score(min, max)
+    }
+
+    /// As [`Self::range_by_score`], stopping after `limit` members.
+    pub fn range_by_score_limit(&self, min: f64, max: f64, limit: usize) -> Vec<(Bytes, f64)> {
+        self.list.range_by_score_limit(min, max, limit)
+    }
+
+    /// Members with rank in `[start, stop]`, in score order.
+    pub fn range_by_rank(&self, start: usize, stop: usize) -> Vec<(Bytes, f64)> {
+        self.list.range_by_rank(start, stop)
+    }
+
+    /// Approximate heap footprint in bytes, for the space-overhead metric.
+    pub fn memory_usage(&self) -> usize {
+        self.scores
+            .keys()
+            .map(|m| m.len() + 8 + 48) // member + score + node overhead
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for ZSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZSet").field("len", &self.len()).finish()
+    }
+}
+
+/// A value stored at a key.
+pub enum Value {
+    Str(Bytes),
+    List(VecDeque<Bytes>),
+    Hash(HashMap<Bytes, Bytes>),
+    Set(HashSet<Bytes>),
+    ZSet(ZSet),
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Str(b) => f.debug_tuple("Str").field(b).finish(),
+            Value::List(l) => f.debug_tuple("List").field(&l.len()).finish(),
+            Value::Hash(h) => f.debug_tuple("Hash").field(&h.len()).finish(),
+            Value::Set(s) => f.debug_tuple("Set").field(&s.len()).finish(),
+            Value::ZSet(z) => z.fmt(f),
+        }
+    }
+}
+
+impl Value {
+    /// Human-readable type name (as returned by Redis' `TYPE`).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Hash(_) => "hash",
+            Value::Set(_) => "set",
+            Value::ZSet(_) => "zset",
+        }
+    }
+
+    pub fn as_str(&self) -> KvResult<&Bytes> {
+        match self {
+            Value::Str(b) => Ok(b),
+            _ => Err(KvError::WrongType),
+        }
+    }
+
+    pub fn as_hash(&self) -> KvResult<&HashMap<Bytes, Bytes>> {
+        match self {
+            Value::Hash(h) => Ok(h),
+            _ => Err(KvError::WrongType),
+        }
+    }
+
+    pub fn as_hash_mut(&mut self) -> KvResult<&mut HashMap<Bytes, Bytes>> {
+        match self {
+            Value::Hash(h) => Ok(h),
+            _ => Err(KvError::WrongType),
+        }
+    }
+
+    pub fn as_list_mut(&mut self) -> KvResult<&mut VecDeque<Bytes>> {
+        match self {
+            Value::List(l) => Ok(l),
+            _ => Err(KvError::WrongType),
+        }
+    }
+
+    pub fn as_list(&self) -> KvResult<&VecDeque<Bytes>> {
+        match self {
+            Value::List(l) => Ok(l),
+            _ => Err(KvError::WrongType),
+        }
+    }
+
+    pub fn as_set(&self) -> KvResult<&HashSet<Bytes>> {
+        match self {
+            Value::Set(s) => Ok(s),
+            _ => Err(KvError::WrongType),
+        }
+    }
+
+    pub fn as_set_mut(&mut self) -> KvResult<&mut HashSet<Bytes>> {
+        match self {
+            Value::Set(s) => Ok(s),
+            _ => Err(KvError::WrongType),
+        }
+    }
+
+    pub fn as_zset(&self) -> KvResult<&ZSet> {
+        match self {
+            Value::ZSet(z) => Ok(z),
+            _ => Err(KvError::WrongType),
+        }
+    }
+
+    pub fn as_zset_mut(&mut self) -> KvResult<&mut ZSet> {
+        match self {
+            Value::ZSet(z) => Ok(z),
+            _ => Err(KvError::WrongType),
+        }
+    }
+
+    /// True when a container value has become empty and the key should be
+    /// removed from the keyspace (Redis deletes empty aggregates).
+    pub fn is_empty_container(&self) -> bool {
+        match self {
+            Value::Str(_) => false,
+            Value::List(l) => l.is_empty(),
+            Value::Hash(h) => h.is_empty(),
+            Value::Set(s) => s.is_empty(),
+            Value::ZSet(z) => z.is_empty(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes, for the space-overhead metric
+    /// (Table 3 of the paper).
+    pub fn memory_usage(&self) -> usize {
+        match self {
+            Value::Str(b) => b.len(),
+            Value::List(l) => l.iter().map(|b| b.len() + 16).sum(),
+            Value::Hash(h) => h.iter().map(|(k, v)| k.len() + v.len() + 48).sum(),
+            Value::Set(s) => s.iter().map(|m| m.len() + 48).sum(),
+            Value::ZSet(z) => z.memory_usage(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn zset_add_update_remove() {
+        let mut z = ZSet::new();
+        assert!(z.add(b("a"), 1.0));
+        assert!(!z.add(b("a"), 2.0), "update is not an add");
+        assert_eq!(z.score(b"a"), Some(2.0));
+        assert_eq!(z.len(), 1);
+        assert!(z.remove(b"a"));
+        assert!(!z.remove(b"a"));
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn zset_update_maintains_order() {
+        let mut z = ZSet::new();
+        z.add(b("a"), 1.0);
+        z.add(b("b"), 2.0);
+        z.add(b("a"), 3.0); // a moves after b
+        let members: Vec<_> = z.range_by_score(f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(members[0].0, b("b"));
+        assert_eq!(members[1].0, b("a"));
+    }
+
+    #[test]
+    fn zset_same_score_readd_is_noop() {
+        let mut z = ZSet::new();
+        z.add(b("a"), 1.0);
+        assert!(!z.add(b("a"), 1.0));
+        assert_eq!(z.range_by_score(1.0, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn wrong_type_errors() {
+        let v = Value::Str(b("x"));
+        assert_eq!(v.as_hash().unwrap_err(), KvError::WrongType);
+        assert_eq!(v.as_set().unwrap_err(), KvError::WrongType);
+        assert_eq!(v.as_zset().unwrap_err(), KvError::WrongType);
+        let mut v = Value::Hash(HashMap::new());
+        assert_eq!(v.as_str().unwrap_err(), KvError::WrongType);
+        assert!(v.as_hash_mut().is_ok());
+    }
+
+    #[test]
+    fn empty_container_detection() {
+        assert!(!Value::Str(b("")).is_empty_container());
+        assert!(Value::Hash(HashMap::new()).is_empty_container());
+        assert!(Value::Set(HashSet::new()).is_empty_container());
+        assert!(Value::List(VecDeque::new()).is_empty_container());
+        let mut s = HashSet::new();
+        s.insert(b("m"));
+        assert!(!Value::Set(s).is_empty_container());
+    }
+
+    #[test]
+    fn memory_usage_scales_with_content() {
+        let small = Value::Str(b("ab"));
+        let large = Value::Str(Bytes::from(vec![0u8; 1000]));
+        assert!(large.memory_usage() > small.memory_usage());
+        let mut h = HashMap::new();
+        h.insert(b("field"), b("value"));
+        let hash = Value::Hash(h);
+        assert!(hash.memory_usage() >= 10);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Str(b("")).type_name(), "string");
+        assert_eq!(Value::ZSet(ZSet::new()).type_name(), "zset");
+    }
+}

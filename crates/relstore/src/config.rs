@@ -1,0 +1,121 @@
+//! Engine configuration: the knobs the paper turns in §5.2 / Figure 4b.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// WAL flush policy (PostgreSQL's `synchronous_commit`/`wal_sync_method`
+/// family, reduced to the three behaviours that matter here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync every record.
+    Always,
+    /// fsync at most once per second.
+    #[default]
+    EverySec,
+    /// Let the OS flush when it pleases.
+    Never,
+}
+
+/// Where the write-ahead log lives.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum WalStorage {
+    /// No WAL (benchmark baseline).
+    #[default]
+    Disabled,
+    /// A real file.
+    File(PathBuf),
+    /// In-memory buffer, for tests and recovery checks.
+    Memory,
+}
+
+/// Full engine configuration.
+///
+/// Defaults are the Figure 4b baseline: no security features. The paper's
+/// GDPR retrofit corresponds to:
+///
+/// | paper feature | knob |
+/// |---------------|------|
+/// | Encrypt (LUKS + SSL) | [`encrypt_at_rest`](Self::encrypt_at_rest) + [`encrypt_transit`](Self::encrypt_transit) |
+/// | TTL (expiry column + 1 s daemon) | [`ttl_sweep_interval`](Self::ttl_sweep_interval) + [`crate::ttl::TtlDaemon`] |
+/// | Log (csvlog + row-level response logging) | [`log_statements`](Self::log_statements) + [`log_reads`](Self::log_reads) |
+#[derive(Debug, Clone)]
+pub struct RelConfig {
+    pub wal: WalStorage,
+    pub fsync: FsyncPolicy,
+    /// Seal WAL records with the at-rest cipher.
+    pub encrypt_at_rest: bool,
+    /// Round-trip statements/results through an encrypted session.
+    pub encrypt_transit: bool,
+    /// Record mutating statements in the query log (csvlog).
+    pub log_statements: bool,
+    /// Record read statements (SELECT/COUNT) too — the paper's row-level
+    /// security response logging.
+    pub log_reads: bool,
+    /// Interval of the TTL sweep daemon (the paper sets 1 second).
+    pub ttl_sweep_interval: Duration,
+    /// Key material for the ciphers.
+    pub cipher_seed: Vec<u8>,
+}
+
+impl Default for RelConfig {
+    fn default() -> Self {
+        RelConfig {
+            wal: WalStorage::Disabled,
+            fsync: FsyncPolicy::EverySec,
+            encrypt_at_rest: false,
+            encrypt_transit: false,
+            log_statements: false,
+            log_reads: false,
+            ttl_sweep_interval: Duration::from_secs(1),
+            cipher_seed: b"gdprbench-default-key".to_vec(),
+        }
+    }
+}
+
+impl RelConfig {
+    /// The paper's fully GDPR-compliant PostgreSQL: WAL + encryption at rest
+    /// and in transit, full statement logging including reads.
+    pub fn gdpr_compliant(wal_path: impl Into<PathBuf>) -> Self {
+        RelConfig {
+            wal: WalStorage::File(wal_path.into()),
+            encrypt_at_rest: true,
+            encrypt_transit: true,
+            log_statements: true,
+            log_reads: true,
+            ..Default::default()
+        }
+    }
+
+    /// In-memory variant of [`Self::gdpr_compliant`] for tests.
+    pub fn gdpr_compliant_in_memory() -> Self {
+        RelConfig {
+            wal: WalStorage::Memory,
+            encrypt_at_rest: true,
+            encrypt_transit: true,
+            log_statements: true,
+            log_reads: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_baseline() {
+        let c = RelConfig::default();
+        assert_eq!(c.wal, WalStorage::Disabled);
+        assert!(!c.encrypt_at_rest && !c.encrypt_transit);
+        assert!(!c.log_statements && !c.log_reads);
+        assert_eq!(c.ttl_sweep_interval, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn compliant_enables_everything() {
+        let c = RelConfig::gdpr_compliant_in_memory();
+        assert_eq!(c.wal, WalStorage::Memory);
+        assert!(c.encrypt_at_rest && c.encrypt_transit && c.log_statements && c.log_reads);
+    }
+}

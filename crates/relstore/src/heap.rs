@@ -1,0 +1,167 @@
+//! Heap storage: the slotted row store under every table.
+//!
+//! Rows live in slots addressed by [`RowId`]. Deleted slots go on a free
+//! list and are reused by later inserts — the moral equivalent of heap pages
+//! plus the free-space map.
+
+use crate::datum::Datum;
+
+/// A row's address in its table's heap. Only meaningful within one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+/// One table's row storage.
+#[derive(Default)]
+pub struct Heap {
+    slots: Vec<Option<Vec<Datum>>>,
+    free: Vec<u32>,
+    live: usize,
+    /// Approximate bytes of live row data.
+    bytes: usize,
+}
+
+impl Heap {
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Approximate bytes of live row data (Table 3 metric component).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Store a row, returning its id.
+    pub fn insert(&mut self, row: Vec<Datum>) -> RowId {
+        self.bytes += row_size(&row);
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(row);
+                RowId(slot)
+            }
+            None => {
+                self.slots.push(Some(row));
+                RowId((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Fetch a live row.
+    pub fn get(&self, id: RowId) -> Option<&[Datum]> {
+        self.slots.get(id.0 as usize)?.as_deref()
+    }
+
+    /// Replace a live row in place. Returns the old row, or `None` if the
+    /// slot is dead.
+    pub fn update(&mut self, id: RowId, row: Vec<Datum>) -> Option<Vec<Datum>> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        if slot.is_none() {
+            return None;
+        }
+        self.bytes += row_size(&row);
+        let old = slot.replace(row);
+        if let Some(old_row) = &old {
+            self.bytes -= row_size(old_row);
+        }
+        old
+    }
+
+    /// Delete a row. Returns the row if it was live.
+    pub fn delete(&mut self, id: RowId) -> Option<Vec<Datum>> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        let old = slot.take()?;
+        self.bytes -= row_size(&old);
+        self.live -= 1;
+        self.free.push(id.0);
+        Some(old)
+    }
+
+    /// Iterate live rows (a sequential scan).
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Datum])> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|row| (RowId(i as u32), row.as_slice())))
+    }
+}
+
+fn row_size(row: &[Datum]) -> usize {
+    row.iter().map(Datum::size_bytes).sum::<usize>() + 24
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(k: &str) -> Vec<Datum> {
+        vec![Datum::Text(k.into()), Datum::Int(1)]
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut h = Heap::new();
+        let id = h.insert(row("a"));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(id).unwrap()[0], Datum::Text("a".into()));
+        let old = h.delete(id).unwrap();
+        assert_eq!(old[0], Datum::Text("a".into()));
+        assert!(h.get(id).is_none());
+        assert!(h.delete(id).is_none(), "double delete must fail");
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut h = Heap::new();
+        let a = h.insert(row("a"));
+        let _b = h.insert(row("b"));
+        h.delete(a);
+        let c = h.insert(row("c"));
+        assert_eq!(c, a, "freed slot should be reused");
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn scan_skips_dead_rows() {
+        let mut h = Heap::new();
+        let ids: Vec<_> = (0..10).map(|i| h.insert(row(&format!("r{i}")))).collect();
+        for id in ids.iter().step_by(2) {
+            h.delete(*id);
+        }
+        let live: Vec<_> = h.scan().collect();
+        assert_eq!(live.len(), 5);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut h = Heap::new();
+        let id = h.insert(row("a"));
+        let old = h.update(id, row("b")).unwrap();
+        assert_eq!(old[0], Datum::Text("a".into()));
+        assert_eq!(h.get(id).unwrap()[0], Datum::Text("b".into()));
+        h.delete(id);
+        assert!(h.update(id, row("c")).is_none(), "update of dead slot fails");
+    }
+
+    #[test]
+    fn byte_accounting_tracks_live_data() {
+        let mut h = Heap::new();
+        assert_eq!(h.bytes(), 0);
+        let id = h.insert(vec![Datum::Text("x".repeat(1000))]);
+        let big = h.bytes();
+        assert!(big >= 1000);
+        h.update(id, vec![Datum::Text("y".into())]).unwrap();
+        assert!(h.bytes() < big);
+        h.delete(id);
+        assert_eq!(h.bytes(), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Index layer: unique and secondary indices over table columns, including
+//! inverted indices for `text[]` columns — the paper's "metadata indexing".
+//!
+//! For scalar columns the index maps the column value to the rows holding
+//! it. For `text[]` columns it maps each *element* to the rows whose array
+//! contains it, which is what a `... WHERE 'ads' = ANY(purposes)` query
+//! needs (PostgreSQL would use a GIN index here).
+
+use crate::btree::BPlusTree;
+use crate::datum::{Datum, IndexKey};
+use crate::error::{RelError, RelResult};
+use crate::heap::RowId;
+
+/// A single-column index.
+pub struct Index {
+    name: String,
+    /// Position of the indexed column in the table schema.
+    column: usize,
+    unique: bool,
+    /// Inverted semantics: index the elements of a `text[]` column.
+    inverted: bool,
+    tree: BPlusTree<IndexKey, RowId>,
+    /// Approximate bytes of key data held (Table 3: index space overhead).
+    key_bytes: usize,
+}
+
+impl Index {
+    pub fn new(name: impl Into<String>, column: usize, unique: bool, inverted: bool) -> Self {
+        Index {
+            name: name.into(),
+            column,
+            unique,
+            inverted,
+            tree: BPlusTree::new(),
+            key_bytes: 0,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    pub fn is_inverted(&self) -> bool {
+        self.inverted
+    }
+
+    /// Keys this row contributes to the index.
+    fn keys_of(&self, row: &[Datum]) -> Vec<IndexKey> {
+        let datum = &row[self.column];
+        if self.inverted {
+            match datum.as_text_array() {
+                Some(items) => items
+                    .iter()
+                    .map(|s| IndexKey(Datum::Text(s.clone())))
+                    .collect(),
+                None => Vec::new(), // NULL array indexes nothing
+            }
+        } else if datum.is_null() {
+            Vec::new() // NULLs are not indexed (as in btree indexes for lookups we issue)
+        } else {
+            vec![IndexKey(datum.clone())]
+        }
+    }
+
+    /// Pre-check uniqueness for a row about to be inserted.
+    pub fn check_unique(&self, row: &[Datum]) -> RelResult<()> {
+        if !self.unique {
+            return Ok(());
+        }
+        for key in self.keys_of(row) {
+            if !self.tree.get(&key).is_empty() {
+                return Err(RelError::UniqueViolation { index: self.name.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Add a row's entries.
+    pub fn insert(&mut self, row: &[Datum], id: RowId) {
+        for key in self.keys_of(row) {
+            self.key_bytes += key.0.size_bytes();
+            self.tree.insert(key, id);
+        }
+    }
+
+    /// Remove a row's entries.
+    pub fn remove(&mut self, row: &[Datum], id: RowId) {
+        for key in self.keys_of(row) {
+            if self.tree.remove(&key, &id) {
+                self.key_bytes -= key.0.size_bytes();
+            }
+        }
+    }
+
+    /// Rows holding exactly `datum` (or containing it, for inverted indices).
+    pub fn lookup(&self, datum: &Datum) -> Vec<RowId> {
+        self.tree.get(&IndexKey(datum.clone())).to_vec()
+    }
+
+    /// Rows whose key lies in `[lo, hi]`.
+    pub fn lookup_range(&self, lo: &Datum, hi: &Datum) -> Vec<RowId> {
+        self.lookup_range_limit(lo, hi, usize::MAX)
+    }
+
+    /// As [`Self::lookup_range`], capped at `limit` rows (in key order).
+    pub fn lookup_range_limit(&self, lo: &Datum, hi: &Datum, limit: usize) -> Vec<RowId> {
+        self.tree
+            .range_limit(&IndexKey(lo.clone()), &IndexKey(hi.clone()), limit)
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect()
+    }
+
+    /// Number of (key, row) entries.
+    pub fn entry_count(&self) -> usize {
+        self.tree.entry_count()
+    }
+
+    /// Approximate bytes held by this index (keys + per-entry overhead).
+    pub fn size_bytes(&self) -> usize {
+        self.key_bytes + self.tree.entry_count() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(key: &str, purposes: &[&str]) -> Vec<Datum> {
+        vec![
+            Datum::Text(key.into()),
+            Datum::TextArray(purposes.iter().map(|s| s.to_string()).collect()),
+        ]
+    }
+
+    #[test]
+    fn scalar_index_lookup() {
+        let mut idx = Index::new("pk", 0, true, false);
+        idx.insert(&row("a", &[]), RowId(0));
+        idx.insert(&row("b", &[]), RowId(1));
+        assert_eq!(idx.lookup(&Datum::Text("a".into())), vec![RowId(0)]);
+        assert!(idx.lookup(&Datum::Text("zz".into())).is_empty());
+    }
+
+    #[test]
+    fn unique_violation_detected() {
+        let mut idx = Index::new("pk", 0, true, false);
+        idx.insert(&row("a", &[]), RowId(0));
+        assert!(matches!(
+            idx.check_unique(&row("a", &[])),
+            Err(RelError::UniqueViolation { .. })
+        ));
+        assert!(idx.check_unique(&row("b", &[])).is_ok());
+    }
+
+    #[test]
+    fn non_unique_allows_duplicates() {
+        let mut idx = Index::new("sec", 0, false, false);
+        idx.insert(&row("x", &[]), RowId(0));
+        assert!(idx.check_unique(&row("x", &[])).is_ok());
+        idx.insert(&row("x", &[]), RowId(1));
+        let mut got = idx.lookup(&Datum::Text("x".into()));
+        got.sort();
+        assert_eq!(got, vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn inverted_index_on_text_array() {
+        let mut idx = Index::new("purposes_idx", 1, false, true);
+        idx.insert(&row("a", &["ads", "2fa"]), RowId(0));
+        idx.insert(&row("b", &["ads"]), RowId(1));
+        idx.insert(&row("c", &["analytics"]), RowId(2));
+        let mut ads = idx.lookup(&Datum::Text("ads".into()));
+        ads.sort();
+        assert_eq!(ads, vec![RowId(0), RowId(1)]);
+        assert_eq!(idx.lookup(&Datum::Text("2fa".into())), vec![RowId(0)]);
+        assert_eq!(idx.entry_count(), 4);
+    }
+
+    #[test]
+    fn remove_clears_entries() {
+        let mut idx = Index::new("purposes_idx", 1, false, true);
+        let r = row("a", &["ads", "2fa"]);
+        idx.insert(&r, RowId(0));
+        idx.remove(&r, RowId(0));
+        assert!(idx.lookup(&Datum::Text("ads".into())).is_empty());
+        assert_eq!(idx.entry_count(), 0);
+        assert_eq!(idx.size_bytes(), 0);
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let mut idx = Index::new("sec", 0, false, false);
+        idx.insert(&[Datum::Null, Datum::Null], RowId(0));
+        assert_eq!(idx.entry_count(), 0);
+    }
+
+    #[test]
+    fn range_lookup() {
+        let mut idx = Index::new("ts", 0, false, false);
+        for i in 0..100u64 {
+            idx.insert(&[Datum::Timestamp(i)], RowId(i as u32));
+        }
+        let got = idx.lookup_range(&Datum::Timestamp(10), &Datum::Timestamp(19));
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn size_grows_with_entries() {
+        let mut idx = Index::new("sec", 0, false, false);
+        idx.insert(&[Datum::Text("long-purpose-string".into())], RowId(0));
+        let one = idx.size_bytes();
+        idx.insert(&[Datum::Text("another-purpose".into())], RowId(1));
+        assert!(idx.size_bytes() > one);
+    }
+}

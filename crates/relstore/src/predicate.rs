@@ -1,0 +1,270 @@
+//! Row predicates: the WHERE clauses of the statement API.
+
+use crate::datum::Datum;
+use crate::error::RelResult;
+use crate::schema::Schema;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A predicate over rows of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Matches every row.
+    True,
+    /// `col = value` (scalar equality).
+    Eq(String, Datum),
+    /// `value = ANY(col)` — membership in a `text[]` column.
+    Contains(String, String),
+    /// `col < value`.
+    Lt(String, Datum),
+    /// `col <= value`.
+    Le(String, Datum),
+    /// `col > value`.
+    Gt(String, Datum),
+    /// `col >= value`.
+    Ge(String, Datum),
+    /// `col IS NULL` / empty array.
+    IsNull(String),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience: `col = text-value`.
+    pub fn eq_text(col: &str, value: &str) -> Predicate {
+        Predicate::Eq(col.to_string(), Datum::Text(value.to_string()))
+    }
+
+    /// Convenience: `value = ANY(col)`.
+    pub fn contains(col: &str, value: &str) -> Predicate {
+        Predicate::Contains(col.to_string(), value.to_string())
+    }
+
+    /// Evaluate against a row. Unknown (NULL) comparisons are false, as in
+    /// SQL's three-valued logic collapsing to WHERE semantics.
+    pub fn eval(&self, schema: &Schema, row: &[Datum]) -> RelResult<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Eq(col, value) => {
+                let datum = &row[schema.column_index(col)?];
+                datum.sql_cmp(value) == Some(Ordering::Equal)
+            }
+            Predicate::Contains(col, needle) => {
+                let datum = &row[schema.column_index(col)?];
+                datum
+                    .as_text_array()
+                    .is_some_and(|items| items.iter().any(|s| s == needle))
+            }
+            Predicate::Lt(col, value) => self.cmp_is(schema, row, col, value, Ordering::Less)?,
+            Predicate::Gt(col, value) => self.cmp_is(schema, row, col, value, Ordering::Greater)?,
+            Predicate::Le(col, value) => {
+                let datum = &row[schema.column_index(col)?];
+                matches!(datum.sql_cmp(value), Some(Ordering::Less | Ordering::Equal))
+            }
+            Predicate::Ge(col, value) => {
+                let datum = &row[schema.column_index(col)?];
+                matches!(datum.sql_cmp(value), Some(Ordering::Greater | Ordering::Equal))
+            }
+            Predicate::IsNull(col) => {
+                let datum = &row[schema.column_index(col)?];
+                datum.is_null() || datum.as_text_array().is_some_and(|a| a.is_empty())
+            }
+            Predicate::And(preds) => {
+                for p in preds {
+                    if !p.eval(schema, row)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            Predicate::Or(preds) => {
+                for p in preds {
+                    if p.eval(schema, row)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+            Predicate::Not(p) => !p.eval(schema, row)?,
+        })
+    }
+
+    fn cmp_is(
+        &self,
+        schema: &Schema,
+        row: &[Datum],
+        col: &str,
+        value: &Datum,
+        want: Ordering,
+    ) -> RelResult<bool> {
+        let datum = &row[schema.column_index(col)?];
+        Ok(datum.sql_cmp(value) == Some(want))
+    }
+
+    /// Validate that all referenced columns exist.
+    pub fn check(&self, schema: &Schema) -> RelResult<()> {
+        match self {
+            Predicate::True => Ok(()),
+            Predicate::Eq(col, _)
+            | Predicate::Contains(col, _)
+            | Predicate::Lt(col, _)
+            | Predicate::Le(col, _)
+            | Predicate::Gt(col, _)
+            | Predicate::Ge(col, _)
+            | Predicate::IsNull(col) => schema.column_index(col).map(|_| ()),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().try_for_each(|p| p.check(schema))
+            }
+            Predicate::Not(p) => p.check(schema),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Eq(c, v) => write!(f, "{c} = {v}"),
+            Predicate::Contains(c, v) => write!(f, "'{v}' = ANY({c})"),
+            Predicate::Lt(c, v) => write!(f, "{c} < {v}"),
+            Predicate::Le(c, v) => write!(f, "{c} <= {v}"),
+            Predicate::Gt(c, v) => write!(f, "{c} > {v}"),
+            Predicate::Ge(c, v) => write!(f, "{c} >= {v}"),
+            Predicate::IsNull(c) => write!(f, "{c} IS NULL"),
+            Predicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Not(p) => write!(f, "NOT {p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                ("key", ColumnType::Text),
+                ("usr", ColumnType::Text),
+                ("purposes", ColumnType::TextArray),
+                ("expiry", ColumnType::Timestamp),
+            ],
+            "key",
+        )
+        .unwrap()
+    }
+
+    fn row(key: &str, usr: &str, purposes: &[&str], expiry: u64) -> Vec<Datum> {
+        vec![
+            Datum::Text(key.into()),
+            Datum::Text(usr.into()),
+            Datum::TextArray(purposes.iter().map(|s| s.to_string()).collect()),
+            Datum::Timestamp(expiry),
+        ]
+    }
+
+    #[test]
+    fn eq_and_contains() {
+        let s = schema();
+        let r = row("k1", "neo", &["ads", "2fa"], 100);
+        assert!(Predicate::eq_text("usr", "neo").eval(&s, &r).unwrap());
+        assert!(!Predicate::eq_text("usr", "smith").eval(&s, &r).unwrap());
+        assert!(Predicate::contains("purposes", "ads").eval(&s, &r).unwrap());
+        assert!(!Predicate::contains("purposes", "sales").eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn comparisons_on_timestamps() {
+        let s = schema();
+        let r = row("k1", "neo", &[], 100);
+        let lt = Predicate::Lt("expiry".into(), Datum::Timestamp(200));
+        let ge = Predicate::Ge("expiry".into(), Datum::Timestamp(100));
+        let gt = Predicate::Gt("expiry".into(), Datum::Timestamp(100));
+        assert!(lt.eval(&s, &r).unwrap());
+        assert!(ge.eval(&s, &r).unwrap());
+        assert!(!gt.eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let s = schema();
+        let mut r = row("k1", "neo", &[], 100);
+        r[1] = Datum::Null;
+        assert!(!Predicate::eq_text("usr", "neo").eval(&s, &r).unwrap());
+        assert!(Predicate::IsNull("usr".into()).eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn empty_array_counts_as_null() {
+        let s = schema();
+        let r = row("k1", "neo", &[], 100);
+        assert!(Predicate::IsNull("purposes".into()).eval(&s, &r).unwrap());
+        let r2 = row("k1", "neo", &["x"], 100);
+        assert!(!Predicate::IsNull("purposes".into()).eval(&s, &r2).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let r = row("k1", "neo", &["ads"], 100);
+        let both = Predicate::And(vec![
+            Predicate::eq_text("usr", "neo"),
+            Predicate::contains("purposes", "ads"),
+        ]);
+        assert!(both.eval(&s, &r).unwrap());
+        let either = Predicate::Or(vec![
+            Predicate::eq_text("usr", "smith"),
+            Predicate::contains("purposes", "ads"),
+        ]);
+        assert!(either.eval(&s, &r).unwrap());
+        let neither = Predicate::Not(Box::new(either.clone()));
+        assert!(!neither.eval(&s, &r).unwrap());
+        assert!(Predicate::And(vec![]).eval(&s, &r).unwrap(), "empty AND is true");
+        assert!(!Predicate::Or(vec![]).eval(&s, &r).unwrap(), "empty OR is false");
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        let r = row("k1", "neo", &[], 0);
+        assert!(Predicate::eq_text("ghost", "x").eval(&s, &r).is_err());
+        assert!(Predicate::eq_text("ghost", "x").check(&s).is_err());
+        assert!(Predicate::And(vec![Predicate::eq_text("ghost", "x")])
+            .check(&s)
+            .is_err());
+        assert!(Predicate::True.check(&s).is_ok());
+    }
+
+    #[test]
+    fn display_is_sql_like() {
+        let p = Predicate::And(vec![
+            Predicate::eq_text("usr", "neo"),
+            Predicate::contains("purposes", "ads"),
+        ]);
+        assert_eq!(p.to_string(), "(usr = 'neo' AND 'ads' = ANY(purposes))");
+    }
+}

@@ -1,0 +1,750 @@
+//! A SQL front-end for the statement API — the dialect the paper's
+//! PostgreSQL client stub would issue through `psql`.
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```sql
+//! CREATE TABLE t (key TEXT, n INT, tags TEXT[], at TIMESTAMP, PRIMARY KEY (key));
+//! CREATE INDEX tags_idx ON t USING GIN (tags);
+//! CREATE INDEX n_idx ON t (n);
+//! DROP INDEX n_idx ON t;
+//! INSERT INTO t VALUES ('k1', 7, ARRAY['ads','2fa'], TIMESTAMP 123456);
+//! SELECT * FROM t WHERE key = 'k1' AND NOT 'ads' = ANY(tags);
+//! SELECT count(*) FROM t WHERE n >= 5 OR at IS NULL;
+//! SELECT * FROM t WHERE key >= 'k0' ORDER BY key LIMIT 10;
+//! UPDATE t SET n = 9, tags = ARRAY['ads'] WHERE key = 'k1';
+//! DELETE FROM t WHERE at <= TIMESTAMP 99;
+//! ```
+//!
+//! The parser is a hand-written tokenizer + recursive descent over exactly
+//! the statement shapes [`Statement`] supports; anything else is a syntax
+//! error, never a silent misinterpretation.
+
+use crate::datum::Datum;
+use crate::error::{RelError, RelResult};
+use crate::predicate::Predicate;
+use crate::schema::ColumnType;
+use crate::statement::Statement;
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> RelResult<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.accept_symbol(";");
+    if !p.at_end() {
+        return Err(p.error("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+// ---------------------------------------------------------------- tokens
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    /// Keyword or identifier (stored lowercase for keywords matching; the
+    /// original spelling is kept for identifiers).
+    Word(String),
+    /// 'single-quoted string' ('' escapes a quote).
+    Str(String),
+    Number(String),
+    Symbol(String),
+}
+
+fn tokenize(sql: &str) -> RelResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(RelError::Wal("unterminated string".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '<' | '>' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Symbol(format!("{c}=")));
+                i += 2;
+            }
+            '(' | ')' | ',' | ';' | '=' | '<' | '>' | '*' | '[' | ']' => {
+                out.push(Token::Symbol(c.to_string()));
+                i += 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                while chars
+                    .get(i)
+                    .is_some_and(|d| d.is_ascii_digit() || *d == '.')
+                {
+                    i += 1;
+                }
+                out.push(Token::Number(chars[start..i].iter().collect()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while chars
+                    .get(i)
+                    .is_some_and(|d| d.is_ascii_alphanumeric() || *d == '_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(RelError::Wal(format!("unexpected character {other:?} in SQL")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, msg: &str) -> RelError {
+        RelError::Wal(format!(
+            "SQL syntax error at token {}: {msg} (next: {:?})",
+            self.pos,
+            self.tokens.get(self.pos)
+        ))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_word(&self) -> Option<String> {
+        match self.tokens.get(self.pos) {
+            Some(Token::Word(w)) => Some(w.to_ascii_lowercase()),
+            _ => None,
+        }
+    }
+
+    /// Consume a keyword (case-insensitive) or fail.
+    fn expect_kw(&mut self, kw: &str) -> RelResult<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {}", kw.to_uppercase())))
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek_word().as_deref() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> RelResult<()> {
+        if self.accept_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {sym:?}")))
+        }
+    }
+
+    fn accept_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.tokens.get(self.pos), Some(Token::Symbol(s)) if s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn identifier(&mut self) -> RelResult<String> {
+        match self.tokens.get(self.pos) {
+            Some(Token::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn statement(&mut self) -> RelResult<Statement> {
+        match self.peek_word().as_deref() {
+            Some("create") => self.create(),
+            Some("drop") => self.drop_index(),
+            Some("insert") => self.insert(),
+            Some("select") => self.select(),
+            Some("update") => self.update(),
+            Some("delete") => self.delete(),
+            _ => Err(self.error("expected CREATE/DROP/INSERT/SELECT/UPDATE/DELETE")),
+        }
+    }
+
+    fn create(&mut self) -> RelResult<Statement> {
+        self.expect_kw("create")?;
+        if self.accept_kw("table") {
+            let table = self.identifier()?;
+            self.expect_symbol("(")?;
+            let mut columns = Vec::new();
+            let mut pk = None;
+            loop {
+                if self.accept_kw("primary") {
+                    self.expect_kw("key")?;
+                    self.expect_symbol("(")?;
+                    pk = Some(self.identifier()?);
+                    self.expect_symbol(")")?;
+                } else {
+                    let name = self.identifier()?;
+                    let ty = self.column_type()?;
+                    columns.push((name, ty));
+                }
+                if !self.accept_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            let pk = pk.ok_or_else(|| self.error("CREATE TABLE requires PRIMARY KEY (col)"))?;
+            Ok(Statement::CreateTable { table, columns, pk })
+        } else if self.accept_kw("index") {
+            let index = self.identifier()?;
+            self.expect_kw("on")?;
+            let table = self.identifier()?;
+            let inverted = if self.accept_kw("using") {
+                let method = self.identifier()?.to_ascii_lowercase();
+                if method != "gin" && method != "btree" {
+                    return Err(self.error("index method must be GIN or BTREE"));
+                }
+                method == "gin"
+            } else {
+                false
+            };
+            self.expect_symbol("(")?;
+            let column = self.identifier()?;
+            self.expect_symbol(")")?;
+            Ok(Statement::CreateIndex { table, index, column, inverted })
+        } else {
+            Err(self.error("expected TABLE or INDEX after CREATE"))
+        }
+    }
+
+    fn column_type(&mut self) -> RelResult<ColumnType> {
+        let word = self.identifier()?.to_ascii_lowercase();
+        let base = match word.as_str() {
+            "text" => ColumnType::Text,
+            "int" | "bigint" | "integer" => ColumnType::Int,
+            "float" | "double" | "real" => ColumnType::Float,
+            "bool" | "boolean" => ColumnType::Bool,
+            "timestamp" => ColumnType::Timestamp,
+            other => return Err(self.error(&format!("unknown type {other}"))),
+        };
+        // `TEXT[]` array suffix.
+        if self.accept_symbol("[") {
+            self.expect_symbol("]")?;
+            if base != ColumnType::Text {
+                return Err(self.error("only TEXT[] arrays are supported"));
+            }
+            return Ok(ColumnType::TextArray);
+        }
+        Ok(base)
+    }
+
+    fn drop_index(&mut self) -> RelResult<Statement> {
+        self.expect_kw("drop")?;
+        self.expect_kw("index")?;
+        let index = self.identifier()?;
+        self.expect_kw("on")?;
+        let table = self.identifier()?;
+        Ok(Statement::DropIndex { table, index })
+    }
+
+    fn insert(&mut self) -> RelResult<Statement> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.identifier()?;
+        self.expect_kw("values")?;
+        self.expect_symbol("(")?;
+        let mut row = Vec::new();
+        loop {
+            row.push(self.literal()?);
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(")")?;
+        Ok(Statement::Insert { table, row })
+    }
+
+    fn select(&mut self) -> RelResult<Statement> {
+        self.expect_kw("select")?;
+        let count = if self.accept_kw("count") {
+            self.expect_symbol("(")?;
+            self.expect_symbol("*")?;
+            self.expect_symbol(")")?;
+            true
+        } else {
+            self.expect_symbol("*")?;
+            false
+        };
+        self.expect_kw("from")?;
+        let table = self.identifier()?;
+        let pred = if self.accept_kw("where") {
+            self.predicate()?
+        } else {
+            Predicate::True
+        };
+        // ORDER BY col LIMIT n — only as a range scan over a >= bound.
+        if self.accept_kw("order") {
+            self.expect_kw("by")?;
+            let column = self.identifier()?;
+            self.expect_kw("limit")?;
+            let limit = self.number()? as usize;
+            if count {
+                return Err(self.error("count(*) cannot take ORDER BY ... LIMIT"));
+            }
+            let start = match pred {
+                Predicate::Ge(ref col, ref v) if *col == column => v.clone(),
+                Predicate::True => range_floor(),
+                _ => {
+                    return Err(self.error(
+                        "ORDER BY ... LIMIT requires WHERE <order-col> >= <value> (or no WHERE)",
+                    ))
+                }
+            };
+            return Ok(Statement::SelectRange { table, column, start, limit });
+        }
+        Ok(if count {
+            Statement::Count { table, pred }
+        } else {
+            Statement::Select { table, pred }
+        })
+    }
+
+    fn update(&mut self) -> RelResult<Statement> {
+        self.expect_kw("update")?;
+        let table = self.identifier()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_symbol("=")?;
+            assignments.push((col, self.literal()?));
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        let pred = if self.accept_kw("where") {
+            self.predicate()?
+        } else {
+            Predicate::True
+        };
+        Ok(Statement::Update { table, pred, assignments })
+    }
+
+    fn delete(&mut self) -> RelResult<Statement> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.identifier()?;
+        let pred = if self.accept_kw("where") {
+            self.predicate()?
+        } else {
+            Predicate::True
+        };
+        Ok(Statement::Delete { table, pred })
+    }
+
+    // ------------------------------------------------------- predicates
+
+    fn predicate(&mut self) -> RelResult<Predicate> {
+        let mut terms = vec![self.and_term()?];
+        while self.accept_kw("or") {
+            terms.push(self.and_term()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Predicate::Or(terms)
+        })
+    }
+
+    fn and_term(&mut self) -> RelResult<Predicate> {
+        let mut terms = vec![self.unary()?];
+        while self.accept_kw("and") {
+            terms.push(self.unary()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Predicate::And(terms)
+        })
+    }
+
+    fn unary(&mut self) -> RelResult<Predicate> {
+        if self.accept_kw("not") {
+            return Ok(Predicate::Not(Box::new(self.unary()?)));
+        }
+        if self.accept_symbol("(") {
+            let inner = self.predicate()?;
+            self.expect_symbol(")")?;
+            return Ok(inner);
+        }
+        // `'value' = ANY(col)` — membership in an array column.
+        if let Some(Token::Str(value)) = self.tokens.get(self.pos).cloned() {
+            self.pos += 1;
+            self.expect_symbol("=")?;
+            self.expect_kw("any")?;
+            self.expect_symbol("(")?;
+            let col = self.identifier()?;
+            self.expect_symbol(")")?;
+            return Ok(Predicate::Contains(col, value));
+        }
+        // `col <op> literal` or `col IS NULL`.
+        let col = self.identifier()?;
+        if self.accept_kw("is") {
+            self.expect_kw("null")?;
+            return Ok(Predicate::IsNull(col));
+        }
+        for (sym, build) in [
+            ("<=", Predicate::Le as fn(String, Datum) -> Predicate),
+            (">=", Predicate::Ge),
+            ("<", Predicate::Lt),
+            (">", Predicate::Gt),
+            ("=", Predicate::Eq),
+        ] {
+            if self.accept_symbol(sym) {
+                return Ok(build(col, self.literal()?));
+            }
+        }
+        Err(self.error("expected comparison operator"))
+    }
+
+    // --------------------------------------------------------- literals
+
+    fn number(&mut self) -> RelResult<i64> {
+        match self.tokens.get(self.pos) {
+            Some(Token::Number(n)) if !n.contains('.') => {
+                let v = n.parse().map_err(|_| self.error("bad integer"))?;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.error("expected integer")),
+        }
+    }
+
+    fn literal(&mut self) -> RelResult<Datum> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Datum::Text(s))
+            }
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                if n.contains('.') {
+                    Ok(Datum::Float(n.parse().map_err(|_| self.error("bad float"))?))
+                } else {
+                    Ok(Datum::Int(n.parse().map_err(|_| self.error("bad integer"))?))
+                }
+            }
+            Some(Token::Word(w)) => match w.to_ascii_lowercase().as_str() {
+                "null" => {
+                    self.pos += 1;
+                    Ok(Datum::Null)
+                }
+                "true" => {
+                    self.pos += 1;
+                    Ok(Datum::Bool(true))
+                }
+                "false" => {
+                    self.pos += 1;
+                    Ok(Datum::Bool(false))
+                }
+                "timestamp" => {
+                    self.pos += 1;
+                    let ms = self.number()?;
+                    if ms < 0 {
+                        return Err(self.error("timestamps are non-negative"));
+                    }
+                    Ok(Datum::Timestamp(ms as u64))
+                }
+                "array" => {
+                    self.pos += 1;
+                    self.expect_symbol("[")?;
+                    let mut items = Vec::new();
+                    if !self.accept_symbol("]") {
+                        loop {
+                            match self.tokens.get(self.pos).cloned() {
+                                Some(Token::Str(s)) => {
+                                    items.push(s);
+                                    self.pos += 1;
+                                }
+                                _ => return Err(self.error("ARRAY elements must be strings")),
+                            }
+                            if !self.accept_symbol(",") {
+                                break;
+                            }
+                        }
+                        self.expect_symbol("]")?;
+                    }
+                    Ok(Datum::TextArray(items))
+                }
+                other => Err(self.error(&format!("unexpected word {other:?} in literal"))),
+            },
+            _ => Err(self.error("expected literal")),
+        }
+    }
+}
+
+/// The smallest text datum, used for `ORDER BY col LIMIT n` with no bound.
+fn range_floor() -> Datum {
+    Datum::Text(String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let stmt = parse(
+            "CREATE TABLE personal_data (key TEXT, n INT, tags TEXT[], at TIMESTAMP, \
+             PRIMARY KEY (key));",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateTable {
+                table: "personal_data".into(),
+                columns: vec![
+                    ("key".into(), ColumnType::Text),
+                    ("n".into(), ColumnType::Int),
+                    ("tags".into(), ColumnType::TextArray),
+                    ("at".into(), ColumnType::Timestamp),
+                ],
+                pk: "key".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn create_index_variants() {
+        assert_eq!(
+            parse("CREATE INDEX tags_idx ON t USING GIN (tags)").unwrap(),
+            Statement::CreateIndex {
+                table: "t".into(),
+                index: "tags_idx".into(),
+                column: "tags".into(),
+                inverted: true,
+            }
+        );
+        assert_eq!(
+            parse("create index n_idx on t (n)").unwrap(),
+            Statement::CreateIndex {
+                table: "t".into(),
+                index: "n_idx".into(),
+                column: "n".into(),
+                inverted: false,
+            }
+        );
+        assert_eq!(
+            parse("DROP INDEX n_idx ON t").unwrap(),
+            Statement::DropIndex { table: "t".into(), index: "n_idx".into() }
+        );
+    }
+
+    #[test]
+    fn insert_with_all_literal_kinds() {
+        let stmt = parse(
+            "INSERT INTO t VALUES ('it''s', -3, 2.5, TRUE, NULL, ARRAY['a','b'], TIMESTAMP 99)",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Insert {
+                table: "t".into(),
+                row: vec![
+                    Datum::Text("it's".into()),
+                    Datum::Int(-3),
+                    Datum::Float(2.5),
+                    Datum::Bool(true),
+                    Datum::Null,
+                    Datum::TextArray(vec!["a".into(), "b".into()]),
+                    Datum::Timestamp(99),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn select_with_predicates() {
+        let stmt = parse(
+            "SELECT * FROM t WHERE usr = 'neo' AND NOT 'ads' = ANY(obj) OR expiry IS NULL",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Select {
+                table: "t".into(),
+                pred: Predicate::Or(vec![
+                    Predicate::And(vec![
+                        Predicate::eq_text("usr", "neo"),
+                        Predicate::Not(Box::new(Predicate::contains("obj", "ads"))),
+                    ]),
+                    Predicate::IsNull("expiry".into()),
+                ]),
+            }
+        );
+    }
+
+    #[test]
+    fn parenthesized_precedence() {
+        let stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        let Statement::Select { pred, .. } = stmt else { panic!() };
+        assert_eq!(
+            pred,
+            Predicate::And(vec![
+                Predicate::Or(vec![
+                    Predicate::Eq("a".into(), Datum::Int(1)),
+                    Predicate::Eq("b".into(), Datum::Int(2)),
+                ]),
+                Predicate::Eq("c".into(), Datum::Int(3)),
+            ])
+        );
+    }
+
+    #[test]
+    fn count_and_comparisons() {
+        let stmt = parse("SELECT count(*) FROM t WHERE at <= TIMESTAMP 5 AND n > 2").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Count {
+                table: "t".into(),
+                pred: Predicate::And(vec![
+                    Predicate::Le("at".into(), Datum::Timestamp(5)),
+                    Predicate::Gt("n".into(), Datum::Int(2)),
+                ]),
+            }
+        );
+    }
+
+    #[test]
+    fn order_by_limit_becomes_range_scan() {
+        let stmt = parse("SELECT * FROM t WHERE key >= 'k5' ORDER BY key LIMIT 10").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::SelectRange {
+                table: "t".into(),
+                column: "key".into(),
+                start: Datum::Text("k5".into()),
+                limit: 10,
+            }
+        );
+        // No WHERE: scan from the beginning.
+        let stmt = parse("SELECT * FROM t ORDER BY key LIMIT 3").unwrap();
+        assert!(matches!(stmt, Statement::SelectRange { limit: 3, .. }));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        assert_eq!(
+            parse("UPDATE t SET data = 'x', n = 1 WHERE key = 'k'").unwrap(),
+            Statement::Update {
+                table: "t".into(),
+                pred: Predicate::eq_text("key", "k"),
+                assignments: vec![
+                    ("data".into(), Datum::Text("x".into())),
+                    ("n".into(), Datum::Int(1)),
+                ],
+            }
+        );
+        assert_eq!(
+            parse("DELETE FROM t").unwrap(),
+            Statement::Delete { table: "t".into(), pred: Predicate::True }
+        );
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        for bad in [
+            "",
+            "SELEC * FROM t",
+            "SELECT * FROM",
+            "CREATE TABLE t (a TEXT)", // no primary key
+            "INSERT INTO t VALUES ()",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a ==",
+            "SELECT * FROM t WHERE a = 'x' trailing",
+            "INSERT INTO t VALUES ('unterminated)",
+            "CREATE TABLE t (a INT[], PRIMARY KEY (a))", // only TEXT[] arrays
+            "SELECT * FROM t WHERE a = 1 ORDER BY b LIMIT 2", // wrong order col
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_sql_session() {
+        let db = crate::Database::open(crate::RelConfig::default()).unwrap();
+        db.execute_sql(
+            "CREATE TABLE people (key TEXT, usr TEXT, tags TEXT[], at TIMESTAMP, \
+             PRIMARY KEY (key))",
+        )
+        .unwrap();
+        db.execute_sql("CREATE INDEX tags_idx ON people USING GIN (tags)").unwrap();
+        for i in 0..10 {
+            db.execute_sql(&format!(
+                "INSERT INTO people VALUES ('k{i}', 'u{}', ARRAY['ads'], TIMESTAMP {})",
+                i % 3,
+                i * 100
+            ))
+            .unwrap();
+        }
+        let rows = db
+            .execute_sql("SELECT * FROM people WHERE usr = 'u1' AND 'ads' = ANY(tags)")
+            .unwrap();
+        assert_eq!(rows.rows().len(), 3);
+        let n = db
+            .execute_sql("SELECT count(*) FROM people WHERE at <= TIMESTAMP 400")
+            .unwrap();
+        assert_eq!(n.rows_affected(), 5);
+        db.execute_sql("UPDATE people SET usr = 'renamed' WHERE usr = 'u1'").unwrap();
+        assert_eq!(
+            db.execute_sql("SELECT count(*) FROM people WHERE usr = 'renamed'")
+                .unwrap()
+                .rows_affected(),
+            3
+        );
+        let page = db
+            .execute_sql("SELECT * FROM people WHERE key >= 'k3' ORDER BY key LIMIT 4")
+            .unwrap();
+        assert_eq!(page.rows().len(), 4);
+        db.execute_sql("DELETE FROM people WHERE at >= TIMESTAMP 500").unwrap();
+        assert_eq!(
+            db.execute_sql("SELECT count(*) FROM people").unwrap().rows_affected(),
+            5
+        );
+    }
+}

@@ -1,0 +1,605 @@
+//! The statement API: the typed equivalent of the SQL the paper's client
+//! stubs issue, plus a binary encoding for the WAL and the encrypted
+//! transit boundary.
+
+use crate::datum::Datum;
+use crate::error::{RelError, RelResult};
+use crate::predicate::Predicate;
+use crate::schema::ColumnType;
+use std::fmt;
+
+/// One statement against a [`crate::Database`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        table: String,
+        columns: Vec<(String, ColumnType)>,
+        pk: String,
+    },
+    CreateIndex {
+        table: String,
+        index: String,
+        column: String,
+        inverted: bool,
+    },
+    DropIndex { table: String, index: String },
+    Insert { table: String, row: Vec<Datum> },
+    Select { table: String, pred: Predicate },
+    /// `SELECT ... WHERE column >= start ORDER BY column LIMIT limit` —
+    /// the bounded range scan YCSB's workload E issues.
+    SelectRange {
+        table: String,
+        column: String,
+        start: Datum,
+        limit: usize,
+    },
+    Count { table: String, pred: Predicate },
+    Update {
+        table: String,
+        pred: Predicate,
+        assignments: Vec<(String, Datum)>,
+    },
+    Delete { table: String, pred: Predicate },
+}
+
+/// The result of executing a [`Statement`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// DDL succeeded.
+    Done,
+    /// INSERT succeeded.
+    Inserted,
+    /// SELECT rows.
+    Rows(Vec<Vec<Datum>>),
+    /// COUNT result.
+    Count(usize),
+    /// Rows changed by UPDATE.
+    Updated(usize),
+    /// Rows removed by DELETE (returned for deletion verification).
+    Deleted(Vec<Vec<Datum>>),
+}
+
+impl StatementResult {
+    /// Rows touched/returned, for the query log.
+    pub fn rows_affected(&self) -> usize {
+        match self {
+            StatementResult::Done | StatementResult::Inserted => 1,
+            StatementResult::Rows(rows) | StatementResult::Deleted(rows) => rows.len(),
+            StatementResult::Count(n) | StatementResult::Updated(n) => *n,
+        }
+    }
+
+    pub fn rows(&self) -> &[Vec<Datum>] {
+        match self {
+            StatementResult::Rows(rows) | StatementResult::Deleted(rows) => rows,
+            _ => &[],
+        }
+    }
+
+    /// Binary encoding of the result, used to pay the honest in-transit
+    /// cipher cost on the response path (results are consumed in-process, so
+    /// no decoder is needed — the channel verifies integrity byte-for-byte).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            StatementResult::Done => out.push(0),
+            StatementResult::Inserted => out.push(1),
+            StatementResult::Rows(rows) | StatementResult::Deleted(rows) => {
+                out.push(if matches!(self, StatementResult::Rows(_)) { 2 } else { 3 });
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in rows {
+                    out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                    for d in row {
+                        d.encode(&mut out);
+                    }
+                }
+            }
+            StatementResult::Count(n) => {
+                out.push(4);
+                out.extend_from_slice(&(*n as u64).to_le_bytes());
+            }
+            StatementResult::Updated(n) => {
+                out.push(5);
+                out.extend_from_slice(&(*n as u64).to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+impl Statement {
+    /// Does this statement mutate the database (and so belong in the WAL)?
+    pub fn is_write(&self) -> bool {
+        !matches!(
+            self,
+            Statement::Select { .. } | Statement::SelectRange { .. } | Statement::Count { .. }
+        )
+    }
+
+    /// The statement kind, for the query log.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Statement::CreateTable { .. } => "CREATE TABLE",
+            Statement::CreateIndex { .. } => "CREATE INDEX",
+            Statement::DropIndex { .. } => "DROP INDEX",
+            Statement::Insert { .. } => "INSERT",
+            Statement::Select { .. } => "SELECT",
+            Statement::SelectRange { .. } => "SELECT",
+            Statement::Count { .. } => "COUNT",
+            Statement::Update { .. } => "UPDATE",
+            Statement::Delete { .. } => "DELETE",
+        }
+    }
+
+    // ----- binary encoding (WAL, transit) -----
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Statement::CreateTable { table, columns, pk } => {
+                out.push(0);
+                put_str(&mut out, table);
+                out.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+                for (name, ty) in columns {
+                    put_str(&mut out, name);
+                    out.push(column_type_tag(*ty));
+                }
+                put_str(&mut out, pk);
+            }
+            Statement::CreateIndex { table, index, column, inverted } => {
+                out.push(1);
+                put_str(&mut out, table);
+                put_str(&mut out, index);
+                put_str(&mut out, column);
+                out.push(*inverted as u8);
+            }
+            Statement::DropIndex { table, index } => {
+                out.push(2);
+                put_str(&mut out, table);
+                put_str(&mut out, index);
+            }
+            Statement::Insert { table, row } => {
+                out.push(3);
+                put_str(&mut out, table);
+                out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for d in row {
+                    d.encode(&mut out);
+                }
+            }
+            Statement::Select { table, pred } => {
+                out.push(4);
+                put_str(&mut out, table);
+                encode_pred(pred, &mut out);
+            }
+            Statement::Count { table, pred } => {
+                out.push(5);
+                put_str(&mut out, table);
+                encode_pred(pred, &mut out);
+            }
+            Statement::Update { table, pred, assignments } => {
+                out.push(6);
+                put_str(&mut out, table);
+                encode_pred(pred, &mut out);
+                out.extend_from_slice(&(assignments.len() as u32).to_le_bytes());
+                for (col, value) in assignments {
+                    put_str(&mut out, col);
+                    value.encode(&mut out);
+                }
+            }
+            Statement::Delete { table, pred } => {
+                out.push(7);
+                put_str(&mut out, table);
+                encode_pred(pred, &mut out);
+            }
+            Statement::SelectRange { table, column, start, limit } => {
+                out.push(8);
+                put_str(&mut out, table);
+                put_str(&mut out, column);
+                start.encode(&mut out);
+                out.extend_from_slice(&(*limit as u64).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> RelResult<Statement> {
+        let mut pos = 0;
+        let stmt = Self::decode_at(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(RelError::Corrupt("trailing bytes after statement".into()));
+        }
+        Ok(stmt)
+    }
+
+    fn decode_at(buf: &[u8], pos: &mut usize) -> RelResult<Statement> {
+        let err = |m: &str| RelError::Corrupt(m.to_string());
+        let tag = *buf.get(*pos).ok_or_else(|| err("empty statement"))?;
+        *pos += 1;
+        Ok(match tag {
+            0 => {
+                let table = get_str(buf, pos)?;
+                let n = get_u32(buf, pos)? as usize;
+                let mut columns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let name = get_str(buf, pos)?;
+                    let ty_tag = *buf.get(*pos).ok_or_else(|| err("truncated column type"))?;
+                    *pos += 1;
+                    columns.push((name, column_type_from_tag(ty_tag)?));
+                }
+                let pk = get_str(buf, pos)?;
+                Statement::CreateTable { table, columns, pk }
+            }
+            1 => Statement::CreateIndex {
+                table: get_str(buf, pos)?,
+                index: get_str(buf, pos)?,
+                column: get_str(buf, pos)?,
+                inverted: {
+                    let b = *buf.get(*pos).ok_or_else(|| err("truncated bool"))?;
+                    *pos += 1;
+                    b != 0
+                },
+            },
+            2 => Statement::DropIndex {
+                table: get_str(buf, pos)?,
+                index: get_str(buf, pos)?,
+            },
+            3 => {
+                let table = get_str(buf, pos)?;
+                let n = get_u32(buf, pos)? as usize;
+                let mut row = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    row.push(Datum::decode(buf, pos).map_err(RelError::Corrupt)?);
+                }
+                Statement::Insert { table, row }
+            }
+            4 => Statement::Select {
+                table: get_str(buf, pos)?,
+                pred: decode_pred(buf, pos)?,
+            },
+            5 => Statement::Count {
+                table: get_str(buf, pos)?,
+                pred: decode_pred(buf, pos)?,
+            },
+            6 => {
+                let table = get_str(buf, pos)?;
+                let pred = decode_pred(buf, pos)?;
+                let n = get_u32(buf, pos)? as usize;
+                let mut assignments = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let col = get_str(buf, pos)?;
+                    let value = Datum::decode(buf, pos).map_err(RelError::Corrupt)?;
+                    assignments.push((col, value));
+                }
+                Statement::Update { table, pred, assignments }
+            }
+            7 => Statement::Delete {
+                table: get_str(buf, pos)?,
+                pred: decode_pred(buf, pos)?,
+            },
+            8 => {
+                let table = get_str(buf, pos)?;
+                let column = get_str(buf, pos)?;
+                let start = Datum::decode(buf, pos).map_err(RelError::Corrupt)?;
+                if buf.len() < *pos + 8 {
+                    return Err(err("truncated limit"));
+                }
+                let limit = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap()) as usize;
+                *pos += 8;
+                Statement::SelectRange { table, column, start, limit }
+            }
+            other => return Err(err(&format!("unknown statement tag {other}"))),
+        })
+    }
+}
+
+impl fmt::Display for Statement {
+    /// SQL-flavoured rendering for the query log.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable { table, columns, pk } => {
+                write!(f, "CREATE TABLE {table} (")?;
+                for (i, (name, ty)) in columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name} {}", ty.name())?;
+                }
+                write!(f, ", PRIMARY KEY ({pk}))")
+            }
+            Statement::CreateIndex { table, index, column, inverted } => {
+                let using = if *inverted { " USING gin" } else { "" };
+                write!(f, "CREATE INDEX {index} ON {table}{using} ({column})")
+            }
+            Statement::DropIndex { table, index } => write!(f, "DROP INDEX {index} ON {table}"),
+            Statement::Insert { table, row } => {
+                write!(f, "INSERT INTO {table} VALUES (")?;
+                for (i, d) in row.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, ")")
+            }
+            Statement::Select { table, pred } => write!(f, "SELECT * FROM {table} WHERE {pred}"),
+            Statement::SelectRange { table, column, start, limit } => write!(
+                f,
+                "SELECT * FROM {table} WHERE {column} >= {start} ORDER BY {column} LIMIT {limit}"
+            ),
+            Statement::Count { table, pred } => {
+                write!(f, "SELECT count(*) FROM {table} WHERE {pred}")
+            }
+            Statement::Update { table, pred, assignments } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (col, value)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{col} = {value}")?;
+                }
+                write!(f, " WHERE {pred}")
+            }
+            Statement::Delete { table, pred } => write!(f, "DELETE FROM {table} WHERE {pred}"),
+        }
+    }
+}
+
+fn column_type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Bool => 0,
+        ColumnType::Int => 1,
+        ColumnType::Float => 2,
+        ColumnType::Text => 3,
+        ColumnType::Timestamp => 4,
+        ColumnType::TextArray => 5,
+    }
+}
+
+fn column_type_from_tag(tag: u8) -> RelResult<ColumnType> {
+    Ok(match tag {
+        0 => ColumnType::Bool,
+        1 => ColumnType::Int,
+        2 => ColumnType::Float,
+        3 => ColumnType::Text,
+        4 => ColumnType::Timestamp,
+        5 => ColumnType::TextArray,
+        other => return Err(RelError::Corrupt(format!("unknown column type tag {other}"))),
+    })
+}
+
+fn encode_pred(pred: &Predicate, out: &mut Vec<u8>) {
+    match pred {
+        Predicate::True => out.push(0),
+        Predicate::Eq(col, value) => {
+            out.push(1);
+            put_str(out, col);
+            value.encode(out);
+        }
+        Predicate::Contains(col, value) => {
+            out.push(2);
+            put_str(out, col);
+            put_str(out, value);
+        }
+        Predicate::Lt(col, value) => {
+            out.push(3);
+            put_str(out, col);
+            value.encode(out);
+        }
+        Predicate::Le(col, value) => {
+            out.push(4);
+            put_str(out, col);
+            value.encode(out);
+        }
+        Predicate::Gt(col, value) => {
+            out.push(5);
+            put_str(out, col);
+            value.encode(out);
+        }
+        Predicate::Ge(col, value) => {
+            out.push(6);
+            put_str(out, col);
+            value.encode(out);
+        }
+        Predicate::IsNull(col) => {
+            out.push(7);
+            put_str(out, col);
+        }
+        Predicate::And(ps) => {
+            out.push(8);
+            out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+            for p in ps {
+                encode_pred(p, out);
+            }
+        }
+        Predicate::Or(ps) => {
+            out.push(9);
+            out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+            for p in ps {
+                encode_pred(p, out);
+            }
+        }
+        Predicate::Not(p) => {
+            out.push(10);
+            encode_pred(p, out);
+        }
+    }
+}
+
+fn decode_pred(buf: &[u8], pos: &mut usize) -> RelResult<Predicate> {
+    let err = |m: &str| RelError::Corrupt(m.to_string());
+    let tag = *buf.get(*pos).ok_or_else(|| err("empty predicate"))?;
+    *pos += 1;
+    let datum = |buf: &[u8], pos: &mut usize| Datum::decode(buf, pos).map_err(RelError::Corrupt);
+    Ok(match tag {
+        0 => Predicate::True,
+        1 => Predicate::Eq(get_str(buf, pos)?, datum(buf, pos)?),
+        2 => Predicate::Contains(get_str(buf, pos)?, get_str(buf, pos)?),
+        3 => Predicate::Lt(get_str(buf, pos)?, datum(buf, pos)?),
+        4 => Predicate::Le(get_str(buf, pos)?, datum(buf, pos)?),
+        5 => Predicate::Gt(get_str(buf, pos)?, datum(buf, pos)?),
+        6 => Predicate::Ge(get_str(buf, pos)?, datum(buf, pos)?),
+        7 => Predicate::IsNull(get_str(buf, pos)?),
+        8 | 9 => {
+            let n = get_u32(buf, pos)? as usize;
+            let mut ps = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                ps.push(decode_pred(buf, pos)?);
+            }
+            if tag == 8 {
+                Predicate::And(ps)
+            } else {
+                Predicate::Or(ps)
+            }
+        }
+        10 => Predicate::Not(Box::new(decode_pred(buf, pos)?)),
+        other => return Err(err(&format!("unknown predicate tag {other}"))),
+    })
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> RelResult<u32> {
+    if buf.len() < *pos + 4 {
+        return Err(RelError::Corrupt("truncated u32".into()));
+    }
+    let n = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap());
+    *pos += 4;
+    Ok(n)
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> RelResult<String> {
+    let len = get_u32(buf, pos)? as usize;
+    if buf.len() < *pos + len {
+        return Err(RelError::Corrupt("truncated string".into()));
+    }
+    let s = String::from_utf8(buf[*pos..*pos + len].to_vec())
+        .map_err(|e| RelError::Corrupt(e.to_string()))?;
+    *pos += len;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Statement> {
+        vec![
+            Statement::CreateTable {
+                table: "personal_data".into(),
+                columns: vec![
+                    ("key".into(), ColumnType::Text),
+                    ("purposes".into(), ColumnType::TextArray),
+                    ("expiry".into(), ColumnType::Timestamp),
+                ],
+                pk: "key".into(),
+            },
+            Statement::CreateIndex {
+                table: "personal_data".into(),
+                index: "purposes_idx".into(),
+                column: "purposes".into(),
+                inverted: true,
+            },
+            Statement::DropIndex {
+                table: "personal_data".into(),
+                index: "purposes_idx".into(),
+            },
+            Statement::Insert {
+                table: "personal_data".into(),
+                row: vec![
+                    Datum::Text("k1".into()),
+                    Datum::TextArray(vec!["ads".into()]),
+                    Datum::Timestamp(42),
+                ],
+            },
+            Statement::Select {
+                table: "personal_data".into(),
+                pred: Predicate::And(vec![
+                    Predicate::eq_text("key", "k1"),
+                    Predicate::Not(Box::new(Predicate::contains("objections", "ads"))),
+                ]),
+            },
+            Statement::Count {
+                table: "personal_data".into(),
+                pred: Predicate::Or(vec![Predicate::True, Predicate::IsNull("usr".into())]),
+            },
+            Statement::Update {
+                table: "personal_data".into(),
+                pred: Predicate::Le("expiry".into(), Datum::Timestamp(99)),
+                assignments: vec![("data".into(), Datum::Text("redacted".into()))],
+            },
+            Statement::Delete {
+                table: "personal_data".into(),
+                pred: Predicate::Ge("expiry".into(), Datum::Timestamp(7)),
+            },
+            Statement::SelectRange {
+                table: "usertable".into(),
+                column: "key".into(),
+                start: Datum::Text("user000042".into()),
+                limit: 37,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for stmt in samples() {
+            let buf = stmt.encode();
+            let decoded = Statement::decode(&buf).unwrap();
+            assert_eq!(decoded, stmt);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut buf = samples()[3].encode();
+        buf.push(0xFF);
+        assert!(Statement::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let buf = samples()[0].encode();
+        for cut in [0, 1, buf.len() / 2, buf.len() - 1] {
+            assert!(Statement::decode(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn write_classification() {
+        let stmts = samples();
+        assert!(stmts[0].is_write());
+        assert!(stmts[3].is_write());
+        assert!(!stmts[4].is_write()); // SELECT
+        assert!(!stmts[5].is_write()); // COUNT
+        assert!(stmts[6].is_write());
+    }
+
+    #[test]
+    fn display_is_sql_like() {
+        let stmt = Statement::Select {
+            table: "t".into(),
+            pred: Predicate::eq_text("usr", "neo"),
+        };
+        assert_eq!(stmt.to_string(), "SELECT * FROM t WHERE usr = 'neo'");
+        let ins = &samples()[3];
+        assert_eq!(
+            ins.to_string(),
+            "INSERT INTO personal_data VALUES ('k1', {ads}, ts:42)"
+        );
+        assert!(samples()[1].to_string().contains("USING gin"));
+    }
+
+    #[test]
+    fn rows_affected() {
+        assert_eq!(StatementResult::Updated(3).rows_affected(), 3);
+        assert_eq!(
+            StatementResult::Rows(vec![vec![Datum::Null], vec![Datum::Null]]).rows_affected(),
+            2
+        );
+        assert_eq!(StatementResult::Count(9).rows_affected(), 9);
+        assert_eq!(StatementResult::Inserted.rows_affected(), 1);
+    }
+}

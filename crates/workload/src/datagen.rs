@@ -1,0 +1,236 @@
+//! Deterministic personal-record corpus generation.
+//!
+//! The benchmark needs a reproducible universe of records whose metadata is
+//! drawn from realistic vocabularies: a purpose catalogue, a user
+//! population with a configurable records-per-user ratio, TTL mixes, some
+//! third-party sharing and origins. Generation is a pure function of the
+//! record index, so loader threads and the correctness oracle agree on the
+//! corpus without coordination.
+
+use gdpr_core::record::{Metadata, PersonalRecord};
+use std::time::Duration;
+
+/// The purpose vocabulary (kept small, as real controllers declare a
+/// handful of processing purposes).
+pub const PURPOSES: &[&str] = &[
+    "ads", "2fa", "analytics", "backup", "billing", "fraud-detection", "personalization",
+    "research",
+];
+
+/// Sources a record may have been procured from.
+pub const SOURCES: &[&str] = &["first-party", "partner", "public-records", "data-broker"];
+
+/// Third parties records may have been shared with.
+pub const THIRD_PARTIES: &[&str] = &["x-corp", "y-labs", "z-inc"];
+
+/// Records per purpose *cohort*. Besides the shared vocabulary purposes,
+/// every record carries one narrow cohort purpose (`cohort-000042`) shared
+/// with only [`COHORT_SIZE`] neighbours. Group operations that must stay
+/// bounded — the controller's `delete-record-by-pur` for a *completed*
+/// purpose (G5.1b) — target cohorts, keeping the corpus in the steady state
+/// the paper postulates (creates ≈ deletions); scan-the-world purposes
+/// would otherwise drain the whole store in a handful of operations.
+pub const COHORT_SIZE: usize = 4;
+
+/// The cohort purpose of record `i`.
+pub fn cohort_purpose_of(i: usize) -> String {
+    format!("cohort-{:06}", i / COHORT_SIZE)
+}
+
+/// Corpus shape parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Total records to generate.
+    pub records: usize,
+    /// Distinct data subjects. The paper's customer workload follows a Zipf
+    /// distribution over users; more records than users means multi-record
+    /// subjects.
+    pub users: usize,
+    /// Length of the personal-data payload.
+    pub data_len: usize,
+    /// TTL assigned to "short-lived" records.
+    pub short_ttl: Duration,
+    /// TTL assigned to everything else.
+    pub long_ttl: Duration,
+    /// Fraction of records with the short TTL (Figure 3a uses 20%).
+    pub short_ttl_fraction: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            records: 1000,
+            users: 100,
+            data_len: 10, // Table 3: 10-byte personal data per record
+            short_ttl: Duration::from_secs(5 * 60), // 5 minutes
+            long_ttl: Duration::from_secs(5 * 24 * 3600), // 5 days
+            short_ttl_fraction: 0.2,
+        }
+    }
+}
+
+/// Deterministic per-index mixing (SplitMix64) so corpus generation is a
+/// pure function of the index.
+fn mix(i: u64, salt: u64) -> u64 {
+    let mut z = i
+        .wrapping_add(salt)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The key of record `i`.
+pub fn key_of(i: usize) -> String {
+    format!("ph-{i:08x}")
+}
+
+/// The user id of record `i`'s subject.
+pub fn user_of(i: usize, config: &CorpusConfig) -> String {
+    format!("user{:06}", mix(i as u64, 1) as usize % config.users)
+}
+
+/// Generate record `i` of the corpus.
+pub fn record_of(i: usize, config: &CorpusConfig) -> PersonalRecord {
+    let h = mix(i as u64, 2);
+    // 1-3 purposes per record.
+    let purpose_count = 1 + (h % 3) as usize;
+    let mut purposes = Vec::with_capacity(purpose_count);
+    for p in 0..purpose_count {
+        let purpose = PURPOSES[(mix(i as u64, 3 + p as u64) as usize) % PURPOSES.len()];
+        if !purposes.iter().any(|x: &String| x == purpose) {
+            purposes.push(purpose.to_string());
+        }
+    }
+    purposes.push(cohort_purpose_of(i));
+    let ttl = if (h % 1000) as f64 / 1000.0 < config.short_ttl_fraction {
+        config.short_ttl
+    } else {
+        config.long_ttl
+    };
+    let mut metadata = Metadata::new(user_of(i, config), purposes, ttl);
+    // ~10% of records were shared with a third party, ~5% objected to their
+    // first purpose, ~25% came from somewhere other than first-party.
+    if h.is_multiple_of(10) {
+        metadata
+            .sharing
+            .push(THIRD_PARTIES[(h / 16) as usize % THIRD_PARTIES.len()].to_string());
+    }
+    if h % 20 == 1 {
+        let objected = metadata.purposes[0].clone();
+        metadata.objections.push(objected);
+    }
+    metadata.source = SOURCES[(mix(i as u64, 9) as usize) % SOURCES.len()].to_string();
+
+    // Payload: digits derived from the index, padded to data_len — think
+    // "123-456-7890".
+    let mut data = format!("{:010}", mix(i as u64, 4) % 10_000_000_000);
+    while data.len() < config.data_len {
+        data.push(char::from(b'0' + (data.len() % 10) as u8));
+    }
+    data.truncate(config.data_len);
+
+    PersonalRecord::new(key_of(i), data, metadata)
+}
+
+/// YCSB-style opaque value of `len` bytes, deterministic per (key, field).
+pub fn ycsb_value(key_index: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = mix(key_index, 0x5943_5342);
+    while out.len() < len {
+        state = mix(state, 7);
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = CorpusConfig::default();
+        assert_eq!(record_of(42, &config), record_of(42, &config));
+        assert_ne!(record_of(42, &config), record_of(43, &config));
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let keys: std::collections::HashSet<_> = (0..10_000).map(key_of).collect();
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn users_bounded_and_reused() {
+        let config = CorpusConfig { users: 10, records: 1000, ..Default::default() };
+        let users: std::collections::HashSet<_> =
+            (0..1000).map(|i| user_of(i, &config)).collect();
+        assert!(users.len() <= 10);
+        assert!(users.len() >= 8, "most users should appear: {}", users.len());
+    }
+
+    #[test]
+    fn ttl_mix_matches_fraction() {
+        let config = CorpusConfig { records: 10_000, ..Default::default() };
+        let short = (0..10_000)
+            .map(|i| record_of(i, &config))
+            .filter(|r| r.metadata.ttl == Some(config.short_ttl))
+            .count();
+        let fraction = short as f64 / 10_000.0;
+        assert!((0.17..0.23).contains(&fraction), "short-TTL fraction {fraction}");
+    }
+
+    #[test]
+    fn records_parse_through_the_wire_format() {
+        let config = CorpusConfig::default();
+        for i in 0..500 {
+            let record = record_of(i, &config);
+            let wire = gdpr_core::wire::serialize(&record);
+            let parsed = gdpr_core::wire::parse(&wire)
+                .unwrap_or_else(|e| panic!("record {i} unparsable: {e}\n{wire}"));
+            assert_eq!(parsed, record, "record {i} wire roundtrip");
+        }
+    }
+
+    #[test]
+    fn purposes_in_vocabulary_plus_one_cohort() {
+        let config = CorpusConfig::default();
+        for i in 0..500 {
+            let r = record_of(i, &config);
+            assert!(r.metadata.purposes.len() >= 2, "base purpose + cohort");
+            let (cohorts, base): (Vec<_>, Vec<_>) = r
+                .metadata
+                .purposes
+                .iter()
+                .partition(|p| p.starts_with("cohort-"));
+            assert_eq!(cohorts, vec![&cohort_purpose_of(i)]);
+            for p in base {
+                assert!(PURPOSES.contains(&p.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn cohorts_group_adjacent_records() {
+        assert_eq!(cohort_purpose_of(0), cohort_purpose_of(3));
+        assert_ne!(cohort_purpose_of(3), cohort_purpose_of(4));
+    }
+
+    #[test]
+    fn data_len_respected() {
+        let config = CorpusConfig { data_len: 100, ..Default::default() };
+        assert_eq!(record_of(7, &config).data.len(), 100);
+        let config = CorpusConfig { data_len: 10, ..Default::default() };
+        assert_eq!(record_of(7, &config).data.len(), 10);
+    }
+
+    #[test]
+    fn ycsb_values_deterministic_and_sized() {
+        assert_eq!(ycsb_value(5, 100), ycsb_value(5, 100));
+        assert_ne!(ycsb_value(5, 100), ycsb_value(6, 100));
+        assert_eq!(ycsb_value(9, 37).len(), 37);
+    }
+}

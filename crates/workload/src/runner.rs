@@ -1,0 +1,317 @@
+//! The runtime engine: threads, timing, and the three GDPRbench metrics
+//! (correctness, completion time, space overhead).
+
+use crate::gdpr::{GdprWorkload, GdprWorkloadKind};
+use crate::oracle::{responses_match, Oracle};
+use crate::stats::OpStats;
+use crate::ycsb::{apply_op, KvInterface, YcsbConfig, YcsbWorkload};
+use gdpr_core::connector::SpaceReport;
+use gdpr_core::GdprConnector;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Result of a YCSB run.
+#[derive(Debug, Clone)]
+pub struct YcsbRunReport {
+    pub workload: &'static str,
+    pub operations: u64,
+    pub errors: u64,
+    pub completion: Duration,
+    pub stats: OpStats,
+}
+
+impl YcsbRunReport {
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        if self.completion.is_zero() {
+            return 0.0;
+        }
+        self.operations as f64 / self.completion.as_secs_f64()
+    }
+}
+
+/// Run one YCSB workload: `ops` operations over `threads` client threads
+/// against a preloaded store of `record_count` records.
+pub fn run_ycsb_workload(
+    store: Arc<dyn KvInterface>,
+    config: YcsbConfig,
+    record_count: u64,
+    ops: u64,
+    threads: usize,
+) -> YcsbRunReport {
+    let insert_counter = Arc::new(AtomicU64::new(record_count));
+    let per_thread = ops / threads as u64;
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = Arc::clone(&store);
+        let config = config.clone();
+        let counter = Arc::clone(&insert_counter);
+        handles.push(std::thread::spawn(move || {
+            let mut workload = YcsbWorkload::new(config, record_count, counter);
+            let mut rng = SmallRng::seed_from_u64(0xBEEF ^ t as u64);
+            let mut stats = OpStats::default();
+            for _ in 0..per_thread {
+                let op = workload.next_op(&mut rng);
+                let op_start = Instant::now();
+                match apply_op(store.as_ref(), &op) {
+                    Ok(()) => stats.record_ok(op_start.elapsed()),
+                    Err(_) => stats.record_error(op_start.elapsed()),
+                }
+            }
+            stats
+        }));
+    }
+    let mut stats = OpStats::default();
+    for h in handles {
+        stats.merge(&h.join().expect("client thread panicked"));
+    }
+    let completion = start.elapsed();
+    YcsbRunReport {
+        workload: config.name,
+        operations: stats.total(),
+        errors: stats.errors,
+        completion,
+        stats,
+    }
+}
+
+/// Result of a GDPRbench workload run: the §4.2.3 metrics.
+#[derive(Debug, Clone)]
+pub struct GdprRunReport {
+    pub workload: &'static str,
+    pub connector: String,
+    pub operations: u64,
+    pub errors: u64,
+    /// Completion time — the paper's headline metric for GDPR workloads.
+    pub completion: Duration,
+    /// Fraction of responses matching the oracle (None if correctness
+    /// checking was off, e.g. multi-threaded runs).
+    pub correctness: Option<f64>,
+    /// Space overhead after the run.
+    pub space: SpaceReport,
+    /// Per query-class stats.
+    pub per_query: HashMap<&'static str, OpStats>,
+}
+
+impl GdprRunReport {
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        if self.completion.is_zero() {
+            return 0.0;
+        }
+        self.operations as f64 / self.completion.as_secs_f64()
+    }
+}
+
+/// Run one GDPRbench workload against a connector.
+///
+/// With `check_correctness` the run is forced single-threaded and every
+/// response is compared against the oracle in lock-step, yielding the
+/// benchmark's correctness percentage; otherwise `threads` clients run
+/// concurrently and only completion time / error counts are collected.
+pub fn run_gdpr_workload(
+    connector: Arc<dyn GdprConnector>,
+    kind: GdprWorkloadKind,
+    corpus: crate::datagen::CorpusConfig,
+    ops: u64,
+    threads: usize,
+    check_correctness: bool,
+) -> GdprRunReport {
+    let create_counter = Arc::new(AtomicU64::new(corpus.records as u64));
+
+    if check_correctness {
+        let mut oracle = Oracle::new();
+        oracle.load((0..corpus.records).map(|i| crate::datagen::record_of(i, &corpus)));
+        let mut workload = GdprWorkload::new(kind, corpus.clone(), create_counter);
+        let mut rng = SmallRng::seed_from_u64(0xFACE);
+        let mut per_query: HashMap<&'static str, OpStats> = HashMap::new();
+        let mut matches = 0u64;
+        let start = Instant::now();
+        for _ in 0..ops {
+            let (session, query) = workload.next_op(&mut rng);
+            let op_start = Instant::now();
+            let actual = connector.execute(&session, &query);
+            let elapsed = op_start.elapsed();
+            let expected = oracle.apply(&session, &query);
+            if responses_match(&query, &expected, &actual) {
+                matches += 1;
+            }
+            let stats = per_query.entry(query.name()).or_default();
+            match &actual {
+                Ok(_) => stats.record_ok(elapsed),
+                Err(_) => stats.record_error(elapsed),
+            }
+        }
+        let completion = start.elapsed();
+        let (operations, errors) = totals(&per_query);
+        GdprRunReport {
+            workload: kind.name(),
+            connector: connector.name().to_string(),
+            operations,
+            errors,
+            completion,
+            correctness: Some(matches as f64 / ops.max(1) as f64),
+            space: connector.space_report(),
+            per_query,
+        }
+    } else {
+        let per_thread = ops / threads as u64;
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let connector = Arc::clone(&connector);
+            let corpus = corpus.clone();
+            let counter = Arc::clone(&create_counter);
+            handles.push(std::thread::spawn(move || {
+                let mut workload = GdprWorkload::new(kind, corpus, counter);
+                let mut rng = SmallRng::seed_from_u64(0xFACE ^ t as u64);
+                let mut per_query: HashMap<&'static str, OpStats> = HashMap::new();
+                for _ in 0..per_thread {
+                    let (session, query) = workload.next_op(&mut rng);
+                    let op_start = Instant::now();
+                    let result = connector.execute(&session, &query);
+                    let elapsed = op_start.elapsed();
+                    let stats = per_query.entry(query.name()).or_default();
+                    match result {
+                        Ok(_) => stats.record_ok(elapsed),
+                        Err(_) => stats.record_error(elapsed),
+                    }
+                }
+                per_query
+            }));
+        }
+        let mut per_query: HashMap<&'static str, OpStats> = HashMap::new();
+        for h in handles {
+            for (name, stats) in h.join().expect("client thread panicked") {
+                per_query.entry(name).or_default().merge(&stats);
+            }
+        }
+        let completion = start.elapsed();
+        let (operations, errors) = totals(&per_query);
+        GdprRunReport {
+            workload: kind.name(),
+            connector: connector.name().to_string(),
+            operations,
+            errors,
+            completion,
+            correctness: None,
+            space: connector.space_report(),
+            per_query,
+        }
+    }
+}
+
+fn totals(per_query: &HashMap<&'static str, OpStats>) -> (u64, u64) {
+    let operations = per_query.values().map(OpStats::total).sum();
+    let errors = per_query.values().map(|s| s.errors).sum();
+    (operations, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gdpr::{load_corpus, stable_corpus};
+    use crate::ycsb::{ycsb_key, KvStoreYcsb, RelStoreYcsb};
+    use crate::datagen::ycsb_value;
+
+    fn loaded_kv(n: u64) -> Arc<dyn KvInterface> {
+        let adapter =
+            KvStoreYcsb::new(kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap());
+        for i in 0..n {
+            adapter.insert(&ycsb_key(i), &ycsb_value(i, 100)).unwrap();
+        }
+        Arc::new(adapter)
+    }
+
+    #[test]
+    fn ycsb_run_completes_with_no_errors() {
+        let store = loaded_kv(200);
+        let report = run_ycsb_workload(store, YcsbConfig::workload('A'), 200, 1000, 4);
+        assert_eq!(report.operations, 1000);
+        assert_eq!(report.errors, 0);
+        assert!(report.throughput_ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn ycsb_all_workloads_run_on_both_stores() {
+        for config in YcsbConfig::all() {
+            let kv = loaded_kv(100);
+            let report = run_ycsb_workload(kv, config.clone(), 100, 200, 2);
+            assert_eq!(report.errors, 0, "kv errors in workload {}", config.name);
+
+            let rel = RelStoreYcsb::new(
+                relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+            )
+            .unwrap();
+            for i in 0..100 {
+                rel.insert(&ycsb_key(i), &ycsb_value(i, 100)).unwrap();
+            }
+            let report = run_ycsb_workload(Arc::new(rel), config.clone(), 100, 200, 2);
+            assert_eq!(report.errors, 0, "rel errors in workload {}", config.name);
+        }
+    }
+
+    #[test]
+    fn gdpr_run_with_correctness_scores_high() {
+        // A fresh connector per workload: the oracle is loaded with the
+        // pristine corpus, so the store must start pristine too.
+        let corpus = stable_corpus(300);
+        for kind in GdprWorkloadKind::ALL {
+            let conn = Arc::new(connectors::RedisConnector::new(
+                kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap(),
+            ));
+            load_corpus(conn.as_ref(), &corpus).unwrap();
+            let report = run_gdpr_workload(
+                conn as Arc<dyn GdprConnector>,
+                kind,
+                corpus.clone(),
+                200,
+                1,
+                true,
+            );
+            let correctness = report.correctness.unwrap();
+            assert!(
+                correctness > 0.99,
+                "{} correctness {correctness} on redis: {:?}",
+                kind.name(),
+                report
+                    .per_query
+                    .iter()
+                    .map(|(k, v)| (*k, v.ok, v.errors))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn gdpr_run_multithreaded_has_no_store_errors() {
+        let conn = Arc::new(
+            connectors::PostgresConnector::new(
+                relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+            )
+            .unwrap(),
+        );
+        let corpus = stable_corpus(300);
+        load_corpus(conn.as_ref(), &corpus).unwrap();
+        let report = run_gdpr_workload(
+            conn as Arc<dyn GdprConnector>,
+            GdprWorkloadKind::Customer,
+            corpus,
+            400,
+            4,
+            false,
+        );
+        assert!(report.correctness.is_none());
+        // Deletes race with reads in the customer workload, so NotFound
+        // errors are legitimate; store-level failures are not, and error
+        // rates should stay a small fraction.
+        assert!(
+            (report.errors as f64) < report.operations as f64 * 0.5,
+            "too many errors: {report:?}"
+        );
+        assert!(report.space.personal_data_bytes > 0);
+    }
+}

@@ -1,0 +1,543 @@
+//! YCSB core workloads A–F, re-implemented (the paper benchmarks its
+//! retrofits against YCSB 0.15 before unleashing GDPRbench).
+//!
+//! | workload | mix | distribution | application (paper Table 2) |
+//! |---|---|---|---|
+//! | A | 50/50 read/update | zipfian | session store |
+//! | B | 95/5 read/update | zipfian | photo tagging |
+//! | C | 100 read | zipfian | user profile cache |
+//! | D | 95/5 read/insert | latest | user status update |
+//! | E | 95/5 scan/insert | zipfian | threaded conversation |
+//! | F | 100 read-modify-write | zipfian | user activity record |
+
+use crate::datagen::ycsb_value;
+use crate::generator::{Discrete, IndexGenerator, ScrambledZipfian, Uniform, Zipfian};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The interface a store must offer to run YCSB — the moral equivalent of
+/// YCSB's `DB` abstract class.
+pub trait KvInterface: Send + Sync {
+    fn insert(&self, key: &str, value: &[u8]) -> Result<(), String>;
+    fn read(&self, key: &str) -> Result<Option<Vec<u8>>, String>;
+    fn update(&self, key: &str, value: &[u8]) -> Result<(), String>;
+    /// Scan `count` records in key order from `start_key`. Returns records
+    /// actually returned.
+    fn scan(&self, start_key: &str, count: usize) -> Result<usize, String>;
+    /// Read the key, then write back a new value (workload F).
+    fn read_modify_write(&self, key: &str, value: &[u8]) -> Result<(), String> {
+        self.read(key)?;
+        self.update(key, value)
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YcsbOp {
+    Read(String),
+    Update(String, Vec<u8>),
+    Insert(String, Vec<u8>),
+    Scan(String, usize),
+    ReadModifyWrite(String, Vec<u8>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Read,
+    Update,
+    Insert,
+    Scan,
+    Rmw,
+}
+
+/// Request distribution choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestDistribution {
+    Zipfian,
+    Uniform,
+    Latest,
+}
+
+/// A YCSB workload definition.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    pub name: &'static str,
+    pub read_proportion: f64,
+    pub update_proportion: f64,
+    pub insert_proportion: f64,
+    pub scan_proportion: f64,
+    pub rmw_proportion: f64,
+    pub request_distribution: RequestDistribution,
+    /// Value payload size (YCSB default: 10 fields × 100 B; we use one
+    /// 1000 B value).
+    pub value_len: usize,
+    pub max_scan_len: usize,
+}
+
+impl YcsbConfig {
+    pub fn workload(name: char) -> YcsbConfig {
+        let base = YcsbConfig {
+            name: "A",
+            read_proportion: 0.0,
+            update_proportion: 0.0,
+            insert_proportion: 0.0,
+            scan_proportion: 0.0,
+            rmw_proportion: 0.0,
+            request_distribution: RequestDistribution::Zipfian,
+            value_len: 1000,
+            max_scan_len: 100,
+        };
+        match name.to_ascii_uppercase() {
+            'A' => YcsbConfig {
+                name: "A",
+                read_proportion: 0.5,
+                update_proportion: 0.5,
+                ..base
+            },
+            'B' => YcsbConfig {
+                name: "B",
+                read_proportion: 0.95,
+                update_proportion: 0.05,
+                ..base
+            },
+            'C' => YcsbConfig { name: "C", read_proportion: 1.0, ..base },
+            'D' => YcsbConfig {
+                name: "D",
+                read_proportion: 0.95,
+                insert_proportion: 0.05,
+                request_distribution: RequestDistribution::Latest,
+                ..base
+            },
+            'E' => YcsbConfig {
+                name: "E",
+                scan_proportion: 0.95,
+                insert_proportion: 0.05,
+                ..base
+            },
+            'F' => YcsbConfig { name: "F", rmw_proportion: 1.0, ..base },
+            other => panic!("unknown YCSB workload {other}"),
+        }
+    }
+
+    pub fn all() -> Vec<YcsbConfig> {
+        "ABCDEF".chars().map(YcsbConfig::workload).collect()
+    }
+}
+
+/// The YCSB key for record index `i`.
+pub fn ycsb_key(i: u64) -> String {
+    format!("user{i:012}")
+}
+
+enum KeyChooser {
+    Zipfian(ScrambledZipfian),
+    Uniform(Uniform),
+    /// Latest: zipf rank back from the newest inserted index.
+    Latest(Zipfian),
+}
+
+/// A workload instance generating operations. One per client thread; the
+/// insert counter is shared so threads allocate disjoint new keys.
+pub struct YcsbWorkload {
+    config: YcsbConfig,
+    op_chooser: Discrete<OpKind>,
+    key_chooser: KeyChooser,
+    scan_len: Uniform,
+    insert_counter: Arc<AtomicU64>,
+}
+
+impl YcsbWorkload {
+    /// Build a workload over `record_count` preloaded records. Clone
+    /// `insert_counter` across threads (it must start at `record_count`).
+    pub fn new(config: YcsbConfig, record_count: u64, insert_counter: Arc<AtomicU64>) -> Self {
+        let op_chooser = Discrete::new(vec![
+            (config.read_proportion, OpKind::Read),
+            (config.update_proportion, OpKind::Update),
+            (config.insert_proportion, OpKind::Insert),
+            (config.scan_proportion, OpKind::Scan),
+            (config.rmw_proportion, OpKind::Rmw),
+        ]);
+        let key_chooser = match config.request_distribution {
+            RequestDistribution::Zipfian => KeyChooser::Zipfian(ScrambledZipfian::new(record_count)),
+            RequestDistribution::Uniform => KeyChooser::Uniform(Uniform::new(record_count)),
+            RequestDistribution::Latest => KeyChooser::Latest(Zipfian::new(record_count)),
+        };
+        let scan_len = Uniform::new(config.max_scan_len as u64);
+        YcsbWorkload {
+            config,
+            op_chooser,
+            key_chooser,
+            scan_len,
+            insert_counter,
+        }
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self, rng: &mut dyn rand::RngCore) -> YcsbOp {
+        let kind = *self.op_chooser.next(rng);
+        match kind {
+            OpKind::Insert => {
+                let idx = self.insert_counter.fetch_add(1, Ordering::Relaxed);
+                if let KeyChooser::Latest(z) = &mut self.key_chooser {
+                    z.grow_to(idx + 1);
+                }
+                YcsbOp::Insert(ycsb_key(idx), ycsb_value(idx, self.config.value_len))
+            }
+            other => {
+                let idx = self.choose_key(rng);
+                let key = ycsb_key(idx);
+                match other {
+                    OpKind::Read => YcsbOp::Read(key),
+                    OpKind::Update => {
+                        YcsbOp::Update(key, ycsb_value(idx + 1, self.config.value_len))
+                    }
+                    OpKind::Scan => {
+                        let len = 1 + self.scan_len.next(rng) as usize;
+                        YcsbOp::Scan(key, len)
+                    }
+                    OpKind::Rmw => YcsbOp::ReadModifyWrite(
+                        key,
+                        ycsb_value(idx + 2, self.config.value_len),
+                    ),
+                    OpKind::Insert => unreachable!(),
+                }
+            }
+        }
+    }
+
+    fn choose_key(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        let inserted = self.insert_counter.load(Ordering::Relaxed);
+        match &mut self.key_chooser {
+            KeyChooser::Zipfian(g) => g.next(rng),
+            KeyChooser::Uniform(g) => g.next(rng),
+            KeyChooser::Latest(z) => {
+                z.grow_to(inserted);
+                let rank = z.next(rng);
+                inserted - 1 - rank.min(inserted - 1)
+            }
+        }
+    }
+}
+
+/// Apply one op to a store.
+pub fn apply_op(store: &dyn KvInterface, op: &YcsbOp) -> Result<(), String> {
+    match op {
+        YcsbOp::Read(key) => store.read(key).map(|_| ()),
+        YcsbOp::Update(key, value) => store.update(key, value),
+        YcsbOp::Insert(key, value) => store.insert(key, value),
+        YcsbOp::Scan(key, len) => store.scan(key, *len).map(|_| ()),
+        YcsbOp::ReadModifyWrite(key, value) => store.read_modify_write(key, value),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store adapters
+// ---------------------------------------------------------------------
+
+/// YCSB adapter over [`kvstore::KvStore`]. Values live as plain strings;
+/// an index sorted-set (`_ycsb_idx`) maps record order to keys so SCAN has
+/// an ordered access path — exactly the trick YCSB's real Redis binding
+/// uses (Redis has no ordered keyspace).
+pub struct KvStoreYcsb {
+    store: Arc<kvstore::KvStore>,
+}
+
+impl KvStoreYcsb {
+    pub fn new(store: Arc<kvstore::KvStore>) -> Self {
+        KvStoreYcsb { store }
+    }
+
+    fn index_score(key: &str) -> f64 {
+        // Keys are "user{i:012}": recover the record index as the score.
+        key.strip_prefix("user")
+            .and_then(|d| d.parse::<u64>().ok())
+            .unwrap_or(0) as f64
+    }
+}
+
+impl KvInterface for KvStoreYcsb {
+    fn insert(&self, key: &str, value: &[u8]) -> Result<(), String> {
+        self.store
+            .set(key.as_bytes(), value)
+            .map_err(|e| e.to_string())?;
+        self.store
+            .execute(kvstore::Command::ZAdd {
+                key: bytes::Bytes::from_static(b"_ycsb_idx"),
+                entries: vec![(
+                    Self::index_score(key),
+                    bytes::Bytes::copy_from_slice(key.as_bytes()),
+                )],
+            })
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn read(&self, key: &str) -> Result<Option<Vec<u8>>, String> {
+        self.store
+            .get(key.as_bytes())
+            .map(|opt| opt.map(|b| b.to_vec()))
+            .map_err(|e| e.to_string())
+    }
+
+    fn update(&self, key: &str, value: &[u8]) -> Result<(), String> {
+        self.store
+            .set(key.as_bytes(), value)
+            .map_err(|e| e.to_string())
+    }
+
+    fn scan(&self, start_key: &str, count: usize) -> Result<usize, String> {
+        let start = Self::index_score(start_key);
+        let reply = self
+            .store
+            .execute(kvstore::Command::ZRangeByScore {
+                key: bytes::Bytes::from_static(b"_ycsb_idx"),
+                min: start,
+                max: f64::INFINITY,
+                limit: Some(count),
+            })
+            .map_err(|e| e.to_string())?;
+        let keys: Vec<_> = reply
+            .as_array()
+            .map(|a| a.iter().take(count).cloned().collect())
+            .unwrap_or_default();
+        let mut returned = 0;
+        for k in keys {
+            if let Some(key_bytes) = k.as_bulk() {
+                if self
+                    .store
+                    .get(key_bytes.as_ref())
+                    .map_err(|e| e.to_string())?
+                    .is_some()
+                {
+                    returned += 1;
+                }
+            }
+        }
+        Ok(returned)
+    }
+}
+
+/// YCSB adapter over [`relstore::Database`]: the classic `usertable`.
+pub struct RelStoreYcsb {
+    db: Arc<relstore::Database>,
+    /// Expiry timestamp stamped on every row, when the table carries the
+    /// paper's TTL retrofit column (§5.2).
+    row_expiry: Option<u64>,
+}
+
+impl RelStoreYcsb {
+    /// Create the adapter and its `usertable`.
+    pub fn new(db: Arc<relstore::Database>) -> Result<Self, String> {
+        Self::create(db, None)
+    }
+
+    /// As [`Self::new`] but with the paper's TTL retrofit: an `expiry`
+    /// timestamp column on every row (stamped `row_expiry_ms`), swept by a
+    /// [`relstore::ttl::TtlDaemon`] the caller starts.
+    pub fn with_expiry_column(
+        db: Arc<relstore::Database>,
+        row_expiry_ms: u64,
+    ) -> Result<Self, String> {
+        Self::create(db, Some(row_expiry_ms))
+    }
+
+    fn create(db: Arc<relstore::Database>, row_expiry: Option<u64>) -> Result<Self, String> {
+        let mut columns = vec![
+            ("key".to_string(), relstore::ColumnType::Text),
+            ("field0".to_string(), relstore::ColumnType::Text),
+        ];
+        if row_expiry.is_some() {
+            columns.push(("expiry".to_string(), relstore::ColumnType::Timestamp));
+        }
+        db.execute(&relstore::Statement::CreateTable {
+            table: "usertable".into(),
+            columns,
+            pk: "key".into(),
+        })
+        .map_err(|e| e.to_string())?;
+        Ok(RelStoreYcsb { db, row_expiry })
+    }
+
+    fn value_to_text(value: &[u8]) -> String {
+        // YCSB values generated by this crate are ASCII; enforce it here so
+        // the Text column is legitimate.
+        value.iter().map(|&b| (b % 26 + b'a') as char).collect()
+    }
+}
+
+impl KvInterface for RelStoreYcsb {
+    fn insert(&self, key: &str, value: &[u8]) -> Result<(), String> {
+        let mut row = vec![
+            relstore::Datum::Text(key.to_string()),
+            relstore::Datum::Text(Self::value_to_text(value)),
+        ];
+        if let Some(expiry) = self.row_expiry {
+            row.push(relstore::Datum::Timestamp(expiry));
+        }
+        self.db
+            .execute(&relstore::Statement::Insert { table: "usertable".into(), row })
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn read(&self, key: &str) -> Result<Option<Vec<u8>>, String> {
+        let result = self
+            .db
+            .execute(&relstore::Statement::Select {
+                table: "usertable".into(),
+                pred: relstore::Predicate::eq_text("key", key),
+            })
+            .map_err(|e| e.to_string())?;
+        Ok(result.rows().first().and_then(|row| {
+            row.get(1)
+                .and_then(relstore::Datum::as_text)
+                .map(|s| s.as_bytes().to_vec())
+        }))
+    }
+
+    fn update(&self, key: &str, value: &[u8]) -> Result<(), String> {
+        self.db
+            .execute(&relstore::Statement::Update {
+                table: "usertable".into(),
+                pred: relstore::Predicate::eq_text("key", key),
+                assignments: vec![(
+                    "field0".into(),
+                    relstore::Datum::Text(Self::value_to_text(value)),
+                )],
+            })
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn scan(&self, start_key: &str, count: usize) -> Result<usize, String> {
+        let result = self
+            .db
+            .execute(&relstore::Statement::SelectRange {
+                table: "usertable".into(),
+                column: "key".into(),
+                start: relstore::Datum::Text(start_key.to_string()),
+                limit: count,
+            })
+            .map_err(|e| e.to_string())?;
+        Ok(result.rows().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn gen_ops(config: YcsbConfig, n: usize, records: u64) -> Vec<YcsbOp> {
+        let counter = Arc::new(AtomicU64::new(records));
+        let mut w = YcsbWorkload::new(config, records, counter);
+        let mut rng = SmallRng::seed_from_u64(11);
+        (0..n).map(|_| w.next_op(&mut rng)).collect()
+    }
+
+    #[test]
+    fn workload_a_mix() {
+        let ops = gen_ops(YcsbConfig::workload('A'), 10_000, 1000);
+        let reads = ops.iter().filter(|o| matches!(o, YcsbOp::Read(_))).count();
+        let updates = ops.iter().filter(|o| matches!(o, YcsbOp::Update(..))).count();
+        assert_eq!(reads + updates, 10_000);
+        assert!((4500..5500).contains(&reads), "reads={reads}");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let ops = gen_ops(YcsbConfig::workload('C'), 1000, 1000);
+        assert!(ops.iter().all(|o| matches!(o, YcsbOp::Read(_))));
+    }
+
+    #[test]
+    fn workload_d_inserts_fresh_keys() {
+        let ops = gen_ops(YcsbConfig::workload('D'), 10_000, 1000);
+        let inserts: Vec<_> = ops
+            .iter()
+            .filter_map(|o| match o {
+                YcsbOp::Insert(k, _) => Some(k.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(!inserts.is_empty());
+        // Fresh keys start at the preload boundary.
+        assert!(inserts.contains(&ycsb_key(1000)));
+        let unique: std::collections::HashSet<_> = inserts.iter().collect();
+        assert_eq!(unique.len(), inserts.len(), "insert keys must be unique");
+    }
+
+    #[test]
+    fn workload_e_scans_with_bounded_length() {
+        let ops = gen_ops(YcsbConfig::workload('E'), 5000, 1000);
+        let scans = ops.iter().filter(|o| matches!(o, YcsbOp::Scan(..))).count();
+        assert!(scans > 4000);
+        assert!(ops.iter().all(|o| match o {
+            YcsbOp::Scan(_, len) => (1..=100).contains(len),
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn workload_f_is_rmw() {
+        let ops = gen_ops(YcsbConfig::workload('F'), 100, 50);
+        assert!(ops.iter().all(|o| matches!(o, YcsbOp::ReadModifyWrite(..))));
+    }
+
+    fn load_store(store: &dyn KvInterface, n: u64) {
+        for i in 0..n {
+            store.insert(&ycsb_key(i), &ycsb_value(i, 64)).unwrap();
+        }
+    }
+
+    #[test]
+    fn kvstore_adapter_roundtrip() {
+        let store = kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap();
+        let adapter = KvStoreYcsb::new(store);
+        load_store(&adapter, 50);
+        assert_eq!(adapter.read(&ycsb_key(7)).unwrap().unwrap(), ycsb_value(7, 64));
+        adapter.update(&ycsb_key(7), b"new-value").unwrap();
+        assert_eq!(adapter.read(&ycsb_key(7)).unwrap().unwrap(), b"new-value");
+        assert_eq!(adapter.read("user999999999999").unwrap(), None);
+        // Ordered scan from key 10, 5 records.
+        assert_eq!(adapter.scan(&ycsb_key(10), 5).unwrap(), 5);
+        // Scan off the end returns fewer.
+        assert_eq!(adapter.scan(&ycsb_key(48), 10).unwrap(), 2);
+    }
+
+    #[test]
+    fn relstore_adapter_roundtrip() {
+        let db = relstore::Database::open(relstore::RelConfig::default()).unwrap();
+        let adapter = RelStoreYcsb::new(db).unwrap();
+        load_store(&adapter, 50);
+        assert!(adapter.read(&ycsb_key(7)).unwrap().is_some());
+        adapter.update(&ycsb_key(7), &ycsb_value(99, 64)).unwrap();
+        assert_eq!(
+            adapter.read(&ycsb_key(7)).unwrap().unwrap(),
+            RelStoreYcsb::value_to_text(&ycsb_value(99, 64)).into_bytes()
+        );
+        assert_eq!(adapter.scan(&ycsb_key(10), 5).unwrap(), 5);
+        assert_eq!(adapter.scan(&ycsb_key(48), 10).unwrap(), 2);
+        adapter.read_modify_write(&ycsb_key(3), b"rmw").unwrap();
+    }
+
+    #[test]
+    fn ops_execute_against_both_adapters() {
+        let kv = KvStoreYcsb::new(kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap());
+        let rel = RelStoreYcsb::new(
+            relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+        )
+        .unwrap();
+        for adapter in [&kv as &dyn KvInterface, &rel as &dyn KvInterface] {
+            load_store(adapter, 100);
+            let counter = Arc::new(AtomicU64::new(100));
+            let mut w = YcsbWorkload::new(YcsbConfig::workload('A'), 100, counter);
+            let mut rng = SmallRng::seed_from_u64(5);
+            for _ in 0..200 {
+                let op = w.next_op(&mut rng);
+                apply_op(adapter, &op).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Run a miniature GDPRbench: all four workloads, single-threaded with the
+//! correctness oracle enabled, against both stores — the §4.2.3 metrics
+//! (correctness, completion time, space overhead) on one screen.
+//!
+//! ```sh
+//! cargo run --release --example mini_benchmark
+//! ```
+
+use gdprbench_repro::gdpr_core::GdprConnector;
+use gdprbench_repro::workload::gdpr::{load_corpus, stable_corpus, GdprWorkloadKind};
+use gdprbench_repro::workload::run_gdpr_workload;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const RECORDS: usize = 1_000;
+    const OPS: u64 = 300;
+
+    println!("GDPRbench mini-run: {RECORDS} records, {OPS} ops per workload, 1 thread, oracle on\n");
+    println!(
+        "{:<12} {:<11} {:>12} {:>11} {:>12} {:>12}",
+        "connector", "workload", "completion", "ops/s", "correctness", "space-factor"
+    );
+
+    for db in ["redis", "postgres-mi"] {
+        for kind in GdprWorkloadKind::ALL {
+            // Fresh store per run so the oracle and store start identical.
+            let connector: Arc<dyn GdprConnector> = match db {
+                "redis" => Arc::new(gdprbench_repro::connectors::RedisConnector::new(
+                    gdprbench_repro::kvstore::KvStore::open(
+                        gdprbench_repro::kvstore::KvConfig::default(),
+                    )?,
+                )),
+                _ => Arc::new(gdprbench_repro::connectors::PostgresConnector::with_metadata_indices(
+                    gdprbench_repro::relstore::Database::open(
+                        gdprbench_repro::relstore::RelConfig::default(),
+                    )?,
+                )?),
+            };
+            let corpus = stable_corpus(RECORDS);
+            load_corpus(connector.as_ref(), &corpus)?;
+            let report = run_gdpr_workload(connector, kind, corpus, OPS, 1, true);
+            println!(
+                "{:<12} {:<11} {:>12} {:>11.1} {:>11.1}% {:>11.2}x",
+                report.connector,
+                report.workload,
+                format!("{:?}", report.completion),
+                report.throughput_ops_per_sec(),
+                report.correctness.unwrap_or(0.0) * 100.0,
+                report.space.overhead_factor(),
+            );
+        }
+    }
+    Ok(())
+}

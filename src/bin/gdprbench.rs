@@ -1,0 +1,255 @@
+//! The `gdprbench` command-line tool — the YCSB-style driver the paper
+//! ships: load a datastore with personal records, run one of the four
+//! entity workloads (or a YCSB workload), and report the benchmark's three
+//! metrics.
+//!
+//! ```sh
+//! gdprbench run --db redis --workload customer --records 10000 --ops 1000
+//! gdprbench run --db postgres-mi --workload regulator --threads 8
+//! gdprbench ycsb --db postgres --workload A --records 10000 --ops 100000
+//! gdprbench features --db redis
+//! ```
+
+use gdprbench_repro::gdpr_core::GdprConnector;
+use gdprbench_repro::workload::gdpr::{load_corpus, stable_corpus, GdprWorkloadKind};
+use gdprbench_repro::workload::ycsb::{ycsb_key, KvInterface, KvStoreYcsb, RelStoreYcsb, YcsbConfig};
+use gdprbench_repro::workload::{datagen, run_gdpr_workload, run_ycsb_workload};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+gdprbench — the GDPR benchmark (reproduction of Shastri et al., VLDB 2020)
+
+USAGE:
+  gdprbench run      --db <redis|postgres|postgres-mi> --workload <controller|customer|processor|regulator|all>
+                     [--records N] [--ops N] [--threads N] [--no-oracle] [--compliant]
+  gdprbench ycsb     --db <redis|postgres> --workload <A|B|C|D|E|F|all>
+                     [--records N] [--ops N] [--threads N]
+  gdprbench features --db <redis|postgres|postgres-mi>
+  gdprbench help
+
+METRICS (as defined in §4.2.3 of the paper):
+  correctness     fraction of responses matching the oracle (single-threaded runs)
+  completion time wall time to finish all operations of the workload
+  space overhead  total DB bytes / personal-data bytes";
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_string());
+    let mut flags = HashMap::new();
+    while let Some(flag) = argv.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag}"))?
+            .to_string();
+        if key == "no-oracle" || key == "compliant" {
+            flags.insert(key, "true".to_string());
+        } else {
+            let value = argv.next().ok_or_else(|| format!("--{key} requires a value"))?;
+            flags.insert(key, value);
+        }
+    }
+    Ok(Args { command, flags })
+}
+
+impl Args {
+    fn get(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+            None => Ok(default),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+fn build_connector(db: &str, compliant: bool) -> Result<Arc<dyn GdprConnector>, String> {
+    let conn: Arc<dyn GdprConnector> = match db {
+        "redis" => {
+            let config = if compliant {
+                gdprbench_repro::kvstore::KvConfig::gdpr_compliant_in_memory()
+            } else {
+                gdprbench_repro::kvstore::KvConfig::default()
+            };
+            let store =
+                gdprbench_repro::kvstore::KvStore::open(config).map_err(|e| e.to_string())?;
+            if compliant {
+                store.start_expiration_driver();
+            }
+            Arc::new(gdprbench_repro::connectors::RedisConnector::new(store))
+        }
+        "postgres" | "postgres-mi" => {
+            let config = if compliant {
+                gdprbench_repro::relstore::RelConfig::gdpr_compliant_in_memory()
+            } else {
+                gdprbench_repro::relstore::RelConfig::default()
+            };
+            let database =
+                gdprbench_repro::relstore::Database::open(config).map_err(|e| e.to_string())?;
+            let connector = if db == "postgres-mi" {
+                gdprbench_repro::connectors::PostgresConnector::with_metadata_indices(database)
+            } else {
+                gdprbench_repro::connectors::PostgresConnector::new(database)
+            }
+            .map_err(|e| e.to_string())?;
+            Arc::new(connector)
+        }
+        other => return Err(format!("unknown --db {other}")),
+    };
+    Ok(conn)
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let db = args.get("db", "redis");
+    let records: usize = args.get_num("records", 1000)?;
+    let ops: u64 = args.get_num("ops", 1000)?;
+    let threads: usize = args.get_num("threads", 1)?;
+    let oracle = !args.has("no-oracle") && threads == 1;
+    let workload_arg = args.get("workload", "all");
+    let kinds: Vec<GdprWorkloadKind> = match workload_arg.as_str() {
+        "all" => GdprWorkloadKind::ALL.to_vec(),
+        name => vec![GdprWorkloadKind::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| format!("unknown --workload {name}"))?],
+    };
+
+    println!(
+        "gdprbench: db={db} records={records} ops={ops} threads={threads} oracle={oracle}\n"
+    );
+    println!(
+        "{:<11} {:>13} {:>11} {:>8} {:>12} {:>13}",
+        "workload", "completion", "ops/s", "errors", "correctness", "space-factor"
+    );
+    for kind in kinds {
+        // Fresh store per workload so the oracle matches (as the paper
+        // reloads between runs).
+        let connector = build_connector(&db, args.has("compliant"))?;
+        let corpus = stable_corpus(records);
+        load_corpus(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
+        let report = run_gdpr_workload(connector, kind, corpus, ops, threads, oracle);
+        println!(
+            "{:<11} {:>13} {:>11.1} {:>8} {:>12} {:>12.2}x",
+            report.workload,
+            format!("{:.2?}", report.completion),
+            report.throughput_ops_per_sec(),
+            report.errors,
+            report
+                .correctness
+                .map_or_else(|| "n/a".to_string(), |c| format!("{:.1}%", c * 100.0)),
+            report.space.overhead_factor(),
+        );
+        // Per-query breakdown.
+        let mut rows: Vec<_> = report.per_query.iter().collect();
+        rows.sort_by_key(|(name, _)| *name);
+        for (name, stats) in rows {
+            println!(
+                "  {:<26} ok={:<6} err={:<5} mean={:<10} p99={:?}",
+                name,
+                stats.ok,
+                stats.errors,
+                format!("{:.2?}", stats.latency.mean()),
+                stats.latency.quantile(0.99),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ycsb(args: &Args) -> Result<(), String> {
+    let db = args.get("db", "redis");
+    let records: u64 = args.get_num("records", 1000)?;
+    let ops: u64 = args.get_num("ops", 10_000)?;
+    let threads: usize = args.get_num("threads", 1)?;
+    let workload_arg = args.get("workload", "all");
+    let configs: Vec<YcsbConfig> = match workload_arg.as_str() {
+        "all" => YcsbConfig::all(),
+        name if name.len() == 1 => vec![YcsbConfig::workload(name.chars().next().unwrap())],
+        other => return Err(format!("unknown --workload {other}")),
+    };
+
+    println!("gdprbench ycsb: db={db} records={records} ops={ops} threads={threads}\n");
+    println!("{:<9} {:>13} {:>12} {:>8}", "workload", "completion", "ops/s", "errors");
+    for config in configs {
+        let adapter: Arc<dyn KvInterface> = match db.as_str() {
+            "redis" => {
+                let store = gdprbench_repro::kvstore::KvStore::open(Default::default())
+                    .map_err(|e| e.to_string())?;
+                Arc::new(KvStoreYcsb::new(store))
+            }
+            "postgres" | "postgres-mi" => {
+                let database = gdprbench_repro::relstore::Database::open(Default::default())
+                    .map_err(|e| e.to_string())?;
+                Arc::new(RelStoreYcsb::new(database)?)
+            }
+            other => return Err(format!("unknown --db {other}")),
+        };
+        for i in 0..records {
+            adapter.insert(&ycsb_key(i), &datagen::ycsb_value(i, config.value_len))?;
+        }
+        let report = run_ycsb_workload(adapter, config, records, ops, threads);
+        println!(
+            "{:<9} {:>13} {:>12.1} {:>8}",
+            report.workload,
+            format!("{:.2?}", report.completion),
+            report.throughput_ops_per_sec(),
+            report.errors
+        );
+    }
+    Ok(())
+}
+
+fn cmd_features(args: &Args) -> Result<(), String> {
+    let db = args.get("db", "redis");
+    for compliant in [false, true] {
+        let connector = build_connector(&db, compliant)?;
+        let report = connector.features();
+        println!(
+            "{} ({}): fully compliant = {}",
+            db,
+            if compliant { "compliant config" } else { "default config" },
+            report.is_fully_compliant()
+        );
+        for feature in gdprbench_repro::gdpr_core::ComplianceFeature::ALL {
+            println!("  {:<24} {:?}", feature.name(), report.support_for(feature));
+        }
+        let satisfied = gdprbench_repro::gdpr_core::articles::articles_satisfied_by(&report);
+        println!("  satisfies {}/12 Table-1 article rows\n", satisfied.len());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "ycsb" => cmd_ycsb(&args),
+        "features" => cmd_features(&args),
+        _ => {
+            println!("{USAGE}");
+            Ok(())
+        }
+    };
+    if let Err(msg) = result {
+        eprintln!("{msg}\n\n{USAGE}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the workspace crates for examples and integration tests.
+pub use clock;
+pub use connectors;
+pub use crypto;
+pub use gdpr_core;
+pub use kvstore;
+pub use relstore;
+pub use workload;

