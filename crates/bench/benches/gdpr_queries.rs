@@ -48,15 +48,23 @@ fn bench_query_classes(c: &mut Criterion) {
     for (name, conn) in &conns {
         let processor = Session::processor(purpose.clone());
         let by_key = GdprQuery::ReadDataByKey(record.key.clone());
-        group.bench_with_input(BenchmarkId::new("read-data-by-key", name), conn, |b, conn| {
-            b.iter(|| conn.execute(&processor, &by_key).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("read-data-by-key", name),
+            conn,
+            |b, conn| {
+                b.iter(|| conn.execute(&processor, &by_key).unwrap());
+            },
+        );
 
         let customer = Session::customer(user.clone());
         let by_usr = GdprQuery::ReadDataByUser(user.clone());
-        group.bench_with_input(BenchmarkId::new("read-data-by-usr", name), conn, |b, conn| {
-            b.iter(|| conn.execute(&customer, &by_usr).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("read-data-by-usr", name),
+            conn,
+            |b, conn| {
+                b.iter(|| conn.execute(&customer, &by_usr).unwrap());
+            },
+        );
 
         let regulator = Session::regulator();
         let meta_usr = GdprQuery::ReadMetadataByUser(user.clone());
@@ -70,14 +78,22 @@ fn bench_query_classes(c: &mut Criterion) {
 
         let by_pur = GdprQuery::ReadDataByPurpose(purpose.clone());
         let processor2 = Session::processor(purpose.clone());
-        group.bench_with_input(BenchmarkId::new("read-data-by-pur", name), conn, |b, conn| {
-            b.iter(|| conn.execute(&processor2, &by_pur).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("read-data-by-pur", name),
+            conn,
+            |b, conn| {
+                b.iter(|| conn.execute(&processor2, &by_pur).unwrap());
+            },
+        );
 
         let verify = GdprQuery::VerifyDeletion("ph-nonexistent".into());
-        group.bench_with_input(BenchmarkId::new("verify-deletion", name), conn, |b, conn| {
-            b.iter(|| conn.execute(&regulator, &verify).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("verify-deletion", name),
+            conn,
+            |b, conn| {
+                b.iter(|| conn.execute(&regulator, &verify).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -19,7 +19,12 @@ fn store_with(feature: Feature, scratch: &ScratchDir, records: u64) -> Arc<KvSto
 fn bench_set_get(c: &mut Criterion) {
     let scratch = ScratchDir::new("kvbench");
     let mut group = c.benchmark_group("kvstore");
-    for feature in [Feature::Baseline, Feature::Encrypt, Feature::Log, Feature::Combined] {
+    for feature in [
+        Feature::Baseline,
+        Feature::Encrypt,
+        Feature::Log,
+        Feature::Combined,
+    ] {
         let store = store_with(feature, &scratch, 10_000);
         group.bench_with_input(
             BenchmarkId::new("set", feature.name()),
@@ -60,7 +65,11 @@ fn bench_scan(c: &mut Criterion) {
             let mut seen = 0usize;
             loop {
                 let reply = store
-                    .execute(kvstore::Command::Scan { cursor, count: 512, pattern: None })
+                    .execute(kvstore::Command::Scan {
+                        cursor,
+                        count: 512,
+                        pattern: None,
+                    })
                     .unwrap();
                 let parts = reply.as_array().unwrap();
                 seen += parts[1].as_array().unwrap().len();

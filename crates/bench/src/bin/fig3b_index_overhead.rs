@@ -2,11 +2,7 @@
 //! indices under a pgbench-style mix.
 fn main() {
     let params = bench::cli::Params::from_env();
-    let (table, _) = bench::experiments::fig3b::run(
-        params.records,
-        params.ops.max(2_000),
-        params.threads,
-        7,
-    );
+    let (table, _) =
+        bench::experiments::fig3b::run(params.records, params.ops.max(2_000), params.threads, 7);
     table.print();
 }

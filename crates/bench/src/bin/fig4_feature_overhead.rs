@@ -3,8 +3,12 @@ fn main() {
     let params = bench::cli::Params::from_env();
     for db in ["redis", "postgres"] {
         if params.wants_db(db) {
-            let (table, _) =
-                bench::experiments::fig4::run(db, params.records as u64, params.ops, params.threads);
+            let (table, _) = bench::experiments::fig4::run(
+                db,
+                params.records as u64,
+                params.ops,
+                params.threads,
+            );
             table.print();
         }
     }

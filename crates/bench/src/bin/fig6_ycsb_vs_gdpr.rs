@@ -1,7 +1,6 @@
 //! Regenerates Figure 6: YCSB vs GDPRbench throughput on compliant stores.
 fn main() {
     let params = bench::cli::Params::from_env();
-    let (table, _) =
-        bench::experiments::fig6::run(params.records, params.ops, params.threads);
+    let (table, _) = bench::experiments::fig6::run(params.records, params.ops, params.threads);
     table.print();
 }

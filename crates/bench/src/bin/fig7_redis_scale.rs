@@ -5,7 +5,8 @@ fn main() {
     let params = bench::cli::Params::from_env();
     if params.wants_part("a") {
         let scales = fig7_8::default_scales(params.records.max(64_000), "a");
-        let (table, _) = fig7_8::run_part_a("redis", &scales, params.ops.max(10_000), params.threads);
+        let (table, _) =
+            fig7_8::run_part_a("redis", &scales, params.ops.max(10_000), params.threads);
         table.print();
     }
     if params.wants_part("b") {

@@ -110,7 +110,16 @@ mod tests {
     #[test]
     fn full_flags() {
         let p = parse(&[
-            "--records", "500", "--ops", "100", "--threads", "2", "--db", "redis", "--part", "b",
+            "--records",
+            "500",
+            "--ops",
+            "100",
+            "--threads",
+            "2",
+            "--db",
+            "redis",
+            "--part",
+            "b",
         ])
         .unwrap();
         assert_eq!(p.records, 500);

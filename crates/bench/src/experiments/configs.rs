@@ -49,10 +49,7 @@ impl ScratchDir {
     pub fn new(tag: &str) -> ScratchDir {
         static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "gdprbench-{}-{tag}-{n}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("gdprbench-{}-{tag}-{n}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create scratch dir");
         ScratchDir { path }
     }
@@ -148,23 +145,33 @@ pub fn feature_runs_ttl(feature: Feature) -> bool {
 /// Build the compliant Redis connector used by Figures 5–8 (the §5.1
 /// retrofit: strict TTL, full audit logging, encryption).
 pub fn compliant_redis(scratch: &ScratchDir) -> Arc<connectors::RedisConnector> {
-    let store = kvstore::KvStore::open(kv_config(Feature::Combined, scratch))
-        .expect("open kvstore");
+    let store =
+        kvstore::KvStore::open(kv_config(Feature::Combined, scratch)).expect("open kvstore");
     store.start_expiration_driver();
     Arc::new(connectors::RedisConnector::new(store))
 }
 
+/// Build the compliant Redis connector with the engine's metadata index
+/// attached — the index-on configuration the fig5/metaindex comparisons
+/// run against [`compliant_redis`]'s full-scan baseline.
+pub fn compliant_redis_mi(scratch: &ScratchDir) -> Arc<connectors::RedisConnector> {
+    let store =
+        kvstore::KvStore::open(kv_config(Feature::Combined, scratch)).expect("open kvstore");
+    store.start_expiration_driver();
+    Arc::new(connectors::RedisConnector::with_metadata_index(store).expect("attach index"))
+}
+
 /// Build the compliant PostgreSQL connector (baseline indexing) — §5.2.
 pub fn compliant_postgres(scratch: &ScratchDir) -> Arc<connectors::PostgresConnector> {
-    let db = relstore::Database::open(rel_config(Feature::Combined, scratch))
-        .expect("open relstore");
+    let db =
+        relstore::Database::open(rel_config(Feature::Combined, scratch)).expect("open relstore");
     Arc::new(connectors::PostgresConnector::new(db).expect("create table"))
 }
 
 /// Build the compliant PostgreSQL connector with metadata indices.
 pub fn compliant_postgres_mi(scratch: &ScratchDir) -> Arc<connectors::PostgresConnector> {
-    let db = relstore::Database::open(rel_config(Feature::Combined, scratch))
-        .expect("open relstore");
+    let db =
+        relstore::Database::open(rel_config(Feature::Combined, scratch)).expect("open relstore");
     Arc::new(connectors::PostgresConnector::with_metadata_indices(db).expect("create table"))
 }
 
@@ -205,7 +212,11 @@ mod tests {
         let scratch = ScratchDir::new("full");
         let redis = compliant_redis(&scratch);
         redis.store().stop_expiration_driver();
-        assert!(redis.features().is_fully_compliant(), "{:?}", redis.features());
+        assert!(
+            redis.features().is_fully_compliant(),
+            "{:?}",
+            redis.features()
+        );
         let pg = compliant_postgres_mi(&scratch);
         assert!(pg.features().is_fully_compliant(), "{:?}", pg.features());
     }

@@ -36,7 +36,10 @@ pub struct TtlDelayPoint {
 pub fn erasure_delay(total: usize, mode: ExpirationMode) -> (usize, Duration) {
     let sim = clock::sim();
     let store = KvStore::open_with_clock(
-        KvConfig { expiration: mode, ..Default::default() },
+        KvConfig {
+            expiration: mode,
+            ..Default::default()
+        },
         sim.clone(),
     )
     .expect("open store");
@@ -144,6 +147,9 @@ mod tests {
         assert_eq!(short, 400);
         // 2000 keys → expire-set 2000, ~20 samples per 100ms cycle: clearing
         // 400 due keys takes many cycles (minutes of simulated time).
-        assert!(delay > Duration::from_secs(5), "unexpectedly fast: {delay:?}");
+        assert!(
+            delay > Duration::from_secs(5),
+            "unexpectedly fast: {delay:?}"
+        );
     }
 }

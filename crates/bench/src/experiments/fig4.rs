@@ -27,7 +27,14 @@ fn load(adapter: &dyn KvInterface, records: u64, value_len: usize) {
 }
 
 /// Run one (store, feature, workload) cell and return throughput.
-fn run_cell(db: &str, feature: Feature, config: YcsbConfig, records: u64, ops: u64, threads: usize) -> f64 {
+fn run_cell(
+    db: &str,
+    feature: Feature,
+    config: YcsbConfig,
+    records: u64,
+    ops: u64,
+    threads: usize,
+) -> f64 {
     let scratch = ScratchDir::new("fig4");
     match db {
         "redis" => {
@@ -97,9 +104,18 @@ pub fn run(db: &str, records: u64, ops: u64, threads: usize) -> (ExperimentTable
     }
 
     let mut table = ExperimentTable::new(
-        format!("Figure 4{} — GDPR feature overhead on YCSB ({db})",
-                if db == "redis" { "a" } else { "b" }),
-        &["workload", "baseline ops/s", "encrypt", "ttl", "log", "combined"],
+        format!(
+            "Figure 4{} — GDPR feature overhead on YCSB ({db})",
+            if db == "redis" { "a" } else { "b" }
+        ),
+        &[
+            "workload",
+            "baseline ops/s",
+            "encrypt",
+            "ttl",
+            "log",
+            "combined",
+        ],
     );
     for config in YcsbConfig::all() {
         let row = &matrix[config.name];
@@ -124,8 +140,22 @@ mod tests {
     /// slower than baseline for the write-heavy workload A on Redis.
     #[test]
     fn combined_features_cost_throughput_on_redis() {
-        let baseline = run_cell("redis", Feature::Baseline, YcsbConfig::workload('A'), 500, 3000, 2);
-        let combined = run_cell("redis", Feature::Combined, YcsbConfig::workload('A'), 500, 3000, 2);
+        let baseline = run_cell(
+            "redis",
+            Feature::Baseline,
+            YcsbConfig::workload('A'),
+            500,
+            3000,
+            2,
+        );
+        let combined = run_cell(
+            "redis",
+            Feature::Combined,
+            YcsbConfig::workload('A'),
+            500,
+            3000,
+            2,
+        );
         assert!(baseline > 0.0 && combined > 0.0);
         assert!(
             combined < baseline,

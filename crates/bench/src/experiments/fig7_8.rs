@@ -15,7 +15,7 @@ use crate::report::{fmt_duration, ExperimentTable};
 use std::sync::Arc;
 use std::time::Duration;
 use workload::gdpr::{load_corpus, stable_corpus, GdprWorkloadKind};
-use workload::ycsb::{ycsb_key, KvStoreYcsb, RelStoreYcsb, KvInterface, YcsbConfig};
+use workload::ycsb::{ycsb_key, KvInterface, KvStoreYcsb, RelStoreYcsb, YcsbConfig};
 use workload::{datagen, run_gdpr_workload, run_ycsb_workload};
 
 /// Measured (record_count, completion) series.
@@ -54,8 +54,7 @@ pub fn run_part_a(
                 .completion
             }
             _ => {
-                let rel =
-                    relstore::Database::open(relstore::RelConfig::default()).expect("open");
+                let rel = relstore::Database::open(relstore::RelConfig::default()).expect("open");
                 let adapter = RelStoreYcsb::new(rel).expect("usertable");
                 for i in 0..records as u64 {
                     adapter
@@ -92,7 +91,9 @@ pub fn run_part_b(
 ) -> (ExperimentTable, ScaleSeries) {
     let fig = if db == "redis" { "7b" } else { "8b" };
     let mut table = ExperimentTable::new(
-        format!("Figure {fig} — GDPRbench customer workload vs personal-data volume ({db}, {ops} ops)"),
+        format!(
+            "Figure {fig} — GDPRbench customer workload vs personal-data volume ({db}, {ops} ops)"
+        ),
         &["records", "completion", "ops/s"],
     );
     let mut series = ScaleSeries::new();
@@ -179,7 +180,10 @@ mod tests {
 
     #[test]
     fn scale_ladders() {
-        assert_eq!(default_scales(64_000, "a"), vec![1000, 4000, 16_000, 64_000]);
+        assert_eq!(
+            default_scales(64_000, "a"),
+            vec![1000, 4000, 16_000, 64_000]
+        );
         assert_eq!(default_scales(1000, "b"), vec![200, 400, 600, 800, 1000]);
     }
 }

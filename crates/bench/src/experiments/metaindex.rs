@@ -1,0 +1,204 @@
+//! Index-on vs index-off on the key-value backend: the paper's Figure 5
+//! trade-off, isolated to single queries.
+//!
+//! The scan-based Redis connector answers READ-DATA-BY-USR and
+//! READ-DATA-BY-PUR by walking the whole `rec:*` keyspace and parsing every
+//! record — O(n) per query. With the engine's metadata index attached the
+//! same queries resolve by inverted lookup plus per-match fetches —
+//! O(matches). This module measures both paths on identical corpora so the
+//! speedup is a number, not a claim; the `metaindex` criterion bench runs
+//! the same comparison at 100 K records.
+
+use crate::report::ExperimentTable;
+use gdpr_core::{GdprConnector, GdprQuery, Session};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workload::datagen;
+use workload::gdpr::{load_corpus, stable_corpus};
+
+/// Mean per-query latency of both paths for one query class.
+#[derive(Debug, Clone)]
+pub struct IndexedVsScan {
+    pub query: &'static str,
+    pub scan: Duration,
+    pub indexed: Duration,
+}
+
+impl IndexedVsScan {
+    /// How many times faster the indexed path is.
+    pub fn speedup(&self) -> f64 {
+        self.scan.as_secs_f64() / self.indexed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Build the two connectors over identical corpora. Plain store config
+/// (no encryption/logging) so the measurement isolates scan-vs-index.
+pub fn build_pair(
+    records: usize,
+) -> (
+    Arc<connectors::RedisConnector>,
+    Arc<connectors::RedisConnector>,
+) {
+    let corpus = stable_corpus(records);
+    let scan = Arc::new(connectors::RedisConnector::new(
+        kvstore::KvStore::open(kvstore::KvConfig::default()).expect("open kvstore"),
+    ));
+    load_corpus(scan.as_ref(), &corpus).expect("load scan corpus");
+    let indexed = Arc::new(
+        connectors::RedisConnector::with_metadata_index(
+            kvstore::KvStore::open(kvstore::KvConfig::default()).expect("open kvstore"),
+        )
+        .expect("attach index"),
+    );
+    load_corpus(indexed.as_ref(), &corpus).expect("load indexed corpus");
+    (scan, indexed)
+}
+
+fn mean_latency(
+    conn: &dyn GdprConnector,
+    session: &Session,
+    query: &GdprQuery,
+    samples: usize,
+) -> Duration {
+    // One warm-up execution keeps first-touch costs out of the mean.
+    conn.execute(session, query).expect("warmup");
+    let start = Instant::now();
+    for _ in 0..samples {
+        conn.execute(session, query).expect("query");
+    }
+    start.elapsed() / samples.max(1) as u32
+}
+
+/// Measure the two metadata query classes of the acceptance comparison on
+/// both connector variants.
+pub fn run(records: usize, samples: usize) -> (ExperimentTable, Vec<IndexedVsScan>) {
+    let (scan_conn, index_conn) = build_pair(records);
+    let corpus = stable_corpus(records);
+    let probe = datagen::record_of(records / 2, &corpus);
+    let user = probe.metadata.user.clone();
+    // Two purpose probes with opposite selectivity: a *cohort* purpose
+    // matches COHORT_SIZE records (the bounded-purpose shape the corpus
+    // models for G5.1b group operations), while a *vocabulary* purpose like
+    // "ads" matches a large constant fraction of the corpus. The index
+    // turns O(n) into O(matches), so the first is the headline speedup and
+    // the second its honest lower bound (matches ≈ n/4 caps the gain).
+    let cohort_purpose = datagen::cohort_purpose_of(records / 2);
+    let broad_purpose = probe
+        .metadata
+        .purposes
+        .iter()
+        .find(|p| !p.starts_with("cohort-"))
+        .expect("records declare at least one vocabulary purpose")
+        .clone();
+
+    let cases: Vec<(&'static str, Session, GdprQuery)> = vec![
+        (
+            "read-data-by-usr",
+            Session::customer(user.clone()),
+            GdprQuery::ReadDataByUser(user),
+        ),
+        (
+            "read-data-by-pur (cohort)",
+            Session::processor(cohort_purpose.clone()),
+            GdprQuery::ReadDataByPurpose(cohort_purpose),
+        ),
+        (
+            "read-data-by-pur (broad)",
+            Session::processor(broad_purpose.clone()),
+            GdprQuery::ReadDataByPurpose(broad_purpose),
+        ),
+    ];
+
+    let mut table = ExperimentTable::new(
+        format!("Metadata index vs full scan on the Redis backend ({records} records)"),
+        &["query", "scan", "indexed", "speedup"],
+    );
+    let mut points = Vec::new();
+    for (name, session, query) in cases {
+        let scan = mean_latency(scan_conn.as_ref(), &session, &query, samples);
+        let indexed = mean_latency(index_conn.as_ref(), &session, &query, samples);
+        let point = IndexedVsScan {
+            query: name,
+            scan,
+            indexed,
+        };
+        table.push_row(vec![
+            name.to_string(),
+            format!("{scan:.2?}"),
+            format!("{indexed:.2?}"),
+            format!("{:.1}x", point.speedup()),
+        ]);
+        points.push(point);
+    }
+    (table, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance bar, at a scale small enough for the test suite: on
+    /// selective predicates (a user's records, a bounded purpose) the
+    /// indexed path must beat the full-scan path by ≥10×; on the broad
+    /// vocabulary purpose — where matches ≈ n/4 bound the possible gain —
+    /// it must still win outright. (At the criterion bench's 100 K records
+    /// the selective gaps are far larger; 20 K already clears 10× with a
+    /// wide margin because the scan parses every record per query.)
+    #[test]
+    fn indexed_reads_beat_scans_by_an_order_of_magnitude() {
+        let (_, points) = run(20_000, 5);
+        for point in points {
+            let required = if point.query.contains("broad") {
+                1.0
+            } else {
+                10.0
+            };
+            assert!(
+                point.speedup() >= required,
+                "{}: expected ≥{required}x, got {:.1}x (scan {:?}, indexed {:?})",
+                point.query,
+                point.speedup(),
+                point.scan,
+                point.indexed
+            );
+        }
+    }
+
+    /// Both paths return identical result sets on the benchmark corpus.
+    #[test]
+    fn both_paths_agree_on_the_corpus() {
+        let records = 2_000;
+        let (scan_conn, index_conn) = build_pair(records);
+        let corpus = stable_corpus(records);
+        let probe = datagen::record_of(17, &corpus);
+        let user = probe.metadata.user.clone();
+        let purpose = probe.metadata.purposes[0].clone();
+        for (session, query) in [
+            (
+                Session::customer(user.clone()),
+                GdprQuery::ReadDataByUser(user),
+            ),
+            (
+                Session::processor(purpose.clone()),
+                GdprQuery::ReadDataByPurpose(purpose),
+            ),
+        ] {
+            let mut scan = scan_conn
+                .execute(&session, &query)
+                .unwrap()
+                .as_data()
+                .unwrap()
+                .to_vec();
+            let mut indexed = index_conn
+                .execute(&session, &query)
+                .unwrap()
+                .as_data()
+                .unwrap()
+                .to_vec();
+            scan.sort();
+            indexed.sort();
+            assert_eq!(scan, indexed, "divergence on {query:?}");
+            assert!(!scan.is_empty(), "probe query should match something");
+        }
+    }
+}

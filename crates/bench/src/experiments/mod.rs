@@ -7,5 +7,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7_8;
+pub mod metaindex;
 pub mod table1;
 pub mod table3;

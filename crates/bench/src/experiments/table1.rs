@@ -25,7 +25,11 @@ pub fn article_map_table() -> ExperimentTable {
         table.push_row(vec![
             format!("G{}", req.article),
             req.clause.to_string(),
-            if attrs.is_empty() { "—".into() } else { attrs.join(", ") },
+            if attrs.is_empty() {
+                "—".into()
+            } else {
+                attrs.join(", ")
+            },
             actions.join(", "),
         ]);
     }
@@ -52,7 +56,11 @@ pub fn compliance_table() -> ExperimentTable {
         table.push_row(vec![
             name.to_string(),
             format!("{}/12", satisfied.len()),
-            if gaps.is_empty() { "none".into() } else { gaps.join(", ") },
+            if gaps.is_empty() {
+                "none".into()
+            } else {
+                gaps.join(", ")
+            },
         ]);
     }
     table

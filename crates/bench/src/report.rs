@@ -36,7 +36,10 @@ impl ExperimentTable {
         let Some(col) = self.columns.iter().position(|c| c == column) else {
             return Vec::new();
         };
-        self.rows.iter().filter_map(|r| r.get(col).map(String::as_str)).collect()
+        self.rows
+            .iter()
+            .filter_map(|r| r.get(col).map(String::as_str))
+            .collect()
     }
 
     /// Render as an aligned text table.
@@ -59,7 +62,11 @@ impl ExperimentTable {
         let _ = writeln!(
             out,
             "{}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
         );
         for row in &self.rows {
             let line: Vec<String> = row

@@ -13,18 +13,24 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn connectors() -> Vec<Box<dyn GdprConnector>> {
-    let redis = RedisConnector::new(
+    let redis = RedisConnector::new(kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap());
+    let redis_mi = RedisConnector::with_metadata_index(
         kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap(),
-    );
-    let pg = PostgresConnector::new(
-        relstore::Database::open(relstore::RelConfig::default()).unwrap(),
     )
     .unwrap();
+    let pg =
+        PostgresConnector::new(relstore::Database::open(relstore::RelConfig::default()).unwrap())
+            .unwrap();
     let pg_mi = PostgresConnector::with_metadata_indices(
         relstore::Database::open(relstore::RelConfig::default()).unwrap(),
     )
     .unwrap();
-    vec![Box::new(redis), Box::new(pg), Box::new(pg_mi)]
+    vec![
+        Box::new(redis),
+        Box::new(redis_mi),
+        Box::new(pg),
+        Box::new(pg_mi),
+    ]
 }
 
 fn record(key: &str, user: &str, purposes: &[&str], data: &str) -> PersonalRecord {
@@ -49,8 +55,11 @@ fn seed(conn: &dyn GdprConnector) {
         ("ph-5", "morpheus", &["ads"][..], "555-555"),
     ];
     for (key, user, purposes, data) in specs {
-        conn.execute(&controller, &GdprQuery::CreateRecord(record(key, user, purposes, data)))
-            .unwrap();
+        conn.execute(
+            &controller,
+            &GdprQuery::CreateRecord(record(key, user, purposes, data)),
+        )
+        .unwrap();
     }
 }
 
@@ -60,7 +69,8 @@ fn create_then_duplicate_rejected() {
         let controller = Session::controller();
         let r = record("dup-1", "neo", &["ads"], "x");
         assert_eq!(
-            conn.execute(&controller, &GdprQuery::CreateRecord(r.clone())).unwrap(),
+            conn.execute(&controller, &GdprQuery::CreateRecord(r.clone()))
+                .unwrap(),
             GdprResponse::Created,
             "{}",
             conn.name()
@@ -81,7 +91,12 @@ fn customer_reads_own_data_only() {
         let resp = conn
             .execute(&neo, &GdprQuery::ReadDataByUser("neo".into()))
             .unwrap();
-        let mut keys: Vec<_> = resp.as_data().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        let mut keys: Vec<_> = resp
+            .as_data()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
         keys.sort();
         assert_eq!(keys, vec!["ph-1", "ph-2"], "{}", conn.name());
         // Cross-user access denied statically.
@@ -105,7 +120,12 @@ fn processor_reads_by_purpose_with_objections_respected() {
         let resp = conn
             .execute(&ads, &GdprQuery::ReadDataByPurpose("ads".into()))
             .unwrap();
-        let mut keys: Vec<_> = resp.as_data().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        let mut keys: Vec<_> = resp
+            .as_data()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
         keys.sort();
         assert_eq!(keys, vec!["ph-1", "ph-3", "ph-5"], "{}", conn.name());
 
@@ -122,16 +142,28 @@ fn processor_reads_by_purpose_with_objections_respected() {
         let resp = conn
             .execute(&ads, &GdprQuery::ReadDataByPurpose("ads".into()))
             .unwrap();
-        let mut keys: Vec<_> = resp.as_data().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        let mut keys: Vec<_> = resp
+            .as_data()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
         keys.sort();
-        assert_eq!(keys, vec!["ph-3", "ph-5"], "{}: objection must filter", conn.name());
+        assert_eq!(
+            keys,
+            vec!["ph-3", "ph-5"],
+            "{}: objection must filter",
+            conn.name()
+        );
 
         // Purpose-scoped key read: ph-1 is no longer visible to 'ads'.
         assert!(matches!(
             conn.execute(&ads, &GdprQuery::ReadDataByKey("ph-1".into())),
             Err(GdprError::AccessDenied { .. })
         ));
-        assert!(conn.execute(&ads, &GdprQuery::ReadDataByKey("ph-3".into())).is_ok());
+        assert!(conn
+            .execute(&ads, &GdprQuery::ReadDataByKey("ph-3".into()))
+            .is_ok());
     }
 }
 
@@ -167,17 +199,25 @@ fn rectification_updates_data() {
         let neo = Session::customer("neo");
         conn.execute(
             &neo,
-            &GdprQuery::UpdateDataByKey { key: "ph-1".into(), data: "999-999".into() },
+            &GdprQuery::UpdateDataByKey {
+                key: "ph-1".into(),
+                data: "999-999".into(),
+            },
         )
         .unwrap();
-        let resp = conn.execute(&neo, &GdprQuery::ReadDataByUser("neo".into())).unwrap();
+        let resp = conn
+            .execute(&neo, &GdprQuery::ReadDataByUser("neo".into()))
+            .unwrap();
         let data: Vec<_> = resp.as_data().unwrap().to_vec();
         assert!(data.contains(&("ph-1".to_string(), "999-999".to_string())));
         // A customer cannot rectify someone else's record.
         assert!(matches!(
             conn.execute(
                 &neo,
-                &GdprQuery::UpdateDataByKey { key: "ph-3".into(), data: "hack".into() }
+                &GdprQuery::UpdateDataByKey {
+                    key: "ph-3".into(),
+                    data: "hack".into()
+                }
             ),
             Err(GdprError::AccessDenied { .. })
         ));
@@ -230,7 +270,10 @@ fn controller_manages_sharing_metadata_by_user() {
         .unwrap();
         let regulator = Session::regulator();
         let resp = conn
-            .execute(&regulator, &GdprQuery::ReadMetadataBySharedWith("x-corp".into()))
+            .execute(
+                &regulator,
+                &GdprQuery::ReadMetadataBySharedWith("x-corp".into()),
+            )
             .unwrap();
         assert_eq!(resp.as_metadata().unwrap().len(), 2, "{}", conn.name());
     }
@@ -245,10 +288,7 @@ fn decision_opt_out_excludes_from_eligible_set() {
             &neo,
             &GdprQuery::UpdateMetadataByKey {
                 key: "ph-2".into(),
-                update: MetadataUpdate::Add(
-                    MetadataField::Decisions,
-                    Metadata::DEC_OPT_OUT.into(),
-                ),
+                update: MetadataUpdate::Add(MetadataField::Decisions, Metadata::DEC_OPT_OUT.into()),
             },
         )
         .unwrap();
@@ -256,7 +296,12 @@ fn decision_opt_out_excludes_from_eligible_set() {
         let resp = conn
             .execute(&processor, &GdprQuery::ReadDataDecisionEligible)
             .unwrap();
-        let keys: Vec<_> = resp.as_data().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        let keys: Vec<_> = resp
+            .as_data()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
         assert!(!keys.contains(&"ph-2".to_string()), "{}", conn.name());
         assert_eq!(keys.len(), 4);
     }
@@ -267,10 +312,17 @@ fn regulator_gets_logs_but_never_data() {
     for conn in connectors() {
         seed(conn.as_ref());
         let neo = Session::customer("neo");
-        conn.execute(&neo, &GdprQuery::ReadDataByUser("neo".into())).unwrap();
+        conn.execute(&neo, &GdprQuery::ReadDataByUser("neo".into()))
+            .unwrap();
         let regulator = Session::regulator();
         let resp = conn
-            .execute(&regulator, &GdprQuery::GetSystemLogs { from_ms: 0, to_ms: u64::MAX })
+            .execute(
+                &regulator,
+                &GdprQuery::GetSystemLogs {
+                    from_ms: 0,
+                    to_ms: u64::MAX,
+                },
+            )
             .unwrap();
         match resp {
             GdprResponse::Logs(lines) => {
@@ -296,7 +348,9 @@ fn features_report_and_space_report() {
     for conn in connectors() {
         seed(conn.as_ref());
         let controller = Session::controller();
-        let resp = conn.execute(&controller, &GdprQuery::GetSystemFeatures).unwrap();
+        let resp = conn
+            .execute(&controller, &GdprQuery::GetSystemFeatures)
+            .unwrap();
         assert!(matches!(resp, GdprResponse::Features(_)));
         let space = conn.space_report();
         assert!(space.personal_data_bytes > 0, "{}", conn.name());
@@ -309,12 +363,311 @@ fn features_report_and_space_report() {
     }
 }
 
+/// Pin the canonical READ-DATA-BY-PUR semantics for every backend:
+/// a record is readable under a purpose iff the purpose was declared at
+/// collection (G5.1b) AND the subject has not objected to it (G21) —
+/// `purpose ∈ PUR ∧ purpose ∉ OBJ`. Merely declaring the purpose is not
+/// enough once an objection lands, and an objection to a purpose the
+/// record never declared changes nothing. The shared engine implements
+/// this exactly once (`RecordPredicate::AllowsPurpose`), so no backend can
+/// quietly diverge again.
 #[test]
-fn metadata_index_variant_reports_more_space() {
-    let pg = PostgresConnector::new(
-        relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+fn read_data_by_purpose_requires_declaration_and_no_objection() {
+    for conn in connectors() {
+        let controller = Session::controller();
+        let mut declared = record("r-declared", "neo", &["ads"], "d1");
+        let mut objected = record("r-objected", "neo", &["ads"], "d2");
+        objected.metadata.objections.push("ads".into());
+        // Objects to "ads" without ever declaring it: must stay invisible
+        // to the ads processor, and its objection must not hide r-declared.
+        let mut unrelated = record("r-unrelated", "neo", &["2fa"], "d3");
+        unrelated.metadata.objections.push("ads".into());
+        for r in [&mut declared, &mut objected, &mut unrelated] {
+            conn.execute(&controller, &GdprQuery::CreateRecord(r.clone()))
+                .unwrap();
+        }
+
+        let ads = Session::processor("ads");
+        let resp = conn
+            .execute(&ads, &GdprQuery::ReadDataByPurpose("ads".into()))
+            .unwrap();
+        let keys: Vec<_> = resp
+            .as_data()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["r-declared"],
+            "{}: declared ∧ ¬objected is the canonical semantics",
+            conn.name()
+        );
+    }
+}
+
+/// The engine's metadata index must stay consistent with the store across
+/// the whole record lifecycle, including store-side TTL expiration (both
+/// the lazy-on-access path and the active expiration cycle invalidate
+/// index entries via the expiry listener).
+#[test]
+fn redis_index_invalidated_by_store_expiry() {
+    let sim = clock::sim();
+    let store = kvstore::KvStore::open_with_clock(
+        kvstore::KvConfig {
+            expiration: kvstore::ExpirationMode::Strict,
+            ..Default::default()
+        },
+        sim.clone(),
     )
     .unwrap();
+    let redis = RedisConnector::with_metadata_index(store).unwrap();
+    let controller = Session::controller();
+    let mut r = record("exp-1", "neo", &["ads"], "d");
+    r.metadata.sharing.push("x-corp".into());
+    r.metadata.objections.push("spam".into());
+    r.metadata.ttl = Some(Duration::from_secs(10));
+    redis
+        .execute(&controller, &GdprQuery::CreateRecord(r))
+        .unwrap();
+
+    let index = Arc::clone(redis.metadata_index().unwrap());
+    assert_eq!(index.keys_by_user("neo"), vec!["exp-1"]);
+    assert_eq!(index.deadline_of("exp-1"), Some(10_000));
+
+    // Active cycle reaps the key; the listener must scrub all four
+    // inverted indexes and the deadline set.
+    sim.advance(Duration::from_secs(11));
+    assert_eq!(redis.store().run_expiration_cycle().reaped, 1);
+    assert!(
+        index.fully_absent("exp-1"),
+        "expiry must invalidate the index"
+    );
+
+    // Lazy path: a fresh expired key reaped on access is scrubbed too.
+    let mut r2 = record("exp-2", "trinity", &["2fa"], "d");
+    r2.metadata.ttl = Some(Duration::from_secs(5));
+    redis
+        .execute(&controller, &GdprQuery::CreateRecord(r2))
+        .unwrap();
+    sim.advance(Duration::from_secs(6));
+    assert!(matches!(
+        redis.execute(
+            &Session::customer("trinity"),
+            &GdprQuery::ReadMetadataByKey("exp-2".into())
+        ),
+        Err(GdprError::NotFound(_))
+    ));
+    assert!(
+        index.fully_absent("exp-2"),
+        "lazy reap must invalidate the index"
+    );
+    assert!(index.is_empty());
+}
+
+/// A lazy expiration during a keyspace scan must not hide live records:
+/// reaping swap-removes keys in the key index, so a scan that interleaves
+/// GETs with cursor batches would move an unvisited tail key into an
+/// already-visited slot and skip it. The scan collects the full cursor
+/// walk before fetching.
+#[test]
+fn scan_survives_lazy_expiry_mid_walk() {
+    let sim = clock::sim();
+    let store =
+        kvstore::KvStore::open_with_clock(kvstore::KvConfig::default(), sim.clone()).unwrap();
+    let redis = RedisConnector::new(store);
+    let controller = Session::controller();
+    // First-inserted key expires; it sits in the first SCAN batch, and its
+    // lazy reap relocates the last key of the keyspace into its slot.
+    let mut doomed = record("doomed", "neo", &["ads"], "d");
+    doomed.metadata.ttl = Some(Duration::from_secs(5));
+    redis
+        .execute(&controller, &GdprQuery::CreateRecord(doomed))
+        .unwrap();
+    let live = 600; // > one SCAN batch (512), so the tail is beyond batch 1
+    for i in 0..live {
+        redis
+            .execute(
+                &controller,
+                &GdprQuery::CreateRecord(record(&format!("k{i:04}"), "neo", &["ads"], "d")),
+            )
+            .unwrap();
+    }
+    sim.advance(Duration::from_secs(6));
+    let resp = redis
+        .execute(
+            &Session::customer("neo"),
+            &GdprQuery::ReadDataByUser("neo".into()),
+        )
+        .unwrap();
+    assert_eq!(
+        resp.cardinality(),
+        live,
+        "every live record must survive a scan that lazily reaps an expired key"
+    );
+}
+
+/// Metadata rewrites must not erode the record's expiry deadline: the
+/// store preserves the exact millisecond deadline across a rewrite, not a
+/// seconds-truncated remaining TTL (which would also truncate a sub-second
+/// remainder to an instant expiry).
+#[test]
+fn metadata_update_preserves_exact_ttl_deadline() {
+    let sim = clock::sim();
+    let store =
+        kvstore::KvStore::open_with_clock(kvstore::KvConfig::default(), sim.clone()).unwrap();
+    let redis = RedisConnector::new(Arc::clone(&store));
+    let controller = Session::controller();
+    let mut r = record("r1", "neo", &["ads"], "d");
+    r.metadata.ttl = Some(Duration::from_secs(10));
+    redis
+        .execute(&controller, &GdprQuery::CreateRecord(r))
+        .unwrap();
+
+    // Rewrite with 1.5s remaining: a seconds-granular TTL round-trip would
+    // re-arm with 1s (or even 0s), killing the record early.
+    sim.advance(Duration::from_millis(8_500));
+    redis
+        .execute(
+            &Session::customer("neo"),
+            &GdprQuery::UpdateMetadataByKey {
+                key: "r1".into(),
+                update: MetadataUpdate::Add(MetadataField::Objections, "ads".into()),
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        store.expiry_at(b"rec:r1").map(|t| t.as_millis()),
+        Some(10_000),
+        "rewrite must keep the original absolute deadline"
+    );
+    sim.advance(Duration::from_millis(1_400)); // t = 9.9s < 10s
+    assert!(
+        redis
+            .execute(
+                &Session::customer("neo"),
+                &GdprQuery::ReadMetadataByKey("r1".into())
+            )
+            .is_ok(),
+        "record must live out its full declared TTL"
+    );
+    sim.advance(Duration::from_millis(200)); // t = 10.1s
+    assert!(matches!(
+        redis.execute(
+            &Session::customer("neo"),
+            &GdprQuery::ReadMetadataByKey("r1".into())
+        ),
+        Err(GdprError::NotFound(_))
+    ));
+}
+
+/// Index backfill over a pre-populated store must adopt the store's
+/// *remaining* deadlines, not re-arm records with their full declared TTL
+/// (which would retain personal data up to twice as long).
+#[test]
+fn index_backfill_adopts_remaining_deadlines() {
+    let sim = clock::sim();
+    let store =
+        kvstore::KvStore::open_with_clock(kvstore::KvConfig::default(), sim.clone()).unwrap();
+    {
+        let plain = RedisConnector::new(Arc::clone(&store));
+        let mut r = record("old-1", "neo", &["ads"], "d");
+        r.metadata.ttl = Some(Duration::from_secs(10));
+        plain
+            .execute(&Session::controller(), &GdprQuery::CreateRecord(r))
+            .unwrap();
+    }
+    sim.advance(Duration::from_secs(9));
+    let indexed = RedisConnector::with_metadata_index(Arc::clone(&store)).unwrap();
+    let index = Arc::clone(indexed.metadata_index().unwrap());
+    assert_eq!(
+        index.deadline_of("old-1"),
+        Some(10_000),
+        "backfill must keep the store's deadline, not now + declared TTL"
+    );
+    sim.advance(Duration::from_secs(2)); // t = 11s: past the true deadline
+    assert_eq!(
+        indexed
+            .execute(&Session::controller(), &GdprQuery::DeleteExpired)
+            .unwrap(),
+        GdprResponse::Deleted(1),
+        "DELETE-RECORD-BY-TTL must see the pre-existing record as due"
+    );
+    assert!(index.fully_absent("old-1"));
+}
+
+/// Indexed and scan-based Redis answer every predicate query identically.
+#[test]
+fn redis_index_and_scan_agree_on_all_predicates() {
+    let scan_conn =
+        RedisConnector::new(kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap());
+    let index_conn = RedisConnector::with_metadata_index(
+        kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap(),
+    )
+    .unwrap();
+    seed(&scan_conn);
+    seed(&index_conn);
+    let neo = Session::customer("neo");
+    let controller = Session::controller();
+    for conn in [&scan_conn, &index_conn] {
+        conn.execute(
+            &neo,
+            &GdprQuery::UpdateMetadataByKey {
+                key: "ph-1".into(),
+                update: MetadataUpdate::Add(MetadataField::Objections, "ads".into()),
+            },
+        )
+        .unwrap();
+        conn.execute(
+            &controller,
+            &GdprQuery::UpdateMetadataByUser {
+                user: "morpheus".into(),
+                update: MetadataUpdate::Add(MetadataField::Sharing, "x-corp".into()),
+            },
+        )
+        .unwrap();
+    }
+
+    let queries: Vec<(Session, GdprQuery)> = vec![
+        (neo.clone(), GdprQuery::ReadDataByUser("neo".into())),
+        (
+            Session::processor("ads"),
+            GdprQuery::ReadDataByPurpose("ads".into()),
+        ),
+        (
+            Session::processor("x"),
+            GdprQuery::ReadDataNotObjecting("ads".into()),
+        ),
+        (Session::processor("x"), GdprQuery::ReadDataDecisionEligible),
+        (
+            Session::regulator(),
+            GdprQuery::ReadMetadataByUser("neo".into()),
+        ),
+        (
+            Session::regulator(),
+            GdprQuery::ReadMetadataBySharedWith("x-corp".into()),
+        ),
+    ];
+    for (session, query) in queries {
+        let mut scan = scan_conn.execute(&session, &query).unwrap();
+        let mut indexed = index_conn.execute(&session, &query).unwrap();
+        for resp in [&mut scan, &mut indexed] {
+            if let GdprResponse::Data(pairs) = resp {
+                pairs.sort();
+            }
+            if let GdprResponse::Metadata(pairs) = resp {
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+        assert_eq!(scan, indexed, "divergence on {query:?}");
+    }
+}
+
+#[test]
+fn metadata_index_variant_reports_more_space() {
+    let pg =
+        PostgresConnector::new(relstore::Database::open(relstore::RelConfig::default()).unwrap())
+            .unwrap();
     let pg_mi = PostgresConnector::with_metadata_indices(
         relstore::Database::open(relstore::RelConfig::default()).unwrap(),
     )
@@ -340,28 +693,37 @@ fn expired_records_vanish() {
     let controller = Session::controller();
     let mut r = record("exp-1", "neo", &["ads"], "d");
     r.metadata.ttl = Some(Duration::from_secs(10));
-    redis.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+    redis
+        .execute(&controller, &GdprQuery::CreateRecord(r))
+        .unwrap();
     sim.advance(Duration::from_secs(11));
     assert!(matches!(
-        redis.execute(&Session::customer("neo"), &GdprQuery::ReadMetadataByKey("exp-1".into())),
+        redis.execute(
+            &Session::customer("neo"),
+            &GdprQuery::ReadMetadataByKey("exp-1".into())
+        ),
         Err(GdprError::NotFound(_))
     ));
 
     // Postgres: the sweep daemon removes them.
     let sim = clock::sim();
-    let db = relstore::Database::open_with_clock(relstore::RelConfig::default(), sim.clone())
-        .unwrap();
+    let db =
+        relstore::Database::open_with_clock(relstore::RelConfig::default(), sim.clone()).unwrap();
     let pg = PostgresConnector::new(db).unwrap();
     let mut r = record("exp-1", "neo", &["ads"], "d");
     r.metadata.ttl = Some(Duration::from_secs(10));
-    pg.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+    pg.execute(&controller, &GdprQuery::CreateRecord(r))
+        .unwrap();
     sim.advance(Duration::from_secs(11));
     let daemon = pg.ttl_daemon();
     assert_eq!(daemon.sweep_once().unwrap(), 1);
     assert_eq!(pg.record_count(), 0);
     assert_eq!(
-        pg.execute(&Session::regulator(), &GdprQuery::VerifyDeletion("exp-1".into()))
-            .unwrap(),
+        pg.execute(
+            &Session::regulator(),
+            &GdprQuery::VerifyDeletion("exp-1".into())
+        )
+        .unwrap(),
         GdprResponse::DeletionVerified(true)
     );
 }
@@ -383,21 +745,26 @@ fn delete_expired_query_purges() {
     for i in 0..10 {
         let mut r = record(&format!("e{i}"), "u", &["ads"], "d");
         r.metadata.ttl = Some(Duration::from_secs(5));
-        redis.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+        redis
+            .execute(&controller, &GdprQuery::CreateRecord(r))
+            .unwrap();
     }
     sim.advance(Duration::from_secs(6));
-    let resp = redis.execute(&controller, &GdprQuery::DeleteExpired).unwrap();
+    let resp = redis
+        .execute(&controller, &GdprQuery::DeleteExpired)
+        .unwrap();
     assert_eq!(resp, GdprResponse::Deleted(10));
 
     // Postgres equivalent.
     let sim = clock::sim();
-    let db = relstore::Database::open_with_clock(relstore::RelConfig::default(), sim.clone())
-        .unwrap();
+    let db =
+        relstore::Database::open_with_clock(relstore::RelConfig::default(), sim.clone()).unwrap();
     let pg = PostgresConnector::new(db).unwrap();
     for i in 0..10 {
         let mut r = record(&format!("e{i}"), "u", &["ads"], "d");
         r.metadata.ttl = Some(Duration::from_secs(5));
-        pg.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+        pg.execute(&controller, &GdprQuery::CreateRecord(r))
+            .unwrap();
     }
     sim.advance(Duration::from_secs(6));
     let resp = pg.execute(&controller, &GdprQuery::DeleteExpired).unwrap();
@@ -409,13 +776,24 @@ fn postgres_mi_uses_index_scans_for_metadata_queries() {
     let db = relstore::Database::open(relstore::RelConfig::default()).unwrap();
     let pg = PostgresConnector::with_metadata_indices(Arc::clone(&db)).unwrap();
     seed(&pg);
-    let before = db.table(crate::postgres::TABLE).unwrap().read().plan_stats();
+    let before = db
+        .table(crate::postgres::TABLE)
+        .unwrap()
+        .read()
+        .plan_stats();
     pg.execute(
         &Session::customer("neo"),
         &GdprQuery::ReadDataByUser("neo".into()),
     )
     .unwrap();
-    let after = db.table(crate::postgres::TABLE).unwrap().read().plan_stats();
+    let after = db
+        .table(crate::postgres::TABLE)
+        .unwrap()
+        .read()
+        .plan_stats();
     assert!(after.index_scans > before.index_scans);
-    assert_eq!(after.seq_scans, before.seq_scans, "usr query must not seq-scan");
+    assert_eq!(
+        after.seq_scans, before.seq_scans,
+        "usr query must not seq-scan"
+    );
 }

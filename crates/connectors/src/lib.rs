@@ -1,28 +1,36 @@
-//! GDPR client stubs: [`gdpr_core::GdprConnector`] implementations over the
-//! two stores, mirroring the per-database clients the paper adds to
-//! GDPRbench (§4.3: "~400 LoC for Redis and PostgreSQL clients").
+//! Storage backends for the shared GDPR compliance engine.
 //!
-//! * [`redis::RedisConnector`] — records live as wire-format strings under
+//! The paper adds per-database client stubs to GDPRbench (§4.3: "~400 LoC
+//! for Redis and PostgreSQL clients"); in this reproduction the entire
+//! GDPR layer — authorization, record visibility, audit logging, and the
+//! one `GdprQuery` dispatch — lives in [`gdpr_core::ComplianceEngine`], and
+//! each database contributes only a narrow [`gdpr_core::RecordStore`]
+//! backend:
+//!
+//! * [`redis::RedisStore`] — records live as wire-format strings under
 //!   `rec:<key>` with native `EXPIRE` for TTL. The store has **no secondary
-//!   indexes**, so every metadata-conditioned query SCANs the keyspace and
-//!   filters client-side — the O(n) behaviour behind Figures 5a and 7b.
-//!   Access control is enforced in the client, exactly as the paper does.
-//! * [`postgres::PostgresConnector`] — one `personal_data` table with a
-//!   column per metadata attribute (arrays for multi-valued ones). In
-//!   baseline form only the primary key is indexed (metadata queries
-//!   seq-scan, Figure 5b); with
+//!   indexes**: the baseline [`redis::RedisConnector::new`] resolves every
+//!   metadata predicate by SCAN+filter (the O(n) behaviour behind Figures
+//!   5a and 7b), while [`redis::RedisConnector::with_metadata_index`]
+//!   attaches the engine's [`gdpr_core::MetadataIndex`] for O(matches)
+//!   lookups, with store-side expirations invalidating index entries.
+//! * [`postgres::PostgresStore`] — one `personal_data` table with a column
+//!   per metadata attribute (arrays for multi-valued ones), pushing every
+//!   predicate down to relstore's planner. In baseline form only the
+//!   primary key is indexed (metadata queries seq-scan, Figure 5b); with
 //!   [`postgres::PostgresConnector::with_metadata_indices`] every metadata
 //!   column gets a secondary index (Figure 5c) at the space cost Table 3
 //!   reports.
 //!
-//! Both connectors enforce the Figure 1 role matrix via [`gdpr_core::acl`]
-//! and keep a [`gdpr_core::audit::AuditTrail`] that serves GET-SYSTEM-LOGS.
+//! All connectors enforce the Figure 1 role matrix and keep the audit
+//! trail through the engine — the behaviour is defined once, so the
+//! conformance suite holds for every backend by construction.
 
 pub mod postgres;
 pub mod redis;
 
-pub use postgres::PostgresConnector;
-pub use redis::RedisConnector;
+pub use postgres::{PostgresConnector, PostgresStore};
+pub use redis::{RedisConnector, RedisStore};
 
 #[cfg(test)]
 mod conformance;

@@ -1,4 +1,4 @@
-//! The PostgreSQL-shaped GDPR connector (§5.2 of the paper).
+//! The PostgreSQL-shaped GDPR backend (§5.2 of the paper).
 //!
 //! One `personal_data` table holds everything: the key, the data payload,
 //! and one column per metadata attribute (`text[]` for the multi-valued
@@ -6,22 +6,30 @@
 //! declared duration (`ttl_secs`, reported back to customers per G13.2a)
 //! and the absolute `expiry` timestamp the 1-second sweep daemon deletes by.
 //!
-//! Two configurations reproduce the paper's two PostgreSQL bars:
+//! All GDPR policy (authorization, visibility, audit, dispatch) lives in
+//! [`gdpr_core::ComplianceEngine`]; this module is storage mechanism only.
+//! Unlike the key-value backend it implements the engine's *predicate
+//! pushdown* hooks ([`gdpr_core::RecordStore::select`] /
+//! [`gdpr_core::RecordStore::delete_matching`]), translating each
+//! [`RecordPredicate`] into a native relstore [`Predicate`] so the two
+//! paper configurations fall out of the schema alone:
+//!
 //! * **baseline** — only the primary key is indexed; every metadata query
 //!   is a sequential scan (Figure 5b),
 //! * **metadata-index** — a secondary index on every metadata column
 //!   (inverted for the array ones), turning those scans into probes
 //!   (Figure 5c) at the Table 3 space cost (3.5× → 5.95×).
 
-use gdpr_core::acl::{authorize, record_visible};
 use gdpr_core::audit::AuditTrail;
 use gdpr_core::compliance::{FeatureReport, FeatureSupport};
 use gdpr_core::connector::SpaceReport;
+use gdpr_core::engine::ComplianceEngine;
 use gdpr_core::error::{GdprError, GdprResult};
 use gdpr_core::query::GdprQuery;
 use gdpr_core::record::{Metadata, PersonalRecord};
 use gdpr_core::response::GdprResponse;
 use gdpr_core::role::Session;
+use gdpr_core::store::{RecordPredicate, RecordStore};
 use gdpr_core::GdprConnector;
 use relstore::ttl::{SweepTarget, TtlDaemon};
 use relstore::{ColumnType, Database, Datum, Predicate, RelConfig, Statement, StatementResult};
@@ -31,68 +39,23 @@ use std::time::Duration;
 /// The personal-data table name.
 pub const TABLE: &str = "personal_data";
 
-/// GDPR connector over [`relstore::Database`].
-pub struct PostgresConnector {
+/// [`RecordStore`] over [`relstore::Database`]: the `personal_data` table
+/// with full predicate pushdown.
+pub struct PostgresStore {
     db: Arc<Database>,
-    audit: AuditTrail,
     metadata_indices: bool,
     variant_name: &'static str,
 }
 
-impl PostgresConnector {
-    /// Create the connector and its `personal_data` table over an open
-    /// database (baseline: primary-key index only).
-    pub fn new(db: Arc<Database>) -> GdprResult<Self> {
-        let audit = AuditTrail::new(db.clock().clone());
-        let connector = PostgresConnector {
-            db,
-            audit,
-            metadata_indices: false,
-            variant_name: "postgres",
-        };
-        connector.create_table()?;
-        Ok(connector)
+impl PostgresStore {
+    fn exec(&self, stmt: &Statement) -> GdprResult<StatementResult> {
+        self.db
+            .execute(stmt)
+            .map_err(|e| GdprError::Store(e.to_string()))
     }
 
-    /// As [`Self::new`], then add a secondary index on every metadata
-    /// column — the paper's metadata-index configuration.
-    pub fn with_metadata_indices(db: Arc<Database>) -> GdprResult<Self> {
-        let mut connector = Self::new(db)?;
-        connector.create_metadata_indices()?;
-        connector.metadata_indices = true;
-        connector.variant_name = "postgres-mi";
-        Ok(connector)
-    }
-
-    /// Open a fully compliant in-memory database and wrap it (baseline
-    /// indexing).
-    pub fn open_compliant() -> GdprResult<Self> {
-        let db = Database::open(RelConfig::gdpr_compliant_in_memory())
-            .map_err(|e| GdprError::Store(e.to_string()))?;
-        Self::new(db)
-    }
-
-    /// The underlying database (for harnesses and daemons).
-    pub fn database(&self) -> &Arc<Database> {
-        &self.db
-    }
-
-    /// The audit trail.
-    pub fn audit(&self) -> &AuditTrail {
-        &self.audit
-    }
-
-    /// A TTL sweep daemon targeting the personal-data table (§5.2's
-    /// 1-second expiry daemon). Call `start()` on the result, or
-    /// `sweep_once()` from simulated-clock harnesses.
-    pub fn ttl_daemon(&self) -> TtlDaemon {
-        TtlDaemon::new(
-            Arc::clone(&self.db),
-            vec![SweepTarget {
-                table: TABLE.to_string(),
-                expiry_column: "expiry".to_string(),
-            }],
-        )
+    fn now_ms(&self) -> u64 {
+        self.db.clock().now().as_millis()
     }
 
     fn create_table(&self) -> GdprResult<()> {
@@ -136,16 +99,6 @@ impl PostgresConnector {
         Ok(())
     }
 
-    fn exec(&self, stmt: &Statement) -> GdprResult<StatementResult> {
-        self.db
-            .execute(stmt)
-            .map_err(|e| GdprError::Store(e.to_string()))
-    }
-
-    fn now_ms(&self) -> u64 {
-        self.db.clock().now().as_millis()
-    }
-
     fn to_row(&self, record: &PersonalRecord) -> Vec<Datum> {
         let m = &record.metadata;
         let (ttl_secs, expiry) = match m.ttl {
@@ -171,7 +124,10 @@ impl PostgresConnector {
 
     fn from_row(row: &[Datum]) -> GdprResult<PersonalRecord> {
         let text = |i: usize| -> String {
-            row.get(i).and_then(Datum::as_text).unwrap_or_default().to_string()
+            row.get(i)
+                .and_then(Datum::as_text)
+                .unwrap_or_default()
+                .to_string()
         };
         let array = |i: usize| -> Vec<String> {
             row.get(i)
@@ -199,8 +155,46 @@ impl PostgresConnector {
     }
 
     fn select_records(&self, pred: Predicate) -> GdprResult<Vec<PersonalRecord>> {
-        let result = self.exec(&Statement::Select { table: TABLE.into(), pred })?;
+        let result = self.exec(&Statement::Select {
+            table: TABLE.into(),
+            pred,
+        })?;
         result.rows().iter().map(|r| Self::from_row(r)).collect()
+    }
+
+    fn delete_where(&self, pred: Predicate) -> GdprResult<usize> {
+        let result = self.exec(&Statement::Delete {
+            table: TABLE.into(),
+            pred,
+        })?;
+        Ok(result.rows_affected())
+    }
+
+    /// Translate an engine predicate into a native relational one — this is
+    /// the pushdown boundary: everything below it runs on relstore's
+    /// planner and (in the `-mi` variant) its secondary indexes.
+    fn translate(pred: &RecordPredicate) -> Predicate {
+        match pred {
+            RecordPredicate::User(u) => Predicate::eq_text("usr", u),
+            RecordPredicate::DeclaredPurpose(p) => Predicate::contains("pur", p),
+            RecordPredicate::AllowsPurpose(p) => Predicate::And(vec![
+                Predicate::contains("pur", p),
+                Predicate::Not(Box::new(Predicate::contains("obj", p))),
+            ]),
+            RecordPredicate::NotObjecting(usage) => {
+                Predicate::Not(Box::new(Predicate::contains("obj", usage)))
+            }
+            RecordPredicate::DecisionEligible => {
+                Predicate::Not(Box::new(Predicate::contains("dec", Metadata::DEC_OPT_OUT)))
+            }
+            RecordPredicate::SharedWith(party) => Predicate::contains("shr", party),
+        }
+    }
+}
+
+impl RecordStore for PostgresStore {
+    fn clock(&self) -> clock::SharedClock {
+        self.db.clock().clone()
     }
 
     fn fetch(&self, key: &str) -> GdprResult<Option<PersonalRecord>> {
@@ -208,9 +202,23 @@ impl PostgresConnector {
         Ok(records.pop())
     }
 
+    fn put(&self, record: &PersonalRecord) -> GdprResult<()> {
+        let row = self.to_row(record);
+        match self.db.execute(&Statement::Insert {
+            table: TABLE.into(),
+            row,
+        }) {
+            Ok(_) => Ok(()),
+            Err(relstore::RelError::UniqueViolation { .. }) => {
+                Err(GdprError::AlreadyExists(record.key.clone()))
+            }
+            Err(e) => Err(GdprError::Store(e.to_string())),
+        }
+    }
+
     /// Write back one record's metadata/data columns (expiry untouched
-    /// unless `new_ttl`).
-    fn rewrite(&self, record: &PersonalRecord, ttl_changed: bool) -> GdprResult<usize> {
+    /// unless `ttl_changed`).
+    fn rewrite(&self, record: &PersonalRecord, ttl_changed: bool) -> GdprResult<()> {
         let m = &record.metadata;
         let mut assignments = vec![
             ("data".to_string(), Datum::Text(record.data.clone())),
@@ -236,197 +244,55 @@ impl PostgresConnector {
                 }
             }
         }
-        let result = self.exec(&Statement::Update {
+        self.exec(&Statement::Update {
             table: TABLE.into(),
             pred: Predicate::eq_text("key", &record.key),
             assignments,
-        })?;
-        Ok(result.rows_affected())
+        })
+        .map(|_| ())
     }
 
-    fn delete_where(&self, pred: Predicate) -> GdprResult<usize> {
-        let result = self.exec(&Statement::Delete { table: TABLE.into(), pred })?;
-        Ok(result.rows_affected())
+    fn delete(&self, key: &str) -> GdprResult<bool> {
+        Ok(self.delete_where(Predicate::eq_text("key", key))? > 0)
     }
 
-    fn dispatch(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
-        use GdprQuery::*;
-        let decision = authorize(session, query)?;
-        let guard = |record: &PersonalRecord| -> GdprResult<()> {
-            if decision.requires_record_check && !record_visible(session, record) {
-                Err(GdprError::AccessDenied {
-                    role: session.role.name().to_string(),
-                    query: query.name().to_string(),
-                    reason: "record not visible to this session".to_string(),
-                })
-            } else {
-                Ok(())
-            }
-        };
+    fn scan(&self) -> GdprResult<Vec<PersonalRecord>> {
+        self.select_records(Predicate::True)
+    }
 
-        match query {
-            CreateRecord(record) => {
-                let row = self.to_row(record);
-                match self.db.execute(&Statement::Insert { table: TABLE.into(), row }) {
-                    Ok(_) => Ok(GdprResponse::Created),
-                    Err(relstore::RelError::UniqueViolation { .. }) => {
-                        Err(GdprError::AlreadyExists(record.key.clone()))
-                    }
-                    Err(e) => Err(GdprError::Store(e.to_string())),
-                }
-            }
+    fn purge_expired(&self) -> GdprResult<usize> {
+        self.delete_where(Predicate::Le(
+            "expiry".into(),
+            Datum::Timestamp(self.now_ms()),
+        ))
+    }
 
-            DeleteByKey(key) => {
-                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                Ok(GdprResponse::Deleted(
-                    self.delete_where(Predicate::eq_text("key", key))?,
-                ))
-            }
-            DeleteByPurpose(purpose) => Ok(GdprResponse::Deleted(
-                self.delete_where(Predicate::contains("pur", purpose))?,
-            )),
-            DeleteExpired => Ok(GdprResponse::Deleted(self.delete_where(Predicate::Le(
-                "expiry".into(),
-                Datum::Timestamp(self.now_ms()),
-            ))?)),
-            DeleteByUser(user) => Ok(GdprResponse::Deleted(
-                self.delete_where(Predicate::eq_text("usr", user))?,
-            )),
+    fn select(&self, pred: &RecordPredicate) -> Option<GdprResult<Vec<PersonalRecord>>> {
+        Some(self.select_records(Self::translate(pred)))
+    }
 
-            ReadDataByKey(key) => {
-                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                Ok(GdprResponse::Data(vec![(record.key, record.data)]))
-            }
-            ReadDataByPurpose(purpose) => {
-                // Declared purpose AND no objection to it (G5.1b + G21).
-                let pred = Predicate::And(vec![
-                    Predicate::contains("pur", purpose),
-                    Predicate::Not(Box::new(Predicate::contains("obj", purpose))),
-                ]);
-                let data = self
-                    .select_records(pred)?
-                    .into_iter()
-                    .map(|r| (r.key, r.data))
-                    .collect();
-                Ok(GdprResponse::Data(data))
-            }
-            ReadDataByUser(user) => {
-                let data = self
-                    .select_records(Predicate::eq_text("usr", user))?
-                    .into_iter()
-                    .map(|r| (r.key, r.data))
-                    .collect();
-                Ok(GdprResponse::Data(data))
-            }
-            ReadDataNotObjecting(usage) => {
-                let pred = Predicate::Not(Box::new(Predicate::contains("obj", usage)));
-                let data = self
-                    .select_records(pred)?
-                    .into_iter()
-                    .map(|r| (r.key, r.data))
-                    .collect();
-                Ok(GdprResponse::Data(data))
-            }
-            ReadDataDecisionEligible => {
-                let pred = Predicate::Not(Box::new(Predicate::contains(
-                    "dec",
-                    Metadata::DEC_OPT_OUT,
-                )));
-                let data = self
-                    .select_records(pred)?
-                    .into_iter()
-                    .map(|r| (r.key, r.data))
-                    .collect();
-                Ok(GdprResponse::Data(data))
-            }
+    fn delete_matching(&self, pred: &RecordPredicate) -> Option<GdprResult<usize>> {
+        Some(self.delete_where(Self::translate(pred)))
+    }
 
-            ReadMetadataByKey(key) => {
-                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                Ok(GdprResponse::Metadata(vec![(record.key, record.metadata)]))
-            }
-            ReadMetadataByUser(user) => {
-                let meta = self
-                    .select_records(Predicate::eq_text("usr", user))?
-                    .into_iter()
-                    .map(|r| (r.key, r.metadata))
-                    .collect();
-                Ok(GdprResponse::Metadata(meta))
-            }
-            ReadMetadataBySharedWith(party) => {
-                let meta = self
-                    .select_records(Predicate::contains("shr", party))?
-                    .into_iter()
-                    .map(|r| (r.key, r.metadata))
-                    .collect();
-                Ok(GdprResponse::Metadata(meta))
-            }
-
-            UpdateDataByKey { key, data } => {
-                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                let result = self.exec(&Statement::Update {
-                    table: TABLE.into(),
-                    pred: Predicate::eq_text("key", key),
-                    assignments: vec![("data".into(), Datum::Text(data.clone()))],
-                })?;
-                Ok(GdprResponse::Updated(result.rows_affected()))
-            }
-            UpdateMetadataByKey { key, update } => {
-                let mut record =
-                    self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
-                update.apply(&mut record.metadata)?;
-                Ok(GdprResponse::Updated(self.rewrite(&record, ttl_changed)?))
-            }
-            UpdateMetadataByPurpose { purpose, update } => {
-                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
-                let mut n = 0;
-                for mut record in self.select_records(Predicate::contains("pur", purpose))? {
-                    update.apply(&mut record.metadata)?;
-                    n += self.rewrite(&record, ttl_changed)?;
-                }
-                Ok(GdprResponse::Updated(n))
-            }
-            UpdateMetadataByUser { user, update } => {
-                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
-                let mut n = 0;
-                for mut record in self.select_records(Predicate::eq_text("usr", user))? {
-                    update.apply(&mut record.metadata)?;
-                    n += self.rewrite(&record, ttl_changed)?;
-                }
-                Ok(GdprResponse::Updated(n))
-            }
-
-            GetSystemLogs { from_ms, to_ms } => {
-                Ok(GdprResponse::Logs(self.audit.lines_between(*from_ms, *to_ms)))
-            }
-            GetSystemFeatures => Ok(GdprResponse::Features(self.features())),
-            VerifyDeletion(key) => {
-                let result = self.exec(&Statement::Count {
-                    table: TABLE.into(),
-                    pred: Predicate::eq_text("key", key),
-                })?;
-                Ok(GdprResponse::DeletionVerified(result.rows_affected() == 0))
-            }
+    fn space_report(&self) -> SpaceReport {
+        let personal = self
+            .scan()
+            .map(|records| records.iter().map(PersonalRecord::data_bytes).sum())
+            .unwrap_or(0);
+        // Total = heap + indices + WAL; the engine-side audit trail is
+        // client state, not database size.
+        SpaceReport {
+            personal_data_bytes: personal,
+            total_bytes: self.db.total_size_bytes() + self.db.wal_bytes() as usize,
         }
     }
-}
 
-impl GdprConnector for PostgresConnector {
-    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
-        let result = self.dispatch(session, query);
-        let err_text = result.as_ref().err().map(ToString::to_string);
-        let outcome = match &result {
-            Ok(resp) => Ok(resp.cardinality()),
-            Err(_) => Err(err_text.as_deref().unwrap_or("error")),
-        };
-        self.audit
-            .record(session, query.name(), format!("{query:?}"), outcome);
-        result
+    fn record_count(&self) -> usize {
+        self.db
+            .table(TABLE)
+            .map(|t| t.read().row_count())
+            .unwrap_or(0)
     }
 
     fn features(&self) -> FeatureReport {
@@ -451,31 +317,101 @@ impl GdprConnector for PostgresConnector {
             } else {
                 FeatureSupport::Unsupported
             },
-            access_control: FeatureSupport::Retrofitted, // client-enforced
+            access_control: FeatureSupport::Retrofitted, // engine-enforced
         }
-    }
-
-    fn space_report(&self) -> SpaceReport {
-        let personal = self
-            .select_records(Predicate::True)
-            .map(|records| records.iter().map(PersonalRecord::data_bytes).sum())
-            .unwrap_or(0);
-        // Total = heap + indices + WAL; the connector-side audit trail is
-        // client state, not database size.
-        SpaceReport {
-            personal_data_bytes: personal,
-            total_bytes: self.db.total_size_bytes() + self.db.wal_bytes() as usize,
-        }
-    }
-
-    fn record_count(&self) -> usize {
-        self.db
-            .table(TABLE)
-            .map(|t| t.read().row_count())
-            .unwrap_or(0)
     }
 
     fn name(&self) -> &str {
         self.variant_name
+    }
+}
+
+/// GDPR connector over [`relstore::Database`]: the shared engine driving a
+/// [`PostgresStore`] backend.
+pub struct PostgresConnector {
+    engine: ComplianceEngine<PostgresStore>,
+}
+
+impl PostgresConnector {
+    /// Create the connector and its `personal_data` table over an open
+    /// database (baseline: primary-key index only).
+    pub fn new(db: Arc<Database>) -> GdprResult<Self> {
+        let backend = PostgresStore {
+            db,
+            metadata_indices: false,
+            variant_name: "postgres",
+        };
+        backend.create_table()?;
+        Ok(PostgresConnector {
+            engine: ComplianceEngine::new(backend),
+        })
+    }
+
+    /// As [`Self::new`], then add a secondary index on every metadata
+    /// column — the paper's metadata-index configuration.
+    pub fn with_metadata_indices(db: Arc<Database>) -> GdprResult<Self> {
+        let backend = PostgresStore {
+            db,
+            metadata_indices: true,
+            variant_name: "postgres-mi",
+        };
+        backend.create_table()?;
+        backend.create_metadata_indices()?;
+        Ok(PostgresConnector {
+            engine: ComplianceEngine::new(backend),
+        })
+    }
+
+    /// Open a fully compliant in-memory database and wrap it (baseline
+    /// indexing).
+    pub fn open_compliant() -> GdprResult<Self> {
+        let db = Database::open(RelConfig::gdpr_compliant_in_memory())
+            .map_err(|e| GdprError::Store(e.to_string()))?;
+        Self::new(db)
+    }
+
+    /// The underlying database (for harnesses and daemons).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.engine.store().db
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &AuditTrail {
+        self.engine.audit()
+    }
+
+    /// A TTL sweep daemon targeting the personal-data table (§5.2's
+    /// 1-second expiry daemon). Call `start()` on the result, or
+    /// `sweep_once()` from simulated-clock harnesses.
+    pub fn ttl_daemon(&self) -> TtlDaemon {
+        TtlDaemon::new(
+            Arc::clone(&self.engine.store().db),
+            vec![SweepTarget {
+                table: TABLE.to_string(),
+                expiry_column: "expiry".to_string(),
+            }],
+        )
+    }
+}
+
+impl GdprConnector for PostgresConnector {
+    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        self.engine.execute(session, query)
+    }
+
+    fn features(&self) -> FeatureReport {
+        self.engine.features()
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        self.engine.space_report()
+    }
+
+    fn record_count(&self) -> usize {
+        self.engine.record_count()
+    }
+
+    fn name(&self) -> &str {
+        self.engine.name()
     }
 }

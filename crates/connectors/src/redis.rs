@@ -1,22 +1,36 @@
-//! The Redis-shaped GDPR connector (§5.1 of the paper).
+//! The Redis-shaped GDPR backend (§5.1 of the paper).
 //!
 //! Layout: one string key `rec:<key>` per record, holding the §4.2.1 wire
-//! form, with a native `EXPIRE` when the record carries a TTL. There are no
-//! secondary structures — queries that select by purpose, user, objection,
-//! decision, or sharing SCAN the whole `rec:*` keyspace, parse each record,
-//! and filter client-side. That is precisely how the paper's Redis behaves
-//! and why its GDPR workloads run orders of magnitude slower than YCSB.
+//! form, with a native `EXPIRE` when the record carries a TTL. The store
+//! itself has no secondary structures, so the backend resolves every
+//! metadata predicate by SCANning the whole `rec:*` keyspace and parsing
+//! each record — precisely how the paper's Redis behaves and why its GDPR
+//! workloads run orders of magnitude slower than YCSB (Figures 5a, 7b).
+//!
+//! All GDPR policy (authorization, visibility, audit, dispatch) lives in
+//! [`gdpr_core::ComplianceEngine`]; this module is storage mechanism only.
+//! Two connector variants wrap the same backend:
+//!
+//! * [`RedisConnector::new`] — paper-faithful: every metadata query scans.
+//! * [`RedisConnector::with_metadata_index`] — the engine maintains a
+//!   [`gdpr_core::MetadataIndex`] over the store, turning those O(n) scans
+//!   into O(matches) probes. The store's expiry paths (lazy-on-access and
+//!   active cycles) invalidate index entries via
+//!   [`kvstore::KvStore::set_expiry_listener`], so the index never
+//!   advertises reaped personal data.
 
 use bytes::Bytes;
-use gdpr_core::acl::{authorize, record_visible};
 use gdpr_core::audit::AuditTrail;
 use gdpr_core::compliance::{FeatureReport, FeatureSupport};
 use gdpr_core::connector::SpaceReport;
+use gdpr_core::engine::ComplianceEngine;
 use gdpr_core::error::{GdprError, GdprResult};
+use gdpr_core::metaindex::MetadataIndex;
 use gdpr_core::query::GdprQuery;
 use gdpr_core::record::PersonalRecord;
 use gdpr_core::response::GdprResponse;
 use gdpr_core::role::Session;
+use gdpr_core::store::{ExpiryListener, RecordStore};
 use gdpr_core::wire;
 use gdpr_core::GdprConnector;
 use kvstore::expire::ExpirationMode;
@@ -26,46 +40,35 @@ use std::sync::Arc;
 const KEY_PREFIX: &str = "rec:";
 const SCAN_BATCH: usize = 512;
 
-/// GDPR connector over [`kvstore::KvStore`].
-pub struct RedisConnector {
+/// [`RecordStore`] over [`kvstore::KvStore`]: wire-format strings under
+/// `rec:<key>`, TTL via native EXPIRE, full-keyspace SCAN as the only
+/// native predicate path.
+pub struct RedisStore {
     store: Arc<KvStore>,
-    audit: AuditTrail,
+    /// `redis` or `redis-mi`, fixed at connector construction.
+    variant_name: &'static str,
 }
 
-impl RedisConnector {
-    /// Wrap an open store.
-    pub fn new(store: Arc<KvStore>) -> Self {
-        let audit = AuditTrail::new(store.clock().clone());
-        RedisConnector { store, audit }
-    }
-
-    /// Open a fully GDPR-compliant in-memory store (strict TTL, read
-    /// logging, encryption) and wrap it.
-    pub fn open_compliant() -> GdprResult<Self> {
-        let store = KvStore::open(KvConfig::gdpr_compliant_in_memory())
-            .map_err(|e| GdprError::Store(e.to_string()))?;
-        Ok(Self::new(store))
-    }
-
-    /// The underlying store (for experiment harnesses).
-    pub fn store(&self) -> &Arc<KvStore> {
-        &self.store
-    }
-
-    /// The audit trail.
-    pub fn audit(&self) -> &AuditTrail {
-        &self.audit
-    }
-
+impl RedisStore {
     fn storage_key(key: &str) -> Bytes {
         Bytes::from(format!("{KEY_PREFIX}{key}"))
+    }
+
+    fn store_err(e: impl ToString) -> GdprError {
+        GdprError::Store(e.to_string())
+    }
+}
+
+impl RecordStore for RedisStore {
+    fn clock(&self) -> clock::SharedClock {
+        self.store.clock().clone()
     }
 
     fn fetch(&self, key: &str) -> GdprResult<Option<PersonalRecord>> {
         let reply = self
             .store
             .get(Self::storage_key(key).as_ref())
-            .map_err(|e| GdprError::Store(e.to_string()))?;
+            .map_err(Self::store_err)?;
         match reply {
             Some(bytes) => {
                 let text = std::str::from_utf8(&bytes)
@@ -76,26 +79,78 @@ impl RedisConnector {
         }
     }
 
-    /// Store a record, setting EXPIRE from its TTL.
+    /// Store a record, setting EXPIRE from its TTL. Collision detection is
+    /// an EXISTS probe (hash lookup, lazily reaping an expired occupant) —
+    /// much cheaper than a GET, which would decrypt and parse the record.
     fn put(&self, record: &PersonalRecord) -> GdprResult<()> {
         let key = Self::storage_key(&record.key);
+        if self.store.exists(key.as_ref()).map_err(Self::store_err)? {
+            return Err(GdprError::AlreadyExists(record.key.clone()));
+        }
         let value = wire::serialize(record);
         match record.metadata.ttl {
             Some(ttl) => self
                 .store
                 .set_ex(key.as_ref(), value.as_bytes(), ttl)
-                .map_err(|e| GdprError::Store(e.to_string())),
+                .map_err(Self::store_err),
             None => self
                 .store
                 .set(key.as_ref(), value.as_bytes())
-                .map_err(|e| GdprError::Store(e.to_string())),
+                .map_err(Self::store_err),
         }
     }
 
+    /// Rewrite a record in place, preserving its remaining store-level TTL
+    /// unless the update changed the TTL itself.
+    fn rewrite(&self, record: &PersonalRecord, ttl_changed: bool) -> GdprResult<()> {
+        let key = Self::storage_key(&record.key);
+        let value = wire::serialize(record);
+        if ttl_changed {
+            return match record.metadata.ttl {
+                Some(ttl) => self
+                    .store
+                    .set_ex(key.as_ref(), value.as_bytes(), ttl)
+                    .map_err(Self::store_err),
+                None => self
+                    .store
+                    .set(key.as_ref(), value.as_bytes())
+                    .map_err(Self::store_err),
+            };
+        }
+        // Preserve the exact millisecond deadline: SET clears any expiry, so
+        // re-arm with EXPIREAT afterwards. Going through the seconds-granular
+        // TTL command instead would shave up to 1s per rewrite (and a
+        // sub-second remainder would truncate to an instant expiry).
+        let deadline = self.store.expiry_at(key.as_ref());
+        self.store
+            .set(key.as_ref(), value.as_bytes())
+            .map_err(Self::store_err)?;
+        if let Some(at) = deadline {
+            self.store
+                .execute(Command::ExpireAt {
+                    key,
+                    at_ms: at.as_millis(),
+                })
+                .map_err(Self::store_err)?;
+        }
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> GdprResult<bool> {
+        self.store
+            .del(Self::storage_key(key).as_ref())
+            .map_err(Self::store_err)
+    }
+
     /// Full keyspace walk: SCAN `rec:*` in batches and parse every record —
-    /// the O(n) path every metadata query takes on Redis.
-    fn scan_all(&self) -> GdprResult<Vec<PersonalRecord>> {
-        let mut records = Vec::new();
+    /// the O(n) path every metadata query takes without an engine index.
+    ///
+    /// The cursor walk completes *before* any GET: a GET can lazily reap an
+    /// expired key, and the keyspace's swap-remove would then move an
+    /// unvisited tail key into an already-visited cursor position, silently
+    /// dropping a live record from the scan.
+    fn scan(&self) -> GdprResult<Vec<PersonalRecord>> {
+        let mut keys = Vec::new();
         let mut cursor = 0usize;
         loop {
             let reply = self
@@ -105,261 +160,77 @@ impl RedisConnector {
                     count: SCAN_BATCH,
                     pattern: Some(Bytes::from_static(b"rec:*")),
                 })
-                .map_err(|e| GdprError::Store(e.to_string()))?;
+                .map_err(Self::store_err)?;
             let parts = reply
                 .as_array()
                 .ok_or_else(|| GdprError::Store("SCAN reply shape".into()))?;
             let next = parts[0].as_int().unwrap_or(0) as usize;
-            let keys: Vec<Bytes> = parts[1]
-                .as_array()
-                .unwrap_or(&[])
-                .iter()
-                .filter_map(|r| r.as_bulk().cloned())
-                .collect();
-            for key in keys {
-                if let Ok(Some(reply)) = self.store.get(key.as_ref()).map_err(|e| e.to_string()) {
-                    if let Ok(text) = std::str::from_utf8(&reply) {
-                        if let Ok(record) = wire::parse(text) {
-                            records.push(record);
-                        }
-                    }
-                }
-            }
+            keys.extend(
+                parts[1]
+                    .as_array()
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|r| r.as_bulk().cloned()),
+            );
             if next == 0 {
                 break;
             }
             cursor = next;
         }
+        let mut records = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Ok(Some(reply)) = self.store.get(key.as_ref()).map_err(|e| e.to_string()) {
+                if let Ok(text) = std::str::from_utf8(&reply) {
+                    if let Ok(record) = wire::parse(text) {
+                        records.push(record);
+                    }
+                }
+            }
+        }
         Ok(records)
     }
 
-    fn delete_keys(&self, keys: impl IntoIterator<Item = String>) -> GdprResult<usize> {
-        let mut n = 0;
-        for key in keys {
-            if self
-                .store
-                .del(Self::storage_key(&key).as_ref())
-                .map_err(|e| GdprError::Store(e.to_string()))?
-            {
-                n += 1;
-            }
-        }
-        Ok(n)
+    fn purge_expired(&self) -> GdprResult<usize> {
+        // Timely deletion is the store's job (EXPIRE); purging now means
+        // running an active-expiration cycle synchronously.
+        Ok(self.store.run_expiration_cycle().reaped)
     }
 
-    /// Rewrite a record in place, preserving its remaining store-level TTL
-    /// unless the update changed the TTL itself.
-    fn rewrite(&self, record: &PersonalRecord, ttl_changed: bool) -> GdprResult<()> {
-        let key = Self::storage_key(&record.key);
-        let remaining = if ttl_changed {
-            record.metadata.ttl
-        } else {
-            // TTL of the live key, so SET does not clear the deadline.
-            let reply = self
-                .store
-                .execute(Command::Ttl { key: key.clone() })
-                .map_err(|e| GdprError::Store(e.to_string()))?;
-            match reply.as_int() {
-                Some(secs) if secs >= 0 => Some(std::time::Duration::from_secs(secs as u64)),
-                _ => None,
-            }
-        };
-        let value = wire::serialize(record);
-        match remaining {
-            Some(ttl) => self
-                .store
-                .set_ex(key.as_ref(), value.as_bytes(), ttl)
-                .map_err(|e| GdprError::Store(e.to_string())),
-            None => self
-                .store
-                .set(key.as_ref(), value.as_bytes())
-                .map_err(|e| GdprError::Store(e.to_string())),
-        }
+    fn deadline_ms(&self, key: &str) -> Option<u64> {
+        self.store
+            .expiry_at(Self::storage_key(key).as_ref())
+            .map(|at| at.as_millis())
     }
 
-    fn dispatch(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
-        use GdprQuery::*;
-        let decision = authorize(session, query)?;
-        let guard = |record: &PersonalRecord| -> GdprResult<()> {
-            if decision.requires_record_check && !record_visible(session, record) {
-                Err(GdprError::AccessDenied {
-                    role: session.role.name().to_string(),
-                    query: query.name().to_string(),
-                    reason: "record not visible to this session".to_string(),
-                })
-            } else {
-                Ok(())
-            }
-        };
-
-        match query {
-            CreateRecord(record) => {
-                if self.fetch(&record.key)?.is_some() {
-                    return Err(GdprError::AlreadyExists(record.key.clone()));
-                }
-                self.put(record)?;
-                Ok(GdprResponse::Created)
-            }
-
-            DeleteByKey(key) => {
-                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                self.delete_keys([key.clone()])?;
-                Ok(GdprResponse::Deleted(1))
-            }
-            DeleteByPurpose(purpose) => {
-                let victims: Vec<String> = self
-                    .scan_all()?
-                    .into_iter()
-                    .filter(|r| r.metadata.purposes.iter().any(|p| p == purpose))
-                    .map(|r| r.key)
-                    .collect();
-                Ok(GdprResponse::Deleted(self.delete_keys(victims)?))
-            }
-            DeleteExpired => {
-                // Timely deletion is the store's job (EXPIRE); purging now
-                // means running an active-expiration cycle synchronously.
-                let stats = self.store.run_expiration_cycle();
-                Ok(GdprResponse::Deleted(stats.reaped))
-            }
-            DeleteByUser(user) => {
-                let victims: Vec<String> = self
-                    .scan_all()?
-                    .into_iter()
-                    .filter(|r| r.metadata.user == *user)
-                    .map(|r| r.key)
-                    .collect();
-                Ok(GdprResponse::Deleted(self.delete_keys(victims)?))
-            }
-
-            ReadDataByKey(key) => {
-                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                Ok(GdprResponse::Data(vec![(record.key, record.data)]))
-            }
-            ReadDataByPurpose(purpose) => {
-                let data = self
-                    .scan_all()?
-                    .into_iter()
-                    .filter(|r| r.metadata.allows_purpose(purpose))
-                    .map(|r| (r.key, r.data))
-                    .collect();
-                Ok(GdprResponse::Data(data))
-            }
-            ReadDataByUser(user) => {
-                let data = self
-                    .scan_all()?
-                    .into_iter()
-                    .filter(|r| r.metadata.user == *user)
-                    .map(|r| (r.key, r.data))
-                    .collect();
-                Ok(GdprResponse::Data(data))
-            }
-            ReadDataNotObjecting(usage) => {
-                let data = self
-                    .scan_all()?
-                    .into_iter()
-                    .filter(|r| !r.metadata.objections.iter().any(|o| o == usage))
-                    .map(|r| (r.key, r.data))
-                    .collect();
-                Ok(GdprResponse::Data(data))
-            }
-            ReadDataDecisionEligible => {
-                let data = self
-                    .scan_all()?
-                    .into_iter()
-                    .filter(|r| r.metadata.allows_automated_decisions())
-                    .map(|r| (r.key, r.data))
-                    .collect();
-                Ok(GdprResponse::Data(data))
-            }
-
-            ReadMetadataByKey(key) => {
-                let record = self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                Ok(GdprResponse::Metadata(vec![(record.key, record.metadata)]))
-            }
-            ReadMetadataByUser(user) => {
-                let meta = self
-                    .scan_all()?
-                    .into_iter()
-                    .filter(|r| r.metadata.user == *user)
-                    .map(|r| (r.key, r.metadata))
-                    .collect();
-                Ok(GdprResponse::Metadata(meta))
-            }
-            ReadMetadataBySharedWith(party) => {
-                let meta = self
-                    .scan_all()?
-                    .into_iter()
-                    .filter(|r| r.metadata.sharing.iter().any(|s| s == party))
-                    .map(|r| (r.key, r.metadata))
-                    .collect();
-                Ok(GdprResponse::Metadata(meta))
-            }
-
-            UpdateDataByKey { key, data } => {
-                let mut record =
-                    self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                record.data = data.clone();
-                self.rewrite(&record, false)?;
-                Ok(GdprResponse::Updated(1))
-            }
-            UpdateMetadataByKey { key, update } => {
-                let mut record =
-                    self.fetch(key)?.ok_or_else(|| GdprError::NotFound(key.clone()))?;
-                guard(&record)?;
-                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
-                update.apply(&mut record.metadata)?;
-                self.rewrite(&record, ttl_changed)?;
-                Ok(GdprResponse::Updated(1))
-            }
-            UpdateMetadataByPurpose { purpose, update } => {
-                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
-                let mut n = 0;
-                for mut record in self.scan_all()? {
-                    if record.metadata.purposes.iter().any(|p| p == purpose) {
-                        update.apply(&mut record.metadata)?;
-                        self.rewrite(&record, ttl_changed)?;
-                        n += 1;
+    fn on_expiry(&self, listener: ExpiryListener) {
+        self.store
+            .set_expiry_listener(Arc::new(move |storage_key: &[u8]| {
+                // Only `rec:*` keys are GDPR records; other expiring keys (none
+                // today) would not be indexed.
+                if let Ok(text) = std::str::from_utf8(storage_key) {
+                    if let Some(key) = text.strip_prefix(KEY_PREFIX) {
+                        listener(key);
                     }
                 }
-                Ok(GdprResponse::Updated(n))
-            }
-            UpdateMetadataByUser { user, update } => {
-                let ttl_changed = matches!(update, gdpr_core::MetadataUpdate::SetTtl(_));
-                let mut n = 0;
-                for mut record in self.scan_all()? {
-                    if record.metadata.user == *user {
-                        update.apply(&mut record.metadata)?;
-                        self.rewrite(&record, ttl_changed)?;
-                        n += 1;
-                    }
-                }
-                Ok(GdprResponse::Updated(n))
-            }
+            }));
+    }
 
-            GetSystemLogs { from_ms, to_ms } => {
-                Ok(GdprResponse::Logs(self.audit.lines_between(*from_ms, *to_ms)))
-            }
-            GetSystemFeatures => Ok(GdprResponse::Features(self.features())),
-            VerifyDeletion(key) => Ok(GdprResponse::DeletionVerified(self.fetch(key)?.is_none())),
+    fn space_report(&self) -> SpaceReport {
+        let personal: usize = self
+            .scan()
+            .map(|records| records.iter().map(PersonalRecord::data_bytes).sum())
+            .unwrap_or(0);
+        // Total = what the datastore holds (keyspace + AOF). The GDPR-layer
+        // audit trail and metadata index live client-side in the engine and
+        // are not part of the paper's "total DB size".
+        SpaceReport {
+            personal_data_bytes: personal,
+            total_bytes: self.store.memory_usage() + self.store.aof_bytes() as usize,
         }
     }
-}
 
-impl GdprConnector for RedisConnector {
-    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
-        let result = self.dispatch(session, query);
-        let err_text = result.as_ref().err().map(ToString::to_string);
-        let outcome = match &result {
-            Ok(resp) => Ok(resp.cardinality()),
-            Err(_) => Err(err_text.as_deref().unwrap_or("error")),
-        };
-        self.audit
-            .record(session, query.name(), detail_of(query), outcome);
-        result
+    fn record_count(&self) -> usize {
+        self.store.dbsize()
     }
 
     fn features(&self) -> FeatureReport {
@@ -377,59 +248,96 @@ impl GdprConnector for RedisConnector {
                 FeatureSupport::Unsupported
             },
             // No secondary indexes exist in the store; metadata-based
-            // access is retrofitted as client-side SCAN+filter (the paper's
-            // "partial support" — capability present, efficiency absent).
+            // access is retrofitted client-side — as SCAN+filter in the
+            // baseline, as the engine's MetadataIndex in the `-mi` variant.
             metadata_indexing: FeatureSupport::Retrofitted,
             encryption: if config.encrypt_at_rest && config.encrypt_transit {
                 FeatureSupport::Retrofitted
             } else {
                 FeatureSupport::Unsupported
             },
-            // Enforced in this client, per the paper.
+            // Enforced in the engine, per the paper.
             access_control: FeatureSupport::Retrofitted,
         }
     }
 
-    fn space_report(&self) -> SpaceReport {
-        let personal: usize = self
-            .scan_all()
-            .map(|records| records.iter().map(PersonalRecord::data_bytes).sum())
-            .unwrap_or(0);
-        // Total = what the datastore holds (keyspace + AOF). The GDPR-layer
-        // audit trail lives client-side in this connector and is not part
-        // of the paper's "total DB size".
-        SpaceReport {
-            personal_data_bytes: personal,
-            total_bytes: self.store.memory_usage() + self.store.aof_bytes() as usize,
-        }
-    }
-
-    fn record_count(&self) -> usize {
-        self.store.dbsize()
-    }
-
     fn name(&self) -> &str {
-        "redis"
+        self.variant_name
     }
 }
 
-fn detail_of(query: &GdprQuery) -> String {
-    use GdprQuery::*;
-    match query {
-        CreateRecord(r) => format!("key={}", r.key),
-        DeleteByKey(k) | ReadDataByKey(k) | ReadMetadataByKey(k) | VerifyDeletion(k) => {
-            format!("key={k}")
+/// GDPR connector over [`kvstore::KvStore`]: the shared engine driving a
+/// [`RedisStore`] backend.
+pub struct RedisConnector {
+    engine: ComplianceEngine<RedisStore>,
+}
+
+impl RedisConnector {
+    /// Wrap an open store, paper-faithful (no metadata index: every
+    /// metadata query scans the keyspace).
+    pub fn new(store: Arc<KvStore>) -> Self {
+        RedisConnector {
+            engine: ComplianceEngine::new(RedisStore {
+                store,
+                variant_name: "redis",
+            }),
         }
-        DeleteByPurpose(p) | ReadDataByPurpose(p) => format!("pur={p}"),
-        DeleteExpired => "ttl".into(),
-        DeleteByUser(u) | ReadDataByUser(u) | ReadMetadataByUser(u) => format!("usr={u}"),
-        ReadDataNotObjecting(o) => format!("obj={o}"),
-        ReadDataDecisionEligible => "dec".into(),
-        ReadMetadataBySharedWith(s) => format!("shr={s}"),
-        UpdateDataByKey { key, .. } | UpdateMetadataByKey { key, .. } => format!("key={key}"),
-        UpdateMetadataByPurpose { purpose, .. } => format!("pur={purpose}"),
-        UpdateMetadataByUser { user, .. } => format!("usr={user}"),
-        GetSystemLogs { from_ms, to_ms } => format!("range={from_ms}..{to_ms}"),
-        GetSystemFeatures => "features".into(),
+    }
+
+    /// Wrap an open store with an engine-maintained metadata index —
+    /// O(matches) predicate lookups at index-maintenance cost on writes.
+    pub fn with_metadata_index(store: Arc<KvStore>) -> GdprResult<Self> {
+        let backend = RedisStore {
+            store,
+            variant_name: "redis-mi",
+        };
+        Ok(RedisConnector {
+            engine: ComplianceEngine::with_metadata_index(backend)?,
+        })
+    }
+
+    /// Open a fully GDPR-compliant in-memory store (strict TTL, read
+    /// logging, encryption) and wrap it.
+    pub fn open_compliant() -> GdprResult<Self> {
+        let store = KvStore::open(KvConfig::gdpr_compliant_in_memory())
+            .map_err(|e| GdprError::Store(e.to_string()))?;
+        Ok(Self::new(store))
+    }
+
+    /// The underlying store (for experiment harnesses).
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.engine.store().store
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &AuditTrail {
+        self.engine.audit()
+    }
+
+    /// The engine's metadata index (present on the `-mi` variant).
+    pub fn metadata_index(&self) -> Option<&Arc<MetadataIndex>> {
+        self.engine.metadata_index()
+    }
+}
+
+impl GdprConnector for RedisConnector {
+    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        self.engine.execute(session, query)
+    }
+
+    fn features(&self) -> FeatureReport {
+        self.engine.features()
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        self.engine.space_report()
+    }
+
+    fn record_count(&self) -> usize {
+        self.engine.record_count()
+    }
+
+    fn name(&self) -> &str {
+        self.engine.name()
     }
 }

@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn hash_u64_matches_bytes() {
         let h = SipHash24::new(11, 22);
-        assert_eq!(h.hash_u64(0xdead_beef), h.hash(&0xdead_beef_u64.to_le_bytes()));
+        assert_eq!(
+            h.hash_u64(0xdead_beef),
+            h.hash(&0xdead_beef_u64.to_le_bytes())
+        );
     }
 
     #[test]

@@ -100,9 +100,7 @@ mod tests {
     fn ciphertext_hides_plaintext() {
         let v = Volume::new(b"disk-key");
         let sealed = v.seal(0, b"SENSITIVE-PERSONAL-DATA");
-        assert!(!sealed
-            .windows(9)
-            .any(|w| w == b"SENSITIVE"));
+        assert!(!sealed.windows(9).any(|w| w == b"SENSITIVE"));
     }
 
     #[test]

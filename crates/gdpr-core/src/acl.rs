@@ -36,8 +36,12 @@ fn deny(session: &Session, query: &GdprQuery, reason: &str) -> GdprError {
 /// Statically authorize `query` under `session`.
 pub fn authorize(session: &Session, query: &GdprQuery) -> GdprResult<AclDecision> {
     use GdprQuery::*;
-    let ok = AclDecision { requires_record_check: false };
-    let ok_checked = AclDecision { requires_record_check: true };
+    let ok = AclDecision {
+        requires_record_check: false,
+    };
+    let ok_checked = AclDecision {
+        requires_record_check: true,
+    };
 
     match session.role {
         // The controller administers the store: collection, deletion, and
@@ -214,7 +218,14 @@ mod tests {
         // Customers cannot run processor/controller queries.
         assert!(authorize(&s, &GdprQuery::CreateRecord(record_for("neo", &[]))).is_err());
         assert!(authorize(&s, &GdprQuery::ReadDataByPurpose("ads".into())).is_err());
-        assert!(authorize(&s, &GdprQuery::GetSystemLogs { from_ms: 0, to_ms: 1 }).is_err());
+        assert!(authorize(
+            &s,
+            &GdprQuery::GetSystemLogs {
+                from_ms: 0,
+                to_ms: 1
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -248,7 +259,14 @@ mod tests {
     fn regulator_sees_metadata_not_data() {
         let s = Session::regulator();
         assert!(authorize(&s, &GdprQuery::ReadMetadataByUser("u".into())).is_ok());
-        assert!(authorize(&s, &GdprQuery::GetSystemLogs { from_ms: 0, to_ms: 9 }).is_ok());
+        assert!(authorize(
+            &s,
+            &GdprQuery::GetSystemLogs {
+                from_ms: 0,
+                to_ms: 9
+            }
+        )
+        .is_ok());
         assert!(authorize(&s, &GdprQuery::VerifyDeletion("k".into())).is_ok());
         assert!(authorize(&s, &GdprQuery::ReadDataByUser("u".into())).is_err());
         assert!(authorize(&s, &GdprQuery::DeleteByKey("k".into())).is_err());
@@ -256,9 +274,17 @@ mod tests {
 
     #[test]
     fn sessions_missing_identity_are_rejected() {
-        let bad_customer = Session { role: Role::Customer, user: None, purpose: None };
+        let bad_customer = Session {
+            role: Role::Customer,
+            user: None,
+            purpose: None,
+        };
         assert!(authorize(&bad_customer, &GdprQuery::ReadDataByUser("u".into())).is_err());
-        let bad_processor = Session { role: Role::Processor, user: None, purpose: None };
+        let bad_processor = Session {
+            role: Role::Processor,
+            user: None,
+            purpose: None,
+        };
         assert!(authorize(&bad_processor, &GdprQuery::ReadDataByKey("k".into())).is_err());
     }
 

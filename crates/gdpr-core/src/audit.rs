@@ -114,7 +114,10 @@ impl AuditTrail {
             .lock()
             .iter()
             .map(|e| {
-                e.role.len() + e.actor.len() + e.operation.len() + e.detail.len()
+                e.role.len()
+                    + e.actor.len()
+                    + e.operation.len()
+                    + e.detail.len()
                     + e.outcome.len()
                     + 24
             })
@@ -131,7 +134,12 @@ mod tests {
     fn records_and_filters_by_time() {
         let sim = clock::sim();
         let trail = AuditTrail::new(sim.clone());
-        trail.record(&Session::customer("neo"), "read-data-by-usr", "usr=neo".into(), Ok(3));
+        trail.record(
+            &Session::customer("neo"),
+            "read-data-by-usr",
+            "usr=neo".into(),
+            Ok(3),
+        );
         sim.advance(Duration::from_millis(1000));
         trail.record(
             &Session::processor("ads"),
@@ -159,9 +167,24 @@ mod tests {
     #[test]
     fn actor_filter_supports_breach_reporting() {
         let trail = AuditTrail::new(clock::sim());
-        trail.record(&Session::customer("neo"), "read-data-by-usr", "usr=neo".into(), Ok(1));
-        trail.record(&Session::controller(), "delete-record-by-usr", "usr=neo".into(), Ok(4));
-        trail.record(&Session::customer("smith"), "read-data-by-usr", "usr=smith".into(), Ok(1));
+        trail.record(
+            &Session::customer("neo"),
+            "read-data-by-usr",
+            "usr=neo".into(),
+            Ok(1),
+        );
+        trail.record(
+            &Session::controller(),
+            "delete-record-by-usr",
+            "usr=neo".into(),
+            Ok(4),
+        );
+        trail.record(
+            &Session::customer("smith"),
+            "read-data-by-usr",
+            "usr=smith".into(),
+            Ok(1),
+        );
         let neo_events = trail.events_for_actor("neo");
         assert_eq!(neo_events.len(), 2);
     }
@@ -170,7 +193,12 @@ mod tests {
     fn size_grows() {
         let trail = AuditTrail::new(clock::sim());
         assert_eq!(trail.size_bytes(), 0);
-        trail.record(&Session::regulator(), "get-system-logs", "range".into(), Ok(0));
+        trail.record(
+            &Session::regulator(),
+            "get-system-logs",
+            "range".into(),
+            Ok(0),
+        );
         assert!(trail.size_bytes() > 0);
     }
 }

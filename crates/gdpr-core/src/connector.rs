@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn overhead_factor() {
-        let r = SpaceReport { personal_data_bytes: 10, total_bytes: 35 };
+        let r = SpaceReport {
+            personal_data_bytes: 10,
+            total_bytes: 35,
+        };
         assert!((r.overhead_factor() - 3.5).abs() < 1e-9);
         let zero = SpaceReport::default();
         assert_eq!(zero.overhead_factor(), 0.0);

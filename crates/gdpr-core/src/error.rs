@@ -5,7 +5,11 @@ use std::fmt;
 pub enum GdprError {
     /// The session's role (or identity) may not perform this query — the
     /// access-control matrix of Figure 1.
-    AccessDenied { role: String, query: String, reason: String },
+    AccessDenied {
+        role: String,
+        query: String,
+        reason: String,
+    },
     /// No record under this key.
     NotFound(String),
     /// A record with this key already exists.
@@ -21,7 +25,11 @@ pub enum GdprError {
 impl fmt::Display for GdprError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GdprError::AccessDenied { role, query, reason } => {
+            GdprError::AccessDenied {
+                role,
+                query,
+                reason,
+            } => {
                 write!(f, "access denied: role {role} may not {query}: {reason}")
             }
             GdprError::NotFound(key) => write!(f, "no record with key {key:?}"),

@@ -22,26 +22,40 @@
 //!    which query over whose records.
 //!
 //! Table 1 of the paper — the article-to-attribute/action map — is encoded
-//! verbatim in [`articles`]. Database bindings implement
-//! [`connector::GdprConnector`]; see the `connectors` crate for the Redis-
-//! and PostgreSQL-shaped implementations.
+//! verbatim in [`articles`].
+//!
+//! The compliance layer itself is implemented exactly once:
+//! [`engine::ComplianceEngine`] owns authorization, record visibility,
+//! audit logging, and the single [`query::GdprQuery`] dispatch in the
+//! workspace, over the narrow [`store::RecordStore`] backend trait.
+//! Metadata predicates resolve through pushdown (native secondary
+//! indexes), through the engine's [`metaindex::MetadataIndex`] (inverted
+//! user/purpose/objection/sharing → keys maps plus a TTL-ordered expiry
+//! set), or by full scan — all three provably equivalent. See the
+//! `connectors` crate for the Redis- and PostgreSQL-shaped backends.
 
 pub mod acl;
 pub mod articles;
 pub mod audit;
 pub mod compliance;
 pub mod connector;
+pub mod engine;
 pub mod error;
+pub mod metaindex;
 pub mod query;
 pub mod record;
 pub mod response;
 pub mod role;
+pub mod store;
 pub mod wire;
 
 pub use compliance::{ComplianceFeature, FeatureReport};
 pub use connector::GdprConnector;
+pub use engine::ComplianceEngine;
 pub use error::GdprError;
+pub use metaindex::MetadataIndex;
 pub use query::{GdprQuery, MetadataField, MetadataUpdate};
 pub use record::{Metadata, PersonalRecord};
 pub use response::GdprResponse;
 pub use role::{Role, Session};
+pub use store::{RecordPredicate, RecordStore};

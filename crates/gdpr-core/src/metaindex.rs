@@ -1,0 +1,423 @@
+//! Engine-side secondary indexes over GDPR metadata.
+//!
+//! The paper's central performance finding is that GDPR queries are
+//! *metadata-predicate* queries (by user, purpose, objection, sharing,
+//! TTL), and that a store without secondary indexes on that metadata
+//! answers them orders of magnitude too slowly (Figures 5a/7b: every such
+//! query on Redis is a full SCAN-decrypt-parse of the keyspace). This
+//! module is the retrofit: four inverted indexes — `user → keys`,
+//! `purpose → keys`, `objection → keys`, `sharing → keys` — plus a
+//! deadline-ordered expiry set, maintained by the compliance engine on
+//! every put/rewrite/delete and invalidated by the store on every TTL
+//! expiration, so predicate lookups become O(matches) instead of O(n).
+//!
+//! The index stores *keys only*; record payloads stay in (and are re-read
+//! from) the backing store, so encrypted-at-rest data is never duplicated
+//! in plaintext and a stale index entry can at worst cause one extra fetch
+//! that comes back empty — the engine re-verifies every candidate against
+//! the predicate before returning it (see
+//! [`crate::store::RecordPredicate::matches`]).
+
+use crate::record::PersonalRecord;
+use crate::store::RecordPredicate;
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+
+/// What was indexed for one key — kept so removal needs no record fetch
+/// (the record may already be gone from the store when invalidation runs).
+#[derive(Debug, Clone, Default)]
+struct IndexedTerms {
+    user: String,
+    purposes: Vec<String>,
+    objections: Vec<String>,
+    sharing: Vec<String>,
+    deadline_ms: Option<u64>,
+}
+
+#[derive(Default)]
+struct Inner {
+    by_user: HashMap<String, BTreeSet<String>>,
+    by_purpose: HashMap<String, BTreeSet<String>>,
+    by_objection: HashMap<String, BTreeSet<String>>,
+    by_sharing: HashMap<String, BTreeSet<String>>,
+    /// `(absolute deadline ms, key)`, ordered — expired prefixes pop in
+    /// O(expired · log n).
+    by_deadline: BTreeSet<(u64, String)>,
+    /// Per-key snapshot of the indexed terms.
+    terms: HashMap<String, IndexedTerms>,
+}
+
+impl Inner {
+    fn unindex(&mut self, key: &str) -> bool {
+        let Some(terms) = self.terms.remove(key) else {
+            return false;
+        };
+        detach(&mut self.by_user, &terms.user, key);
+        for p in &terms.purposes {
+            detach(&mut self.by_purpose, p, key);
+        }
+        for o in &terms.objections {
+            detach(&mut self.by_objection, o, key);
+        }
+        for s in &terms.sharing {
+            detach(&mut self.by_sharing, s, key);
+        }
+        if let Some(at) = terms.deadline_ms {
+            self.by_deadline.remove(&(at, key.to_string()));
+        }
+        true
+    }
+}
+
+fn detach(map: &mut HashMap<String, BTreeSet<String>>, term: &str, key: &str) {
+    if let Some(set) = map.get_mut(term) {
+        set.remove(key);
+        if set.is_empty() {
+            map.remove(term);
+        }
+    }
+}
+
+fn keys_of(map: &HashMap<String, BTreeSet<String>>, term: &str) -> Vec<String> {
+    map.get(term)
+        .map(|set| set.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// The four inverted metadata indexes plus the TTL expiry set.
+#[derive(Default)]
+pub struct MetadataIndex {
+    inner: RwLock<Inner>,
+}
+
+impl MetadataIndex {
+    pub fn new() -> MetadataIndex {
+        MetadataIndex::default()
+    }
+
+    /// Index (or re-index) a record. `now_ms` anchors the TTL deadline;
+    /// with `keep_deadline`, a previously indexed deadline survives the
+    /// rewrite (the store preserved the remaining TTL, so must we).
+    pub fn upsert(&self, record: &PersonalRecord, now_ms: u64, keep_deadline: bool) {
+        let mut inner = self.inner.write();
+        let previous_deadline = inner.terms.get(&record.key).and_then(|t| t.deadline_ms);
+        let deadline_ms = if keep_deadline {
+            previous_deadline
+        } else {
+            record
+                .metadata
+                .ttl
+                .map(|ttl| now_ms + ttl.as_millis() as u64)
+        };
+        Self::index_locked(&mut inner, record, deadline_ms);
+    }
+
+    /// Index a record under an explicit absolute deadline — the backfill
+    /// path, where the store's own remaining deadline (not `now + declared
+    /// TTL`) is authoritative for records that already existed.
+    pub fn upsert_with_deadline(&self, record: &PersonalRecord, deadline_ms: Option<u64>) {
+        Self::index_locked(&mut self.inner.write(), record, deadline_ms);
+    }
+
+    fn index_locked(inner: &mut Inner, record: &PersonalRecord, deadline_ms: Option<u64>) {
+        inner.unindex(&record.key);
+        let m = &record.metadata;
+        let key = record.key.clone();
+        inner
+            .by_user
+            .entry(m.user.clone())
+            .or_default()
+            .insert(key.clone());
+        for p in &m.purposes {
+            inner
+                .by_purpose
+                .entry(p.clone())
+                .or_default()
+                .insert(key.clone());
+        }
+        for o in &m.objections {
+            inner
+                .by_objection
+                .entry(o.clone())
+                .or_default()
+                .insert(key.clone());
+        }
+        for s in &m.sharing {
+            inner
+                .by_sharing
+                .entry(s.clone())
+                .or_default()
+                .insert(key.clone());
+        }
+        if let Some(at) = deadline_ms {
+            inner.by_deadline.insert((at, key.clone()));
+        }
+        inner.terms.insert(
+            key,
+            IndexedTerms {
+                user: m.user.clone(),
+                purposes: m.purposes.clone(),
+                objections: m.objections.clone(),
+                sharing: m.sharing.clone(),
+                deadline_ms,
+            },
+        );
+    }
+
+    /// Drop a key from every index. Returns whether it was indexed. This is
+    /// the invalidation path stores call on TTL expiration.
+    pub fn remove(&self, key: &str) -> bool {
+        self.inner.write().unindex(key)
+    }
+
+    /// Candidate keys for a predicate, or `None` when the predicate is not
+    /// answerable by inverted lookup (negations need the full record set).
+    /// Candidates are a *superset-modulo-staleness* of the true matches;
+    /// callers must re-verify each fetched record.
+    pub fn keys_for(&self, pred: &RecordPredicate) -> Option<Vec<String>> {
+        let inner = self.inner.read();
+        match pred {
+            RecordPredicate::User(u) => Some(keys_of(&inner.by_user, u)),
+            RecordPredicate::DeclaredPurpose(p) => Some(keys_of(&inner.by_purpose, p)),
+            RecordPredicate::AllowsPurpose(p) => {
+                let declared = inner.by_purpose.get(p.as_str());
+                let objecting = inner.by_objection.get(p.as_str());
+                Some(match (declared, objecting) {
+                    (None, _) => Vec::new(),
+                    (Some(d), None) => d.iter().cloned().collect(),
+                    (Some(d), Some(o)) => d.difference(o).cloned().collect(),
+                })
+            }
+            RecordPredicate::SharedWith(s) => Some(keys_of(&inner.by_sharing, s)),
+            // Negative predicates match "everything except ..." — an
+            // inverted index cannot enumerate that in O(matches).
+            RecordPredicate::NotObjecting(_) | RecordPredicate::DecisionEligible => None,
+        }
+    }
+
+    /// Keys whose deadline is at or before `now_ms`, in deadline order.
+    pub fn expired_keys(&self, now_ms: u64) -> Vec<String> {
+        self.inner
+            .read()
+            .by_deadline
+            .iter()
+            .take_while(|(at, _)| *at <= now_ms)
+            .map(|(_, key)| key.clone())
+            .collect()
+    }
+
+    /// The earliest deadline currently indexed.
+    pub fn next_deadline_ms(&self) -> Option<u64> {
+        self.inner
+            .read()
+            .by_deadline
+            .iter()
+            .next()
+            .map(|(at, _)| *at)
+    }
+
+    /// The indexed deadline of one key.
+    pub fn deadline_of(&self, key: &str) -> Option<u64> {
+        self.inner.read().terms.get(key).and_then(|t| t.deadline_ms)
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.inner.read().terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        *self.inner.write() = Inner::default();
+    }
+
+    // ---- term-level inspection (tests, space accounting, diagnostics) ----
+
+    pub fn keys_by_user(&self, user: &str) -> Vec<String> {
+        keys_of(&self.inner.read().by_user, user)
+    }
+
+    pub fn keys_by_purpose(&self, purpose: &str) -> Vec<String> {
+        keys_of(&self.inner.read().by_purpose, purpose)
+    }
+
+    pub fn keys_with_objection(&self, usage: &str) -> Vec<String> {
+        keys_of(&self.inner.read().by_objection, usage)
+    }
+
+    pub fn keys_shared_with(&self, party: &str) -> Vec<String> {
+        keys_of(&self.inner.read().by_sharing, party)
+    }
+
+    /// True when `key` appears in *no* inverted index and no deadline —
+    /// the invariant after invalidation.
+    pub fn fully_absent(&self, key: &str) -> bool {
+        let inner = self.inner.read();
+        !inner.terms.contains_key(key)
+            && !inner.by_user.values().any(|s| s.contains(key))
+            && !inner.by_purpose.values().any(|s| s.contains(key))
+            && !inner.by_objection.values().any(|s| s.contains(key))
+            && !inner.by_sharing.values().any(|s| s.contains(key))
+            && !inner.by_deadline.iter().any(|(_, k)| k == key)
+    }
+
+    /// Approximate footprint, for space-overhead visibility (the engine's
+    /// analogue of the paper's Table 3 index cost).
+    pub fn size_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        let map_bytes = |m: &HashMap<String, BTreeSet<String>>| {
+            m.iter()
+                .map(|(term, keys)| term.len() + keys.iter().map(|k| k.len() + 16).sum::<usize>())
+                .sum::<usize>()
+        };
+        map_bytes(&inner.by_user)
+            + map_bytes(&inner.by_purpose)
+            + map_bytes(&inner.by_objection)
+            + map_bytes(&inner.by_sharing)
+            + inner
+                .by_deadline
+                .iter()
+                .map(|(_, k)| k.len() + 24)
+                .sum::<usize>()
+            + inner
+                .terms
+                .iter()
+                .map(|(k, t)| {
+                    k.len()
+                        + t.user.len()
+                        + t.purposes.iter().map(String::len).sum::<usize>()
+                        + t.objections.iter().map(String::len).sum::<usize>()
+                        + t.sharing.iter().map(String::len).sum::<usize>()
+                        + 16
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Metadata;
+    use std::time::Duration;
+
+    fn record(key: &str, user: &str, purposes: &[&str], ttl_secs: Option<u64>) -> PersonalRecord {
+        let mut m = Metadata::new(
+            user,
+            purposes.iter().map(|s| s.to_string()).collect(),
+            Duration::from_secs(ttl_secs.unwrap_or(1)),
+        );
+        if ttl_secs.is_none() {
+            m.ttl = None;
+        }
+        PersonalRecord::new(key, "d", m)
+    }
+
+    #[test]
+    fn upsert_and_lookup_all_dimensions() {
+        let idx = MetadataIndex::new();
+        let mut r = record("k1", "neo", &["ads", "2fa"], Some(60));
+        r.metadata.objections.push("ads".into());
+        r.metadata.sharing.push("x-corp".into());
+        idx.upsert(&r, 1_000, false);
+        idx.upsert(&record("k2", "neo", &["ads"], None), 1_000, false);
+
+        assert_eq!(idx.keys_by_user("neo"), vec!["k1", "k2"]);
+        assert_eq!(idx.keys_by_purpose("ads"), vec!["k1", "k2"]);
+        assert_eq!(idx.keys_by_purpose("2fa"), vec!["k1"]);
+        assert_eq!(idx.keys_with_objection("ads"), vec!["k1"]);
+        assert_eq!(idx.keys_shared_with("x-corp"), vec!["k1"]);
+        assert_eq!(idx.deadline_of("k1"), Some(61_000));
+        assert_eq!(idx.deadline_of("k2"), None);
+        assert_eq!(idx.len(), 2);
+
+        // AllowsPurpose = declared minus objecting.
+        assert_eq!(
+            idx.keys_for(&RecordPredicate::AllowsPurpose("ads".into())),
+            Some(vec!["k2".to_string()])
+        );
+        // Negative predicates are not index-answerable.
+        assert_eq!(
+            idx.keys_for(&RecordPredicate::NotObjecting("ads".into())),
+            None
+        );
+        assert_eq!(idx.keys_for(&RecordPredicate::DecisionEligible), None);
+    }
+
+    #[test]
+    fn remove_clears_every_structure() {
+        let idx = MetadataIndex::new();
+        let mut r = record("k1", "neo", &["ads"], Some(10));
+        r.metadata.objections.push("spam".into());
+        r.metadata.sharing.push("x".into());
+        idx.upsert(&r, 0, false);
+        assert!(!idx.fully_absent("k1"));
+        assert!(idx.remove("k1"));
+        assert!(idx.fully_absent("k1"));
+        assert!(!idx.remove("k1"), "second removal is a no-op");
+        assert!(idx.is_empty());
+        assert_eq!(idx.next_deadline_ms(), None);
+    }
+
+    #[test]
+    fn reindex_replaces_stale_terms() {
+        let idx = MetadataIndex::new();
+        let mut r = record("k1", "neo", &["ads"], Some(10));
+        idx.upsert(&r, 0, false);
+        r.metadata.user = "smith".into();
+        r.metadata.purposes = vec!["2fa".into()];
+        idx.upsert(&r, 0, false);
+        assert!(idx.keys_by_user("neo").is_empty());
+        assert_eq!(idx.keys_by_user("smith"), vec!["k1"]);
+        assert!(idx.keys_by_purpose("ads").is_empty());
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn deadline_preserved_across_rewrite_when_requested() {
+        let idx = MetadataIndex::new();
+        let r = record("k1", "neo", &["ads"], Some(10));
+        idx.upsert(&r, 0, false);
+        assert_eq!(idx.deadline_of("k1"), Some(10_000));
+        // Rewrite later without TTL change: deadline must not slide.
+        idx.upsert(&r, 5_000, true);
+        assert_eq!(idx.deadline_of("k1"), Some(10_000));
+        // Rewrite with TTL re-armed: deadline recomputed from now.
+        idx.upsert(&r, 5_000, false);
+        assert_eq!(idx.deadline_of("k1"), Some(15_000));
+    }
+
+    #[test]
+    fn expiry_order_and_cutoff() {
+        let idx = MetadataIndex::new();
+        idx.upsert(&record("a", "u", &[], Some(5)), 0, false);
+        idx.upsert(&record("b", "u", &[], Some(1)), 0, false);
+        idx.upsert(&record("c", "u", &[], Some(9)), 0, false);
+        idx.upsert(&record("d", "u", &[], None), 0, false);
+        assert_eq!(idx.next_deadline_ms(), Some(1_000));
+        assert_eq!(idx.expired_keys(4_999), vec!["b"]);
+        assert_eq!(idx.expired_keys(5_000), vec!["b", "a"]);
+        assert_eq!(idx.expired_keys(u64::MAX), vec!["b", "a", "c"]);
+        assert!(idx.expired_keys(999).is_empty());
+    }
+
+    #[test]
+    fn size_bytes_tracks_content() {
+        let idx = MetadataIndex::new();
+        assert_eq!(idx.size_bytes(), 0);
+        idx.upsert(&record("k1", "neo", &["ads"], Some(10)), 0, false);
+        let one = idx.size_bytes();
+        assert!(one > 0);
+        idx.upsert(
+            &record("k2", "trinity", &["ads", "2fa"], Some(10)),
+            0,
+            false,
+        );
+        assert!(idx.size_bytes() > one);
+        idx.clear();
+        assert_eq!(idx.size_bytes(), 0);
+    }
+}

@@ -135,9 +135,15 @@ pub enum GdprQuery {
     /// UPDATE-METADATA-BY-KEY (G18.1, G7.3): mutate one record's metadata.
     UpdateMetadataByKey { key: String, update: MetadataUpdate },
     /// UPDATE-METADATA-BY-PUR (G13.3): mutate metadata of a purpose group.
-    UpdateMetadataByPurpose { purpose: String, update: MetadataUpdate },
+    UpdateMetadataByPurpose {
+        purpose: String,
+        update: MetadataUpdate,
+    },
     /// UPDATE-METADATA-BY-USR (G22.3): mutate metadata of a person's records.
-    UpdateMetadataByUser { user: String, update: MetadataUpdate },
+    UpdateMetadataByUser {
+        user: String,
+        update: MetadataUpdate,
+    },
 
     /// GET-SYSTEM-LOGS (G33, G34): audit log for a time range (ms).
     GetSystemLogs { from_ms: u64, to_ms: u64 },
@@ -172,6 +178,28 @@ impl GdprQuery {
             GetSystemLogs { .. } => "get-system-logs",
             GetSystemFeatures => "get-system-features",
             VerifyDeletion(_) => "verify-deletion",
+        }
+    }
+
+    /// The audit-trail scope detail for this query (key, user, purpose...).
+    pub fn detail(&self) -> String {
+        use GdprQuery::*;
+        match self {
+            CreateRecord(r) => format!("key={}", r.key),
+            DeleteByKey(k) | ReadDataByKey(k) | ReadMetadataByKey(k) | VerifyDeletion(k) => {
+                format!("key={k}")
+            }
+            DeleteByPurpose(p) | ReadDataByPurpose(p) => format!("pur={p}"),
+            DeleteExpired => "ttl".into(),
+            DeleteByUser(u) | ReadDataByUser(u) | ReadMetadataByUser(u) => format!("usr={u}"),
+            ReadDataNotObjecting(o) => format!("obj={o}"),
+            ReadDataDecisionEligible => "dec".into(),
+            ReadMetadataBySharedWith(s) => format!("shr={s}"),
+            UpdateDataByKey { key, .. } | UpdateMetadataByKey { key, .. } => format!("key={key}"),
+            UpdateMetadataByPurpose { purpose, .. } => format!("pur={purpose}"),
+            UpdateMetadataByUser { user, .. } => format!("usr={user}"),
+            GetSystemLogs { from_ms, to_ms } => format!("range={from_ms}..{to_ms}"),
+            GetSystemFeatures => "features".into(),
         }
     }
 

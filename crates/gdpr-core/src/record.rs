@@ -58,8 +58,7 @@ impl Metadata {
     /// declared at collection (G5.1b) and the subject has not objected
     /// (G21).
     pub fn allows_purpose(&self, purpose: &str) -> bool {
-        self.purposes.iter().any(|p| p == purpose)
-            && !self.objections.iter().any(|o| o == purpose)
+        self.purposes.iter().any(|p| p == purpose) && !self.objections.iter().any(|o| o == purpose)
     }
 
     /// May this record feed automated decision-making (G22)?
@@ -70,7 +69,12 @@ impl Metadata {
     /// Approximate metadata footprint in bytes (the Table 3 numerator's
     /// metadata share).
     pub fn size_bytes(&self) -> usize {
-        let lists = [&self.purposes, &self.objections, &self.decisions, &self.sharing];
+        let lists = [
+            &self.purposes,
+            &self.objections,
+            &self.decisions,
+            &self.sharing,
+        ];
         lists
             .iter()
             .map(|l| l.iter().map(String::len).sum::<usize>() + l.len())
@@ -132,8 +136,14 @@ mod tests {
     fn purpose_check_requires_declaration_and_no_objection() {
         let m = meta();
         assert!(m.allows_purpose("2fa"));
-        assert!(!m.allows_purpose("ads"), "objection must veto a declared purpose");
-        assert!(!m.allows_purpose("analytics"), "undeclared purpose is never allowed");
+        assert!(
+            !m.allows_purpose("ads"),
+            "objection must veto a declared purpose"
+        );
+        assert!(
+            !m.allows_purpose("analytics"),
+            "undeclared purpose is never allowed"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub struct Session {
 
 impl Session {
     pub fn controller() -> Session {
-        Session { role: Role::Controller, user: None, purpose: None }
+        Session {
+            role: Role::Controller,
+            user: None,
+            purpose: None,
+        }
     }
 
     pub fn customer(user: impl Into<String>) -> Session {
@@ -78,7 +82,11 @@ impl Session {
     }
 
     pub fn regulator() -> Session {
-        Session { role: Role::Regulator, user: None, purpose: None }
+        Session {
+            role: Role::Regulator,
+            user: None,
+            purpose: None,
+        }
     }
 }
 

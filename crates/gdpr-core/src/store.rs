@@ -1,0 +1,186 @@
+//! The narrow storage interface the compliance engine drives.
+//!
+//! [`crate::engine::ComplianceEngine`] owns everything GDPR — authorization,
+//! record visibility, audit logging, and the full [`crate::GdprQuery`]
+//! dispatch — exactly once. What remains per backend is this trait: fetch,
+//! put, rewrite, delete, scan, expiry purge, and space accounting, plus two
+//! optional predicate-pushdown hooks for stores (like the relational one)
+//! that can evaluate metadata predicates natively against their own
+//! secondary indexes.
+
+use crate::compliance::FeatureReport;
+use crate::connector::SpaceReport;
+use crate::error::GdprResult;
+use crate::record::PersonalRecord;
+use clock::SharedClock;
+use std::sync::Arc;
+
+/// A metadata predicate over personal records — the selection forms the
+/// GDPR query taxonomy needs (§3.3 of the paper). Every metadata-conditioned
+/// query reduces to exactly one of these, so backends and the
+/// [`crate::metaindex::MetadataIndex`] only ever answer this closed set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordPredicate {
+    /// Records belonging to a data subject (`USR = user`).
+    User(String),
+    /// Records that *declare* a purpose (`purpose ∈ PUR`), regardless of
+    /// objections — the deletion/update grouping of G5.1b and G13.3.
+    DeclaredPurpose(String),
+    /// Records *usable* for a purpose: declared and not objected to
+    /// (`purpose ∈ PUR ∧ purpose ∉ OBJ`) — the canonical READ-DATA-BY-PUR
+    /// semantics (G5.1b + G21); see the conformance suite, which pins this
+    /// behaviour for every backend.
+    AllowsPurpose(String),
+    /// Records whose subject has *not* objected to a usage (`usage ∉ OBJ`).
+    NotObjecting(String),
+    /// Records eligible for automated decision-making (no G22 opt-out).
+    DecisionEligible,
+    /// Records shared with a third party (`party ∈ SHR`).
+    SharedWith(String),
+}
+
+impl RecordPredicate {
+    /// Evaluate against one record. This is the reference semantics: index
+    /// and pushdown paths must agree with a full scan filtered by this.
+    pub fn matches(&self, record: &PersonalRecord) -> bool {
+        let m = &record.metadata;
+        match self {
+            RecordPredicate::User(user) => m.user == *user,
+            RecordPredicate::DeclaredPurpose(p) => m.purposes.iter().any(|x| x == p),
+            RecordPredicate::AllowsPurpose(p) => m.allows_purpose(p),
+            RecordPredicate::NotObjecting(usage) => !m.objections.iter().any(|o| o == usage),
+            RecordPredicate::DecisionEligible => m.allows_automated_decisions(),
+            RecordPredicate::SharedWith(party) => m.sharing.iter().any(|s| s == party),
+        }
+    }
+}
+
+/// Callback invoked (with the logical record key) when the store itself
+/// expires a record — lazily on access or in an active expiration cycle —
+/// so engine-side index entries can be invalidated.
+pub type ExpiryListener = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// A storage backend for personal records.
+///
+/// Implementations are *mechanism only*: no authorization, no audit, no
+/// query dispatch — [`crate::engine::ComplianceEngine`] provides those. The
+/// required methods are deliberately narrow; the two `Option`-returning
+/// hooks let a backend push predicate evaluation down to native indexes
+/// (returning `None` falls back to the engine's index or full scan).
+pub trait RecordStore: Send + Sync {
+    /// The clock the backend runs on (drives audit timestamps and TTLs).
+    fn clock(&self) -> SharedClock;
+
+    /// Point lookup.
+    ///
+    /// Expiry enforcement is the backend's own: the key-value store hides
+    /// past-due records immediately (lazy-on-access reaping), while the
+    /// relational store serves rows until its sweep daemon's next pass —
+    /// exactly the paper's retrofit designs, whose timeliness gap is the
+    /// subject of its Figure 3a. Callers needing strict timeliness run the
+    /// respective expiry machinery (strict cycles / `TtlDaemon`).
+    fn fetch(&self, key: &str) -> GdprResult<Option<PersonalRecord>>;
+
+    /// Insert a fresh record, arming its TTL. Fails with
+    /// [`crate::GdprError::AlreadyExists`] on key collision — collision
+    /// detection is the backend's job (the engine does not pre-fetch).
+    fn put(&self, record: &PersonalRecord) -> GdprResult<()>;
+
+    /// Rewrite an existing record in place. When `ttl_changed` is false the
+    /// record's original expiry deadline is preserved; when true the
+    /// deadline is re-armed from `record.metadata.ttl`.
+    fn rewrite(&self, record: &PersonalRecord, ttl_changed: bool) -> GdprResult<()>;
+
+    /// Erase one record. Returns whether it existed.
+    fn delete(&self, key: &str) -> GdprResult<bool>;
+
+    /// Every live record — the O(n) path the engine uses when neither
+    /// pushdown nor a metadata index can answer a predicate.
+    fn scan(&self) -> GdprResult<Vec<PersonalRecord>>;
+
+    /// Synchronously erase every record past its TTL deadline, returning
+    /// how many were reaped (DELETE-RECORD-BY-TTL without engine indexes).
+    fn purge_expired(&self) -> GdprResult<usize>;
+
+    /// The store's own absolute expiry deadline for `key`, in milliseconds
+    /// on [`Self::clock`], when it tracks one natively. `None` means
+    /// unknown — callers fall back to deriving a deadline from the
+    /// record's declared TTL. Index backfill uses this so pre-existing
+    /// records keep their *remaining* lifetime instead of being re-armed
+    /// with the full declared TTL.
+    fn deadline_ms(&self, key: &str) -> Option<u64> {
+        let _ = key;
+        None
+    }
+
+    /// Predicate pushdown for reads: `Some(records)` if the backend can
+    /// evaluate `pred` natively (e.g. relational secondary indexes),
+    /// `None` to let the engine resolve it.
+    fn select(&self, pred: &RecordPredicate) -> Option<GdprResult<Vec<PersonalRecord>>> {
+        let _ = pred;
+        None
+    }
+
+    /// Predicate pushdown for deletes: `Some(count)` if the backend erased
+    /// all matching records itself.
+    fn delete_matching(&self, pred: &RecordPredicate) -> Option<GdprResult<usize>> {
+        let _ = pred;
+        None
+    }
+
+    /// Register a callback for store-side expirations. Backends whose store
+    /// reaps TTLs autonomously (lazy-on-access, background cycles) must
+    /// invoke it per reaped record; backends that only delete through the
+    /// engine may keep the default no-op.
+    fn on_expiry(&self, listener: ExpiryListener) {
+        let _ = listener;
+    }
+
+    /// Space accounting for the Table 3 metric.
+    fn space_report(&self) -> SpaceReport;
+
+    /// Live record count (scale experiments).
+    fn record_count(&self) -> usize;
+
+    /// The backend's compliance capability posture.
+    fn features(&self) -> FeatureReport;
+
+    /// Backend name (`redis`, `postgres`, ...).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Metadata;
+    use std::time::Duration;
+
+    fn record() -> PersonalRecord {
+        let mut m = Metadata::new(
+            "neo",
+            vec!["ads".into(), "2fa".into()],
+            Duration::from_secs(60),
+        );
+        m.objections.push("ads".into());
+        m.sharing.push("x-corp".into());
+        PersonalRecord::new("k1", "d", m)
+    }
+
+    #[test]
+    fn predicate_reference_semantics() {
+        let r = record();
+        assert!(RecordPredicate::User("neo".into()).matches(&r));
+        assert!(!RecordPredicate::User("smith".into()).matches(&r));
+        assert!(RecordPredicate::DeclaredPurpose("ads".into()).matches(&r));
+        assert!(
+            !RecordPredicate::AllowsPurpose("ads".into()).matches(&r),
+            "objection vetoes"
+        );
+        assert!(RecordPredicate::AllowsPurpose("2fa".into()).matches(&r));
+        assert!(!RecordPredicate::NotObjecting("ads".into()).matches(&r));
+        assert!(RecordPredicate::NotObjecting("sales".into()).matches(&r));
+        assert!(RecordPredicate::DecisionEligible.matches(&r));
+        assert!(RecordPredicate::SharedWith("x-corp".into()).matches(&r));
+        assert!(!RecordPredicate::SharedWith("y-corp".into()).matches(&r));
+    }
+}

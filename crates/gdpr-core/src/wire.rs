@@ -153,7 +153,9 @@ pub fn parse_ttl(value: &str) -> GdprResult<Option<Duration>> {
         "mins" | "min" => n * 60,
         "secs" | "sec" => n,
         other => {
-            return Err(GdprError::InvalidRecord(format!("unknown TTL unit {other:?}")));
+            return Err(GdprError::InvalidRecord(format!(
+                "unknown TTL unit {other:?}"
+            )));
         }
     };
     Ok(Some(Duration::from_secs(secs)))

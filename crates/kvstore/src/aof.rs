@@ -157,8 +157,7 @@ pub fn decode_stream_tolerant(
             let mut commands = Vec::new();
             let mut expected_block = 0u64;
             while data.len() >= offset + 4 {
-                let len =
-                    u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
                 let Some(payload) = data.get(offset + 4..offset + 4 + len) else {
                     break; // torn tail
                 };
@@ -279,7 +278,13 @@ mod tests {
 
     #[test]
     fn disabled_storage_yields_none() {
-        let aof = Aof::open(&AofStorage::Disabled, FsyncPolicy::Never, None, clock::wall()).unwrap();
+        let aof = Aof::open(
+            &AofStorage::Disabled,
+            FsyncPolicy::Never,
+            None,
+            clock::wall(),
+        )
+        .unwrap();
         assert!(aof.is_none());
     }
 
@@ -299,7 +304,8 @@ mod tests {
     fn append_and_replay_encrypted() {
         let volume = Volume::new(b"aof-key");
         let (mut aof, buf) = mem_aof(Some(Volume::new(b"aof-key")));
-        aof.append(&[b("SET"), b("secret"), b("credit-card")]).unwrap();
+        aof.append(&[b("SET"), b("secret"), b("credit-card")])
+            .unwrap();
         let raw = buf.lock().clone();
         assert!(
             !raw.windows(11).any(|w| w == b"credit-card"),
@@ -369,7 +375,8 @@ mod tests {
             .unwrap()
             .unwrap();
             for i in 0..10 {
-                aof.append(&[b("SET"), b(&format!("k{i}")), b("v")]).unwrap();
+                aof.append(&[b("SET"), b(&format!("k{i}")), b("v")])
+                    .unwrap();
             }
             aof.sync().unwrap();
         }
@@ -421,7 +428,11 @@ mod tests {
         let (mut aof, _buf) = mem_aof(None);
         aof.append(&[b("SET"), b("k"), b("v")]).unwrap();
         let after_one = aof.bytes;
-        aof.append(&[b("SET"), b("k"), b("a-much-longer-value-here")]).unwrap();
-        assert!(aof.bytes > after_one * 2 - 8, "longer values use more bytes");
+        aof.append(&[b("SET"), b("k"), b("a-much-longer-value-here")])
+            .unwrap();
+        assert!(
+            aof.bytes > after_one * 2 - 8,
+            "longer values use more bytes"
+        );
     }
 }

@@ -92,16 +92,36 @@ pub enum Command {
         value: Bytes,
         expire: Option<Duration>,
     },
-    Get { key: Bytes },
-    Del { keys: Vec<Bytes> },
-    Exists { keys: Vec<Bytes> },
-    Expire { key: Bytes, ttl: Duration },
+    Get {
+        key: Bytes,
+    },
+    Del {
+        keys: Vec<Bytes>,
+    },
+    Exists {
+        keys: Vec<Bytes>,
+    },
+    Expire {
+        key: Bytes,
+        ttl: Duration,
+    },
     /// Absolute-deadline expiry (what the AOF logs, as Redis logs PEXPIREAT).
-    ExpireAt { key: Bytes, at_ms: u64 },
-    Ttl { key: Bytes },
-    Persist { key: Bytes },
-    TypeOf { key: Bytes },
-    Keys { pattern: Bytes },
+    ExpireAt {
+        key: Bytes,
+        at_ms: u64,
+    },
+    Ttl {
+        key: Bytes,
+    },
+    Persist {
+        key: Bytes,
+    },
+    TypeOf {
+        key: Bytes,
+    },
+    Keys {
+        pattern: Bytes,
+    },
     Scan {
         cursor: usize,
         count: usize,
@@ -110,34 +130,98 @@ pub enum Command {
     RandomKey,
     DbSize,
     FlushAll,
-    IncrBy { key: Bytes, delta: i64 },
-    Append { key: Bytes, value: Bytes },
-    Strlen { key: Bytes },
+    IncrBy {
+        key: Bytes,
+        delta: i64,
+    },
+    Append {
+        key: Bytes,
+        value: Bytes,
+    },
+    Strlen {
+        key: Bytes,
+    },
     // --- hashes ---
-    HSet { key: Bytes, pairs: Vec<(Bytes, Bytes)> },
-    HGet { key: Bytes, field: Bytes },
-    HGetAll { key: Bytes },
-    HDel { key: Bytes, fields: Vec<Bytes> },
-    HLen { key: Bytes },
-    HExists { key: Bytes, field: Bytes },
+    HSet {
+        key: Bytes,
+        pairs: Vec<(Bytes, Bytes)>,
+    },
+    HGet {
+        key: Bytes,
+        field: Bytes,
+    },
+    HGetAll {
+        key: Bytes,
+    },
+    HDel {
+        key: Bytes,
+        fields: Vec<Bytes>,
+    },
+    HLen {
+        key: Bytes,
+    },
+    HExists {
+        key: Bytes,
+        field: Bytes,
+    },
     // --- sets ---
-    SAdd { key: Bytes, members: Vec<Bytes> },
-    SRem { key: Bytes, members: Vec<Bytes> },
-    SMembers { key: Bytes },
-    SIsMember { key: Bytes, member: Bytes },
-    SCard { key: Bytes },
+    SAdd {
+        key: Bytes,
+        members: Vec<Bytes>,
+    },
+    SRem {
+        key: Bytes,
+        members: Vec<Bytes>,
+    },
+    SMembers {
+        key: Bytes,
+    },
+    SIsMember {
+        key: Bytes,
+        member: Bytes,
+    },
+    SCard {
+        key: Bytes,
+    },
     // --- lists ---
-    LPush { key: Bytes, values: Vec<Bytes> },
-    RPush { key: Bytes, values: Vec<Bytes> },
-    LPop { key: Bytes },
-    RPop { key: Bytes },
-    LRange { key: Bytes, start: i64, stop: i64 },
-    LLen { key: Bytes },
+    LPush {
+        key: Bytes,
+        values: Vec<Bytes>,
+    },
+    RPush {
+        key: Bytes,
+        values: Vec<Bytes>,
+    },
+    LPop {
+        key: Bytes,
+    },
+    RPop {
+        key: Bytes,
+    },
+    LRange {
+        key: Bytes,
+        start: i64,
+        stop: i64,
+    },
+    LLen {
+        key: Bytes,
+    },
     // --- sorted sets ---
-    ZAdd { key: Bytes, entries: Vec<(f64, Bytes)> },
-    ZRem { key: Bytes, members: Vec<Bytes> },
-    ZScore { key: Bytes, member: Bytes },
-    ZCard { key: Bytes },
+    ZAdd {
+        key: Bytes,
+        entries: Vec<(f64, Bytes)>,
+    },
+    ZRem {
+        key: Bytes,
+        members: Vec<Bytes>,
+    },
+    ZScore {
+        key: Bytes,
+        member: Bytes,
+    },
+    ZCard {
+        key: Bytes,
+    },
     ZRangeByScore {
         key: Bytes,
         min: f64,
@@ -145,7 +229,11 @@ pub enum Command {
         /// `LIMIT 0 n` — cap on members returned.
         limit: Option<usize>,
     },
-    ZRange { key: Bytes, start: i64, stop: i64 },
+    ZRange {
+        key: Bytes,
+        start: i64,
+        stop: i64,
+    },
 }
 
 impl Command {
@@ -237,9 +325,19 @@ impl Command {
                     parts.push(s(&d.as_millis().to_string()));
                 }
             }
-            Get { key } | Ttl { key } | Persist { key } | TypeOf { key } | Strlen { key }
-            | HGetAll { key } | HLen { key } | SMembers { key } | SCard { key }
-            | LPop { key } | RPop { key } | LLen { key } | ZCard { key } => {
+            Get { key }
+            | Ttl { key }
+            | Persist { key }
+            | TypeOf { key }
+            | Strlen { key }
+            | HGetAll { key }
+            | HLen { key }
+            | SMembers { key }
+            | SCard { key }
+            | LPop { key }
+            | RPop { key }
+            | LLen { key }
+            | ZCard { key } => {
                 parts.push(key.clone());
             }
             Del { keys } | Exists { keys } => parts.extend(keys.iter().cloned()),
@@ -252,7 +350,11 @@ impl Command {
                 parts.push(s(&at_ms.to_string()));
             }
             Keys { pattern } => parts.push(pattern.clone()),
-            Scan { cursor, count, pattern } => {
+            Scan {
+                cursor,
+                count,
+                pattern,
+            } => {
                 parts.push(s(&cursor.to_string()));
                 parts.push(s("COUNT"));
                 parts.push(s(&count.to_string()));
@@ -309,7 +411,12 @@ impl Command {
                     parts.push(member.clone());
                 }
             }
-            ZRangeByScore { key, min, max, limit } => {
+            ZRangeByScore {
+                key,
+                min,
+                max,
+                limit,
+            } => {
                 parts.push(key.clone());
                 parts.push(s(&min.to_string()));
                 parts.push(s(&max.to_string()));
@@ -375,15 +482,21 @@ impl Command {
             }
             "GET" => {
                 arity(1)?;
-                Get { key: args[0].clone() }
+                Get {
+                    key: args[0].clone(),
+                }
             }
             "DEL" => {
                 at_least(1)?;
-                Del { keys: args.to_vec() }
+                Del {
+                    keys: args.to_vec(),
+                }
             }
             "EXISTS" => {
                 at_least(1)?;
-                Exists { keys: args.to_vec() }
+                Exists {
+                    keys: args.to_vec(),
+                }
             }
             "EXPIRE" => {
                 arity(2)?;
@@ -401,19 +514,27 @@ impl Command {
             }
             "TTL" => {
                 arity(1)?;
-                Ttl { key: args[0].clone() }
+                Ttl {
+                    key: args[0].clone(),
+                }
             }
             "PERSIST" => {
                 arity(1)?;
-                Persist { key: args[0].clone() }
+                Persist {
+                    key: args[0].clone(),
+                }
             }
             "TYPE" => {
                 arity(1)?;
-                TypeOf { key: args[0].clone() }
+                TypeOf {
+                    key: args[0].clone(),
+                }
             }
             "KEYS" => {
                 arity(1)?;
-                Keys { pattern: args[0].clone() }
+                Keys {
+                    pattern: args[0].clone(),
+                }
             }
             "SCAN" => {
                 at_least(1)?;
@@ -422,12 +543,15 @@ impl Command {
                 let mut pattern = None;
                 let mut i = 1;
                 while i + 1 < args.len() + 1 && i < args.len() {
-                    let opt = std::str::from_utf8(&args[i]).unwrap_or("").to_ascii_uppercase();
+                    let opt = std::str::from_utf8(&args[i])
+                        .unwrap_or("")
+                        .to_ascii_uppercase();
                     match opt.as_str() {
                         "COUNT" => {
-                            count = parse_u64(args.get(i + 1).ok_or_else(|| {
-                                KvError::Syntax("COUNT missing value".into())
-                            })?)? as usize;
+                            count =
+                                parse_u64(args.get(i + 1).ok_or_else(|| {
+                                    KvError::Syntax("COUNT missing value".into())
+                                })?)? as usize;
                             i += 2;
                         }
                         "MATCH" => {
@@ -441,7 +565,11 @@ impl Command {
                         other => return Err(KvError::Syntax(format!("bad SCAN option {other}"))),
                     }
                 }
-                Scan { cursor, count, pattern }
+                Scan {
+                    cursor,
+                    count,
+                    pattern,
+                }
             }
             "RANDOMKEY" => RandomKey,
             "DBSIZE" => DbSize,
@@ -462,7 +590,9 @@ impl Command {
             }
             "STRLEN" => {
                 arity(1)?;
-                Strlen { key: args[0].clone() }
+                Strlen {
+                    key: args[0].clone(),
+                }
             }
             "HSET" => {
                 at_least(3)?;
@@ -486,7 +616,9 @@ impl Command {
             }
             "HGETALL" => {
                 arity(1)?;
-                HGetAll { key: args[0].clone() }
+                HGetAll {
+                    key: args[0].clone(),
+                }
             }
             "HDEL" => {
                 at_least(2)?;
@@ -497,7 +629,9 @@ impl Command {
             }
             "HLEN" => {
                 arity(1)?;
-                HLen { key: args[0].clone() }
+                HLen {
+                    key: args[0].clone(),
+                }
             }
             "HEXISTS" => {
                 arity(2)?;
@@ -522,7 +656,9 @@ impl Command {
             }
             "SMEMBERS" => {
                 arity(1)?;
-                SMembers { key: args[0].clone() }
+                SMembers {
+                    key: args[0].clone(),
+                }
             }
             "SISMEMBER" => {
                 arity(2)?;
@@ -533,7 +669,9 @@ impl Command {
             }
             "SCARD" => {
                 arity(1)?;
-                SCard { key: args[0].clone() }
+                SCard {
+                    key: args[0].clone(),
+                }
             }
             "LPUSH" => {
                 at_least(2)?;
@@ -551,11 +689,15 @@ impl Command {
             }
             "LPOP" => {
                 arity(1)?;
-                LPop { key: args[0].clone() }
+                LPop {
+                    key: args[0].clone(),
+                }
             }
             "RPOP" => {
                 arity(1)?;
-                RPop { key: args[0].clone() }
+                RPop {
+                    key: args[0].clone(),
+                }
             }
             "LRANGE" => {
                 arity(3)?;
@@ -567,7 +709,9 @@ impl Command {
             }
             "LLEN" => {
                 arity(1)?;
-                LLen { key: args[0].clone() }
+                LLen {
+                    key: args[0].clone(),
+                }
             }
             "ZADD" => {
                 at_least(3)?;
@@ -598,7 +742,9 @@ impl Command {
             }
             "ZCARD" => {
                 arity(1)?;
-                ZCard { key: args[0].clone() }
+                ZCard {
+                    key: args[0].clone(),
+                }
             }
             "ZRANGEBYSCORE" => {
                 at_least(3)?;
@@ -607,7 +753,9 @@ impl Command {
                 } else if args.len() == 3 {
                     None
                 } else {
-                    return Err(KvError::Syntax("ZRANGEBYSCORE takes 3 args or LIMIT 0 n".into()));
+                    return Err(KvError::Syntax(
+                        "ZRANGEBYSCORE takes 3 args or LIMIT 0 n".into(),
+                    ));
                 };
                 ZRangeByScore {
                     key: args[0].clone(),
@@ -679,10 +827,17 @@ impl Command {
                 Some(v) => Reply::Bulk(Bytes::copy_from_slice(v.type_name().as_bytes())),
                 None => Reply::Bulk(Bytes::from_static(b"none")),
             },
-            Keys { pattern } => {
-                Reply::Array(db.keys_matching(pattern).into_iter().map(Reply::Bulk).collect())
-            }
-            Scan { cursor, count, pattern } => {
+            Keys { pattern } => Reply::Array(
+                db.keys_matching(pattern)
+                    .into_iter()
+                    .map(Reply::Bulk)
+                    .collect(),
+            ),
+            Scan {
+                cursor,
+                count,
+                pattern,
+            } => {
                 let (keys, next) = db.scan(*cursor, *count, pattern.as_deref());
                 Reply::Array(vec![
                     Reply::Int(next as i64),
@@ -731,9 +886,11 @@ impl Command {
             },
             HSet { key, pairs } => {
                 let hash = db
-                    .get_or_create(key, || Value::Hash(HashMap::new()), |v| {
-                        matches!(v, Value::Hash(_))
-                    })?
+                    .get_or_create(
+                        key,
+                        || Value::Hash(HashMap::new()),
+                        |v| matches!(v, Value::Hash(_)),
+                    )?
                     .as_hash_mut()?;
                 let mut added = 0;
                 for (f, v) in pairs {
@@ -785,9 +942,11 @@ impl Command {
             },
             SAdd { key, members } => {
                 let set = db
-                    .get_or_create(key, || Value::Set(HashSet::new()), |v| {
-                        matches!(v, Value::Set(_))
-                    })?
+                    .get_or_create(
+                        key,
+                        || Value::Set(HashSet::new()),
+                        |v| matches!(v, Value::Set(_)),
+                    )?
                     .as_set_mut()?;
                 let mut added = 0;
                 for m in members {
@@ -825,9 +984,11 @@ impl Command {
             LPush { key, values } | RPush { key, values } => {
                 let front = matches!(self, LPush { .. });
                 let list = db
-                    .get_or_create(key, || Value::List(VecDeque::new()), |v| {
-                        matches!(v, Value::List(_))
-                    })?
+                    .get_or_create(
+                        key,
+                        || Value::List(VecDeque::new()),
+                        |v| matches!(v, Value::List(_)),
+                    )?
                     .as_list_mut()?;
                 for v in values {
                     if front {
@@ -878,9 +1039,11 @@ impl Command {
             },
             ZAdd { key, entries } => {
                 let zset = db
-                    .get_or_create(key, || Value::ZSet(ZSet::new()), |v| {
-                        matches!(v, Value::ZSet(_))
-                    })?
+                    .get_or_create(
+                        key,
+                        || Value::ZSet(ZSet::new()),
+                        |v| matches!(v, Value::ZSet(_)),
+                    )?
                     .as_zset_mut()?;
                 let mut added = 0;
                 for (score, member) in entries {
@@ -914,7 +1077,12 @@ impl Command {
                 Some(v) => Reply::Int(v.as_zset()?.len() as i64),
                 None => Reply::Int(0),
             },
-            ZRangeByScore { key, min, max, limit } => match db.get(key) {
+            ZRangeByScore {
+                key,
+                min,
+                max,
+                limit,
+            } => match db.get(key) {
                 Some(v) => Reply::Array(
                     v.as_zset()?
                         .range_by_score_limit(*min, *max, limit.unwrap_or(usize::MAX))
@@ -948,8 +1116,16 @@ impl Command {
 /// Map Redis-style inclusive indices (negative = from end) onto `[s, e)`.
 fn normalize_range(start: i64, stop: i64, len: usize) -> (usize, usize) {
     let len = len as i64;
-    let s = if start < 0 { (len + start).max(0) } else { start.min(len) };
-    let e = if stop < 0 { len + stop + 1 } else { (stop + 1).min(len) };
+    let s = if start < 0 {
+        (len + start).max(0)
+    } else {
+        start.min(len)
+    };
+    let e = if stop < 0 {
+        len + stop + 1
+    } else {
+        (stop + 1).min(len)
+    };
     ((s.max(0)) as usize, (e.max(0)) as usize)
 }
 
@@ -994,7 +1170,15 @@ mod tests {
     fn set_get_del() {
         let (mut db, mut rng) = fresh();
         assert_eq!(
-            run(&mut db, &mut rng, Command::Set { key: b("k"), value: b("v"), expire: None }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::Set {
+                    key: b("k"),
+                    value: b("v"),
+                    expire: None
+                }
+            ),
             Reply::Ok
         );
         assert_eq!(
@@ -1002,10 +1186,19 @@ mod tests {
             Reply::Bulk(b("v"))
         );
         assert_eq!(
-            run(&mut db, &mut rng, Command::Del { keys: vec![b("k"), b("ghost")] }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::Del {
+                    keys: vec![b("k"), b("ghost")]
+                }
+            ),
             Reply::Int(1)
         );
-        assert_eq!(run(&mut db, &mut rng, Command::Get { key: b("k") }), Reply::Nil);
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Get { key: b("k") }),
+            Reply::Nil
+        );
     }
 
     #[test]
@@ -1016,19 +1209,43 @@ mod tests {
         run(
             &mut db,
             &mut rng,
-            Command::Set { key: b("k"), value: b("v"), expire: Some(Duration::from_secs(10)) },
+            Command::Set {
+                key: b("k"),
+                value: b("v"),
+                expire: Some(Duration::from_secs(10)),
+            },
         );
-        assert_eq!(run(&mut db, &mut rng, Command::Ttl { key: b("k") }), Reply::Int(10));
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Ttl { key: b("k") }),
+            Reply::Int(10)
+        );
         sim.advance(Duration::from_secs(11));
-        assert_eq!(run(&mut db, &mut rng, Command::Get { key: b("k") }), Reply::Nil);
-        assert_eq!(run(&mut db, &mut rng, Command::Ttl { key: b("k") }), Reply::Int(-2));
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Get { key: b("k") }),
+            Reply::Nil
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Ttl { key: b("k") }),
+            Reply::Int(-2)
+        );
     }
 
     #[test]
     fn ttl_reports_minus_one_without_expiry() {
         let (mut db, mut rng) = fresh();
-        run(&mut db, &mut rng, Command::Set { key: b("k"), value: b("v"), expire: None });
-        assert_eq!(run(&mut db, &mut rng, Command::Ttl { key: b("k") }), Reply::Int(-1));
+        run(
+            &mut db,
+            &mut rng,
+            Command::Set {
+                key: b("k"),
+                value: b("v"),
+                expire: None,
+            },
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Ttl { key: b("k") }),
+            Reply::Int(-1)
+        );
     }
 
     #[test]
@@ -1036,19 +1253,50 @@ mod tests {
         let sim = clock::sim();
         let mut db = Db::new(sim.clone());
         let mut rng = XorShift64::new(1);
-        run(&mut db, &mut rng, Command::Set { key: b("n"), value: b("5"), expire: Some(Duration::from_secs(100)) });
+        run(
+            &mut db,
+            &mut rng,
+            Command::Set {
+                key: b("n"),
+                value: b("5"),
+                expire: Some(Duration::from_secs(100)),
+            },
+        );
         assert_eq!(
-            run(&mut db, &mut rng, Command::IncrBy { key: b("n"), delta: 3 }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::IncrBy {
+                    key: b("n"),
+                    delta: 3
+                }
+            ),
             Reply::Int(8)
         );
-        assert_eq!(run(&mut db, &mut rng, Command::Ttl { key: b("n") }), Reply::Int(100));
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Ttl { key: b("n") }),
+            Reply::Int(100)
+        );
     }
 
     #[test]
     fn incrby_on_non_numeric_fails() {
         let (mut db, mut rng) = fresh();
-        run(&mut db, &mut rng, Command::Set { key: b("s"), value: b("abc"), expire: None });
-        assert!(Command::IncrBy { key: b("s"), delta: 1 }.execute(&mut db, &mut rng).is_err());
+        run(
+            &mut db,
+            &mut rng,
+            Command::Set {
+                key: b("s"),
+                value: b("abc"),
+                expire: None,
+            },
+        );
+        assert!(Command::IncrBy {
+            key: b("s"),
+            delta: 1
+        }
+        .execute(&mut db, &mut rng)
+        .is_err());
     }
 
     #[test]
@@ -1056,11 +1304,25 @@ mod tests {
         let (mut db, mut rng) = fresh();
         let pairs = vec![(b("data"), b("123")), (b("usr"), b("neo"))];
         assert_eq!(
-            run(&mut db, &mut rng, Command::HSet { key: b("rec"), pairs }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::HSet {
+                    key: b("rec"),
+                    pairs
+                }
+            ),
             Reply::Int(2)
         );
         assert_eq!(
-            run(&mut db, &mut rng, Command::HGet { key: b("rec"), field: b("usr") }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::HGet {
+                    key: b("rec"),
+                    field: b("usr")
+                }
+            ),
             Reply::Bulk(b("neo"))
         );
         assert_eq!(
@@ -1070,23 +1332,60 @@ mod tests {
         let all = run(&mut db, &mut rng, Command::HGetAll { key: b("rec") });
         assert_eq!(all.as_array().unwrap().len(), 4);
         assert_eq!(
-            run(&mut db, &mut rng, Command::HDel { key: b("rec"), fields: vec![b("data"), b("usr")] }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::HDel {
+                    key: b("rec"),
+                    fields: vec![b("data"), b("usr")]
+                }
+            ),
             Reply::Int(2)
         );
         // Hash became empty → key removed.
-        assert_eq!(run(&mut db, &mut rng, Command::Exists { keys: vec![b("rec")] }), Reply::Int(0));
+        assert_eq!(
+            run(
+                &mut db,
+                &mut rng,
+                Command::Exists {
+                    keys: vec![b("rec")]
+                }
+            ),
+            Reply::Int(0)
+        );
     }
 
     #[test]
     fn hset_overwrite_counts_only_new_fields() {
         let (mut db, mut rng) = fresh();
-        run(&mut db, &mut rng, Command::HSet { key: b("h"), pairs: vec![(b("f"), b("1"))] });
+        run(
+            &mut db,
+            &mut rng,
+            Command::HSet {
+                key: b("h"),
+                pairs: vec![(b("f"), b("1"))],
+            },
+        );
         assert_eq!(
-            run(&mut db, &mut rng, Command::HSet { key: b("h"), pairs: vec![(b("f"), b("2"))] }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::HSet {
+                    key: b("h"),
+                    pairs: vec![(b("f"), b("2"))]
+                }
+            ),
             Reply::Int(0)
         );
         assert_eq!(
-            run(&mut db, &mut rng, Command::HGet { key: b("h"), field: b("f") }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::HGet {
+                    key: b("h"),
+                    field: b("f")
+                }
+            ),
             Reply::Bulk(b("2"))
         );
     }
@@ -1094,17 +1393,31 @@ mod tests {
     #[test]
     fn wrongtype_across_commands() {
         let (mut db, mut rng) = fresh();
-        run(&mut db, &mut rng, Command::Set { key: b("s"), value: b("v"), expire: None });
+        run(
+            &mut db,
+            &mut rng,
+            Command::Set {
+                key: b("s"),
+                value: b("v"),
+                expire: None,
+            },
+        );
         assert_eq!(
-            Command::HGet { key: b("s"), field: b("f") }
-                .execute(&mut db, &mut rng)
-                .unwrap_err(),
+            Command::HGet {
+                key: b("s"),
+                field: b("f")
+            }
+            .execute(&mut db, &mut rng)
+            .unwrap_err(),
             KvError::WrongType
         );
         assert_eq!(
-            Command::SAdd { key: b("s"), members: vec![b("m")] }
-                .execute(&mut db, &mut rng)
-                .unwrap_err(),
+            Command::SAdd {
+                key: b("s"),
+                members: vec![b("m")]
+            }
+            .execute(&mut db, &mut rng)
+            .unwrap_err(),
             KvError::WrongType
         );
     }
@@ -1113,28 +1426,80 @@ mod tests {
     fn set_commands() {
         let (mut db, mut rng) = fresh();
         assert_eq!(
-            run(&mut db, &mut rng, Command::SAdd { key: b("s"), members: vec![b("a"), b("b"), b("a")] }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::SAdd {
+                    key: b("s"),
+                    members: vec![b("a"), b("b"), b("a")]
+                }
+            ),
             Reply::Int(2)
         );
         assert_eq!(
-            run(&mut db, &mut rng, Command::SIsMember { key: b("s"), member: b("a") }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::SIsMember {
+                    key: b("s"),
+                    member: b("a")
+                }
+            ),
             Reply::Int(1)
         );
-        assert_eq!(run(&mut db, &mut rng, Command::SCard { key: b("s") }), Reply::Int(2));
         assert_eq!(
-            run(&mut db, &mut rng, Command::SRem { key: b("s"), members: vec![b("a"), b("b")] }),
+            run(&mut db, &mut rng, Command::SCard { key: b("s") }),
             Reply::Int(2)
         );
-        assert_eq!(run(&mut db, &mut rng, Command::Exists { keys: vec![b("s")] }), Reply::Int(0));
+        assert_eq!(
+            run(
+                &mut db,
+                &mut rng,
+                Command::SRem {
+                    key: b("s"),
+                    members: vec![b("a"), b("b")]
+                }
+            ),
+            Reply::Int(2)
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Exists { keys: vec![b("s")] }),
+            Reply::Int(0)
+        );
     }
 
     #[test]
     fn list_commands() {
         let (mut db, mut rng) = fresh();
-        run(&mut db, &mut rng, Command::RPush { key: b("l"), values: vec![b("1"), b("2"), b("3")] });
-        run(&mut db, &mut rng, Command::LPush { key: b("l"), values: vec![b("0")] });
-        assert_eq!(run(&mut db, &mut rng, Command::LLen { key: b("l") }), Reply::Int(4));
-        let range = run(&mut db, &mut rng, Command::LRange { key: b("l"), start: 0, stop: -1 });
+        run(
+            &mut db,
+            &mut rng,
+            Command::RPush {
+                key: b("l"),
+                values: vec![b("1"), b("2"), b("3")],
+            },
+        );
+        run(
+            &mut db,
+            &mut rng,
+            Command::LPush {
+                key: b("l"),
+                values: vec![b("0")],
+            },
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::LLen { key: b("l") }),
+            Reply::Int(4)
+        );
+        let range = run(
+            &mut db,
+            &mut rng,
+            Command::LRange {
+                key: b("l"),
+                start: 0,
+                stop: -1,
+            },
+        );
         assert_eq!(
             range,
             Reply::Array(vec![
@@ -1144,8 +1509,14 @@ mod tests {
                 Reply::Bulk(b("3"))
             ])
         );
-        assert_eq!(run(&mut db, &mut rng, Command::LPop { key: b("l") }), Reply::Bulk(b("0")));
-        assert_eq!(run(&mut db, &mut rng, Command::RPop { key: b("l") }), Reply::Bulk(b("3")));
+        assert_eq!(
+            run(&mut db, &mut rng, Command::LPop { key: b("l") }),
+            Reply::Bulk(b("0"))
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::RPop { key: b("l") }),
+            Reply::Bulk(b("3"))
+        );
     }
 
     #[test]
@@ -1154,50 +1525,126 @@ mod tests {
         run(
             &mut db,
             &mut rng,
-            Command::ZAdd { key: b("z"), entries: vec![(2.0, b("b")), (1.0, b("a")), (3.0, b("c"))] },
+            Command::ZAdd {
+                key: b("z"),
+                entries: vec![(2.0, b("b")), (1.0, b("a")), (3.0, b("c"))],
+            },
         );
-        assert_eq!(run(&mut db, &mut rng, Command::ZCard { key: b("z") }), Reply::Int(3));
         assert_eq!(
-            run(&mut db, &mut rng, Command::ZScore { key: b("z"), member: b("b") }),
+            run(&mut db, &mut rng, Command::ZCard { key: b("z") }),
+            Reply::Int(3)
+        );
+        assert_eq!(
+            run(
+                &mut db,
+                &mut rng,
+                Command::ZScore {
+                    key: b("z"),
+                    member: b("b")
+                }
+            ),
             Reply::Bulk(b("2"))
         );
-        let range = run(&mut db, &mut rng, Command::ZRangeByScore { key: b("z"), min: 1.5, max: 3.0, limit: None });
+        let range = run(
+            &mut db,
+            &mut rng,
+            Command::ZRangeByScore {
+                key: b("z"),
+                min: 1.5,
+                max: 3.0,
+                limit: None,
+            },
+        );
         assert_eq!(
             range,
             Reply::Array(vec![Reply::Bulk(b("b")), Reply::Bulk(b("c"))])
         );
-        let by_rank = run(&mut db, &mut rng, Command::ZRange { key: b("z"), start: 0, stop: 1 });
+        let by_rank = run(
+            &mut db,
+            &mut rng,
+            Command::ZRange {
+                key: b("z"),
+                start: 0,
+                stop: 1,
+            },
+        );
         assert_eq!(by_rank.as_array().unwrap().len(), 2);
         assert_eq!(
-            run(&mut db, &mut rng, Command::ZRem { key: b("z"), members: vec![b("a"), b("b"), b("c")] }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::ZRem {
+                    key: b("z"),
+                    members: vec![b("a"), b("b"), b("c")]
+                }
+            ),
             Reply::Int(3)
         );
-        assert_eq!(run(&mut db, &mut rng, Command::Exists { keys: vec![b("z")] }), Reply::Int(0));
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Exists { keys: vec![b("z")] }),
+            Reply::Int(0)
+        );
     }
 
     #[test]
     fn append_and_strlen() {
         let (mut db, mut rng) = fresh();
         assert_eq!(
-            run(&mut db, &mut rng, Command::Append { key: b("s"), value: b("foo") }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::Append {
+                    key: b("s"),
+                    value: b("foo")
+                }
+            ),
             Reply::Int(3)
         );
         assert_eq!(
-            run(&mut db, &mut rng, Command::Append { key: b("s"), value: b("bar") }),
+            run(
+                &mut db,
+                &mut rng,
+                Command::Append {
+                    key: b("s"),
+                    value: b("bar")
+                }
+            ),
             Reply::Int(6)
         );
-        assert_eq!(run(&mut db, &mut rng, Command::Strlen { key: b("s") }), Reply::Int(6));
-        assert_eq!(run(&mut db, &mut rng, Command::Get { key: b("s") }), Reply::Bulk(b("foobar")));
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Strlen { key: b("s") }),
+            Reply::Int(6)
+        );
+        assert_eq!(
+            run(&mut db, &mut rng, Command::Get { key: b("s") }),
+            Reply::Bulk(b("foobar"))
+        );
     }
 
     #[test]
     fn scan_and_dbsize() {
         let (mut db, mut rng) = fresh();
         for i in 0..25 {
-            run(&mut db, &mut rng, Command::Set { key: b(&format!("k{i}")), value: b("v"), expire: None });
+            run(
+                &mut db,
+                &mut rng,
+                Command::Set {
+                    key: b(&format!("k{i}")),
+                    value: b("v"),
+                    expire: None,
+                },
+            );
         }
         assert_eq!(run(&mut db, &mut rng, Command::DbSize), Reply::Int(25));
-        let reply = run(&mut db, &mut rng, Command::Scan { cursor: 0, count: 10, pattern: None });
+        let reply = run(
+            &mut db,
+            &mut rng,
+            Command::Scan {
+                cursor: 0,
+                count: 10,
+                pattern: None,
+            },
+        );
         let parts = reply.as_array().unwrap();
         assert_eq!(parts[0], Reply::Int(10));
         assert_eq!(parts[1].as_array().unwrap().len(), 10);
@@ -1206,54 +1653,140 @@ mod tests {
     #[test]
     fn wire_roundtrip_all_commands() {
         let samples = vec![
-            Command::Set { key: b("k"), value: b("v"), expire: Some(Duration::from_millis(1500)) },
-            Command::Set { key: b("k"), value: b("v"), expire: None },
+            Command::Set {
+                key: b("k"),
+                value: b("v"),
+                expire: Some(Duration::from_millis(1500)),
+            },
+            Command::Set {
+                key: b("k"),
+                value: b("v"),
+                expire: None,
+            },
             Command::Get { key: b("k") },
-            Command::Del { keys: vec![b("a"), b("b")] },
+            Command::Del {
+                keys: vec![b("a"), b("b")],
+            },
             Command::Exists { keys: vec![b("a")] },
-            Command::Expire { key: b("k"), ttl: Duration::from_secs(9) },
-            Command::ExpireAt { key: b("k"), at_ms: 123456 },
+            Command::Expire {
+                key: b("k"),
+                ttl: Duration::from_secs(9),
+            },
+            Command::ExpireAt {
+                key: b("k"),
+                at_ms: 123456,
+            },
             Command::Ttl { key: b("k") },
             Command::Persist { key: b("k") },
             Command::TypeOf { key: b("k") },
-            Command::Keys { pattern: b("rec:*") },
-            Command::Scan { cursor: 5, count: 64, pattern: Some(b("x*")) },
-            Command::Scan { cursor: 0, count: 10, pattern: None },
+            Command::Keys {
+                pattern: b("rec:*"),
+            },
+            Command::Scan {
+                cursor: 5,
+                count: 64,
+                pattern: Some(b("x*")),
+            },
+            Command::Scan {
+                cursor: 0,
+                count: 10,
+                pattern: None,
+            },
             Command::RandomKey,
             Command::DbSize,
             Command::FlushAll,
-            Command::IncrBy { key: b("n"), delta: -4 },
-            Command::Append { key: b("s"), value: b("x") },
+            Command::IncrBy {
+                key: b("n"),
+                delta: -4,
+            },
+            Command::Append {
+                key: b("s"),
+                value: b("x"),
+            },
             Command::Strlen { key: b("s") },
-            Command::HSet { key: b("h"), pairs: vec![(b("f"), b("v"))] },
-            Command::HGet { key: b("h"), field: b("f") },
+            Command::HSet {
+                key: b("h"),
+                pairs: vec![(b("f"), b("v"))],
+            },
+            Command::HGet {
+                key: b("h"),
+                field: b("f"),
+            },
             Command::HGetAll { key: b("h") },
-            Command::HDel { key: b("h"), fields: vec![b("f")] },
+            Command::HDel {
+                key: b("h"),
+                fields: vec![b("f")],
+            },
             Command::HLen { key: b("h") },
-            Command::HExists { key: b("h"), field: b("f") },
-            Command::SAdd { key: b("s"), members: vec![b("m")] },
-            Command::SRem { key: b("s"), members: vec![b("m")] },
+            Command::HExists {
+                key: b("h"),
+                field: b("f"),
+            },
+            Command::SAdd {
+                key: b("s"),
+                members: vec![b("m")],
+            },
+            Command::SRem {
+                key: b("s"),
+                members: vec![b("m")],
+            },
             Command::SMembers { key: b("s") },
-            Command::SIsMember { key: b("s"), member: b("m") },
+            Command::SIsMember {
+                key: b("s"),
+                member: b("m"),
+            },
             Command::SCard { key: b("s") },
-            Command::LPush { key: b("l"), values: vec![b("v")] },
-            Command::RPush { key: b("l"), values: vec![b("v")] },
+            Command::LPush {
+                key: b("l"),
+                values: vec![b("v")],
+            },
+            Command::RPush {
+                key: b("l"),
+                values: vec![b("v")],
+            },
             Command::LPop { key: b("l") },
             Command::RPop { key: b("l") },
-            Command::LRange { key: b("l"), start: 0, stop: -1 },
+            Command::LRange {
+                key: b("l"),
+                start: 0,
+                stop: -1,
+            },
             Command::LLen { key: b("l") },
-            Command::ZAdd { key: b("z"), entries: vec![(1.5, b("m"))] },
-            Command::ZRem { key: b("z"), members: vec![b("m")] },
-            Command::ZScore { key: b("z"), member: b("m") },
+            Command::ZAdd {
+                key: b("z"),
+                entries: vec![(1.5, b("m"))],
+            },
+            Command::ZRem {
+                key: b("z"),
+                members: vec![b("m")],
+            },
+            Command::ZScore {
+                key: b("z"),
+                member: b("m"),
+            },
             Command::ZCard { key: b("z") },
-            Command::ZRangeByScore { key: b("z"), min: 0.0, max: 10.0, limit: None },
-            Command::ZRangeByScore { key: b("z"), min: 0.0, max: 10.0, limit: Some(25) },
-            Command::ZRange { key: b("z"), start: 0, stop: 5 },
+            Command::ZRangeByScore {
+                key: b("z"),
+                min: 0.0,
+                max: 10.0,
+                limit: None,
+            },
+            Command::ZRangeByScore {
+                key: b("z"),
+                min: 0.0,
+                max: 10.0,
+                limit: Some(25),
+            },
+            Command::ZRange {
+                key: b("z"),
+                start: 0,
+                stop: 5,
+            },
         ];
         for cmd in samples {
             let wire = cmd.to_wire();
-            let parsed = Command::from_wire(&wire)
-                .unwrap_or_else(|e| panic!("{}: {e}", cmd.name()));
+            let parsed =
+                Command::from_wire(&wire).unwrap_or_else(|e| panic!("{}: {e}", cmd.name()));
             assert_eq!(parsed, cmd, "wire roundtrip mismatch for {}", cmd.name());
         }
     }
@@ -1296,11 +1829,21 @@ mod tests {
 
     #[test]
     fn write_classification() {
-        assert!(Command::Set { key: b("k"), value: b("v"), expire: None }.is_write());
+        assert!(Command::Set {
+            key: b("k"),
+            value: b("v"),
+            expire: None
+        }
+        .is_write());
         assert!(Command::FlushAll.is_write());
         assert!(Command::LPop { key: b("l") }.is_write());
         assert!(!Command::Get { key: b("k") }.is_write());
-        assert!(!Command::Scan { cursor: 0, count: 1, pattern: None }.is_write());
+        assert!(!Command::Scan {
+            cursor: 0,
+            count: 1,
+            pattern: None
+        }
+        .is_write());
         assert!(!Command::HGetAll { key: b("h") }.is_write());
     }
 }

@@ -13,6 +13,14 @@ use crate::value::Value;
 use bytes::Bytes;
 use clock::{SharedClock, Timestamp};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Callback invoked with the key of every record the store expires itself
+/// (lazily on access or in an active expiration cycle). GDPR layers hang
+/// index invalidation off this: a reaped key must vanish from any metadata
+/// index at the same instant it vanishes from the keyspace, or the index
+/// would keep advertising erased personal data.
+pub type ExpiryListener = Arc<dyn Fn(&[u8]) + Send + Sync>;
 
 /// The keyspace.
 pub struct Db {
@@ -25,6 +33,8 @@ pub struct Db {
     clock: SharedClock,
     /// Count of keys reaped lazily on access, for INFO/stats.
     lazy_expired: u64,
+    /// Notified on every TTL-driven eviction (never on plain DEL).
+    expiry_listener: Option<ExpiryListener>,
 }
 
 impl Db {
@@ -36,6 +46,20 @@ impl Db {
             key_index: SampleSet::new(),
             clock,
             lazy_expired: 0,
+            expiry_listener: None,
+        }
+    }
+
+    /// Register the TTL-eviction callback. One listener at a time; the
+    /// store invokes it after the key is gone from the keyspace, while the
+    /// command lock is held — listeners must not call back into the store.
+    pub fn set_expiry_listener(&mut self, listener: ExpiryListener) {
+        self.expiry_listener = Some(listener);
+    }
+
+    fn notify_expired(&self, key: &[u8]) {
+        if let Some(listener) = &self.expiry_listener {
+            listener(key);
         }
     }
 
@@ -68,6 +92,7 @@ impl Db {
             let owned = Bytes::copy_from_slice(key);
             self.remove(&owned);
             self.lazy_expired += 1;
+            self.notify_expired(&owned);
             true
         } else {
             false
@@ -210,6 +235,7 @@ impl Db {
     pub fn evict_if_due(&mut self, key: &Bytes) -> bool {
         if self.is_past_due(key) {
             self.remove(key);
+            self.notify_expired(key);
             true
         } else {
             false
@@ -307,9 +333,48 @@ mod tests {
         db.set_expiry(b"k", Timestamp::from_secs(10));
         assert!(db.exists(b"k"));
         sim.advance(Duration::from_secs(11));
-        assert!(db.get(b"k").is_none(), "past-due key must be reaped on access");
+        assert!(
+            db.get(b"k").is_none(),
+            "past-due key must be reaped on access"
+        );
         assert_eq!(db.len(), 0);
         assert_eq!(db.lazy_expired_count(), 1);
+    }
+
+    #[test]
+    fn expiry_listener_fires_on_lazy_reap() {
+        let (sim, mut db) = sim_db();
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        db.set_expiry_listener(Arc::new(move |key| {
+            sink.lock().unwrap().push(key.to_vec());
+        }));
+        db.set(b("k"), Value::Str(b("v")));
+        db.set_expiry(b"k", Timestamp::from_secs(10));
+        sim.advance(Duration::from_secs(11));
+        assert!(db.get(b"k").is_none());
+        assert_eq!(*seen.lock().unwrap(), vec![b"k".to_vec()]);
+    }
+
+    #[test]
+    fn expiry_listener_fires_on_active_eviction_not_plain_delete() {
+        let (sim, mut db) = sim_db();
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        db.set_expiry_listener(Arc::new(move |key| {
+            sink.lock().unwrap().push(key.to_vec());
+        }));
+        db.set(b("gone"), Value::Str(b("v")));
+        db.set(b("expires"), Value::Str(b("v")));
+        db.set_expiry(b"expires", Timestamp::from_secs(1));
+        db.remove(&b("gone"));
+        assert!(
+            seen.lock().unwrap().is_empty(),
+            "plain DEL is not an expiry"
+        );
+        sim.advance(Duration::from_secs(2));
+        assert!(db.evict_if_due(&b("expires")));
+        assert_eq!(*seen.lock().unwrap(), vec![b"expires".to_vec()]);
     }
 
     #[test]
@@ -365,9 +430,7 @@ mod tests {
         let mut rng = XorShift64::new(1);
         let sampled = db.sample_expire_keys(20, &mut rng);
         assert_eq!(sampled.len(), 20, "sampling is with replacement");
-        assert!(sampled
-            .iter()
-            .all(|k| db.expiry_of(k).is_some()));
+        assert!(sampled.iter().all(|k| db.expiry_of(k).is_some()));
     }
 
     #[test]
@@ -434,15 +497,19 @@ mod tests {
         let (_c, mut db) = sim_db();
         db.set(b("s"), Value::Str(b("v")));
         let err = db
-            .get_or_create(b"s", || Value::Hash(Default::default()), |v| {
-                matches!(v, Value::Hash(_))
-            })
+            .get_or_create(
+                b"s",
+                || Value::Hash(Default::default()),
+                |v| matches!(v, Value::Hash(_)),
+            )
             .unwrap_err();
         assert_eq!(err, KvError::WrongType);
         assert!(db
-            .get_or_create(b"h", || Value::Hash(Default::default()), |v| {
-                matches!(v, Value::Hash(_))
-            })
+            .get_or_create(
+                b"h",
+                || Value::Hash(Default::default()),
+                |v| { matches!(v, Value::Hash(_)) }
+            )
             .is_ok());
     }
 }

@@ -20,7 +20,10 @@ impl fmt::Display for KvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KvError::WrongType => {
-                write!(f, "WRONGTYPE operation against a key holding the wrong kind of value")
+                write!(
+                    f,
+                    "WRONGTYPE operation against a key holding the wrong kind of value"
+                )
             }
             KvError::Syntax(msg) => write!(f, "syntax error: {msg}"),
             KvError::Aof(msg) => write!(f, "append-only file error: {msg}"),

@@ -105,8 +105,7 @@ impl ExpirationCycle {
                 }
             }
             stats.reaped += reaped_this_round;
-            if reaped_this_round < REPEAT_THRESHOLD
-                || stats.iterations >= MAX_ITERATIONS_PER_CYCLE
+            if reaped_this_round < REPEAT_THRESHOLD || stats.iterations >= MAX_ITERATIONS_PER_CYCLE
             {
                 break;
             }
@@ -218,7 +217,10 @@ mod tests {
         sim.advance(std::time::Duration::from_secs(2));
         let mut cycle = ExpirationCycle::new(ExpirationMode::Lazy);
         let stats = cycle.run_cycle(&mut db);
-        assert!(stats.iterations > 1, "cycle should repeat under heavy expiry");
+        assert!(
+            stats.iterations > 1,
+            "cycle should repeat under heavy expiry"
+        );
         assert!(stats.reaped > SAMPLES_PER_ITERATION);
     }
 

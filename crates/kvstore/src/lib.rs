@@ -43,10 +43,10 @@ pub mod server;
 pub mod skiplist;
 pub mod value;
 
+pub use bytes::Bytes;
 pub use commands::{Command, Reply};
 pub use config::{FsyncPolicy, KvConfig};
 pub use error::KvError;
 pub use expire::ExpirationMode;
 pub use server::KvStore;
 pub use value::Value;
-pub use bytes::Bytes;

@@ -171,10 +171,9 @@ fn encode_value(out: &mut Vec<u8>, value: &Value) {
 
 fn decode_value(buf: &[u8], pos: &mut usize) -> KvResult<Value> {
     let tag = take(buf, pos, 1)?[0];
-    let count =
-        |buf: &[u8], pos: &mut usize| -> KvResult<usize> {
-            Ok(u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()) as usize)
-        };
+    let count = |buf: &[u8], pos: &mut usize| -> KvResult<usize> {
+        Ok(u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()) as usize)
+    };
     Ok(match tag {
         0 => Value::Str(decode_bytes(buf, pos)?),
         1 => {
@@ -234,23 +233,55 @@ mod tests {
         let run = |db: &mut Db, rng: &mut XorShift64, cmd: Command| {
             cmd.execute(db, rng).unwrap();
         };
-        run(&mut db, &mut rng, Command::Set { key: b("s"), value: b("v"), expire: None });
         run(
             &mut db,
             &mut rng,
-            Command::Set { key: b("exp"), value: b("v"), expire: Some(Duration::from_secs(60)) },
+            Command::Set {
+                key: b("s"),
+                value: b("v"),
+                expire: None,
+            },
         );
-        run(&mut db, &mut rng, Command::RPush { key: b("l"), values: vec![b("1"), b("2")] });
         run(
             &mut db,
             &mut rng,
-            Command::HSet { key: b("h"), pairs: vec![(b("f"), b("x")), (b("g"), b("y"))] },
+            Command::Set {
+                key: b("exp"),
+                value: b("v"),
+                expire: Some(Duration::from_secs(60)),
+            },
         );
-        run(&mut db, &mut rng, Command::SAdd { key: b("set"), members: vec![b("a"), b("b")] });
         run(
             &mut db,
             &mut rng,
-            Command::ZAdd { key: b("z"), entries: vec![(2.0, b("two")), (1.0, b("one"))] },
+            Command::RPush {
+                key: b("l"),
+                values: vec![b("1"), b("2")],
+            },
+        );
+        run(
+            &mut db,
+            &mut rng,
+            Command::HSet {
+                key: b("h"),
+                pairs: vec![(b("f"), b("x")), (b("g"), b("y"))],
+            },
+        );
+        run(
+            &mut db,
+            &mut rng,
+            Command::SAdd {
+                key: b("set"),
+                members: vec![b("a"), b("b")],
+            },
+        );
+        run(
+            &mut db,
+            &mut rng,
+            Command::ZAdd {
+                key: b("z"),
+                entries: vec![(2.0, b("two")), (1.0, b("one"))],
+            },
         );
         db
     }
@@ -264,9 +295,13 @@ mod tests {
         assert_eq!(restore(&mut restored, &snap, None).unwrap(), 6);
         assert_eq!(restored.len(), 6);
         let mut rng = XorShift64::new(2);
-        let reply = Command::ZRange { key: b("z"), start: 0, stop: -1 }
-            .execute(&mut restored, &mut rng)
-            .unwrap();
+        let reply = Command::ZRange {
+            key: b("z"),
+            start: 0,
+            stop: -1,
+        }
+        .execute(&mut restored, &mut rng)
+        .unwrap();
         assert_eq!(reply.as_array().unwrap().len(), 2);
         // Expiry carried over as an absolute deadline.
         sim.advance(Duration::from_secs(61));

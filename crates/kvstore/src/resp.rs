@@ -111,7 +111,10 @@ mod tests {
     fn truncated_input_is_rejected() {
         let enc = encode_command(&[b("SET"), b("key"), b("value")]);
         for cut in [1, 5, 10, enc.len() - 1] {
-            assert!(parse_command(&enc[..cut]).is_err(), "cut at {cut} should fail");
+            assert!(
+                parse_command(&enc[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
         }
     }
 

@@ -17,7 +17,11 @@ impl XorShift64 {
     /// Seed the generator. A zero seed is remapped (xorshift cannot hold 0).
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -74,6 +78,9 @@ mod tests {
         for _ in 0..1000 {
             seen[r.next_below(8)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 }

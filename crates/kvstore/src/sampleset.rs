@@ -46,7 +46,10 @@ impl<T: Eq + Hash + Clone> SampleSet<T> {
         self.items.pop();
         if idx < self.items.len() {
             // Patch the index of the element that was swapped into `idx`.
-            *self.pos.get_mut(&self.items[idx]).expect("swapped element indexed") = idx;
+            *self
+                .pos
+                .get_mut(&self.items[idx])
+                .expect("swapped element indexed") = idx;
         }
         true
     }

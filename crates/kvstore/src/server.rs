@@ -162,15 +162,29 @@ impl KvStore {
     /// replay at a later time does not resurrect TTLs.
     fn aof_form(cmd: &Command, db: &Db) -> Vec<Command> {
         match cmd {
-            Command::Set { key, value, expire: Some(_) } => {
+            Command::Set {
+                key,
+                value,
+                expire: Some(_),
+            } => {
                 let at = db.expiry_of(key).expect("expiry was just set");
                 vec![
-                    Command::Set { key: key.clone(), value: value.clone(), expire: None },
-                    Command::ExpireAt { key: key.clone(), at_ms: at.as_millis() },
+                    Command::Set {
+                        key: key.clone(),
+                        value: value.clone(),
+                        expire: None,
+                    },
+                    Command::ExpireAt {
+                        key: key.clone(),
+                        at_ms: at.as_millis(),
+                    },
                 ]
             }
             Command::Expire { key, .. } => match db.expiry_of(key) {
-                Some(at) => vec![Command::ExpireAt { key: key.clone(), at_ms: at.as_millis() }],
+                Some(at) => vec![Command::ExpireAt {
+                    key: key.clone(),
+                    at_ms: at.as_millis(),
+                }],
                 // EXPIRE on a missing key mutates nothing; log nothing.
                 None => vec![],
             },
@@ -244,7 +258,11 @@ impl KvStore {
 
     /// Handle to the in-memory AOF buffer (memory-backed stores only).
     pub fn aof_memory_buffer(&self) -> Option<aof::MemBuffer> {
-        self.inner.lock().aof.as_ref().and_then(|a| a.memory_buffer())
+        self.inner
+            .lock()
+            .aof
+            .as_ref()
+            .and_then(|a| a.memory_buffer())
     }
 
     /// Serialize the keyspace to a point-in-time snapshot (the RDB file),
@@ -319,14 +337,18 @@ impl KvStore {
 
     pub fn get(&self, key: &[u8]) -> KvResult<Option<Bytes>> {
         Ok(self
-            .execute(Command::Get { key: Bytes::copy_from_slice(key) })?
+            .execute(Command::Get {
+                key: Bytes::copy_from_slice(key),
+            })?
             .as_bulk()
             .cloned())
     }
 
     pub fn del(&self, key: &[u8]) -> KvResult<bool> {
         Ok(self
-            .execute(Command::Del { keys: vec![Bytes::copy_from_slice(key)] })?
+            .execute(Command::Del {
+                keys: vec![Bytes::copy_from_slice(key)],
+            })?
             .as_int()
             .unwrap_or(0)
             > 0)
@@ -334,7 +356,9 @@ impl KvStore {
 
     pub fn exists(&self, key: &[u8]) -> KvResult<bool> {
         Ok(self
-            .execute(Command::Exists { keys: vec![Bytes::copy_from_slice(key)] })?
+            .execute(Command::Exists {
+                keys: vec![Bytes::copy_from_slice(key)],
+            })?
             .as_int()
             .unwrap_or(0)
             > 0)
@@ -342,7 +366,10 @@ impl KvStore {
 
     pub fn expire(&self, key: &[u8], ttl: Duration) -> KvResult<bool> {
         Ok(self
-            .execute(Command::Expire { key: Bytes::copy_from_slice(key), ttl })?
+            .execute(Command::Expire {
+                key: Bytes::copy_from_slice(key),
+                ttl,
+            })?
             .as_int()
             .unwrap_or(0)
             > 0)
@@ -360,6 +387,21 @@ impl KvStore {
     /// Approximate memory footprint of the keyspace (Table 3 metric).
     pub fn memory_usage(&self) -> usize {
         self.inner.lock().db.memory_usage()
+    }
+
+    /// The absolute expiry deadline of `key`, if any — millisecond
+    /// precision, unlike the seconds-truncating `TTL` command. Connectors
+    /// use this to preserve a record's exact deadline across rewrites.
+    pub fn expiry_at(&self, key: &[u8]) -> Option<clock::Timestamp> {
+        self.inner.lock().db.expiry_of(key)
+    }
+
+    /// Register the TTL-eviction callback (see [`crate::db::ExpiryListener`]):
+    /// invoked for every key the store expires itself, whether lazily on
+    /// access or in an active expiration cycle. Called with the command
+    /// lock held — the listener must not call back into this store.
+    pub fn set_expiry_listener(&self, listener: crate::db::ExpiryListener) {
+        self.inner.lock().db.set_expiry_listener(listener);
     }
 }
 
@@ -465,7 +507,10 @@ mod tests {
         store.set(b"b", b"2").unwrap();
         store.del(b"a").unwrap();
         store
-            .execute(Command::HSet { key: b("h"), pairs: vec![(b("f"), b("v"))] })
+            .execute(Command::HSet {
+                key: b("h"),
+                pairs: vec![(b("f"), b("v"))],
+            })
             .unwrap();
         let raw = store.aof_memory_buffer().unwrap().lock().clone();
 
@@ -474,7 +519,10 @@ mod tests {
         assert_eq!(replayed.get(b"b").unwrap().unwrap().as_ref(), b"2");
         assert_eq!(
             replayed
-                .execute(Command::HGet { key: b("h"), field: b("f") })
+                .execute(Command::HGet {
+                    key: b("h"),
+                    field: b("f")
+                })
                 .unwrap(),
             Reply::Bulk(b("v"))
         );
@@ -493,7 +541,10 @@ mod tests {
         let raw = store.aof_memory_buffer().unwrap().lock().clone();
         assert!(!raw.windows(7).any(|w| w == b"payload"));
         let replayed = KvStore::replay(config, &raw, clock::wall()).unwrap();
-        assert_eq!(replayed.get(b"secret").unwrap().unwrap().as_ref(), b"payload");
+        assert_eq!(
+            replayed.get(b"secret").unwrap().unwrap().as_ref(),
+            b"payload"
+        );
     }
 
     #[test]

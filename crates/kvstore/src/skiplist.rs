@@ -84,7 +84,12 @@ impl SkipList {
             loop {
                 let nxt = self.nodes[x].next[l];
                 if nxt != NIL
-                    && Self::before(self.nodes[nxt].score, &self.nodes[nxt].member, score, member)
+                    && Self::before(
+                        self.nodes[nxt].score,
+                        &self.nodes[nxt].member,
+                        score,
+                        member,
+                    )
                 {
                     x = nxt;
                 } else {
@@ -267,7 +272,10 @@ mod tests {
     fn remove_nonexistent_is_false() {
         let mut sl = SkipList::new();
         sl.insert(b("a"), 1.0);
-        assert!(!sl.remove(b"a".as_ref(), 2.0), "wrong score must not remove");
+        assert!(
+            !sl.remove(b"a".as_ref(), 2.0),
+            "wrong score must not remove"
+        );
         assert!(!sl.remove(b"b".as_ref(), 1.0));
         assert_eq!(sl.len(), 1);
     }
@@ -317,8 +325,8 @@ mod tests {
         }
         assert_eq!(sl.len(), model.len());
         let all = sl.iter_all();
-        assert!(all.windows(2).all(|w| {
-            w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 <= w[1].0)
-        }));
+        assert!(all
+            .windows(2)
+            .all(|w| { w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 <= w[1].0) }));
     }
 }

@@ -43,7 +43,10 @@ impl<K: Ord + Clone, V: Clone + PartialEq> Default for BPlusTree<K, V> {
 impl<K: Ord + Clone, V: Clone + PartialEq> BPlusTree<K, V> {
     pub fn new() -> Self {
         BPlusTree {
-            root: Box::new(Node::Leaf { keys: Vec::new(), postings: Vec::new() }),
+            root: Box::new(Node::Leaf {
+                keys: Vec::new(),
+                postings: Vec::new(),
+            }),
             distinct_keys: 0,
             entries: 0,
         }
@@ -71,7 +74,10 @@ impl<K: Ord + Clone, V: Clone + PartialEq> BPlusTree<K, V> {
             // Root split: grow the tree by one level.
             let old_root = std::mem::replace(
                 &mut self.root,
-                Box::new(Node::Internal { separators: vec![sep], children: Vec::new() }),
+                Box::new(Node::Internal {
+                    separators: vec![sep],
+                    children: Vec::new(),
+                }),
             );
             if let Node::Internal { children, .. } = self.root.as_mut() {
                 children.push(old_root);
@@ -95,38 +101,39 @@ impl<K: Ord + Clone, V: Clone + PartialEq> BPlusTree<K, V> {
         value: V,
     ) -> (bool, bool, Option<(K, Box<Node<K, V>>)>) {
         match node {
-            Node::Leaf { keys, postings } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => {
-                        if postings[i].contains(&value) {
-                            return (false, false, None);
-                        }
-                        postings[i].push(value);
-                        (true, false, None)
+            Node::Leaf { keys, postings } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    if postings[i].contains(&value) {
+                        return (false, false, None);
                     }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        postings.insert(i, vec![value]);
-                        let split = if keys.len() > ORDER {
-                            let mid = keys.len() / 2;
-                            let right_keys = keys.split_off(mid);
-                            let right_postings = postings.split_off(mid);
-                            let sep = right_keys[0].clone();
-                            (Some((
-                                sep,
-                                Box::new(Node::Leaf {
-                                    keys: right_keys,
-                                    postings: right_postings,
-                                }),
-                            ))) as Option<(K, Box<Node<K, V>>)>
-                        } else {
-                            None
-                        };
-                        (true, true, split)
-                    }
+                    postings[i].push(value);
+                    (true, false, None)
                 }
-            }
-            Node::Internal { separators, children } => {
+                Err(i) => {
+                    keys.insert(i, key);
+                    postings.insert(i, vec![value]);
+                    let split = if keys.len() > ORDER {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_postings = postings.split_off(mid);
+                        let sep = right_keys[0].clone();
+                        (Some((
+                            sep,
+                            Box::new(Node::Leaf {
+                                keys: right_keys,
+                                postings: right_postings,
+                            }),
+                        ))) as Option<(K, Box<Node<K, V>>)>
+                    } else {
+                        None
+                    };
+                    (true, true, split)
+                }
+            },
+            Node::Internal {
+                separators,
+                children,
+            } => {
                 let idx = match separators.binary_search(&key) {
                     Ok(i) => i + 1,
                     Err(i) => i,
@@ -187,7 +194,10 @@ impl<K: Ord + Clone, V: Clone + PartialEq> BPlusTree<K, V> {
                 }
                 Err(_) => (false, false),
             },
-            Node::Internal { separators, children } => {
+            Node::Internal {
+                separators,
+                children,
+            } => {
                 let idx = match separators.binary_search(key) {
                     Ok(i) => i + 1,
                     Err(i) => i,
@@ -208,7 +218,10 @@ impl<K: Ord + Clone, V: Clone + PartialEq> BPlusTree<K, V> {
                         Err(_) => &[],
                     };
                 }
-                Node::Internal { separators, children } => {
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
                     let idx = match separators.binary_search(key) {
                         Ok(i) => i + 1,
                         Err(i) => i,
@@ -245,7 +258,10 @@ impl<K: Ord + Clone, V: Clone + PartialEq> BPlusTree<K, V> {
                     }
                 }
             }
-            Node::Internal { separators, children } => {
+            Node::Internal {
+                separators,
+                children,
+            } => {
                 // `separators[i]` is the smallest key under `children[i+1]`,
                 // so keys == lo live in child `partition_point(s <= lo)` and
                 // the last child that can hold keys <= hi is
@@ -328,7 +344,10 @@ mod tests {
         assert_eq!(t.key_count(), n as usize);
         let all = t.iter_all();
         assert_eq!(all.len(), n as usize);
-        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "keys must be sorted");
+        assert!(
+            all.windows(2).all(|w| w[0].0 < w[1].0),
+            "keys must be sorted"
+        );
         assert!(
             t.depth() <= 4,
             "10k keys at order 32 should be ≤4 levels, got {}",

@@ -179,17 +179,20 @@ impl Database {
                 if tables.contains_key(table) {
                     return Err(RelError::TableExists(table.clone()));
                 }
-                let schema = Schema::new(
-                    columns.iter().map(|(n, t)| (n.as_str(), *t)).collect(),
-                    pk,
-                )?;
+                let schema =
+                    Schema::new(columns.iter().map(|(n, t)| (n.as_str(), *t)).collect(), pk)?;
                 tables.insert(
                     table.clone(),
                     Arc::new(RwLock::new(Table::new(table.clone(), schema))),
                 );
                 Ok(StatementResult::Done)
             }
-            Statement::CreateIndex { table, index, column, inverted } => {
+            Statement::CreateIndex {
+                table,
+                index,
+                column,
+                inverted,
+            } => {
                 let t = self.table(table)?;
                 t.write().create_index(index, column, *inverted)?;
                 Ok(StatementResult::Done)
@@ -210,7 +213,12 @@ impl Database {
                 let rows = t.read().select(pred)?;
                 Ok(StatementResult::Rows(rows))
             }
-            Statement::SelectRange { table, column, start, limit } => {
+            Statement::SelectRange {
+                table,
+                column,
+                start,
+                limit,
+            } => {
                 let t = self.table(table)?;
                 let rows = t.read().select_range(column, start, *limit)?;
                 Ok(StatementResult::Rows(rows))
@@ -220,7 +228,11 @@ impl Database {
                 let n = t.read().count(pred)?;
                 Ok(StatementResult::Count(n))
             }
-            Statement::Update { table, pred, assignments } => {
+            Statement::Update {
+                table,
+                pred,
+                assignments,
+            } => {
                 let t = self.table(table)?;
                 let n = t.write().update_where(pred, assignments)?;
                 Ok(StatementResult::Updated(n))
@@ -312,7 +324,8 @@ mod tests {
         let db = Database::open(RelConfig::default()).unwrap();
         db.execute(&create_stmt()).unwrap();
         for i in 0..10 {
-            db.execute(&insert_stmt(&format!("k{i}"), "neo", 100)).unwrap();
+            db.execute(&insert_stmt(&format!("k{i}"), "neo", 100))
+                .unwrap();
         }
         let result = db
             .execute(&Statement::Select {
@@ -393,9 +406,13 @@ mod tests {
         };
         let db = Database::open(config.clone()).unwrap();
         db.execute(&create_stmt()).unwrap();
-        db.execute(&insert_stmt("secret-key", "trinity", 0)).unwrap();
+        db.execute(&insert_stmt("secret-key", "trinity", 0))
+            .unwrap();
         let raw = db.wal_memory_buffer().unwrap().lock().clone();
-        assert!(!raw.windows(7).any(|w| w == b"trinity"), "WAL must be sealed");
+        assert!(
+            !raw.windows(7).any(|w| w == b"trinity"),
+            "WAL must be sealed"
+        );
         let recovered = Database::recover(config, &raw, clock::wall()).unwrap();
         assert_eq!(
             recovered.table("personal_data").unwrap().read().row_count(),
@@ -451,7 +468,11 @@ mod tests {
             pred: Predicate::True,
         })
         .unwrap();
-        assert_eq!(db.query_log().unwrap().len(), 2, "reads logged in GDPR mode");
+        assert_eq!(
+            db.query_log().unwrap().len(),
+            2,
+            "reads logged in GDPR mode"
+        );
     }
 
     #[test]
@@ -459,14 +480,16 @@ mod tests {
         let db = Database::open(RelConfig::default()).unwrap();
         db.execute(&create_stmt()).unwrap();
         for i in 0..100 {
-            db.execute(&insert_stmt(&format!("seed{i}"), "u", 0)).unwrap();
+            db.execute(&insert_stmt(&format!("seed{i}"), "u", 0))
+                .unwrap();
         }
         let mut handles = vec![];
         for t in 0..4 {
             let db = Arc::clone(&db);
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
-                    db.execute(&insert_stmt(&format!("t{t}-k{i}"), "w", 0)).unwrap();
+                    db.execute(&insert_stmt(&format!("t{t}-k{i}"), "w", 0))
+                        .unwrap();
                     db.execute(&Statement::Count {
                         table: "personal_data".into(),
                         pred: Predicate::eq_text("usr", "w"),
@@ -488,7 +511,8 @@ mod tests {
         db.execute(&create_stmt()).unwrap();
         let empty = db.total_size_bytes();
         for i in 0..50 {
-            db.execute(&insert_stmt(&format!("k{i}"), "neo", 1)).unwrap();
+            db.execute(&insert_stmt(&format!("k{i}"), "neo", 1))
+                .unwrap();
         }
         assert!(db.total_size_bytes() > empty);
     }

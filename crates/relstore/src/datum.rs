@@ -160,9 +160,7 @@ impl Datum {
                 let mut items = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     let len = take_u32(buf, pos)? as usize;
-                    items.push(
-                        String::from_utf8(take(buf, pos, len)?).map_err(|e| e.to_string())?,
-                    );
+                    items.push(String::from_utf8(take(buf, pos, len)?).map_err(|e| e.to_string())?);
                 }
                 Datum::TextArray(items)
             }
@@ -237,10 +235,7 @@ mod tests {
 
     #[test]
     fn sql_cmp_same_types() {
-        assert_eq!(
-            Datum::Int(1).sql_cmp(&Datum::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Datum::Int(1).sql_cmp(&Datum::Int(2)), Some(Ordering::Less));
         assert_eq!(
             Datum::Text("a".into()).sql_cmp(&Datum::Text("a".into())),
             Some(Ordering::Equal)
@@ -306,11 +301,13 @@ mod tests {
 
     #[test]
     fn index_key_total_order() {
-        let mut keys = [IndexKey(Datum::Null),
+        let mut keys = [
+            IndexKey(Datum::Null),
             IndexKey(Datum::Text("b".into())),
             IndexKey(Datum::Int(5)),
             IndexKey(Datum::Text("a".into())),
-            IndexKey(Datum::Int(1))];
+            IndexKey(Datum::Int(1)),
+        ];
         keys.sort();
         // Ints before texts before null.
         assert_eq!(keys[0].0, Datum::Int(1));

@@ -8,7 +8,11 @@ pub enum RelError {
     /// Referenced column does not exist in the table's schema.
     NoSuchColumn(String),
     /// A datum's type did not match the column type.
-    TypeMismatch { column: String, expected: String, got: String },
+    TypeMismatch {
+        column: String,
+        expected: String,
+        got: String,
+    },
     /// Row arity did not match the schema.
     ArityMismatch { expected: usize, got: usize },
     /// Duplicate value in a unique index (e.g. primary key).
@@ -30,14 +34,27 @@ impl fmt::Display for RelError {
         match self {
             RelError::NoSuchTable(t) => write!(f, "relation \"{t}\" does not exist"),
             RelError::NoSuchColumn(c) => write!(f, "column \"{c}\" does not exist"),
-            RelError::TypeMismatch { column, expected, got } => {
-                write!(f, "column \"{column}\" is of type {expected} but expression is of type {got}")
+            RelError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "column \"{column}\" is of type {expected} but expression is of type {got}"
+                )
             }
             RelError::ArityMismatch { expected, got } => {
-                write!(f, "INSERT has {got} expressions but table expects {expected}")
+                write!(
+                    f,
+                    "INSERT has {got} expressions but table expects {expected}"
+                )
             }
             RelError::UniqueViolation { index } => {
-                write!(f, "duplicate key value violates unique constraint \"{index}\"")
+                write!(
+                    f,
+                    "duplicate key value violates unique constraint \"{index}\""
+                )
             }
             RelError::TableExists(t) => write!(f, "relation \"{t}\" already exists"),
             RelError::IndexExists(i) => write!(f, "index \"{i}\" already exists"),

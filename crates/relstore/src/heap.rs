@@ -149,7 +149,10 @@ mod tests {
         assert_eq!(old[0], Datum::Text("a".into()));
         assert_eq!(h.get(id).unwrap()[0], Datum::Text("b".into()));
         h.delete(id);
-        assert!(h.update(id, row("c")).is_none(), "update of dead slot fails");
+        assert!(
+            h.update(id, row("c")).is_none(),
+            "update of dead slot fails"
+        );
     }
 
     #[test]

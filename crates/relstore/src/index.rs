@@ -77,7 +77,9 @@ impl Index {
         }
         for key in self.keys_of(row) {
             if !self.tree.get(&key).is_empty() {
-                return Err(RelError::UniqueViolation { index: self.name.clone() });
+                return Err(RelError::UniqueViolation {
+                    index: self.name.clone(),
+                });
             }
         }
         Ok(())

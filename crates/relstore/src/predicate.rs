@@ -67,7 +67,10 @@ impl Predicate {
             }
             Predicate::Ge(col, value) => {
                 let datum = &row[schema.column_index(col)?];
-                matches!(datum.sql_cmp(value), Some(Ordering::Greater | Ordering::Equal))
+                matches!(
+                    datum.sql_cmp(value),
+                    Some(Ordering::Greater | Ordering::Equal)
+                )
             }
             Predicate::IsNull(col) => {
                 let datum = &row[schema.column_index(col)?];
@@ -116,9 +119,7 @@ impl Predicate {
             | Predicate::Gt(col, _)
             | Predicate::Ge(col, _)
             | Predicate::IsNull(col) => schema.column_index(col).map(|_| ()),
-            Predicate::And(ps) | Predicate::Or(ps) => {
-                ps.iter().try_for_each(|p| p.check(schema))
-            }
+            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().try_for_each(|p| p.check(schema)),
             Predicate::Not(p) => p.check(schema),
         }
     }
@@ -194,7 +195,9 @@ mod tests {
         assert!(Predicate::eq_text("usr", "neo").eval(&s, &r).unwrap());
         assert!(!Predicate::eq_text("usr", "smith").eval(&s, &r).unwrap());
         assert!(Predicate::contains("purposes", "ads").eval(&s, &r).unwrap());
-        assert!(!Predicate::contains("purposes", "sales").eval(&s, &r).unwrap());
+        assert!(!Predicate::contains("purposes", "sales")
+            .eval(&s, &r)
+            .unwrap());
     }
 
     #[test]
@@ -243,8 +246,14 @@ mod tests {
         assert!(either.eval(&s, &r).unwrap());
         let neither = Predicate::Not(Box::new(either.clone()));
         assert!(!neither.eval(&s, &r).unwrap());
-        assert!(Predicate::And(vec![]).eval(&s, &r).unwrap(), "empty AND is true");
-        assert!(!Predicate::Or(vec![]).eval(&s, &r).unwrap(), "empty OR is false");
+        assert!(
+            Predicate::And(vec![]).eval(&s, &r).unwrap(),
+            "empty AND is true"
+        );
+        assert!(
+            !Predicate::Or(vec![]).eval(&s, &r).unwrap(),
+            "empty OR is false"
+        );
     }
 
     #[test]

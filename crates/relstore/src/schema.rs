@@ -62,7 +62,10 @@ impl Schema {
     pub fn new(columns: Vec<(&str, ColumnType)>, pk_column: &str) -> RelResult<Schema> {
         let columns: Vec<Column> = columns
             .into_iter()
-            .map(|(name, ty)| Column { name: name.to_string(), ty })
+            .map(|(name, ty)| Column {
+                name: name.to_string(),
+                ty,
+            })
             .collect();
         let pk = columns
             .iter()
@@ -181,7 +184,10 @@ mod tests {
         let s = schema();
         assert!(matches!(
             s.check_row(&[Datum::Text("k".into())]),
-            Err(RelError::ArityMismatch { expected: 4, got: 1 })
+            Err(RelError::ArityMismatch {
+                expected: 4,
+                got: 1
+            })
         ));
     }
 

@@ -113,7 +113,9 @@ fn tokenize(sql: &str) -> RelResult<Vec<Token>> {
                 out.push(Token::Word(chars[start..i].iter().collect()));
             }
             other => {
-                return Err(RelError::Wal(format!("unexpected character {other:?} in SQL")));
+                return Err(RelError::Wal(format!(
+                    "unexpected character {other:?} in SQL"
+                )));
             }
         }
     }
@@ -246,7 +248,12 @@ impl Parser {
             self.expect_symbol("(")?;
             let column = self.identifier()?;
             self.expect_symbol(")")?;
-            Ok(Statement::CreateIndex { table, index, column, inverted })
+            Ok(Statement::CreateIndex {
+                table,
+                index,
+                column,
+                inverted,
+            })
         } else {
             Err(self.error("expected TABLE or INDEX after CREATE"))
         }
@@ -326,16 +333,20 @@ impl Parser {
             if count {
                 return Err(self.error("count(*) cannot take ORDER BY ... LIMIT"));
             }
-            let start = match pred {
-                Predicate::Ge(ref col, ref v) if *col == column => v.clone(),
-                Predicate::True => range_floor(),
-                _ => {
-                    return Err(self.error(
+            let start =
+                match pred {
+                    Predicate::Ge(ref col, ref v) if *col == column => v.clone(),
+                    Predicate::True => range_floor(),
+                    _ => return Err(self.error(
                         "ORDER BY ... LIMIT requires WHERE <order-col> >= <value> (or no WHERE)",
-                    ))
-                }
-            };
-            return Ok(Statement::SelectRange { table, column, start, limit });
+                    )),
+                };
+            return Ok(Statement::SelectRange {
+                table,
+                column,
+                start,
+                limit,
+            });
         }
         Ok(if count {
             Statement::Count { table, pred }
@@ -362,7 +373,11 @@ impl Parser {
         } else {
             Predicate::True
         };
-        Ok(Statement::Update { table, pred, assignments })
+        Ok(Statement::Update {
+            table,
+            pred,
+            assignments,
+        })
     }
 
     fn delete(&mut self) -> RelResult<Statement> {
@@ -464,9 +479,13 @@ impl Parser {
             Some(Token::Number(n)) => {
                 self.pos += 1;
                 if n.contains('.') {
-                    Ok(Datum::Float(n.parse().map_err(|_| self.error("bad float"))?))
+                    Ok(Datum::Float(
+                        n.parse().map_err(|_| self.error("bad float"))?,
+                    ))
                 } else {
-                    Ok(Datum::Int(n.parse().map_err(|_| self.error("bad integer"))?))
+                    Ok(Datum::Int(
+                        n.parse().map_err(|_| self.error("bad integer"))?,
+                    ))
                 }
             }
             Some(Token::Word(w)) => match w.to_ascii_lowercase().as_str() {
@@ -571,7 +590,10 @@ mod tests {
         );
         assert_eq!(
             parse("DROP INDEX n_idx ON t").unwrap(),
-            Statement::DropIndex { table: "t".into(), index: "n_idx".into() }
+            Statement::DropIndex {
+                table: "t".into(),
+                index: "n_idx".into()
+            }
         );
     }
 
@@ -600,10 +622,9 @@ mod tests {
 
     #[test]
     fn select_with_predicates() {
-        let stmt = parse(
-            "SELECT * FROM t WHERE usr = 'neo' AND NOT 'ads' = ANY(obj) OR expiry IS NULL",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT * FROM t WHERE usr = 'neo' AND NOT 'ads' = ANY(obj) OR expiry IS NULL")
+                .unwrap();
         assert_eq!(
             stmt,
             Statement::Select {
@@ -622,7 +643,9 @@ mod tests {
     #[test]
     fn parenthesized_precedence() {
         let stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
-        let Statement::Select { pred, .. } = stmt else { panic!() };
+        let Statement::Select { pred, .. } = stmt else {
+            panic!()
+        };
         assert_eq!(
             pred,
             Predicate::And(vec![
@@ -682,7 +705,10 @@ mod tests {
         );
         assert_eq!(
             parse("DELETE FROM t").unwrap(),
-            Statement::Delete { table: "t".into(), pred: Predicate::True }
+            Statement::Delete {
+                table: "t".into(),
+                pred: Predicate::True
+            }
         );
     }
 
@@ -713,7 +739,8 @@ mod tests {
              PRIMARY KEY (key))",
         )
         .unwrap();
-        db.execute_sql("CREATE INDEX tags_idx ON people USING GIN (tags)").unwrap();
+        db.execute_sql("CREATE INDEX tags_idx ON people USING GIN (tags)")
+            .unwrap();
         for i in 0..10 {
             db.execute_sql(&format!(
                 "INSERT INTO people VALUES ('k{i}', 'u{}', ARRAY['ads'], TIMESTAMP {})",
@@ -730,7 +757,8 @@ mod tests {
             .execute_sql("SELECT count(*) FROM people WHERE at <= TIMESTAMP 400")
             .unwrap();
         assert_eq!(n.rows_affected(), 5);
-        db.execute_sql("UPDATE people SET usr = 'renamed' WHERE usr = 'u1'").unwrap();
+        db.execute_sql("UPDATE people SET usr = 'renamed' WHERE usr = 'u1'")
+            .unwrap();
         assert_eq!(
             db.execute_sql("SELECT count(*) FROM people WHERE usr = 'renamed'")
                 .unwrap()
@@ -741,9 +769,12 @@ mod tests {
             .execute_sql("SELECT * FROM people WHERE key >= 'k3' ORDER BY key LIMIT 4")
             .unwrap();
         assert_eq!(page.rows().len(), 4);
-        db.execute_sql("DELETE FROM people WHERE at >= TIMESTAMP 500").unwrap();
+        db.execute_sql("DELETE FROM people WHERE at >= TIMESTAMP 500")
+            .unwrap();
         assert_eq!(
-            db.execute_sql("SELECT count(*) FROM people").unwrap().rows_affected(),
+            db.execute_sql("SELECT count(*) FROM people")
+                .unwrap()
+                .rows_affected(),
             5
         );
     }

@@ -22,9 +22,18 @@ pub enum Statement {
         column: String,
         inverted: bool,
     },
-    DropIndex { table: String, index: String },
-    Insert { table: String, row: Vec<Datum> },
-    Select { table: String, pred: Predicate },
+    DropIndex {
+        table: String,
+        index: String,
+    },
+    Insert {
+        table: String,
+        row: Vec<Datum>,
+    },
+    Select {
+        table: String,
+        pred: Predicate,
+    },
     /// `SELECT ... WHERE column >= start ORDER BY column LIMIT limit` —
     /// the bounded range scan YCSB's workload E issues.
     SelectRange {
@@ -33,13 +42,19 @@ pub enum Statement {
         start: Datum,
         limit: usize,
     },
-    Count { table: String, pred: Predicate },
+    Count {
+        table: String,
+        pred: Predicate,
+    },
     Update {
         table: String,
         pred: Predicate,
         assignments: Vec<(String, Datum)>,
     },
-    Delete { table: String, pred: Predicate },
+    Delete {
+        table: String,
+        pred: Predicate,
+    },
 }
 
 /// The result of executing a [`Statement`].
@@ -85,7 +100,11 @@ impl StatementResult {
             StatementResult::Done => out.push(0),
             StatementResult::Inserted => out.push(1),
             StatementResult::Rows(rows) | StatementResult::Deleted(rows) => {
-                out.push(if matches!(self, StatementResult::Rows(_)) { 2 } else { 3 });
+                out.push(if matches!(self, StatementResult::Rows(_)) {
+                    2
+                } else {
+                    3
+                });
                 out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
                 for row in rows {
                     out.extend_from_slice(&(row.len() as u32).to_le_bytes());
@@ -146,7 +165,12 @@ impl Statement {
                 }
                 put_str(&mut out, pk);
             }
-            Statement::CreateIndex { table, index, column, inverted } => {
+            Statement::CreateIndex {
+                table,
+                index,
+                column,
+                inverted,
+            } => {
                 out.push(1);
                 put_str(&mut out, table);
                 put_str(&mut out, index);
@@ -176,7 +200,11 @@ impl Statement {
                 put_str(&mut out, table);
                 encode_pred(pred, &mut out);
             }
-            Statement::Update { table, pred, assignments } => {
+            Statement::Update {
+                table,
+                pred,
+                assignments,
+            } => {
                 out.push(6);
                 put_str(&mut out, table);
                 encode_pred(pred, &mut out);
@@ -191,7 +219,12 @@ impl Statement {
                 put_str(&mut out, table);
                 encode_pred(pred, &mut out);
             }
-            Statement::SelectRange { table, column, start, limit } => {
+            Statement::SelectRange {
+                table,
+                column,
+                start,
+                limit,
+            } => {
                 out.push(8);
                 put_str(&mut out, table);
                 put_str(&mut out, column);
@@ -270,7 +303,11 @@ impl Statement {
                     let value = Datum::decode(buf, pos).map_err(RelError::Corrupt)?;
                     assignments.push((col, value));
                 }
-                Statement::Update { table, pred, assignments }
+                Statement::Update {
+                    table,
+                    pred,
+                    assignments,
+                }
             }
             7 => Statement::Delete {
                 table: get_str(buf, pos)?,
@@ -285,7 +322,12 @@ impl Statement {
                 }
                 let limit = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap()) as usize;
                 *pos += 8;
-                Statement::SelectRange { table, column, start, limit }
+                Statement::SelectRange {
+                    table,
+                    column,
+                    start,
+                    limit,
+                }
             }
             other => return Err(err(&format!("unknown statement tag {other}"))),
         })
@@ -306,7 +348,12 @@ impl fmt::Display for Statement {
                 }
                 write!(f, ", PRIMARY KEY ({pk}))")
             }
-            Statement::CreateIndex { table, index, column, inverted } => {
+            Statement::CreateIndex {
+                table,
+                index,
+                column,
+                inverted,
+            } => {
                 let using = if *inverted { " USING gin" } else { "" };
                 write!(f, "CREATE INDEX {index} ON {table}{using} ({column})")
             }
@@ -322,14 +369,23 @@ impl fmt::Display for Statement {
                 write!(f, ")")
             }
             Statement::Select { table, pred } => write!(f, "SELECT * FROM {table} WHERE {pred}"),
-            Statement::SelectRange { table, column, start, limit } => write!(
+            Statement::SelectRange {
+                table,
+                column,
+                start,
+                limit,
+            } => write!(
                 f,
                 "SELECT * FROM {table} WHERE {column} >= {start} ORDER BY {column} LIMIT {limit}"
             ),
             Statement::Count { table, pred } => {
                 write!(f, "SELECT count(*) FROM {table} WHERE {pred}")
             }
-            Statement::Update { table, pred, assignments } => {
+            Statement::Update {
+                table,
+                pred,
+                assignments,
+            } => {
                 write!(f, "UPDATE {table} SET ")?;
                 for (i, (col, value)) in assignments.iter().enumerate() {
                     if i > 0 {
@@ -363,7 +419,11 @@ fn column_type_from_tag(tag: u8) -> RelResult<ColumnType> {
         3 => ColumnType::Text,
         4 => ColumnType::Timestamp,
         5 => ColumnType::TextArray,
-        other => return Err(RelError::Corrupt(format!("unknown column type tag {other}"))),
+        other => {
+            return Err(RelError::Corrupt(format!(
+                "unknown column type tag {other}"
+            )))
+        }
     })
 }
 

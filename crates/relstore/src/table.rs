@@ -162,7 +162,10 @@ impl Table {
             match c {
                 Predicate::Eq(col, value) => {
                     if let Some(i) = self.find_index(col, false) {
-                        return Plan::IndexEq { index: i, key: value.clone() };
+                        return Plan::IndexEq {
+                            index: i,
+                            key: value.clone(),
+                        };
                     }
                 }
                 Predicate::Contains(col, value) => {
@@ -178,12 +181,8 @@ impl Table {
         }
         for c in &conjuncts {
             let (col, lo, hi) = match c {
-                Predicate::Lt(col, v) | Predicate::Le(col, v) => {
-                    (col, range_min(v), v.clone())
-                }
-                Predicate::Gt(col, v) | Predicate::Ge(col, v) => {
-                    (col, v.clone(), range_max(v))
-                }
+                Predicate::Lt(col, v) | Predicate::Le(col, v) => (col, range_min(v), v.clone()),
+                Predicate::Gt(col, v) | Predicate::Ge(col, v) => (col, v.clone(), range_max(v)),
                 _ => continue,
             };
             if let Some(i) = self.find_index(col, false) {
@@ -205,11 +204,15 @@ impl Table {
         pred.check(&self.schema)?;
         let candidates: Vec<RowId> = match self.plan(pred) {
             Plan::IndexEq { index, key } => {
-                self.plan_counters.index_scans.fetch_add(1, Ordering::Relaxed);
+                self.plan_counters
+                    .index_scans
+                    .fetch_add(1, Ordering::Relaxed);
                 self.indices[index].lookup(&key)
             }
             Plan::IndexRange { index, lo, hi } => {
-                self.plan_counters.index_scans.fetch_add(1, Ordering::Relaxed);
+                self.plan_counters
+                    .index_scans
+                    .fetch_add(1, Ordering::Relaxed);
                 self.indices[index].lookup_range(&lo, &hi)
             }
             Plan::Seq => {
@@ -258,7 +261,9 @@ impl Table {
             .find(|i| i.column() == col && !i.is_inverted())
         {
             Some(index) => {
-                self.plan_counters.index_scans.fetch_add(1, Ordering::Relaxed);
+                self.plan_counters
+                    .index_scans
+                    .fetch_add(1, Ordering::Relaxed);
                 index.lookup_range_limit(start, &range_max(start), limit)
             }
             None => {
@@ -403,7 +408,11 @@ mod tests {
         let mut t = Table::new("personal_data", records_schema());
         for i in 0..100 {
             let usr = format!("user{}", i % 10);
-            let purposes: Vec<&str> = if i % 2 == 0 { vec!["ads"] } else { vec!["2fa", "analytics"] };
+            let purposes: Vec<&str> = if i % 2 == 0 {
+                vec!["ads"]
+            } else {
+                vec!["2fa", "analytics"]
+            };
             t.insert(record(&format!("k{i:03}"), &usr, &purposes, 1000 + i))
                 .unwrap();
         }
@@ -454,7 +463,9 @@ mod tests {
         assert_eq!(rows.len(), 50);
         assert_eq!(t.plan_stats().index_scans, 1);
         // Without the inverted index a Contains would have seq-scanned.
-        let rows = t.select(&Predicate::contains("purposes", "analytics")).unwrap();
+        let rows = t
+            .select(&Predicate::contains("purposes", "analytics"))
+            .unwrap();
         assert_eq!(rows.len(), 50);
     }
 
@@ -485,7 +496,10 @@ mod tests {
             Predicate::eq_text("usr", "user2"),
             Predicate::contains("purposes", "2fa"),
         ]);
-        assert!(t.select(&pred).unwrap().is_empty(), "residual filter must apply");
+        assert!(
+            t.select(&pred).unwrap().is_empty(),
+            "residual filter must apply"
+        );
     }
 
     #[test]
@@ -499,8 +513,16 @@ mod tests {
             )
             .unwrap();
         assert_eq!(n, 10);
-        assert!(t.select(&Predicate::eq_text("usr", "user3")).unwrap().is_empty());
-        assert_eq!(t.select(&Predicate::eq_text("usr", "renamed")).unwrap().len(), 10);
+        assert!(t
+            .select(&Predicate::eq_text("usr", "user3"))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.select(&Predicate::eq_text("usr", "renamed"))
+                .unwrap()
+                .len(),
+            10
+        );
     }
 
     #[test]
@@ -530,7 +552,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(n, 1);
-        assert_eq!(t.select(&Predicate::eq_text("key", "fresh")).unwrap().len(), 1);
+        assert_eq!(
+            t.select(&Predicate::eq_text("key", "fresh")).unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -540,7 +565,10 @@ mod tests {
         let deleted = t.delete_where(&Predicate::eq_text("usr", "user3")).unwrap();
         assert_eq!(deleted.len(), 10);
         assert_eq!(t.row_count(), 90);
-        assert!(t.select(&Predicate::eq_text("usr", "user3")).unwrap().is_empty());
+        assert!(t
+            .select(&Predicate::eq_text("usr", "user3"))
+            .unwrap()
+            .is_empty());
         // Deleted keys can be re-inserted (pkey entries must be gone).
         t.insert(record("k003", "user3", &[], 0)).unwrap();
     }
@@ -559,7 +587,9 @@ mod tests {
         let t = populated();
         assert_eq!(
             t.count(&Predicate::contains("purposes", "ads")).unwrap(),
-            t.select(&Predicate::contains("purposes", "ads")).unwrap().len()
+            t.select(&Predicate::contains("purposes", "ads"))
+                .unwrap()
+                .len()
         );
         assert_eq!(t.count(&Predicate::True).unwrap(), 100);
     }

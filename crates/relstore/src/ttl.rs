@@ -78,10 +78,7 @@ impl TtlDaemon {
                 for target in &targets {
                     let stmt = Statement::Delete {
                         table: target.table.clone(),
-                        pred: Predicate::Le(
-                            target.expiry_column.clone(),
-                            Datum::Timestamp(now_ms),
-                        ),
+                        pred: Predicate::Le(target.expiry_column.clone(), Datum::Timestamp(now_ms)),
                     };
                     if let Ok(result) = db.execute(&stmt) {
                         reaped.fetch_add(result.rows_affected() as u64, Ordering::Relaxed);
@@ -203,7 +200,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         daemon.stop();
-        assert_eq!(t.read().row_count(), 0, "daemon should reap all expired rows");
+        assert_eq!(
+            t.read().row_count(),
+            0,
+            "daemon should reap all expired rows"
+        );
     }
 
     #[test]

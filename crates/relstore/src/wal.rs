@@ -189,9 +189,14 @@ mod tests {
 
     #[test]
     fn disabled_is_none() {
-        assert!(Wal::open(&WalStorage::Disabled, FsyncPolicy::Never, None, clock::wall())
-            .unwrap()
-            .is_none());
+        assert!(Wal::open(
+            &WalStorage::Disabled,
+            FsyncPolicy::Never,
+            None,
+            clock::wall()
+        )
+        .unwrap()
+        .is_none());
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! A minimal, API-compatible stand-in for the parts of `criterion` the
+//! bench targets use. The build environment has no network access to
+//! crates.io, so the workspace vendors a small wall-clock harness exposing
+//! the same surface: [`Criterion`], [`BenchmarkId`], [`Throughput`],
+//! benchmark groups, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Methodology: each benchmark warms up for `warm_up_time`, then runs
+//! batches of adaptively-sized iteration blocks until `measurement_time`
+//! elapses, and reports the mean time per iteration plus min/max over the
+//! batches. No statistical analysis, plots, or baselines — numbers print to
+//! stdout, which is all the experiment harness needs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing configuration plus the entry point for registering benchmarks.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id.render(), None, f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.prefix, id.render());
+        run_benchmark(self.criterion, &name, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.prefix, id.render());
+        run_benchmark(self.criterion, &name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` performs the timed runs.
+pub struct Bencher {
+    config: Criterion,
+    result: Option<Measurement>,
+}
+
+struct Measurement {
+    iterations: u64,
+    mean: Duration,
+    fastest: Duration,
+    slowest: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, counting
+        // iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Size batches so `sample_size` of them fill the measurement budget.
+        let budget = self.config.measurement_time;
+        let samples = self.config.sample_size as u32;
+        let per_batch = budget / samples;
+        let batch_iters = if per_iter.is_zero() {
+            1024
+        } else {
+            (per_batch.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u32::MAX as u128) as u64
+        };
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let mut fastest = Duration::MAX;
+        let mut slowest = Duration::ZERO;
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget {
+            let batch_start = Instant::now();
+            for _ in 0..batch_iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = batch_start.elapsed();
+            let per = elapsed / batch_iters.max(1) as u32;
+            fastest = fastest.min(per);
+            slowest = slowest.max(per);
+            total += elapsed;
+            iterations += batch_iters;
+        }
+        self.result = Some(Measurement {
+            iterations,
+            mean: if iterations == 0 {
+                Duration::ZERO
+            } else {
+                total / iterations as u32
+            },
+            fastest,
+            slowest,
+        });
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        config: criterion.clone(),
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(m) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    let per_sec = n as f64 / m.mean.as_secs_f64().max(f64::MIN_POSITIVE);
+                    format!("  thrpt: {per_sec:.0} elem/s")
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let per_sec = n as f64 / m.mean.as_secs_f64().max(f64::MIN_POSITIVE);
+                    format!("  thrpt: {:.1} MiB/s", per_sec / (1024.0 * 1024.0))
+                }
+                None => String::new(),
+            };
+            println!(
+                "{name:<60} time: [{} {} {}]{} ({} iters)",
+                fmt_time(m.fastest),
+                fmt_time(m.mean),
+                fmt_time(m.slowest),
+                rate,
+                m.iterations,
+            );
+        }
+        None => println!("{name:<60} (no measurement: bencher.iter never called)"),
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work; defers to `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with", 42), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

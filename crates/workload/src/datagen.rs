@@ -13,7 +13,13 @@ use std::time::Duration;
 /// The purpose vocabulary (kept small, as real controllers declare a
 /// handful of processing purposes).
 pub const PURPOSES: &[&str] = &[
-    "ads", "2fa", "analytics", "backup", "billing", "fraud-detection", "personalization",
+    "ads",
+    "2fa",
+    "analytics",
+    "backup",
+    "billing",
+    "fraud-detection",
+    "personalization",
     "research",
 ];
 
@@ -165,22 +171,35 @@ mod tests {
 
     #[test]
     fn users_bounded_and_reused() {
-        let config = CorpusConfig { users: 10, records: 1000, ..Default::default() };
-        let users: std::collections::HashSet<_> =
-            (0..1000).map(|i| user_of(i, &config)).collect();
+        let config = CorpusConfig {
+            users: 10,
+            records: 1000,
+            ..Default::default()
+        };
+        let users: std::collections::HashSet<_> = (0..1000).map(|i| user_of(i, &config)).collect();
         assert!(users.len() <= 10);
-        assert!(users.len() >= 8, "most users should appear: {}", users.len());
+        assert!(
+            users.len() >= 8,
+            "most users should appear: {}",
+            users.len()
+        );
     }
 
     #[test]
     fn ttl_mix_matches_fraction() {
-        let config = CorpusConfig { records: 10_000, ..Default::default() };
+        let config = CorpusConfig {
+            records: 10_000,
+            ..Default::default()
+        };
         let short = (0..10_000)
             .map(|i| record_of(i, &config))
             .filter(|r| r.metadata.ttl == Some(config.short_ttl))
             .count();
         let fraction = short as f64 / 10_000.0;
-        assert!((0.17..0.23).contains(&fraction), "short-TTL fraction {fraction}");
+        assert!(
+            (0.17..0.23).contains(&fraction),
+            "short-TTL fraction {fraction}"
+        );
     }
 
     #[test]
@@ -221,9 +240,15 @@ mod tests {
 
     #[test]
     fn data_len_respected() {
-        let config = CorpusConfig { data_len: 100, ..Default::default() };
+        let config = CorpusConfig {
+            data_len: 100,
+            ..Default::default()
+        };
         assert_eq!(record_of(7, &config).data.len(), 100);
-        let config = CorpusConfig { data_len: 10, ..Default::default() };
+        let config = CorpusConfig {
+            data_len: 10,
+            ..Default::default()
+        };
         assert_eq!(record_of(7, &config).data.len(), 10);
     }
 

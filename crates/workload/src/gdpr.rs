@@ -258,7 +258,10 @@ impl GdprWorkload {
             // --- customer (zipf over users; key ops target own records) ---
             ReadDataByUsr => {
                 let user = Self::user_name(self.user_index(rng, true));
-                (Session::customer(user.clone()), GdprQuery::ReadDataByUser(user))
+                (
+                    Session::customer(user.clone()),
+                    GdprQuery::ReadDataByUser(user),
+                )
             }
             ReadMetaByKey => {
                 let user_idx = self.user_index(rng, true);
@@ -332,7 +335,10 @@ impl GdprWorkload {
             }
             ReadDataByDec => {
                 let purpose = PURPOSES[self.uniform_records.next(rng) as usize % PURPOSES.len()];
-                (Session::processor(purpose), GdprQuery::ReadDataDecisionEligible)
+                (
+                    Session::processor(purpose),
+                    GdprQuery::ReadDataDecisionEligible,
+                )
             }
 
             // --- regulator ---
@@ -343,11 +349,17 @@ impl GdprWorkload {
             GetSystemLogs => {
                 // Investigations look at bounded recent windows.
                 let to_ms = u64::MAX;
-                (Session::regulator(), GdprQuery::GetSystemLogs { from_ms: 0, to_ms })
+                (
+                    Session::regulator(),
+                    GdprQuery::GetSystemLogs { from_ms: 0, to_ms },
+                )
             }
             VerifyDeletion => {
                 let idx = self.record_index(rng, true);
-                (Session::regulator(), GdprQuery::VerifyDeletion(datagen::key_of(idx)))
+                (
+                    Session::regulator(),
+                    GdprQuery::VerifyDeletion(datagen::key_of(idx)),
+                )
             }
         }
     }
@@ -415,8 +427,8 @@ mod tests {
             + fraction(&ops, "delete-record-by-ttl")
             + fraction(&ops, "delete-record-by-usr");
         assert!((0.23..0.27).contains(&deletes), "deletes {deletes}");
-        let updates = fraction(&ops, "update-metadata-by-pur")
-            + fraction(&ops, "update-metadata-by-usr");
+        let updates =
+            fraction(&ops, "update-metadata-by-pur") + fraction(&ops, "update-metadata-by-usr");
         assert!((0.48..0.52).contains(&updates), "updates {updates}");
     }
 
@@ -453,8 +465,7 @@ mod tests {
             if let GdprQuery::ReadMetadataByKey(key) = query {
                 let user = session.user.as_deref().unwrap();
                 if owners.contains(user) {
-                    let idx =
-                        usize::from_str_radix(key.trim_start_matches("ph-"), 16).unwrap();
+                    let idx = usize::from_str_radix(key.trim_start_matches("ph-"), 16).unwrap();
                     assert_eq!(datagen::user_of(idx, &corpus), user);
                     owned_ops += 1;
                 }
@@ -467,7 +478,9 @@ mod tests {
     fn processor_mix_is_read_heavy() {
         let ops = ops(GdprWorkloadKind::Processor, 20_000);
         assert!(ops.iter().all(|(s, _)| s.role == Role::Processor));
-        assert!(ops.iter().all(|(_, q)| !q.is_write() || q.name() == "update-metadata-by-key"));
+        assert!(ops
+            .iter()
+            .all(|(_, q)| !q.is_write() || q.name() == "update-metadata-by-key"));
         let by_key = fraction(&ops, "read-data-by-key");
         assert!((0.77..0.83).contains(&by_key), "by-key {by_key}");
     }

@@ -291,7 +291,10 @@ mod tests {
         for s in &samples {
             counts[*s as usize] += 1;
         }
-        assert!(counts.iter().all(|&c| (700..1300).contains(&c)), "{counts:?}");
+        assert!(
+            counts.iter().all(|&c| (700..1300).contains(&c)),
+            "{counts:?}"
+        );
     }
 
     #[test]
@@ -304,7 +307,10 @@ mod tests {
         assert!(head > 0.25, "head mass too small: {head}");
         let zero = samples.iter().filter(|&&x| x == 0).count() as f64 / samples.len() as f64;
         let tail = samples.iter().filter(|&&x| x == 999).count() as f64 / samples.len() as f64;
-        assert!(zero > tail * 5.0, "rank 0 ({zero}) must dominate rank 999 ({tail})");
+        assert!(
+            zero > tail * 5.0,
+            "rank 0 ({zero}) must dominate rank 999 ({tail})"
+        );
     }
 
     #[test]
@@ -328,7 +334,10 @@ mod tests {
             *counts.entry(*s).or_insert(0u32) += 1;
         }
         let max = counts.values().copied().max().unwrap();
-        assert!(max as f64 > 50_000.0 / 1000.0 * 20.0, "no hot key: max={max}");
+        assert!(
+            max as f64 > 50_000.0 / 1000.0 * 20.0,
+            "no hot key: max={max}"
+        );
     }
 
     #[test]
@@ -337,8 +346,8 @@ mod tests {
         g.grow_to(1000);
         let samples = draw(&mut g, 20_000);
         assert!(samples.iter().all(|&x| x < 1000));
-        let newest_tenth = samples.iter().filter(|&&x| x >= 900).count() as f64
-            / samples.len() as f64;
+        let newest_tenth =
+            samples.iter().filter(|&&x| x >= 900).count() as f64 / samples.len() as f64;
         assert!(newest_tenth > 0.3, "latest skew too weak: {newest_tenth}");
     }
 

@@ -203,9 +203,7 @@ impl Oracle {
             }
             GetSystemLogs { .. } => GdprResponse::Logs(Vec::new()),
             GetSystemFeatures => GdprResponse::Features(Default::default()),
-            VerifyDeletion(key) => {
-                GdprResponse::DeletionVerified(!self.records.contains_key(key))
-            }
+            VerifyDeletion(key) => GdprResponse::DeletionVerified(!self.records.contains_key(key)),
         })
     }
 }
@@ -223,9 +221,7 @@ pub fn responses_match(
 ) -> bool {
     use GdprQuery::*;
     match (expected, actual) {
-        (Err(e), Err(a)) => {
-            std::mem::discriminant(e) == std::mem::discriminant(a)
-        }
+        (Err(e), Err(a)) => std::mem::discriminant(e) == std::mem::discriminant(a),
         (Ok(e), Ok(a)) => match query {
             DeleteExpired => matches!(a, GdprResponse::Deleted(_)),
             GetSystemLogs { .. } => matches!(a, GdprResponse::Logs(_)),
@@ -239,8 +235,14 @@ pub fn responses_match(
                     e == a
                 }
                 (GdprResponse::Metadata(e), GdprResponse::Metadata(a)) => {
-                    let mut e: Vec<_> = e.iter().map(|(k, m)| (k.clone(), format!("{m:?}"))).collect();
-                    let mut a: Vec<_> = a.iter().map(|(k, m)| (k.clone(), format!("{m:?}"))).collect();
+                    let mut e: Vec<_> = e
+                        .iter()
+                        .map(|(k, m)| (k.clone(), format!("{m:?}")))
+                        .collect();
+                    let mut a: Vec<_> = a
+                        .iter()
+                        .map(|(k, m)| (k.clone(), format!("{m:?}")))
+                        .collect();
                     e.sort();
                     a.sort();
                     e == a
@@ -265,7 +267,11 @@ mod tests {
     use crate::datagen::{record_of, CorpusConfig};
 
     fn oracle_with(n: usize) -> (Oracle, CorpusConfig) {
-        let config = CorpusConfig { records: n, users: 10, ..Default::default() };
+        let config = CorpusConfig {
+            records: n,
+            users: 10,
+            ..Default::default()
+        };
         let mut o = Oracle::new();
         o.load((0..n).map(|i| record_of(i, &config)));
         (o, config)
@@ -277,7 +283,8 @@ mod tests {
         assert_eq!(o.record_count(), 50);
         let controller = Session::controller();
         let fresh = record_of(1000, &config);
-        o.apply(&controller, &GdprQuery::CreateRecord(fresh.clone())).unwrap();
+        o.apply(&controller, &GdprQuery::CreateRecord(fresh.clone()))
+            .unwrap();
         assert_eq!(o.record_count(), 51);
         assert!(matches!(
             o.apply(&controller, &GdprQuery::CreateRecord(fresh)),
@@ -287,7 +294,9 @@ mod tests {
         let resp = o
             .apply(&controller, &GdprQuery::DeleteByUser(user.clone()))
             .unwrap();
-        let GdprResponse::Deleted(n) = resp else { panic!() };
+        let GdprResponse::Deleted(n) = resp else {
+            panic!()
+        };
         assert!(n > 0);
     }
 
@@ -309,11 +318,26 @@ mod tests {
         let key = record_of(7, &config).key.clone();
         let purpose = record_of(7, &config).metadata.purposes[0].clone();
         let queries: Vec<(Session, GdprQuery)> = vec![
-            (Session::customer(user.clone()), GdprQuery::ReadDataByUser(user.clone())),
-            (Session::regulator(), GdprQuery::ReadMetadataByUser(user.clone())),
-            (Session::processor(purpose.clone()), GdprQuery::ReadDataByPurpose(purpose.clone())),
-            (Session::processor("ads"), GdprQuery::ReadDataNotObjecting("ads".into())),
-            (Session::processor("ads"), GdprQuery::ReadDataDecisionEligible),
+            (
+                Session::customer(user.clone()),
+                GdprQuery::ReadDataByUser(user.clone()),
+            ),
+            (
+                Session::regulator(),
+                GdprQuery::ReadMetadataByUser(user.clone()),
+            ),
+            (
+                Session::processor(purpose.clone()),
+                GdprQuery::ReadDataByPurpose(purpose.clone()),
+            ),
+            (
+                Session::processor("ads"),
+                GdprQuery::ReadDataNotObjecting("ads".into()),
+            ),
+            (
+                Session::processor("ads"),
+                GdprQuery::ReadDataDecisionEligible,
+            ),
             (Session::controller(), GdprQuery::DeleteByPurpose(purpose)),
             (Session::regulator(), GdprQuery::VerifyDeletion(key)),
             (Session::controller(), GdprQuery::DeleteByUser(user)),
@@ -338,8 +362,7 @@ mod tests {
     #[test]
     fn mismatches_are_detected() {
         let q = GdprQuery::ReadDataByUser("u".into());
-        let a: GdprResult<GdprResponse> =
-            Ok(GdprResponse::Data(vec![("k1".into(), "d1".into())]));
+        let a: GdprResult<GdprResponse> = Ok(GdprResponse::Data(vec![("k1".into(), "d1".into())]));
         let b: GdprResult<GdprResponse> = Ok(GdprResponse::Data(vec![]));
         assert!(!responses_match(&q, &a, &b));
         // Order-insensitive equality.

@@ -213,9 +213,9 @@ fn totals(per_query: &HashMap<&'static str, OpStats>) -> (u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::datagen::ycsb_value;
     use crate::gdpr::{load_corpus, stable_corpus};
     use crate::ycsb::{ycsb_key, KvStoreYcsb, RelStoreYcsb};
-    use crate::datagen::ycsb_value;
 
     fn loaded_kv(n: u64) -> Arc<dyn KvInterface> {
         let adapter =

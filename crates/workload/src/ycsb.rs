@@ -100,7 +100,11 @@ impl YcsbConfig {
                 update_proportion: 0.05,
                 ..base
             },
-            'C' => YcsbConfig { name: "C", read_proportion: 1.0, ..base },
+            'C' => YcsbConfig {
+                name: "C",
+                read_proportion: 1.0,
+                ..base
+            },
             'D' => YcsbConfig {
                 name: "D",
                 read_proportion: 0.95,
@@ -114,7 +118,11 @@ impl YcsbConfig {
                 insert_proportion: 0.05,
                 ..base
             },
-            'F' => YcsbConfig { name: "F", rmw_proportion: 1.0, ..base },
+            'F' => YcsbConfig {
+                name: "F",
+                rmw_proportion: 1.0,
+                ..base
+            },
             other => panic!("unknown YCSB workload {other}"),
         }
     }
@@ -158,7 +166,9 @@ impl YcsbWorkload {
             (config.rmw_proportion, OpKind::Rmw),
         ]);
         let key_chooser = match config.request_distribution {
-            RequestDistribution::Zipfian => KeyChooser::Zipfian(ScrambledZipfian::new(record_count)),
+            RequestDistribution::Zipfian => {
+                KeyChooser::Zipfian(ScrambledZipfian::new(record_count))
+            }
             RequestDistribution::Uniform => KeyChooser::Uniform(Uniform::new(record_count)),
             RequestDistribution::Latest => KeyChooser::Latest(Zipfian::new(record_count)),
         };
@@ -195,10 +205,9 @@ impl YcsbWorkload {
                         let len = 1 + self.scan_len.next(rng) as usize;
                         YcsbOp::Scan(key, len)
                     }
-                    OpKind::Rmw => YcsbOp::ReadModifyWrite(
-                        key,
-                        ycsb_value(idx + 2, self.config.value_len),
-                    ),
+                    OpKind::Rmw => {
+                        YcsbOp::ReadModifyWrite(key, ycsb_value(idx + 2, self.config.value_len))
+                    }
                     OpKind::Insert => unreachable!(),
                 }
             }
@@ -375,7 +384,10 @@ impl KvInterface for RelStoreYcsb {
             row.push(relstore::Datum::Timestamp(expiry));
         }
         self.db
-            .execute(&relstore::Statement::Insert { table: "usertable".into(), row })
+            .execute(&relstore::Statement::Insert {
+                table: "usertable".into(),
+                row,
+            })
             .map(|_| ())
             .map_err(|e| e.to_string())
     }
@@ -440,7 +452,10 @@ mod tests {
     fn workload_a_mix() {
         let ops = gen_ops(YcsbConfig::workload('A'), 10_000, 1000);
         let reads = ops.iter().filter(|o| matches!(o, YcsbOp::Read(_))).count();
-        let updates = ops.iter().filter(|o| matches!(o, YcsbOp::Update(..))).count();
+        let updates = ops
+            .iter()
+            .filter(|o| matches!(o, YcsbOp::Update(..)))
+            .count();
         assert_eq!(reads + updates, 10_000);
         assert!((4500..5500).contains(&reads), "reads={reads}");
     }
@@ -496,7 +511,10 @@ mod tests {
         let store = kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap();
         let adapter = KvStoreYcsb::new(store);
         load_store(&adapter, 50);
-        assert_eq!(adapter.read(&ycsb_key(7)).unwrap().unwrap(), ycsb_value(7, 64));
+        assert_eq!(
+            adapter.read(&ycsb_key(7)).unwrap().unwrap(),
+            ycsb_value(7, 64)
+        );
         adapter.update(&ycsb_key(7), b"new-value").unwrap();
         assert_eq!(adapter.read(&ycsb_key(7)).unwrap().unwrap(), b"new-value");
         assert_eq!(adapter.read("user999999999999").unwrap(), None);
@@ -525,10 +543,9 @@ mod tests {
     #[test]
     fn ops_execute_against_both_adapters() {
         let kv = KvStoreYcsb::new(kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap());
-        let rel = RelStoreYcsb::new(
-            relstore::Database::open(relstore::RelConfig::default()).unwrap(),
-        )
-        .unwrap();
+        let rel =
+            RelStoreYcsb::new(relstore::Database::open(relstore::RelConfig::default()).unwrap())
+                .unwrap();
         for adapter in [&kv as &dyn KvInterface, &rel as &dyn KvInterface] {
             load_store(adapter, 100);
             let counter = Arc::new(AtomicU64::new(100));

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let conn = RedisConnector::new(store);
 
-    let corpus = CorpusConfig { records: 200, users: 25, ..Default::default() };
+    let corpus = CorpusConfig {
+        records: 200,
+        users: 25,
+        ..Default::default()
+    };
     let controller = Session::controller();
     for i in 0..corpus.records {
         conn.execute(&controller, &GdprQuery::CreateRecord(record_of(i, &corpus)))?;
@@ -54,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // The attacker also probes records it has no purpose for — denied, but
     // the denials are audited too.
-    let _ = conn.execute(&attacker, &GdprQuery::ReadMetadataByUser("user000001".into()));
+    let _ = conn.execute(
+        &attacker,
+        &GdprQuery::ReadMetadataByUser("user000001".into()),
+    );
     sim.advance(std::time::Duration::from_secs(60));
     let window_end = sim.now().as_millis();
     // ---- the breach window closes ----
@@ -64,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // affected").
     let logs = conn.execute(
         &controller,
-        &GdprQuery::GetSystemLogs { from_ms: window_start, to_ms: window_end },
+        &GdprQuery::GetSystemLogs {
+            from_ms: window_start,
+            to_ms: window_end,
+        },
     )?;
     let lines = match &logs {
         gdprbench_repro::gdpr_core::GdprResponse::Logs(lines) => lines.clone(),

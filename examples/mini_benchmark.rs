@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const RECORDS: usize = 1_000;
     const OPS: u64 = 300;
 
-    println!("GDPRbench mini-run: {RECORDS} records, {OPS} ops per workload, 1 thread, oracle on\n");
+    println!(
+        "GDPRbench mini-run: {RECORDS} records, {OPS} ops per workload, 1 thread, oracle on\n"
+    );
     println!(
         "{:<12} {:<11} {:>12} {:>11} {:>12} {:>12}",
         "connector", "workload", "completion", "ops/s", "correctness", "space-factor"
@@ -30,11 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         gdprbench_repro::kvstore::KvConfig::default(),
                     )?,
                 )),
-                _ => Arc::new(gdprbench_repro::connectors::PostgresConnector::with_metadata_indices(
-                    gdprbench_repro::relstore::Database::open(
-                        gdprbench_repro::relstore::RelConfig::default(),
+                _ => Arc::new(
+                    gdprbench_repro::connectors::PostgresConnector::with_metadata_indices(
+                        gdprbench_repro::relstore::Database::open(
+                            gdprbench_repro::relstore::RelConfig::default(),
+                        )?,
                     )?,
-                )?),
+                ),
             };
             let corpus = stable_corpus(RECORDS);
             load_corpus(connector.as_ref(), &corpus)?;

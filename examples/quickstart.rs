@@ -65,12 +65,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("regulator: deletion verified -> {verified:?}");
     let logs = store.execute(
         &regulator,
-        &GdprQuery::GetSystemLogs { from_ms: 0, to_ms: u64::MAX },
+        &GdprQuery::GetSystemLogs {
+            from_ms: 0,
+            to_ms: u64::MAX,
+        },
     )?;
-    println!("regulator: audit trail holds {} entries:", logs.cardinality());
+    println!(
+        "regulator: audit trail holds {} entries:",
+        logs.cardinality()
+    );
     if let gdprbench_repro::gdpr_core::GdprResponse::Logs(lines) = &logs {
         for line in lines {
-            println!("  [{:>6}ms] {:<22} {:<24} {}", line.timestamp_ms, line.actor, line.operation, line.detail);
+            println!(
+                "  [{:>6}ms] {:<22} {:<24} {}",
+                line.timestamp_ms, line.actor, line.operation, line.detail
+            );
         }
     }
 

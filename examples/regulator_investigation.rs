@@ -8,7 +8,9 @@
 //! ```
 
 use gdprbench_repro::connectors::PostgresConnector;
-use gdprbench_repro::gdpr_core::{GdprConnector, GdprQuery, GdprResponse, MetadataField, MetadataUpdate, Session};
+use gdprbench_repro::gdpr_core::{
+    GdprConnector, GdprQuery, GdprResponse, MetadataField, MetadataUpdate, Session,
+};
 use gdprbench_repro::workload::datagen::{record_of, CorpusConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gdprbench_repro::relstore::RelConfig::gdpr_compliant_in_memory(),
     )?;
     let store = PostgresConnector::with_metadata_indices(db)?;
-    let corpus = CorpusConfig { records: 500, users: 40, ..Default::default() };
+    let corpus = CorpusConfig {
+        records: 500,
+        users: 40,
+        ..Default::default()
+    };
     let controller = Session::controller();
     for i in 0..corpus.records {
         store.execute(&controller, &GdprQuery::CreateRecord(record_of(i, &corpus)))?;
@@ -41,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. What does the controller hold on the complainant, and under what
     //    terms? (read-metadata-by-usr: 46% of the regulator workload)
-    let response = store.execute(&regulator, &GdprQuery::ReadMetadataByUser(complainant.clone()))?;
+    let response = store.execute(
+        &regulator,
+        &GdprQuery::ReadMetadataByUser(complainant.clone()),
+    )?;
     if let GdprResponse::Metadata(items) = &response {
         println!("records concerning {complainant}: {}", items.len());
         for (key, m) in items.iter().take(3) {
@@ -57,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Which of the complainant's records were shared with x-corp?
     //    (third-party sharing investigation, G13.1)
-    let response = store.execute(&regulator, &GdprQuery::ReadMetadataBySharedWith("x-corp".into()))?;
+    let response = store.execute(
+        &regulator,
+        &GdprQuery::ReadMetadataBySharedWith("x-corp".into()),
+    )?;
     println!("\nrecords shared with x-corp: {}", response.cardinality());
 
     // 3. Did a previously requested erasure actually happen? (verify-deletion:
@@ -71,7 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Pull the system logs for the investigation window (get-system-logs:
     //    31% of the regulator workload). Regulators see metadata and logs,
     //    never personal data.
-    let logs = store.execute(&regulator, &GdprQuery::GetSystemLogs { from_ms: 0, to_ms: u64::MAX })?;
+    let logs = store.execute(
+        &regulator,
+        &GdprQuery::GetSystemLogs {
+            from_ms: 0,
+            to_ms: u64::MAX,
+        },
+    )?;
     println!("\nsystem log entries in window: {}", logs.cardinality());
     if let GdprResponse::Logs(lines) = &logs {
         for line in lines.iter().rev().take(5) {

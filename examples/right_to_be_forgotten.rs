@@ -52,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Explicit erasure request by the data subject.
     let trinity = Session::customer("trinity");
     let deleted = redis.execute(&trinity, &GdprQuery::DeleteByKey("ph-001".into()))?;
-    println!("[redis] trinity erased ph-001 -> {deleted:?} (synchronous, per strict interpretation)");
+    println!(
+        "[redis] trinity erased ph-001 -> {deleted:?} (synchronous, per strict interpretation)"
+    );
 
     // TTL-driven erasure: advance past ph-002's 60s TTL; one strict
     // expiration cycle reaps it.

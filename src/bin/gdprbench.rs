@@ -12,7 +12,9 @@
 
 use gdprbench_repro::gdpr_core::GdprConnector;
 use gdprbench_repro::workload::gdpr::{load_corpus, stable_corpus, GdprWorkloadKind};
-use gdprbench_repro::workload::ycsb::{ycsb_key, KvInterface, KvStoreYcsb, RelStoreYcsb, YcsbConfig};
+use gdprbench_repro::workload::ycsb::{
+    ycsb_key, KvInterface, KvStoreYcsb, RelStoreYcsb, YcsbConfig,
+};
 use gdprbench_repro::workload::{datagen, run_gdpr_workload, run_ycsb_workload};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -21,11 +23,11 @@ const USAGE: &str = "\
 gdprbench — the GDPR benchmark (reproduction of Shastri et al., VLDB 2020)
 
 USAGE:
-  gdprbench run      --db <redis|postgres|postgres-mi> --workload <controller|customer|processor|regulator|all>
+  gdprbench run      --db <redis|redis-mi|postgres|postgres-mi> --workload <controller|customer|processor|regulator|all>
                      [--records N] [--ops N] [--threads N] [--no-oracle] [--compliant]
   gdprbench ycsb     --db <redis|postgres> --workload <A|B|C|D|E|F|all>
                      [--records N] [--ops N] [--threads N]
-  gdprbench features --db <redis|postgres|postgres-mi>
+  gdprbench features --db <redis|redis-mi|postgres|postgres-mi>
   gdprbench help
 
 METRICS (as defined in §4.2.3 of the paper):
@@ -51,7 +53,9 @@ fn parse_args() -> Result<Args, String> {
         if key == "no-oracle" || key == "compliant" {
             flags.insert(key, "true".to_string());
         } else {
-            let value = argv.next().ok_or_else(|| format!("--{key} requires a value"))?;
+            let value = argv
+                .next()
+                .ok_or_else(|| format!("--{key} requires a value"))?;
             flags.insert(key, value);
         }
     }
@@ -60,7 +64,10 @@ fn parse_args() -> Result<Args, String> {
 
 impl Args {
     fn get(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -77,7 +84,7 @@ impl Args {
 
 fn build_connector(db: &str, compliant: bool) -> Result<Arc<dyn GdprConnector>, String> {
     let conn: Arc<dyn GdprConnector> = match db {
-        "redis" => {
+        "redis" | "redis-mi" => {
             let config = if compliant {
                 gdprbench_repro::kvstore::KvConfig::gdpr_compliant_in_memory()
             } else {
@@ -88,7 +95,14 @@ fn build_connector(db: &str, compliant: bool) -> Result<Arc<dyn GdprConnector>, 
             if compliant {
                 store.start_expiration_driver();
             }
-            Arc::new(gdprbench_repro::connectors::RedisConnector::new(store))
+            if db == "redis-mi" {
+                Arc::new(
+                    gdprbench_repro::connectors::RedisConnector::with_metadata_index(store)
+                        .map_err(|e| e.to_string())?,
+                )
+            } else {
+                Arc::new(gdprbench_repro::connectors::RedisConnector::new(store))
+            }
         }
         "postgres" | "postgres-mi" => {
             let config = if compliant {
@@ -126,9 +140,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             .ok_or_else(|| format!("unknown --workload {name}"))?],
     };
 
-    println!(
-        "gdprbench: db={db} records={records} ops={ops} threads={threads} oracle={oracle}\n"
-    );
+    println!("gdprbench: db={db} records={records} ops={ops} threads={threads} oracle={oracle}\n");
     println!(
         "{:<11} {:>13} {:>11} {:>8} {:>12} {:>13}",
         "workload", "completion", "ops/s", "errors", "correctness", "space-factor"
@@ -181,7 +193,10 @@ fn cmd_ycsb(args: &Args) -> Result<(), String> {
     };
 
     println!("gdprbench ycsb: db={db} records={records} ops={ops} threads={threads}\n");
-    println!("{:<9} {:>13} {:>12} {:>8}", "workload", "completion", "ops/s", "errors");
+    println!(
+        "{:<9} {:>13} {:>12} {:>8}",
+        "workload", "completion", "ops/s", "errors"
+    );
     for config in configs {
         let adapter: Arc<dyn KvInterface> = match db.as_str() {
             "redis" => {
@@ -219,7 +234,11 @@ fn cmd_features(args: &Args) -> Result<(), String> {
         println!(
             "{} ({}): fully compliant = {}",
             db,
-            if compliant { "compliant config" } else { "default config" },
+            if compliant {
+                "compliant config"
+            } else {
+                "default config"
+            },
             report.is_fully_compliant()
         );
         for feature in gdprbench_repro::gdpr_core::ComplianceFeature::ALL {

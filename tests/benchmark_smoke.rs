@@ -3,7 +3,9 @@
 
 use gdprbench_repro::gdpr_core::GdprConnector;
 use gdprbench_repro::workload::gdpr::{load_corpus, stable_corpus, GdprWorkloadKind};
-use gdprbench_repro::workload::ycsb::{ycsb_key, KvInterface, KvStoreYcsb, RelStoreYcsb, YcsbConfig};
+use gdprbench_repro::workload::ycsb::{
+    ycsb_key, KvInterface, KvStoreYcsb, RelStoreYcsb, YcsbConfig,
+};
 use gdprbench_repro::workload::{datagen, run_gdpr_workload, run_ycsb_workload};
 use std::sync::Arc;
 
@@ -74,11 +76,11 @@ fn multithreaded_run_reports_per_query_stats() {
 #[test]
 fn ycsb_suite_clean_on_both_stores() {
     for config in YcsbConfig::all() {
-        let kv = KvStoreYcsb::new(
-            gdprbench_repro::kvstore::KvStore::open(Default::default()).unwrap(),
-        );
+        let kv =
+            KvStoreYcsb::new(gdprbench_repro::kvstore::KvStore::open(Default::default()).unwrap());
         for i in 0..200 {
-            kv.insert(&ycsb_key(i), &datagen::ycsb_value(i, 100)).unwrap();
+            kv.insert(&ycsb_key(i), &datagen::ycsb_value(i, 100))
+                .unwrap();
         }
         let report = run_ycsb_workload(Arc::new(kv), config.clone(), 200, 400, 2);
         assert_eq!(report.errors, 0, "kvstore workload {}", config.name);
@@ -88,7 +90,8 @@ fn ycsb_suite_clean_on_both_stores() {
         )
         .unwrap();
         for i in 0..200 {
-            rel.insert(&ycsb_key(i), &datagen::ycsb_value(i, 100)).unwrap();
+            rel.insert(&ycsb_key(i), &datagen::ycsb_value(i, 100))
+                .unwrap();
         }
         let report = run_ycsb_workload(Arc::new(rel), config.clone(), 200, 400, 2);
         assert_eq!(report.errors, 0, "relstore workload {}", config.name);

@@ -48,15 +48,23 @@ fn full_personal_data_lifecycle() {
 
         // Collection.
         for (key, purposes) in [("r1", vec!["ads", "billing"]), ("r2", vec!["billing"])] {
-            conn.execute(&controller, &GdprQuery::CreateRecord(record(key, "neo", &purposes)))
-                .unwrap();
-        }
-        conn.execute(&controller, &GdprQuery::CreateRecord(record("r3", "smith", &["ads"])))
+            conn.execute(
+                &controller,
+                &GdprQuery::CreateRecord(record(key, "neo", &purposes)),
+            )
             .unwrap();
+        }
+        conn.execute(
+            &controller,
+            &GdprQuery::CreateRecord(record("r3", "smith", &["ads"])),
+        )
+        .unwrap();
 
         // Processing under purpose.
         let ads = Session::processor("ads");
-        let visible = conn.execute(&ads, &GdprQuery::ReadDataByPurpose("ads".into())).unwrap();
+        let visible = conn
+            .execute(&ads, &GdprQuery::ReadDataByPurpose("ads".into()))
+            .unwrap();
         assert_eq!(visible.cardinality(), 2, "{name}");
 
         // Objection narrows processing.
@@ -68,24 +76,33 @@ fn full_personal_data_lifecycle() {
             },
         )
         .unwrap();
-        let visible = conn.execute(&ads, &GdprQuery::ReadDataByPurpose("ads".into())).unwrap();
+        let visible = conn
+            .execute(&ads, &GdprQuery::ReadDataByPurpose("ads".into()))
+            .unwrap();
         assert_eq!(visible.cardinality(), 1, "{name}: objection must bite");
 
         // Rectification.
         conn.execute(
             &neo,
-            &GdprQuery::UpdateDataByKey { key: "r2".into(), data: "corrected".into() },
+            &GdprQuery::UpdateDataByKey {
+                key: "r2".into(),
+                data: "corrected".into(),
+            },
         )
         .unwrap();
 
         // Portability: all of neo's data with metadata.
-        let data = conn.execute(&neo, &GdprQuery::ReadDataByUser("neo".into())).unwrap();
+        let data = conn
+            .execute(&neo, &GdprQuery::ReadDataByUser("neo".into()))
+            .unwrap();
         assert_eq!(data.cardinality(), 2, "{name}");
         assert!(data
             .as_data()
             .unwrap()
             .contains(&("r2".to_string(), "corrected".to_string())));
-        let meta = conn.execute(&neo, &GdprQuery::ReadMetadataByUser("neo".into())).unwrap();
+        let meta = conn
+            .execute(&neo, &GdprQuery::ReadMetadataByUser("neo".into()))
+            .unwrap();
         assert_eq!(meta.cardinality(), 2, "{name}");
 
         // Sharing management + regulator investigation.
@@ -98,22 +115,33 @@ fn full_personal_data_lifecycle() {
         )
         .unwrap();
         let shared = conn
-            .execute(&regulator, &GdprQuery::ReadMetadataBySharedWith("x-corp".into()))
+            .execute(
+                &regulator,
+                &GdprQuery::ReadMetadataBySharedWith("x-corp".into()),
+            )
             .unwrap();
         assert_eq!(shared.cardinality(), 2, "{name}");
 
         // Erasure + verification.
-        conn.execute(&neo, &GdprQuery::DeleteByUser("neo".into())).unwrap();
+        conn.execute(&neo, &GdprQuery::DeleteByUser("neo".into()))
+            .unwrap();
         assert_eq!(conn.record_count(), 1, "{name}");
         assert_eq!(
-            conn.execute(&regulator, &GdprQuery::VerifyDeletion("r1".into())).unwrap(),
+            conn.execute(&regulator, &GdprQuery::VerifyDeletion("r1".into()))
+                .unwrap(),
             GdprResponse::DeletionVerified(true),
             "{name}"
         );
 
         // The audit trail saw the whole story.
         let logs = conn
-            .execute(&regulator, &GdprQuery::GetSystemLogs { from_ms: 0, to_ms: u64::MAX })
+            .execute(
+                &regulator,
+                &GdprQuery::GetSystemLogs {
+                    from_ms: 0,
+                    to_ms: u64::MAX,
+                },
+            )
             .unwrap();
         let lines = match logs {
             GdprResponse::Logs(lines) => lines,
@@ -142,16 +170,34 @@ fn acl_matrix_is_uniform_across_connectors() {
     for conn in all_connectors() {
         let name = conn.name().to_string();
         let controller = Session::controller();
-        conn.execute(&controller, &GdprQuery::CreateRecord(record("r1", "neo", &["ads"])))
-            .unwrap();
+        conn.execute(
+            &controller,
+            &GdprQuery::CreateRecord(record("r1", "neo", &["ads"])),
+        )
+        .unwrap();
 
         let denied: Vec<(Session, GdprQuery)> = vec![
-            (Session::customer("smith"), GdprQuery::ReadDataByUser("neo".into())),
-            (Session::customer("smith"), GdprQuery::DeleteByKey("r1".into())),
-            (Session::processor("billing"), GdprQuery::ReadDataByKey("r1".into())),
-            (Session::processor("ads"), GdprQuery::DeleteByKey("r1".into())),
+            (
+                Session::customer("smith"),
+                GdprQuery::ReadDataByUser("neo".into()),
+            ),
+            (
+                Session::customer("smith"),
+                GdprQuery::DeleteByKey("r1".into()),
+            ),
+            (
+                Session::processor("billing"),
+                GdprQuery::ReadDataByKey("r1".into()),
+            ),
+            (
+                Session::processor("ads"),
+                GdprQuery::DeleteByKey("r1".into()),
+            ),
             (Session::regulator(), GdprQuery::ReadDataByKey("r1".into())),
-            (Session::controller(), GdprQuery::ReadDataByUser("neo".into())),
+            (
+                Session::controller(),
+                GdprQuery::ReadDataByUser("neo".into()),
+            ),
         ];
         for (session, query) in denied {
             let result = conn.execute(&session, &query);
@@ -204,14 +250,11 @@ fn space_overhead_exceeds_one_everywhere() {
                 i,
                 &gdprbench_repro::workload::datagen::CorpusConfig::default(),
             );
-            conn.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+            conn.execute(&controller, &GdprQuery::CreateRecord(r))
+                .unwrap();
         }
         let space = conn.space_report();
         assert!(space.personal_data_bytes >= 200 * 10);
-        assert!(
-            space.overhead_factor() > 1.0,
-            "{}: {space:?}",
-            conn.name()
-        );
+        assert!(space.overhead_factor() > 1.0, "{}: {space:?}", conn.name());
     }
 }

@@ -1,192 +1,509 @@
-//! Property-based tests over the codecs and core data structures.
+//! Property-based tests over the codecs, core data structures, and the
+//! compliance engine's metadata-index path.
+//!
+//! The crates.io `proptest` crate is unavailable in this offline build, so
+//! properties run on a small seeded-case harness: each property executes
+//! over many deterministic seeds and reports the failing seed on panic.
+//! Shrinking is traded away; reproducibility is kept.
 
 use gdprbench_repro::gdpr_core::record::{Metadata, PersonalRecord};
 use gdprbench_repro::gdpr_core::wire;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
-/// ASCII text safe for the §4.2.1 wire format (no `;`/`,`, non-empty).
-fn field() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-zA-Z0-9 _.:/+=@#-]{1,24}").unwrap()
-}
-
-fn field_list(max: usize) -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec(field(), 0..max)
-}
-
-prop_compose! {
-    fn arb_record()(
-        key in proptest::string::string_regex("[a-z0-9-]{1,16}").unwrap(),
-        data in field(),
-        user in field(),
-        source in field(),
-        purposes in field_list(4),
-        objections in field_list(3),
-        decisions in field_list(3),
-        sharing in field_list(3),
-        ttl_secs in proptest::option::of(1u64..10_000_000),
-    ) -> PersonalRecord {
-        PersonalRecord::new(key, data, Metadata {
-            purposes: dedup(purposes),
-            ttl: ttl_secs.map(Duration::from_secs),
-            user,
-            objections: dedup(objections),
-            decisions: dedup(decisions),
-            sharing: dedup(sharing),
-            source,
-        })
+/// Run `body` once per seed, labelling panics with the seed that failed.
+fn run_cases(cases: u64, body: impl Fn(&mut SmallRng)) {
+    for seed in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed.wrapping_mul(0x9E37_79B9));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!("property failed at seed {seed}");
+            std::panic::resume_unwind(panic);
+        }
     }
 }
 
-fn dedup(mut v: Vec<String>) -> Vec<String> {
+/// ASCII text safe for the §4.2.1 wire format (no `;`/`,`, non-empty).
+fn field(rng: &mut SmallRng) -> String {
+    const CHARS: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.:/+=@#-";
+    let len = rng.gen_range(1usize..25);
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0usize..CHARS.len())] as char)
+        .collect()
+}
+
+fn key_field(rng: &mut SmallRng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+    let len = rng.gen_range(1usize..17);
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0usize..CHARS.len())] as char)
+        .collect()
+}
+
+fn field_list(rng: &mut SmallRng, max: usize) -> Vec<String> {
+    let mut v: Vec<String> = (0..rng.gen_range(0usize..max))
+        .map(|_| field(rng))
+        .collect();
     v.sort();
     v.dedup();
     v
 }
 
-proptest! {
-    /// Wire-format roundtrip for arbitrary valid records. TTLs are rounded
-    /// to their coarsest exact unit by the format, so compare via re-format.
-    #[test]
-    fn wire_roundtrip(record in arb_record()) {
+fn byte_vec(rng: &mut SmallRng, max: usize) -> Vec<u8> {
+    let len = rng.gen_range(0usize..max.max(1));
+    (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
+
+fn arb_record(rng: &mut SmallRng) -> PersonalRecord {
+    let ttl = rng
+        .gen_bool(0.7)
+        .then(|| Duration::from_secs(rng.gen_range(1u64..10_000_000)));
+    PersonalRecord::new(
+        key_field(rng),
+        field(rng),
+        Metadata {
+            purposes: field_list(rng, 4),
+            ttl,
+            user: field(rng),
+            objections: field_list(rng, 3),
+            decisions: field_list(rng, 3),
+            sharing: field_list(rng, 3),
+            source: field(rng),
+        },
+    )
+}
+
+/// Wire-format roundtrip for arbitrary valid records. TTLs are rounded
+/// to their coarsest exact unit by the format, so compare via re-format.
+#[test]
+fn wire_roundtrip() {
+    run_cases(256, |rng| {
+        let record = arb_record(rng);
         let encoded = wire::serialize(&record);
         let decoded = wire::parse(&encoded).unwrap();
-        prop_assert_eq!(&decoded.key, &record.key);
-        prop_assert_eq!(&decoded.data, &record.data);
-        prop_assert_eq!(&decoded.metadata.user, &record.metadata.user);
-        prop_assert_eq!(&decoded.metadata.purposes, &record.metadata.purposes);
-        prop_assert_eq!(&decoded.metadata.objections, &record.metadata.objections);
-        prop_assert_eq!(&decoded.metadata.sharing, &record.metadata.sharing);
-        prop_assert_eq!(decoded.metadata.ttl, record.metadata.ttl);
+        assert_eq!(decoded.key, record.key);
+        assert_eq!(decoded.data, record.data);
+        assert_eq!(decoded.metadata.user, record.metadata.user);
+        assert_eq!(decoded.metadata.purposes, record.metadata.purposes);
+        assert_eq!(decoded.metadata.objections, record.metadata.objections);
+        assert_eq!(decoded.metadata.sharing, record.metadata.sharing);
+        assert_eq!(decoded.metadata.ttl, record.metadata.ttl);
         // Serialization is stable (parse∘serialize is idempotent).
-        prop_assert_eq!(wire::serialize(&decoded), encoded);
-    }
+        assert_eq!(wire::serialize(&decoded), encoded);
+    });
+}
 
-    /// The wire parser never panics on arbitrary input.
-    #[test]
-    fn wire_parse_never_panics(input in ".{0,200}") {
+/// The wire parser never panics on arbitrary input.
+#[test]
+fn wire_parse_never_panics() {
+    run_cases(512, |rng| {
+        let len = rng.gen_range(0usize..200);
+        let input: String = (0..len)
+            .map(|_| {
+                // Bias toward the format's separator characters to hit the
+                // parser's edge cases, not just garbage rejection.
+                match rng.gen_range(0u32..6) {
+                    0 => ';',
+                    1 => ',',
+                    2 => '=',
+                    _ => rng.gen_range(0x20u32..0x7F) as u8 as char,
+                }
+            })
+            .collect();
         let _ = wire::parse(&input);
-    }
+    });
+}
 
-    /// RESP command encoding roundtrips arbitrary binary parts.
-    #[test]
-    fn resp_roundtrip(parts in proptest::collection::vec(
-        proptest::collection::vec(any::<u8>(), 0..64), 1..8)
-    ) {
-        let parts: Vec<gdprbench_repro::kvstore::Bytes> = parts.into_iter().map(gdprbench_repro::kvstore::Bytes::from).collect();
+/// RESP command encoding roundtrips arbitrary binary parts.
+#[test]
+fn resp_roundtrip() {
+    run_cases(256, |rng| {
+        let parts: Vec<gdprbench_repro::kvstore::Bytes> = (0..rng.gen_range(1usize..8))
+            .map(|_| gdprbench_repro::kvstore::Bytes::from(byte_vec(rng, 64)))
+            .collect();
         let encoded = gdprbench_repro::kvstore::resp::encode_command(&parts);
         let (decoded, used) = gdprbench_repro::kvstore::resp::parse_command(&encoded).unwrap();
-        prop_assert_eq!(decoded, parts);
-        prop_assert_eq!(used, encoded.len());
-    }
+        assert_eq!(decoded, parts);
+        assert_eq!(used, encoded.len());
+    });
+}
 
-    /// The RESP parser never panics on garbage.
-    #[test]
-    fn resp_parse_never_panics(input in proptest::collection::vec(any::<u8>(), 0..128)) {
+/// The RESP parser never panics on garbage.
+#[test]
+fn resp_parse_never_panics() {
+    run_cases(512, |rng| {
+        let input = byte_vec(rng, 128);
         let _ = gdprbench_repro::kvstore::resp::parse_command(&input);
-    }
+    });
+}
 
-    /// Datum binary codec roundtrips.
-    #[test]
-    fn datum_roundtrip(
-        n in any::<i64>(),
-        x in any::<f64>().prop_filter("nan breaks eq", |v| !v.is_nan()),
-        s in field(),
-        arr in field_list(5),
-        ts in any::<u64>(),
-    ) {
-        use gdprbench_repro::relstore::Datum;
+/// Datum binary codec roundtrips.
+#[test]
+fn datum_roundtrip() {
+    use gdprbench_repro::relstore::Datum;
+    run_cases(256, |rng| {
+        let n = rng.gen::<u64>() as i64;
+        let x = (rng.gen::<f64>() - 0.5) * rng.gen_range(1i64..1_000_000) as f64;
         for datum in [
             Datum::Null,
             Datum::Int(n),
             Datum::Float(x),
-            Datum::Text(s),
-            Datum::TextArray(arr),
-            Datum::Timestamp(ts),
+            Datum::Text(field(rng)),
+            Datum::TextArray(field_list(rng, 5)),
+            Datum::Timestamp(rng.gen::<u64>()),
         ] {
             let mut buf = Vec::new();
             datum.encode(&mut buf);
             let mut pos = 0;
             let decoded = Datum::decode(&buf, &mut pos).unwrap();
-            prop_assert_eq!(decoded, datum);
-            prop_assert_eq!(pos, buf.len());
+            assert_eq!(decoded, datum);
+            assert_eq!(pos, buf.len());
         }
-    }
+    });
+}
 
-    /// The glob matcher agrees with a naive regex-style reference on
-    /// star-and-literal patterns and never panics on anything.
-    #[test]
-    fn glob_star_semantics(
-        prefix in "[a-z]{0,6}", middle in "[a-z]{0,6}", suffix in "[a-z]{0,6}",
-        text in "[a-z]{0,18}",
-    ) {
-        use gdprbench_repro::kvstore::glob::glob_match;
+/// The glob matcher agrees with a naive reference on star-and-literal
+/// patterns and never panics on anything.
+#[test]
+fn glob_star_semantics() {
+    use gdprbench_repro::kvstore::glob::glob_match;
+    let lower = |rng: &mut SmallRng, max: usize| -> String {
+        let len = rng.gen_range(0usize..max + 1);
+        (0..len)
+            .map(|_| rng.gen_range(b'a' as u32..b'z' as u32 + 1) as u8 as char)
+            .collect()
+    };
+    run_cases(1024, |rng| {
+        let prefix = lower(rng, 6);
+        let middle = lower(rng, 6);
+        let suffix = lower(rng, 6);
+        let text = lower(rng, 18);
         let pattern = format!("{prefix}*{middle}*{suffix}");
         let matched = glob_match(pattern.as_bytes(), text.as_bytes());
         // Reference: text must start with prefix, end with suffix, and
         // contain middle in between (in order).
-        let reference = text.strip_prefix(&prefix)
+        let reference = text
+            .strip_prefix(&prefix)
             .and_then(|rest| rest.strip_suffix(&suffix))
             .map(|mid| mid.contains(&middle) || middle.is_empty())
             .unwrap_or(false)
             // Overlap subtlety: strip_prefix/suffix can overlap; accept
             // either verdict when prefix+suffix exceed the text.
             || (prefix.len() + suffix.len() > text.len() && matched);
-        prop_assert_eq!(matched, reference, "pattern={} text={}", pattern, text);
-    }
+        assert_eq!(matched, reference, "pattern={pattern} text={text}");
+    });
+}
 
-    /// B+Tree agrees with a BTreeMap model under arbitrary operation
-    /// sequences, including range queries.
-    #[test]
-    fn btree_matches_model(ops in proptest::collection::vec(
-        (0u16..200, 0u8..8, any::<bool>()), 1..300)
-    ) {
-        use gdprbench_repro::relstore::btree::BPlusTree;
-        use std::collections::BTreeMap;
+/// B+Tree agrees with a BTreeMap model under arbitrary operation
+/// sequences, including range queries.
+#[test]
+fn btree_matches_model() {
+    use gdprbench_repro::relstore::btree::BPlusTree;
+    use std::collections::BTreeMap;
+    run_cases(128, |rng| {
         let mut tree: BPlusTree<u16, u8> = BPlusTree::new();
         let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
-        for (key, value, insert) in ops {
-            if insert {
+        for _ in 0..rng.gen_range(1usize..300) {
+            let key = rng.gen_range(0u32..200) as u16;
+            let value = rng.gen_range(0u32..8) as u8;
+            if rng.gen_bool(0.5) {
                 let plist = model.entry(key).or_default();
-                let expect = if plist.contains(&value) { false } else { plist.push(value); true };
-                prop_assert_eq!(tree.insert(key, value), expect);
+                let expect = if plist.contains(&value) {
+                    false
+                } else {
+                    plist.push(value);
+                    true
+                };
+                assert_eq!(tree.insert(key, value), expect);
             } else {
-                let expect = model.get_mut(&key).map(|plist| {
-                    if let Some(pos) = plist.iter().position(|v| *v == value) {
-                        plist.swap_remove(pos);
-                        true
-                    } else { false }
-                }).unwrap_or(false);
+                let expect = model
+                    .get_mut(&key)
+                    .map(|plist| {
+                        if let Some(pos) = plist.iter().position(|v| *v == value) {
+                            plist.swap_remove(pos);
+                            true
+                        } else {
+                            false
+                        }
+                    })
+                    .unwrap_or(false);
                 if model.get(&key).is_some_and(Vec::is_empty) {
                     model.remove(&key);
                 }
-                prop_assert_eq!(tree.remove(&key, &value), expect);
+                assert_eq!(tree.remove(&key, &value), expect);
             }
         }
-        prop_assert_eq!(tree.key_count(), model.len());
+        assert_eq!(tree.key_count(), model.len());
         let got: Vec<u16> = tree.range(&50, &150).into_iter().map(|(k, _)| k).collect();
-        let want: Vec<u16> = model.range(50..=150)
+        let want: Vec<u16> = model
+            .range(50..=150)
             .flat_map(|(k, plist)| std::iter::repeat_n(*k, plist.len()))
             .collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Sealed volume blocks always roundtrip and always detect single-bit
-    /// corruption.
-    #[test]
-    fn volume_roundtrip_and_corruption(
-        data in proptest::collection::vec(any::<u8>(), 0..256),
-        block in any::<u64>(),
-        flip_bit in 0usize..64,
-    ) {
+/// Sealed volume blocks always roundtrip and always detect single-bit
+/// corruption.
+#[test]
+fn volume_roundtrip_and_corruption() {
+    run_cases(256, |rng| {
+        let data = byte_vec(rng, 256);
+        let block = rng.gen::<u64>();
         let volume = gdprbench_repro::crypto::Volume::new(b"prop-key");
         let sealed = volume.seal(block, &data);
         let (got_block, got) = volume.open(&sealed).unwrap();
-        prop_assert_eq!(got_block, block);
-        prop_assert_eq!(got, data);
+        assert_eq!(got_block, block);
+        assert_eq!(got, data);
         let mut bad = sealed.clone();
+        let flip_bit = rng.gen_range(0usize..64);
         let idx = flip_bit % bad.len().max(1);
         bad[idx] ^= 1 << (flip_bit % 8);
-        prop_assert!(volume.open(&bad).is_err());
+        assert!(volume.open(&bad).is_err());
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Compliance-engine metadata index properties
+// ---------------------------------------------------------------------------
+
+mod engine_index {
+    use super::*;
+    use gdprbench_repro::connectors::RedisConnector;
+    use gdprbench_repro::gdpr_core::{GdprConnector, GdprQuery, GdprResponse, Session};
+    use gdprbench_repro::kvstore::{ExpirationMode, KvConfig, KvStore};
+    use std::sync::Arc;
+
+    const USERS: [&str; 4] = ["neo", "trinity", "morpheus", "smith"];
+    const PURPOSES: [&str; 4] = ["ads", "2fa", "analytics", "billing"];
+    const PARTIES: [&str; 3] = ["x-corp", "y-corp", "z-corp"];
+
+    fn pick<'a>(rng: &mut SmallRng, pool: &[&'a str]) -> &'a str {
+        pool[rng.gen_range(0usize..pool.len())]
+    }
+
+    fn subset(rng: &mut SmallRng, pool: &[&str], max: usize) -> Vec<String> {
+        let mut out: Vec<String> = (0..rng.gen_range(0usize..max + 1))
+            .map(|_| pick(rng, pool).to_string())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn arb_gdpr_record(rng: &mut SmallRng, key: String) -> PersonalRecord {
+        let mut purposes = subset(rng, &PURPOSES, 3);
+        if purposes.is_empty() {
+            purposes.push(pick(rng, &PURPOSES).to_string());
+        }
+        let ttl = rng
+            .gen_bool(0.5)
+            .then(|| Duration::from_secs(rng.gen_range(1u64..120)));
+        PersonalRecord::new(
+            key,
+            field(rng),
+            Metadata {
+                purposes,
+                ttl,
+                user: pick(rng, &USERS).to_string(),
+                objections: subset(rng, &PURPOSES, 2),
+                decisions: if rng.gen_bool(0.2) {
+                    vec![Metadata::DEC_OPT_OUT.to_string()]
+                } else {
+                    vec![]
+                },
+                sharing: subset(rng, &PARTIES, 2),
+                source: "first-party".to_string(),
+            },
+        )
+    }
+
+    fn sorted(resp: GdprResponse) -> GdprResponse {
+        match resp {
+            GdprResponse::Data(mut pairs) => {
+                pairs.sort();
+                GdprResponse::Data(pairs)
+            }
+            GdprResponse::Metadata(mut pairs) => {
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                GdprResponse::Metadata(pairs)
+            }
+            other => other,
+        }
+    }
+
+    fn predicate_queries() -> Vec<(Session, GdprQuery)> {
+        let mut queries = Vec::new();
+        for user in USERS {
+            queries.push((
+                Session::customer(user),
+                GdprQuery::ReadDataByUser(user.to_string()),
+            ));
+            queries.push((
+                Session::regulator(),
+                GdprQuery::ReadMetadataByUser(user.to_string()),
+            ));
+        }
+        for purpose in PURPOSES {
+            queries.push((
+                Session::processor(purpose),
+                GdprQuery::ReadDataByPurpose(purpose.to_string()),
+            ));
+            queries.push((
+                Session::processor("any"),
+                GdprQuery::ReadDataNotObjecting(purpose.to_string()),
+            ));
+        }
+        for party in PARTIES {
+            queries.push((
+                Session::regulator(),
+                GdprQuery::ReadMetadataBySharedWith(party.to_string()),
+            ));
+        }
+        queries.push((
+            Session::processor("any"),
+            GdprQuery::ReadDataDecisionEligible,
+        ));
+        queries
+    }
+
+    /// Every predicate query returns the identical result set through the
+    /// `MetadataIndex` and through a forced full scan, across creates,
+    /// metadata updates, deletes, and TTL expirations.
+    #[test]
+    fn index_and_scan_always_agree() {
+        run_cases(24, |rng| {
+            let sim = clock::sim();
+            let scan_conn = RedisConnector::new(
+                KvStore::open_with_clock(KvConfig::default(), sim.clone()).unwrap(),
+            );
+            let index_conn = RedisConnector::with_metadata_index(
+                KvStore::open_with_clock(KvConfig::default(), sim.clone()).unwrap(),
+            )
+            .unwrap();
+            let controller = Session::controller();
+
+            // Phase 1: a random corpus, mirrored into both stores.
+            let n = rng.gen_range(5usize..40);
+            let mut keys = Vec::new();
+            for i in 0..n {
+                let record = arb_gdpr_record(rng, format!("k{i}"));
+                keys.push(record.key.clone());
+                for conn in [&scan_conn, &index_conn] {
+                    conn.execute(&controller, &GdprQuery::CreateRecord(record.clone()))
+                        .unwrap();
+                }
+            }
+
+            // Phase 2: random mutations (metadata updates and deletions).
+            use gdprbench_repro::gdpr_core::{MetadataField, MetadataUpdate};
+            for _ in 0..rng.gen_range(0usize..15) {
+                let key = keys[rng.gen_range(0usize..keys.len())].clone();
+                let update = match rng.gen_range(0u32..4) {
+                    0 => Some(MetadataUpdate::Add(
+                        MetadataField::Objections,
+                        pick(rng, &PURPOSES).to_string(),
+                    )),
+                    1 => Some(MetadataUpdate::Add(
+                        MetadataField::Sharing,
+                        pick(rng, &PARTIES).to_string(),
+                    )),
+                    2 => Some(MetadataUpdate::SetTtl(Duration::from_secs(
+                        rng.gen_range(1u64..120),
+                    ))),
+                    _ => None, // delete instead
+                };
+                for conn in [&scan_conn, &index_conn] {
+                    let query = match &update {
+                        Some(update) => GdprQuery::UpdateMetadataByKey {
+                            key: key.clone(),
+                            update: update.clone(),
+                        },
+                        None => GdprQuery::DeleteByKey(key.clone()),
+                    };
+                    // The record may already be deleted; both must agree.
+                    let _ = conn.execute(&controller, &query);
+                }
+            }
+
+            // Phase 3: let a random slice of TTLs expire.
+            sim.advance(Duration::from_secs(rng.gen_range(0u64..130)));
+
+            for (session, query) in predicate_queries() {
+                let scan = sorted(scan_conn.execute(&session, &query).unwrap());
+                let indexed = sorted(index_conn.execute(&session, &query).unwrap());
+                assert_eq!(scan, indexed, "divergence on {query:?}");
+            }
+        });
+    }
+
+    /// TTL expiration removes keys from all four inverted indexes and the
+    /// deadline set, on both the active-cycle and lazy-access paths.
+    #[test]
+    fn ttl_expiration_scrubs_all_indexes() {
+        run_cases(24, |rng| {
+            let sim = clock::sim();
+            let store = KvStore::open_with_clock(
+                KvConfig {
+                    expiration: ExpirationMode::Strict,
+                    ..Default::default()
+                },
+                sim.clone(),
+            )
+            .unwrap();
+            let conn = RedisConnector::with_metadata_index(Arc::clone(&store)).unwrap();
+            let controller = Session::controller();
+
+            let n = rng.gen_range(3usize..25);
+            let mut records = Vec::new();
+            for i in 0..n {
+                let mut record = arb_gdpr_record(rng, format!("k{i}"));
+                // Everyone gets a TTL; roughly half will be past due.
+                record.metadata.ttl = Some(Duration::from_secs(rng.gen_range(1u64..100)));
+                conn.execute(&controller, &GdprQuery::CreateRecord(record.clone()))
+                    .unwrap();
+                records.push(record);
+            }
+
+            let horizon = Duration::from_secs(50);
+            sim.advance(horizon);
+            let index = Arc::clone(conn.metadata_index().unwrap());
+            if rng.gen_bool(0.5) {
+                // Active path: one strict expiration cycle.
+                store.run_expiration_cycle();
+            } else {
+                // Engine path: DELETE-RECORD-BY-TTL drains the deadline set.
+                conn.execute(&controller, &GdprQuery::DeleteExpired)
+                    .unwrap();
+            }
+
+            for record in &records {
+                let expired = record.metadata.ttl.unwrap() <= horizon;
+                if expired {
+                    assert!(
+                        index.fully_absent(&record.key),
+                        "expired {} must leave user/purpose/objection/sharing \
+                         indexes and the deadline set",
+                        record.key
+                    );
+                } else {
+                    assert!(
+                        index
+                            .keys_by_user(&record.metadata.user)
+                            .contains(&record.key),
+                        "live {} must stay indexed",
+                        record.key
+                    );
+                }
+            }
+            let live = records
+                .iter()
+                .filter(|r| r.metadata.ttl.unwrap() > horizon)
+                .count();
+            assert_eq!(index.len(), live);
+            assert_eq!(conn.record_count(), live);
+        });
     }
 }

@@ -28,10 +28,15 @@ fn erasure_survives_kvstore_crash_recovery() {
     let store = KvStore::open(config.clone()).unwrap();
     let conn = RedisConnector::new(std::sync::Arc::clone(&store));
     let controller = Session::controller();
-    conn.execute(&controller, &GdprQuery::CreateRecord(record("r1", "neo"))).unwrap();
-    conn.execute(&controller, &GdprQuery::CreateRecord(record("r2", "neo"))).unwrap();
-    conn.execute(&Session::customer("neo"), &GdprQuery::DeleteByKey("r1".into()))
+    conn.execute(&controller, &GdprQuery::CreateRecord(record("r1", "neo")))
         .unwrap();
+    conn.execute(&controller, &GdprQuery::CreateRecord(record("r2", "neo")))
+        .unwrap();
+    conn.execute(
+        &Session::customer("neo"),
+        &GdprQuery::DeleteByKey("r1".into()),
+    )
+    .unwrap();
     let aof = store.aof_memory_buffer().unwrap().lock().clone();
 
     // "Crash" and recover from the AOF.
@@ -39,12 +44,14 @@ fn erasure_survives_kvstore_crash_recovery() {
     let conn = RedisConnector::new(recovered);
     let regulator = Session::regulator();
     assert_eq!(
-        conn.execute(&regulator, &GdprQuery::VerifyDeletion("r1".into())).unwrap(),
+        conn.execute(&regulator, &GdprQuery::VerifyDeletion("r1".into()))
+            .unwrap(),
         GdprResponse::DeletionVerified(true),
         "an erased record must stay erased across recovery"
     );
     assert_eq!(
-        conn.execute(&regulator, &GdprQuery::VerifyDeletion("r2".into())).unwrap(),
+        conn.execute(&regulator, &GdprQuery::VerifyDeletion("r2".into()))
+            .unwrap(),
         GdprResponse::DeletionVerified(false)
     );
 }
@@ -58,10 +65,15 @@ fn erasure_survives_relstore_crash_recovery() {
     let db = Database::open(config.clone()).unwrap();
     let conn = PostgresConnector::new(std::sync::Arc::clone(&db)).unwrap();
     let controller = Session::controller();
-    conn.execute(&controller, &GdprQuery::CreateRecord(record("r1", "neo"))).unwrap();
-    conn.execute(&controller, &GdprQuery::CreateRecord(record("r2", "smith"))).unwrap();
-    conn.execute(&Session::customer("neo"), &GdprQuery::DeleteByUser("neo".into()))
+    conn.execute(&controller, &GdprQuery::CreateRecord(record("r1", "neo")))
         .unwrap();
+    conn.execute(&controller, &GdprQuery::CreateRecord(record("r2", "smith")))
+        .unwrap();
+    conn.execute(
+        &Session::customer("neo"),
+        &GdprQuery::DeleteByUser("neo".into()),
+    )
+    .unwrap();
     let wal = db.wal_memory_buffer().unwrap().lock().clone();
 
     let recovered = Database::recover(config, &wal, gdprbench_repro::clock::wall()).unwrap();
@@ -87,11 +99,13 @@ fn encrypted_persistence_never_leaks_plaintext() {
     .unwrap();
     let aof = store.aof_memory_buffer().unwrap().lock().clone();
     assert!(
-        !aof.windows(b"plaintext-marker-user".len()).any(|w| w == b"plaintext-marker-user"),
+        !aof.windows(b"plaintext-marker-user".len())
+            .any(|w| w == b"plaintext-marker-user"),
         "user identity must not appear in the persisted AOF"
     );
     assert!(
-        !aof.windows(b"secret-data".len()).any(|w| w == b"secret-data"),
+        !aof.windows(b"secret-data".len())
+            .any(|w| w == b"secret-data"),
         "personal data must not appear in the persisted AOF"
     );
 
@@ -109,7 +123,9 @@ fn encrypted_persistence_never_leaks_plaintext() {
     )
     .unwrap();
     let wal = db.wal_memory_buffer().unwrap().lock().clone();
-    assert!(!wal.windows(b"plaintext-marker-user".len()).any(|w| w == b"plaintext-marker-user"));
+    assert!(!wal
+        .windows(b"plaintext-marker-user".len())
+        .any(|w| w == b"plaintext-marker-user"));
 }
 
 #[test]
@@ -124,12 +140,17 @@ fn encrypted_snapshot_restores_gdpr_records() {
     let conn = RedisConnector::new(std::sync::Arc::clone(&store));
     let controller = Session::controller();
     for i in 0..20 {
-        conn.execute(&controller, &GdprQuery::CreateRecord(record(&format!("r{i}"), "neo")))
-            .unwrap();
+        conn.execute(
+            &controller,
+            &GdprQuery::CreateRecord(record(&format!("r{i}"), "neo")),
+        )
+        .unwrap();
     }
     let snap = store.snapshot_bytes();
     assert!(
-        !snap.windows(b"secret-data".len()).any(|w| w == b"secret-data"),
+        !snap
+            .windows(b"secret-data".len())
+            .any(|w| w == b"secret-data"),
         "sealed snapshot must not leak personal data"
     );
 
@@ -137,7 +158,10 @@ fn encrypted_snapshot_restores_gdpr_records() {
     assert_eq!(restored.restore_snapshot(&snap).unwrap(), 20);
     let conn = RedisConnector::new(restored);
     let resp = conn
-        .execute(&Session::customer("neo"), &GdprQuery::ReadDataByUser("neo".into()))
+        .execute(
+            &Session::customer("neo"),
+            &GdprQuery::ReadDataByUser("neo".into()),
+        )
         .unwrap();
     assert_eq!(resp.cardinality(), 20);
 }

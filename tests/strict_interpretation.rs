@@ -29,14 +29,21 @@ fn record(key: &str, user: &str) -> PersonalRecord {
 #[test]
 fn deletion_is_observable_immediately() {
     for conn in connectors() {
-        conn.execute(&Session::controller(), &GdprQuery::CreateRecord(record("k", "neo")))
-            .unwrap();
+        conn.execute(
+            &Session::controller(),
+            &GdprQuery::CreateRecord(record("k", "neo")),
+        )
+        .unwrap();
         let neo = Session::customer("neo");
-        conn.execute(&neo, &GdprQuery::DeleteByKey("k".into())).unwrap();
+        conn.execute(&neo, &GdprQuery::DeleteByKey("k".into()))
+            .unwrap();
         // No settling time, no background pass: gone now.
         assert_eq!(
-            conn.execute(&Session::regulator(), &GdprQuery::VerifyDeletion("k".into()))
-                .unwrap(),
+            conn.execute(
+                &Session::regulator(),
+                &GdprQuery::VerifyDeletion("k".into())
+            )
+            .unwrap(),
             GdprResponse::DeletionVerified(true),
             "{}",
             conn.name()
@@ -52,21 +59,42 @@ fn deletion_is_observable_immediately() {
 #[test]
 fn audit_trail_captures_reads_and_denials() {
     for conn in connectors() {
-        conn.execute(&Session::controller(), &GdprQuery::CreateRecord(record("k", "neo")))
-            .unwrap();
+        conn.execute(
+            &Session::controller(),
+            &GdprQuery::CreateRecord(record("k", "neo")),
+        )
+        .unwrap();
         let before = match conn
-            .execute(&Session::regulator(), &GdprQuery::GetSystemLogs { from_ms: 0, to_ms: u64::MAX })
+            .execute(
+                &Session::regulator(),
+                &GdprQuery::GetSystemLogs {
+                    from_ms: 0,
+                    to_ms: u64::MAX,
+                },
+            )
             .unwrap()
         {
             GdprResponse::Logs(lines) => lines.len(),
             _ => unreachable!(),
         };
         // One successful read, one denied read.
-        conn.execute(&Session::customer("neo"), &GdprQuery::ReadDataByUser("neo".into()))
-            .unwrap();
-        let _ = conn.execute(&Session::customer("smith"), &GdprQuery::ReadDataByUser("neo".into()));
+        conn.execute(
+            &Session::customer("neo"),
+            &GdprQuery::ReadDataByUser("neo".into()),
+        )
+        .unwrap();
+        let _ = conn.execute(
+            &Session::customer("smith"),
+            &GdprQuery::ReadDataByUser("neo".into()),
+        );
         let lines = match conn
-            .execute(&Session::regulator(), &GdprQuery::GetSystemLogs { from_ms: 0, to_ms: u64::MAX })
+            .execute(
+                &Session::regulator(),
+                &GdprQuery::GetSystemLogs {
+                    from_ms: 0,
+                    to_ms: u64::MAX,
+                },
+            )
             .unwrap()
         {
             GdprResponse::Logs(lines) => lines,
@@ -105,12 +133,21 @@ fn purpose_and_objection_gating_is_exact() {
             if allowed {
                 expected.push(r.key.clone());
             }
-            conn.execute(&controller, &GdprQuery::CreateRecord(r)).unwrap();
+            conn.execute(&controller, &GdprQuery::CreateRecord(r))
+                .unwrap();
         }
         let resp = conn
-            .execute(&Session::processor("ads"), &GdprQuery::ReadDataByPurpose("ads".into()))
+            .execute(
+                &Session::processor("ads"),
+                &GdprQuery::ReadDataByPurpose("ads".into()),
+            )
             .unwrap();
-        let mut got: Vec<String> = resp.as_data().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        let mut got: Vec<String> = resp
+            .as_data()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
         got.sort();
         expected.sort();
         assert_eq!(got, expected, "{}", conn.name());
@@ -135,11 +172,15 @@ fn retention_limits_are_enforced() {
     let conn = RedisConnector::new(store);
     let mut r = record("k", "neo");
     r.metadata.ttl = Some(Duration::from_secs(30));
-    conn.execute(&Session::controller(), &GdprQuery::CreateRecord(r)).unwrap();
+    conn.execute(&Session::controller(), &GdprQuery::CreateRecord(r))
+        .unwrap();
     sim.advance(Duration::from_secs(31));
     // No cycle has run yet, but lazy expire-on-access already hides it.
     assert!(conn
-        .execute(&Session::customer("neo"), &GdprQuery::ReadMetadataByKey("k".into()))
+        .execute(
+            &Session::customer("neo"),
+            &GdprQuery::ReadMetadataByKey("k".into())
+        )
         .is_err());
 
     // PostgreSQL with a simulated clock and one sweep.
@@ -152,7 +193,8 @@ fn retention_limits_are_enforced() {
     let conn = PostgresConnector::new(db).unwrap();
     let mut r = record("k", "neo");
     r.metadata.ttl = Some(Duration::from_secs(30));
-    conn.execute(&Session::controller(), &GdprQuery::CreateRecord(r)).unwrap();
+    conn.execute(&Session::controller(), &GdprQuery::CreateRecord(r))
+        .unwrap();
     sim.advance(Duration::from_secs(31));
     assert_eq!(conn.ttl_daemon().sweep_once().unwrap(), 1);
     assert_eq!(conn.record_count(), 0);
