@@ -1,0 +1,44 @@
+//! Sharded vs single-engine point-op throughput — the criterion view of
+//! the shard-scaling experiment. Each sample executes a fixed batch of
+//! point operations (90% READ-DATA-BY-KEY / 10% UPDATE-DATA-BY-KEY)
+//! spread across client threads; the shard ladder shows the per-shard
+//! locking win over the single store's global lock.
+//!
+//! Override the corpus with `GDPRBENCH_SHARD_RECORDS`, the per-sample op
+//! batch with `GDPRBENCH_SHARD_OPS`, and the client thread count with
+//! `GDPRBENCH_SHARD_THREADS`.
+
+use bench::experiments::sharding::{build_sharded, run_point_ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let records = env_or("GDPRBENCH_SHARD_RECORDS", 20_000);
+    let ops = env_or("GDPRBENCH_SHARD_OPS", 20_000) as u64;
+    let threads = env_or("GDPRBENCH_SHARD_THREADS", 4);
+
+    let mut group = c.benchmark_group(format!("sharding/{records}r-{ops}ops-{threads}t"));
+    for shards in [1usize, 2, 4, 8] {
+        let conn = build_sharded(shards, records);
+        group.bench_with_input(BenchmarkId::new("point-ops", shards), &(), |b, ()| {
+            b.iter(|| run_point_ops(&conn, records, ops, threads));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_shard_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Shard scaling: point-op throughput of the sharded Redis connector as
+//! the shard count grows — the scale-out extension of the Figure 7 story.
+//! `--shards N` pins a single shard count; the default runs the 1/2/4/8
+//! ladder. `--records`, `--ops`, and `--threads` scale the workload.
+
+use bench::cli::Params;
+use bench::experiments::sharding::{run_point_op_scaling, DEFAULT_LADDER};
+
+fn main() {
+    let params = Params::from_env();
+    let ladder: Vec<usize> = if params.shards == 0 {
+        DEFAULT_LADDER.to_vec()
+    } else {
+        vec![params.shards]
+    };
+    let (table, _) = run_point_op_scaling(&ladder, params.records, params.ops, params.threads);
+    println!("{}", table.render());
+}

@@ -1,5 +1,5 @@
 //! Minimal flag parsing for the experiment binaries (`--records N`,
-//! `--ops N`, `--threads N`, `--db NAME`, `--part a|b`).
+//! `--ops N`, `--threads N`, `--db NAME`, `--part a|b`, `--shards N`).
 
 /// Common experiment parameters with benchmark-friendly defaults.
 #[derive(Debug, Clone)]
@@ -14,6 +14,8 @@ pub struct Params {
     pub db: String,
     /// Sub-figure selector (`a`, `b`, `all`).
     pub part: String,
+    /// Shard count for the sharded experiments (0 = the default ladder).
+    pub shards: usize,
 }
 
 impl Default for Params {
@@ -24,6 +26,7 @@ impl Default for Params {
             threads: 4,
             db: "all".to_string(),
             part: "all".to_string(),
+            shards: 0,
         }
     }
 }
@@ -54,9 +57,14 @@ impl Params {
                 }
                 "--db" => params.db = take("--db")?,
                 "--part" => params.part = take("--part")?,
+                "--shards" => {
+                    params.shards = take("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?;
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--records N] [--ops N] [--threads N] [--db redis|postgres|postgres-mi|all] [--part a|b|all]"
+                        "usage: [--records N] [--ops N] [--threads N] [--db redis|postgres|postgres-mi|all] [--part a|b|all] [--shards N]"
                             .to_string(),
                     );
                 }
@@ -120,11 +128,14 @@ mod tests {
             "redis",
             "--part",
             "b",
+            "--shards",
+            "8",
         ])
         .unwrap();
         assert_eq!(p.records, 500);
         assert_eq!(p.ops, 100);
         assert_eq!(p.threads, 2);
+        assert_eq!(p.shards, 8);
         assert!(p.wants_db("redis"));
         assert!(!p.wants_db("postgres"));
         assert!(p.wants_part("b") && !p.wants_part("a"));

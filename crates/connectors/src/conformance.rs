@@ -1,9 +1,12 @@
-//! Cross-connector conformance: both bindings must expose identical GDPR
-//! semantics, whatever their storage layout. Every scenario here runs
-//! against the Redis-shaped and the PostgreSQL-shaped connector (baseline
-//! and metadata-index variants).
+//! Cross-connector conformance: every binding must expose identical GDPR
+//! semantics, whatever its storage layout or shard topology. Every
+//! scenario here runs against the Redis-shaped connector (baseline and
+//! metadata-index variants), the PostgreSQL-shaped connector (likewise),
+//! and the hash-partitioned `redis-sharded` router — whose shard count
+//! comes from `GDPR_SHARDS` (CI runs the suite at 1 and 8), so a
+//! shard-count-dependent semantic can never land.
 
-use crate::{PostgresConnector, RedisConnector};
+use crate::{PostgresConnector, RedisConnector, ShardedRedisConnector};
 use gdpr_core::query::{GdprQuery, MetadataField, MetadataUpdate};
 use gdpr_core::record::{Metadata, PersonalRecord};
 use gdpr_core::response::GdprResponse;
@@ -12,12 +15,27 @@ use gdpr_core::{GdprConnector, GdprError};
 use std::sync::Arc;
 use std::time::Duration;
 
+fn open_kv() -> Arc<kvstore::KvStore> {
+    kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap()
+}
+
+/// `n` stores sharing one clock instance — the sharded engine requires a
+/// single clock so timestamps and TTL deadlines are comparable fleet-wide.
+fn open_kv_fleet(n: usize) -> Vec<Arc<kvstore::KvStore>> {
+    let clock = clock::wall();
+    (0..n)
+        .map(|_| {
+            kvstore::KvStore::open_with_clock(kvstore::KvConfig::default(), clock.clone()).unwrap()
+        })
+        .collect()
+}
+
 fn connectors() -> Vec<Box<dyn GdprConnector>> {
-    let redis = RedisConnector::new(kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap());
-    let redis_mi = RedisConnector::with_metadata_index(
-        kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap(),
-    )
-    .unwrap();
+    let shards = gdpr_core::shard_count_from_env();
+    let redis = RedisConnector::new(open_kv());
+    let redis_mi = RedisConnector::with_metadata_index(open_kv()).unwrap();
+    let sharded = ShardedRedisConnector::with_metadata_index(open_kv_fleet(shards)).unwrap();
+    let sharded_scan = ShardedRedisConnector::new(open_kv_fleet(shards)).unwrap();
     let pg =
         PostgresConnector::new(relstore::Database::open(relstore::RelConfig::default()).unwrap())
             .unwrap();
@@ -28,6 +46,8 @@ fn connectors() -> Vec<Box<dyn GdprConnector>> {
     vec![
         Box::new(redis),
         Box::new(redis_mi),
+        Box::new(sharded),
+        Box::new(sharded_scan),
         Box::new(pg),
         Box::new(pg_mi),
     ]
@@ -769,6 +789,199 @@ fn delete_expired_query_purges() {
     sim.advance(Duration::from_secs(6));
     let resp = pg.execute(&controller, &GdprQuery::DeleteExpired).unwrap();
     assert_eq!(resp, GdprResponse::Deleted(10));
+}
+
+/// The sharded router answers every predicate query identically whether
+/// its shards resolve by per-shard metadata index or by per-shard scan,
+/// and identically to the unsharded connector — index/scan equivalence
+/// holds *per shard* and survives the merge.
+#[test]
+fn sharded_index_and_scan_agree_on_all_predicates() {
+    let scan_conn = ShardedRedisConnector::new(open_kv_fleet(3)).unwrap();
+    let index_conn = ShardedRedisConnector::with_metadata_index(open_kv_fleet(3)).unwrap();
+    let unsharded = RedisConnector::new(open_kv());
+    let conns: [&dyn GdprConnector; 3] = [&scan_conn, &index_conn, &unsharded];
+    for conn in conns {
+        seed(conn);
+    }
+    let neo = Session::customer("neo");
+    let controller = Session::controller();
+    for conn in conns {
+        conn.execute(
+            &neo,
+            &GdprQuery::UpdateMetadataByKey {
+                key: "ph-1".into(),
+                update: MetadataUpdate::Add(MetadataField::Objections, "ads".into()),
+            },
+        )
+        .unwrap();
+        conn.execute(
+            &controller,
+            &GdprQuery::UpdateMetadataByUser {
+                user: "morpheus".into(),
+                update: MetadataUpdate::Add(MetadataField::Sharing, "x-corp".into()),
+            },
+        )
+        .unwrap();
+    }
+
+    let queries: Vec<(Session, GdprQuery)> = vec![
+        (neo, GdprQuery::ReadDataByUser("neo".into())),
+        (
+            Session::processor("ads"),
+            GdprQuery::ReadDataByPurpose("ads".into()),
+        ),
+        (
+            Session::processor("x"),
+            GdprQuery::ReadDataNotObjecting("ads".into()),
+        ),
+        (Session::processor("x"), GdprQuery::ReadDataDecisionEligible),
+        (
+            Session::regulator(),
+            GdprQuery::ReadMetadataByUser("neo".into()),
+        ),
+        (
+            Session::regulator(),
+            GdprQuery::ReadMetadataBySharedWith("x-corp".into()),
+        ),
+    ];
+    for (session, query) in queries {
+        let mut responses: Vec<GdprResponse> = conns
+            .iter()
+            .map(|conn| conn.execute(&session, &query).unwrap())
+            .collect();
+        for resp in &mut responses {
+            if let GdprResponse::Data(pairs) = resp {
+                pairs.sort();
+            }
+            if let GdprResponse::Metadata(pairs) = resp {
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+        assert_eq!(responses[0], responses[1], "scan vs indexed on {query:?}");
+        assert_eq!(
+            responses[1], responses[2],
+            "sharded vs unsharded on {query:?}"
+        );
+    }
+}
+
+/// TTL expiry under sharding is shard-local: a lazy or active reap on one
+/// shard scrubs exactly that shard's inverted indexes and deadline set —
+/// it never strands a dead key there, and never touches (or strands keys
+/// in) any other shard's index.
+#[test]
+fn sharded_ttl_expiry_scrubs_only_the_owning_shard() {
+    let sim = clock::sim();
+    let shards = 3;
+    let stores: Vec<_> = (0..shards)
+        .map(|_| {
+            kvstore::KvStore::open_with_clock(
+                kvstore::KvConfig {
+                    expiration: kvstore::ExpirationMode::Strict,
+                    ..Default::default()
+                },
+                sim.clone(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let conn = ShardedRedisConnector::with_metadata_index(stores).unwrap();
+    let controller = Session::controller();
+    // Enough keys that every shard owns some; all expire at t=10s.
+    let mut keys_of_shard: Vec<Vec<String>> = vec![Vec::new(); shards];
+    for i in 0..24 {
+        let key = format!("ttl-{i}");
+        let mut r = record(&key, "neo", &["ads"], "d");
+        r.metadata.ttl = Some(Duration::from_secs(10));
+        conn.execute(&controller, &GdprQuery::CreateRecord(r))
+            .unwrap();
+        keys_of_shard[gdpr_core::shard_of(&key, shards)].push(key);
+    }
+    for (i, keys) in keys_of_shard.iter().enumerate() {
+        assert!(!keys.is_empty(), "shard {i} owns no keys; widen the corpus");
+        assert_eq!(conn.metadata_index(i).unwrap().len(), keys.len());
+    }
+
+    sim.advance(Duration::from_secs(11));
+    // Active cycle on shard 0 ONLY.
+    let reaped = conn.store(0).run_expiration_cycle().reaped;
+    assert_eq!(reaped, keys_of_shard[0].len());
+    for key in &keys_of_shard[0] {
+        assert!(
+            conn.metadata_index(0).unwrap().fully_absent(key),
+            "{key} must leave shard 0's index"
+        );
+        for other in 1..shards {
+            assert!(
+                conn.metadata_index(other).unwrap().fully_absent(key),
+                "{key} must never appear in shard {other}'s index"
+            );
+        }
+    }
+    // Other shards' indexes are untouched: their (expired but unreaped)
+    // keys are still indexed until their own shard reaps them.
+    for (other, keys) in keys_of_shard.iter().enumerate().skip(1) {
+        assert_eq!(
+            conn.metadata_index(other).unwrap().len(),
+            keys.len(),
+            "shard {other}'s index must not be scrubbed by shard 0's cycle"
+        );
+    }
+
+    // Lazy path on shard 1: a point read reaps on access and scrubs only
+    // shard 1's index.
+    let probe = &keys_of_shard[1][0];
+    assert!(matches!(
+        conn.execute(
+            &Session::customer("neo"),
+            &GdprQuery::ReadMetadataByKey(probe.clone())
+        ),
+        Err(GdprError::NotFound(_))
+    ));
+    assert!(conn.metadata_index(1).unwrap().fully_absent(probe));
+
+    // DELETE-RECORD-BY-TTL drains every shard's deadline set; all indexes
+    // end empty with nothing stranded anywhere.
+    conn.execute(&controller, &GdprQuery::DeleteExpired)
+        .unwrap();
+    for i in 0..shards {
+        assert!(
+            conn.metadata_index(i).unwrap().is_empty(),
+            "shard {i}'s index must end empty"
+        );
+    }
+    assert_eq!(conn.record_count(), 0);
+}
+
+/// The sharded router keeps one audit stream: a fanned-out query is one
+/// event, point ops audit once, and shards contribute no fragments.
+#[test]
+fn sharded_audit_stream_is_unified_and_ordered() {
+    let conn = ShardedRedisConnector::with_metadata_index(open_kv_fleet(4)).unwrap();
+    seed(&conn); // 5 creates
+    let neo = Session::customer("neo");
+    conn.execute(&neo, &GdprQuery::ReadDataByUser("neo".into()))
+        .unwrap(); // 1 fan-out
+    let _ = conn.execute(&neo, &GdprQuery::ReadDataByUser("trinity".into())); // 1 denied
+    assert_eq!(conn.audit().len(), 7);
+    let lines = conn.audit().lines_between(0, u64::MAX);
+    assert_eq!(lines.len(), 7);
+    // Execution order is preserved: creates first, then the reads.
+    assert!(lines[..5].iter().all(|l| l.operation == "create-record"));
+    assert_eq!(lines[5].operation, "read-data-by-usr");
+    assert!(lines[6].detail.contains("access denied"));
+    // GET-SYSTEM-LOGS serves the same unified stream.
+    let resp = conn
+        .execute(
+            &Session::regulator(),
+            &GdprQuery::GetSystemLogs {
+                from_ms: 0,
+                to_ms: u64::MAX,
+            },
+        )
+        .unwrap();
+    assert_eq!(resp.cardinality(), 7);
 }
 
 #[test]

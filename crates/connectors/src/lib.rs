@@ -14,6 +14,12 @@
 //!   5a and 7b), while [`redis::RedisConnector::with_metadata_index`]
 //!   attaches the engine's [`gdpr_core::MetadataIndex`] for O(matches)
 //!   lookups, with store-side expirations invalidating index entries.
+//! * [`sharded::ShardedRedisConnector`] — N independent key-value stores
+//!   behind a [`gdpr_core::ShardedEngine`] hash-partition router: point
+//!   ops go to the owning shard, metadata predicates fan out and merge
+//!   deterministically, and one unified audit trail spans the fleet. Shard
+//!   count is semantically invisible (pinned by the conformance suite here
+//!   and the shard-count-invariance properties in `tests/proptests.rs`).
 //! * [`postgres::PostgresStore`] — one `personal_data` table with a column
 //!   per metadata attribute (arrays for multi-valued ones), pushing every
 //!   predicate down to relstore's planner. In baseline form only the
@@ -28,9 +34,11 @@
 
 pub mod postgres;
 pub mod redis;
+pub mod sharded;
 
 pub use postgres::{PostgresConnector, PostgresStore};
 pub use redis::{RedisConnector, RedisStore};
+pub use sharded::ShardedRedisConnector;
 
 #[cfg(test)]
 mod conformance;

@@ -50,6 +50,20 @@ pub struct RedisStore {
 }
 
 impl RedisStore {
+    /// Wrap an open store as a backend (the sharded connector builds one
+    /// of these per shard).
+    pub(crate) fn over(store: Arc<KvStore>, variant_name: &'static str) -> RedisStore {
+        RedisStore {
+            store,
+            variant_name,
+        }
+    }
+
+    /// The underlying key-value store.
+    pub(crate) fn kv(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
     fn storage_key(key: &str) -> Bytes {
         Bytes::from(format!("{KEY_PREFIX}{key}"))
     }
@@ -140,6 +154,30 @@ impl RecordStore for RedisStore {
         self.store
             .del(Self::storage_key(key).as_ref())
             .map_err(Self::store_err)
+    }
+
+    /// Insert under a known absolute deadline — the shard-rebalance path.
+    /// SET then EXPIREAT, so a migrated record keeps its exact remaining
+    /// lifetime instead of being re-armed with the full declared TTL.
+    fn put_with_deadline(
+        &self,
+        record: &PersonalRecord,
+        deadline_ms: Option<u64>,
+    ) -> GdprResult<()> {
+        let key = Self::storage_key(&record.key);
+        if self.store.exists(key.as_ref()).map_err(Self::store_err)? {
+            return Err(GdprError::AlreadyExists(record.key.clone()));
+        }
+        let value = wire::serialize(record);
+        self.store
+            .set(key.as_ref(), value.as_bytes())
+            .map_err(Self::store_err)?;
+        if let Some(at_ms) = deadline_ms {
+            self.store
+                .execute(Command::ExpireAt { key, at_ms })
+                .map_err(Self::store_err)?;
+        }
+        Ok(())
     }
 
     /// Full keyspace walk: SCAN `rec:*` in batches and parse every record —

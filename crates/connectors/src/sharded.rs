@@ -1,0 +1,166 @@
+//! The sharded Redis-shaped connector: N independent [`kvstore::KvStore`]
+//! instances behind one [`gdpr_core::ShardedEngine`] router.
+//!
+//! The single-store connector serializes every operation through one
+//! store-wide lock (the real Redis is single-threaded by design, and the
+//! reproduction keeps that shape). Sharding gives each key range its own
+//! store, its own lock, its own [`gdpr_core::MetadataIndex`], and its own
+//! expiry listener, so point operations on disjoint keys proceed in
+//! parallel — the scale-out story the roadmap's millions-of-users target
+//! needs — while the router keeps every compliance semantic (authorization,
+//! visibility, audit ordering, TTL scrubbing) exactly as the unsharded
+//! engine defines it. The conformance suite runs this variant alongside
+//! the others, and `tests/proptests.rs` pins shard-count invariance.
+//!
+//! Two variants, mirroring the unsharded pair:
+//!
+//! * [`ShardedRedisConnector::new`] — each shard resolves metadata
+//!   predicates by scanning its own keyspace (`redis-sharded-scan`).
+//! * [`ShardedRedisConnector::with_metadata_index`] — each shard's engine
+//!   maintains a per-shard index; store-side TTL reaps invalidate only the
+//!   owning shard's index (`redis-sharded`).
+
+use crate::redis::RedisStore;
+use gdpr_core::audit::AuditTrail;
+use gdpr_core::compliance::FeatureReport;
+use gdpr_core::connector::SpaceReport;
+use gdpr_core::error::{GdprError, GdprResult};
+use gdpr_core::metaindex::MetadataIndex;
+use gdpr_core::query::GdprQuery;
+use gdpr_core::response::GdprResponse;
+use gdpr_core::role::Session;
+use gdpr_core::sharded::ShardedEngine;
+use gdpr_core::GdprConnector;
+use kvstore::{KvConfig, KvStore};
+use std::sync::Arc;
+
+/// GDPR connector hash-partitioning records across N key-value stores.
+pub struct ShardedRedisConnector {
+    engine: ShardedEngine<RedisStore>,
+}
+
+impl ShardedRedisConnector {
+    /// Wrap open stores, one per shard, scan-based (paper-faithful within
+    /// each shard: every metadata query scans the shard's keyspace).
+    pub fn new(stores: Vec<Arc<KvStore>>) -> GdprResult<Self> {
+        let backends = stores
+            .into_iter()
+            .map(|s| RedisStore::over(s, "redis"))
+            .collect();
+        Ok(ShardedRedisConnector {
+            engine: ShardedEngine::new(backends)?.named("redis-sharded-scan"),
+        })
+    }
+
+    /// Wrap open stores with a per-shard engine-maintained metadata index —
+    /// the headline `redis-sharded` variant.
+    pub fn with_metadata_index(stores: Vec<Arc<KvStore>>) -> GdprResult<Self> {
+        let backends = stores
+            .into_iter()
+            .map(|s| RedisStore::over(s, "redis"))
+            .collect();
+        Ok(ShardedRedisConnector {
+            engine: ShardedEngine::with_metadata_index(backends)?.named("redis-sharded"),
+        })
+    }
+
+    /// Open `shards` fresh in-memory stores under one config and clock and
+    /// wrap them (indexed). The config is cloned per shard, so file-backed
+    /// persistence configs are rejected — shards must not share an AOF.
+    pub fn open_with_clock(
+        shards: usize,
+        config: KvConfig,
+        clock: clock::SharedClock,
+    ) -> GdprResult<Self> {
+        if matches!(config.aof, kvstore::config::AofStorage::File(_)) {
+            return Err(GdprError::Store(
+                "sharded open: shards cannot share one AOF file; open stores individually"
+                    .to_string(),
+            ));
+        }
+        let stores = (0..shards.max(1))
+            .map(|_| {
+                KvStore::open_with_clock(config.clone(), clock.clone())
+                    .map_err(|e| GdprError::Store(e.to_string()))
+            })
+            .collect::<GdprResult<Vec<_>>>()?;
+        Self::with_metadata_index(stores)
+    }
+
+    /// Open `shards` fresh default in-memory stores on the wall clock.
+    pub fn open(shards: usize) -> GdprResult<Self> {
+        Self::open_with_clock(shards, KvConfig::default(), clock::wall())
+    }
+
+    /// Open `shards` fully compliant in-memory stores (strict TTL, read
+    /// logging, encryption).
+    pub fn open_compliant(shards: usize) -> GdprResult<Self> {
+        Self::open_with_clock(shards, KvConfig::gdpr_compliant_in_memory(), clock::wall())
+    }
+
+    /// The router engine (shard inspection, placement checks).
+    pub fn engine(&self) -> &ShardedEngine<RedisStore> {
+        &self.engine
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.engine.shard_count()
+    }
+
+    /// The underlying store of one shard.
+    pub fn store(&self, shard: usize) -> &Arc<KvStore> {
+        self.engine.shards()[shard].store().kv()
+    }
+
+    /// The metadata index of one shard (present on the indexed variant).
+    pub fn metadata_index(&self, shard: usize) -> Option<&Arc<MetadataIndex>> {
+        self.engine.shards()[shard].metadata_index()
+    }
+
+    /// The unified audit trail.
+    pub fn audit(&self) -> &AuditTrail {
+        self.engine.audit()
+    }
+
+    /// Run one active expiration cycle on every shard, returning the total
+    /// reaped (each shard's listener scrubs its own index only).
+    pub fn run_expiration_cycles(&self) -> usize {
+        (0..self.shard_count())
+            .map(|i| self.store(i).run_expiration_cycle().reaped)
+            .sum()
+    }
+
+    /// Fail loudly if any record sits in a shard that does not own it —
+    /// the post-restart guard against a changed shard count.
+    pub fn verify_placement(&self) -> GdprResult<()> {
+        self.engine.verify_placement()
+    }
+
+    /// Migrate misplaced records to their owning shards, preserving
+    /// remaining TTL deadlines. Returns how many records moved.
+    pub fn rebalance(&self) -> GdprResult<usize> {
+        self.engine.rebalance()
+    }
+}
+
+impl GdprConnector for ShardedRedisConnector {
+    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        self.engine.execute(session, query)
+    }
+
+    fn features(&self) -> FeatureReport {
+        self.engine.features()
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        self.engine.space_report()
+    }
+
+    fn record_count(&self) -> usize {
+        self.engine.record_count()
+    }
+
+    fn name(&self) -> &str {
+        GdprConnector::name(&self.engine)
+    }
+}

@@ -207,9 +207,19 @@ impl<S: RecordStore> ComplianceEngine<S> {
         }
     }
 
-    fn unindex(&self, key: &str) {
+    pub(crate) fn unindex(&self, key: &str) {
         if let Some(index) = &self.index {
             index.remove(key);
+        }
+    }
+
+    /// Index a record under an explicit absolute deadline — the shard
+    /// rebalance path, where a record migrates between engines and its
+    /// store-side remaining deadline (not `now + declared TTL`) must
+    /// survive the move.
+    pub(crate) fn index_with_deadline(&self, record: &PersonalRecord, deadline_ms: Option<u64>) {
+        if let Some(index) = &self.index {
+            index.upsert_with_deadline(record, deadline_ms);
         }
     }
 
@@ -232,8 +242,15 @@ impl<S: RecordStore> ComplianceEngine<S> {
         }
     }
 
-    /// The single `GdprQuery` dispatch in the workspace.
-    fn dispatch(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+    /// The single `GdprQuery` dispatch in the workspace. Crate-visible so
+    /// [`crate::sharded::ShardedEngine`] can route queries to shard engines
+    /// without each shard recording a fragment of the audit trail — the
+    /// router keeps the one unified trail (G30: one event per query).
+    pub(crate) fn dispatch(
+        &self,
+        session: &Session,
+        query: &GdprQuery,
+    ) -> GdprResult<GdprResponse> {
         use GdprQuery::*;
         let decision = authorize(session, query)?;
         let guard = |record: &PersonalRecord| -> GdprResult<()> {

@@ -20,6 +20,16 @@ pub enum GdprError {
     Store(String),
     /// The query is not supported by this connector/configuration.
     Unsupported(String),
+    /// A record was found in a shard that does not own its key — the
+    /// loud failure mode when a sharded engine is reopened over stores
+    /// laid out for a different shard count (silent misrouting would make
+    /// point lookups miss live personal data, an Article 15/17 hazard).
+    ShardMisroute {
+        key: String,
+        found_in: usize,
+        owner: usize,
+        shard_count: usize,
+    },
 }
 
 impl fmt::Display for GdprError {
@@ -37,6 +47,16 @@ impl fmt::Display for GdprError {
             GdprError::InvalidRecord(msg) => write!(f, "invalid record: {msg}"),
             GdprError::Store(msg) => write!(f, "store error: {msg}"),
             GdprError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            GdprError::ShardMisroute {
+                key,
+                found_in,
+                owner,
+                shard_count,
+            } => write!(
+                f,
+                "shard misroute: key {key:?} found in shard {found_in} but owned by shard \
+                 {owner} of {shard_count} — reopen with the original shard count or rebalance"
+            ),
         }
     }
 }

@@ -33,6 +33,11 @@
 //! user/purpose/objection/sharing → keys maps plus a TTL-ordered expiry
 //! set), or by full scan — all three provably equivalent. See the
 //! `connectors` crate for the Redis- and PostgreSQL-shaped backends.
+//!
+//! For scale-out, [`sharded::ShardedEngine`] hash-partitions keys across N
+//! inner engines: point ops route to the owning shard, metadata predicates
+//! fan out with deterministic merging, and one unified audit trail spans
+//! the fleet — shard count is a performance knob, never a semantic one.
 
 pub mod acl;
 pub mod articles;
@@ -46,6 +51,7 @@ pub mod query;
 pub mod record;
 pub mod response;
 pub mod role;
+pub mod sharded;
 pub mod store;
 pub mod wire;
 
@@ -58,4 +64,5 @@ pub use query::{GdprQuery, MetadataField, MetadataUpdate};
 pub use record::{Metadata, PersonalRecord};
 pub use response::GdprResponse;
 pub use role::{Role, Session};
+pub use sharded::{shard_count_from_env, shard_of, ShardedEngine};
 pub use store::{RecordPredicate, RecordStore};

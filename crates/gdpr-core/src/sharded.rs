@@ -1,0 +1,810 @@
+//! The sharded compliance engine: a hash-partition router over N inner
+//! [`ComplianceEngine`]s, lifting the single-engine choke point toward the
+//! millions-of-users traffic the roadmap targets.
+//!
+//! Every query in the §3.3 taxonomy is either *key-scoped* or
+//! *metadata-predicate-scoped*, and that dichotomy is the whole routing
+//! story:
+//!
+//! * **Point ops** (`CREATE-RECORD`, `*-BY-KEY`, `verify-deletion`) hash
+//!   the key with [`shard_of`] and run on the owning shard only — the hot
+//!   path pays one stable hash and then touches one shard's locks, so
+//!   disjoint keys proceed in parallel instead of serializing through one
+//!   global engine lock.
+//! * **Predicate ops** (`*-BY-USR/PUR/OBJ/DEC/SHR`, `DELETE-RECORD-BY-TTL`)
+//!   fan out to every shard and merge: counts sum, result sets concatenate
+//!   and sort by key, so the response is deterministic whatever the shard
+//!   topology. This is what makes shard count an *invisible* deployment
+//!   knob: `ShardedEngine{N=1,2,8}` and the unsharded engine answer every
+//!   query identically (pinned by `tests/proptests.rs`).
+//!
+//! Compliance semantics stay centralized: each shard *is* a full
+//! [`ComplianceEngine`] (authorization, visibility, per-shard
+//! [`crate::MetadataIndex`], TTL scrubbing), while the router keeps the one
+//! unified [`AuditTrail`] — shards execute through the engine's internal
+//! dispatch, so a fanned-out query still audits as a single G30 event and
+//! `GET-SYSTEM-LOGS` reads one stream in execution order.
+//!
+//! Reopening persisted shards is guarded: the key→shard map depends only on
+//! [`shard_of`], so a restart with a different shard count leaves records
+//! in shards that no longer own them. [`ShardedEngine::verify_placement`]
+//! turns that into a loud [`GdprError::ShardMisroute`] instead of silent
+//! lookup misses, and [`ShardedEngine::rebalance`] migrates records to
+//! their owners (preserving remaining TTL deadlines via
+//! [`RecordStore::put_with_deadline`]).
+
+use crate::audit::AuditTrail;
+use crate::compliance::FeatureReport;
+use crate::connector::SpaceReport;
+use crate::engine::ComplianceEngine;
+use crate::error::{GdprError, GdprResult};
+use crate::query::GdprQuery;
+use crate::response::GdprResponse;
+use crate::role::Session;
+use crate::store::RecordStore;
+use crate::GdprConnector;
+use std::sync::Arc;
+
+/// The stable key→shard map: FNV-1a over the key bytes, mod `shard_count`.
+/// Deliberately *not* a randomized hasher — the placement must be identical
+/// across processes and restarts, or a reopened deployment would look up
+/// keys in the wrong shard.
+pub fn shard_of(key: &str, shard_count: usize) -> usize {
+    debug_assert!(shard_count > 0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shard_count as u64) as usize
+}
+
+/// The deployment's shard count from the `GDPR_SHARDS` environment
+/// variable (CI runs the suite at 1 and 8 to enforce shard-count
+/// invariance), defaulting to 4 and clamped to at least 1.
+pub fn shard_count_from_env() -> usize {
+    std::env::var("GDPR_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(1)
+}
+
+/// A compliance engine hash-partitioned across N inner engines, one store
+/// (and optional metadata index) per shard.
+pub struct ShardedEngine<S: RecordStore> {
+    shards: Vec<ComplianceEngine<S>>,
+    /// The unified audit stream: exactly one event per executed query,
+    /// whatever its fan-out — shards never audit on their own.
+    audit: AuditTrail,
+    name: String,
+}
+
+impl<S: RecordStore> ShardedEngine<S> {
+    /// Shard each store behind a plain engine (predicates resolve by
+    /// pushdown or scan within each shard).
+    pub fn new(stores: Vec<S>) -> GdprResult<ShardedEngine<S>> {
+        Self::build(stores.into_iter().map(ComplianceEngine::new).collect())
+    }
+
+    /// Shard each store behind an engine maintaining its own
+    /// [`crate::MetadataIndex`]. Each shard's store expiry path is wired to
+    /// invalidate *that shard's* index only — a TTL reap on one shard can
+    /// never strand or scrub keys in another shard's index.
+    pub fn with_metadata_index(stores: Vec<S>) -> GdprResult<ShardedEngine<S>> {
+        let engines = stores
+            .into_iter()
+            .map(ComplianceEngine::with_metadata_index)
+            .collect::<GdprResult<Vec<_>>>()?;
+        Self::build(engines)
+    }
+
+    fn build(shards: Vec<ComplianceEngine<S>>) -> GdprResult<ShardedEngine<S>> {
+        let Some(first) = shards.first() else {
+            return Err(GdprError::Store(
+                "a sharded engine needs at least one shard".to_string(),
+            ));
+        };
+        // All shards must share one clock *instance*: wall clocks anchor
+        // their epoch at construction, so timestamps (audit lines, absolute
+        // TTL deadlines — which rebalance() carries between shards) from
+        // different instances are not comparable. Fail loudly rather than
+        // skew retention silently.
+        let clock = first.store().clock();
+        for shard in &shards[1..] {
+            if !Arc::ptr_eq(&clock, &shard.store().clock()) {
+                return Err(GdprError::Store(
+                    "sharded engine: every shard must share one clock instance \
+                     (open the stores with the same SharedClock)"
+                        .to_string(),
+                ));
+            }
+        }
+        let name = format!("{}-sharded", first.store().name());
+        Ok(ShardedEngine {
+            audit: AuditTrail::new(clock),
+            name,
+            shards,
+        })
+    }
+
+    /// Override the connector name (e.g. to distinguish a scan-backed from
+    /// an index-backed sharded variant in reports).
+    pub fn named(mut self, name: impl Into<String>) -> ShardedEngine<S> {
+        self.name = name.into();
+        self
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The inner engines, in shard order.
+    pub fn shards(&self) -> &[ComplianceEngine<S>] {
+        &self.shards
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_index_of(&self, key: &str) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// The engine owning `key`.
+    pub fn shard_for(&self, key: &str) -> &ComplianceEngine<S> {
+        &self.shards[self.shard_index_of(key)]
+    }
+
+    /// The unified audit trail serving GET-SYSTEM-LOGS.
+    pub fn audit(&self) -> &AuditTrail {
+        &self.audit
+    }
+
+    /// Execute one GDPR query, recording exactly one event in the unified
+    /// audit trail whatever the outcome or fan-out (G30).
+    pub fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        let result = self.route(session, query);
+        let err_text = result.as_ref().err().map(ToString::to_string);
+        let outcome = match &result {
+            Ok(resp) => Ok(resp.cardinality()),
+            Err(_) => Err(err_text.as_deref().unwrap_or("error")),
+        };
+        self.audit
+            .record(session, query.name(), query.detail(), outcome);
+        result
+    }
+
+    /// Point ops to the owning shard; predicate ops fanned out and merged;
+    /// system queries answered by the router itself.
+    fn route(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        use GdprQuery::*;
+        match query {
+            CreateRecord(record) => self.shard_for(&record.key).dispatch(session, query),
+            DeleteByKey(key)
+            | ReadDataByKey(key)
+            | ReadMetadataByKey(key)
+            | VerifyDeletion(key)
+            | UpdateDataByKey { key, .. }
+            | UpdateMetadataByKey { key, .. } => self.shard_for(key).dispatch(session, query),
+
+            // The audit stream is the router's, not any shard's.
+            GetSystemLogs { from_ms, to_ms } => {
+                crate::acl::authorize(session, query)?;
+                Ok(GdprResponse::Logs(
+                    self.audit.lines_between(*from_ms, *to_ms),
+                ))
+            }
+            // Shards are homogeneous; any one speaks for the posture.
+            GetSystemFeatures => self.shards[0].dispatch(session, query),
+
+            DeleteByPurpose(_)
+            | DeleteExpired
+            | DeleteByUser(_)
+            | ReadDataByPurpose(_)
+            | ReadDataByUser(_)
+            | ReadDataNotObjecting(_)
+            | ReadDataDecisionEligible
+            | ReadMetadataByUser(_)
+            | ReadMetadataBySharedWith(_)
+            | UpdateMetadataByPurpose { .. }
+            | UpdateMetadataByUser { .. } => self.fan_out(session, query),
+        }
+    }
+
+    /// Run a predicate query on every shard and merge deterministically.
+    /// Fan-out is sequential: merge order must not depend on thread timing,
+    /// and a mid-fan-out failure has the same partial-progress semantics as
+    /// the unsharded engine failing mid-iteration.
+    fn fan_out(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        let mut results = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            results.push(shard.dispatch(session, query)?);
+        }
+        merge_responses(results)
+    }
+
+    /// Check that every stored record lives in the shard [`shard_of`]
+    /// assigns it — the guard to run after reopening persisted shards.
+    pub fn verify_placement(&self) -> GdprResult<()> {
+        let n = self.shards.len();
+        for (found_in, shard) in self.shards.iter().enumerate() {
+            for record in shard.store().scan()? {
+                let owner = shard_of(&record.key, n);
+                if owner != found_in {
+                    return Err(GdprError::ShardMisroute {
+                        key: record.key,
+                        found_in,
+                        owner,
+                        shard_count: n,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Migrate every misplaced record to its owning shard, returning how
+    /// many moved. Remaining TTL deadlines survive the move (a migration
+    /// must not extend retention), per-shard indexes are kept consistent on
+    /// both sides, and a collision in the destination shard fails loudly
+    /// with both copies intact rather than overwriting either.
+    pub fn rebalance(&self) -> GdprResult<usize> {
+        let n = self.shards.len();
+        let now_ms = self.shards[0].store().clock().now().as_millis();
+        let mut moved = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            for record in shard.store().scan()? {
+                let owner = shard_of(&record.key, n);
+                if owner == i {
+                    continue;
+                }
+                // The source store's remaining deadline is authoritative;
+                // stores that track none fall back to `now + declared TTL`
+                // so a TTL'd record still enters the destination's expiry
+                // set instead of being retained forever (same contract as
+                // index backfill in `with_metadata_index`).
+                let deadline_ms = shard.store().deadline_ms(&record.key).or_else(|| {
+                    record
+                        .metadata
+                        .ttl
+                        .map(|ttl| now_ms + ttl.as_millis() as u64)
+                });
+                let dest = &self.shards[owner];
+                dest.store().put_with_deadline(&record, deadline_ms)?;
+                dest.index_with_deadline(&record, deadline_ms);
+                shard.store().delete(&record.key)?;
+                shard.unindex(&record.key);
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
+}
+
+/// Merge per-shard responses of one query class into the canonical form:
+/// counts sum, result sets concatenate and sort by key (timestamp for
+/// logs), so the merged response is independent of shard count and order.
+fn merge_responses(results: Vec<GdprResponse>) -> GdprResult<GdprResponse> {
+    use GdprResponse::*;
+    let mut iter = results.into_iter();
+    let mut acc = iter
+        .next()
+        .ok_or_else(|| GdprError::Store("merge of zero shard responses".to_string()))?;
+    for resp in iter {
+        acc = match (acc, resp) {
+            (Deleted(a), Deleted(b)) => Deleted(a + b),
+            (Updated(a), Updated(b)) => Updated(a + b),
+            (Data(mut a), Data(b)) => {
+                a.extend(b);
+                Data(a)
+            }
+            (Metadata(mut a), Metadata(b)) => {
+                a.extend(b);
+                Metadata(a)
+            }
+            (Records(mut a), Records(b)) => {
+                a.extend(b);
+                Records(a)
+            }
+            (Logs(mut a), Logs(b)) => {
+                a.extend(b);
+                Logs(a)
+            }
+            (a, b) => {
+                return Err(GdprError::Store(format!(
+                    "shard response shape mismatch: {a:?} vs {b:?}"
+                )))
+            }
+        };
+    }
+    match &mut acc {
+        Data(pairs) => pairs.sort(),
+        Metadata(pairs) => pairs.sort_by(|x, y| x.0.cmp(&y.0)),
+        Records(records) => records.sort_by(|x, y| x.key.cmp(&y.key)),
+        Logs(lines) => lines.sort_by_key(|l| l.timestamp_ms),
+        _ => {}
+    }
+    Ok(acc)
+}
+
+/// A sharded engine is a connector like any other; callers cannot tell a
+/// router from a single engine (the whole point).
+impl<S: RecordStore> GdprConnector for ShardedEngine<S> {
+    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        ShardedEngine::execute(self, session, query)
+    }
+
+    fn features(&self) -> FeatureReport {
+        self.shards[0].store().features()
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        let mut total = SpaceReport::default();
+        for shard in &self.shards {
+            let report = shard.store().space_report();
+            total.personal_data_bytes += report.personal_data_bytes;
+            total.total_bytes += report.total_bytes;
+        }
+        total
+    }
+
+    fn record_count(&self) -> usize {
+        self.shards.iter().map(|s| s.store().record_count()).sum()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::GdprError;
+    use crate::record::{Metadata, PersonalRecord};
+    use crate::store::RecordPredicate;
+    use clock::SharedClock;
+    use parking_lot::Mutex;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    /// The same trivial in-memory store the engine tests use, plus a
+    /// native deadline table so `put_with_deadline` is exercised.
+    struct MemStore {
+        rows: Mutex<BTreeMap<String, PersonalRecord>>,
+        deadlines: Mutex<BTreeMap<String, u64>>,
+        clock: SharedClock,
+    }
+
+    impl MemStore {
+        fn with_clock(clock: SharedClock) -> MemStore {
+            MemStore {
+                rows: Mutex::new(BTreeMap::new()),
+                deadlines: Mutex::new(BTreeMap::new()),
+                clock,
+            }
+        }
+    }
+
+    impl RecordStore for MemStore {
+        fn clock(&self) -> SharedClock {
+            self.clock.clone()
+        }
+        fn fetch(&self, key: &str) -> GdprResult<Option<PersonalRecord>> {
+            Ok(self.rows.lock().get(key).cloned())
+        }
+        fn put(&self, record: &PersonalRecord) -> GdprResult<()> {
+            let mut rows = self.rows.lock();
+            if rows.contains_key(&record.key) {
+                return Err(GdprError::AlreadyExists(record.key.clone()));
+            }
+            if let Some(ttl) = record.metadata.ttl {
+                self.deadlines.lock().insert(
+                    record.key.clone(),
+                    self.clock.now().as_millis() + ttl.as_millis() as u64,
+                );
+            }
+            rows.insert(record.key.clone(), record.clone());
+            Ok(())
+        }
+        fn put_with_deadline(
+            &self,
+            record: &PersonalRecord,
+            deadline_ms: Option<u64>,
+        ) -> GdprResult<()> {
+            let mut rows = self.rows.lock();
+            if rows.contains_key(&record.key) {
+                return Err(GdprError::AlreadyExists(record.key.clone()));
+            }
+            if let Some(at) = deadline_ms {
+                self.deadlines.lock().insert(record.key.clone(), at);
+            }
+            rows.insert(record.key.clone(), record.clone());
+            Ok(())
+        }
+        fn rewrite(&self, record: &PersonalRecord, _ttl_changed: bool) -> GdprResult<()> {
+            self.rows.lock().insert(record.key.clone(), record.clone());
+            Ok(())
+        }
+        fn delete(&self, key: &str) -> GdprResult<bool> {
+            self.deadlines.lock().remove(key);
+            Ok(self.rows.lock().remove(key).is_some())
+        }
+        fn scan(&self) -> GdprResult<Vec<PersonalRecord>> {
+            Ok(self.rows.lock().values().cloned().collect())
+        }
+        fn purge_expired(&self) -> GdprResult<usize> {
+            let now = self.clock.now().as_millis();
+            let due: Vec<String> = self
+                .deadlines
+                .lock()
+                .iter()
+                .filter(|(_, at)| **at <= now)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in &due {
+                self.delete(key)?;
+            }
+            Ok(due.len())
+        }
+        fn deadline_ms(&self, key: &str) -> Option<u64> {
+            self.deadlines.lock().get(key).copied()
+        }
+        fn space_report(&self) -> SpaceReport {
+            let rows = self.rows.lock();
+            SpaceReport {
+                personal_data_bytes: rows.values().map(|r| r.data.len()).sum(),
+                total_bytes: rows.values().map(|r| r.data.len() + r.key.len() + 64).sum(),
+            }
+        }
+        fn record_count(&self) -> usize {
+            self.rows.lock().len()
+        }
+        fn features(&self) -> FeatureReport {
+            FeatureReport::default()
+        }
+        fn name(&self) -> &str {
+            "mem"
+        }
+    }
+
+    fn record(key: &str, user: &str, purposes: &[&str]) -> PersonalRecord {
+        PersonalRecord::new(
+            key,
+            format!("data-{key}"),
+            Metadata::new(
+                user,
+                purposes.iter().map(|s| s.to_string()).collect(),
+                Duration::from_secs(3600),
+            ),
+        )
+    }
+
+    fn sharded(n: usize) -> ShardedEngine<MemStore> {
+        let clock = clock::sim();
+        ShardedEngine::with_metadata_index(
+            (0..n)
+                .map(|_| MemStore::with_clock(clock.clone()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_total() {
+        // Pinned values: the placement function is a persistence format —
+        // changing the hash (or its constants) silently would misroute
+        // every reopened deployment, so the literal FNV-1a outputs are
+        // asserted here.
+        assert_eq!(shard_of("ph-1", 4), 3);
+        assert_eq!(shard_of("user-17", 4), 1);
+        assert_eq!(shard_of("user-17", 8), 1);
+        assert_eq!(shard_of("k0", 8), 6);
+        assert_eq!(shard_of("", 8), 5);
+        for n in 1..9 {
+            for key in ["a", "user-17", "ph-3", ""] {
+                assert!(shard_of(key, n) < n);
+            }
+        }
+        assert_eq!(shard_of("anything", 1), 0);
+        // Keys actually spread: 64 keys over 8 shards must hit every shard.
+        let mut hit = [false; 8];
+        for i in 0..64 {
+            hit[shard_of(&format!("k{i}"), 8)] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "FNV spread degenerate: {hit:?}");
+    }
+
+    #[test]
+    fn point_ops_route_and_predicates_fan_out() {
+        for n in [1, 2, 8] {
+            let engine = sharded(n);
+            let controller = Session::controller();
+            for (k, u, p) in [
+                ("a", "neo", &["ads"][..]),
+                ("b", "neo", &["2fa"][..]),
+                ("c", "trinity", &["ads"][..]),
+            ] {
+                engine
+                    .execute(&controller, &GdprQuery::CreateRecord(record(k, u, p)))
+                    .unwrap();
+            }
+            // Point read lands on the owning shard only.
+            let resp = engine
+                .execute(
+                    &Session::processor("ads"),
+                    &GdprQuery::ReadDataByKey("a".into()),
+                )
+                .unwrap();
+            assert_eq!(resp.cardinality(), 1);
+            // Fan-out merges across shards, sorted by key.
+            let resp = engine
+                .execute(
+                    &Session::customer("neo"),
+                    &GdprQuery::ReadDataByUser("neo".into()),
+                )
+                .unwrap();
+            let keys: Vec<_> = resp
+                .as_data()
+                .unwrap()
+                .iter()
+                .map(|(k, _)| k.clone())
+                .collect();
+            assert_eq!(keys, vec!["a", "b"], "n={n}");
+            // Group delete sums per-shard counts.
+            let resp = engine
+                .execute(&controller, &GdprQuery::DeleteByPurpose("ads".into()))
+                .unwrap();
+            assert_eq!(resp, GdprResponse::Deleted(2), "n={n}");
+            assert_eq!(engine.record_count(), 1);
+        }
+    }
+
+    #[test]
+    fn unified_audit_records_one_event_per_query() {
+        let engine = sharded(4);
+        let controller = Session::controller();
+        engine
+            .execute(
+                &controller,
+                &GdprQuery::CreateRecord(record("k1", "neo", &["ads"])),
+            )
+            .unwrap();
+        // A fan-out query is still one audit event.
+        engine
+            .execute(
+                &Session::customer("neo"),
+                &GdprQuery::ReadDataByUser("neo".into()),
+            )
+            .unwrap();
+        // Denied queries audit too.
+        let _ = engine.execute(
+            &Session::customer("neo"),
+            &GdprQuery::ReadDataByUser("trinity".into()),
+        );
+        assert_eq!(engine.audit().len(), 3);
+        for shard in engine.shards() {
+            assert_eq!(shard.audit().len(), 0, "shards must not audit");
+        }
+        let resp = engine
+            .execute(
+                &Session::regulator(),
+                &GdprQuery::GetSystemLogs {
+                    from_ms: 0,
+                    to_ms: u64::MAX,
+                },
+            )
+            .unwrap();
+        match resp {
+            GdprResponse::Logs(lines) => {
+                assert_eq!(lines.len(), 3);
+                assert!(lines.iter().any(|l| l.operation == "read-data-by-usr"));
+                assert!(lines.iter().any(|l| l.detail.contains("access denied")));
+            }
+            other => panic!("expected logs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_placement_detects_shard_count_change() {
+        let clock = clock::sim();
+        let stores: Vec<MemStore> = (0..2)
+            .map(|_| MemStore::with_clock(clock.clone()))
+            .collect();
+        // Lay out records for a 2-shard topology.
+        for i in 0..16 {
+            let r = record(&format!("k{i}"), "neo", &["ads"]);
+            stores[shard_of(&r.key, 2)].put(&r).unwrap();
+        }
+        let two = ShardedEngine::with_metadata_index(stores).unwrap();
+        two.verify_placement().unwrap();
+
+        // "Restart" the same stores as a 3-shard deployment.
+        let rows: Vec<BTreeMap<String, PersonalRecord>> = two
+            .shards()
+            .iter()
+            .map(|s| s.store().rows.lock().clone())
+            .collect();
+        let stores: Vec<MemStore> = (0..3)
+            .map(|_| MemStore::with_clock(clock.clone()))
+            .collect();
+        for (i, shard_rows) in rows.into_iter().enumerate() {
+            for r in shard_rows.into_values() {
+                stores[i].put(&r).unwrap();
+            }
+        }
+        let three = ShardedEngine::with_metadata_index(stores).unwrap();
+        assert!(matches!(
+            three.verify_placement(),
+            Err(GdprError::ShardMisroute { shard_count: 3, .. })
+        ));
+
+        // Rebalance migrates every record home; queries see all of them.
+        let moved = three.rebalance().unwrap();
+        assert!(moved > 0);
+        three.verify_placement().unwrap();
+        assert_eq!(three.record_count(), 16);
+        let resp = three
+            .execute(
+                &Session::customer("neo"),
+                &GdprQuery::ReadDataByUser("neo".into()),
+            )
+            .unwrap();
+        assert_eq!(resp.cardinality(), 16);
+        // Per-shard indexes track the migration on both sides.
+        for (i, shard) in three.shards().iter().enumerate() {
+            let index = shard.metadata_index().unwrap();
+            for key in index.keys_by_user("neo") {
+                assert_eq!(shard_of(&key, 3), i, "index advertises a foreign key");
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_preserves_remaining_deadlines() {
+        let clock = clock::sim();
+        let store = MemStore::with_clock(clock.clone());
+        let mut r = record("k-ttl", "neo", &["ads"]);
+        r.metadata.ttl = Some(Duration::from_secs(10));
+        store.put(&r).unwrap();
+        clock.advance(Duration::from_secs(9));
+        // Reopen that one store as part of a wider topology where the key
+        // belongs elsewhere.
+        let owner = shard_of("k-ttl", 3);
+        let mut stores: Vec<MemStore> = (0..3)
+            .map(|_| MemStore::with_clock(clock.clone()))
+            .collect();
+        let misplaced = (owner + 1) % 3;
+        stores[misplaced] = store;
+        let engine = ShardedEngine::with_metadata_index(stores).unwrap();
+        assert_eq!(engine.rebalance().unwrap(), 1);
+        assert_eq!(
+            engine.shards()[owner].store().deadline_ms("k-ttl"),
+            Some(10_000),
+            "migration must keep the remaining deadline, not re-arm the full TTL"
+        );
+        assert_eq!(
+            engine.shards()[owner]
+                .metadata_index()
+                .unwrap()
+                .deadline_of("k-ttl"),
+            Some(10_000)
+        );
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(
+            engine
+                .execute(&Session::controller(), &GdprQuery::DeleteExpired)
+                .unwrap(),
+            GdprResponse::Deleted(1)
+        );
+    }
+
+    #[test]
+    fn index_and_scan_sharding_agree() {
+        let clock = clock::sim();
+        let scan = ShardedEngine::new(
+            (0..4)
+                .map(|_| MemStore::with_clock(clock.clone()))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let indexed = sharded(4);
+        let controller = Session::controller();
+        for i in 0..20 {
+            let mut r = record(&format!("k{i}"), ["neo", "trinity"][i % 2], &["ads"]);
+            if i % 3 == 0 {
+                r.metadata.objections.push("ads".into());
+            }
+            for engine in [&scan, &indexed] {
+                engine
+                    .execute(&controller, &GdprQuery::CreateRecord(r.clone()))
+                    .unwrap();
+            }
+        }
+        for (session, query) in [
+            (
+                Session::customer("neo"),
+                GdprQuery::ReadDataByUser("neo".into()),
+            ),
+            (
+                Session::processor("ads"),
+                GdprQuery::ReadDataByPurpose("ads".into()),
+            ),
+            (
+                Session::processor("x"),
+                GdprQuery::ReadDataNotObjecting("ads".into()),
+            ),
+        ] {
+            assert_eq!(
+                scan.execute(&session, &query).unwrap(),
+                indexed.execute(&session, &query).unwrap(),
+                "divergence on {query:?}"
+            );
+        }
+        // The index actually answers on the indexed variant.
+        assert!(indexed.shards()[0]
+            .metadata_index()
+            .unwrap()
+            .keys_for(&RecordPredicate::User("neo".into()))
+            .is_some());
+    }
+
+    #[test]
+    fn empty_shard_list_is_rejected() {
+        assert!(matches!(
+            ShardedEngine::<MemStore>::new(Vec::new()),
+            Err(GdprError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_clock_shards_are_rejected() {
+        // Two clocks with different epochs: absolute timestamps are not
+        // comparable across them, so construction must fail loudly.
+        let stores = vec![
+            MemStore::with_clock(clock::sim()),
+            MemStore::with_clock(clock::sim()),
+        ];
+        assert!(matches!(
+            ShardedEngine::new(stores),
+            Err(GdprError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn destination_collision_fails_loudly_with_both_copies_intact() {
+        let clock = clock::sim();
+        let stores: Vec<MemStore> = (0..2)
+            .map(|_| MemStore::with_clock(clock.clone()))
+            .collect();
+        let r = record("dup", "neo", &["ads"]);
+        let owner = shard_of("dup", 2);
+        stores[owner].put(&r).unwrap();
+        stores[1 - owner].put(&r).unwrap();
+        let engine = ShardedEngine::new(stores).unwrap();
+        assert!(matches!(
+            engine.rebalance(),
+            Err(GdprError::AlreadyExists(_))
+        ));
+        assert_eq!(engine.record_count(), 2, "no copy may be destroyed");
+    }
+
+    #[test]
+    fn sharded_engine_reports_aggregate_space_and_count() {
+        let engine = sharded(4);
+        let controller = Session::controller();
+        for i in 0..10 {
+            engine
+                .execute(
+                    &controller,
+                    &GdprQuery::CreateRecord(record(&format!("k{i}"), "neo", &["ads"])),
+                )
+                .unwrap();
+        }
+        assert_eq!(engine.record_count(), 10);
+        let space = engine.space_report();
+        assert!(space.personal_data_bytes > 0);
+        assert!(space.total_bytes > space.personal_data_bytes);
+        assert_eq!(engine.name(), "mem-sharded");
+        assert_eq!(engine.named("custom").name(), "custom");
+    }
+}

@@ -113,6 +113,23 @@ pub trait RecordStore: Send + Sync {
         None
     }
 
+    /// Insert a record whose expiry deadline is already known in absolute
+    /// milliseconds on [`Self::clock`] — the shard-rebalance path, where a
+    /// record migrates between stores and must keep its *remaining*
+    /// lifetime rather than being re-armed with the full declared TTL
+    /// (which would retain personal data up to twice as long). Backends
+    /// that track native deadlines should override; the default arms from
+    /// the declared TTL, which is correct for stores with no native expiry
+    /// tracking (their engine index carries the deadline instead).
+    fn put_with_deadline(
+        &self,
+        record: &PersonalRecord,
+        deadline_ms: Option<u64>,
+    ) -> GdprResult<()> {
+        let _ = deadline_ms;
+        self.put(record)
+    }
+
     /// Predicate pushdown for reads: `Some(records)` if the backend can
     /// evaluate `pred` natively (e.g. relational secondary indexes),
     /// `None` to let the engine resolve it.

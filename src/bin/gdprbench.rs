@@ -23,12 +23,15 @@ const USAGE: &str = "\
 gdprbench — the GDPR benchmark (reproduction of Shastri et al., VLDB 2020)
 
 USAGE:
-  gdprbench run      --db <redis|redis-mi|postgres|postgres-mi> --workload <controller|customer|processor|regulator|all>
-                     [--records N] [--ops N] [--threads N] [--no-oracle] [--compliant]
+  gdprbench run      --db <redis|redis-mi|redis-sharded|postgres|postgres-mi> --workload <controller|customer|processor|regulator|all>
+                     [--records N] [--ops N] [--threads N] [--shards N] [--no-oracle] [--compliant]
   gdprbench ycsb     --db <redis|postgres> --workload <A|B|C|D|E|F|all>
                      [--records N] [--ops N] [--threads N]
-  gdprbench features --db <redis|redis-mi|postgres|postgres-mi>
+  gdprbench features --db <redis|redis-mi|redis-sharded|postgres|postgres-mi>
   gdprbench help
+
+The sharded variant hash-partitions records across N engines (default
+--shards from $GDPR_SHARDS, else 4); semantics are shard-count invariant.
 
 METRICS (as defined in §4.2.3 of the paper):
   correctness     fraction of responses matching the oracle (single-threaded runs)
@@ -82,8 +85,26 @@ impl Args {
     }
 }
 
-fn build_connector(db: &str, compliant: bool) -> Result<Arc<dyn GdprConnector>, String> {
+fn build_connector(
+    db: &str,
+    compliant: bool,
+    shards: usize,
+) -> Result<Arc<dyn GdprConnector>, String> {
     let conn: Arc<dyn GdprConnector> = match db {
+        "redis-sharded" => {
+            let conn = if compliant {
+                gdprbench_repro::connectors::ShardedRedisConnector::open_compliant(shards)
+            } else {
+                gdprbench_repro::connectors::ShardedRedisConnector::open(shards)
+            }
+            .map_err(|e| e.to_string())?;
+            if compliant {
+                for i in 0..conn.shard_count() {
+                    conn.store(i).start_expiration_driver();
+                }
+            }
+            Arc::new(conn)
+        }
         "redis" | "redis-mi" => {
             let config = if compliant {
                 gdprbench_repro::kvstore::KvConfig::gdpr_compliant_in_memory()
@@ -130,6 +151,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let records: usize = args.get_num("records", 1000)?;
     let ops: u64 = args.get_num("ops", 1000)?;
     let threads: usize = args.get_num("threads", 1)?;
+    let shards: usize =
+        args.get_num("shards", gdprbench_repro::gdpr_core::shard_count_from_env())?;
     let oracle = !args.has("no-oracle") && threads == 1;
     let workload_arg = args.get("workload", "all");
     let kinds: Vec<GdprWorkloadKind> = match workload_arg.as_str() {
@@ -148,7 +171,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     for kind in kinds {
         // Fresh store per workload so the oracle matches (as the paper
         // reloads between runs).
-        let connector = build_connector(&db, args.has("compliant"))?;
+        let connector = build_connector(&db, args.has("compliant"), shards)?;
         let corpus = stable_corpus(records);
         load_corpus(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
         let report = run_gdpr_workload(connector, kind, corpus, ops, threads, oracle);
@@ -228,8 +251,10 @@ fn cmd_ycsb(args: &Args) -> Result<(), String> {
 
 fn cmd_features(args: &Args) -> Result<(), String> {
     let db = args.get("db", "redis");
+    let shards: usize =
+        args.get_num("shards", gdprbench_repro::gdpr_core::shard_count_from_env())?;
     for compliant in [false, true] {
-        let connector = build_connector(&db, compliant)?;
+        let connector = build_connector(&db, compliant, shards)?;
         let report = connector.features();
         println!(
             "{} ({}): fully compliant = {}",

@@ -266,25 +266,22 @@ fn volume_roundtrip_and_corruption() {
 }
 
 // ---------------------------------------------------------------------------
-// Compliance-engine metadata index properties
+// Shared GDPR corpus generators (engine-index and sharding properties)
 // ---------------------------------------------------------------------------
 
-mod engine_index {
+mod gdpr_gen {
     use super::*;
-    use gdprbench_repro::connectors::RedisConnector;
-    use gdprbench_repro::gdpr_core::{GdprConnector, GdprQuery, GdprResponse, Session};
-    use gdprbench_repro::kvstore::{ExpirationMode, KvConfig, KvStore};
-    use std::sync::Arc;
+    use gdprbench_repro::gdpr_core::{GdprQuery, GdprResponse, Session};
 
-    const USERS: [&str; 4] = ["neo", "trinity", "morpheus", "smith"];
-    const PURPOSES: [&str; 4] = ["ads", "2fa", "analytics", "billing"];
-    const PARTIES: [&str; 3] = ["x-corp", "y-corp", "z-corp"];
+    pub const USERS: [&str; 4] = ["neo", "trinity", "morpheus", "smith"];
+    pub const PURPOSES: [&str; 4] = ["ads", "2fa", "analytics", "billing"];
+    pub const PARTIES: [&str; 3] = ["x-corp", "y-corp", "z-corp"];
 
-    fn pick<'a>(rng: &mut SmallRng, pool: &[&'a str]) -> &'a str {
+    pub fn pick<'a>(rng: &mut SmallRng, pool: &[&'a str]) -> &'a str {
         pool[rng.gen_range(0usize..pool.len())]
     }
 
-    fn subset(rng: &mut SmallRng, pool: &[&str], max: usize) -> Vec<String> {
+    pub fn subset(rng: &mut SmallRng, pool: &[&str], max: usize) -> Vec<String> {
         let mut out: Vec<String> = (0..rng.gen_range(0usize..max + 1))
             .map(|_| pick(rng, pool).to_string())
             .collect();
@@ -293,7 +290,7 @@ mod engine_index {
         out
     }
 
-    fn arb_gdpr_record(rng: &mut SmallRng, key: String) -> PersonalRecord {
+    pub fn arb_gdpr_record(rng: &mut SmallRng, key: String) -> PersonalRecord {
         let mut purposes = subset(rng, &PURPOSES, 3);
         if purposes.is_empty() {
             purposes.push(pick(rng, &PURPOSES).to_string());
@@ -320,7 +317,7 @@ mod engine_index {
         )
     }
 
-    fn sorted(resp: GdprResponse) -> GdprResponse {
+    pub fn sorted(resp: GdprResponse) -> GdprResponse {
         match resp {
             GdprResponse::Data(mut pairs) => {
                 pairs.sort();
@@ -334,7 +331,7 @@ mod engine_index {
         }
     }
 
-    fn predicate_queries() -> Vec<(Session, GdprQuery)> {
+    pub fn predicate_queries() -> Vec<(Session, GdprQuery)> {
         let mut queries = Vec::new();
         for user in USERS {
             queries.push((
@@ -368,6 +365,19 @@ mod engine_index {
         ));
         queries
     }
+}
+
+// ---------------------------------------------------------------------------
+// Compliance-engine metadata index properties
+// ---------------------------------------------------------------------------
+
+mod engine_index {
+    use super::gdpr_gen::*;
+    use super::*;
+    use gdprbench_repro::connectors::RedisConnector;
+    use gdprbench_repro::gdpr_core::{GdprConnector, GdprQuery, Session};
+    use gdprbench_repro::kvstore::{ExpirationMode, KvConfig, KvStore};
+    use std::sync::Arc;
 
     /// Every predicate query returns the identical result set through the
     /// `MetadataIndex` and through a forced full scan, across creates,
@@ -504,6 +514,253 @@ mod engine_index {
                 .count();
             assert_eq!(index.len(), live);
             assert_eq!(conn.record_count(), live);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count invariance properties
+// ---------------------------------------------------------------------------
+
+mod sharded_invariance {
+    use super::gdpr_gen::*;
+    use super::*;
+    use gdprbench_repro::connectors::{RedisConnector, ShardedRedisConnector};
+    use gdprbench_repro::gdpr_core::{
+        GdprConnector, GdprError, GdprQuery, GdprResponse, MetadataField, MetadataUpdate,
+        RecordStore, Session,
+    };
+    use gdprbench_repro::kvstore::{KvConfig, KvStore};
+
+    /// The shard counts every property must be invariant over: the ISSUE's
+    /// N ∈ {1, 2, 8} plus whatever `GDPR_SHARDS` the CI matrix pins.
+    fn shard_counts() -> Vec<usize> {
+        let mut counts = vec![1, 2, 8];
+        let env_n = gdprbench_repro::gdpr_core::shard_count_from_env();
+        if !counts.contains(&env_n) {
+            counts.push(env_n);
+        }
+        counts
+    }
+
+    /// A labelled fleet: the unsharded engine (scan and indexed variants)
+    /// plus an indexed `ShardedEngine` per shard count, all on one clock.
+    fn fleet(sim: &clock::SharedClock) -> Vec<(String, Box<dyn GdprConnector>)> {
+        let open = || KvStore::open_with_clock(KvConfig::default(), sim.clone()).unwrap();
+        let mut conns: Vec<(String, Box<dyn GdprConnector>)> = vec![
+            (
+                "unsharded-scan".to_string(),
+                Box::new(RedisConnector::new(open())),
+            ),
+            (
+                "unsharded-mi".to_string(),
+                Box::new(RedisConnector::with_metadata_index(open()).unwrap()),
+            ),
+        ];
+        for n in shard_counts() {
+            conns.push((
+                format!("sharded-{n}"),
+                Box::new(
+                    ShardedRedisConnector::with_metadata_index((0..n).map(|_| open()).collect())
+                        .unwrap(),
+                ),
+            ));
+        }
+        conns
+    }
+
+    /// Responses compared modulo result-set order (the unsharded engine
+    /// returns store order; the router returns key order).
+    fn normalize(result: Result<GdprResponse, GdprError>) -> Result<GdprResponse, GdprError> {
+        result.map(sorted)
+    }
+
+    /// For seeded op sequences over every GdprQuery variant, the unsharded
+    /// engine and `ShardedEngine{N=1,2,8}` produce identical responses at
+    /// every step, identical predicate result sets at the end, and
+    /// identical final store states.
+    #[test]
+    fn op_sequences_are_shard_count_invariant() {
+        run_cases(16, |rng| {
+            let sim = clock::sim();
+            let conns = fleet(&(sim.clone() as clock::SharedClock));
+            let controller = Session::controller();
+
+            // Mirror one op stream into every connector, asserting
+            // response equality (including errors) at every step.
+            let apply = |session: &Session, query: &GdprQuery| {
+                let mut results = conns
+                    .iter()
+                    .map(|(label, conn)| (label, normalize(conn.execute(session, query))));
+                let (_, reference) = results.next().unwrap();
+                for (label, result) in results {
+                    assert_eq!(result, reference, "{label} diverges on {query:?}");
+                }
+            };
+
+            let n_records = rng.gen_range(5usize..35);
+            let keys: Vec<String> = (0..n_records).map(|i| format!("k{i}")).collect();
+            for key in &keys {
+                let record = arb_gdpr_record(rng, key.clone());
+                apply(&controller, &GdprQuery::CreateRecord(record));
+            }
+
+            for _ in 0..rng.gen_range(4usize..16) {
+                let key = keys[rng.gen_range(0usize..keys.len())].clone();
+                let (session, query) = match rng.gen_range(0u32..10) {
+                    0 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByKey {
+                            key,
+                            update: MetadataUpdate::Add(
+                                MetadataField::Objections,
+                                pick(rng, &PURPOSES).to_string(),
+                            ),
+                        },
+                    ),
+                    1 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByKey {
+                            key,
+                            update: MetadataUpdate::SetTtl(Duration::from_secs(
+                                rng.gen_range(1u64..120),
+                            )),
+                        },
+                    ),
+                    2 => (controller.clone(), GdprQuery::DeleteByKey(key)),
+                    3 => (
+                        controller.clone(),
+                        GdprQuery::UpdateDataByKey {
+                            key,
+                            data: field(rng),
+                        },
+                    ),
+                    4 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByPurpose {
+                            purpose: pick(rng, &PURPOSES).to_string(),
+                            update: MetadataUpdate::Add(
+                                MetadataField::Sharing,
+                                pick(rng, &PARTIES).to_string(),
+                            ),
+                        },
+                    ),
+                    5 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByUser {
+                            user: pick(rng, &USERS).to_string(),
+                            update: MetadataUpdate::Add(
+                                MetadataField::Sharing,
+                                pick(rng, &PARTIES).to_string(),
+                            ),
+                        },
+                    ),
+                    6 => (
+                        controller.clone(),
+                        GdprQuery::DeleteByUser(pick(rng, &USERS).to_string()),
+                    ),
+                    7 => (
+                        controller.clone(),
+                        GdprQuery::DeleteByPurpose(pick(rng, &PURPOSES).to_string()),
+                    ),
+                    8 => {
+                        sim.advance(Duration::from_secs(rng.gen_range(0u64..40)));
+                        (controller.clone(), GdprQuery::DeleteExpired)
+                    }
+                    _ => (Session::regulator(), GdprQuery::VerifyDeletion(key)),
+                };
+                apply(&session, &query);
+            }
+
+            // Let a random slice of TTLs lapse, then sweep the whole
+            // read-side query surface.
+            sim.advance(Duration::from_secs(rng.gen_range(0u64..130)));
+            for (session, query) in predicate_queries() {
+                apply(&session, &query);
+            }
+            for key in &keys {
+                apply(
+                    &Session::regulator(),
+                    &GdprQuery::VerifyDeletion(key.clone()),
+                );
+                apply(
+                    &Session::processor(pick(rng, &PURPOSES)),
+                    &GdprQuery::ReadDataByKey(key.clone()),
+                );
+            }
+
+            // Live record counts agree...
+            let reference_count = conns[0].1.record_count();
+            for (label, conn) in &conns {
+                assert_eq!(conn.record_count(), reference_count, "{label}");
+            }
+        });
+    }
+
+    /// The final *store states* are identical across shard counts: the
+    /// union of all shards' records equals the single-store record set,
+    /// key for key, byte for byte (data and metadata).
+    #[test]
+    fn final_store_states_are_shard_count_invariant() {
+        run_cases(12, |rng| {
+            let sim = clock::sim();
+            let open = || KvStore::open_with_clock(KvConfig::default(), sim.clone()).unwrap();
+            let sharded: Vec<ShardedRedisConnector> = shard_counts()
+                .into_iter()
+                .map(|n| {
+                    ShardedRedisConnector::with_metadata_index((0..n).map(|_| open()).collect())
+                        .unwrap()
+                })
+                .collect();
+            let controller = Session::controller();
+
+            let n_records = rng.gen_range(5usize..30);
+            for i in 0..n_records {
+                let record = arb_gdpr_record(rng, format!("k{i}"));
+                for conn in &sharded {
+                    conn.execute(&controller, &GdprQuery::CreateRecord(record.clone()))
+                        .unwrap();
+                }
+            }
+            for _ in 0..rng.gen_range(0usize..10) {
+                let key = format!("k{}", rng.gen_range(0usize..n_records));
+                let query = if rng.gen_bool(0.5) {
+                    GdprQuery::DeleteByKey(key)
+                } else {
+                    GdprQuery::UpdateMetadataByKey {
+                        key,
+                        update: MetadataUpdate::Add(
+                            MetadataField::Objections,
+                            pick(rng, &PURPOSES).to_string(),
+                        ),
+                    }
+                };
+                for conn in &sharded {
+                    let _ = conn.execute(&controller, &query);
+                }
+            }
+            sim.advance(Duration::from_secs(rng.gen_range(0u64..130)));
+
+            let state_of = |conn: &ShardedRedisConnector| -> Vec<PersonalRecord> {
+                let mut records: Vec<PersonalRecord> = (0..conn.shard_count())
+                    .flat_map(|i| conn.engine().shards()[i].store().scan().unwrap())
+                    .collect();
+                records.sort_by(|a, b| a.key.cmp(&b.key));
+                records
+            };
+            let reference = state_of(&sharded[0]);
+            for conn in &sharded[1..] {
+                assert_eq!(
+                    state_of(conn),
+                    reference,
+                    "final store state diverges at {} shards",
+                    conn.shard_count()
+                );
+            }
+            // Placement is correct in every topology.
+            for conn in &sharded {
+                conn.verify_placement().unwrap();
+            }
         });
     }
 }

@@ -3,9 +3,9 @@
 //! crash would be an Article 17 violation) and must never leak plaintext
 //! personal data on disk when encryption at rest is on (Article 32).
 
-use gdprbench_repro::connectors::{PostgresConnector, RedisConnector};
+use gdprbench_repro::connectors::{PostgresConnector, RedisConnector, ShardedRedisConnector};
 use gdprbench_repro::gdpr_core::record::{Metadata, PersonalRecord};
-use gdprbench_repro::gdpr_core::{GdprConnector, GdprQuery, GdprResponse, Session};
+use gdprbench_repro::gdpr_core::{GdprConnector, GdprError, GdprQuery, GdprResponse, Session};
 use gdprbench_repro::kvstore::{config::AofStorage, KvConfig, KvStore};
 use gdprbench_repro::relstore::{Database, RelConfig, WalStorage};
 use std::time::Duration;
@@ -79,6 +79,105 @@ fn erasure_survives_relstore_crash_recovery() {
     let recovered = Database::recover(config, &wal, gdprbench_repro::clock::wall()).unwrap();
     let table = recovered.table("personal_data").unwrap();
     assert_eq!(table.read().row_count(), 1, "only smith's record survives");
+}
+
+/// Sharded recovery: each shard replays its own AOF. Restarting with the
+/// original shard count rebuilds cleanly; restarting with a *different*
+/// shard count leaves records in shards that no longer own their keys,
+/// which must fail loudly (`ShardMisroute`) — silent misrouting would make
+/// point lookups miss live personal data — and `rebalance()` must then
+/// migrate every record home, after which erasures still hold.
+#[test]
+fn sharded_restart_with_changed_shard_count_fails_loudly_or_rebuilds() {
+    let config = KvConfig {
+        aof: AofStorage::Memory,
+        fsync: gdprbench_repro::kvstore::FsyncPolicy::Never,
+        ..Default::default()
+    };
+    // Every fleet shares one clock instance — the sharded engine rejects
+    // mixed clocks (their epochs are not comparable).
+    let clk = gdprbench_repro::clock::wall();
+    let stores: Vec<_> = (0..2)
+        .map(|_| KvStore::open_with_clock(config.clone(), clk.clone()).unwrap())
+        .collect();
+    let conn = ShardedRedisConnector::with_metadata_index(stores.clone()).unwrap();
+    let controller = Session::controller();
+    for i in 0..16 {
+        conn.execute(
+            &controller,
+            &GdprQuery::CreateRecord(record(&format!("r{i}"), "neo")),
+        )
+        .unwrap();
+    }
+    conn.execute(
+        &Session::customer("neo"),
+        &GdprQuery::DeleteByKey("r0".into()),
+    )
+    .unwrap();
+    let aofs: Vec<Vec<u8>> = stores
+        .iter()
+        .map(|s| s.aof_memory_buffer().unwrap().lock().clone())
+        .collect();
+    let replay_fleet = |clk: &gdprbench_repro::clock::SharedClock| -> Vec<_> {
+        aofs.iter()
+            .map(|aof| KvStore::replay(config.clone(), aof, clk.clone()).unwrap())
+            .collect()
+    };
+
+    // Same shard count: clean rebuild, placement verified, erasure holds.
+    let recovered =
+        ShardedRedisConnector::with_metadata_index(replay_fleet(&gdprbench_repro::clock::wall()))
+            .unwrap();
+    recovered.verify_placement().unwrap();
+    assert_eq!(recovered.record_count(), 15);
+    let regulator = Session::regulator();
+    assert_eq!(
+        recovered
+            .execute(&regulator, &GdprQuery::VerifyDeletion("r0".into()))
+            .unwrap(),
+        GdprResponse::DeletionVerified(true),
+        "an erased record must stay erased across sharded recovery"
+    );
+
+    // Different shard count: the same two AOFs plus an empty third shard.
+    let mis_clk = gdprbench_repro::clock::wall();
+    let mut misrouted_stores = replay_fleet(&mis_clk);
+    misrouted_stores.push(KvStore::open_with_clock(config.clone(), mis_clk.clone()).unwrap());
+    let misrouted = ShardedRedisConnector::with_metadata_index(misrouted_stores).unwrap();
+    let err = misrouted.verify_placement().unwrap_err();
+    assert!(
+        matches!(err, GdprError::ShardMisroute { shard_count: 3, .. }),
+        "changed shard count must be detected loudly, got {err}"
+    );
+
+    // Rebalance migrates records to their owners; nothing misroutes, every
+    // live record answers, and the erasure still holds.
+    let moved = misrouted.rebalance().unwrap();
+    assert!(moved > 0, "a 2→3 reshard must move records");
+    misrouted.verify_placement().unwrap();
+    assert_eq!(misrouted.record_count(), 15);
+    let resp = misrouted
+        .execute(
+            &Session::customer("neo"),
+            &GdprQuery::ReadDataByUser("neo".into()),
+        )
+        .unwrap();
+    assert_eq!(resp.cardinality(), 15);
+    for i in 1..16 {
+        assert_eq!(
+            misrouted
+                .execute(&regulator, &GdprQuery::VerifyDeletion(format!("r{i}")))
+                .unwrap(),
+            GdprResponse::DeletionVerified(false),
+            "live record r{i} must be found after rebalancing"
+        );
+    }
+    assert_eq!(
+        misrouted
+            .execute(&regulator, &GdprQuery::VerifyDeletion("r0".into()))
+            .unwrap(),
+        GdprResponse::DeletionVerified(true)
+    );
 }
 
 #[test]
