@@ -1,0 +1,20 @@
+//! In-process vs loopback-TCP throughput of the same sharded engine —
+//! what the `gdpr-server` network layer costs, and what pipelining buys
+//! back. `--threads N` pins a single client count; the default runs the
+//! 1/4/16 ladder. `--records`, `--ops`, and `--shards` scale the workload
+//! (shards 0 = 4).
+
+use bench::cli::Params;
+use bench::experiments::remote::{run_remote_comparison, DEFAULT_CLIENTS};
+
+fn main() {
+    let params = Params::from_env();
+    let clients: Vec<usize> = if params.threads == Params::default().threads {
+        DEFAULT_CLIENTS.to_vec()
+    } else {
+        vec![params.threads]
+    };
+    let shards = if params.shards == 0 { 4 } else { params.shards };
+    let (table, _) = run_remote_comparison(&clients, shards, params.records, params.ops);
+    println!("{}", table.render());
+}

@@ -143,6 +143,7 @@ mod tests {
 
     #[test]
     fn part_a_is_flat_for_redis() {
+        let _gate = crate::timing_gate();
         let (_, series) = run_part_a("redis", &[1000, 4000, 16_000], 3000, 2);
         let first = series.first().unwrap().1.as_secs_f64();
         let last = series.last().unwrap().1.as_secs_f64();
@@ -156,6 +157,7 @@ mod tests {
 
     #[test]
     fn part_b_grows_linearly_for_redis() {
+        let _gate = crate::timing_gate();
         let (_, series) = run_part_b("redis", &[400, 800, 1600], 60, 2);
         let first = series.first().unwrap().1.as_secs_f64();
         let last = series.last().unwrap().1.as_secs_f64();
@@ -167,6 +169,7 @@ mod tests {
 
     #[test]
     fn part_b_grows_slower_on_postgres_mi_than_redis() {
+        let _gate = crate::timing_gate();
         let scales = [400, 1600];
         let (_, redis) = run_part_b("redis", &scales, 60, 2);
         let (_, pg) = run_part_b("postgres-mi", &scales, 60, 2);

@@ -146,6 +146,7 @@ mod tests {
     /// wide margin because the scan parses every record per query.)
     #[test]
     fn indexed_reads_beat_scans_by_an_order_of_magnitude() {
+        let _gate = crate::timing_gate();
         let (_, points) = run(20_000, 5);
         for point in points {
             let required = if point.query.contains("broad") {

@@ -8,6 +8,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7_8;
 pub mod metaindex;
+pub mod remote;
 pub mod sharding;
 pub mod table1;
 pub mod table3;

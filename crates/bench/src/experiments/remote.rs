@@ -1,0 +1,232 @@
+//! In-process vs loopback-TCP throughput: the cost of the network layer.
+//!
+//! The paper drives *networked* servers (its Redis/PostgreSQL numbers
+//! include the socket), while most of this reproduction's experiments call
+//! the engine in-process. This experiment quantifies the gap: the same
+//! point-op workload (90% READ-DATA-BY-KEY / 10% UPDATE-DATA-BY-KEY, same
+//! key distribution, same engine) is measured three ways —
+//!
+//! 1. **in-process** — client threads call the sharded engine directly;
+//! 2. **loopback / request-per-roundtrip** — each thread owns one
+//!    `GdprClient` over 127.0.0.1 TCP and pays a full round trip per op;
+//! 3. **loopback / pipelined** — same connections, but ops are burst in
+//!    batches so the wire carries many requests per round trip.
+//!
+//! at 1, 4, and 16 client connections. The `remote_throughput` binary
+//! prints the ladder; results are recorded in the README's performance
+//! table.
+
+use crate::report::{fmt_ops, ExperimentTable};
+use connectors::{GdprClient, ShardedRedisConnector};
+use gdpr_core::record::{Metadata, PersonalRecord};
+use gdpr_core::{EngineHandle, GdprConnector, GdprQuery, Session};
+use gdpr_server::{GdprServer, ServerConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client-connection counts the ladder measures.
+pub const DEFAULT_CLIENTS: [usize; 3] = [1, 4, 16];
+
+/// Pipelined batch size for the batched mode.
+pub const PIPELINE_DEPTH: usize = 32;
+
+const READ_FRACTION: f64 = 0.9;
+
+fn point_record(i: usize) -> PersonalRecord {
+    PersonalRecord::new(
+        format!("k{i:07}"),
+        format!("payload-{i:07}"),
+        Metadata::new(
+            format!("user-{:04}", i % 1024),
+            vec!["ads".to_string()],
+            Duration::from_secs(3600),
+        ),
+    )
+}
+
+/// Build the engine under test, preloaded with `records` point-op targets.
+pub fn build_engine(shards: usize, records: usize) -> EngineHandle {
+    let conn = Arc::new(ShardedRedisConnector::open(shards).expect("open sharded"));
+    let controller = Session::controller();
+    for i in 0..records {
+        conn.execute(&controller, &GdprQuery::CreateRecord(point_record(i)))
+            .expect("load");
+    }
+    conn
+}
+
+fn next_op(rng: &mut SmallRng, records: usize) -> (Session, GdprQuery) {
+    let i = rng.gen_range(0usize..records.max(1));
+    let key = format!("k{i:07}");
+    if rng.gen_bool(READ_FRACTION) {
+        (Session::processor("ads"), GdprQuery::ReadDataByKey(key))
+    } else {
+        (
+            Session::controller(),
+            GdprQuery::UpdateDataByKey {
+                key,
+                data: format!("rewrite-{i:07}"),
+            },
+        )
+    }
+}
+
+/// Per-thread op quotas summing exactly to `ops`.
+fn quotas(ops: u64, threads: usize) -> Vec<u64> {
+    let threads = threads.max(1);
+    let base = ops / threads as u64;
+    let extra = ops % threads as u64;
+    (0..threads as u64)
+        .map(|t| base + u64::from(t < extra))
+        .collect()
+}
+
+/// In-process baseline: `clients` threads calling the engine directly.
+pub fn run_in_process(engine: &EngineHandle, records: usize, ops: u64, clients: usize) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (t, quota) in quotas(ops, clients).into_iter().enumerate() {
+            let engine = Arc::clone(engine);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x5EED ^ t as u64);
+                for _ in 0..quota {
+                    let (session, query) = next_op(&mut rng, records);
+                    engine.execute(&session, &query).expect("in-process op");
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Loopback TCP: one `GdprClient` per thread against `addr`, one round
+/// trip per op (`pipeline_depth` = 1) or batched (`pipeline_depth` > 1).
+pub fn run_remote(
+    addr: &str,
+    records: usize,
+    ops: u64,
+    clients: usize,
+    pipeline_depth: usize,
+) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (t, quota) in quotas(ops, clients).into_iter().enumerate() {
+            let addr = addr.to_string();
+            scope.spawn(move || {
+                let client = GdprClient::connect(&addr).expect("connect");
+                let mut rng = SmallRng::seed_from_u64(0x5EED ^ t as u64);
+                let mut left = quota;
+                while left > 0 {
+                    if pipeline_depth <= 1 {
+                        let (session, query) = next_op(&mut rng, records);
+                        client.execute(&session, &query).expect("remote op");
+                        left -= 1;
+                    } else {
+                        let batch: Vec<_> = (0..pipeline_depth.min(left as usize))
+                            .map(|_| next_op(&mut rng, records))
+                            .collect();
+                        left -= batch.len() as u64;
+                        for result in client.pipeline(&batch).expect("pipeline") {
+                            result.expect("remote op");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Measured `(mode, clients, ops/s)` rows.
+pub type RemoteSeries = Vec<(&'static str, usize, f64)>;
+
+/// The full comparison ladder. One engine instance serves all modes, so
+/// in-process and loopback numbers face identical store state.
+pub fn run_remote_comparison(
+    client_counts: &[usize],
+    shards: usize,
+    records: usize,
+    ops: u64,
+) -> (ExperimentTable, RemoteSeries) {
+    let mut table = ExperimentTable::new(
+        format!(
+            "In-process vs loopback TCP — point-op workload ({records} records, {ops} ops, \
+             {shards} shards, pipeline depth {PIPELINE_DEPTH})"
+        ),
+        &["mode", "clients", "completion", "ops/s", "vs in-process"],
+    );
+    let mut series = RemoteSeries::new();
+    let engine = build_engine(shards, records);
+    let server = GdprServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+
+    for &clients in client_counts {
+        // Warm up allocator and connections outside the timed window.
+        run_in_process(&engine, records, (ops / 10).max(1), clients);
+        let in_process = run_in_process(&engine, records, ops, clients);
+        let in_process_tp = ops as f64 / in_process.as_secs_f64().max(1e-9);
+
+        run_remote(&addr, records, (ops / 10).max(1), clients, 1);
+        let roundtrip = run_remote(&addr, records, ops, clients, 1);
+        let roundtrip_tp = ops as f64 / roundtrip.as_secs_f64().max(1e-9);
+
+        let pipelined = run_remote(&addr, records, ops, clients, PIPELINE_DEPTH);
+        let pipelined_tp = ops as f64 / pipelined.as_secs_f64().max(1e-9);
+
+        for (mode, completion, throughput) in [
+            ("in-process", in_process, in_process_tp),
+            ("tcp/roundtrip", roundtrip, roundtrip_tp),
+            ("tcp/pipelined", pipelined, pipelined_tp),
+        ] {
+            table.push_row(vec![
+                mode.to_string(),
+                clients.to_string(),
+                crate::report::fmt_duration(completion),
+                fmt_ops(throughput),
+                format!("{:.0}%", 100.0 * throughput / in_process_tp.max(1e-9)),
+            ]);
+            series.push((mode, clients, throughput));
+        }
+    }
+    server.shutdown();
+    (table, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ladder runs end to end at toy scale and reports every mode at
+    /// every client count. Deliberately tiny — the bench lib's tests run
+    /// concurrently on few cores, so this checks plumbing, not speedups;
+    /// the release-mode `remote_throughput` binary measures those (see the
+    /// README's table).
+    #[test]
+    fn comparison_ladder_runs_every_mode() {
+        let _gate = crate::timing_gate();
+        let (table, series) = run_remote_comparison(&[1, 2], 2, 120, 400);
+        assert_eq!(table.rows.len(), 6);
+        assert_eq!(series.len(), 6);
+        for (mode, clients, throughput) in &series {
+            assert!(
+                *throughput > 0.0,
+                "mode {mode} at {clients} clients reported no throughput"
+            );
+        }
+    }
+
+    /// Remote and in-process modes drive the same engine: the record count
+    /// is stable (point ops only rewrite), and every key still answers.
+    #[test]
+    fn modes_share_one_engine_state() {
+        let engine = build_engine(2, 64);
+        let server =
+            GdprServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        run_remote(&server.local_addr().to_string(), 64, 200, 2, 8);
+        assert_eq!(engine.record_count(), 64);
+        server.shutdown();
+    }
+}

@@ -21,3 +21,14 @@
 pub mod cli;
 pub mod experiments;
 pub mod report;
+
+/// Relative-timing assertions ("A is not slower than B") are meaningless
+/// while another CPU-saturating measurement shares the test binary's few
+/// cores, so those tests serialize through this gate. Functional tests
+/// stay parallel.
+#[cfg(test)]
+pub(crate) fn timing_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

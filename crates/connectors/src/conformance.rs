@@ -1,17 +1,20 @@
 //! Cross-connector conformance: every binding must expose identical GDPR
-//! semantics, whatever its storage layout or shard topology. Every
-//! scenario here runs against the Redis-shaped connector (baseline and
-//! metadata-index variants), the PostgreSQL-shaped connector (likewise),
-//! and the hash-partitioned `redis-sharded` router — whose shard count
-//! comes from `GDPR_SHARDS` (CI runs the suite at 1 and 8), so a
-//! shard-count-dependent semantic can never land.
+//! semantics, whatever its storage layout, shard topology, or transport.
+//! Every scenario here runs against the Redis-shaped connector (baseline
+//! and metadata-index variants), the PostgreSQL-shaped connector
+//! (likewise), the hash-partitioned `redis-sharded` router — whose shard
+//! count comes from `GDPR_SHARDS` (CI runs the suite at 1 and 8), so a
+//! shard-count-dependent semantic can never land — and, since the network
+//! front-end, against *every one of those again over loopback TCP*
+//! (`gdpr-server` + `RemoteConnector`), so a transport-dependent semantic
+//! cannot land either.
 
-use crate::{PostgresConnector, RedisConnector, ShardedRedisConnector};
+use crate::{PostgresConnector, RedisConnector, RemoteConnector, ShardedRedisConnector};
 use gdpr_core::query::{GdprQuery, MetadataField, MetadataUpdate};
 use gdpr_core::record::{Metadata, PersonalRecord};
 use gdpr_core::response::GdprResponse;
 use gdpr_core::role::Session;
-use gdpr_core::{GdprConnector, GdprError};
+use gdpr_core::{EngineHandle, GdprConnector, GdprError};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -30,27 +33,50 @@ fn open_kv_fleet(n: usize) -> Vec<Arc<kvstore::KvStore>> {
         .collect()
 }
 
-fn connectors() -> Vec<Box<dyn GdprConnector>> {
+/// One fresh instance of every in-process connector variant.
+fn engine_handles() -> Vec<EngineHandle> {
     let shards = gdpr_core::shard_count_from_env();
-    let redis = RedisConnector::new(open_kv());
-    let redis_mi = RedisConnector::with_metadata_index(open_kv()).unwrap();
-    let sharded = ShardedRedisConnector::with_metadata_index(open_kv_fleet(shards)).unwrap();
-    let sharded_scan = ShardedRedisConnector::new(open_kv_fleet(shards)).unwrap();
-    let pg =
-        PostgresConnector::new(relstore::Database::open(relstore::RelConfig::default()).unwrap())
-            .unwrap();
-    let pg_mi = PostgresConnector::with_metadata_indices(
-        relstore::Database::open(relstore::RelConfig::default()).unwrap(),
-    )
-    .unwrap();
     vec![
-        Box::new(redis),
-        Box::new(redis_mi),
-        Box::new(sharded),
-        Box::new(sharded_scan),
-        Box::new(pg),
-        Box::new(pg_mi),
+        Arc::new(RedisConnector::new(open_kv())),
+        Arc::new(RedisConnector::with_metadata_index(open_kv()).unwrap()),
+        Arc::new(ShardedRedisConnector::with_metadata_index(open_kv_fleet(shards)).unwrap()),
+        Arc::new(ShardedRedisConnector::new(open_kv_fleet(shards)).unwrap()),
+        Arc::new(
+            PostgresConnector::new(
+                relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+            )
+            .unwrap(),
+        ),
+        Arc::new(
+            PostgresConnector::with_metadata_indices(
+                relstore::Database::open(relstore::RelConfig::default()).unwrap(),
+            )
+            .unwrap(),
+        ),
     ]
+}
+
+/// Wrap a fresh engine instance behind an in-process `gdpr-server` on an
+/// ephemeral loopback port — the same engine variants, driven over real
+/// sockets through the wire codec.
+fn served(engine: EngineHandle) -> Box<dyn GdprConnector> {
+    let config = gdpr_server::ServerConfig {
+        workers: 2,
+        queue_depth: 32,
+        ..Default::default()
+    };
+    Box::new(RemoteConnector::serve_in_process_with(engine, 2, config).unwrap())
+}
+
+/// The full conformance fleet: all six variants in-process, then all six
+/// again over loopback TCP.
+fn connectors() -> Vec<Box<dyn GdprConnector>> {
+    let mut out: Vec<Box<dyn GdprConnector>> = engine_handles()
+        .into_iter()
+        .map(|conn| Box::new(conn) as Box<dyn GdprConnector>)
+        .collect();
+    out.extend(engine_handles().into_iter().map(served));
+    out
 }
 
 fn record(key: &str, user: &str, purposes: &[&str], data: &str) -> PersonalRecord {
@@ -982,6 +1008,82 @@ fn sharded_audit_stream_is_unified_and_ordered() {
         )
         .unwrap();
     assert_eq!(resp.cardinality(), 7);
+}
+
+/// The acceptance bar for the network layer: serve the *same* engine
+/// instance that stays reachable in-process, mirror a workload through
+/// both paths, and require every response — successes, GDPR errors, audit
+/// logs, features, space, counts — to compare equal. Any codec lossiness
+/// or transport-dependent semantic fails here, for every variant.
+#[test]
+fn remote_view_is_byte_equivalent_to_in_process() {
+    for local in engine_handles() {
+        let remote = RemoteConnector::serve_in_process(Arc::clone(&local) as EngineHandle, 2)
+            .expect("serve");
+        assert_eq!(remote.name(), local.name());
+        seed(&local);
+
+        let neo = Session::customer("neo");
+        let queries: Vec<(Session, GdprQuery)> = vec![
+            (neo.clone(), GdprQuery::ReadDataByUser("neo".into())),
+            (neo.clone(), GdprQuery::ReadMetadataByUser("neo".into())),
+            (
+                Session::processor("ads"),
+                GdprQuery::ReadDataByPurpose("ads".into()),
+            ),
+            (
+                Session::regulator(),
+                GdprQuery::VerifyDeletion("ph-1".into()),
+            ),
+            (Session::controller(), GdprQuery::GetSystemFeatures),
+            // Denied: errors must roundtrip exactly too.
+            (neo.clone(), GdprQuery::ReadDataByUser("trinity".into())),
+        ];
+        for (session, query) in &queries {
+            // Responses normalize result-set order (the engine returns
+            // store order, which both paths share) — compare raw.
+            let direct = local.execute(session, query);
+            let over_wire = remote.execute(session, query);
+            assert_eq!(
+                over_wire,
+                direct,
+                "{}: remote diverges on {query:?}",
+                local.name()
+            );
+        }
+
+        // Audit-log payloads roundtrip exactly. The trail grows with every
+        // audited query (including GET-SYSTEM-LOGS itself), so the remote
+        // read — issued second — must be the local lines plus exactly the
+        // local read's own audit event.
+        let logs_query = GdprQuery::GetSystemLogs {
+            from_ms: 0,
+            to_ms: u64::MAX,
+        };
+        let local_logs = match local.execute(&Session::regulator(), &logs_query).unwrap() {
+            GdprResponse::Logs(lines) => lines,
+            other => panic!("expected logs, got {other:?}"),
+        };
+        let remote_logs = match remote.execute(&Session::regulator(), &logs_query).unwrap() {
+            GdprResponse::Logs(lines) => lines,
+            other => panic!("expected logs, got {other:?}"),
+        };
+        assert_eq!(remote_logs.len(), local_logs.len() + 1, "{}", local.name());
+        assert_eq!(&remote_logs[..local_logs.len()], &local_logs[..]);
+        assert_eq!(remote_logs.last().unwrap().operation, "get-system-logs");
+
+        // A write through the wire lands in the one shared engine.
+        remote
+            .execute(&neo, &GdprQuery::DeleteByKey("ph-1".into()))
+            .unwrap();
+        assert!(matches!(
+            local.execute(&neo, &GdprQuery::ReadMetadataByKey("ph-1".into())),
+            Err(GdprError::NotFound(_))
+        ));
+        assert_eq!(remote.record_count(), local.record_count());
+        assert_eq!(remote.space_report(), local.space_report());
+        assert_eq!(remote.features(), local.features());
+    }
 }
 
 #[test]

@@ -20,6 +20,13 @@
 //!   deterministically, and one unified audit trail spans the fleet. Shard
 //!   count is semantically invisible (pinned by the conformance suite here
 //!   and the shard-count-invariance properties in `tests/proptests.rs`).
+//! * [`remote::RemoteConnector`] — not a storage backend but a *network
+//!   client*: a pool of [`remote::GdprClient`] connections speaking the
+//!   `gdpr-server` wire protocol, behind the same [`gdpr_core::GdprConnector`]
+//!   interface. Any of the variants above, served by `gdpr-serve`, is
+//!   drivable over loopback or a real network; the conformance suite runs
+//!   every variant both in-process and remote-wrapped to pin
+//!   byte-equivalence.
 //! * [`postgres::PostgresStore`] — one `personal_data` table with a column
 //!   per metadata attribute (arrays for multi-valued ones), pushing every
 //!   predicate down to relstore's planner. In baseline form only the
@@ -34,10 +41,12 @@
 
 pub mod postgres;
 pub mod redis;
+pub mod remote;
 pub mod sharded;
 
 pub use postgres::{PostgresConnector, PostgresStore};
 pub use redis::{RedisConnector, RedisStore};
+pub use remote::{GdprClient, RemoteConnector};
 pub use sharded::ShardedRedisConnector;
 
 #[cfg(test)]

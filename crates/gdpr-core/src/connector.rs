@@ -53,6 +53,37 @@ pub trait GdprConnector: Send + Sync {
     fn name(&self) -> &str;
 }
 
+/// A shareable handle to any engine/connector — what a network front-end
+/// serves and what the bench layer drives. The server crate accepts one of
+/// these, so every connector variant (`redis`, `redis-mi`, `redis-sharded`,
+/// `postgres`, ...) is servable without the server knowing any backend.
+pub type EngineHandle = std::sync::Arc<dyn GdprConnector>;
+
+/// A shared handle is a connector: callers that hold an [`EngineHandle`]
+/// (the server, fixtures that serve and drive the same engine) use it
+/// wherever a connector is expected.
+impl<T: GdprConnector + ?Sized> GdprConnector for std::sync::Arc<T> {
+    fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        (**self).execute(session, query)
+    }
+
+    fn features(&self) -> FeatureReport {
+        (**self).features()
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        (**self).space_report()
+    }
+
+    fn record_count(&self) -> usize {
+        (**self).record_count()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,7 +56,7 @@ pub mod store;
 pub mod wire;
 
 pub use compliance::{ComplianceFeature, FeatureReport};
-pub use connector::GdprConnector;
+pub use connector::{EngineHandle, GdprConnector};
 pub use engine::ComplianceEngine;
 pub use error::GdprError;
 pub use metaindex::MetadataIndex;

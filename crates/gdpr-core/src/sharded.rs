@@ -14,9 +14,13 @@
 //! * **Predicate ops** (`*-BY-USR/PUR/OBJ/DEC/SHR`, `DELETE-RECORD-BY-TTL`)
 //!   fan out to every shard and merge: counts sum, result sets concatenate
 //!   and sort by key, so the response is deterministic whatever the shard
-//!   topology. This is what makes shard count an *invisible* deployment
-//!   knob: `ShardedEngine{N=1,2,8}` and the unsharded engine answer every
-//!   query identically (pinned by `tests/proptests.rs`).
+//!   topology. Read fan-out runs the shard probes *in parallel* on a
+//!   per-engine worker pool (write fan-out stays sequential to preserve
+//!   partial-failure semantics); the merge collects into shard-order slots
+//!   first, so parallelism never leaks into the response. This is what
+//!   makes shard count an *invisible* deployment knob:
+//!   `ShardedEngine{N=1,2,8}` and the unsharded engine answer every query
+//!   identically (pinned by `tests/proptests.rs`).
 //!
 //! Compliance semantics stay centralized: each shard *is* a full
 //! [`ComplianceEngine`] (authorization, visibility, per-shard
@@ -43,7 +47,8 @@ use crate::response::GdprResponse;
 use crate::role::Session;
 use crate::store::RecordStore;
 use crate::GdprConnector;
-use std::sync::Arc;
+use parking_lot::Mutex;
+use std::sync::{mpsc, Arc};
 
 /// The stable key→shard map: FNV-1a over the key bytes, mod `shard_count`.
 /// Deliberately *not* a randomized hasher — the placement must be identical
@@ -70,17 +75,76 @@ pub fn shard_count_from_env() -> usize {
         .max(1)
 }
 
+/// A long-lived worker pool for predicate fan-out: one `FanoutPool` per
+/// sharded engine, `min(shards, cores)` threads, fed boxed jobs over an
+/// mpsc channel. Hand-rolled on threads + a shared receiver because the
+/// offline build has no executor crate — the same reason the server
+/// crate's connection pool is hand-rolled.
+struct FanoutPool {
+    sender: Mutex<Option<mpsc::Sender<FanJob>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+type FanJob = Box<dyn FnOnce() + Send + 'static>;
+
+impl FanoutPool {
+    fn new(threads: usize) -> FanoutPool {
+        let (sender, receiver) = mpsc::channel::<FanJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only to dequeue; run the job unlocked so
+                    // shard probes genuinely overlap.
+                    let job = match receiver.lock().recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // pool dropped
+                    };
+                    job();
+                })
+            })
+            .collect();
+        FanoutPool {
+            sender: Mutex::new(Some(sender)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    fn submit(&self, job: FanJob) {
+        if let Some(sender) = self.sender.lock().as_ref() {
+            // Send can only fail after shutdown, which drops the receiver —
+            // and shutdown happens strictly after the last submit.
+            let _ = sender.send(job);
+        }
+    }
+}
+
+impl Drop for FanoutPool {
+    fn drop(&mut self) {
+        // Closing the channel is the shutdown signal; workers drain what
+        // was already queued and exit on the recv error.
+        *self.sender.lock() = None;
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// A compliance engine hash-partitioned across N inner engines, one store
 /// (and optional metadata index) per shard.
 pub struct ShardedEngine<S: RecordStore> {
-    shards: Vec<ComplianceEngine<S>>,
+    shards: Vec<Arc<ComplianceEngine<S>>>,
     /// The unified audit stream: exactly one event per executed query,
     /// whatever its fan-out — shards never audit on their own.
     audit: AuditTrail,
     name: String,
+    /// Workers for parallel predicate fan-out; `None` for a single shard,
+    /// where fan-out degenerates to one probe.
+    fanout: Option<FanoutPool>,
 }
 
-impl<S: RecordStore> ShardedEngine<S> {
+impl<S: RecordStore + 'static> ShardedEngine<S> {
     /// Shard each store behind a plain engine (predicates resolve by
     /// pushdown or scan within each shard).
     pub fn new(stores: Vec<S>) -> GdprResult<ShardedEngine<S>> {
@@ -100,6 +164,7 @@ impl<S: RecordStore> ShardedEngine<S> {
     }
 
     fn build(shards: Vec<ComplianceEngine<S>>) -> GdprResult<ShardedEngine<S>> {
+        let shards: Vec<Arc<ComplianceEngine<S>>> = shards.into_iter().map(Arc::new).collect();
         let Some(first) = shards.first() else {
             return Err(GdprError::Store(
                 "a sharded engine needs at least one shard".to_string(),
@@ -121,9 +186,17 @@ impl<S: RecordStore> ShardedEngine<S> {
             }
         }
         let name = format!("{}-sharded", first.store().name());
+        // Parallel fan-out pays off only with something to overlap: cap the
+        // workers at the machine's parallelism, skip the pool entirely for
+        // one shard.
+        let fanout = (shards.len() > 1).then(|| {
+            let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+            FanoutPool::new(shards.len().min(cores.max(2)))
+        });
         Ok(ShardedEngine {
             audit: AuditTrail::new(clock),
             name,
+            fanout,
             shards,
         })
     }
@@ -140,7 +213,7 @@ impl<S: RecordStore> ShardedEngine<S> {
     }
 
     /// The inner engines, in shard order.
-    pub fn shards(&self) -> &[ComplianceEngine<S>] {
+    pub fn shards(&self) -> &[Arc<ComplianceEngine<S>>] {
         &self.shards
     }
 
@@ -152,6 +225,11 @@ impl<S: RecordStore> ShardedEngine<S> {
     /// The engine owning `key`.
     pub fn shard_for(&self, key: &str) -> &ComplianceEngine<S> {
         &self.shards[self.shard_index_of(key)]
+    }
+
+    /// Is predicate fan-out running on the worker pool (vs sequentially)?
+    pub fn parallel_fanout(&self) -> bool {
+        self.fanout.is_some()
     }
 
     /// The unified audit trail serving GET-SYSTEM-LOGS.
@@ -211,15 +289,67 @@ impl<S: RecordStore> ShardedEngine<S> {
     }
 
     /// Run a predicate query on every shard and merge deterministically.
-    /// Fan-out is sequential: merge order must not depend on thread timing,
-    /// and a mid-fan-out failure has the same partial-progress semantics as
-    /// the unsharded engine failing mid-iteration.
+    ///
+    /// *Reads* fan out in parallel on the worker pool: shard probes are
+    /// independent, results are collected into shard-order slots before
+    /// merging, and on failure the lowest-indexed shard's error is returned
+    /// — so the response (and the merge order) never depends on thread
+    /// timing. *Writes* stay sequential: a mid-fan-out failure must leave
+    /// the same partial progress as the unsharded engine failing
+    /// mid-iteration, and parallel shards would smear partial updates
+    /// across all of them.
     fn fan_out(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
-        let mut results = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
-            results.push(shard.dispatch(session, query)?);
+        let results: Vec<GdprResult<GdprResponse>> = match &self.fanout {
+            Some(pool) if !query.is_write() => {
+                let (tx, rx) = mpsc::channel();
+                for (i, shard) in self.shards.iter().enumerate() {
+                    let shard = Arc::clone(shard);
+                    let session = session.clone();
+                    let query = query.clone();
+                    let tx = tx.clone();
+                    pool.submit(Box::new(move || {
+                        // A panicking shard must not hang the collector: it
+                        // still reports, as a loud store error.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            shard.dispatch(&session, &query)
+                        }))
+                        .unwrap_or_else(|_| {
+                            Err(GdprError::Store(
+                                "shard fan-out worker panicked".to_string(),
+                            ))
+                        });
+                        let _ = tx.send((i, result));
+                    }));
+                }
+                drop(tx);
+                let mut slots: Vec<Option<GdprResult<GdprResponse>>> =
+                    (0..self.shards.len()).map(|_| None).collect();
+                for (i, result) in rx {
+                    slots[i] = Some(result);
+                }
+                if slots.iter().any(Option::is_none) {
+                    return Err(GdprError::Store(
+                        "shard fan-out lost a worker response".to_string(),
+                    ));
+                }
+                slots.into_iter().flatten().collect()
+            }
+            _ => {
+                let mut results = Vec::with_capacity(self.shards.len());
+                for shard in &self.shards {
+                    results.push(shard.dispatch(session, query));
+                    if results.last().is_some_and(Result::is_err) {
+                        break;
+                    }
+                }
+                results
+            }
+        };
+        let mut responses = Vec::with_capacity(results.len());
+        for result in results {
+            responses.push(result?);
         }
-        merge_responses(results)
+        merge_responses(responses)
     }
 
     /// Check that every stored record lives in the shard [`shard_of`]
@@ -328,7 +458,7 @@ fn merge_responses(results: Vec<GdprResponse>) -> GdprResult<GdprResponse> {
 
 /// A sharded engine is a connector like any other; callers cannot tell a
 /// router from a single engine (the whole point).
-impl<S: RecordStore> GdprConnector for ShardedEngine<S> {
+impl<S: RecordStore + 'static> GdprConnector for ShardedEngine<S> {
     fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
         ShardedEngine::execute(self, session, query)
     }
@@ -746,6 +876,49 @@ mod tests {
             .unwrap()
             .keys_for(&RecordPredicate::User("neo".into()))
             .is_some());
+    }
+
+    #[test]
+    fn parallel_fanout_runs_on_multi_shard_engines_only() {
+        assert!(
+            !sharded(1).parallel_fanout(),
+            "one shard has nothing to overlap"
+        );
+        let engine = sharded(8);
+        assert!(engine.parallel_fanout());
+        // Many concurrent fan-outs over the shared pool: every reader must
+        // see the identical deterministic merge.
+        let controller = Session::controller();
+        for i in 0..32 {
+            engine
+                .execute(
+                    &controller,
+                    &GdprQuery::CreateRecord(record(&format!("k{i}"), "neo", &["ads"])),
+                )
+                .unwrap();
+        }
+        let expected = engine
+            .execute(
+                &Session::customer("neo"),
+                &GdprQuery::ReadDataByUser("neo".into()),
+            )
+            .unwrap();
+        assert_eq!(expected.cardinality(), 32);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        let resp = engine
+                            .execute(
+                                &Session::customer("neo"),
+                                &GdprQuery::ReadDataByUser("neo".into()),
+                            )
+                            .unwrap();
+                        assert_eq!(resp, expected);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

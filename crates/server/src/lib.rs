@@ -1,0 +1,33 @@
+//! `gdpr-server` — the wire-protocol network front-end for the GDPR
+//! compliance engine.
+//!
+//! The paper benchmarks *networked* database servers; this crate closes the
+//! gap between the reproduction's in-process engine calls and that setting
+//! by exposing any [`gdpr_core::EngineHandle`] — `redis`, `redis-mi`,
+//! `redis-sharded --shards N`, `postgres`, `postgres-mi` — over TCP:
+//!
+//! * [`codec`] — panic-free, bounds-checked byte primitives;
+//! * [`wire`] — framing plus a complete codec for every [`gdpr_core::GdprQuery`],
+//!   [`gdpr_core::GdprResponse`], and [`gdpr_core::GdprError`] variant
+//!   (audit-log payloads included), so remote semantics are byte-equivalent
+//!   to in-process execution;
+//! * [`pool`] — a bounded worker pool, hand-rolled on threads (the offline
+//!   build has no executor crate);
+//! * [`server`] — accept loop, pipelining with strictly ordered responses,
+//!   per-connection stats, graceful shutdown.
+//!
+//! The client side (`GdprClient`, `RemoteConnector`) lives in the
+//! `connectors` crate, next to the other connector variants, so the
+//! conformance suite and the bench layer drive loopback TCP through the
+//! same `GdprConnector` interface they already use. The wire format is
+//! documented for external implementations in `crates/server/README.md`.
+
+pub mod codec;
+pub mod pool;
+pub mod server;
+pub mod wire;
+
+pub use codec::{WireError, WireResult};
+pub use pool::WorkerPool;
+pub use server::{GdprServer, ServerConfig, ServerStats};
+pub use wire::{RequestBody, ResponseBody, StatsSnapshot, MAX_FRAME};

@@ -1,0 +1,177 @@
+//! A bounded worker pool, hand-rolled on threads + a condvar'd queue (the
+//! offline build has no executor crate). Submitting to a full queue blocks
+//! the caller — for the server that caller is a connection's frame reader,
+//! so a saturated pool turns into TCP backpressure on the client instead
+//! of unbounded buffering in the server.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals workers that a job (or shutdown) is available.
+    not_empty: Condvar,
+    /// Signals submitters that queue slots freed up.
+    not_full: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+}
+
+/// Fixed worker threads over a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// `workers` threads over a queue of at most `capacity` waiting jobs.
+    pub fn new(workers: usize, capacity: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueue a job, blocking while the queue is at capacity. Returns
+    /// `false` (dropping the job) only after shutdown.
+    pub fn submit(&self, job: Job) -> bool {
+        let mut queue = self.shared.queue.lock();
+        while queue.len() >= self.shared.capacity {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            queue = self
+                .shared
+                .not_full
+                .wait(queue)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        true
+    }
+
+    /// Jobs currently waiting (not the ones executing).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+
+    /// Graceful shutdown: workers drain the queue, then exit; blocks until
+    /// every worker has joined. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.not_full.notify_one();
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // A panicking job must not take the worker (and with it a slot of
+        // the pool's capacity) down with it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = WorkerPool::new(4, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_loss() {
+        // One slow worker, capacity 2: submitters must block, not drop.
+        let pool = WorkerPool::new(1, 2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn survives_panicking_jobs() {
+        let pool = WorkerPool::new(1, 4);
+        pool.submit(Box::new(|| panic!("job panic")));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.submit(Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let pool = WorkerPool::new(1, 1);
+        pool.shutdown();
+        assert!(!pool.submit(Box::new(|| {})));
+    }
+}

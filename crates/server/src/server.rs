@@ -1,0 +1,658 @@
+//! The TCP front-end: an accept loop, per-connection frame readers, a
+//! bounded worker pool executing requests, and a per-connection sequencer
+//! that emits responses in request order — so clients may pipeline many
+//! requests per connection and still rely on ordered, un-crossed replies.
+//!
+//! ```text
+//! client ──frames──▶ reader thread ──jobs──▶ WorkerPool (bounded)
+//!                       │ ticket per frame        │ execute on EngineHandle
+//!                       ▼                         ▼
+//!                  Sequencer (per connection): complete(ticket, bytes)
+//!                       └── writes contiguous tickets, in order ──▶ client
+//! ```
+//!
+//! The reader is I/O-bound and cheap (one thread per connection); all
+//! engine work happens on the shared pool, whose bounded queue converts
+//! overload into TCP backpressure at the reader. Responses may *finish*
+//! out of order on the pool; the sequencer buffers completions and writes
+//! only the contiguous prefix, which restores request order exactly.
+
+use crate::pool::WorkerPool;
+use crate::wire::{self, RequestBody, ResponseBody, StatsSnapshot};
+use gdpr_core::EngineHandle;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (default: the machine's
+    /// parallelism).
+    pub workers: usize,
+    /// Bound on jobs waiting for a worker; a full queue blocks the
+    /// connection readers (TCP backpressure).
+    pub queue_depth: usize,
+    /// Largest accepted frame.
+    pub max_frame: usize,
+    /// Cap on one blocking response write. A client that pipelines
+    /// requests but never drains responses would otherwise park a pool
+    /// worker forever inside the connection's sequencer lock — with every
+    /// worker so parked, one misbehaving client starves the whole server.
+    /// Hitting the cap kills that connection instead.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+        ServerConfig {
+            workers,
+            queue_depth: workers * 32,
+            max_frame: wire::MAX_FRAME,
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Server-wide counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub connections_accepted: AtomicU64,
+    pub connections_active: AtomicU64,
+    pub requests: AtomicU64,
+    pub gdpr_errors: AtomicU64,
+    pub protocol_errors: AtomicU64,
+}
+
+/// Per-connection counters, served over the wire for `ConnStats`.
+#[derive(Debug, Default)]
+struct ConnCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// Orders responses of one connection: workers complete tickets in any
+/// order; only the contiguous prefix is written to the socket.
+struct Sequencer {
+    inner: Mutex<SequencerInner>,
+    counters: Arc<ConnCounters>,
+}
+
+struct SequencerInner {
+    stream: TcpStream,
+    /// The next ticket the socket is owed.
+    next: u64,
+    /// Completed-but-not-yet-writable responses, keyed by ticket.
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// A failed write poisons the connection; later completions are
+    /// dropped instead of written out of order.
+    dead: bool,
+}
+
+impl Sequencer {
+    fn new(stream: TcpStream, counters: Arc<ConnCounters>) -> Sequencer {
+        Sequencer {
+            inner: Mutex::new(SequencerInner {
+                stream,
+                next: 0,
+                pending: BTreeMap::new(),
+                dead: false,
+            }),
+            counters,
+        }
+    }
+
+    fn complete(&self, ticket: u64, payload: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        inner.pending.insert(ticket, payload);
+        // Drain the whole contiguous prefix into one buffer and write it
+        // with a single syscall — under pipelining many tickets complete
+        // close together, and per-response writes would dominate.
+        let mut burst = Vec::new();
+        loop {
+            let next = inner.next;
+            let Some(payload) = inner.pending.remove(&next) else {
+                break;
+            };
+            inner.next += 1;
+            if !inner.dead {
+                // Infallible: writing into a Vec.
+                let _ = wire::write_frame(&mut burst, &payload);
+            }
+        }
+        if !burst.is_empty() && !inner.dead {
+            if inner.stream.write_all(&burst).is_err() {
+                // Failed or timed out (see ServerConfig::write_timeout):
+                // the stream's framing can no longer be trusted. Poison
+                // the connection and shut the socket down so the reader
+                // side stops accepting work for it too.
+                inner.dead = true;
+                let _ = inner.stream.shutdown(Shutdown::Both);
+            } else {
+                self.counters
+                    .bytes_out
+                    .fetch_add(burst.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+struct ServerShared {
+    engine: EngineHandle,
+    pool: WorkerPool,
+    addr: SocketAddr,
+    max_frame: usize,
+    write_timeout: Duration,
+    shutdown: AtomicBool,
+    stats: ServerStats,
+    /// Stream clones per live connection, for unblocking readers at
+    /// shutdown; keyed by connection id so finished connections prune
+    /// themselves.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Reader JoinHandles by connection id. Finished connections report
+    /// into `finished`; the accept loop reaps those handles so the map
+    /// tracks live connections, not every connection ever accepted.
+    readers: Mutex<HashMap<u64, std::thread::JoinHandle<()>>>,
+    finished: Mutex<Vec<u64>>,
+}
+
+/// A running GDPR wire-protocol server over any [`EngineHandle`].
+pub struct GdprServer {
+    shared: Arc<ServerShared>,
+    accept_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl GdprServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving `engine`.
+    pub fn bind(engine: EngineHandle, addr: &str, config: ServerConfig) -> io::Result<GdprServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            engine,
+            pool: WorkerPool::new(config.workers, config.queue_depth),
+            addr: local,
+            max_frame: config.max_frame,
+            write_timeout: config.write_timeout,
+            shutdown: AtomicBool::new(false),
+            stats: ServerStats::default(),
+            conns: Mutex::new(HashMap::new()),
+            readers: Mutex::new(HashMap::new()),
+            finished: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(GdprServer {
+            shared,
+            accept_handle: Mutex::new(Some(accept_handle)),
+        })
+    }
+
+    /// The bound address (with the kernel-assigned port when bound to :0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Graceful shutdown: stop accepting, unblock and join every
+    /// connection reader, drain in-flight requests, join the workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(handle) = self.accept_handle.lock().take() {
+            let _ = handle.join();
+        }
+        // Unblock every reader parked in read_frame.
+        for stream in self.shared.conns.lock().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let readers: Vec<_> = self.shared.readers.lock().drain().map(|(_, h)| h).collect();
+        for handle in readers {
+            let _ = handle.join();
+        }
+        self.shared.pool.shutdown();
+    }
+}
+
+impl Drop for GdprServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut next_conn_id = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Persistent accept failures (e.g. fd exhaustion) must not
+                // busy-spin a core away from the worker pool.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Reap readers whose connections have ended — joining a finished
+        // thread is immediate, and without this the handle map would grow
+        // with every connection ever accepted on a long-lived server.
+        for conn_id in shared.finished.lock().drain(..) {
+            if let Some(handle) = shared.readers.lock().remove(&conn_id) {
+                let _ = handle.join();
+            }
+        }
+        // Response frames are small; waiting for ACKs to coalesce them
+        // (Nagle) would serialize the whole request/response pattern.
+        stream.set_nodelay(true).ok();
+        // See ServerConfig::write_timeout.
+        stream.set_write_timeout(Some(shared.write_timeout)).ok();
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        shared
+            .stats
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(conn_id, clone);
+        }
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            serve_connection(&conn_shared, conn_id, stream);
+            conn_shared.conns.lock().remove(&conn_id);
+            conn_shared
+                .stats
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+            conn_shared.finished.lock().push(conn_id);
+        });
+        shared.readers.lock().insert(conn_id, handle);
+    }
+}
+
+/// Read frames until EOF/shutdown, handing each request to the pool under
+/// a read-order ticket; the sequencer restores that order on the way out.
+fn serve_connection(shared: &Arc<ServerShared>, _conn_id: u64, stream: TcpStream) {
+    let counters = Arc::new(ConnCounters::default());
+    let write_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let sequencer = Arc::new(Sequencer::new(write_half, Arc::clone(&counters)));
+    let mut reader = BufReader::new(stream);
+    let mut next_ticket = 0u64;
+    // Clean EOF or a dead/oversized stream ends the loop; in-flight jobs
+    // still complete through the sequencer.
+    while let Ok(Some(payload)) = wire::read_frame(&mut reader, shared.max_frame) {
+        counters
+            .bytes_in
+            .fetch_add(4 + payload.len() as u64, Ordering::Relaxed);
+        let ticket = next_ticket;
+        next_ticket += 1;
+        match wire::decode_request(&payload) {
+            Ok((seq, body)) => {
+                let job_shared = Arc::clone(shared);
+                let job_counters = Arc::clone(&counters);
+                let job_sequencer = Arc::clone(&sequencer);
+                let submitted = shared.pool.submit(Box::new(move || {
+                    // A panic below must still complete the ticket, or the
+                    // connection's response stream would stall forever.
+                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_request(&job_shared, &job_counters, body)
+                    }))
+                    .unwrap_or_else(|_| {
+                        job_shared
+                            .stats
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        ResponseBody::Protocol("internal error executing request".to_string())
+                    });
+                    job_sequencer.complete(ticket, wire::encode_response(seq, &response));
+                }));
+                if !submitted {
+                    // Pool refused: the server is shutting down.
+                    break;
+                }
+            }
+            Err(err) => {
+                // The frame was intact but the payload is malformed: answer
+                // in order (the client may have pipelined good requests
+                // ahead of it), then stop trusting the stream.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let seq = payload
+                    .get(..8)
+                    .map_or(0, |b| u64::from_be_bytes(b.try_into().unwrap()));
+                sequencer.complete(
+                    ticket,
+                    wire::encode_response(seq, &ResponseBody::Protocol(err.to_string())),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn handle_request(
+    shared: &ServerShared,
+    counters: &ConnCounters,
+    body: RequestBody,
+) -> ResponseBody {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    counters.requests.fetch_add(1, Ordering::Relaxed);
+    match body {
+        RequestBody::Execute(session, query) => match shared.engine.execute(&session, &query) {
+            Ok(response) => ResponseBody::Response(response),
+            Err(error) => {
+                shared.stats.gdpr_errors.fetch_add(1, Ordering::Relaxed);
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                ResponseBody::Error(error)
+            }
+        },
+        RequestBody::Features => ResponseBody::Features(shared.engine.features()),
+        RequestBody::SpaceReport => ResponseBody::Space(shared.engine.space_report()),
+        RequestBody::RecordCount => ResponseBody::Count(shared.engine.record_count() as u64),
+        RequestBody::Name => ResponseBody::Name(shared.engine.name().to_string()),
+        RequestBody::Ping(blob) => ResponseBody::Pong(blob),
+        RequestBody::ConnStats => ResponseBody::Stats(StatsSnapshot {
+            requests: counters.requests.load(Ordering::Relaxed),
+            errors: counters.errors.load(Ordering::Relaxed),
+            bytes_in: counters.bytes_in.load(Ordering::Relaxed),
+            bytes_out: counters.bytes_out.load(Ordering::Relaxed),
+            server_connections: shared.stats.connections_accepted.load(Ordering::Relaxed),
+            server_requests: shared.stats.requests.load(Ordering::Relaxed),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdpr_core::compliance::FeatureReport;
+    use gdpr_core::connector::SpaceReport;
+    use gdpr_core::error::{GdprError, GdprResult};
+    use gdpr_core::record::{Metadata, PersonalRecord};
+    use gdpr_core::store::RecordStore;
+    use gdpr_core::{ComplianceEngine, GdprQuery, GdprResponse, Session};
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    /// The same trivial in-memory store the engine's own tests use — the
+    /// server must work over any RecordStore-backed engine.
+    struct MemStore {
+        rows: Mutex<BTreeMap<String, PersonalRecord>>,
+        clock: clock::SharedClock,
+    }
+
+    impl MemStore {
+        fn new() -> MemStore {
+            MemStore {
+                rows: Mutex::new(BTreeMap::new()),
+                clock: clock::sim(),
+            }
+        }
+    }
+
+    impl RecordStore for MemStore {
+        fn clock(&self) -> clock::SharedClock {
+            self.clock.clone()
+        }
+        fn fetch(&self, key: &str) -> GdprResult<Option<PersonalRecord>> {
+            Ok(self.rows.lock().get(key).cloned())
+        }
+        fn put(&self, record: &PersonalRecord) -> GdprResult<()> {
+            let mut rows = self.rows.lock();
+            if rows.contains_key(&record.key) {
+                return Err(GdprError::AlreadyExists(record.key.clone()));
+            }
+            rows.insert(record.key.clone(), record.clone());
+            Ok(())
+        }
+        fn rewrite(&self, record: &PersonalRecord, _ttl_changed: bool) -> GdprResult<()> {
+            self.rows.lock().insert(record.key.clone(), record.clone());
+            Ok(())
+        }
+        fn delete(&self, key: &str) -> GdprResult<bool> {
+            Ok(self.rows.lock().remove(key).is_some())
+        }
+        fn scan(&self) -> GdprResult<Vec<PersonalRecord>> {
+            Ok(self.rows.lock().values().cloned().collect())
+        }
+        fn purge_expired(&self) -> GdprResult<usize> {
+            Ok(0)
+        }
+        fn space_report(&self) -> SpaceReport {
+            SpaceReport {
+                personal_data_bytes: 1,
+                total_bytes: 2,
+            }
+        }
+        fn record_count(&self) -> usize {
+            self.rows.lock().len()
+        }
+        fn features(&self) -> FeatureReport {
+            FeatureReport::default()
+        }
+        fn name(&self) -> &str {
+            "mem"
+        }
+    }
+
+    fn spawn_server() -> GdprServer {
+        let engine: EngineHandle = Arc::new(ComplianceEngine::new(MemStore::new()));
+        GdprServer::bind(
+            engine,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                queue_depth: 8,
+                max_frame: 1 << 20,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn record(key: &str) -> PersonalRecord {
+        PersonalRecord::new(
+            key,
+            format!("data-{key}"),
+            Metadata::new("neo", vec!["ads".to_string()], Duration::from_secs(60)),
+        )
+    }
+
+    fn call(stream: &mut TcpStream, seq: u64, body: &RequestBody) -> (u64, ResponseBody) {
+        wire::write_frame(stream, &wire::encode_request(seq, body)).unwrap();
+        let payload = wire::read_frame(stream, wire::MAX_FRAME).unwrap().unwrap();
+        wire::decode_response(&payload).unwrap()
+    }
+
+    #[test]
+    fn serves_execute_and_introspection() {
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let controller = Session::controller();
+
+        let (seq, body) = call(
+            &mut stream,
+            7,
+            &RequestBody::Execute(controller.clone(), GdprQuery::CreateRecord(record("k1"))),
+        );
+        assert_eq!(seq, 7);
+        assert_eq!(body, ResponseBody::Response(GdprResponse::Created));
+
+        // GDPR errors roundtrip as errors, not protocol failures.
+        let (_, body) = call(
+            &mut stream,
+            8,
+            &RequestBody::Execute(controller, GdprQuery::CreateRecord(record("k1"))),
+        );
+        assert_eq!(
+            body,
+            ResponseBody::Error(GdprError::AlreadyExists("k1".to_string()))
+        );
+
+        let (_, body) = call(&mut stream, 9, &RequestBody::RecordCount);
+        assert_eq!(body, ResponseBody::Count(1));
+        let (_, body) = call(&mut stream, 10, &RequestBody::Name);
+        assert_eq!(body, ResponseBody::Name("mem".to_string()));
+        let (_, body) = call(&mut stream, 11, &RequestBody::Ping(vec![1, 2, 3]));
+        assert_eq!(body, ResponseBody::Pong(vec![1, 2, 3]));
+        let (_, body) = call(&mut stream, 12, &RequestBody::ConnStats);
+        match body {
+            ResponseBody::Stats(stats) => {
+                assert!(stats.requests >= 5);
+                assert_eq!(stats.errors, 1);
+                assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let controller = Session::controller();
+        // Burst all requests before reading a single response.
+        let n = 50u64;
+        for i in 0..n {
+            let body = RequestBody::Execute(
+                controller.clone(),
+                GdprQuery::CreateRecord(record(&format!("k{i}"))),
+            );
+            wire::write_frame(&mut stream, &wire::encode_request(i, &body)).unwrap();
+        }
+        for i in 0..n {
+            let payload = wire::read_frame(&mut stream, wire::MAX_FRAME)
+                .unwrap()
+                .unwrap();
+            let (seq, body) = wire::decode_response(&payload).unwrap();
+            assert_eq!(seq, i, "responses must keep request order");
+            assert_eq!(body, ResponseBody::Response(GdprResponse::Created));
+        }
+        let (_, body) = call(&mut stream, 999, &RequestBody::RecordCount);
+        assert_eq!(body, ResponseBody::Count(n));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_payload_gets_protocol_error_then_close() {
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Valid frame, garbage payload (seq readable, opcode bogus).
+        let mut payload = 42u64.to_be_bytes().to_vec();
+        payload.push(0xEE);
+        wire::write_frame(&mut stream, &payload).unwrap();
+        stream.flush().unwrap();
+        let response = wire::read_frame(&mut stream, wire::MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        let (seq, body) = wire::decode_response(&response).unwrap();
+        assert_eq!(seq, 42);
+        assert!(matches!(body, ResponseBody::Protocol(_)));
+        // The server stops reading this stream afterwards.
+        assert!(matches!(
+            wire::read_frame(&mut stream, wire::MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        assert_eq!(server.stats().protocol_errors.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    /// A client that pipelines requests but never drains responses must
+    /// not park the (single) pool worker forever inside its sequencer:
+    /// the write timeout kills that connection and other clients keep
+    /// being served.
+    #[test]
+    fn non_draining_client_cannot_starve_other_connections() {
+        let engine: EngineHandle = Arc::new(ComplianceEngine::new(MemStore::new()));
+        let server = GdprServer::bind(
+            engine,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                queue_depth: 4,
+                max_frame: wire::MAX_FRAME,
+                write_timeout: Duration::from_millis(200),
+            },
+        )
+        .unwrap();
+
+        // One record with a payload far beyond the loopback socket
+        // buffers, so unread responses fill them fast.
+        let mut setup = TcpStream::connect(server.local_addr()).unwrap();
+        let mut big = record("big");
+        big.data = "x".repeat(512 * 1024);
+        let (_, body) = call(
+            &mut setup,
+            0,
+            &RequestBody::Execute(Session::controller(), GdprQuery::CreateRecord(big)),
+        );
+        assert_eq!(body, ResponseBody::Response(GdprResponse::Created));
+
+        // The stalling client: burst reads of the big record, never read
+        // a single response.
+        let staller = TcpStream::connect(server.local_addr()).unwrap();
+        {
+            let mut w = staller.try_clone().unwrap();
+            for i in 0..64u64 {
+                let body = RequestBody::Execute(
+                    Session::processor("ads"),
+                    GdprQuery::ReadDataByKey("big".to_string()),
+                );
+                wire::write_frame(&mut w, &wire::encode_request(i, &body)).unwrap();
+            }
+        }
+
+        // A well-behaved client must still get answers within the write
+        // timeout plus slack.
+        let mut probe = TcpStream::connect(server.local_addr()).unwrap();
+        probe
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let (_, body) = call(&mut probe, 1, &RequestBody::Ping(vec![42]));
+        assert_eq!(body, ResponseBody::Pong(vec![42]));
+        drop(staller);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let (_, body) = call(&mut stream, 1, &RequestBody::Ping(vec![7]));
+        assert_eq!(body, ResponseBody::Pong(vec![7]));
+        server.shutdown();
+        server.shutdown();
+        // The old connection is gone.
+        let _ = stream.flush();
+        assert!(matches!(
+            wire::read_frame(&mut stream, wire::MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+    }
+}

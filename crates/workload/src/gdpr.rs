@@ -384,6 +384,28 @@ pub fn load_corpus(
     Ok(())
 }
 
+/// Load the corpus into a store that may already hold (part of) it —
+/// the remote-server case, where state outlives the client and a
+/// re-run's load phase must top up rather than fail. Key collisions are
+/// skipped; every other error still aborts. Returns how many records
+/// were actually created.
+pub fn load_corpus_tolerant(
+    connector: &dyn gdpr_core::GdprConnector,
+    corpus: &CorpusConfig,
+) -> Result<usize, gdpr_core::GdprError> {
+    let controller = Session::controller();
+    let mut created = 0;
+    for i in 0..corpus.records {
+        let record = datagen::record_of(i, corpus);
+        match connector.execute(&controller, &GdprQuery::CreateRecord(record)) {
+            Ok(_) => created += 1,
+            Err(gdpr_core::GdprError::AlreadyExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(created)
+}
+
 /// A corpus whose records never expire mid-benchmark (long TTLs), for
 /// workload runs where expiry-induced churn would confound completion time.
 pub fn stable_corpus(records: usize) -> CorpusConfig {

@@ -1,0 +1,115 @@
+//! `gdpr-serve` — run any connector variant behind the GDPR wire protocol,
+//! so GDPRbench (and any `GdprClient`) drives it over real sockets.
+//!
+//! ```sh
+//! gdpr-serve --db redis-sharded --shards 8 --addr 127.0.0.1:7878
+//! gdprbench run --db remote --addr 127.0.0.1:7878 --clients 8 --workload processor
+//! ```
+//!
+//! The process serves until killed; shutdown on signal is the operator's
+//! (or CI's) `kill`, after which in-flight requests complete via the
+//! server's graceful drop.
+
+use gdprbench_repro::drivers::{build_connector, ConnectorSpec, DB_CHOICES};
+use gdprbench_repro::gdpr_server::{GdprServer, ServerConfig};
+
+const USAGE: &str = "\
+gdpr-serve — wire-protocol network front-end for the GDPR compliance engine
+
+USAGE:
+  gdpr-serve [--db redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi]
+             [--addr HOST:PORT] [--shards N] [--workers N] [--compliant]
+
+Defaults: --db redis-mi, --addr 127.0.0.1:7878, --shards $GDPR_SHARDS (else 4),
+--workers = CPU parallelism. The server pipelines: clients may keep many
+requests in flight per connection; responses come back in request order.";
+
+struct ServeArgs {
+    spec: ConnectorSpec,
+    addr: String,
+    workers: Option<usize>,
+}
+
+fn parse_args() -> Result<ServeArgs, String> {
+    let mut spec = ConnectorSpec::new("redis-mi");
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut take = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("--{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--db" => spec.db = take("db")?,
+            "--addr" => addr = take("addr")?,
+            "--shards" => {
+                spec.shards = take("shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--workers" => {
+                workers = Some(
+                    take("workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
+            }
+            "--compliant" => spec.compliant = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    if spec.db == "remote" {
+        return Err(format!(
+            "gdpr-serve serves a local engine; --db must be one of {}",
+            DB_CHOICES.trim_end_matches("|remote")
+        ));
+    }
+    Ok(ServeArgs {
+        spec,
+        addr,
+        workers,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let engine = match build_connector(&args.spec) {
+        Ok(engine) => engine,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+    let mut config = ServerConfig::default();
+    if let Some(workers) = args.workers {
+        config.workers = workers.max(1);
+        config.queue_depth = config.workers * 32;
+    }
+    let name = engine.name().to_string();
+    let server = match GdprServer::bind(engine, &args.addr, config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("gdpr-serve: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "gdpr-serve: serving {name} on {} ({} workers); drive it with \
+         `gdprbench run --db remote --addr {}`",
+        server.local_addr(),
+        config.workers,
+        server.local_addr(),
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -6,12 +6,16 @@
 //! ```sh
 //! gdprbench run --db redis --workload customer --records 10000 --ops 1000
 //! gdprbench run --db postgres-mi --workload regulator --threads 8
+//! gdprbench run --db remote --addr 127.0.0.1:7878 --clients 8 --workload processor
 //! gdprbench ycsb --db postgres --workload A --records 10000 --ops 100000
 //! gdprbench features --db redis
 //! ```
 
+use gdprbench_repro::drivers::{build_connector, ConnectorSpec};
 use gdprbench_repro::gdpr_core::GdprConnector;
-use gdprbench_repro::workload::gdpr::{load_corpus, stable_corpus, GdprWorkloadKind};
+use gdprbench_repro::workload::gdpr::{
+    load_corpus, load_corpus_tolerant, stable_corpus, GdprWorkloadKind,
+};
 use gdprbench_repro::workload::ycsb::{
     ycsb_key, KvInterface, KvStoreYcsb, RelStoreYcsb, YcsbConfig,
 };
@@ -23,15 +27,23 @@ const USAGE: &str = "\
 gdprbench — the GDPR benchmark (reproduction of Shastri et al., VLDB 2020)
 
 USAGE:
-  gdprbench run      --db <redis|redis-mi|redis-sharded|postgres|postgres-mi> --workload <controller|customer|processor|regulator|all>
+  gdprbench run      --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote>
+                     --workload <controller|customer|processor|regulator|all>
                      [--records N] [--ops N] [--threads N] [--shards N] [--no-oracle] [--compliant]
+                     [--addr HOST:PORT] [--clients N]
   gdprbench ycsb     --db <redis|postgres> --workload <A|B|C|D|E|F|all>
                      [--records N] [--ops N] [--threads N]
-  gdprbench features --db <redis|redis-mi|redis-sharded|postgres|postgres-mi>
+  gdprbench features --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote>
   gdprbench help
 
 The sharded variant hash-partitions records across N engines (default
 --shards from $GDPR_SHARDS, else 4); semantics are shard-count invariant.
+
+--db remote drives a running `gdpr-serve` over TCP: --addr names the
+server, --clients sizes the connection pool (default: --threads), and the
+run measures real networked request/response cost. Note the server keeps
+its state across workloads — point `gdprbench run` at a fresh server for
+oracle-checked correctness runs.
 
 METRICS (as defined in §4.2.3 of the paper):
   correctness     fraction of responses matching the oracle (single-threaded runs)
@@ -85,65 +97,15 @@ impl Args {
     }
 }
 
-fn build_connector(
-    db: &str,
-    compliant: bool,
-    shards: usize,
-) -> Result<Arc<dyn GdprConnector>, String> {
-    let conn: Arc<dyn GdprConnector> = match db {
-        "redis-sharded" => {
-            let conn = if compliant {
-                gdprbench_repro::connectors::ShardedRedisConnector::open_compliant(shards)
-            } else {
-                gdprbench_repro::connectors::ShardedRedisConnector::open(shards)
-            }
-            .map_err(|e| e.to_string())?;
-            if compliant {
-                for i in 0..conn.shard_count() {
-                    conn.store(i).start_expiration_driver();
-                }
-            }
-            Arc::new(conn)
-        }
-        "redis" | "redis-mi" => {
-            let config = if compliant {
-                gdprbench_repro::kvstore::KvConfig::gdpr_compliant_in_memory()
-            } else {
-                gdprbench_repro::kvstore::KvConfig::default()
-            };
-            let store =
-                gdprbench_repro::kvstore::KvStore::open(config).map_err(|e| e.to_string())?;
-            if compliant {
-                store.start_expiration_driver();
-            }
-            if db == "redis-mi" {
-                Arc::new(
-                    gdprbench_repro::connectors::RedisConnector::with_metadata_index(store)
-                        .map_err(|e| e.to_string())?,
-                )
-            } else {
-                Arc::new(gdprbench_repro::connectors::RedisConnector::new(store))
-            }
-        }
-        "postgres" | "postgres-mi" => {
-            let config = if compliant {
-                gdprbench_repro::relstore::RelConfig::gdpr_compliant_in_memory()
-            } else {
-                gdprbench_repro::relstore::RelConfig::default()
-            };
-            let database =
-                gdprbench_repro::relstore::Database::open(config).map_err(|e| e.to_string())?;
-            let connector = if db == "postgres-mi" {
-                gdprbench_repro::connectors::PostgresConnector::with_metadata_indices(database)
-            } else {
-                gdprbench_repro::connectors::PostgresConnector::new(database)
-            }
-            .map_err(|e| e.to_string())?;
-            Arc::new(connector)
-        }
-        other => return Err(format!("unknown --db {other}")),
-    };
-    Ok(conn)
+/// The connector spec the common flags describe.
+fn spec_from_args(args: &Args, threads: usize) -> Result<ConnectorSpec, String> {
+    let mut spec = ConnectorSpec::new(args.get("db", "redis"));
+    spec.compliant = args.has("compliant");
+    spec.shards = args.get_num("shards", gdprbench_repro::gdpr_core::shard_count_from_env())?;
+    spec.addr = args.flags.get("addr").cloned();
+    // One pooled connection per client thread unless pinned explicitly.
+    spec.clients = args.get_num("clients", threads.max(1))?;
+    Ok(spec)
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -151,9 +113,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let records: usize = args.get_num("records", 1000)?;
     let ops: u64 = args.get_num("ops", 1000)?;
     let threads: usize = args.get_num("threads", 1)?;
-    let shards: usize =
-        args.get_num("shards", gdprbench_repro::gdpr_core::shard_count_from_env())?;
-    let oracle = !args.has("no-oracle") && threads == 1;
+    let spec = spec_from_args(args, threads)?;
+    let oracle = !args.has("no-oracle") && threads == 1 && db != "remote";
     let workload_arg = args.get("workload", "all");
     let kinds: Vec<GdprWorkloadKind> = match workload_arg.as_str() {
         "all" => GdprWorkloadKind::ALL.to_vec(),
@@ -170,10 +131,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     );
     for kind in kinds {
         // Fresh store per workload so the oracle matches (as the paper
-        // reloads between runs).
-        let connector = build_connector(&db, args.has("compliant"), shards)?;
+        // reloads between runs). A remote server's state persists across
+        // the loop — only the client pool is fresh — so its load phase
+        // tolerates records surviving a previous workload.
+        let connector = build_connector(&spec)?;
         let corpus = stable_corpus(records);
-        load_corpus(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
+        if db == "remote" {
+            load_corpus_tolerant(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
+        } else {
+            load_corpus(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
+        }
         let report = run_gdpr_workload(connector, kind, corpus, ops, threads, oracle);
         println!(
             "{:<11} {:>13} {:>11.1} {:>8} {:>12} {:>12.2}x",
@@ -251,10 +218,17 @@ fn cmd_ycsb(args: &Args) -> Result<(), String> {
 
 fn cmd_features(args: &Args) -> Result<(), String> {
     let db = args.get("db", "redis");
-    let shards: usize =
-        args.get_num("shards", gdprbench_repro::gdpr_core::shard_count_from_env())?;
-    for compliant in [false, true] {
-        let connector = build_connector(&db, compliant, shards)?;
+    // A remote server's posture is whatever it was started with; probe it
+    // once rather than rebuilding per config.
+    let configs: &[bool] = if db == "remote" {
+        &[false]
+    } else {
+        &[false, true]
+    };
+    for &compliant in configs {
+        let mut spec = spec_from_args(args, 1)?;
+        spec.compliant = compliant;
+        let connector = build_connector(&spec)?;
         let report = connector.features();
         println!(
             "{} ({}): fully compliant = {}",

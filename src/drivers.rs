@@ -1,0 +1,181 @@
+//! Connector construction shared by the `gdprbench` and `gdpr-serve`
+//! binaries: one `--db` selector covering every in-process variant plus
+//! the `remote` network client.
+
+use gdpr_core::{EngineHandle, GdprConnector};
+use std::sync::Arc;
+
+/// Databases `build_connector` accepts.
+pub const DB_CHOICES: &str =
+    "redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote";
+
+/// How to reach/configure the store behind the connector.
+#[derive(Debug, Clone)]
+pub struct ConnectorSpec {
+    /// The `--db` selector.
+    pub db: String,
+    /// Harden the store config (strict TTL, read logging, encryption).
+    pub compliant: bool,
+    /// Shard count for the sharded variants.
+    pub shards: usize,
+    /// `host:port` of a running `gdpr-serve` (remote only).
+    pub addr: Option<String>,
+    /// Client connections to pool (remote only; defaults to 1).
+    pub clients: usize,
+}
+
+impl ConnectorSpec {
+    pub fn new(db: impl Into<String>) -> ConnectorSpec {
+        ConnectorSpec {
+            db: db.into(),
+            compliant: false,
+            shards: gdpr_core::shard_count_from_env(),
+            addr: None,
+            clients: 1,
+        }
+    }
+}
+
+/// Build a connector for `spec`. The returned handle is what `gdpr-serve`
+/// serves and what the workload runner drives — in-process and remote
+/// variants are interchangeable behind it.
+pub fn build_connector(spec: &ConnectorSpec) -> Result<EngineHandle, String> {
+    let conn: Arc<dyn GdprConnector> = match spec.db.as_str() {
+        "redis-sharded" | "redis-sharded-scan" => {
+            let scan = spec.db == "redis-sharded-scan";
+            let conn = if scan {
+                let clock = clock::wall();
+                let stores = (0..spec.shards.max(1))
+                    .map(|_| {
+                        kvstore::KvStore::open_with_clock(
+                            if spec.compliant {
+                                kvstore::KvConfig::gdpr_compliant_in_memory()
+                            } else {
+                                kvstore::KvConfig::default()
+                            },
+                            clock.clone(),
+                        )
+                        .map_err(|e| e.to_string())
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                connectors::ShardedRedisConnector::new(stores)
+            } else if spec.compliant {
+                connectors::ShardedRedisConnector::open_compliant(spec.shards)
+            } else {
+                connectors::ShardedRedisConnector::open(spec.shards)
+            }
+            .map_err(|e| e.to_string())?;
+            if spec.compliant {
+                for i in 0..conn.shard_count() {
+                    conn.store(i).start_expiration_driver();
+                }
+            }
+            Arc::new(conn)
+        }
+        "redis" | "redis-mi" => {
+            let config = if spec.compliant {
+                kvstore::KvConfig::gdpr_compliant_in_memory()
+            } else {
+                kvstore::KvConfig::default()
+            };
+            let store = kvstore::KvStore::open(config).map_err(|e| e.to_string())?;
+            if spec.compliant {
+                store.start_expiration_driver();
+            }
+            if spec.db == "redis-mi" {
+                Arc::new(
+                    connectors::RedisConnector::with_metadata_index(store)
+                        .map_err(|e| e.to_string())?,
+                )
+            } else {
+                Arc::new(connectors::RedisConnector::new(store))
+            }
+        }
+        "postgres" | "postgres-mi" => {
+            let config = if spec.compliant {
+                relstore::RelConfig::gdpr_compliant_in_memory()
+            } else {
+                relstore::RelConfig::default()
+            };
+            let database = relstore::Database::open(config).map_err(|e| e.to_string())?;
+            let connector = if spec.db == "postgres-mi" {
+                connectors::PostgresConnector::with_metadata_indices(database)
+            } else {
+                connectors::PostgresConnector::new(database)
+            }
+            .map_err(|e| e.to_string())?;
+            Arc::new(connector)
+        }
+        "remote" => {
+            let addr = spec
+                .addr
+                .as_deref()
+                .ok_or_else(|| "--db remote requires --addr HOST:PORT".to_string())?;
+            Arc::new(
+                connectors::RemoteConnector::connect_pool(addr, spec.clients.max(1))
+                    .map_err(|e| e.to_string())?,
+            )
+        }
+        other => return Err(format!("unknown --db {other} (expected {DB_CHOICES})")),
+    };
+    Ok(conn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdpr_core::{GdprQuery, Session};
+
+    #[test]
+    fn builds_every_in_process_variant() {
+        for db in [
+            "redis",
+            "redis-mi",
+            "redis-sharded",
+            "redis-sharded-scan",
+            "postgres",
+            "postgres-mi",
+        ] {
+            let mut spec = ConnectorSpec::new(db);
+            spec.shards = 2;
+            let conn = build_connector(&spec).unwrap_or_else(|e| panic!("{db}: {e}"));
+            assert_eq!(conn.record_count(), 0, "{db}");
+        }
+        assert!(build_connector(&ConnectorSpec::new("bogus")).is_err());
+        assert!(
+            build_connector(&ConnectorSpec::new("remote")).is_err(),
+            "remote without --addr must be refused"
+        );
+    }
+
+    #[test]
+    fn remote_spec_connects_to_a_served_engine() {
+        let engine = build_connector(&ConnectorSpec::new("redis-mi")).unwrap();
+        let server = gdpr_server::GdprServer::bind(
+            engine,
+            "127.0.0.1:0",
+            gdpr_server::ServerConfig::default(),
+        )
+        .unwrap();
+        let mut spec = ConnectorSpec::new("remote");
+        spec.addr = Some(server.local_addr().to_string());
+        spec.clients = 2;
+        let conn = build_connector(&spec).unwrap();
+        assert_eq!(conn.name(), "redis-mi");
+        conn.execute(
+            &Session::controller(),
+            &GdprQuery::CreateRecord(gdpr_core::PersonalRecord::new(
+                "k1",
+                "d",
+                gdpr_core::Metadata::new(
+                    "neo",
+                    vec!["ads".to_string()],
+                    std::time::Duration::from_secs(60),
+                ),
+            )),
+        )
+        .unwrap();
+        assert_eq!(conn.record_count(), 1);
+        server.shutdown();
+    }
+}

@@ -3,6 +3,9 @@ pub use clock;
 pub use connectors;
 pub use crypto;
 pub use gdpr_core;
+pub use gdpr_server;
 pub use kvstore;
 pub use relstore;
 pub use workload;
+
+pub mod drivers;

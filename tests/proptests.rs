@@ -266,6 +266,381 @@ fn volume_roundtrip_and_corruption() {
 }
 
 // ---------------------------------------------------------------------------
+// GDPR wire-protocol codec properties (the gdpr-server network layer)
+// ---------------------------------------------------------------------------
+
+mod server_wire {
+    use super::*;
+    use gdprbench_repro::gdpr_core::compliance::{FeatureReport, FeatureSupport};
+    use gdprbench_repro::gdpr_core::connector::SpaceReport;
+    use gdprbench_repro::gdpr_core::response::LogLine;
+    use gdprbench_repro::gdpr_core::{
+        GdprError, GdprQuery, GdprResponse, MetadataField, MetadataUpdate, Session,
+    };
+    use gdprbench_repro::gdpr_server::wire::{
+        decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+        RequestBody, ResponseBody, StatsSnapshot, MAX_FRAME,
+    };
+
+    fn arb_session(rng: &mut SmallRng) -> Session {
+        match rng.gen_range(0u32..4) {
+            0 => Session::controller(),
+            1 => Session::customer(field(rng)),
+            2 => Session::processor(field(rng)),
+            _ => Session::regulator(),
+        }
+    }
+
+    fn arb_duration(rng: &mut SmallRng) -> Duration {
+        // Mix sub-second precision in: the codec must carry exact nanos.
+        Duration::new(
+            rng.gen_range(0u64..10_000_000),
+            rng.gen_range(0u32..1_000_000_000),
+        )
+    }
+
+    fn arb_field(rng: &mut SmallRng) -> MetadataField {
+        [
+            MetadataField::Purposes,
+            MetadataField::Objections,
+            MetadataField::Decisions,
+            MetadataField::Sharing,
+            MetadataField::Source,
+            MetadataField::User,
+        ][rng.gen_range(0usize..6)]
+    }
+
+    fn arb_update(rng: &mut SmallRng) -> MetadataUpdate {
+        match rng.gen_range(0u32..4) {
+            0 => MetadataUpdate::Add(arb_field(rng), field(rng)),
+            1 => MetadataUpdate::Remove(arb_field(rng), field(rng)),
+            2 => MetadataUpdate::SetScalar(arb_field(rng), field(rng)),
+            _ => MetadataUpdate::SetTtl(arb_duration(rng)),
+        }
+    }
+
+    /// Every `GdprQuery` variant, cycling deterministically through the
+    /// taxonomy so each seed batch covers all 20.
+    fn arb_query(rng: &mut SmallRng, variant: u32) -> GdprQuery {
+        use GdprQuery::*;
+        match variant % 20 {
+            0 => CreateRecord(arb_record(rng)),
+            1 => DeleteByKey(field(rng)),
+            2 => DeleteByPurpose(field(rng)),
+            3 => DeleteExpired,
+            4 => DeleteByUser(field(rng)),
+            5 => ReadDataByKey(field(rng)),
+            6 => ReadDataByPurpose(field(rng)),
+            7 => ReadDataByUser(field(rng)),
+            8 => ReadDataNotObjecting(field(rng)),
+            9 => ReadDataDecisionEligible,
+            10 => ReadMetadataByKey(field(rng)),
+            11 => ReadMetadataByUser(field(rng)),
+            12 => ReadMetadataBySharedWith(field(rng)),
+            13 => UpdateDataByKey {
+                key: field(rng),
+                data: field(rng),
+            },
+            14 => UpdateMetadataByKey {
+                key: field(rng),
+                update: arb_update(rng),
+            },
+            15 => UpdateMetadataByPurpose {
+                purpose: field(rng),
+                update: arb_update(rng),
+            },
+            16 => UpdateMetadataByUser {
+                user: field(rng),
+                update: arb_update(rng),
+            },
+            17 => GetSystemLogs {
+                from_ms: rng.gen::<u64>(),
+                to_ms: rng.gen::<u64>(),
+            },
+            18 => GetSystemFeatures,
+            _ => VerifyDeletion(field(rng)),
+        }
+    }
+
+    fn arb_records(
+        rng: &mut SmallRng,
+        max: usize,
+    ) -> Vec<gdprbench_repro::gdpr_core::PersonalRecord> {
+        (0..rng.gen_range(0usize..max))
+            .map(|_| arb_record(rng))
+            .collect()
+    }
+
+    fn arb_support(rng: &mut SmallRng) -> FeatureSupport {
+        [
+            FeatureSupport::Native,
+            FeatureSupport::Retrofitted,
+            FeatureSupport::Unsupported,
+        ][rng.gen_range(0usize..3)]
+    }
+
+    fn arb_feature_report(rng: &mut SmallRng) -> FeatureReport {
+        FeatureReport {
+            timely_deletion: arb_support(rng),
+            monitoring_and_logging: arb_support(rng),
+            metadata_indexing: arb_support(rng),
+            encryption: arb_support(rng),
+            access_control: arb_support(rng),
+        }
+    }
+
+    /// Every `GdprResponse` variant — including empty result sets, large
+    /// values, and audit-log payloads.
+    fn arb_gdpr_response(rng: &mut SmallRng, variant: u32) -> GdprResponse {
+        use GdprResponse::*;
+        match variant % 9 {
+            0 => Created,
+            1 => Deleted(rng.gen::<u32>() as usize),
+            2 => Records(arb_records(rng, 6)),
+            3 => {
+                let n = rng.gen_range(0usize..6);
+                // Large values: the codec must not care about payload size.
+                Data(
+                    (0..n)
+                        .map(|_| (field(rng), field(rng).repeat(rng.gen_range(1usize..500))))
+                        .collect(),
+                )
+            }
+            4 => {
+                let n = rng.gen_range(0usize..6);
+                Metadata(
+                    (0..n)
+                        .map(|_| (field(rng), arb_record(rng).metadata))
+                        .collect(),
+                )
+            }
+            5 => Updated(rng.gen::<u32>() as usize),
+            6 => {
+                let n = rng.gen_range(0usize..6);
+                Logs(
+                    (0..n)
+                        .map(|_| LogLine {
+                            timestamp_ms: rng.gen::<u64>(),
+                            actor: field(rng),
+                            operation: field(rng),
+                            detail: field(rng),
+                        })
+                        .collect(),
+                )
+            }
+            7 => Features(arb_feature_report(rng)),
+            _ => DeletionVerified(rng.gen_bool(0.5)),
+        }
+    }
+
+    /// Every `GdprError` variant.
+    fn arb_error(rng: &mut SmallRng, variant: u32) -> GdprError {
+        match variant % 7 {
+            0 => GdprError::AccessDenied {
+                role: field(rng),
+                query: field(rng),
+                reason: field(rng),
+            },
+            1 => GdprError::NotFound(field(rng)),
+            2 => GdprError::AlreadyExists(field(rng)),
+            3 => GdprError::InvalidRecord(field(rng)),
+            4 => GdprError::Store(field(rng)),
+            5 => GdprError::Unsupported(field(rng)),
+            _ => GdprError::ShardMisroute {
+                key: field(rng),
+                found_in: rng.gen_range(0usize..64),
+                owner: rng.gen_range(0usize..64),
+                shard_count: rng.gen_range(1usize..64),
+            },
+        }
+    }
+
+    fn arb_request(rng: &mut SmallRng, variant: u32) -> RequestBody {
+        match variant % 8 {
+            v @ 0..=1 => {
+                let qv = rng.gen::<u32>().wrapping_add(v);
+                RequestBody::Execute(arb_session(rng), arb_query(rng, qv))
+            }
+            2 => RequestBody::Features,
+            3 => RequestBody::SpaceReport,
+            4 => RequestBody::RecordCount,
+            5 => RequestBody::Name,
+            6 => RequestBody::Ping(byte_vec(rng, 64)),
+            _ => RequestBody::ConnStats,
+        }
+    }
+
+    fn arb_response(rng: &mut SmallRng, variant: u32) -> ResponseBody {
+        match variant % 9 {
+            0..=2 => {
+                let v = rng.gen::<u32>();
+                ResponseBody::Response(arb_gdpr_response(rng, v))
+            }
+            3 => {
+                let v = rng.gen::<u32>();
+                ResponseBody::Error(arb_error(rng, v))
+            }
+            4 => ResponseBody::Protocol(field(rng)),
+            5 => ResponseBody::Features(arb_feature_report(rng)),
+            6 => ResponseBody::Space(SpaceReport {
+                personal_data_bytes: rng.gen::<u32>() as usize,
+                total_bytes: rng.gen::<u32>() as usize,
+            }),
+            7 => ResponseBody::Count(rng.gen::<u64>()),
+            _ => {
+                if rng.gen_bool(0.5) {
+                    ResponseBody::Name(field(rng))
+                } else {
+                    ResponseBody::Stats(StatsSnapshot {
+                        requests: rng.gen::<u64>(),
+                        errors: rng.gen::<u64>(),
+                        bytes_in: rng.gen::<u64>(),
+                        bytes_out: rng.gen::<u64>(),
+                        server_connections: rng.gen::<u64>(),
+                        server_requests: rng.gen::<u64>(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Requests — every query variant under every session shape — roundtrip
+    /// exactly through encode→decode, seq included.
+    #[test]
+    fn request_roundtrip_over_every_variant() {
+        run_cases(256, |rng| {
+            let variant = rng.gen::<u32>();
+            let seq = rng.gen::<u64>();
+            // Also force each opcode to appear, independent of rng bias.
+            for v in [variant, variant % 8, (variant % 8) + 8] {
+                let body = arb_request(rng, v);
+                let encoded = encode_request(seq, &body);
+                let (got_seq, got) = decode_request(&encoded).unwrap();
+                assert_eq!(got_seq, seq);
+                assert_eq!(got, body);
+            }
+        });
+    }
+
+    /// Responses — every GDPR response, every error, every control answer —
+    /// roundtrip exactly.
+    #[test]
+    fn response_roundtrip_over_every_variant() {
+        run_cases(256, |rng| {
+            let seq = rng.gen::<u64>();
+            for v in 0..9u32 {
+                let rv = rng.gen::<u32>().wrapping_add(v);
+                let body = arb_response(rng, rv);
+                let encoded = encode_response(seq, &body);
+                let (got_seq, got) = decode_response(&encoded).unwrap();
+                assert_eq!(got_seq, seq);
+                assert_eq!(got, body);
+            }
+        });
+    }
+
+    /// Every strict prefix of a valid payload is rejected as truncated —
+    /// with an error, never a panic, and never a bogus success.
+    #[test]
+    fn truncated_frames_are_rejected() {
+        run_cases(48, |rng| {
+            let (seq, rv) = (rng.gen::<u64>(), rng.gen::<u32>());
+            let request = encode_request(seq, &arb_request(rng, rv));
+            for cut in 0..request.len() {
+                assert!(
+                    decode_request(&request[..cut]).is_err(),
+                    "request cut at {cut}/{} must fail",
+                    request.len()
+                );
+            }
+            let (seq, rv) = (rng.gen::<u64>(), rng.gen::<u32>());
+            let response = encode_response(seq, &arb_response(rng, rv));
+            for cut in 0..response.len() {
+                assert!(
+                    decode_response(&response[..cut]).is_err(),
+                    "response cut at {cut}/{} must fail",
+                    response.len()
+                );
+            }
+        });
+    }
+
+    /// The decoders never panic on arbitrary bytes (and reject trailing
+    /// garbage after a valid payload).
+    #[test]
+    fn wire_decoding_never_panics_on_garbage() {
+        run_cases(512, |rng| {
+            let garbage = byte_vec(rng, 160);
+            let _ = decode_request(&garbage);
+            let _ = decode_response(&garbage);
+            let mut valid = encode_request(1, &RequestBody::Name);
+            valid.extend_from_slice(&byte_vec(rng, 8));
+            if valid.len() > encode_request(1, &RequestBody::Name).len() {
+                assert!(
+                    decode_request(&valid).is_err(),
+                    "trailing garbage must be rejected"
+                );
+            }
+        });
+    }
+
+    /// Frame I/O roundtrips pipelined sequences and flags mid-frame death.
+    #[test]
+    fn frame_stream_roundtrip() {
+        run_cases(64, |rng| {
+            let payloads: Vec<Vec<u8>> = (0..rng.gen_range(1usize..6))
+                .map(|_| {
+                    let (seq, rv) = (rng.gen::<u64>(), rng.gen::<u32>());
+                    encode_request(seq, &arb_request(rng, rv))
+                })
+                .collect();
+            let mut stream = Vec::new();
+            for payload in &payloads {
+                write_frame(&mut stream, payload).unwrap();
+            }
+            let mut cursor = std::io::Cursor::new(stream.clone());
+            for payload in &payloads {
+                assert_eq!(
+                    &read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap(),
+                    payload
+                );
+            }
+            assert!(read_frame(&mut cursor, MAX_FRAME).unwrap().is_none());
+            // Kill the stream mid-frame: that is an error, not clean EOF.
+            if stream.len() > 5 {
+                let cut = rng.gen_range(5usize..stream.len());
+                let mut cursor = std::io::Cursor::new(&stream[..cut]);
+                let mut result = Ok(Some(Vec::new()));
+                while matches!(result, Ok(Some(_))) {
+                    result = read_frame(&mut cursor, MAX_FRAME);
+                }
+                // Either the cut fell exactly on a frame boundary (clean
+                // EOF) or the truncation must surface as an error.
+                let frame_boundary = {
+                    let mut at = 0usize;
+                    let mut boundary = true;
+                    while at < cut {
+                        if cut - at < 4 {
+                            boundary = false;
+                            break;
+                        }
+                        let len =
+                            u32::from_be_bytes(stream[at..at + 4].try_into().unwrap()) as usize;
+                        at += 4 + len;
+                        if at > cut {
+                            boundary = false;
+                            break;
+                        }
+                    }
+                    boundary
+                };
+                assert_eq!(frame_boundary, result.is_ok(), "cut at {cut}");
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Shared GDPR corpus generators (engine-index and sharding properties)
 // ---------------------------------------------------------------------------
 
@@ -543,8 +918,11 @@ mod sharded_invariance {
         counts
     }
 
-    /// A labelled fleet: the unsharded engine (scan and indexed variants)
-    /// plus an indexed `ShardedEngine` per shard count, all on one clock.
+    /// A labelled fleet: the unsharded engine (scan and indexed variants),
+    /// an indexed `ShardedEngine` per shard count, and a sharded engine
+    /// served over loopback TCP — all on one clock. The remote entry runs
+    /// the entire response-equality harness through the wire codec: any
+    /// lossiness or transport-dependent semantic diverges here.
     fn fleet(sim: &clock::SharedClock) -> Vec<(String, Box<dyn GdprConnector>)> {
         let open = || KvStore::open_with_clock(KvConfig::default(), sim.clone()).unwrap();
         let mut conns: Vec<(String, Box<dyn GdprConnector>)> = vec![
@@ -566,6 +944,24 @@ mod sharded_invariance {
                 ),
             ));
         }
+        let served: gdprbench_repro::gdpr_core::EngineHandle = std::sync::Arc::new(
+            ShardedRedisConnector::with_metadata_index((0..2).map(|_| open()).collect()).unwrap(),
+        );
+        conns.push((
+            "remote-sharded-2".to_string(),
+            Box::new(
+                gdprbench_repro::connectors::RemoteConnector::serve_in_process_with(
+                    served,
+                    2,
+                    gdprbench_repro::gdpr_server::ServerConfig {
+                        workers: 2,
+                        queue_depth: 32,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            ),
+        ));
         conns
     }
 
