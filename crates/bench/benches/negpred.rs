@@ -1,0 +1,74 @@
+//! Negative predicates at 100 K records: the index-resolved
+//! READ-DATA-BY-OBJ / READ-DATA-BY-DEC vs the full scan-decrypt-parse
+//! path, at the selective (95% opted out) and broad (5%) regimes — the
+//! coverage-gap companion to the `metaindex` bench. Also times the
+//! batched vs per-record index-maintenance stream at the same scale.
+//!
+//! Override the corpus size with `GDPRBENCH_INDEX_RECORDS` for quicker
+//! local runs, e.g. `GDPRBENCH_INDEX_RECORDS=10000 cargo bench -p bench
+//! --bench negpred`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdpr_core::{GdprConnector, GdprQuery, Session};
+
+fn corpus_records() -> usize {
+    std::env::var("GDPRBENCH_INDEX_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
+}
+
+fn bench_negative_predicates(c: &mut Criterion) {
+    let records = corpus_records();
+    for optout_pct in [95usize, 5] {
+        let (scan_conn, index_conn) = bench::experiments::negpred::build_pair(records, optout_pct);
+        let session = Session::processor("audit");
+        let mut group = c.benchmark_group(format!("negpred/{records}/{optout_pct}pct"));
+        for (variant, conn) in [("scan", &scan_conn), ("indexed", &index_conn)] {
+            for (label, query) in [
+                (
+                    "read-data-by-obj",
+                    GdprQuery::ReadDataNotObjecting(
+                        bench::experiments::negpred::PROBE_USAGE.to_string(),
+                    ),
+                ),
+                ("read-data-by-dec", GdprQuery::ReadDataDecisionEligible),
+            ] {
+                group.bench_with_input(BenchmarkId::new(label, variant), &(), |b, ()| {
+                    b.iter(|| conn.execute(&session, &query).unwrap());
+                });
+            }
+        }
+        group.finish();
+    }
+
+    let (table, points) = bench::experiments::negpred::run(records, 3);
+    table.print();
+    for point in points {
+        println!(
+            "{} ({}% opted out): indexed is {:.1}x faster than the full scan",
+            point.query,
+            point.optout_pct,
+            point.speedup()
+        );
+    }
+    let (table, points) = bench::experiments::writebatch::run(records.min(50_000), 3);
+    table.print();
+    for point in points {
+        println!(
+            "{}: batched apply {:.2}x cheaper than per-record",
+            point.workload,
+            point.speedup()
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_negative_predicates
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Negative predicates (READ-DATA-BY-OBJ / READ-DATA-BY-DEC), index vs
+//! full scan, at the selective (95% opted out) and broad (5%) regimes.
+//! `--records N` scales the corpus, `--ops N` sets the samples per point.
+
+use bench::cli::Params;
+
+fn main() {
+    let params = Params::from_env();
+    let samples = (params.ops as usize).clamp(1, 1_000);
+    let (table, points) = bench::experiments::negpred::run(params.records, samples);
+    println!("{}", table.render());
+    for point in points {
+        println!(
+            "{} ({}% opted out): indexed is {:.1}x faster than the full scan",
+            point.query,
+            point.optout_pct,
+            point.speedup()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Batched vs per-record metadata-index maintenance, plus end-to-end
+//! group-write latencies on the indexed engine. `--records N` scales the
+//! stream, `--ops N` sets the measurement rounds.
+
+use bench::cli::Params;
+
+fn main() {
+    let params = Params::from_env();
+    let rounds = (params.ops as usize).clamp(1, 100);
+    let (table, points) = bench::experiments::writebatch::run(params.records, rounds);
+    println!("{}", table.render());
+    for point in points {
+        println!(
+            "{}: one batched apply is {:.2}x cheaper than per-record maintenance",
+            point.workload,
+            point.speedup()
+        );
+    }
+}

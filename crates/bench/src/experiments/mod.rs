@@ -8,7 +8,9 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7_8;
 pub mod metaindex;
+pub mod negpred;
 pub mod remote;
 pub mod sharding;
 pub mod table1;
 pub mod table3;
+pub mod writebatch;

@@ -17,6 +17,8 @@
 //! | `fig6_ycsb_vs_gdpr` | Fig 6 (YCSB vs GDPRbench throughput) |
 //! | `fig7_redis_scale` | Fig 7a/7b (Redis scaling) |
 //! | `fig8_postgres_scale` | Fig 8a/8b (PostgreSQL scaling) |
+//! | `negpred_index` | negative predicates (BY-OBJ/BY-DEC), index vs scan |
+//! | `write_batch` | batched vs per-record metadata-index maintenance |
 
 pub mod cli;
 pub mod experiments;

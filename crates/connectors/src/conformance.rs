@@ -709,6 +709,305 @@ fn redis_index_and_scan_agree_on_all_predicates() {
     }
 }
 
+/// Full index coverage: every `RecordPredicate` variant — including the
+/// two negative predicates — is answerable by the engine's metadata index
+/// (`keys_for` returns `Some`), on the unsharded indexed variant and on
+/// every shard of the sharded one, and the index-resolved negative
+/// predicates return exactly what the scan-based connector returns.
+#[test]
+fn negative_predicates_resolve_via_index_on_every_indexed_variant() {
+    use gdpr_core::RecordPredicate;
+    let shards = gdpr_core::shard_count_from_env();
+    let scan_conn = RedisConnector::new(open_kv());
+    let index_conn = RedisConnector::with_metadata_index(open_kv()).unwrap();
+    let sharded_conn = ShardedRedisConnector::with_metadata_index(open_kv_fleet(shards)).unwrap();
+    let conns: [&dyn GdprConnector; 3] = [&scan_conn, &index_conn, &sharded_conn];
+    let neo = Session::customer("neo");
+    for conn in conns {
+        seed(conn);
+        // An objection and a G22 opt-out so the negative predicates have
+        // something to subtract.
+        conn.execute(
+            &neo,
+            &GdprQuery::UpdateMetadataByKey {
+                key: "ph-1".into(),
+                update: MetadataUpdate::Add(MetadataField::Objections, "ads".into()),
+            },
+        )
+        .unwrap();
+        conn.execute(
+            &neo,
+            &GdprQuery::UpdateMetadataByKey {
+                key: "ph-2".into(),
+                update: MetadataUpdate::Add(MetadataField::Decisions, Metadata::DEC_OPT_OUT.into()),
+            },
+        )
+        .unwrap();
+    }
+
+    let all_predicates = [
+        RecordPredicate::User("neo".into()),
+        RecordPredicate::DeclaredPurpose("ads".into()),
+        RecordPredicate::AllowsPurpose("ads".into()),
+        RecordPredicate::NotObjecting("ads".into()),
+        RecordPredicate::DecisionEligible,
+        RecordPredicate::SharedWith("x-corp".into()),
+    ];
+    for pred in &all_predicates {
+        assert!(
+            index_conn
+                .metadata_index()
+                .unwrap()
+                .keys_for(pred)
+                .is_some(),
+            "redis-mi: {pred:?} must be index-answerable"
+        );
+        for shard in 0..shards {
+            assert!(
+                sharded_conn
+                    .metadata_index(shard)
+                    .unwrap()
+                    .keys_for(pred)
+                    .is_some(),
+                "redis-sharded shard {shard}: {pred:?} must be index-answerable"
+            );
+        }
+    }
+
+    // The index-resolved negatives return exactly the scan results.
+    for query in [
+        GdprQuery::ReadDataNotObjecting("ads".into()),
+        GdprQuery::ReadDataDecisionEligible,
+    ] {
+        let session = Session::processor("x");
+        let mut results: Vec<Vec<(String, String)>> = conns
+            .iter()
+            .map(|conn| {
+                let mut pairs = conn
+                    .execute(&session, &query)
+                    .unwrap()
+                    .as_data()
+                    .unwrap()
+                    .to_vec();
+                pairs.sort();
+                pairs
+            })
+            .collect();
+        let scan = results.remove(0);
+        assert!(!scan.is_empty(), "probe must match something");
+        for (variant, indexed) in results.into_iter().enumerate() {
+            assert_eq!(indexed, scan, "variant {variant} diverges on {query:?}");
+        }
+    }
+}
+
+/// Expiry deadlines are inclusive — `deadline == now` is already expired
+/// — and every purge path agrees at the boundary instant: the metadata
+/// index's deadline set, the key-value store's strict reaper behind both
+/// the indexed and the scan-based connector, and the relational sweep
+/// daemon delete the same set one millisecond apart.
+#[test]
+fn expiry_boundary_is_inclusive_on_every_purge_path() {
+    let controller = Session::controller();
+    let sim = clock::sim();
+    let open_strict = || {
+        kvstore::KvStore::open_with_clock(
+            kvstore::KvConfig {
+                expiration: kvstore::ExpirationMode::Strict,
+                ..Default::default()
+            },
+            sim.clone(),
+        )
+        .unwrap()
+    };
+    let indexed = RedisConnector::with_metadata_index(open_strict()).unwrap();
+    let scan = RedisConnector::new(open_strict());
+    let db =
+        relstore::Database::open_with_clock(relstore::RelConfig::default(), sim.clone()).unwrap();
+    let pg = PostgresConnector::new(db).unwrap();
+    let conns: [&dyn GdprConnector; 3] = [&indexed, &scan, &pg];
+    for conn in conns {
+        let mut r = record("b-1", "neo", &["ads"], "d");
+        r.metadata.ttl = Some(Duration::from_secs(10));
+        conn.execute(&controller, &GdprQuery::CreateRecord(r))
+            .unwrap();
+    }
+
+    // One millisecond before the deadline (t = 9.999s on the sim clock):
+    // nothing is due anywhere.
+    sim.advance(Duration::from_millis(9_999));
+    assert!(indexed
+        .metadata_index()
+        .unwrap()
+        .expired_keys(9_999)
+        .is_empty());
+    for conn in conns {
+        assert_eq!(
+            conn.execute(&controller, &GdprQuery::DeleteExpired)
+                .unwrap(),
+            GdprResponse::Deleted(0),
+            "{}: not yet due at deadline − 1ms",
+            conn.name()
+        );
+    }
+
+    // At exactly the deadline (t = 10.000s): every path reaps the record.
+    sim.advance(Duration::from_millis(1));
+    assert_eq!(
+        indexed.metadata_index().unwrap().expired_keys(10_000),
+        vec!["b-1"],
+        "the index treats deadline == now as expired"
+    );
+    for conn in conns {
+        assert_eq!(
+            conn.execute(&controller, &GdprQuery::DeleteExpired)
+                .unwrap(),
+            GdprResponse::Deleted(1),
+            "{}: due at the boundary instant",
+            conn.name()
+        );
+        assert_eq!(
+            conn.execute(
+                &Session::regulator(),
+                &GdprQuery::VerifyDeletion("b-1".into())
+            )
+            .unwrap(),
+            GdprResponse::DeletionVerified(true)
+        );
+    }
+    assert!(indexed.metadata_index().unwrap().is_empty());
+}
+
+/// Regression (write-path consistency): DELETE-RECORD-BY-TTL on an
+/// indexed engine must not trust the index alone. A record written behind
+/// the engine (the store saw it, the index never did) and a record whose
+/// index entry was wiped by `clear()` both carry store-side deadlines —
+/// the purge unions the index's due set with the store's own purge, so
+/// neither outlives its TTL.
+#[test]
+fn purge_reaps_store_side_deadlines_the_index_never_learned() {
+    let sim = clock::sim();
+    let store = kvstore::KvStore::open_with_clock(
+        kvstore::KvConfig {
+            expiration: kvstore::ExpirationMode::Strict,
+            ..Default::default()
+        },
+        sim.clone(),
+    )
+    .unwrap();
+    let redis = RedisConnector::with_metadata_index(Arc::clone(&store)).unwrap();
+    let controller = Session::controller();
+
+    // One record through the engine (indexed), one smuggled in behind it.
+    let mut known = record("known", "neo", &["ads"], "d");
+    known.metadata.ttl = Some(Duration::from_secs(5));
+    redis
+        .execute(&controller, &GdprQuery::CreateRecord(known))
+        .unwrap();
+    let mut behind = record("behind", "trinity", &["ads"], "d");
+    behind.metadata.ttl = Some(Duration::from_secs(5));
+    store
+        .set_ex(
+            b"rec:behind",
+            gdpr_core::wire::serialize(&behind).as_bytes(),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    let index = Arc::clone(redis.metadata_index().unwrap());
+    assert!(index.fully_absent("behind"), "the index never learned it");
+
+    sim.advance(Duration::from_secs(6));
+    assert_eq!(
+        redis
+            .execute(&controller, &GdprQuery::DeleteExpired)
+            .unwrap(),
+        GdprResponse::Deleted(2),
+        "the purge must union index dues with store-side dues"
+    );
+    for key in ["known", "behind"] {
+        assert_eq!(
+            redis
+                .execute(
+                    &Session::regulator(),
+                    &GdprQuery::VerifyDeletion(key.into())
+                )
+                .unwrap(),
+            GdprResponse::DeletionVerified(true),
+            "{key} must be gone"
+        );
+    }
+
+    // Same hole via clear(): the store still tracks the deadline after the
+    // index forgets everything.
+    let mut r = record("post-clear", "neo", &["ads"], "d");
+    r.metadata.ttl = Some(Duration::from_secs(5));
+    redis
+        .execute(&controller, &GdprQuery::CreateRecord(r))
+        .unwrap();
+    index.clear();
+    sim.advance(Duration::from_secs(6));
+    assert_eq!(
+        redis
+            .execute(&controller, &GdprQuery::DeleteExpired)
+            .unwrap(),
+        GdprResponse::Deleted(1),
+        "a cleared index must not shield store-side deadlines"
+    );
+    assert_eq!(redis.record_count(), 0);
+}
+
+/// Regression (write-path consistency): a group metadata update that is
+/// invalid for *any* matching record mutates *nothing* — on every
+/// connector variant, every shard topology, and over the wire. The poison
+/// record's only purpose is the one being removed (G5.1b forbids emptying
+/// the purpose list), so validation fails while other matches would
+/// succeed; before validate-all-then-commit, matches processed earlier
+/// (or living on earlier shards) were rewritten and reindexed although
+/// the caller saw `Err`.
+#[test]
+fn group_update_never_partially_commits() {
+    for conn in connectors() {
+        let controller = Session::controller();
+        // Several healthy matches so sharded variants hold matches on more
+        // than one shard, plus one poison record.
+        for i in 0..6 {
+            conn.execute(
+                &controller,
+                &GdprQuery::CreateRecord(record(&format!("gh-{i}"), "neo", &["ads", "2fa"], "d")),
+            )
+            .unwrap();
+        }
+        conn.execute(
+            &controller,
+            &GdprQuery::CreateRecord(record("gh-poison", "neo", &["ads"], "d")),
+        )
+        .unwrap();
+
+        let result = conn.execute(
+            &controller,
+            &GdprQuery::UpdateMetadataByPurpose {
+                purpose: "ads".into(),
+                update: MetadataUpdate::Remove(MetadataField::Purposes, "ads".into()),
+            },
+        );
+        assert!(
+            matches!(result, Err(GdprError::InvalidRecord(_))),
+            "{}: removing the poison record's last purpose must fail the group",
+            conn.name()
+        );
+        // No partial commit: all seven records still declare "ads".
+        let resp = conn
+            .execute(&controller, &GdprQuery::DeleteByPurpose("ads".into()))
+            .unwrap();
+        assert_eq!(
+            resp,
+            GdprResponse::Deleted(7),
+            "{}: every record must still declare the purpose after the failed update",
+            conn.name()
+        );
+    }
+}
+
 #[test]
 fn metadata_index_variant_reports_more_space() {
     let pg =

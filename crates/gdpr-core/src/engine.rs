@@ -28,7 +28,7 @@ use crate::audit::AuditTrail;
 use crate::compliance::FeatureReport;
 use crate::connector::SpaceReport;
 use crate::error::{GdprError, GdprResult};
-use crate::metaindex::MetadataIndex;
+use crate::metaindex::{IndexBatch, MetadataIndex};
 use crate::query::GdprQuery;
 use crate::record::PersonalRecord;
 use crate::response::GdprResponse;
@@ -61,9 +61,11 @@ impl<S: RecordStore> ComplianceEngine<S> {
     }
 
     /// An engine maintaining a [`MetadataIndex`] over the store: inverted
-    /// `user/purpose/objection/sharing → keys` maps plus a deadline-ordered
-    /// expiry set. Existing records are back-filled (TTL deadlines re-anchor
-    /// at attach time), and the store's expiry path is wired to invalidate
+    /// `user/purpose/objection/sharing → keys` maps, the all-keys and
+    /// decision-eligibility sets (which make the negative predicates
+    /// index-answerable), plus a deadline-ordered expiry set. Existing
+    /// records are back-filled in one batch (TTL deadlines re-anchor at
+    /// attach time), and the store's expiry path is wired to invalidate
     /// index entries the moment a record is reaped.
     pub fn with_metadata_index(store: S) -> GdprResult<ComplianceEngine<S>> {
         let mut engine = ComplianceEngine::new(store);
@@ -73,6 +75,7 @@ impl<S: RecordStore> ComplianceEngine<S> {
             listener_index.remove(key);
         }));
         let now_ms = engine.clock.now().as_millis();
+        let mut batch = IndexBatch::new();
         for record in engine.store.scan()? {
             // The store's remaining deadline is authoritative for records
             // that predate the engine; re-deriving `now + declared TTL`
@@ -83,8 +86,10 @@ impl<S: RecordStore> ComplianceEngine<S> {
                     .ttl
                     .map(|ttl| now_ms + ttl.as_millis() as u64)
             });
-            index.upsert_with_deadline(&record, deadline_ms);
+            batch.upsert_at(record, deadline_ms);
         }
+        // One lock acquisition for the whole backfill, not one per record.
+        index.apply(batch);
         engine.index = Some(index);
         Ok(engine)
     }
@@ -158,6 +163,9 @@ impl<S: RecordStore> ComplianceEngine<S> {
     }
 
     /// Erase all records matching `pred`, keeping any index consistent.
+    /// Index maintenance is coalesced into one [`IndexBatch`] (one lock
+    /// acquisition for the whole group), applied even when a store delete
+    /// fails mid-loop so the index tracks exactly the committed deletions.
     fn delete_matching(&self, pred: &RecordPredicate) -> GdprResult<usize> {
         // With an engine index attached, deletion must go key-by-key so the
         // index learns which records died; pushdown would erase them behind
@@ -168,36 +176,107 @@ impl<S: RecordStore> ComplianceEngine<S> {
             }
         }
         let victims = self.read_matching(pred)?;
-        let mut n = 0;
-        for record in victims {
-            if self.store.delete(&record.key)? {
-                n += 1;
-            }
-            self.unindex(&record.key);
-        }
-        Ok(n)
+        self.commit_batched(
+            victims,
+            |engine, record| engine.store.delete(&record.key),
+            |record, batch| batch.remove(record.key),
+        )
     }
 
-    /// Apply a metadata update to all records matching `pred`.
+    /// Apply a metadata update to all records matching `pred` —
+    /// **validate-all-then-commit**: `update.apply` runs on every match
+    /// before any `store.rewrite`, so an update that is invalid for *any*
+    /// matching record (e.g. removing the last declared purpose of one of
+    /// them) mutates nothing at all. Without the validation phase a
+    /// mid-loop failure would leave earlier matches rewritten and
+    /// reindexed while the caller sees `Err`.
+    ///
+    /// A *store* failure during the commit phase still leaves earlier
+    /// rewrites in place (the same partial progress a sharded fan-out
+    /// exposes); the index batch is applied either way so it tracks
+    /// exactly the committed rewrites.
     fn update_matching(
         &self,
         pred: &RecordPredicate,
         update: &crate::query::MetadataUpdate,
     ) -> GdprResult<usize> {
         let ttl_changed = matches!(update, crate::query::MetadataUpdate::SetTtl(_));
+        let mut updated = self.read_matching(pred)?;
+        for record in &mut updated {
+            update.apply(&mut record.metadata)?;
+        }
+        let now_ms = self.now_ms();
+        self.commit_batched(
+            updated,
+            |engine, record| engine.store.rewrite(record, ttl_changed).map(|()| true),
+            |record, batch| batch.upsert(record, now_ms, !ttl_changed),
+        )
+    }
+
+    /// The shared commit loop of every multi-record write: run the store
+    /// op per item, stopping at the first store failure, and record index
+    /// maintenance for each *committed* item into one [`IndexBatch`] that
+    /// is applied whatever happens — so the index tracks exactly the
+    /// committed ops, success or failure. Returns how many ops counted
+    /// (the store op's `bool`).
+    fn commit_batched<T>(
+        &self,
+        items: impl IntoIterator<Item = T>,
+        mut store_op: impl FnMut(&Self, &T) -> GdprResult<bool>,
+        mut index_op: impl FnMut(T, &mut IndexBatch),
+    ) -> GdprResult<usize> {
+        let mut batch = IndexBatch::new();
         let mut n = 0;
+        let mut failure = None;
+        for item in items {
+            match store_op(self, &item) {
+                Ok(counted) => {
+                    if counted {
+                        n += 1;
+                    }
+                    index_op(item, &mut batch);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        self.apply_index_batch(batch);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+
+    /// Dry-run a group update: `update.apply` on (a copy of) every record
+    /// matching `pred`, committing nothing. [`crate::sharded::ShardedEngine`]
+    /// runs this on *every* shard before dispatching the update to *any*
+    /// shard, so a validation failure leaves all shards untouched — exactly
+    /// what the unsharded engine's validate-all-then-commit guarantees.
+    pub(crate) fn validate_update(
+        &self,
+        pred: &RecordPredicate,
+        update: &crate::query::MetadataUpdate,
+    ) -> GdprResult<()> {
         for mut record in self.read_matching(pred)? {
             update.apply(&mut record.metadata)?;
-            self.store.rewrite(&record, ttl_changed)?;
-            self.reindex(&record, ttl_changed);
-            n += 1;
         }
-        Ok(n)
+        Ok(())
     }
 
     fn index_new(&self, record: &PersonalRecord) {
         if let Some(index) = &self.index {
             index.upsert(record, self.now_ms(), false);
+        }
+    }
+
+    /// Apply a coalesced maintenance batch to the index, if one is
+    /// attached — one lock acquisition however many records the batch
+    /// touches. No-op (and no lock) without an index or for empty batches.
+    pub(crate) fn apply_index_batch(&self, batch: IndexBatch) {
+        if let Some(index) = &self.index {
+            index.apply(batch);
         }
     }
 
@@ -213,33 +292,30 @@ impl<S: RecordStore> ComplianceEngine<S> {
         }
     }
 
-    /// Index a record under an explicit absolute deadline — the shard
-    /// rebalance path, where a record migrates between engines and its
-    /// store-side remaining deadline (not `now + declared TTL`) must
-    /// survive the move.
-    pub(crate) fn index_with_deadline(&self, record: &PersonalRecord, deadline_ms: Option<u64>) {
-        if let Some(index) = &self.index {
-            index.upsert_with_deadline(record, deadline_ms);
-        }
-    }
-
-    /// DELETE-RECORD-BY-TTL: purge everything past due. With an index, the
-    /// deadline-ordered expiry set yields exactly the due keys in
-    /// O(expired); without one, the store runs its own purge machinery.
+    /// DELETE-RECORD-BY-TTL: purge everything past due (deadlines are
+    /// inclusive: `deadline == now` is already due). With an index, the
+    /// deadline-ordered expiry set yields the due keys in O(expired) —
+    /// but the index is an accelerator, not the source of truth, so its
+    /// due set is **unioned** with the store's own purge machinery:
+    /// records the index never learned (written behind the engine, or
+    /// indexed before a `clear()`) still carry store-side deadlines and
+    /// must not outlive them just because the index forgot. Index
+    /// removals are coalesced into one batch.
     fn purge_expired(&self) -> GdprResult<usize> {
-        match &self.index {
-            Some(index) => {
-                let mut n = 0;
-                for key in index.expired_keys(self.now_ms()) {
-                    if self.store.delete(&key)? {
-                        n += 1;
-                    }
-                    index.remove(&key);
-                }
-                Ok(n)
-            }
-            None => self.store.purge_expired(),
-        }
+        let Some(index) = &self.index else {
+            return self.store.purge_expired();
+        };
+        let mut n = self.commit_batched(
+            index.expired_keys(self.now_ms()),
+            |engine, key| engine.store.delete(key),
+            |key, batch| batch.remove(key),
+        )?;
+        // Store-side stragglers the index never knew about. Keys already
+        // deleted above are gone from the store, so nothing double-counts;
+        // stores whose purge fires the expiry listener scrub any matching
+        // index entries themselves.
+        n += self.store.purge_expired()?;
+        Ok(n)
     }
 
     /// The single `GdprQuery` dispatch in the workspace. Crate-visible so
@@ -596,6 +672,126 @@ mod tests {
             )
             .unwrap();
         assert_eq!(resp.cardinality(), 0, "stale candidate must not surface");
+    }
+
+    /// Regression (write-path consistency): a group metadata update whose
+    /// `update.apply` is invalid for a *later* match must mutate nothing.
+    /// Before validate-all-then-commit, the loop rewrote and reindexed
+    /// earlier matches, then returned `Err` — the caller saw failure while
+    /// half the group was already updated.
+    #[test]
+    fn group_update_validates_all_matches_before_committing() {
+        for engine in engines() {
+            let controller = Session::controller();
+            // Scan order is key order: "a" (valid for the update) commits
+            // first under the old code, then "b" (whose only purpose is
+            // "ads") fails validation.
+            engine
+                .execute(
+                    &controller,
+                    &GdprQuery::CreateRecord(record("a", "neo", &["ads", "2fa"])),
+                )
+                .unwrap();
+            engine
+                .execute(
+                    &controller,
+                    &GdprQuery::CreateRecord(record("b", "neo", &["ads"])),
+                )
+                .unwrap();
+            let result = engine.execute(
+                &controller,
+                &GdprQuery::UpdateMetadataByPurpose {
+                    purpose: "ads".into(),
+                    update: crate::query::MetadataUpdate::Remove(
+                        crate::query::MetadataField::Purposes,
+                        "ads".into(),
+                    ),
+                },
+            );
+            assert!(
+                matches!(result, Err(GdprError::InvalidRecord(_))),
+                "removing b's last purpose must fail the whole group"
+            );
+            // No partial mutation: both records keep their purposes.
+            for (key, purposes) in [("a", vec!["ads", "2fa"]), ("b", vec!["ads"])] {
+                let stored = engine.store().fetch(key).unwrap().unwrap();
+                assert_eq!(
+                    stored.metadata.purposes,
+                    purposes,
+                    "indexed={}: {key} must be untouched after the failed group update",
+                    engine.metadata_index().is_some()
+                );
+            }
+            // And any index still advertises both under the purpose.
+            if let Some(index) = engine.metadata_index() {
+                assert_eq!(index.keys_by_purpose("ads"), vec!["a", "b"]);
+            }
+        }
+    }
+
+    /// The negative predicates resolve through the index — `keys_for` is
+    /// `Some` for every `RecordPredicate` variant — and agree with the
+    /// scan path.
+    #[test]
+    fn negative_predicates_resolve_through_the_index() {
+        let controller = Session::controller();
+        let engines = engines();
+        for engine in &engines {
+            let mut objecting = record("k-obj", "neo", &["ads"]);
+            objecting.metadata.objections.push("ads".into());
+            let mut opted_out = record("k-dec", "neo", &["2fa"]);
+            opted_out
+                .metadata
+                .decisions
+                .push(crate::record::Metadata::DEC_OPT_OUT.to_string());
+            for r in [objecting, opted_out, record("k-plain", "trinity", &["ads"])] {
+                engine
+                    .execute(&controller, &GdprQuery::CreateRecord(r))
+                    .unwrap();
+            }
+        }
+        let cases = [
+            (
+                GdprQuery::ReadDataNotObjecting("ads".into()),
+                vec!["k-dec", "k-plain"],
+            ),
+            (
+                GdprQuery::ReadDataDecisionEligible,
+                vec!["k-obj", "k-plain"],
+            ),
+        ];
+        for engine in &engines {
+            for (query, expected) in &cases {
+                let resp = engine.execute(&Session::processor("x"), query).unwrap();
+                let mut keys: Vec<_> = resp
+                    .as_data()
+                    .unwrap()
+                    .iter()
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                keys.sort();
+                assert_eq!(
+                    &keys,
+                    expected,
+                    "indexed={}: {query:?}",
+                    engine.metadata_index().is_some()
+                );
+            }
+        }
+        let index = engines[1].metadata_index().unwrap();
+        for pred in [
+            RecordPredicate::User("neo".into()),
+            RecordPredicate::DeclaredPurpose("ads".into()),
+            RecordPredicate::AllowsPurpose("ads".into()),
+            RecordPredicate::NotObjecting("ads".into()),
+            RecordPredicate::DecisionEligible,
+            RecordPredicate::SharedWith("x".into()),
+        ] {
+            assert!(
+                index.keys_for(&pred).is_some(),
+                "{pred:?} must take the index path"
+            );
+        }
     }
 
     #[test]

@@ -30,9 +30,14 @@
 //! workspace, over the narrow [`store::RecordStore`] backend trait.
 //! Metadata predicates resolve through pushdown (native secondary
 //! indexes), through the engine's [`metaindex::MetadataIndex`] (inverted
-//! user/purpose/objection/sharing → keys maps plus a TTL-ordered expiry
-//! set), or by full scan — all three provably equivalent. See the
-//! `connectors` crate for the Redis- and PostgreSQL-shaped backends.
+//! user/purpose/objection/sharing → keys maps, a live all-keys set and a
+//! decision-eligibility set for the negative predicates, plus a
+//! TTL-ordered expiry set — every [`store::RecordPredicate`] variant is
+//! index-answerable), or by full scan — all three provably equivalent.
+//! Multi-record write paths coalesce index maintenance through
+//! [`metaindex::IndexBatch`], one lock acquisition per group instead of
+//! one per record. See the `connectors` crate for the Redis- and
+//! PostgreSQL-shaped backends.
 //!
 //! For scale-out, [`sharded::ShardedEngine`] hash-partitions keys across N
 //! inner engines: point ops route to the owning shard, metadata predicates
@@ -59,7 +64,7 @@ pub use compliance::{ComplianceFeature, FeatureReport};
 pub use connector::{EngineHandle, GdprConnector};
 pub use engine::ComplianceEngine;
 pub use error::GdprError;
-pub use metaindex::MetadataIndex;
+pub use metaindex::{IndexBatch, MetadataIndex};
 pub use query::{GdprQuery, MetadataField, MetadataUpdate};
 pub use record::{Metadata, PersonalRecord};
 pub use response::GdprResponse;

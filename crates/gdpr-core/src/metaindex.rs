@@ -6,10 +6,33 @@
 //! answers them orders of magnitude too slowly (Figures 5a/7b: every such
 //! query on Redis is a full SCAN-decrypt-parse of the keyspace). This
 //! module is the retrofit: four inverted indexes — `user → keys`,
-//! `purpose → keys`, `objection → keys`, `sharing → keys` — plus a
-//! deadline-ordered expiry set, maintained by the compliance engine on
-//! every put/rewrite/delete and invalidated by the store on every TTL
+//! `purpose → keys`, `objection → keys`, `sharing → keys` — plus a live
+//! *all-keys* set, a *decision-eligibility* set, and a deadline-ordered
+//! expiry set, maintained by the compliance engine on every
+//! put/rewrite/delete and invalidated by the store on every TTL
 //! expiration, so predicate lookups become O(matches) instead of O(n).
+//!
+//! Coverage is total: [`MetadataIndex::keys_for`] answers **every**
+//! [`RecordPredicate`] variant. The two negative predicates resolve as set
+//! algebra over the live key population — `NotObjecting(usage)` is
+//! `all_keys − objecting(usage)` and `DecisionEligible` is a directly
+//! maintained set (keys without the G22 opt-out marker) — so even
+//! "everything except ..." queries fetch only their matches instead of
+//! scan-decrypt-parsing the whole keyspace.
+//!
+//! Writers maintain the index either per record ([`MetadataIndex::upsert`]
+//! / [`MetadataIndex::remove`]) or in bulk via an [`IndexBatch`] applied by
+//! [`MetadataIndex::apply`], which takes the write lock **once** for the
+//! whole batch — the multi-record engine paths (group updates, group
+//! deletes, TTL purges, backfill, shard rebalance) coalesce their index
+//! maintenance this way instead of paying one lock round-trip per record.
+//!
+//! Expiry deadlines are **inclusive**: a record whose deadline equals the
+//! current instant is already expired. [`MetadataIndex::expired_keys`],
+//! the key-value store's reaper, and the relational sweep daemon all agree
+//! on this boundary, so an index-driven purge and a scan-driven purge
+//! delete identical sets at the boundary instant (pinned by the
+//! conformance suite).
 //!
 //! The index stores *keys only*; record payloads stay in (and are re-read
 //! from) the backing store, so encrypted-at-rest data is never duplicated
@@ -18,7 +41,7 @@
 //! the predicate before returning it (see
 //! [`crate::store::RecordPredicate::matches`]).
 
-use crate::record::PersonalRecord;
+use crate::record::{Metadata, PersonalRecord};
 use crate::store::RecordPredicate;
 use parking_lot::RwLock;
 use std::collections::{BTreeSet, HashMap};
@@ -40,6 +63,12 @@ struct Inner {
     by_purpose: HashMap<String, BTreeSet<String>>,
     by_objection: HashMap<String, BTreeSet<String>>,
     by_sharing: HashMap<String, BTreeSet<String>>,
+    /// Every live key — the universe the negative predicates subtract
+    /// from (`NotObjecting` = `all_keys − objecting`).
+    all_keys: BTreeSet<String>,
+    /// Keys eligible for automated decision-making (no G22 opt-out
+    /// marker) — `DecisionEligible` reads this set directly.
+    decision_eligible: BTreeSet<String>,
     /// `(absolute deadline ms, key)`, ordered — expired prefixes pop in
     /// O(expired · log n).
     by_deadline: BTreeSet<(u64, String)>,
@@ -62,6 +91,8 @@ impl Inner {
         for s in &terms.sharing {
             detach(&mut self.by_sharing, s, key);
         }
+        self.all_keys.remove(key);
+        self.decision_eligible.remove(key);
         if let Some(at) = terms.deadline_ms {
             self.by_deadline.remove(&(at, key.to_string()));
         }
@@ -84,7 +115,83 @@ fn keys_of(map: &HashMap<String, BTreeSet<String>>, term: &str) -> Vec<String> {
         .unwrap_or_default()
 }
 
-/// The four inverted metadata indexes plus the TTL expiry set.
+/// One deferred index mutation inside an [`IndexBatch`]. Ops hold only
+/// the key and the metadata terms — never the data payload — so a queued
+/// batch buffers no plaintext personal data, upholding the module's
+/// "keys only" contract even while mutations are in flight.
+#[derive(Debug, Clone)]
+enum IndexOp {
+    /// Same semantics as [`MetadataIndex::upsert`].
+    Upsert {
+        key: String,
+        metadata: Metadata,
+        now_ms: u64,
+        keep_deadline: bool,
+    },
+    /// Same semantics as [`MetadataIndex::upsert_with_deadline`].
+    UpsertAt {
+        key: String,
+        metadata: Metadata,
+        deadline_ms: Option<u64>,
+    },
+    /// Same semantics as [`MetadataIndex::remove`].
+    Remove { key: String },
+}
+
+/// A batch of index mutations applied under **one** write-lock
+/// acquisition ([`MetadataIndex::apply`]). The engine's multi-record
+/// write paths (group updates and deletes, TTL purges, backfill, shard
+/// rebalance) build one of these instead of locking per record. Ops apply
+/// in insertion order, so a batch touching the same key twice behaves
+/// exactly like the equivalent per-record call sequence.
+#[derive(Debug, Clone, Default)]
+pub struct IndexBatch {
+    ops: Vec<IndexOp>,
+}
+
+impl IndexBatch {
+    pub fn new() -> IndexBatch {
+        IndexBatch::default()
+    }
+
+    /// Queue an upsert with [`MetadataIndex::upsert`] semantics. Takes the
+    /// record by value — callers on the write path own it anyway — and
+    /// keeps only its key and metadata; the data payload is dropped here.
+    pub fn upsert(&mut self, record: PersonalRecord, now_ms: u64, keep_deadline: bool) {
+        self.ops.push(IndexOp::Upsert {
+            key: record.key,
+            metadata: record.metadata,
+            now_ms,
+            keep_deadline,
+        });
+    }
+
+    /// Queue an upsert under an explicit absolute deadline (payload
+    /// dropped, as in [`Self::upsert`]).
+    pub fn upsert_at(&mut self, record: PersonalRecord, deadline_ms: Option<u64>) {
+        self.ops.push(IndexOp::UpsertAt {
+            key: record.key,
+            metadata: record.metadata,
+            deadline_ms,
+        });
+    }
+
+    /// Queue a removal.
+    pub fn remove(&mut self, key: impl Into<String>) {
+        self.ops.push(IndexOp::Remove { key: key.into() });
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The four inverted metadata indexes, the all-keys and
+/// decision-eligibility sets, and the TTL expiry set.
 #[derive(Default)]
 pub struct MetadataIndex {
     inner: RwLock<Inner>,
@@ -99,30 +206,74 @@ impl MetadataIndex {
     /// with `keep_deadline`, a previously indexed deadline survives the
     /// rewrite (the store preserved the remaining TTL, so must we).
     pub fn upsert(&self, record: &PersonalRecord, now_ms: u64, keep_deadline: bool) {
-        let mut inner = self.inner.write();
-        let previous_deadline = inner.terms.get(&record.key).and_then(|t| t.deadline_ms);
-        let deadline_ms = if keep_deadline {
-            previous_deadline
-        } else {
-            record
-                .metadata
-                .ttl
-                .map(|ttl| now_ms + ttl.as_millis() as u64)
-        };
-        Self::index_locked(&mut inner, record, deadline_ms);
+        Self::upsert_locked(
+            &mut self.inner.write(),
+            &record.key,
+            &record.metadata,
+            now_ms,
+            keep_deadline,
+        );
     }
 
     /// Index a record under an explicit absolute deadline — the backfill
     /// path, where the store's own remaining deadline (not `now + declared
     /// TTL`) is authoritative for records that already existed.
     pub fn upsert_with_deadline(&self, record: &PersonalRecord, deadline_ms: Option<u64>) {
-        Self::index_locked(&mut self.inner.write(), record, deadline_ms);
+        Self::index_locked(
+            &mut self.inner.write(),
+            &record.key,
+            &record.metadata,
+            deadline_ms,
+        );
     }
 
-    fn index_locked(inner: &mut Inner, record: &PersonalRecord, deadline_ms: Option<u64>) {
-        inner.unindex(&record.key);
-        let m = &record.metadata;
-        let key = record.key.clone();
+    /// Apply a whole [`IndexBatch`] under one write-lock acquisition, in
+    /// op order. Returns how many ops were applied. This is the engine's
+    /// multi-record maintenance path: a group update over k records costs
+    /// one lock round-trip instead of k.
+    pub fn apply(&self, batch: IndexBatch) -> usize {
+        if batch.ops.is_empty() {
+            return 0;
+        }
+        let mut inner = self.inner.write();
+        let n = batch.ops.len();
+        for op in batch.ops {
+            match op {
+                IndexOp::Upsert {
+                    key,
+                    metadata,
+                    now_ms,
+                    keep_deadline,
+                } => Self::upsert_locked(&mut inner, &key, &metadata, now_ms, keep_deadline),
+                IndexOp::UpsertAt {
+                    key,
+                    metadata,
+                    deadline_ms,
+                } => Self::index_locked(&mut inner, &key, &metadata, deadline_ms),
+                IndexOp::Remove { key } => {
+                    inner.unindex(&key);
+                }
+            }
+        }
+        n
+    }
+
+    /// The one deadline-derivation rule, shared by the per-record and
+    /// batched upsert paths so they cannot silently diverge: keep the
+    /// previously indexed deadline when `keep_deadline`, else re-arm from
+    /// `now_ms + declared TTL`.
+    fn upsert_locked(inner: &mut Inner, key: &str, m: &Metadata, now_ms: u64, keep_deadline: bool) {
+        let deadline_ms = if keep_deadline {
+            inner.terms.get(key).and_then(|t| t.deadline_ms)
+        } else {
+            m.ttl.map(|ttl| now_ms + ttl.as_millis() as u64)
+        };
+        Self::index_locked(inner, key, m, deadline_ms);
+    }
+
+    fn index_locked(inner: &mut Inner, key: &str, m: &Metadata, deadline_ms: Option<u64>) {
+        inner.unindex(key);
+        let key = key.to_string();
         inner
             .by_user
             .entry(m.user.clone())
@@ -149,6 +300,10 @@ impl MetadataIndex {
                 .or_default()
                 .insert(key.clone());
         }
+        inner.all_keys.insert(key.clone());
+        if m.allows_automated_decisions() {
+            inner.decision_eligible.insert(key.clone());
+        }
         if let Some(at) = deadline_ms {
             inner.by_deadline.insert((at, key.clone()));
         }
@@ -170,10 +325,23 @@ impl MetadataIndex {
         self.inner.write().unindex(key)
     }
 
-    /// Candidate keys for a predicate, or `None` when the predicate is not
-    /// answerable by inverted lookup (negations need the full record set).
-    /// Candidates are a *superset-modulo-staleness* of the true matches;
-    /// callers must re-verify each fetched record.
+    /// Candidate keys for a predicate. Every [`RecordPredicate`] variant is
+    /// index-answerable, so this always returns `Some` — the `Option` stays
+    /// in the signature so a future predicate the index cannot cover can
+    /// still fall back to the engine's scan path. Candidates are a
+    /// *superset-modulo-staleness* of the true matches; callers must
+    /// re-verify each fetched record.
+    ///
+    /// For the *difference-based* predicates (`AllowsPurpose`,
+    /// `NotObjecting`, `DecisionEligible`) staleness can also *narrow*
+    /// the candidate set: a read racing a metadata write's
+    /// store-committed-but-not-yet-reindexed window subtracts the
+    /// pre-write objection/opt-out terms, i.e. it serializes before that
+    /// write. The narrowing is only ever toward treating an objection or
+    /// opt-out as still in force — the privacy-conservative direction —
+    /// and closes as soon as the writer's (batched) reindex lands; the
+    /// engine is non-transactional by design and makes no linearizability
+    /// promise across concurrent writes.
     pub fn keys_for(&self, pred: &RecordPredicate) -> Option<Vec<String>> {
         let inner = self.inner.read();
         match pred {
@@ -189,9 +357,19 @@ impl MetadataIndex {
                 })
             }
             RecordPredicate::SharedWith(s) => Some(keys_of(&inner.by_sharing, s)),
-            // Negative predicates match "everything except ..." — an
-            // inverted index cannot enumerate that in O(matches).
-            RecordPredicate::NotObjecting(_) | RecordPredicate::DecisionEligible => None,
+            // Negative predicates are set differences over the live key
+            // population: the walk is O(|all_keys|) string compares, but the
+            // caller then fetches (and decrypt-parses) only the matches —
+            // the expensive part a full scan pays for every record.
+            RecordPredicate::NotObjecting(usage) => {
+                Some(match inner.by_objection.get(usage.as_str()) {
+                    None => inner.all_keys.iter().cloned().collect(),
+                    Some(o) => inner.all_keys.difference(o).cloned().collect(),
+                })
+            }
+            RecordPredicate::DecisionEligible => {
+                Some(inner.decision_eligible.iter().cloned().collect())
+            }
         }
     }
 
@@ -262,6 +440,8 @@ impl MetadataIndex {
             && !inner.by_purpose.values().any(|s| s.contains(key))
             && !inner.by_objection.values().any(|s| s.contains(key))
             && !inner.by_sharing.values().any(|s| s.contains(key))
+            && !inner.all_keys.contains(key)
+            && !inner.decision_eligible.contains(key)
             && !inner.by_deadline.iter().any(|(_, k)| k == key)
     }
 
@@ -278,6 +458,12 @@ impl MetadataIndex {
             + map_bytes(&inner.by_purpose)
             + map_bytes(&inner.by_objection)
             + map_bytes(&inner.by_sharing)
+            + inner.all_keys.iter().map(|k| k.len() + 16).sum::<usize>()
+            + inner
+                .decision_eligible
+                .iter()
+                .map(|k| k.len() + 16)
+                .sum::<usize>()
             + inner
                 .by_deadline
                 .iter()
@@ -339,12 +525,117 @@ mod tests {
             idx.keys_for(&RecordPredicate::AllowsPurpose("ads".into())),
             Some(vec!["k2".to_string()])
         );
-        // Negative predicates are not index-answerable.
+        // Negative predicates resolve as set differences over all_keys.
         assert_eq!(
             idx.keys_for(&RecordPredicate::NotObjecting("ads".into())),
-            None
+            Some(vec!["k2".to_string()])
         );
-        assert_eq!(idx.keys_for(&RecordPredicate::DecisionEligible), None);
+        assert_eq!(
+            idx.keys_for(&RecordPredicate::NotObjecting("spam".into())),
+            Some(vec!["k1".to_string(), "k2".to_string()])
+        );
+        assert_eq!(
+            idx.keys_for(&RecordPredicate::DecisionEligible),
+            Some(vec!["k1".to_string(), "k2".to_string()])
+        );
+    }
+
+    #[test]
+    fn every_predicate_variant_is_index_answerable() {
+        let idx = MetadataIndex::new();
+        idx.upsert(&record("k1", "neo", &["ads"], None), 0, false);
+        for pred in [
+            RecordPredicate::User("neo".into()),
+            RecordPredicate::DeclaredPurpose("ads".into()),
+            RecordPredicate::AllowsPurpose("ads".into()),
+            RecordPredicate::NotObjecting("ads".into()),
+            RecordPredicate::DecisionEligible,
+            RecordPredicate::SharedWith("x".into()),
+        ] {
+            assert!(
+                idx.keys_for(&pred).is_some(),
+                "{pred:?} must be index-answerable"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_opt_out_leaves_the_eligible_set() {
+        let idx = MetadataIndex::new();
+        let mut r = record("k1", "neo", &["ads"], None);
+        idx.upsert(&r, 0, false);
+        assert_eq!(
+            idx.keys_for(&RecordPredicate::DecisionEligible),
+            Some(vec!["k1".to_string()])
+        );
+        r.metadata.decisions.push(Metadata::DEC_OPT_OUT.to_string());
+        idx.upsert(&r, 0, false);
+        assert_eq!(
+            idx.keys_for(&RecordPredicate::DecisionEligible),
+            Some(vec![])
+        );
+        // The key is still live, just ineligible.
+        assert_eq!(
+            idx.keys_for(&RecordPredicate::NotObjecting("ads".into())),
+            Some(vec!["k1".to_string()])
+        );
+    }
+
+    /// A batch applied in one lock acquisition leaves the index in exactly
+    /// the state the equivalent per-record call sequence would — including
+    /// keep-deadline upserts and same-key reordering within the batch.
+    #[test]
+    fn batch_apply_matches_per_record_sequence() {
+        let per_record = MetadataIndex::new();
+        let batched = MetadataIndex::new();
+
+        let mut r1 = record("k1", "neo", &["ads"], Some(10));
+        r1.metadata.objections.push("ads".into());
+        let r2 = record("k2", "trinity", &["2fa"], Some(20));
+        let mut r2b = r2.clone();
+        r2b.metadata.sharing.push("x-corp".into());
+
+        per_record.upsert(&r1, 0, false);
+        per_record.upsert(&r2, 0, false);
+        per_record.upsert(&r2b, 5_000, true); // rewrite keeping the deadline
+        per_record.remove("k1");
+        per_record.upsert_with_deadline(&r1, Some(42_000));
+
+        let mut batch = IndexBatch::new();
+        batch.upsert(r1.clone(), 0, false);
+        batch.upsert(r2.clone(), 0, false);
+        batch.upsert(r2b.clone(), 5_000, true);
+        batch.remove("k1");
+        batch.upsert_at(r1.clone(), Some(42_000));
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batched.apply(batch), 5);
+
+        for pred in [
+            RecordPredicate::User("neo".into()),
+            RecordPredicate::User("trinity".into()),
+            RecordPredicate::DeclaredPurpose("ads".into()),
+            RecordPredicate::AllowsPurpose("ads".into()),
+            RecordPredicate::NotObjecting("ads".into()),
+            RecordPredicate::DecisionEligible,
+            RecordPredicate::SharedWith("x-corp".into()),
+        ] {
+            assert_eq!(
+                batched.keys_for(&pred),
+                per_record.keys_for(&pred),
+                "batch and per-record disagree on {pred:?}"
+            );
+        }
+        for key in ["k1", "k2"] {
+            assert_eq!(batched.deadline_of(key), per_record.deadline_of(key));
+        }
+        assert_eq!(batched.deadline_of("k1"), Some(42_000));
+        assert_eq!(
+            batched.deadline_of("k2"),
+            Some(20_000),
+            "kept, not re-armed"
+        );
+        assert_eq!(batched.len(), per_record.len());
+        assert_eq!(MetadataIndex::new().apply(IndexBatch::new()), 0);
     }
 
     #[test]

@@ -36,7 +36,13 @@ pub enum MetadataUpdate {
     /// register an automated decision, G22.3; add a sharing entry, G13.3).
     Add(MetadataField, String),
     /// Remove a value from a list attribute (e.g. withdraw consent for a
-    /// purpose, G7.3).
+    /// purpose, G7.3). Removing a record's *last* declared purpose is
+    /// rejected: personal data must be held for a specified purpose
+    /// (G5.1b), so a record with an empty PUR list is uncollectable —
+    /// the lawful operation at that point is erasure, not an update. This
+    /// makes the failure *data-dependent* (the same update can be valid
+    /// for one matching record and invalid for another), which is why
+    /// group updates validate every match before committing any.
     Remove(MetadataField, String),
     /// Replace a scalar attribute (USR or SRC).
     SetScalar(MetadataField, String),
@@ -57,6 +63,19 @@ impl MetadataUpdate {
             }
             MetadataUpdate::Remove(field, value) => {
                 let list = list_of(m, *field)?;
+                if *field == MetadataField::Purposes
+                    && list.iter().all(|v| v == value)
+                    && !list.is_empty()
+                {
+                    // Content-independent message: group updates surface
+                    // this error identically whatever record (or shard)
+                    // trips it, so responses stay shard-count invariant.
+                    return Err(GdprError::InvalidRecord(
+                        "cannot remove the last declared purpose (G5.1b): \
+                         a record with no purpose must be erased, not updated"
+                            .to_string(),
+                    ));
+                }
                 list.retain(|v| v != value);
                 Ok(())
             }
@@ -77,6 +96,32 @@ impl MetadataUpdate {
                 m.ttl = Some(*ttl);
                 Ok(())
             }
+        }
+    }
+
+    /// Can [`Self::apply`] succeed on one record yet fail on another?
+    /// The sharded router runs its cross-shard pre-validation only where
+    /// a later shard could fail after an earlier one committed; for
+    /// update shapes whose failures depend on the update alone, every
+    /// record of a group fails identically and shard-local
+    /// validate-all-then-commit is already all-or-nothing.
+    ///
+    /// Deliberately conservative: the match is exhaustive (adding a
+    /// variant forces a decision here), only shapes *proven*
+    /// record-independent return `false`, and all of `Remove` answers
+    /// `true` — today only `Remove(Purposes)` actually is (the G5.1b
+    /// last-purpose guard above), but claiming independence for the
+    /// other fields would turn a future guard on them into silent
+    /// cross-shard partial commits, whereas over-claiming dependence
+    /// costs only a redundant validation read.
+    pub fn validation_is_data_dependent(&self) -> bool {
+        match self {
+            // Add never fails on list fields and fails identically on
+            // scalar ones; SetScalar mirrors that; SetTtl never fails.
+            MetadataUpdate::Add(..) | MetadataUpdate::SetScalar(..) | MetadataUpdate::SetTtl(_) => {
+                false
+            }
+            MetadataUpdate::Remove(..) => true,
         }
     }
 }
@@ -256,6 +301,30 @@ mod tests {
             .apply(&mut m)
             .unwrap();
         assert!(m.objections.is_empty());
+    }
+
+    #[test]
+    fn removing_last_purpose_is_rejected() {
+        let mut m = Metadata {
+            purposes: vec!["ads".into(), "2fa".into()],
+            ..Metadata::default()
+        };
+        MetadataUpdate::Remove(MetadataField::Purposes, "ads".into())
+            .apply(&mut m)
+            .unwrap();
+        assert_eq!(m.purposes, vec!["2fa"]);
+        // The same update is invalid once it would empty the list — the
+        // failure is data-dependent, and must not mutate the record.
+        assert!(matches!(
+            MetadataUpdate::Remove(MetadataField::Purposes, "2fa".into()).apply(&mut m),
+            Err(GdprError::InvalidRecord(_))
+        ));
+        assert_eq!(m.purposes, vec!["2fa"], "rejected update must not apply");
+        // Removing a purpose the record never declared stays a no-op.
+        MetadataUpdate::Remove(MetadataField::Purposes, "analytics".into())
+            .apply(&mut m)
+            .unwrap();
+        assert_eq!(m.purposes, vec!["2fa"]);
     }
 
     #[test]

@@ -42,10 +42,11 @@ use crate::compliance::FeatureReport;
 use crate::connector::SpaceReport;
 use crate::engine::ComplianceEngine;
 use crate::error::{GdprError, GdprResult};
-use crate::query::GdprQuery;
+use crate::metaindex::IndexBatch;
+use crate::query::{GdprQuery, MetadataUpdate};
 use crate::response::GdprResponse;
 use crate::role::Session;
-use crate::store::RecordStore;
+use crate::store::{RecordPredicate, RecordStore};
 use crate::GdprConnector;
 use parking_lot::Mutex;
 use std::sync::{mpsc, Arc};
@@ -298,7 +299,46 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
     /// the same partial progress as the unsharded engine failing
     /// mid-iteration, and parallel shards would smear partial updates
     /// across all of them.
+    ///
+    /// Group metadata updates additionally **pre-validate on every shard
+    /// before any shard commits**: the unsharded engine's
+    /// validate-all-then-commit means an update invalid for any match
+    /// mutates nothing, and that guarantee must not depend on which shard
+    /// the offending record hashes to — without the pre-pass, shards
+    /// before the failing one would commit while the caller sees `Err`,
+    /// breaking shard-count invariance. The pre-pass reads each shard's
+    /// matches a second time (index-resolved, so O(matches) per shard) —
+    /// the price of the cross-shard guarantee; a single shard skips it,
+    /// since shard-local validate-all-then-commit already covers one
+    /// engine. The pre-pass validates a *snapshot*: a write racing the
+    /// group update (e.g. a point create landing between validation and a
+    /// later shard's commit) is re-validated by that shard's own
+    /// validate-all-then-commit and can still fail the group after
+    /// earlier shards committed — the same snapshot semantics as any
+    /// non-transactional engine; the all-or-nothing guarantee is about
+    /// the state the update observed, not about writes racing it.
     fn fan_out(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        if self.shards.len() > 1 {
+            if let Some((pred, update)) = group_update_of(query) {
+                // Only data-dependent updates can fail on a later shard
+                // after an earlier one committed; for every other update
+                // shape, validation failure is uniform across records and
+                // shard-local validate-all-then-commit already yields
+                // all-or-nothing — skipping the pre-pass avoids reading
+                // every match twice on the common group updates. And only
+                // pre-validate what the session may actually execute: an
+                // authorization failure must surface as AccessDenied from
+                // the dispatch below, exactly as the unsharded engine
+                // orders its errors (authorize → validate → commit).
+                if update.validation_is_data_dependent()
+                    && crate::acl::authorize(session, query).is_ok()
+                {
+                    for shard in &self.shards {
+                        shard.validate_update(&pred, update)?;
+                    }
+                }
+            }
+        }
         let results: Vec<GdprResult<GdprResponse>> = match &self.fanout {
             Some(pool) if !query.is_write() => {
                 let (tx, rx) = mpsc::channel();
@@ -377,36 +417,74 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
     /// must not extend retention), per-shard indexes are kept consistent on
     /// both sides, and a collision in the destination shard fails loudly
     /// with both copies intact rather than overwriting either.
+    ///
+    /// Index maintenance is coalesced into one [`IndexBatch`] per shard,
+    /// applied after the store migration (one lock acquisition per shard
+    /// instead of two per moved record) — and applied even when a store op
+    /// fails mid-migration, so every index tracks exactly the committed
+    /// moves. Rebalance is a restart-time admin operation: it is not meant
+    /// to run concurrently with predicate traffic (batching widens the
+    /// window in which a moved record is queryable by key but not yet in
+    /// its new shard's index; stale source entries are filtered on read as
+    /// always).
     pub fn rebalance(&self) -> GdprResult<usize> {
         let n = self.shards.len();
         let now_ms = self.shards[0].store().clock().now().as_millis();
         let mut moved = 0;
-        for (i, shard) in self.shards.iter().enumerate() {
-            for record in shard.store().scan()? {
-                let owner = shard_of(&record.key, n);
-                if owner == i {
-                    continue;
+        let mut batches: Vec<IndexBatch> = (0..n).map(|_| IndexBatch::new()).collect();
+        let mut migrate = || -> GdprResult<()> {
+            for (i, shard) in self.shards.iter().enumerate() {
+                for record in shard.store().scan()? {
+                    let owner = shard_of(&record.key, n);
+                    if owner == i {
+                        continue;
+                    }
+                    // The source store's remaining deadline is
+                    // authoritative; stores that track none fall back to
+                    // `now + declared TTL` so a TTL'd record still enters
+                    // the destination's expiry set instead of being
+                    // retained forever (same contract as index backfill in
+                    // `with_metadata_index`).
+                    let deadline_ms = shard.store().deadline_ms(&record.key).or_else(|| {
+                        record
+                            .metadata
+                            .ttl
+                            .map(|ttl| now_ms + ttl.as_millis() as u64)
+                    });
+                    self.shards[owner]
+                        .store()
+                        .put_with_deadline(&record, deadline_ms)?;
+                    // The batch keeps only key + metadata (no payload
+                    // copy); the record is moved in, so only its key is
+                    // cloned for the source-side delete and removal.
+                    let key = record.key.clone();
+                    batches[owner].upsert_at(record, deadline_ms);
+                    shard.store().delete(&key)?;
+                    batches[i].remove(key);
+                    moved += 1;
                 }
-                // The source store's remaining deadline is authoritative;
-                // stores that track none fall back to `now + declared TTL`
-                // so a TTL'd record still enters the destination's expiry
-                // set instead of being retained forever (same contract as
-                // index backfill in `with_metadata_index`).
-                let deadline_ms = shard.store().deadline_ms(&record.key).or_else(|| {
-                    record
-                        .metadata
-                        .ttl
-                        .map(|ttl| now_ms + ttl.as_millis() as u64)
-                });
-                let dest = &self.shards[owner];
-                dest.store().put_with_deadline(&record, deadline_ms)?;
-                dest.index_with_deadline(&record, deadline_ms);
-                shard.store().delete(&record.key)?;
-                shard.unindex(&record.key);
-                moved += 1;
             }
+            Ok(())
+        };
+        let result = migrate();
+        for (shard, batch) in self.shards.iter().zip(batches) {
+            shard.apply_index_batch(batch);
         }
-        Ok(moved)
+        result.map(|()| moved)
+    }
+}
+
+/// The predicate + update of a *group* metadata update — the two query
+/// classes whose validate-all-then-commit guarantee spans shards.
+fn group_update_of(query: &GdprQuery) -> Option<(RecordPredicate, &MetadataUpdate)> {
+    match query {
+        GdprQuery::UpdateMetadataByPurpose { purpose, update } => {
+            Some((RecordPredicate::DeclaredPurpose(purpose.clone()), update))
+        }
+        GdprQuery::UpdateMetadataByUser { user, update } => {
+            Some((RecordPredicate::User(user.clone()), update))
+        }
+        _ => None,
     }
 }
 
@@ -919,6 +997,68 @@ mod tests {
                 });
             }
         });
+    }
+
+    /// Regression (write-path consistency): a group update that is invalid
+    /// for a record on a *later* shard must leave every shard untouched.
+    /// Without cross-shard pre-validation, the sequential write fan-out
+    /// committed shard 0's matches before shard 1's validation failed —
+    /// the caller saw `Err` with half the group already rewritten, and the
+    /// outcome depended on the shard count.
+    #[test]
+    fn group_update_validates_across_all_shards_before_any_commit() {
+        let engine = sharded(2);
+        let controller = Session::controller();
+        // One key per shard, chosen via the placement function so the
+        // healthy record (two purposes) sits on shard 0 and the poison
+        // record (whose only purpose is "ads") on shard 1.
+        let key_on = |shard: usize| {
+            (0..64)
+                .map(|i| format!("gk{i}"))
+                .find(|k| shard_of(k, 2) == shard)
+                .expect("64 keys cover both shards")
+        };
+        let healthy = key_on(0);
+        let poison = key_on(1);
+        engine
+            .execute(
+                &controller,
+                &GdprQuery::CreateRecord(record(&healthy, "neo", &["ads", "2fa"])),
+            )
+            .unwrap();
+        engine
+            .execute(
+                &controller,
+                &GdprQuery::CreateRecord(record(&poison, "neo", &["ads"])),
+            )
+            .unwrap();
+        let result = engine.execute(
+            &controller,
+            &GdprQuery::UpdateMetadataByPurpose {
+                purpose: "ads".into(),
+                update: crate::query::MetadataUpdate::Remove(
+                    crate::query::MetadataField::Purposes,
+                    "ads".into(),
+                ),
+            },
+        );
+        assert!(matches!(result, Err(GdprError::InvalidRecord(_))));
+        // Shard 0's record must not have committed: both keep "ads".
+        for key in [&healthy, &poison] {
+            let stored = engine.shard_for(key).store().fetch(key).unwrap().unwrap();
+            assert!(
+                stored.metadata.purposes.contains(&"ads".to_string()),
+                "{key} must be untouched after the failed cross-shard group update"
+            );
+        }
+        // The processor still sees both records under the purpose.
+        let resp = engine
+            .execute(
+                &Session::processor("ads"),
+                &GdprQuery::ReadDataByPurpose("ads".into()),
+            )
+            .unwrap();
+        assert_eq!(resp.cardinality(), 2);
     }
 
     #[test]

@@ -100,6 +100,15 @@ pub trait RecordStore: Send + Sync {
 
     /// Synchronously erase every record past its TTL deadline, returning
     /// how many were reaped (DELETE-RECORD-BY-TTL without engine indexes).
+    ///
+    /// Deadlines are **inclusive**: a record whose deadline equals the
+    /// current instant is already expired. Every expiry path in the
+    /// workspace — this purge, lazy-on-access reaping, active cycles, the
+    /// relational sweep daemon, and
+    /// [`crate::metaindex::MetadataIndex::expired_keys`] — must agree on
+    /// this boundary, or an index-driven purge and a scan-driven purge
+    /// would delete different sets at the boundary instant (pinned by the
+    /// conformance suite's boundary test).
     fn purge_expired(&self) -> GdprResult<usize>;
 
     /// The store's own absolute expiry deadline for `key`, in milliseconds
@@ -107,7 +116,8 @@ pub trait RecordStore: Send + Sync {
     /// unknown — callers fall back to deriving a deadline from the
     /// record's declared TTL. Index backfill uses this so pre-existing
     /// records keep their *remaining* lifetime instead of being re-armed
-    /// with the full declared TTL.
+    /// with the full declared TTL. The instant `deadline_ms == now` counts
+    /// as expired (inclusive boundary; see [`Self::purge_expired`]).
     fn deadline_ms(&self, key: &str) -> Option<u64> {
         let _ = key;
         None

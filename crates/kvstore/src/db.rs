@@ -77,7 +77,13 @@ impl Db {
         self.dict.is_empty()
     }
 
-    /// True if `key` has an expiry and it is past due.
+    /// True if `key` has an expiry and it is past due. The boundary is
+    /// **inclusive** (`now >= at`): a key whose deadline equals the current
+    /// instant is already expired. The engine-side metadata index
+    /// (`MetadataIndex::expired_keys`) and the relational sweep daemon use
+    /// the same inclusive boundary, so every purge path agrees on what is
+    /// due at the boundary instant — do not change one without the others
+    /// (the conformance suite pins this).
     fn is_past_due(&self, key: &[u8]) -> bool {
         match self.expires.get(key) {
             Some(&at) => self.clock.now() >= at,

@@ -750,9 +750,22 @@ mod engine_index {
     use super::gdpr_gen::*;
     use super::*;
     use gdprbench_repro::connectors::RedisConnector;
-    use gdprbench_repro::gdpr_core::{GdprConnector, GdprQuery, Session};
+    use gdprbench_repro::gdpr_core::{GdprConnector, GdprQuery, RecordPredicate, Session};
     use gdprbench_repro::kvstore::{ExpirationMode, KvConfig, KvStore};
     use std::sync::Arc;
+
+    /// One predicate per `RecordPredicate` variant — the full closed set
+    /// the index must answer.
+    pub fn all_predicate_shapes() -> Vec<RecordPredicate> {
+        vec![
+            RecordPredicate::User(USERS[0].to_string()),
+            RecordPredicate::DeclaredPurpose(PURPOSES[0].to_string()),
+            RecordPredicate::AllowsPurpose(PURPOSES[0].to_string()),
+            RecordPredicate::NotObjecting(PURPOSES[0].to_string()),
+            RecordPredicate::DecisionEligible,
+            RecordPredicate::SharedWith(PARTIES[0].to_string()),
+        ]
+    }
 
     /// Every predicate query returns the identical result set through the
     /// `MetadataIndex` and through a forced full scan, across creates,
@@ -820,6 +833,17 @@ mod engine_index {
                 let scan = sorted(scan_conn.execute(&session, &query).unwrap());
                 let indexed = sorted(index_conn.execute(&session, &query).unwrap());
                 assert_eq!(scan, indexed, "divergence on {query:?}");
+            }
+
+            // Whatever the mutation history, the indexed engine answers
+            // every predicate variant — negatives included — from the
+            // index, never by falling back to a scan.
+            let index = index_conn.metadata_index().unwrap();
+            for pred in all_predicate_shapes() {
+                assert!(
+                    index.keys_for(&pred).is_some(),
+                    "{pred:?} must stay index-answerable"
+                );
             }
         });
     }
@@ -1003,7 +1027,7 @@ mod sharded_invariance {
 
             for _ in 0..rng.gen_range(4usize..16) {
                 let key = keys[rng.gen_range(0usize..keys.len())].clone();
-                let (session, query) = match rng.gen_range(0u32..10) {
+                let (session, query) = match rng.gen_range(0u32..13) {
                     0 => (
                         controller.clone(),
                         GdprQuery::UpdateMetadataByKey {
@@ -1063,6 +1087,33 @@ mod sharded_invariance {
                         sim.advance(Duration::from_secs(rng.gen_range(0u64..40)));
                         (controller.clone(), GdprQuery::DeleteExpired)
                     }
+                    // Group purpose removal: data-dependent validation (a
+                    // record whose only purpose is removed fails G5.1b), so
+                    // the whole fleet must agree on success *and* on the
+                    // all-or-nothing failure — the cross-shard
+                    // pre-validation contract.
+                    9 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByPurpose {
+                            purpose: pick(rng, &PURPOSES).to_string(),
+                            update: MetadataUpdate::Remove(
+                                MetadataField::Purposes,
+                                pick(rng, &PURPOSES).to_string(),
+                            ),
+                        },
+                    ),
+                    // Mid-stream negative-predicate reads: the indexed
+                    // engines answer these from the all-keys /
+                    // decision-eligibility sets while mutations are still
+                    // landing.
+                    10 => (
+                        Session::processor("any"),
+                        GdprQuery::ReadDataNotObjecting(pick(rng, &PURPOSES).to_string()),
+                    ),
+                    11 => (
+                        Session::processor("any"),
+                        GdprQuery::ReadDataDecisionEligible,
+                    ),
                     _ => (Session::regulator(), GdprQuery::VerifyDeletion(key)),
                 };
                 apply(&session, &query);
@@ -1156,6 +1207,21 @@ mod sharded_invariance {
             // Placement is correct in every topology.
             for conn in &sharded {
                 conn.verify_placement().unwrap();
+            }
+            // And every shard's index answers the full predicate set —
+            // the negative predicates take the index path at every shard
+            // count.
+            for conn in &sharded {
+                for shard in 0..conn.shard_count() {
+                    let index = conn.metadata_index(shard).unwrap();
+                    for pred in super::engine_index::all_predicate_shapes() {
+                        assert!(
+                            index.keys_for(&pred).is_some(),
+                            "shard {shard}/{}: {pred:?} must be index-answerable",
+                            conn.shard_count()
+                        );
+                    }
+                }
             }
         });
     }
