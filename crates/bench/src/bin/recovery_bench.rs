@@ -1,0 +1,17 @@
+//! Restore-vs-rebuild index recovery at scale: the O(index) snapshot
+//! load against the O(n) scan-decrypt-parse backfill, plus the honest
+//! stale-fallback and snapshot-write rows. `--records N` scales the
+//! store (the roadmap's acceptance point is 100000).
+
+use bench::cli::Params;
+
+fn main() {
+    let params = Params::from_env();
+    let (table, point) = bench::experiments::recovery::run(params.records);
+    println!("{}", table.render());
+    println!(
+        "restore is {:.1}x faster than rebuild at {} records",
+        point.speedup(),
+        point.records
+    );
+}

@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7_8;
 pub mod metaindex;
 pub mod negpred;
+pub mod recovery;
 pub mod remote;
 pub mod sharding;
 pub mod table1;

@@ -1,0 +1,248 @@
+//! Restore-vs-rebuild: what the persistent metadata-index snapshot buys
+//! at restart time.
+//!
+//! Reopening an indexed engine without a snapshot pays the O(n) backfill:
+//! a full scan of the store, decrypting and parsing every record just to
+//! recover index terms. The snapshot replaces that with an O(index) load
+//! of a compact checksummed image — no record payloads, no decryption, no
+//! wire parsing. This experiment measures both open paths over the same
+//! live store (encryption at rest on, as in the paper's compliant
+//! configuration), plus the two honest rows: a *stale* image (one write
+//! landed after the stamp) must fall back to the full rebuild, and the
+//! snapshot write itself costs one index export.
+//!
+//! The acceptance bar from the roadmap: at 100 K records, restore ≥ 10×
+//! faster than rebuild.
+
+use crate::report::{fmt_duration, ExperimentTable};
+use connectors::RedisConnector;
+use gdpr_core::wire;
+use kvstore::{KvConfig, KvStore};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workload::datagen;
+use workload::gdpr::stable_corpus;
+
+/// One measured recovery comparison.
+#[derive(Debug, Clone)]
+pub struct RecoveryPoint {
+    pub records: usize,
+    pub index_entries: usize,
+    pub snapshot_bytes: u64,
+    /// O(n) open: scan-decrypt-parse backfill.
+    pub rebuild: Duration,
+    /// O(index) open: snapshot restore.
+    pub restore: Duration,
+    /// Open against a stale image (falls back to the rebuild).
+    pub stale_fallback: Duration,
+    /// Writing the snapshot image.
+    pub snapshot_write: Duration,
+}
+
+impl RecoveryPoint {
+    /// How many times faster the snapshot restore is than the rebuild.
+    pub fn speedup(&self) -> f64 {
+        self.rebuild.as_secs_f64() / self.restore.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Populate a store with `records` corpus records (sealed at rest) and
+/// measure the two open paths against it.
+pub fn run_micro(records: usize) -> RecoveryPoint {
+    let dir = std::env::temp_dir().join(format!(
+        "gdpr-recovery-bench-{}-{records}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let path = dir.join("metaindex.snap");
+    let _ = std::fs::remove_file(&path);
+
+    // The paper's fully compliant store: encryption at rest AND in
+    // transit, plus audit logging of reads — the deployment the indexed
+    // variants exist in. A restart rebuild pays all of it 100 K times
+    // over (every scanned record is a logged, transit-sealed, at-rest
+    // decrypted GET); the snapshot restore touches none of it.
+    let store = KvStore::open(KvConfig::gdpr_compliant_in_memory()).expect("open kvstore");
+    // GDPRbench-shaped records (1 KB payloads): the rebuild decrypts and
+    // parses every byte of them; the snapshot holds keys and metadata
+    // terms only, so its size — and the restore time — is independent of
+    // the payloads.
+    let config = workload::datagen::CorpusConfig {
+        data_len: 1024,
+        ..stable_corpus(records)
+    };
+    for i in 0..records {
+        let record = datagen::record_of(i, &config);
+        store
+            .set(
+                format!("rec:{}", record.key).as_bytes(),
+                wire::serialize(&record).as_bytes(),
+            )
+            .expect("load record");
+    }
+
+    // The compliant store audit-logs every read into its (memory-backed)
+    // AOF, so each scan round would otherwise grow the process by the
+    // whole logged keyspace; the log's content is irrelevant here (the
+    // generation counter is tracked independently), so drop it between
+    // rounds to keep the measurements about the open paths, not about
+    // allocator pressure.
+    let clear_aof = |store: &Arc<KvStore>| {
+        if let Some(buf) = store.aof_memory_buffer() {
+            let mut buf = buf.lock();
+            buf.clear();
+            buf.shrink_to_fit();
+        }
+    };
+    clear_aof(&store);
+
+    // Each open path is timed as the minimum of a few rounds: a restart
+    // measurement is exactly the kind of one-shot a noisy machine
+    // distorts (first-touch page faults, allocator growth), and the
+    // minimum is the standard de-noised estimator for deterministic work.
+    const ROUNDS: usize = 3;
+    let min_of = |body: &mut dyn FnMut() -> Duration| {
+        (0..ROUNDS)
+            .map(|_| {
+                clear_aof(&store);
+                body()
+            })
+            .min()
+            .expect("rounds > 0")
+    };
+
+    // O(n): the backfill open path every restart pays without a snapshot.
+    let mut index_entries = 0;
+    let rebuild = min_of(&mut || {
+        let start = Instant::now();
+        let rebuilt =
+            RedisConnector::with_metadata_index(Arc::clone(&store)).expect("backfill open");
+        let elapsed = start.elapsed();
+        index_entries = rebuilt.metadata_index().expect("index").len();
+        elapsed
+    });
+
+    // Write the image (first snapshot-aware open rebuilds again — not
+    // timed — then persists).
+    let writer =
+        RedisConnector::with_metadata_index_snapshot(Arc::clone(&store), &path).expect("open");
+    let snapshot_write = min_of(&mut || {
+        let start = Instant::now();
+        writer.write_index_snapshot().expect("write snapshot");
+        start.elapsed()
+    });
+    drop(writer);
+    let snapshot_bytes = std::fs::metadata(&path).expect("snapshot written").len();
+
+    // O(index): the restore open path.
+    let restore = min_of(&mut || {
+        let start = Instant::now();
+        let restored =
+            RedisConnector::with_metadata_index_snapshot(Arc::clone(&store), &path).expect("open");
+        let elapsed = start.elapsed();
+        assert!(
+            restored
+                .index_recovery()
+                .is_some_and(gdpr_core::IndexRecovery::is_restored),
+            "a matching snapshot must take the restore path"
+        );
+        assert_eq!(
+            restored.metadata_index().expect("index").len(),
+            index_entries
+        );
+        elapsed
+    });
+
+    // Honest row: one write behind the stamp makes the image stale — the
+    // open must detect it and pay the rebuild, never serve the old index.
+    let smuggled = datagen::record_of(records, &config);
+    store
+        .set(
+            format!("rec:{}", smuggled.key).as_bytes(),
+            wire::serialize(&smuggled).as_bytes(),
+        )
+        .expect("smuggle record");
+    clear_aof(&store);
+    let start = Instant::now();
+    let stale =
+        RedisConnector::with_metadata_index_snapshot(Arc::clone(&store), &path).expect("open");
+    let stale_fallback = start.elapsed();
+    assert!(
+        stale.index_recovery().is_some_and(|r| !r.is_restored()),
+        "a stale snapshot must force the rebuild"
+    );
+    assert_eq!(
+        stale.metadata_index().expect("index").len(),
+        index_entries + 1,
+        "the rebuild must pick up the smuggled record"
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+    RecoveryPoint {
+        records,
+        index_entries,
+        snapshot_bytes,
+        rebuild,
+        restore,
+        stale_fallback,
+        snapshot_write,
+    }
+}
+
+/// The experiment: restore-vs-rebuild at `records` scale.
+pub fn run(records: usize) -> (ExperimentTable, RecoveryPoint) {
+    let point = run_micro(records);
+    let mut table = ExperimentTable::new(
+        format!(
+            "Index recovery at {} records ({} index entries, snapshot {} KiB)",
+            point.records,
+            point.index_entries,
+            point.snapshot_bytes / 1024
+        ),
+        &["open path", "time", "vs rebuild"],
+    );
+    table.push_row(vec![
+        "rebuild (O(n) scan-decrypt-parse)".into(),
+        fmt_duration(point.rebuild),
+        "1.00x".into(),
+    ]);
+    table.push_row(vec![
+        "restore (O(index) snapshot load)".into(),
+        fmt_duration(point.restore),
+        format!("{:.2}x faster", point.speedup()),
+    ]);
+    table.push_row(vec![
+        "stale snapshot (falls back to rebuild)".into(),
+        fmt_duration(point.stale_fallback),
+        format!(
+            "{:.2}x",
+            point.rebuild.as_secs_f64() / point.stale_fallback.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+    ]);
+    table.push_row(vec![
+        "snapshot write (export + fsync + rename)".into(),
+        fmt_duration(point.snapshot_write),
+        String::new(),
+    ]);
+    (table, point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy-scale smoke: the restore path is taken, agrees with the
+    /// rebuild, and the stale fallback catches the smuggled write. (The
+    /// ≥10× speedup claim is asserted at 100 K in the release bin, not
+    /// here — debug-build timings are noise.)
+    #[test]
+    fn restore_and_stale_fallback_behave() {
+        let point = run_micro(1500);
+        assert_eq!(point.records, 1500);
+        assert!(point.index_entries > 0);
+        assert!(point.snapshot_bytes > 0);
+        assert!(point.restore > Duration::ZERO);
+        assert!(point.rebuild > Duration::ZERO);
+    }
+}

@@ -1385,6 +1385,204 @@ fn remote_view_is_byte_equivalent_to_in_process() {
     }
 }
 
+// ---- restart equivalence (index snapshot recovery) ----
+
+/// A unique scratch directory per call (tests run concurrently).
+fn snapshot_scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gdpr-conformance-snap-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn aof_kv_config() -> kvstore::KvConfig {
+    kvstore::KvConfig {
+        aof: kvstore::config::AofStorage::Memory,
+        fsync: kvstore::FsyncPolicy::Never,
+        ..Default::default()
+    }
+}
+
+/// An op mix touching every index dimension: creates (one TTL'd), an
+/// objection, a group sharing update, a rectification, an erasure.
+fn restart_op_mix(conn: &dyn GdprConnector) {
+    let controller = Session::controller();
+    seed(conn);
+    let mut ttl_record = record("ph-ttl", "morpheus", &["analytics"], "666-666");
+    ttl_record.metadata.ttl = Some(Duration::from_secs(300));
+    conn.execute(&controller, &GdprQuery::CreateRecord(ttl_record))
+        .unwrap();
+    conn.execute(
+        &Session::customer("neo"),
+        &GdprQuery::UpdateMetadataByKey {
+            key: "ph-1".into(),
+            update: MetadataUpdate::Add(MetadataField::Objections, "ads".into()),
+        },
+    )
+    .unwrap();
+    conn.execute(
+        &controller,
+        &GdprQuery::UpdateMetadataByUser {
+            user: "trinity".into(),
+            update: MetadataUpdate::Add(MetadataField::Sharing, "y-corp".into()),
+        },
+    )
+    .unwrap();
+    conn.execute(
+        &Session::customer("neo"),
+        &GdprQuery::UpdateDataByKey {
+            key: "ph-2".into(),
+            data: "222-999".into(),
+        },
+    )
+    .unwrap();
+    conn.execute(
+        &Session::customer("morpheus"),
+        &GdprQuery::DeleteByKey("ph-5".into()),
+    )
+    .unwrap();
+}
+
+/// The read battery both engines must answer byte-identically. Audit
+/// logs are engine state, not index state, and are deliberately absent —
+/// a restarted engine starts a fresh trail.
+fn restart_battery() -> Vec<(Session, GdprQuery)> {
+    let mut battery: Vec<(Session, GdprQuery)> = vec![
+        (
+            Session::processor("ads"),
+            GdprQuery::ReadDataByPurpose("ads".into()),
+        ),
+        (
+            Session::processor("analytics"),
+            GdprQuery::ReadDataNotObjecting("ads".into()),
+        ),
+        (
+            Session::processor("analytics"),
+            GdprQuery::ReadDataDecisionEligible,
+        ),
+        (
+            Session::regulator(),
+            GdprQuery::ReadMetadataBySharedWith("y-corp".into()),
+        ),
+        (
+            Session::regulator(),
+            GdprQuery::VerifyDeletion("ph-5".into()),
+        ),
+        (
+            Session::regulator(),
+            GdprQuery::VerifyDeletion("ph-1".into()),
+        ),
+        (Session::controller(), GdprQuery::GetSystemFeatures),
+        // Denied queries must deny identically too.
+        (
+            Session::customer("neo"),
+            GdprQuery::ReadDataByUser("trinity".into()),
+        ),
+        (
+            Session::customer("neo"),
+            GdprQuery::ReadMetadataByKey("ph-3".into()),
+        ),
+    ];
+    for user in ["neo", "trinity", "morpheus"] {
+        battery.push((
+            Session::customer(user),
+            GdprQuery::ReadDataByUser(user.into()),
+        ));
+        battery.push((
+            Session::customer(user),
+            GdprQuery::ReadMetadataByUser(user.into()),
+        ));
+    }
+    battery
+}
+
+fn assert_restart_equivalent(
+    original: &dyn GdprConnector,
+    restarted: &dyn GdprConnector,
+    ctx: &str,
+) {
+    for (session, query) in restart_battery() {
+        assert_eq!(
+            restarted.execute(&session, &query),
+            original.execute(&session, &query),
+            "{ctx}: restarted engine diverges on {query:?}"
+        );
+    }
+    assert_eq!(restarted.record_count(), original.record_count(), "{ctx}");
+}
+
+/// Restart equivalence, sharded: run the op mix, snapshot on close,
+/// replay every shard AOF and reopen against the images — every shard
+/// must come back through the O(index) restore (pinning that the
+/// equality below is the snapshot's doing, not a rebuild's), and every
+/// response must be byte-identical to the never-restarted engine, both
+/// in-process and over loopback TCP. `GDPR_SHARDS` sets the topology (CI
+/// runs 1 and 8).
+#[test]
+fn restart_equivalence_sharded_and_remote() {
+    let shards = gdpr_core::shard_count_from_env();
+    let dir = snapshot_scratch_dir("sharded");
+    let sim = clock::sim();
+    let fleet: Vec<Arc<kvstore::KvStore>> = (0..shards)
+        .map(|_| kvstore::KvStore::open_with_clock(aof_kv_config(), sim.clone()).unwrap())
+        .collect();
+    let original =
+        ShardedRedisConnector::with_metadata_index_snapshots(fleet.clone(), &dir).unwrap();
+    restart_op_mix(&original);
+    assert!(original.close().unwrap() > 0, "close persists the images");
+
+    let restarted_fleet: Vec<Arc<kvstore::KvStore>> = fleet
+        .iter()
+        .map(|store| {
+            let aof = store.aof_memory_buffer().unwrap().lock().clone();
+            kvstore::KvStore::replay(aof_kv_config(), &aof, sim.clone()).unwrap()
+        })
+        .collect();
+    let restarted =
+        ShardedRedisConnector::with_metadata_index_snapshots(restarted_fleet, &dir).unwrap();
+    for shard in 0..shards {
+        assert!(
+            restarted.index_recovery(shard).unwrap().is_restored(),
+            "shard {shard} must recover through the snapshot, got {:?}",
+            restarted.index_recovery(shard)
+        );
+    }
+    assert_restart_equivalent(&original, &restarted, "sharded in-process");
+
+    // The same restarted engine over real sockets.
+    let remote = served(Arc::new(restarted));
+    assert_restart_equivalent(&original, remote.as_ref(), "sharded over TCP");
+}
+
+/// Restart equivalence, unsharded `redis-mi`.
+#[test]
+fn restart_equivalence_redis_mi() {
+    let dir = snapshot_scratch_dir("mi");
+    let path = dir.join("metaindex.snap");
+    let sim = clock::sim();
+    let store = kvstore::KvStore::open_with_clock(aof_kv_config(), sim.clone()).unwrap();
+    let original = RedisConnector::with_metadata_index_snapshot(Arc::clone(&store), &path).unwrap();
+    restart_op_mix(&original);
+    assert!(original.close().unwrap() > 0);
+
+    let aof = store.aof_memory_buffer().unwrap().lock().clone();
+    let replayed = kvstore::KvStore::replay(aof_kv_config(), &aof, sim.clone()).unwrap();
+    let restarted = RedisConnector::with_metadata_index_snapshot(replayed, &path).unwrap();
+    assert!(
+        restarted.index_recovery().unwrap().is_restored(),
+        "got {:?}",
+        restarted.index_recovery()
+    );
+    assert_restart_equivalent(&original, &restarted, "redis-mi in-process");
+    let remote = served(Arc::new(restarted));
+    assert_restart_equivalent(&original, remote.as_ref(), "redis-mi over TCP");
+}
+
 #[test]
 fn postgres_mi_uses_index_scans_for_metadata_queries() {
     let db = relstore::Database::open(relstore::RelConfig::default()).unwrap();

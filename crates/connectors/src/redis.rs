@@ -240,6 +240,14 @@ impl RecordStore for RedisStore {
             .map(|at| at.as_millis())
     }
 
+    /// The store's AOF write-frame sequence — advanced by every write
+    /// (engine-driven or behind the engine's back) and reproduced exactly
+    /// by AOF replay, which is what lets an index snapshot stamped with
+    /// it be trusted after a crash.
+    fn persistence_generation(&self) -> Option<u64> {
+        Some(self.store.mutation_generation())
+    }
+
     fn on_expiry(&self, listener: ExpiryListener) {
         self.store
             .set_expiry_listener(Arc::new(move |storage_key: &[u8]| {
@@ -334,6 +342,44 @@ impl RedisConnector {
         })
     }
 
+    /// As [`Self::with_metadata_index`], but the index recovers through
+    /// the snapshot image at `path` — O(index) when the image's
+    /// generation stamp matches the store's AOF position, the usual O(n)
+    /// scan-backfill (loudly) otherwise — and [`Self::close`] /
+    /// [`Self::write_index_snapshot`] persist it there again.
+    pub fn with_metadata_index_snapshot(
+        store: Arc<KvStore>,
+        path: impl Into<std::path::PathBuf>,
+    ) -> GdprResult<Self> {
+        let backend = RedisStore {
+            store,
+            variant_name: "redis-mi",
+        };
+        Ok(RedisConnector {
+            engine: ComplianceEngine::with_metadata_index_snapshot(backend, path)?,
+        })
+    }
+
+    /// How the index came up (snapshot-aware variant only).
+    pub fn index_recovery(&self) -> Option<&gdpr_core::IndexRecovery> {
+        self.engine.index_recovery()
+    }
+
+    /// Persist the index snapshot now (snapshot-aware variant only).
+    pub fn write_index_snapshot(&self) -> GdprResult<usize> {
+        self.engine.write_index_snapshot()
+    }
+
+    /// Graceful close: snapshot the index when so configured, and flush
+    /// the store's AOF.
+    pub fn close(&self) -> GdprResult<usize> {
+        let written = self.engine.close()?;
+        self.store()
+            .sync_aof()
+            .map_err(|e| GdprError::Store(e.to_string()))?;
+        Ok(written)
+    }
+
     /// Open a fully GDPR-compliant in-memory store (strict TTL, read
     /// logging, encryption) and wrap it.
     pub fn open_compliant() -> GdprResult<Self> {
@@ -377,5 +423,9 @@ impl GdprConnector for RedisConnector {
 
     fn name(&self) -> &str {
         self.engine.name()
+    }
+
+    fn close(&self) -> GdprResult<()> {
+        RedisConnector::close(self).map(|_| ())
     }
 }

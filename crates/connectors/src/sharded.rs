@@ -64,6 +64,50 @@ impl ShardedRedisConnector {
         })
     }
 
+    /// The snapshot-aware sharded open path: as
+    /// [`Self::with_metadata_index`], but shard *i* recovers its index
+    /// from `dir/metaindex-shard-i.snap` when that image matches the
+    /// shard store's AOF position and was written as shard *i* of exactly
+    /// this shard count — a reopen under a different count rebuilds every
+    /// index (the header records the topology), consistent with
+    /// [`Self::verify_placement`] flagging the store side.
+    pub fn with_metadata_index_snapshots(
+        stores: Vec<Arc<KvStore>>,
+        dir: impl AsRef<std::path::Path>,
+    ) -> GdprResult<Self> {
+        let backends = stores
+            .into_iter()
+            .map(|s| RedisStore::over(s, "redis"))
+            .collect();
+        Ok(ShardedRedisConnector {
+            engine: ShardedEngine::with_metadata_index_snapshots(backends, dir)?
+                .named("redis-sharded"),
+        })
+    }
+
+    /// How one shard's index came up (snapshot-aware variant only).
+    pub fn index_recovery(&self, shard: usize) -> Option<&gdpr_core::IndexRecovery> {
+        self.engine.shards()[shard].index_recovery()
+    }
+
+    /// Persist every shard's index snapshot now (snapshot-aware variant
+    /// only). Returns total entries written.
+    pub fn write_index_snapshots(&self) -> GdprResult<usize> {
+        self.engine.write_index_snapshots()
+    }
+
+    /// Graceful close: snapshot every shard's index when so configured,
+    /// and flush every shard's AOF.
+    pub fn close(&self) -> GdprResult<usize> {
+        let written = self.engine.close()?;
+        for i in 0..self.shard_count() {
+            self.store(i)
+                .sync_aof()
+                .map_err(|e| GdprError::Store(e.to_string()))?;
+        }
+        Ok(written)
+    }
+
     /// Open `shards` fresh in-memory stores under one config and clock and
     /// wrap them (indexed). The config is cloned per shard, so file-backed
     /// persistence configs are rejected — shards must not share an AOF.
@@ -162,5 +206,9 @@ impl GdprConnector for ShardedRedisConnector {
 
     fn name(&self) -> &str {
         GdprConnector::name(&self.engine)
+    }
+
+    fn close(&self) -> GdprResult<()> {
+        ShardedRedisConnector::close(self).map(|_| ())
     }
 }

@@ -51,6 +51,15 @@ pub trait GdprConnector: Send + Sync {
     /// Human-readable connector name (e.g. `redis`, `postgres`,
     /// `postgres-mi`).
     fn name(&self) -> &str;
+
+    /// Graceful shutdown hook: flush whatever durable state the connector
+    /// keeps outside the store's own persistence — today, the metadata
+    /// index snapshot of the snapshot-aware variants. Default no-op;
+    /// callers (e.g. `gdpr-serve`) invoke it exactly once on a clean
+    /// exit, and implementations must tolerate repeated calls.
+    fn close(&self) -> GdprResult<()> {
+        Ok(())
+    }
 }
 
 /// A shareable handle to any engine/connector — what a network front-end
@@ -81,6 +90,10 @@ impl<T: GdprConnector + ?Sized> GdprConnector for std::sync::Arc<T> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn close(&self) -> GdprResult<()> {
+        (**self).close()
     }
 }
 

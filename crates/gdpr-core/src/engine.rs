@@ -33,10 +33,20 @@ use crate::query::GdprQuery;
 use crate::record::PersonalRecord;
 use crate::response::GdprResponse;
 use crate::role::Session;
+use crate::snapshot::{self, IndexRecovery, SnapshotStamp};
 use crate::store::{RecordPredicate, RecordStore};
 use crate::GdprConnector;
 use clock::SharedClock;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Where (and as which shard of which topology) this engine persists its
+/// index snapshot.
+struct SnapshotConfig {
+    path: PathBuf,
+    shard_index: u32,
+    shard_count: u32,
+}
 
 /// The one compliance layer every backend shares.
 pub struct ComplianceEngine<S: RecordStore> {
@@ -44,6 +54,11 @@ pub struct ComplianceEngine<S: RecordStore> {
     audit: AuditTrail,
     index: Option<Arc<MetadataIndex>>,
     clock: SharedClock,
+    /// Set on the snapshot-aware open path; enables
+    /// [`Self::write_index_snapshot`] / [`Self::close`].
+    snapshot: Option<SnapshotConfig>,
+    /// How the index came up on the snapshot-aware open path.
+    recovery: Option<IndexRecovery>,
 }
 
 impl<S: RecordStore> ComplianceEngine<S> {
@@ -57,6 +72,8 @@ impl<S: RecordStore> ComplianceEngine<S> {
             index: None,
             clock,
             store,
+            snapshot: None,
+            recovery: None,
         }
     }
 
@@ -69,18 +86,89 @@ impl<S: RecordStore> ComplianceEngine<S> {
     /// index entries the moment a record is reaped.
     pub fn with_metadata_index(store: S) -> GdprResult<ComplianceEngine<S>> {
         let mut engine = ComplianceEngine::new(store);
+        let index = engine.attach_index_listener();
+        Self::backfill_index(&engine.store, &engine.clock, &index)?;
+        engine.index = Some(index);
+        Ok(engine)
+    }
+
+    /// The snapshot-aware open path: as [`Self::with_metadata_index`],
+    /// but the index is recovered through
+    /// [`MetadataIndex::restore_or_rebuild`] against the image at `path`
+    /// — O(index) when the image is trustworthy (its generation stamp
+    /// equals [`RecordStore::persistence_generation`] and its topology
+    /// header matches), the usual O(n) backfill otherwise. The engine
+    /// remembers `path` so [`Self::write_index_snapshot`] /
+    /// [`Self::close`] can persist the index again; a missing image on
+    /// first boot simply rebuilds and is written on the next close.
+    pub fn with_metadata_index_snapshot(
+        store: S,
+        path: impl Into<PathBuf>,
+    ) -> GdprResult<ComplianceEngine<S>> {
+        Self::with_metadata_index_snapshot_at(store, path, 0, 1)
+    }
+
+    /// As [`Self::with_metadata_index_snapshot`], for one shard of a
+    /// sharded topology: the shard coordinates are stamped into (and
+    /// checked against) the snapshot header, so an image written under a
+    /// different shard count can never be loaded into a topology where
+    /// the key→shard map changed ([`crate::sharded::ShardedEngine`] opens
+    /// its shards through this).
+    pub fn with_metadata_index_snapshot_at(
+        store: S,
+        path: impl Into<PathBuf>,
+        shard_index: u32,
+        shard_count: u32,
+    ) -> GdprResult<ComplianceEngine<S>> {
+        let mut engine = ComplianceEngine::new(store);
+        let index = engine.attach_index_listener();
+        let path = path.into();
+        let expected = SnapshotStamp {
+            generation: engine.store.persistence_generation(),
+            shard_index,
+            shard_count,
+        };
+        let recovery = index.restore_or_rebuild(&path, &expected, |idx| {
+            Self::backfill_index(&engine.store, &engine.clock, idx)
+        })?;
+        engine.index = Some(index);
+        engine.snapshot = Some(SnapshotConfig {
+            path,
+            shard_index,
+            shard_count,
+        });
+        engine.recovery = Some(recovery);
+        Ok(engine)
+    }
+
+    /// Create the engine's index and wire the store's expiry path to it
+    /// before any backfill/restore. A reap that fires *after* the built
+    /// index is installed invalidates its entry as usual; one racing the
+    /// build itself can be clobbered by the install and leave a stale
+    /// entry — the same transient window as live index maintenance, and
+    /// equally harmless: reads re-verify candidates against the store,
+    /// and the purge path unions store-side deadlines.
+    fn attach_index_listener(&mut self) -> Arc<MetadataIndex> {
         let index = Arc::new(MetadataIndex::new());
         let listener_index = Arc::clone(&index);
-        engine.store.on_expiry(Arc::new(move |key| {
+        self.store.on_expiry(Arc::new(move |key| {
             listener_index.remove(key);
         }));
-        let now_ms = engine.clock.now().as_millis();
+        index
+    }
+
+    /// The O(n) index build: scan every record and index it in one batch.
+    /// Returns how many records were scanned.
+    fn backfill_index(store: &S, clock: &SharedClock, index: &MetadataIndex) -> GdprResult<usize> {
+        let now_ms = clock.now().as_millis();
         let mut batch = IndexBatch::new();
-        for record in engine.store.scan()? {
+        let records = store.scan()?;
+        let n = records.len();
+        for record in records {
             // The store's remaining deadline is authoritative for records
             // that predate the engine; re-deriving `now + declared TTL`
             // would extend their retention by the already-elapsed lifetime.
-            let deadline_ms = engine.store.deadline_ms(&record.key).or_else(|| {
+            let deadline_ms = store.deadline_ms(&record.key).or_else(|| {
                 record
                     .metadata
                     .ttl
@@ -90,8 +178,68 @@ impl<S: RecordStore> ComplianceEngine<S> {
         }
         // One lock acquisition for the whole backfill, not one per record.
         index.apply(batch);
-        engine.index = Some(index);
-        Ok(engine)
+        Ok(n)
+    }
+
+    /// How the index came up on the snapshot-aware open path (`None` for
+    /// the other constructors).
+    pub fn index_recovery(&self) -> Option<&IndexRecovery> {
+        self.recovery.as_ref()
+    }
+
+    /// Persist the index image now: stamp it with the store's persistence
+    /// generation and atomically replace the configured snapshot file.
+    /// Returns the entry count.
+    ///
+    /// Snapshots are meant for **write-quiescent moments** (graceful
+    /// close, admin checkpoints — the same discipline as `rebalance()`).
+    /// The generation is captured before the export and re-checked after:
+    /// a store write racing the export window fails the call loudly
+    /// instead of producing an image whose stamp and content could
+    /// disagree (a torn AOF tail replaying to exactly the stamped
+    /// generation would then trust a divergent image). The engine is
+    /// non-transactional, so a store-committed write whose index update
+    /// has not yet been applied is indistinguishable from quiescence —
+    /// hold writes while snapshotting, as `close()` callers do.
+    pub fn write_index_snapshot(&self) -> GdprResult<usize> {
+        let Some(cfg) = &self.snapshot else {
+            return Err(GdprError::Unsupported(
+                "engine was not opened with an index snapshot path".to_string(),
+            ));
+        };
+        let Some(index) = &self.index else {
+            return Err(GdprError::Unsupported(
+                "engine maintains no metadata index".to_string(),
+            ));
+        };
+        let generation = self.store.persistence_generation();
+        let stamp = SnapshotStamp {
+            generation,
+            shard_index: cfg.shard_index,
+            shard_count: cfg.shard_count,
+        };
+        let written = snapshot::write_snapshot(&cfg.path, index, &stamp)?;
+        if self.store.persistence_generation() != generation {
+            // A write landed mid-export; the image on disk is stamped
+            // with a generation the store has moved past, so recovery
+            // would correctly refuse it — surface the race instead of
+            // leaving a snapshot that can only rebuild.
+            return Err(GdprError::Store(
+                "a store write raced the index snapshot; retry at write quiescence".to_string(),
+            ));
+        }
+        Ok(written)
+    }
+
+    /// Graceful close: persist the index snapshot when one is configured
+    /// (no-op otherwise), returning the entries written. Safe to call
+    /// repeatedly.
+    pub fn close(&self) -> GdprResult<usize> {
+        if self.snapshot.is_some() {
+            self.write_index_snapshot()
+        } else {
+            Ok(0)
+        }
     }
 
     /// The backend.
@@ -460,6 +608,10 @@ impl<S: RecordStore> GdprConnector for ComplianceEngine<S> {
 
     fn name(&self) -> &str {
         self.store.name()
+    }
+
+    fn close(&self) -> GdprResult<()> {
+        ComplianceEngine::close(self).map(|_| ())
     }
 }
 

@@ -57,6 +57,7 @@ pub mod record;
 pub mod response;
 pub mod role;
 pub mod sharded;
+pub mod snapshot;
 pub mod store;
 pub mod wire;
 
@@ -64,10 +65,11 @@ pub use compliance::{ComplianceFeature, FeatureReport};
 pub use connector::{EngineHandle, GdprConnector};
 pub use engine::ComplianceEngine;
 pub use error::GdprError;
-pub use metaindex::{IndexBatch, MetadataIndex};
+pub use metaindex::{IndexBatch, IndexEntry, MetadataIndex};
 pub use query::{GdprQuery, MetadataField, MetadataUpdate};
 pub use record::{Metadata, PersonalRecord};
 pub use response::GdprResponse;
 pub use role::{Role, Session};
 pub use sharded::{shard_count_from_env, shard_of, ShardedEngine};
+pub use snapshot::{IndexRecovery, SnapshotInvalid, SnapshotStamp};
 pub use store::{RecordPredicate, RecordStore};

@@ -45,62 +45,119 @@ use crate::record::{Metadata, PersonalRecord};
 use crate::store::RecordPredicate;
 use parking_lot::RwLock;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Keys are stored once and shared: every structure a key appears in
+/// (its terms row, up to four inverted postings, the all-keys and
+/// eligibility sets, the deadline set) holds the same `Arc<str>`, so
+/// membership costs a refcount bump instead of a `String` allocation.
+/// That is what keeps [`MetadataIndex::load_entries`] — the snapshot
+/// restore path — allocation-light: one key allocation per entry,
+/// however many structures the key lands in.
+type Key = Arc<str>;
 
 /// What was indexed for one key — kept so removal needs no record fetch
 /// (the record may already be gone from the store when invalidation runs).
-#[derive(Debug, Clone, Default)]
+/// Terms are shared `Arc<str>`s: the vocabulary (users, purposes, usage
+/// and party names) repeats across records, so the restore path interns
+/// each distinct term once instead of allocating a copy per record — and
+/// the three term lists live in **one** packed allocation
+/// (`purposes ‖ objections ‖ sharing`, delimited by the two end offsets),
+/// since a record typically carries only a handful of terms total.
+#[derive(Debug, Clone)]
 struct IndexedTerms {
-    user: String,
-    purposes: Vec<String>,
-    objections: Vec<String>,
-    sharing: Vec<String>,
+    user: Key,
+    /// `purposes ‖ objections ‖ sharing`, packed.
+    term_lists: Box<[Key]>,
+    purposes_end: u32,
+    objections_end: u32,
+    /// Whether the key sits in the decision-eligibility set. Recorded here
+    /// (not re-derived) so the per-key terms are a complete, dumpable image
+    /// of the index — [`MetadataIndex::export_entries`] serializes exactly
+    /// this table and [`MetadataIndex::load_entries`] rebuilds every map
+    /// from it.
+    decision_eligible: bool,
     deadline_ms: Option<u64>,
+}
+
+impl IndexedTerms {
+    fn purposes(&self) -> &[Key] {
+        &self.term_lists[..self.purposes_end as usize]
+    }
+
+    fn objections(&self) -> &[Key] {
+        &self.term_lists[self.purposes_end as usize..self.objections_end as usize]
+    }
+
+    fn sharing(&self) -> &[Key] {
+        &self.term_lists[self.objections_end as usize..]
+    }
+
+    /// Pack the three lists (already concatenated in `term_lists` order)
+    /// with their split offsets.
+    fn packed(
+        user: Key,
+        term_lists: Vec<Key>,
+        purposes_end: usize,
+        objections_end: usize,
+        decision_eligible: bool,
+        deadline_ms: Option<u64>,
+    ) -> IndexedTerms {
+        IndexedTerms {
+            user,
+            term_lists: term_lists.into_boxed_slice(),
+            purposes_end: purposes_end as u32,
+            objections_end: objections_end as u32,
+            decision_eligible,
+            deadline_ms,
+        }
+    }
 }
 
 #[derive(Default)]
 struct Inner {
-    by_user: HashMap<String, BTreeSet<String>>,
-    by_purpose: HashMap<String, BTreeSet<String>>,
-    by_objection: HashMap<String, BTreeSet<String>>,
-    by_sharing: HashMap<String, BTreeSet<String>>,
+    by_user: HashMap<String, BTreeSet<Key>>,
+    by_purpose: HashMap<String, BTreeSet<Key>>,
+    by_objection: HashMap<String, BTreeSet<Key>>,
+    by_sharing: HashMap<String, BTreeSet<Key>>,
     /// Every live key — the universe the negative predicates subtract
     /// from (`NotObjecting` = `all_keys − objecting`).
-    all_keys: BTreeSet<String>,
+    all_keys: BTreeSet<Key>,
     /// Keys eligible for automated decision-making (no G22 opt-out
     /// marker) — `DecisionEligible` reads this set directly.
-    decision_eligible: BTreeSet<String>,
+    decision_eligible: BTreeSet<Key>,
     /// `(absolute deadline ms, key)`, ordered — expired prefixes pop in
     /// O(expired · log n).
-    by_deadline: BTreeSet<(u64, String)>,
+    by_deadline: BTreeSet<(u64, Key)>,
     /// Per-key snapshot of the indexed terms.
-    terms: HashMap<String, IndexedTerms>,
+    terms: HashMap<Key, IndexedTerms>,
 }
 
 impl Inner {
     fn unindex(&mut self, key: &str) -> bool {
-        let Some(terms) = self.terms.remove(key) else {
+        let Some((key_arc, terms)) = self.terms.remove_entry(key) else {
             return false;
         };
         detach(&mut self.by_user, &terms.user, key);
-        for p in &terms.purposes {
+        for p in terms.purposes() {
             detach(&mut self.by_purpose, p, key);
         }
-        for o in &terms.objections {
+        for o in terms.objections() {
             detach(&mut self.by_objection, o, key);
         }
-        for s in &terms.sharing {
+        for s in terms.sharing() {
             detach(&mut self.by_sharing, s, key);
         }
         self.all_keys.remove(key);
         self.decision_eligible.remove(key);
         if let Some(at) = terms.deadline_ms {
-            self.by_deadline.remove(&(at, key.to_string()));
+            self.by_deadline.remove(&(at, key_arc));
         }
         true
     }
 }
 
-fn detach(map: &mut HashMap<String, BTreeSet<String>>, term: &str, key: &str) {
+fn detach(map: &mut HashMap<String, BTreeSet<Key>>, term: &str, key: &str) {
     if let Some(set) = map.get_mut(term) {
         set.remove(key);
         if set.is_empty() {
@@ -109,9 +166,380 @@ fn detach(map: &mut HashMap<String, BTreeSet<String>>, term: &str, key: &str) {
     }
 }
 
-fn keys_of(map: &HashMap<String, BTreeSet<String>>, term: &str) -> Vec<String> {
+/// Add `key` under `term`, allocating the term map entry only on first
+/// sight of the term (the common hit path clones nothing).
+fn attach(map: &mut HashMap<String, BTreeSet<Key>>, term: &str, key: Key) {
+    if let Some(set) = map.get_mut(term) {
+        set.insert(key);
+    } else {
+        map.entry(term.to_string()).or_default().insert(key);
+    }
+}
+
+/// Convert accumulated per-term key vectors into posting sets
+/// (`FromIterator` bulk-builds each `BTreeSet` from its sorted vector).
+fn bulk_sets(map: HashMap<String, Vec<Key>>) -> HashMap<String, BTreeSet<Key>> {
+    map.into_iter()
+        .map(|(term, keys)| (term, keys.into_iter().collect()))
+        .collect()
+}
+
+/// Accumulates a whole index image off-lock, then installs it in one
+/// swap — the engine of the O(index) restore path. Per entry it performs
+/// exactly one key allocation; structure memberships are refcount bumps,
+/// and term strings are *interned* (the user/purpose/usage/party
+/// vocabulary repeats across records, so each distinct term is allocated
+/// once however many records carry it). Feed entries in key order: the
+/// accumulated vectors then arrive sorted and every `BTreeSet` below is
+/// bulk-built instead of rebalanced insert by insert.
+pub(crate) struct IndexBuilder {
+    by_user: HashMap<String, Vec<Key>>,
+    by_purpose: HashMap<String, Vec<Key>>,
+    by_objection: HashMap<String, Vec<Key>>,
+    by_sharing: HashMap<String, Vec<Key>>,
+    all_keys: Vec<Key>,
+    decision_eligible: Vec<Key>,
+    by_deadline: Vec<(u64, Key)>,
+    terms: HashMap<Key, IndexedTerms>,
+    interned: std::collections::HashSet<Key>,
+}
+
+fn intern(table: &mut std::collections::HashSet<Key>, term: &str) -> Key {
+    if let Some(known) = table.get(term) {
+        Key::clone(known)
+    } else {
+        let fresh = Key::from(term);
+        table.insert(Key::clone(&fresh));
+        fresh
+    }
+}
+
+/// Append `key` to `term`'s accumulating posting vector, allocating the
+/// term map entry only on first sight of the term.
+fn post(map: &mut HashMap<String, Vec<Key>>, term: &str, key: Key) {
+    if let Some(keys) = map.get_mut(term) {
+        keys.push(key);
+    } else {
+        map.insert(term.to_string(), vec![key]);
+    }
+}
+
+impl IndexBuilder {
+    pub(crate) fn with_capacity(n: usize) -> IndexBuilder {
+        IndexBuilder {
+            by_user: HashMap::new(),
+            by_purpose: HashMap::new(),
+            by_objection: HashMap::new(),
+            by_sharing: HashMap::new(),
+            all_keys: Vec::with_capacity(n),
+            decision_eligible: Vec::new(),
+            by_deadline: Vec::new(),
+            terms: HashMap::with_capacity(n),
+            interned: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Add one key's image. A key fed twice builds inconsistent postings
+    /// — callers must deduplicate (the snapshot reader enforces strictly
+    /// ascending keys instead).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn add<'a>(
+        &mut self,
+        key: &str,
+        user: &str,
+        purposes: impl Iterator<Item = &'a str>,
+        objections: impl Iterator<Item = &'a str>,
+        sharing: impl Iterator<Item = &'a str>,
+        decision_eligible: bool,
+        deadline_ms: Option<u64>,
+    ) {
+        fn collect_terms<'a>(
+            interned: &mut std::collections::HashSet<Key>,
+            map: &mut HashMap<String, Vec<Key>>,
+            key: &Key,
+            terms: impl Iterator<Item = &'a str>,
+        ) -> Vec<Key> {
+            terms
+                .map(|term| {
+                    let term = intern(interned, term);
+                    post(map, &term, Key::clone(key));
+                    term
+                })
+                .collect()
+        }
+        let key = Key::from(key);
+        let user = intern(&mut self.interned, user);
+        post(&mut self.by_user, &user, Key::clone(&key));
+        let mut term_lists =
+            collect_terms(&mut self.interned, &mut self.by_purpose, &key, purposes);
+        let purposes_end = term_lists.len();
+        term_lists.extend(collect_terms(
+            &mut self.interned,
+            &mut self.by_objection,
+            &key,
+            objections,
+        ));
+        let objections_end = term_lists.len();
+        term_lists.extend(collect_terms(
+            &mut self.interned,
+            &mut self.by_sharing,
+            &key,
+            sharing,
+        ));
+        self.all_keys.push(Key::clone(&key));
+        if decision_eligible {
+            self.decision_eligible.push(Key::clone(&key));
+        }
+        if let Some(at) = deadline_ms {
+            self.by_deadline.push((at, Key::clone(&key)));
+        }
+        self.terms.insert(
+            key,
+            IndexedTerms::packed(
+                user,
+                term_lists,
+                purposes_end,
+                objections_end,
+                decision_eligible,
+                deadline_ms,
+            ),
+        );
+    }
+
+    /// Build every set (bulk, from the sorted vectors) and swap the
+    /// result into `index` under one brief write-lock acquisition.
+    /// Returns the number of keys installed.
+    pub(crate) fn install(self, index: &MetadataIndex) -> usize {
+        let IndexBuilder {
+            by_user,
+            by_purpose,
+            by_objection,
+            by_sharing,
+            all_keys,
+            decision_eligible,
+            by_deadline,
+            terms,
+            interned: _,
+        } = self;
+        install_built(
+            index,
+            move || {
+                (
+                    bulk_sets(by_user),
+                    bulk_sets(by_purpose),
+                    bulk_sets(by_objection),
+                    bulk_sets(by_sharing),
+                )
+            },
+            all_keys,
+            decision_eligible,
+            by_deadline,
+            terms,
+        )
+    }
+}
+
+type PostingMaps = (
+    HashMap<String, BTreeSet<Key>>,
+    HashMap<String, BTreeSet<Key>>,
+    HashMap<String, BTreeSet<Key>>,
+    HashMap<String, BTreeSet<Key>>,
+);
+
+/// Shared tail of every bulk build: run `posting_job` (the four inverted
+/// maps) on a second thread while this one bulk-builds the key-level
+/// sets, then swap the assembled [`Inner`] into `index` under one brief
+/// write-lock acquisition. The two halves share nothing but refcounts,
+/// and restore latency is restart downtime.
+fn install_built(
+    index: &MetadataIndex,
+    posting_job: impl FnOnce() -> PostingMaps + Send,
+    all_keys: Vec<Key>,
+    decision_eligible: Vec<Key>,
+    mut by_deadline: Vec<(u64, Key)>,
+    terms: HashMap<Key, IndexedTerms>,
+) -> usize {
+    let built = std::thread::scope(|scope| {
+        let postings = scope.spawn(posting_job);
+        by_deadline.sort_unstable();
+        let all_keys: BTreeSet<Key> = all_keys.into_iter().collect();
+        let decision_eligible: BTreeSet<Key> = decision_eligible.into_iter().collect();
+        let by_deadline: BTreeSet<(u64, Key)> = by_deadline.into_iter().collect();
+        let (by_user, by_purpose, by_objection, by_sharing) =
+            postings.join().expect("posting builder");
+        Inner {
+            by_user,
+            by_purpose,
+            by_objection,
+            by_sharing,
+            all_keys,
+            decision_eligible,
+            by_deadline,
+            terms,
+        }
+    });
+    let n = built.terms.len();
+    *index.inner.write() = built;
+    n
+}
+
+/// The id-addressed twin of [`IndexBuilder`], for images that carry a
+/// term table: terms arrive as indexes into a shared vocabulary, so
+/// feeding a key performs **no string hashing at all** — every
+/// membership is an array index plus a refcount bump, and the only
+/// allocation per key is the key itself. This is the hot half of the
+/// snapshot restore path.
+pub(crate) struct VocabIndexBuilder {
+    vocab: Vec<Key>,
+    by_user: Vec<Vec<Key>>,
+    by_purpose: Vec<Vec<Key>>,
+    by_objection: Vec<Vec<Key>>,
+    by_sharing: Vec<Vec<Key>>,
+    all_keys: Vec<Key>,
+    decision_eligible: Vec<Key>,
+    by_deadline: Vec<(u64, Key)>,
+    /// Accumulated flat; the terms `HashMap` is built during the
+    /// parallel install phase, off the serial parse path.
+    terms: Vec<(Key, IndexedTerms)>,
+}
+
+impl VocabIndexBuilder {
+    /// A builder over a fixed term table. Ids fed to [`Self::add`] must
+    /// be `< vocab.len()` (the snapshot reader bounds-checks them as it
+    /// parses).
+    pub(crate) fn new(vocab: Vec<Key>, capacity: usize) -> VocabIndexBuilder {
+        let postings = || vec![Vec::new(); vocab.len()];
+        VocabIndexBuilder {
+            by_user: postings(),
+            by_purpose: postings(),
+            by_objection: postings(),
+            by_sharing: postings(),
+            all_keys: Vec::with_capacity(capacity),
+            decision_eligible: Vec::new(),
+            by_deadline: Vec::new(),
+            terms: Vec::with_capacity(capacity),
+            vocab,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn add(
+        &mut self,
+        key: &str,
+        user_id: u32,
+        purposes: &[u32],
+        objections: &[u32],
+        sharing: &[u32],
+        decision_eligible: bool,
+        deadline_ms: Option<u64>,
+    ) {
+        fn post_ids(postings: &mut [Vec<Key>], ids: &[u32], key: &Key) {
+            for &id in ids {
+                postings[id as usize].push(Key::clone(key));
+            }
+        }
+        let key = Key::from(key);
+        self.by_user[user_id as usize].push(Key::clone(&key));
+        post_ids(&mut self.by_purpose, purposes, &key);
+        post_ids(&mut self.by_objection, objections, &key);
+        post_ids(&mut self.by_sharing, sharing, &key);
+        self.all_keys.push(Key::clone(&key));
+        if decision_eligible {
+            self.decision_eligible.push(Key::clone(&key));
+        }
+        if let Some(at) = deadline_ms {
+            self.by_deadline.push((at, Key::clone(&key)));
+        }
+        let vocab = &self.vocab;
+        let mut term_lists = Vec::with_capacity(purposes.len() + objections.len() + sharing.len());
+        for &id in purposes.iter().chain(objections).chain(sharing) {
+            term_lists.push(Key::clone(&vocab[id as usize]));
+        }
+        self.terms.push((
+            key,
+            IndexedTerms::packed(
+                Key::clone(&vocab[user_id as usize]),
+                term_lists,
+                purposes.len(),
+                purposes.len() + objections.len(),
+                decision_eligible,
+                deadline_ms,
+            ),
+        ));
+    }
+
+    pub(crate) fn install(self, index: &MetadataIndex) -> usize {
+        let VocabIndexBuilder {
+            vocab,
+            by_user,
+            by_purpose,
+            by_objection,
+            by_sharing,
+            all_keys,
+            decision_eligible,
+            mut by_deadline,
+            terms,
+        } = self;
+        fn to_map(vocab: &[Key], postings: Vec<Vec<Key>>) -> HashMap<String, BTreeSet<Key>> {
+            let mut map: HashMap<String, BTreeSet<Key>> = HashMap::new();
+            for (id, keys) in postings.into_iter().enumerate() {
+                if keys.is_empty() {
+                    continue;
+                }
+                // Merge, never overwrite: the snapshot reader rejects
+                // duplicate vocab terms, but losing postings silently is
+                // the one failure this layer must be incapable of.
+                map.entry(vocab[id].to_string()).or_default().extend(keys);
+            }
+            map
+        }
+        let built = std::thread::scope(|scope| {
+            // Thread: the four posting maps and the key-level sets (all
+            // bulk-built from their sorted vectors); main thread: the
+            // terms table (the largest single hash build).
+            let sets = scope.spawn(move || {
+                by_deadline.sort_unstable();
+                (
+                    to_map(&vocab, by_user),
+                    to_map(&vocab, by_purpose),
+                    to_map(&vocab, by_objection),
+                    to_map(&vocab, by_sharing),
+                    all_keys.into_iter().collect::<BTreeSet<Key>>(),
+                    decision_eligible.into_iter().collect::<BTreeSet<Key>>(),
+                    by_deadline.into_iter().collect::<BTreeSet<(u64, Key)>>(),
+                )
+            });
+            let mut terms_map: HashMap<Key, IndexedTerms> = HashMap::with_capacity(terms.len());
+            terms_map.extend(terms);
+            let (
+                by_user,
+                by_purpose,
+                by_objection,
+                by_sharing,
+                all_keys,
+                decision_eligible,
+                by_deadline,
+            ) = sets.join().expect("set builder");
+            Inner {
+                by_user,
+                by_purpose,
+                by_objection,
+                by_sharing,
+                all_keys,
+                decision_eligible,
+                by_deadline,
+                terms: terms_map,
+            }
+        });
+        let n = built.terms.len();
+        *index.inner.write() = built;
+        n
+    }
+}
+
+fn keys_of(map: &HashMap<String, BTreeSet<Key>>, term: &str) -> Vec<String> {
     map.get(term)
-        .map(|set| set.iter().cloned().collect())
+        .map(|set| set.iter().map(|k| k.to_string()).collect())
         .unwrap_or_default()
 }
 
@@ -188,6 +616,28 @@ impl IndexBatch {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+}
+
+/// One key's complete index image — everything the index knows about it,
+/// with **absolute** TTL deadlines. A `Vec<IndexEntry>` is a full dump of
+/// a [`MetadataIndex`]: every inverted map, the all-keys and
+/// decision-eligibility sets, and the deadline set are reconstructible
+/// from it (and from nothing else), which is what makes the entry list
+/// the payload of the on-disk snapshot format in [`crate::snapshot`] —
+/// a single per-key table cannot encode mutually inconsistent maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    pub key: String,
+    pub user: String,
+    pub purposes: Vec<String>,
+    pub objections: Vec<String>,
+    pub sharing: Vec<String>,
+    /// Whether the key is in the decision-eligibility set (no G22
+    /// opt-out marker at indexing time). Carried explicitly because the
+    /// index does not retain the decisions list it was derived from.
+    pub decision_eligible: bool,
+    /// Absolute expiry deadline in milliseconds on the store's clock.
+    pub deadline_ms: Option<u64>,
 }
 
 /// The four inverted metadata indexes, the all-keys and
@@ -272,57 +722,121 @@ impl MetadataIndex {
     }
 
     fn index_locked(inner: &mut Inner, key: &str, m: &Metadata, deadline_ms: Option<u64>) {
-        inner.unindex(key);
-        let key = key.to_string();
-        inner
-            .by_user
-            .entry(m.user.clone())
-            .or_default()
-            .insert(key.clone());
-        for p in &m.purposes {
-            inner
-                .by_purpose
-                .entry(p.clone())
-                .or_default()
-                .insert(key.clone());
-        }
-        for o in &m.objections {
-            inner
-                .by_objection
-                .entry(o.clone())
-                .or_default()
-                .insert(key.clone());
-        }
-        for s in &m.sharing {
-            inner
-                .by_sharing
-                .entry(s.clone())
-                .or_default()
-                .insert(key.clone());
-        }
-        inner.all_keys.insert(key.clone());
-        if m.allows_automated_decisions() {
-            inner.decision_eligible.insert(key.clone());
-        }
-        if let Some(at) = deadline_ms {
-            inner.by_deadline.insert((at, key.clone()));
-        }
-        inner.terms.insert(
-            key,
-            IndexedTerms {
-                user: m.user.clone(),
-                purposes: m.purposes.clone(),
-                objections: m.objections.clone(),
-                sharing: m.sharing.clone(),
-                deadline_ms,
-            },
+        let mut term_lists: Vec<Key> =
+            Vec::with_capacity(m.purposes.len() + m.objections.len() + m.sharing.len());
+        term_lists.extend(
+            m.purposes
+                .iter()
+                .chain(&m.objections)
+                .chain(&m.sharing)
+                .map(|t| Key::from(t.as_str())),
         );
+        Self::terms_locked(
+            inner,
+            Key::from(key),
+            IndexedTerms::packed(
+                Key::from(m.user.as_str()),
+                term_lists,
+                m.purposes.len(),
+                m.purposes.len() + m.objections.len(),
+                m.allows_automated_decisions(),
+                deadline_ms,
+            ),
+        );
+    }
+
+    /// Attach one key's terms to every structure. The single insertion
+    /// path shared by live indexing and snapshot restore, so a restored
+    /// index cannot diverge structurally from a live-built one. The key
+    /// is allocated once (by the caller) and shared by refcount into
+    /// every structure it lands in.
+    fn terms_locked(inner: &mut Inner, key: Key, terms: IndexedTerms) {
+        inner.unindex(&key);
+        attach(&mut inner.by_user, &terms.user, Key::clone(&key));
+        for p in terms.purposes() {
+            attach(&mut inner.by_purpose, p, Key::clone(&key));
+        }
+        for o in terms.objections() {
+            attach(&mut inner.by_objection, o, Key::clone(&key));
+        }
+        for s in terms.sharing() {
+            attach(&mut inner.by_sharing, s, Key::clone(&key));
+        }
+        inner.all_keys.insert(Key::clone(&key));
+        if terms.decision_eligible {
+            inner.decision_eligible.insert(Key::clone(&key));
+        }
+        if let Some(at) = terms.deadline_ms {
+            inner.by_deadline.insert((at, Key::clone(&key)));
+        }
+        inner.terms.insert(key, terms);
     }
 
     /// Drop a key from every index. Returns whether it was indexed. This is
     /// the invalidation path stores call on TTL expiration.
     pub fn remove(&self, key: &str) -> bool {
         self.inner.write().unindex(key)
+    }
+
+    /// Dump the whole index as per-key entries, sorted by key (one read
+    /// lock). The dump is *complete*: [`Self::load_entries`] on a fresh
+    /// index reproduces every structure exactly — this is the snapshot
+    /// write path.
+    pub fn export_entries(&self) -> Vec<IndexEntry> {
+        let inner = self.inner.read();
+        let mut entries: Vec<IndexEntry> = inner
+            .terms
+            .iter()
+            .map(|(key, t)| {
+                let owned = |terms: &[Key]| terms.iter().map(|t| t.to_string()).collect();
+                IndexEntry {
+                    key: key.to_string(),
+                    user: t.user.to_string(),
+                    purposes: owned(t.purposes()),
+                    objections: owned(t.objections()),
+                    sharing: owned(t.sharing()),
+                    decision_eligible: t.decision_eligible,
+                    deadline_ms: t.deadline_ms,
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        entries
+    }
+
+    /// Rebuild the index from a dump — the O(index) snapshot restore
+    /// path. Anything previously indexed is dropped (the new state is
+    /// swapped in whole under one brief write-lock acquisition). Returns
+    /// how many entries were loaded.
+    ///
+    /// This is a *bulk* build, an order of magnitude cheaper than
+    /// per-entry upserts: every structure is first accumulated as a
+    /// key-ordered vector (one key allocation per entry, memberships are
+    /// refcount bumps, term strings move straight out of the entries),
+    /// then converted to its `BTreeSet` via `FromIterator`, which
+    /// bulk-builds from sorted input instead of rebalancing insert by
+    /// insert.
+    pub fn load_entries(&self, entries: Vec<IndexEntry>) -> usize {
+        let mut entries = entries;
+        // Dumps are written key-sorted; tolerate (sort) anything else and
+        // drop duplicate keys rather than building inconsistent postings.
+        if !entries.windows(2).all(|w| w[0].key <= w[1].key) {
+            entries.sort_by(|a, b| a.key.cmp(&b.key));
+        }
+        entries.dedup_by(|b, a| a.key == b.key);
+        let mut builder = IndexBuilder::with_capacity(entries.len());
+        for e in &entries {
+            builder.add(
+                &e.key,
+                &e.user,
+                e.purposes.iter().map(String::as_str),
+                e.objections.iter().map(String::as_str),
+                e.sharing.iter().map(String::as_str),
+                e.decision_eligible,
+                e.deadline_ms,
+            );
+        }
+        builder.install(self)
     }
 
     /// Candidate keys for a predicate. Every [`RecordPredicate`] variant is
@@ -352,8 +866,8 @@ impl MetadataIndex {
                 let objecting = inner.by_objection.get(p.as_str());
                 Some(match (declared, objecting) {
                     (None, _) => Vec::new(),
-                    (Some(d), None) => d.iter().cloned().collect(),
-                    (Some(d), Some(o)) => d.difference(o).cloned().collect(),
+                    (Some(d), None) => d.iter().map(|k| k.to_string()).collect(),
+                    (Some(d), Some(o)) => d.difference(o).map(|k| k.to_string()).collect(),
                 })
             }
             RecordPredicate::SharedWith(s) => Some(keys_of(&inner.by_sharing, s)),
@@ -363,13 +877,21 @@ impl MetadataIndex {
             // the expensive part a full scan pays for every record.
             RecordPredicate::NotObjecting(usage) => {
                 Some(match inner.by_objection.get(usage.as_str()) {
-                    None => inner.all_keys.iter().cloned().collect(),
-                    Some(o) => inner.all_keys.difference(o).cloned().collect(),
+                    None => inner.all_keys.iter().map(|k| k.to_string()).collect(),
+                    Some(o) => inner
+                        .all_keys
+                        .difference(o)
+                        .map(|k| k.to_string())
+                        .collect(),
                 })
             }
-            RecordPredicate::DecisionEligible => {
-                Some(inner.decision_eligible.iter().cloned().collect())
-            }
+            RecordPredicate::DecisionEligible => Some(
+                inner
+                    .decision_eligible
+                    .iter()
+                    .map(|k| k.to_string())
+                    .collect(),
+            ),
         }
     }
 
@@ -380,7 +902,7 @@ impl MetadataIndex {
             .by_deadline
             .iter()
             .take_while(|(at, _)| *at <= now_ms)
-            .map(|(_, key)| key.clone())
+            .map(|(_, key)| key.to_string())
             .collect()
     }
 
@@ -442,42 +964,34 @@ impl MetadataIndex {
             && !inner.by_sharing.values().any(|s| s.contains(key))
             && !inner.all_keys.contains(key)
             && !inner.decision_eligible.contains(key)
-            && !inner.by_deadline.iter().any(|(_, k)| k == key)
+            && !inner.by_deadline.iter().any(|(_, k)| k.as_ref() == key)
     }
 
     /// Approximate footprint, for space-overhead visibility (the engine's
     /// analogue of the paper's Table 3 index cost).
     pub fn size_bytes(&self) -> usize {
         let inner = self.inner.read();
-        let map_bytes = |m: &HashMap<String, BTreeSet<String>>| {
+        let map_bytes = |m: &HashMap<String, BTreeSet<Key>>| {
             m.iter()
-                .map(|(term, keys)| term.len() + keys.iter().map(|k| k.len() + 16).sum::<usize>())
+                // A shared key costs a pointer + refcount word per
+                // membership, not a copy of its bytes.
+                .map(|(term, keys)| term.len() + keys.len() * 16)
                 .sum::<usize>()
         };
         map_bytes(&inner.by_user)
             + map_bytes(&inner.by_purpose)
             + map_bytes(&inner.by_objection)
             + map_bytes(&inner.by_sharing)
-            + inner.all_keys.iter().map(|k| k.len() + 16).sum::<usize>()
-            + inner
-                .decision_eligible
-                .iter()
-                .map(|k| k.len() + 16)
-                .sum::<usize>()
-            + inner
-                .by_deadline
-                .iter()
-                .map(|(_, k)| k.len() + 24)
-                .sum::<usize>()
+            + inner.all_keys.len() * 16
+            + inner.decision_eligible.len() * 16
+            + inner.by_deadline.len() * 24
             + inner
                 .terms
                 .iter()
                 .map(|(k, t)| {
                     k.len()
                         + t.user.len()
-                        + t.purposes.iter().map(String::len).sum::<usize>()
-                        + t.objections.iter().map(String::len).sum::<usize>()
-                        + t.sharing.iter().map(String::len).sum::<usize>()
+                        + t.term_lists.iter().map(|t| t.len()).sum::<usize>()
                         + 16
                 })
                 .sum::<usize>()

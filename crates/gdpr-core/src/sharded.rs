@@ -164,6 +164,70 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
         Self::build(engines)
     }
 
+    /// The snapshot-aware sharded open path: as
+    /// [`Self::with_metadata_index`], but shard *i* recovers its index
+    /// through the image at [`Self::shard_snapshot_path`]`(dir, i)` —
+    /// O(index) per shard when the image matches that shard's store
+    /// generation *and* was written as shard `i` of exactly this shard
+    /// count (the topology is in the snapshot header). Reopening under a
+    /// different count therefore rebuilds every shard's index from its
+    /// store — the index-side analogue of [`Self::verify_placement`]'s
+    /// misroute detection; run [`Self::rebalance`] to fix the store side,
+    /// after which the rebuilt indexes are already correct.
+    pub fn with_metadata_index_snapshots(
+        stores: Vec<S>,
+        dir: impl AsRef<std::path::Path>,
+    ) -> GdprResult<ShardedEngine<S>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| GdprError::Store(format!("index snapshot dir {dir:?}: {e}")))?;
+        let count = stores.len();
+        let engines = stores
+            .into_iter()
+            .enumerate()
+            .map(|(i, store)| {
+                ComplianceEngine::with_metadata_index_snapshot_at(
+                    store,
+                    Self::shard_snapshot_path(dir, i),
+                    i as u32,
+                    count as u32,
+                )
+            })
+            .collect::<GdprResult<Vec<_>>>()?;
+        Self::build(engines)
+    }
+
+    /// Where shard `i`'s index image lives under a snapshot directory.
+    /// Names carry the shard index only (not the count): a reopen under a
+    /// different count finds the same files and rejects them via the
+    /// topology header instead of silently rebuilding against an empty
+    /// path.
+    pub fn shard_snapshot_path(dir: &std::path::Path, shard: usize) -> std::path::PathBuf {
+        dir.join(format!("metaindex-shard-{shard}.snap"))
+    }
+
+    /// Persist every shard's index image now (stamped with each shard
+    /// store's current generation). Returns total entries written.
+    pub fn write_index_snapshots(&self) -> GdprResult<usize> {
+        let mut total = 0;
+        for shard in &self.shards {
+            total += shard.write_index_snapshot()?;
+        }
+        Ok(total)
+    }
+
+    /// Graceful close: snapshot every shard's index when the engine was
+    /// opened snapshot-aware (no-op otherwise). Idempotent.
+    pub fn close(&self) -> GdprResult<usize> {
+        let mut total = 0;
+        for shard in &self.shards {
+            // Qualified: on an `Arc<ComplianceEngine>` plain `.close()`
+            // resolves to the blanket `GdprConnector for Arc<T>` impl.
+            total += ComplianceEngine::close(shard)?;
+        }
+        Ok(total)
+    }
+
     fn build(shards: Vec<ComplianceEngine<S>>) -> GdprResult<ShardedEngine<S>> {
         let shards: Vec<Arc<ComplianceEngine<S>>> = shards.into_iter().map(Arc::new).collect();
         let Some(first) = shards.first() else {
@@ -561,6 +625,10 @@ impl<S: RecordStore + 'static> GdprConnector for ShardedEngine<S> {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn close(&self) -> GdprResult<()> {
+        ShardedEngine::close(self).map(|_| ())
     }
 }
 

@@ -140,6 +140,24 @@ pub trait RecordStore: Send + Sync {
         self.put(record)
     }
 
+    /// A monotone stamp of the store's *persisted mutation state* — the
+    /// key-value backend's AOF write-frame sequence, the relational
+    /// backend's WAL statement position. Two requirements make it usable
+    /// as the generation stamp of an index snapshot
+    /// ([`crate::snapshot`]):
+    ///
+    /// 1. every committed mutation advances it, however it entered the
+    ///    store (through the engine or behind its back), and
+    /// 2. replaying the store's persistence log reproduces the exact
+    ///    value the live store had when the log was written.
+    ///
+    /// `None` (the default) means the store cannot stamp its state; index
+    /// snapshots over such a store are written unstamped and are never
+    /// trusted on restore — recovery always rebuilds.
+    fn persistence_generation(&self) -> Option<u64> {
+        None
+    }
+
     /// Predicate pushdown for reads: `Some(records)` if the backend can
     /// evaluate `pred` natively (e.g. relational secondary indexes),
     /// `None` to let the engine resolve it.

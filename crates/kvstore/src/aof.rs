@@ -127,6 +127,17 @@ impl Aof {
         }
     }
 
+    /// Continue a log that already holds `frames` frames over `bytes`
+    /// bytes — the reopen-for-append path ([`crate::KvStore::open_persistent`]).
+    /// Seeds the cipher block sequence (encrypted frames are numbered
+    /// monotonically across the whole file, so a re-opened writer must
+    /// not restart at block 0) and the records/bytes accounting.
+    pub fn resume_after(&mut self, frames: u64, bytes: u64) {
+        self.next_block = frames;
+        self.records = frames;
+        self.bytes = bytes;
+    }
+
     /// Flush buffers and (for files) fsync to stable storage.
     pub fn sync(&mut self) -> KvResult<()> {
         if let Sink::File(w) = &mut self.sink {

@@ -31,6 +31,12 @@ pub struct RelStats {
     pub statements: AtomicU64,
     pub reads: AtomicU64,
     pub writes: AtomicU64,
+    /// The database's **persistence generation**: committed write
+    /// statements (= the WAL position when a WAL is attached, counted
+    /// whether or not one is). [`Database::recover`] reproduces the exact
+    /// value the live database had when the log was written — see
+    /// [`Database::mutation_generation`].
+    pub mutations: AtomicU64,
 }
 
 /// The database.
@@ -166,6 +172,7 @@ impl Database {
         self.stats.statements.fetch_add(1, Ordering::Relaxed);
         if stmt.is_write() {
             self.stats.writes.fetch_add(1, Ordering::Relaxed);
+            self.stats.mutations.fetch_add(1, Ordering::Relaxed);
         } else {
             self.stats.reads.fetch_add(1, Ordering::Relaxed);
         }
@@ -281,9 +288,23 @@ impl Database {
         for stmt in &statements {
             if stmt.is_write() {
                 db.dispatch(stmt)?;
+                // Keep the persistence generation replay-stable: the
+                // recovered database lands on the exact WAL position the
+                // live one had when the log was written.
+                db.stats.mutations.fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(db)
+    }
+
+    /// The persistence generation: committed write statements, which a
+    /// [`Self::recover`] of this database's WAL reproduces exactly. A
+    /// write the WAL never captured (torn tail) recovers to a smaller
+    /// value; a write behind any engine advances it — either way an
+    /// engine-side index snapshot stamped with a different value is
+    /// visibly stale.
+    pub fn mutation_generation(&self) -> u64 {
+        self.stats.mutations.load(Ordering::Relaxed)
     }
 }
 
@@ -395,6 +416,11 @@ mod tests {
             })
             .unwrap();
         assert_eq!(redacted.rows().len(), 5);
+        // The persistence generation is replay-stable: CREATE TABLE + 20
+        // inserts + delete + update = 23 writes on both sides (reads on
+        // the recovered db above do not count).
+        assert_eq!(db.mutation_generation(), 23);
+        assert_eq!(recovered.mutation_generation(), 23);
     }
 
     #[test]

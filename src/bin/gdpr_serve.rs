@@ -6,9 +6,18 @@
 //! gdprbench run --db remote --addr 127.0.0.1:7878 --clients 8 --workload processor
 //! ```
 //!
-//! The process serves until killed; shutdown on signal is the operator's
-//! (or CI's) `kill`, after which in-flight requests complete via the
-//! server's graceful drop.
+//! With `--data-dir` the kvstore shards persist to per-shard AOF files
+//! (replayed on the next start); with `--index-snapshot-dir` the
+//! engine-indexed variants (`redis-mi`, `redis-sharded`) recover their
+//! metadata indexes from checksummed snapshot images in O(index) instead
+//! of rescanning the store, and write fresh images on graceful shutdown.
+//!
+//! When either directory is configured the process owns durable state, so
+//! it watches stdin for a graceful-shutdown request: a `shutdown` line or
+//! EOF drains the server, snapshots the indexes, flushes the AOFs, and
+//! exits 0 (`kill` still works, at the price of an O(n) index rebuild on
+//! the next start). Without them the process serves until killed, exactly
+//! as before.
 
 use gdprbench_repro::drivers::{build_connector, ConnectorSpec, DB_CHOICES};
 use gdprbench_repro::gdpr_server::{GdprServer, ServerConfig};
@@ -19,10 +28,18 @@ gdpr-serve — wire-protocol network front-end for the GDPR compliance engine
 USAGE:
   gdpr-serve [--db redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi]
              [--addr HOST:PORT] [--shards N] [--workers N] [--compliant]
+             [--data-dir DIR] [--index-snapshot-dir DIR]
 
 Defaults: --db redis-mi, --addr 127.0.0.1:7878, --shards $GDPR_SHARDS (else 4),
 --workers = CPU parallelism. The server pipelines: clients may keep many
-requests in flight per connection; responses come back in request order.";
+requests in flight per connection; responses come back in request order.
+
+--data-dir DIR            persist kvstore shards to DIR/shard-N.aof (replayed
+                          on restart, torn tails truncated away)
+--index-snapshot-dir DIR  recover metadata indexes from snapshot images in
+                          DIR (redis-mi/redis-sharded); written on graceful
+                          shutdown. With either directory set, send the line
+                          'shutdown' (or close stdin) for a graceful exit.";
 
 struct ServeArgs {
     spec: ConnectorSpec,
@@ -56,6 +73,8 @@ fn parse_args() -> Result<ServeArgs, String> {
                 );
             }
             "--compliant" => spec.compliant = true,
+            "--data-dir" => spec.data_dir = Some(take("data-dir")?),
+            "--index-snapshot-dir" => spec.snapshot_dir = Some(take("index-snapshot-dir")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
@@ -94,6 +113,9 @@ fn main() {
         config.queue_depth = config.workers * 32;
     }
     let name = engine.name().to_string();
+    // Keep a handle for the graceful-shutdown flush; the server owns its
+    // own clone.
+    let durable = std::sync::Arc::clone(&engine);
     let server = match GdprServer::bind(engine, &args.addr, config.clone()) {
         Ok(server) => server,
         Err(e) => {
@@ -108,6 +130,32 @@ fn main() {
         config.workers,
         server.local_addr(),
     );
+    if args.spec.data_dir.is_some() || args.spec.snapshot_dir.is_some() {
+        // Durable state configured: honour a graceful-shutdown request so
+        // the index snapshots get written (a later start then recovers in
+        // O(index) instead of rescanning the store).
+        println!(
+            "gdpr-serve: durable state configured; 'shutdown' line or stdin EOF exits gracefully"
+        );
+        use std::io::BufRead;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            match line {
+                Ok(line) if line.trim() == "shutdown" => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+        server.shutdown();
+        match durable.close() {
+            Ok(()) => println!("gdpr-serve: graceful shutdown — index snapshots written"),
+            Err(e) => {
+                eprintln!("gdpr-serve: failed to persist index snapshots: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     // Serve until killed.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

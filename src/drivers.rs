@@ -22,6 +22,14 @@ pub struct ConnectorSpec {
     pub addr: Option<String>,
     /// Client connections to pool (remote only; defaults to 1).
     pub clients: usize,
+    /// Directory for per-shard AOF files (`redis*` variants): stores open
+    /// through [`kvstore::KvStore::open_persistent`], replaying any
+    /// existing log, so data survives restarts.
+    pub data_dir: Option<String>,
+    /// Directory for metadata-index snapshot images (`redis-mi` /
+    /// `redis-sharded`): the index recovers in O(index) when an image
+    /// matches the reopened store, and `close()` persists it again.
+    pub snapshot_dir: Option<String>,
 }
 
 impl ConnectorSpec {
@@ -32,7 +40,39 @@ impl ConnectorSpec {
             shards: gdpr_core::shard_count_from_env(),
             addr: None,
             clients: 1,
+            data_dir: None,
+            snapshot_dir: None,
         }
+    }
+}
+
+/// Open one kvstore shard honoring `data_dir`: file-persistent (with AOF
+/// replay) when set, plain in-memory otherwise.
+fn open_kv_shard(
+    spec: &ConnectorSpec,
+    shard: usize,
+    clock: clock::SharedClock,
+) -> Result<std::sync::Arc<kvstore::KvStore>, String> {
+    let mut config = if spec.compliant {
+        kvstore::KvConfig::gdpr_compliant_in_memory()
+    } else {
+        kvstore::KvConfig::default()
+    };
+    if let Some(dir) = &spec.data_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("--data-dir {dir:?}: {e}"))?;
+        config.aof = kvstore::config::AofStorage::File(dir.join(format!("shard-{shard}.aof")));
+        config.fsync = kvstore::FsyncPolicy::EverySec;
+    }
+    kvstore::KvStore::open_persistent(config, clock).map_err(|e| e.to_string())
+}
+
+/// Print how each snapshot-recovered index came up — operators need to
+/// see a fallback rebuild (it is the O(n) path the snapshot exists to
+/// avoid).
+fn report_recovery(name: &str, shard: usize, recovery: Option<&gdpr_core::IndexRecovery>) {
+    if let Some(recovery) = recovery {
+        println!("{name}: shard {shard}: {recovery}");
     }
 }
 
@@ -40,29 +80,37 @@ impl ConnectorSpec {
 /// serves and what the workload runner drives — in-process and remote
 /// variants are interchangeable behind it.
 pub fn build_connector(spec: &ConnectorSpec) -> Result<EngineHandle, String> {
+    if spec.snapshot_dir.is_some() && !matches!(spec.db.as_str(), "redis-mi" | "redis-sharded") {
+        return Err(format!(
+            "--index-snapshot-dir needs an engine-indexed kvstore variant \
+             (redis-mi|redis-sharded), not {}",
+            spec.db
+        ));
+    }
+    if spec.data_dir.is_some() && !spec.db.starts_with("redis") {
+        return Err(format!(
+            "--data-dir persists kvstore AOFs and needs a redis* variant, not {}",
+            spec.db
+        ));
+    }
     let conn: Arc<dyn GdprConnector> = match spec.db.as_str() {
         "redis-sharded" | "redis-sharded-scan" => {
-            let scan = spec.db == "redis-sharded-scan";
-            let conn = if scan {
-                let clock = clock::wall();
-                let stores = (0..spec.shards.max(1))
-                    .map(|_| {
-                        kvstore::KvStore::open_with_clock(
-                            if spec.compliant {
-                                kvstore::KvConfig::gdpr_compliant_in_memory()
-                            } else {
-                                kvstore::KvConfig::default()
-                            },
-                            clock.clone(),
-                        )
-                        .map_err(|e| e.to_string())
-                    })
-                    .collect::<Result<Vec<_>, String>>()?;
+            let clock = clock::wall();
+            let stores = (0..spec.shards.max(1))
+                .map(|i| open_kv_shard(spec, i, clock.clone()))
+                .collect::<Result<Vec<_>, String>>()?;
+            let conn = if spec.db == "redis-sharded-scan" {
                 connectors::ShardedRedisConnector::new(stores)
-            } else if spec.compliant {
-                connectors::ShardedRedisConnector::open_compliant(spec.shards)
+            } else if let Some(dir) = &spec.snapshot_dir {
+                let conn =
+                    connectors::ShardedRedisConnector::with_metadata_index_snapshots(stores, dir)
+                        .map_err(|e| e.to_string())?;
+                for i in 0..conn.shard_count() {
+                    report_recovery("redis-sharded", i, conn.index_recovery(i));
+                }
+                Ok(conn)
             } else {
-                connectors::ShardedRedisConnector::open(spec.shards)
+                connectors::ShardedRedisConnector::with_metadata_index(stores)
             }
             .map_err(|e| e.to_string())?;
             if spec.compliant {
@@ -73,20 +121,27 @@ pub fn build_connector(spec: &ConnectorSpec) -> Result<EngineHandle, String> {
             Arc::new(conn)
         }
         "redis" | "redis-mi" => {
-            let config = if spec.compliant {
-                kvstore::KvConfig::gdpr_compliant_in_memory()
-            } else {
-                kvstore::KvConfig::default()
-            };
-            let store = kvstore::KvStore::open(config).map_err(|e| e.to_string())?;
+            let store = open_kv_shard(spec, 0, clock::wall())?;
             if spec.compliant {
                 store.start_expiration_driver();
             }
             if spec.db == "redis-mi" {
-                Arc::new(
+                let conn = if let Some(dir) = &spec.snapshot_dir {
+                    let dir = std::path::Path::new(dir);
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("--index-snapshot-dir {dir:?}: {e}"))?;
+                    let conn = connectors::RedisConnector::with_metadata_index_snapshot(
+                        store,
+                        dir.join("metaindex.snap"),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    report_recovery("redis-mi", 0, conn.index_recovery());
+                    conn
+                } else {
                     connectors::RedisConnector::with_metadata_index(store)
-                        .map_err(|e| e.to_string())?,
-                )
+                        .map_err(|e| e.to_string())?
+                };
+                Arc::new(conn)
             } else {
                 Arc::new(connectors::RedisConnector::new(store))
             }
