@@ -1,0 +1,144 @@
+//! Machine-readable benchmark report: runs the `remote_throughput` and
+//! `shard_scaling` experiment suites in one process and writes a
+//! suite → metric → value JSON file (default `BENCH_6.json`) alongside
+//! the usual text tables.
+//!
+//! ```sh
+//! bench_report --records 20000 --ops 60000 --out BENCH_6.json
+//! ```
+//!
+//! Accepts the common experiment flags (`--records`, `--ops`,
+//! `--threads`, `--shards`; shards 0 = 4) plus `--out PATH`. The depth
+//! sweep and connection-scaling runs use `--threads` clients; the mode
+//! comparison runs the 1/4/16 client ladder unless `--threads` pins one.
+
+use bench::cli::Params;
+use bench::experiments::remote::{
+    run_connection_scaling, run_depth_sweep, run_remote_comparison, DEFAULT_CLIENTS, DEPTH_SWEEP,
+    IDLE_LADDER,
+};
+use bench::experiments::sharding::{run_point_op_scaling, DEFAULT_LADDER};
+use bench::report::BenchReport;
+
+fn main() {
+    // Peel off `--out PATH`; everything else is the common flag set.
+    let mut out_path = "BENCH_6.json".to_string();
+    let mut rest = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--out" {
+            match argv.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out requires a value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(flag);
+        }
+    }
+    let params = match Params::parse_from(rest) {
+        Ok(params) => params,
+        Err(msg) => {
+            eprintln!("{msg}\nplus: [--out PATH] (default BENCH_6.json)");
+            std::process::exit(2);
+        }
+    };
+    let shards = if params.shards == 0 { 4 } else { params.shards };
+    let clients: Vec<usize> = if params.threads == Params::default().threads {
+        DEFAULT_CLIENTS.to_vec()
+    } else {
+        vec![params.threads]
+    };
+    let mut report = BenchReport::new();
+    report.record("workload", "records", params.records as f64);
+    report.record("workload", "ops", params.ops as f64);
+    report.record("workload", "shards", shards as f64);
+
+    // Suite 1: in-process vs roundtrip vs pipelined TCP.
+    let (table, series) = run_remote_comparison(&clients, shards, params.records, params.ops);
+    println!("{}", table.render());
+    for (mode, client_count, throughput) in &series {
+        let metric = format!("{}_c{client_count}_ops_per_sec", mode.replace('/', "_"));
+        report.record("remote_throughput", &metric, *throughput);
+    }
+    for &client_count in &clients {
+        let find = |mode: &str| {
+            series
+                .iter()
+                .find(|(m, c, _)| *m == mode && *c == client_count)
+                .map(|&(_, _, tp)| tp)
+        };
+        if let (Some(roundtrip), Some(pipelined)) = (find("tcp/roundtrip"), find("tcp/pipelined")) {
+            report.record(
+                "remote_throughput",
+                &format!("pipelined_vs_roundtrip_c{client_count}"),
+                pipelined / roundtrip.max(1e-9),
+            );
+        }
+    }
+
+    // Suite 2: pipeline-depth sweep at a fixed client count.
+    let (depth_table, depth_series) =
+        run_depth_sweep(shards, params.records, params.ops, params.threads);
+    println!("{}", depth_table.render());
+    for (depth, throughput) in &depth_series {
+        report.record(
+            "pipeline_depth",
+            &format!("depth_{depth}_ops_per_sec"),
+            *throughput,
+        );
+    }
+    if let (Some(&(_, base)), Some(&(deepest, top))) = (depth_series.first(), depth_series.last()) {
+        report.record(
+            "pipeline_depth",
+            &format!("depth_{deepest}_vs_depth_{}", DEPTH_SWEEP[0]),
+            top / base.max(1e-9),
+        );
+    }
+
+    // Suite 3: active pipelined throughput vs idle-connection count.
+    let (conn_table, conn_series) = run_connection_scaling(
+        shards,
+        params.records,
+        params.ops,
+        params.threads,
+        &IDLE_LADDER,
+    );
+    println!("{}", conn_table.render());
+    for (idle, throughput) in &conn_series {
+        report.record(
+            "connection_scaling",
+            &format!("idle_{idle}_ops_per_sec"),
+            *throughput,
+        );
+    }
+
+    // Suite 4: shard-scaling ladder (in-process point ops).
+    let (shard_table, shard_series) =
+        run_point_op_scaling(&DEFAULT_LADDER, params.records, params.ops, params.threads);
+    println!("{}", shard_table.render());
+    for (shard_count, throughput) in &shard_series {
+        report.record(
+            "sharding",
+            &format!("shards_{shard_count}_ops_per_sec"),
+            *throughput,
+        );
+    }
+    if let (Some(&(_, one)), Some(&(top_shards, top))) = (shard_series.first(), shard_series.last())
+    {
+        report.record(
+            "sharding",
+            &format!("shards_{top_shards}_speedup"),
+            top / one.max(1e-9),
+        );
+    }
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_report: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

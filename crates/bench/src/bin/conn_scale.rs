@@ -1,0 +1,201 @@
+//! Connection-scale smoke against a *running* `gdpr-serve`: open a large
+//! population of idle connections, drive a pipelined workload through a
+//! handful of active clients, then ping-probe every idle connection to
+//! prove the server kept them all alive under load. Exits non-zero on
+//! any failure — CI runs it against the release server with 1000
+//! connections.
+//!
+//! ```sh
+//! gdpr-serve --db redis-sharded --addr 127.0.0.1:7878 &
+//! conn_scale --addr 127.0.0.1:7878 --conns 1000 --active 8 --ops 20000
+//! ```
+
+use connectors::GdprClient;
+use gdpr_core::record::{Metadata, PersonalRecord};
+use gdpr_core::{GdprQuery, Session};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+conn_scale — connection-scale smoke against a running gdpr-serve
+
+USAGE:
+  conn_scale [--addr HOST:PORT] [--conns N] [--active N] [--ops N] [--records N]
+
+Defaults: --addr 127.0.0.1:7878, --conns 1000 idle connections, --active 8
+pipelined clients, --ops 20000, --records 2000 preloaded keys (prefix cs,
+disjoint from other workloads on the same server).";
+
+const PIPELINE_DEPTH: usize = 32;
+
+struct Args {
+    addr: String,
+    conns: usize,
+    active: usize,
+    ops: u64,
+    records: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        conns: 1000,
+        active: 8,
+        ops: 20_000,
+        records: 2_000,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut take = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("--{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = take("addr")?,
+            "--conns" => {
+                args.conns = take("conns")?
+                    .parse()
+                    .map_err(|e| format!("--conns: {e}"))?
+            }
+            "--active" => {
+                args.active = take("active")?
+                    .parse()
+                    .map_err(|e| format!("--active: {e}"))?;
+            }
+            "--ops" => args.ops = take("ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--records" => {
+                args.records = take("records")?
+                    .parse()
+                    .map_err(|e| format!("--records: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    if args.active == 0 || args.records == 0 {
+        return Err("--active and --records must be > 0".into());
+    }
+    Ok(args)
+}
+
+fn smoke_record(i: usize) -> PersonalRecord {
+    PersonalRecord::new(
+        format!("cs{i:07}"),
+        format!("smoke-payload-{i:07}"),
+        Metadata::new(
+            format!("smoke-user-{:04}", i % 256),
+            vec!["ads".to_string()],
+            Duration::from_secs(3600),
+        ),
+    )
+}
+
+fn next_op(rng: &mut SmallRng, records: usize) -> (Session, GdprQuery) {
+    let i = rng.gen_range(0usize..records);
+    let key = format!("cs{i:07}");
+    if rng.gen_bool(0.9) {
+        (Session::processor("ads"), GdprQuery::ReadDataByKey(key))
+    } else {
+        (
+            Session::controller(),
+            GdprQuery::UpdateDataByKey {
+                key,
+                data: format!("smoke-rewrite-{i:07}"),
+            },
+        )
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // 1. Open the idle population. One echo each so every socket is fully
+    // accepted and registered with the server's event loop before the
+    // load starts.
+    let connect_start = Instant::now();
+    let idle: Vec<GdprClient> = (0..args.conns)
+        .map(|i| {
+            let conn = GdprClient::connect(&args.addr)
+                .unwrap_or_else(|e| panic!("idle connect #{i} to {}: {e}", args.addr));
+            conn.ping(b"idle")
+                .unwrap_or_else(|e| panic!("idle ping #{i}: {e}"));
+            conn
+        })
+        .collect();
+    println!(
+        "conn_scale: {} idle connections established in {:.2}s",
+        idle.len(),
+        connect_start.elapsed().as_secs_f64()
+    );
+
+    // 2. Preload the smoke keyspace (prefix cs — disjoint from anything
+    // else driving the same server) through one pipelined client.
+    let loader = GdprClient::connect(&args.addr).expect("loader connect");
+    let controller = Session::controller();
+    for chunk_start in (0..args.records).step_by(PIPELINE_DEPTH) {
+        let batch: Vec<_> = (chunk_start..(chunk_start + PIPELINE_DEPTH).min(args.records))
+            .map(|i| (controller.clone(), GdprQuery::CreateRecord(smoke_record(i))))
+            .collect();
+        for result in loader.pipeline(&batch).expect("preload pipeline") {
+            result.expect("preload create");
+        }
+    }
+    println!("conn_scale: preloaded {} records", args.records);
+
+    // 3. Pipelined active load while the idle population sits registered.
+    let ops = args.ops;
+    let active = args.active;
+    let records = args.records;
+    let load_start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..active {
+            let addr = args.addr.clone();
+            let quota = ops / active as u64 + u64::from((t as u64) < ops % active as u64);
+            scope.spawn(move || {
+                let client = GdprClient::connect(&addr).expect("active connect");
+                let mut rng = SmallRng::seed_from_u64(0xC0A7 ^ t as u64);
+                let mut left = quota;
+                while left > 0 {
+                    let batch: Vec<_> = (0..PIPELINE_DEPTH.min(left as usize))
+                        .map(|_| next_op(&mut rng, records))
+                        .collect();
+                    left -= batch.len() as u64;
+                    for result in client.pipeline(&batch).expect("active pipeline") {
+                        result.expect("active op");
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = load_start.elapsed();
+    println!(
+        "conn_scale: {} ops through {} active clients in {:.2}s ({:.0} ops/s)",
+        ops,
+        active,
+        elapsed.as_secs_f64(),
+        ops as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+
+    // 4. Every idle connection must have survived the load.
+    for (i, conn) in idle.iter().enumerate() {
+        let echo = conn
+            .ping(b"still-here")
+            .unwrap_or_else(|e| panic!("idle connection #{i} died under load: {e}"));
+        assert_eq!(echo, b"still-here", "idle connection #{i} echoed garbage");
+    }
+    let stats = loader.conn_stats().expect("conn stats");
+    println!(
+        "conn_scale: all {} idle connections alive after load; server accepted {} connections, \
+         served {} requests total",
+        idle.len(),
+        stats.server_connections,
+        stats.server_requests
+    );
+}

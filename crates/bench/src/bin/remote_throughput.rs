@@ -1,11 +1,16 @@
 //! In-process vs loopback-TCP throughput of the same sharded engine —
 //! what the `gdpr-server` network layer costs, and what pipelining buys
-//! back. `--threads N` pins a single client count; the default runs the
-//! 1/4/16 ladder. `--records`, `--ops`, and `--shards` scale the workload
-//! (shards 0 = 4).
+//! back. Prints three ladders: the mode comparison (in-process vs
+//! roundtrip vs pipelined TCP), the pipeline-depth sweep, and the
+//! idle-connection scaling run. `--threads N` pins a single client count
+//! for the comparison ladder (default runs 1/4/16) and sets the client
+//! count for the sweep and scaling runs. `--records`, `--ops`, and
+//! `--shards` scale the workload (shards 0 = 4).
 
 use bench::cli::Params;
-use bench::experiments::remote::{run_remote_comparison, DEFAULT_CLIENTS};
+use bench::experiments::remote::{
+    run_connection_scaling, run_depth_sweep, run_remote_comparison, DEFAULT_CLIENTS, IDLE_LADDER,
+};
 
 fn main() {
     let params = Params::from_env();
@@ -17,4 +22,16 @@ fn main() {
     let shards = if params.shards == 0 { 4 } else { params.shards };
     let (table, _) = run_remote_comparison(&clients, shards, params.records, params.ops);
     println!("{}", table.render());
+
+    let (depth_table, _) = run_depth_sweep(shards, params.records, params.ops, params.threads);
+    println!("{}", depth_table.render());
+
+    let (conn_table, _) = run_connection_scaling(
+        shards,
+        params.records,
+        params.ops,
+        params.threads,
+        &IDLE_LADDER,
+    );
+    println!("{}", conn_table.render());
 }

@@ -195,6 +195,117 @@ pub fn run_remote_comparison(
     (table, series)
 }
 
+/// Pipeline depths the sweep measures (depth 1 = one round trip per op).
+pub const DEPTH_SWEEP: [usize; 4] = [1, 16, 64, 256];
+
+/// Measured `(pipeline_depth, ops/s)` rows.
+pub type DepthSeries = Vec<(usize, f64)>;
+
+/// Pipeline-depth sweep: the same loopback workload at a fixed client
+/// count while the number of requests in flight per connection grows.
+/// Depth 1 pays a full round trip per op; deeper windows let the server's
+/// event loop drain whole bursts into engine-side batches, so the curve
+/// shows how much of the wire gap batching recovers — and where it
+/// saturates.
+pub fn run_depth_sweep(
+    shards: usize,
+    records: usize,
+    ops: u64,
+    clients: usize,
+) -> (ExperimentTable, DepthSeries) {
+    let mut table = ExperimentTable::new(
+        format!(
+            "Pipeline-depth sweep — loopback TCP point-op workload ({records} records, \
+             {ops} ops, {shards} shards, {clients} clients)"
+        ),
+        &["depth", "completion", "ops/s", "vs depth 1"],
+    );
+    let mut series = DepthSeries::new();
+    let engine = build_engine(shards, records);
+    let server = GdprServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+
+    let mut baseline: Option<f64> = None;
+    for &depth in &DEPTH_SWEEP {
+        run_remote(&addr, records, (ops / 10).max(1), clients, depth);
+        let completion = run_remote(&addr, records, ops, clients, depth);
+        let throughput = ops as f64 / completion.as_secs_f64().max(1e-9);
+        let base = *baseline.get_or_insert(throughput);
+        table.push_row(vec![
+            depth.to_string(),
+            crate::report::fmt_duration(completion),
+            fmt_ops(throughput),
+            format!("{:.1}x", throughput / base.max(1e-9)),
+        ]);
+        series.push((depth, throughput));
+    }
+    server.shutdown();
+    (table, series)
+}
+
+/// Idle-connection ladder for the connection-scaling experiment.
+pub const IDLE_LADDER: [usize; 3] = [0, 512, 2048];
+
+/// Measured `(idle_connections, ops/s)` rows.
+pub type ConnSeries = Vec<(usize, f64)>;
+
+/// Connection-count scaling: the pipelined workload while the server also
+/// holds a growing population of idle connections. A readiness-driven
+/// loop should charge idle sockets nothing (no thread, no wakeups), so
+/// active throughput should barely move; every idle connection is
+/// ping-probed after the timed window to prove it survived the load.
+pub fn run_connection_scaling(
+    shards: usize,
+    records: usize,
+    ops: u64,
+    clients: usize,
+    idle_ladder: &[usize],
+) -> (ExperimentTable, ConnSeries) {
+    let mut table = ExperimentTable::new(
+        format!(
+            "Connection scaling — {clients} active pipelined clients (depth {PIPELINE_DEPTH}) \
+             vs idle-connection count ({records} records, {ops} ops, {shards} shards)"
+        ),
+        &["idle conns", "completion", "ops/s", "vs 0 idle"],
+    );
+    let mut series = ConnSeries::new();
+    let engine = build_engine(shards, records);
+    let server = GdprServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+
+    let mut baseline: Option<f64> = None;
+    for &idle in idle_ladder {
+        let idle_conns: Vec<GdprClient> = (0..idle)
+            .map(|_| GdprClient::connect(&addr).expect("idle connect"))
+            .collect();
+        // One echo each: every idle socket is fully registered with the
+        // event loop before the timed window opens.
+        for conn in &idle_conns {
+            conn.ping(b"idle").expect("idle ping");
+        }
+        run_remote(&addr, records, (ops / 10).max(1), clients, PIPELINE_DEPTH);
+        let completion = run_remote(&addr, records, ops, clients, PIPELINE_DEPTH);
+        let throughput = ops as f64 / completion.as_secs_f64().max(1e-9);
+        // Liveness: the idle population must have survived the load.
+        for conn in &idle_conns {
+            let echo = conn.ping(b"still-here").expect("idle conn died under load");
+            assert_eq!(echo, b"still-here");
+        }
+        let base = *baseline.get_or_insert(throughput);
+        table.push_row(vec![
+            idle.to_string(),
+            crate::report::fmt_duration(completion),
+            fmt_ops(throughput),
+            crate::report::fmt_pct(throughput, base),
+        ]);
+        series.push((idle, throughput));
+    }
+    server.shutdown();
+    (table, series)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +327,33 @@ mod tests {
                 "mode {mode} at {clients} clients reported no throughput"
             );
         }
+    }
+
+    /// The depth sweep reports a row per depth; throughput is always
+    /// positive. Speedups are a release-mode question (the README's
+    /// table), not a debug-test one.
+    #[test]
+    fn depth_sweep_covers_every_depth() {
+        let _gate = crate::timing_gate();
+        let (table, series) = run_depth_sweep(2, 120, 400, 2);
+        assert_eq!(table.rows.len(), DEPTH_SWEEP.len());
+        assert_eq!(series.len(), DEPTH_SWEEP.len());
+        for ((depth, throughput), expected) in series.iter().zip(DEPTH_SWEEP) {
+            assert_eq!(*depth, expected);
+            assert!(*throughput > 0.0, "depth {depth} reported no throughput");
+        }
+    }
+
+    /// Idle connections survive the active load (the ladder ping-probes
+    /// every one) and the active workload still completes at every rung.
+    #[test]
+    fn idle_connections_survive_active_load() {
+        let _gate = crate::timing_gate();
+        let (table, series) = run_connection_scaling(2, 120, 400, 2, &[0, 64]);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(series[0].0, 0);
+        assert_eq!(series[1].0, 64);
+        assert!(series.iter().all(|&(_, tp)| tp > 0.0));
     }
 
     /// Remote and in-process modes drive the same engine: the record count

@@ -85,6 +85,106 @@ impl ExperimentTable {
     }
 }
 
+/// A machine-readable benchmark report: suite → metric → value, rendered
+/// as JSON by hand (the workspace vendors no serde). Suites and metrics
+/// keep insertion order; recording an existing metric overwrites it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    suites: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl BenchReport {
+    pub fn new() -> BenchReport {
+        BenchReport::default()
+    }
+
+    /// Record `suite.metric = value`, creating the suite on first use.
+    pub fn record(&mut self, suite: &str, metric: &str, value: f64) {
+        let metrics = match self.suites.iter_mut().find(|(name, _)| name == suite) {
+            Some((_, metrics)) => metrics,
+            None => {
+                self.suites.push((suite.to_string(), Vec::new()));
+                &mut self.suites.last_mut().expect("just pushed").1
+            }
+        };
+        match metrics.iter_mut().find(|(name, _)| name == metric) {
+            Some((_, slot)) => *slot = value,
+            None => metrics.push((metric.to_string(), value)),
+        }
+    }
+
+    /// Look a recorded value back up, for assertions.
+    pub fn get(&self, suite: &str, metric: &str) -> Option<f64> {
+        let (_, metrics) = self.suites.iter().find(|(name, _)| name == suite)?;
+        metrics
+            .iter()
+            .find(|(name, _)| name == metric)
+            .map(|&(_, v)| v)
+    }
+
+    /// Render the whole report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (si, (suite, metrics)) in self.suites.iter().enumerate() {
+            let _ = writeln!(out, "  {}: {{", json_string(suite));
+            for (mi, (metric, value)) in metrics.iter().enumerate() {
+                let comma = if mi + 1 < metrics.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "    {}: {}{comma}",
+                    json_string(metric),
+                    json_number(*value)
+                );
+            }
+            let comma = if si + 1 < self.suites.len() { "," } else { "" };
+            let _ = writeln!(out, "  }}{comma}");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Quote and escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a number as a JSON literal: integers stay integral, fractions
+/// keep three decimals with trailing zeros trimmed, non-finite values
+/// (which JSON cannot carry) become `null`.
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let mut s = format!("{v:.3}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.pop();
+    }
+    s
+}
+
 /// Format a duration for table cells: ms under a second, seconds otherwise.
 pub fn fmt_duration(d: std::time::Duration) -> String {
     if d.as_secs() >= 100 {
@@ -139,6 +239,38 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = ExperimentTable::new("x", &["a", "b"]);
         t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn bench_report_renders_json() {
+        let mut report = BenchReport::new();
+        report.record("remote_throughput", "pipelined_c4_ops_per_sec", 51234.5678);
+        report.record("remote_throughput", "roundtrip_c4_ops_per_sec", 9000.0);
+        report.record("sharding", "shards_8_speedup", 3.25);
+        report.record("sharding", "shards_8_speedup", 3.5); // overwrite
+        assert_eq!(report.get("sharding", "shards_8_speedup"), Some(3.5));
+        assert_eq!(report.get("sharding", "missing"), None);
+
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"remote_throughput\": {"));
+        assert!(json.contains("\"pipelined_c4_ops_per_sec\": 51234.568,"));
+        assert!(json.contains("\"roundtrip_c4_ops_per_sec\": 9000\n"));
+        assert!(json.contains("\"shards_8_speedup\": 3.5\n"));
+        // One comma between the two suites, none after the last.
+        assert!(json.contains("},\n  \"sharding\""));
+    }
+
+    #[test]
+    fn json_primitives() {
+        assert_eq!(json_number(12.0), "12");
+        assert_eq!(json_number(0.5), "0.5");
+        assert_eq!(json_number(1.0 / 3.0), "0.333");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 
     #[test]

@@ -93,26 +93,50 @@ impl GdprClient {
 
     /// Pipeline a batch: write every request, then read every response (in
     /// order, seq-verified). One round of network buffering instead of
-    /// `batch.len()` round trips.
+    /// `batch.len()` round trips. The server executes the whole burst as a
+    /// single engine-side batch.
     pub fn pipeline(
         &self,
         batch: &[(Session, GdprQuery)],
     ) -> GdprResult<Vec<GdprResult<GdprResponse>>> {
+        self.pipeline_windowed(batch, batch.len().max(1))
+    }
+
+    /// [`Self::pipeline`] with a bounded in-flight window: at most
+    /// `window` requests are unanswered at any moment. The window is
+    /// primed as one burst; each response read refills one slot. This is
+    /// the shape of a real pipelining workload (the bench depth sweep),
+    /// and it bounds client-side memory for arbitrarily long batches.
+    pub fn pipeline_windowed(
+        &self,
+        batch: &[(Session, GdprQuery)],
+        window: usize,
+    ) -> GdprResult<Vec<GdprResult<GdprResponse>>> {
+        let window = window.max(1);
         let mut io = self.io.lock();
-        let mut seqs = Vec::with_capacity(batch.len());
-        // One buffered write for the whole burst: the wire carries the
-        // batch in as few segments as possible.
-        let mut burst = Vec::new();
-        for (session, query) in batch {
-            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let seqs: Vec<u64> = batch
+            .iter()
+            .map(|_| self.seq.fetch_add(1, Ordering::Relaxed))
+            .collect();
+        let frame_for = |i: usize| -> GdprResult<Vec<u8>> {
+            let (session, query) = &batch[i];
             let body = RequestBody::Execute(session.clone(), query.clone());
-            wire::write_frame(&mut burst, &wire::encode_request(seq, &body))
+            let mut buf = Vec::new();
+            wire::write_frame(&mut buf, &wire::encode_request(seqs[i], &body))
                 .map_err(|e| io_err("send", e))?;
-            seqs.push(seq);
+            Ok(buf)
+        };
+        // Prime the window as one buffered burst: the wire carries it in
+        // as few segments as possible.
+        let prime = batch.len().min(window);
+        let mut burst = Vec::new();
+        for i in 0..prime {
+            burst.extend(frame_for(i)?);
         }
         io.writer.write_all(&burst).map_err(|e| io_err("send", e))?;
+        let mut next_write = prime;
         let mut out = Vec::with_capacity(batch.len());
-        for expected_seq in seqs {
+        for &expected_seq in &seqs {
             let payload = wire::read_frame(&mut io.reader, wire::MAX_FRAME)
                 .map_err(|e| io_err("receive", e))?
                 .ok_or_else(|| io_err("receive", "server closed mid-pipeline"))?;
@@ -129,6 +153,11 @@ impl GdprClient {
                 ResponseBody::Error(error) => Err(error),
                 other => Err(io_err("protocol", format!("unexpected response {other:?}"))),
             });
+            if next_write < batch.len() {
+                let frame = frame_for(next_write)?;
+                io.writer.write_all(&frame).map_err(|e| io_err("send", e))?;
+                next_write += 1;
+            }
         }
         Ok(out)
     }
@@ -253,6 +282,17 @@ impl RemoteConnector {
 impl GdprConnector for RemoteConnector {
     fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
         self.client().execute(session, query)
+    }
+
+    /// A batch rides one connection as one pipelined burst — the server
+    /// executes it as a single engine-side batch. On a transport failure
+    /// the whole batch reports that failure per op (per-op GDPR errors
+    /// still arrive individually via the pipeline).
+    fn execute_batch(&self, ops: Vec<(Session, GdprQuery)>) -> Vec<GdprResult<GdprResponse>> {
+        match self.client().pipeline(&ops) {
+            Ok(results) => results,
+            Err(error) => ops.iter().map(|_| Err(error.clone())).collect(),
+        }
     }
 
     // The introspection methods have no error channel in the trait, and

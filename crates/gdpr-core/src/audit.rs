@@ -29,6 +29,49 @@ pub struct AuditEvent {
     pub cardinality: usize,
 }
 
+/// A not-yet-timestamped audit entry: everything [`AuditTrail::record`]
+/// derives from a session and an outcome, minus the clock read. Batch
+/// execution builds one draft per op and commits them with
+/// [`AuditTrail::record_batch`] — one clock read and one lock acquisition
+/// per batch instead of per op.
+#[derive(Debug, Clone)]
+pub struct AuditDraft {
+    pub role: String,
+    pub actor: String,
+    pub operation: String,
+    pub detail: String,
+    pub outcome: String,
+    pub cardinality: usize,
+}
+
+impl AuditDraft {
+    /// Build a draft exactly as [`AuditTrail::record`] would render it.
+    pub fn new(
+        session: &Session,
+        operation: &str,
+        detail: String,
+        outcome: Result<usize, &str>,
+    ) -> AuditDraft {
+        let actor = session
+            .user
+            .clone()
+            .or_else(|| session.purpose.clone())
+            .unwrap_or_default();
+        let (outcome, cardinality) = match outcome {
+            Ok(n) => ("ok".to_string(), n),
+            Err(e) => (e.to_string(), 0),
+        };
+        AuditDraft {
+            role: session.role.name().to_string(),
+            actor,
+            operation: operation.to_string(),
+            detail,
+            outcome,
+            cardinality,
+        }
+    }
+}
+
 /// An append-only audit trail.
 pub struct AuditTrail {
     clock: SharedClock,
@@ -51,24 +94,29 @@ impl AuditTrail {
         detail: String,
         outcome: Result<usize, &str>,
     ) {
-        let actor = session
-            .user
-            .clone()
-            .or_else(|| session.purpose.clone())
-            .unwrap_or_default();
-        let (outcome, cardinality) = match outcome {
-            Ok(n) => ("ok".to_string(), n),
-            Err(e) => (e.to_string(), 0),
-        };
-        self.events.lock().push(AuditEvent {
-            timestamp_ms: self.clock.now().as_millis(),
-            role: session.role.name().to_string(),
-            actor,
-            operation: operation.to_string(),
-            detail,
-            outcome,
-            cardinality,
-        });
+        self.record_batch(vec![AuditDraft::new(session, operation, detail, outcome)]);
+    }
+
+    /// Record a batch of query executions, in draft order, under one
+    /// clock read and one lock acquisition. Every event carries the same
+    /// timestamp: the batch was one submission instant.
+    pub fn record_batch(&self, drafts: Vec<AuditDraft>) {
+        if drafts.is_empty() {
+            return;
+        }
+        let timestamp_ms = self.clock.now().as_millis();
+        let mut events = self.events.lock();
+        for draft in drafts {
+            events.push(AuditEvent {
+                timestamp_ms,
+                role: draft.role,
+                actor: draft.actor,
+                operation: draft.operation,
+                detail: draft.detail,
+                outcome: draft.outcome,
+                cardinality: draft.cardinality,
+            });
+        }
     }
 
     /// Number of recorded events.
@@ -187,6 +235,32 @@ mod tests {
         );
         let neo_events = trail.events_for_actor("neo");
         assert_eq!(neo_events.len(), 2);
+    }
+
+    #[test]
+    fn batch_records_share_one_timestamp_in_order() {
+        let sim = clock::sim();
+        let trail = AuditTrail::new(sim.clone());
+        sim.advance(Duration::from_millis(250));
+        trail.record_batch(vec![
+            AuditDraft::new(
+                &Session::customer("neo"),
+                "read-data-by-key",
+                "key=a".into(),
+                Ok(1),
+            ),
+            AuditDraft::new(
+                &Session::controller(),
+                "create-record",
+                "key=b".into(),
+                Err("boom"),
+            ),
+        ]);
+        let lines = trail.lines_between(0, u64::MAX);
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.timestamp_ms == 250));
+        assert_eq!(lines[0].operation, "read-data-by-key");
+        assert!(lines[1].detail.contains("boom"));
     }
 
     #[test]

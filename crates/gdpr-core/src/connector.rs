@@ -39,6 +39,19 @@ pub trait GdprConnector: Send + Sync {
     /// Execute one GDPR query under a session.
     fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse>;
 
+    /// Execute a batch of queries, in order, returning one result per op
+    /// (same positions). Semantics must be indistinguishable from calling
+    /// [`GdprConnector::execute`] sequentially — per-op responses, per-op
+    /// errors, audit entries in op order — but implementations may
+    /// amortize per-call overhead (lock acquisitions, audit commits,
+    /// shard routing) across the batch. The default does the sequential
+    /// thing.
+    fn execute_batch(&self, ops: Vec<(Session, GdprQuery)>) -> Vec<GdprResult<GdprResponse>> {
+        ops.iter()
+            .map(|(session, query)| self.execute(session, query))
+            .collect()
+    }
+
     /// The store's compliance capability report.
     fn features(&self) -> FeatureReport;
 
@@ -74,6 +87,10 @@ pub type EngineHandle = std::sync::Arc<dyn GdprConnector>;
 impl<T: GdprConnector + ?Sized> GdprConnector for std::sync::Arc<T> {
     fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
         (**self).execute(session, query)
+    }
+
+    fn execute_batch(&self, ops: Vec<(Session, GdprQuery)>) -> Vec<GdprResult<GdprResponse>> {
+        (**self).execute_batch(ops)
     }
 
     fn features(&self) -> FeatureReport {

@@ -24,7 +24,7 @@
 //! forks.
 
 use crate::acl::{authorize, record_visible};
-use crate::audit::AuditTrail;
+use crate::audit::{AuditDraft, AuditTrail};
 use crate::compliance::FeatureReport;
 use crate::connector::SpaceReport;
 use crate::error::{GdprError, GdprResult};
@@ -261,14 +261,30 @@ impl<S: RecordStore> ComplianceEngine<S> {
     /// trail whatever the outcome (G30: every interaction is logged).
     pub fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
         let result = self.dispatch(session, query);
-        let err_text = result.as_ref().err().map(ToString::to_string);
-        let outcome = match &result {
-            Ok(resp) => Ok(resp.cardinality()),
-            Err(_) => Err(err_text.as_deref().unwrap_or("error")),
-        };
         self.audit
-            .record(session, query.name(), query.detail(), outcome);
+            .record_batch(vec![audit_draft(session, query, &result)]);
         result
+    }
+
+    /// Execute a batch of queries in order — semantically identical to
+    /// calling [`ComplianceEngine::execute`] per op, but audit entries are
+    /// committed per batch (one clock read, one lock acquisition) instead
+    /// of per op. A `GetSystemLogs` inside the batch flushes the pending
+    /// entries first, so log reads observe their batch predecessors
+    /// exactly as sequential execution would.
+    pub fn execute_batch(&self, ops: Vec<(Session, GdprQuery)>) -> Vec<GdprResult<GdprResponse>> {
+        let mut results = Vec::with_capacity(ops.len());
+        let mut drafts = Vec::with_capacity(ops.len());
+        for (session, query) in &ops {
+            if matches!(query, GdprQuery::GetSystemLogs { .. }) {
+                self.audit.record_batch(std::mem::take(&mut drafts));
+            }
+            let result = self.dispatch(session, query);
+            drafts.push(audit_draft(session, query, &result));
+            results.push(result);
+        }
+        self.audit.record_batch(drafts);
+        results
     }
 
     fn now_ms(&self) -> u64 {
@@ -587,11 +603,31 @@ impl<S: RecordStore> ComplianceEngine<S> {
     }
 }
 
+/// The audit entry a query outcome owes — shared by the engine's execute
+/// paths and [`crate::sharded::ShardedEngine`]'s, so batched and
+/// sequential execution render byte-identical trails.
+pub(crate) fn audit_draft(
+    session: &Session,
+    query: &GdprQuery,
+    result: &GdprResult<GdprResponse>,
+) -> AuditDraft {
+    let err_text = result.as_ref().err().map(ToString::to_string);
+    let outcome = match &result {
+        Ok(resp) => Ok(resp.cardinality()),
+        Err(_) => Err(err_text.as_deref().unwrap_or("error")),
+    };
+    AuditDraft::new(session, query.name(), query.detail(), outcome)
+}
+
 /// Every engine is a connector: backends only implement [`RecordStore`],
 /// and the engine supplies the whole [`GdprConnector`] surface.
 impl<S: RecordStore> GdprConnector for ComplianceEngine<S> {
     fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
         ComplianceEngine::execute(self, session, query)
+    }
+
+    fn execute_batch(&self, ops: Vec<(Session, GdprQuery)>) -> Vec<GdprResult<GdprResponse>> {
+        ComplianceEngine::execute_batch(self, ops)
     }
 
     fn features(&self) -> FeatureReport {

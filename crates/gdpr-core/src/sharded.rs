@@ -37,10 +37,10 @@
 //! their owners (preserving remaining TTL deadlines via
 //! [`RecordStore::put_with_deadline`]).
 
-use crate::audit::AuditTrail;
+use crate::audit::{AuditDraft, AuditTrail};
 use crate::compliance::FeatureReport;
 use crate::connector::SpaceReport;
-use crate::engine::ComplianceEngine;
+use crate::engine::{audit_draft, ComplianceEngine};
 use crate::error::{GdprError, GdprResult};
 use crate::metaindex::IndexBatch;
 use crate::query::{GdprQuery, MetadataUpdate};
@@ -306,14 +306,119 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
     /// audit trail whatever the outcome or fan-out (G30).
     pub fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
         let result = self.route(session, query);
-        let err_text = result.as_ref().err().map(ToString::to_string);
-        let outcome = match &result {
-            Ok(resp) => Ok(resp.cardinality()),
-            Err(_) => Err(err_text.as_deref().unwrap_or("error")),
-        };
         self.audit
-            .record(session, query.name(), query.detail(), outcome);
+            .record_batch(vec![audit_draft(session, query, &result)]);
         result
+    }
+
+    /// Execute a batch of queries with per-op results and audit entries in
+    /// op order — semantically identical to calling
+    /// [`ShardedEngine::execute`] per op, but the router exploits the
+    /// batch shape: consecutive *point* ops are segmented into per-shard
+    /// runs that execute in parallel on the fan-out pool (each shard's run
+    /// stays in op order, so same-key ops never reorder), while predicate
+    /// and system ops act as barriers executed in place via the normal
+    /// routing. A `GetSystemLogs` inside the batch flushes the pending
+    /// audit entries first, so log reads observe their batch predecessors
+    /// exactly as sequential execution would.
+    pub fn execute_batch(&self, ops: Vec<(Session, GdprQuery)>) -> Vec<GdprResult<GdprResponse>> {
+        let len = ops.len();
+        let ops = Arc::new(ops);
+        let mut results: Vec<Option<GdprResult<GdprResponse>>> = (0..len).map(|_| None).collect();
+        let mut drafts: Vec<AuditDraft> = Vec::with_capacity(len);
+        let mut i = 0;
+        while i < len {
+            if point_key(&ops[i].1).is_some() {
+                let start = i;
+                while i < len && point_key(&ops[i].1).is_some() {
+                    i += 1;
+                }
+                self.run_point_segment(&ops, start, i, &mut results);
+                for idx in start..i {
+                    let (session, query) = &ops[idx];
+                    let result = results[idx].as_ref().expect("segment filled every slot");
+                    drafts.push(audit_draft(session, query, result));
+                }
+            } else {
+                let (session, query) = &ops[i];
+                if matches!(query, GdprQuery::GetSystemLogs { .. }) {
+                    self.audit.record_batch(std::mem::take(&mut drafts));
+                }
+                let result = self.route(session, query);
+                drafts.push(audit_draft(session, query, &result));
+                results[i] = Some(result);
+                i += 1;
+            }
+        }
+        self.audit.record_batch(drafts);
+        results
+            .into_iter()
+            .map(|r| r.expect("every op answered"))
+            .collect()
+    }
+
+    /// Execute `ops[start..end]` (all point ops) grouped by owning shard:
+    /// each shard's group runs sequentially in op order (same-key ordering
+    /// is the group's ordering); distinct shards overlap on the fan-out
+    /// pool when more than one has work. Every slot in the range is filled.
+    fn run_point_segment(
+        &self,
+        ops: &Arc<Vec<(Session, GdprQuery)>>,
+        start: usize,
+        end: usize,
+        results: &mut [Option<GdprResult<GdprResponse>>],
+    ) {
+        let n = self.shards.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for idx in start..end {
+            let key = point_key(&ops[idx].1).expect("segment holds only point ops");
+            groups[shard_of(key, n)].push(idx);
+        }
+        let busy: Vec<usize> = (0..n).filter(|&s| !groups[s].is_empty()).collect();
+        match &self.fanout {
+            Some(pool) if busy.len() > 1 => {
+                let (tx, rx) = mpsc::channel();
+                for s in busy {
+                    let group = std::mem::take(&mut groups[s]);
+                    let shard = Arc::clone(&self.shards[s]);
+                    let ops = Arc::clone(ops);
+                    let tx = tx.clone();
+                    pool.submit(Box::new(move || {
+                        for idx in group {
+                            let (session, query) = &ops[idx];
+                            // A panicking op must neither hang the collector
+                            // nor take its group's successors with it.
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    shard.dispatch(session, query)
+                                }))
+                                .unwrap_or_else(|_| {
+                                    Err(GdprError::Store("shard batch worker panicked".to_string()))
+                                });
+                            let _ = tx.send((idx, result));
+                        }
+                    }));
+                }
+                drop(tx);
+                for (idx, result) in rx {
+                    results[idx] = Some(result);
+                }
+                for slot in results.iter_mut().take(end).skip(start) {
+                    if slot.is_none() {
+                        *slot = Some(Err(GdprError::Store(
+                            "shard batch lost a worker response".to_string(),
+                        )));
+                    }
+                }
+            }
+            _ => {
+                for idx in start..end {
+                    let (session, query) = &ops[idx];
+                    let key = point_key(query).expect("segment holds only point ops");
+                    results[idx] = Some(self.shard_for(key).dispatch(session, query));
+                }
+            }
+        }
     }
 
     /// Point ops to the owning shard; predicate ops fanned out and merged;
@@ -538,6 +643,22 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
     }
 }
 
+/// The routing key of a key-scoped (point) op, `None` for everything that
+/// must act as a batch barrier (predicate fan-outs and system queries).
+fn point_key(query: &GdprQuery) -> Option<&str> {
+    use GdprQuery::*;
+    match query {
+        CreateRecord(record) => Some(&record.key),
+        DeleteByKey(key)
+        | ReadDataByKey(key)
+        | ReadMetadataByKey(key)
+        | VerifyDeletion(key)
+        | UpdateDataByKey { key, .. }
+        | UpdateMetadataByKey { key, .. } => Some(key),
+        _ => None,
+    }
+}
+
 /// The predicate + update of a *group* metadata update — the two query
 /// classes whose validate-all-then-commit guarantee spans shards.
 fn group_update_of(query: &GdprQuery) -> Option<(RecordPredicate, &MetadataUpdate)> {
@@ -603,6 +724,10 @@ fn merge_responses(results: Vec<GdprResponse>) -> GdprResult<GdprResponse> {
 impl<S: RecordStore + 'static> GdprConnector for ShardedEngine<S> {
     fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
         ShardedEngine::execute(self, session, query)
+    }
+
+    fn execute_batch(&self, ops: Vec<(Session, GdprQuery)>) -> Vec<GdprResult<GdprResponse>> {
+        ShardedEngine::execute_batch(self, ops)
     }
 
     fn features(&self) -> FeatureReport {
@@ -1167,6 +1292,144 @@ mod tests {
             Err(GdprError::AlreadyExists(_))
         ));
         assert_eq!(engine.record_count(), 2, "no copy may be destroyed");
+    }
+
+    /// Batched execution must be indistinguishable from sequential
+    /// execution: same per-op results, same audit trail (entries in op
+    /// order, one per op), whatever the shard count.
+    #[test]
+    fn execute_batch_matches_sequential_execution() {
+        for n in [1, 2, 8] {
+            let batched = sharded(n);
+            let sequential = sharded(n);
+            let controller = Session::controller();
+            let ops: Vec<(Session, GdprQuery)> = (0..12)
+                .map(|i| {
+                    (
+                        controller.clone(),
+                        GdprQuery::CreateRecord(record(
+                            &format!("k{i}"),
+                            ["neo", "trinity"][i % 2],
+                            &["ads"],
+                        )),
+                    )
+                })
+                .chain([
+                    // A duplicate create (per-op error), a predicate
+                    // barrier, a denied op, and trailing point reads.
+                    (
+                        controller.clone(),
+                        GdprQuery::CreateRecord(record("k0", "neo", &["ads"])),
+                    ),
+                    (
+                        Session::customer("neo"),
+                        GdprQuery::ReadDataByUser("neo".into()),
+                    ),
+                    (
+                        Session::customer("neo"),
+                        GdprQuery::ReadDataByUser("trinity".into()),
+                    ),
+                    (
+                        Session::processor("ads"),
+                        GdprQuery::ReadDataByKey("k3".into()),
+                    ),
+                    (controller.clone(), GdprQuery::DeleteByKey("k5".into())),
+                    (controller.clone(), GdprQuery::VerifyDeletion("k5".into())),
+                ])
+                .collect();
+
+            let batch_results = batched.execute_batch(ops.clone());
+            let seq_results: Vec<_> = ops
+                .iter()
+                .map(|(session, query)| sequential.execute(session, query))
+                .collect();
+            assert_eq!(batch_results.len(), seq_results.len());
+            for (i, (b, s)) in batch_results.iter().zip(&seq_results).enumerate() {
+                assert_eq!(b, s, "n={n}, op {i} diverged");
+            }
+            // Audit trails render identically modulo timestamps (the batch
+            // shares one submission instant; the sim clock never advances
+            // here, so even those match).
+            let b_lines = batched.audit().lines_between(0, u64::MAX);
+            let s_lines = sequential.audit().lines_between(0, u64::MAX);
+            assert_eq!(b_lines, s_lines, "n={n}");
+        }
+    }
+
+    /// Ops on the same key inside one batch must keep their order even
+    /// when the batch is spread across the fan-out pool.
+    #[test]
+    fn same_key_ops_in_one_batch_stay_ordered() {
+        let engine = sharded(8);
+        let controller = Session::controller();
+        let mut ops: Vec<(Session, GdprQuery)> = Vec::new();
+        for i in 0..6 {
+            let key = format!("k{i}");
+            ops.push((
+                controller.clone(),
+                GdprQuery::CreateRecord(record(&key, "neo", &["ads"])),
+            ));
+            ops.push((
+                controller.clone(),
+                GdprQuery::UpdateDataByKey {
+                    key: key.clone(),
+                    data: format!("v2-{key}"),
+                },
+            ));
+            ops.push((controller.clone(), GdprQuery::DeleteByKey(key.clone())));
+            ops.push((controller.clone(), GdprQuery::VerifyDeletion(key)));
+        }
+        for (i, result) in engine.execute_batch(ops).into_iter().enumerate() {
+            match i % 4 {
+                0 => assert_eq!(result.unwrap(), GdprResponse::Created, "op {i}"),
+                1 => assert_eq!(result.unwrap(), GdprResponse::Updated(1), "op {i}"),
+                2 => assert_eq!(result.unwrap(), GdprResponse::Deleted(1), "op {i}"),
+                _ => assert_eq!(
+                    result.unwrap(),
+                    GdprResponse::DeletionVerified(true),
+                    "op {i}"
+                ),
+            }
+        }
+        assert_eq!(engine.record_count(), 0);
+    }
+
+    /// A GetSystemLogs mid-batch observes the audit entries of its batch
+    /// predecessors, exactly as sequential execution would.
+    #[test]
+    fn log_read_mid_batch_sees_predecessors() {
+        let engine = sharded(4);
+        let controller = Session::controller();
+        let ops = vec![
+            (
+                controller.clone(),
+                GdprQuery::CreateRecord(record("a", "neo", &["ads"])),
+            ),
+            (
+                controller.clone(),
+                GdprQuery::CreateRecord(record("b", "neo", &["ads"])),
+            ),
+            (
+                Session::regulator(),
+                GdprQuery::GetSystemLogs {
+                    from_ms: 0,
+                    to_ms: u64::MAX,
+                },
+            ),
+            (
+                controller.clone(),
+                GdprQuery::CreateRecord(record("c", "neo", &["ads"])),
+            ),
+        ];
+        let results = engine.execute_batch(ops);
+        match results[2].as_ref().unwrap() {
+            GdprResponse::Logs(lines) => {
+                assert_eq!(lines.len(), 2, "log read must see both predecessors");
+            }
+            other => panic!("expected logs, got {other:?}"),
+        }
+        // And the full trail holds one entry per op afterwards.
+        assert_eq!(engine.audit().len(), 4);
     }
 
     #[test]

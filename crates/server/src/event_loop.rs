@@ -1,0 +1,508 @@
+//! The readiness-driven core: one thread multiplexing every connection
+//! over [`crate::sys::Poller`] (level-triggered epoll), with engine work
+//! offloaded to the [`crate::pool::Executor`] as per-connection batches.
+//!
+//! ```text
+//!        ┌───────────────── event loop (1 thread) ─────────────────┐
+//! accept │ nonblocking reads → FrameDecoder → pending ops          │
+//!        │        └── burst of N ops → one executor batch ──┐      │
+//!        │ completions (wake) → outbuf → nonblocking writes │      │
+//!        └──────────────────────────────────────────────────┼──────┘
+//!                                                           ▼
+//!                                     Executor: engine.execute_batch(ops)
+//! ```
+//!
+//! Ordering needs no sequencer: at most one batch per connection is in
+//! flight, its responses are encoded into one buffer in op order, and the
+//! loop appends completion buffers to the connection's outbuf in
+//! submission order.
+//!
+//! Backpressure is two-staged: a full executor queue leaves batches
+//! pending on their connections, and a connection whose pending ops or
+//! outbuf cross their high-water marks gets its read interest dropped —
+//! the kernel socket buffer then fills and the client blocks, exactly the
+//! end state the old blocking pool submit produced, but without a thread
+//! parked per connection.
+
+use crate::conn::{Conn, DecodedOp};
+use crate::server::{run_batch, ServerShared};
+use crate::sys;
+use crate::wire::{self, ResponseBody};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How much one readiness wake may read from a single connection before
+/// yielding to the others (level-triggered epoll re-reports the rest).
+const READ_BUDGET: usize = 256 * 1024;
+
+/// A batch's encoded responses, handed back from the executor.
+pub(crate) struct Completion {
+    pub token: u64,
+    pub bytes: Vec<u8>,
+}
+
+/// The executor-side handle that re-arms the loop: a loopback socketpair
+/// built purely with std (the no-libc twin of an eventfd).
+pub(crate) struct Waker {
+    tx: parking_lot::Mutex<TcpStream>,
+}
+
+impl Waker {
+    pub fn wake(&self) {
+        // A full pipe means a wake is already pending; any error beyond
+        // that means the loop is gone and waking is moot.
+        let _ = self.tx.lock().write(&[1]);
+    }
+}
+
+/// The wake socketpair: an ephemeral loopback listener, one connect, one
+/// accept, listener dropped. Returns (write side, read side).
+pub(crate) fn wake_pair() -> io::Result<(Waker, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((
+        Waker {
+            tx: parking_lot::Mutex::new(tx),
+        },
+        rx,
+    ))
+}
+
+pub(crate) struct EventLoop {
+    shared: Arc<ServerShared>,
+    poller: sys::Poller,
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Connections whose batch submission found the executor full.
+    stalled: Vec<u64>,
+    events: Vec<sys::Event>,
+    scratch: Vec<u8>,
+    last_stall_check: Instant,
+}
+
+impl EventLoop {
+    pub fn new(
+        shared: Arc<ServerShared>,
+        poller: sys::Poller,
+        listener: TcpListener,
+        wake_rx: TcpStream,
+    ) -> io::Result<EventLoop> {
+        listener.set_nonblocking(true)?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+        poller.add(wake_rx.as_raw_fd(), TOKEN_WAKE, true, false)?;
+        Ok(EventLoop {
+            shared,
+            poller,
+            listener,
+            wake_rx,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            stalled: Vec::new(),
+            events: Vec::with_capacity(256),
+            scratch: vec![0; 64 * 1024],
+            last_stall_check: Instant::now(),
+        })
+    }
+
+    pub fn run(mut self) {
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            // The tick bounds how late a write-stall kill can fire.
+            if self.poller.wait(&mut self.events, 500).is_err() {
+                break;
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let events = std::mem::take(&mut self.events);
+            for event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.drain_wake(),
+                    token => {
+                        if event.writable {
+                            self.flush_conn(token);
+                        }
+                        if event.readable {
+                            self.conn_readable(token);
+                        }
+                    }
+                }
+            }
+            self.events = events;
+            self.process_completions();
+            self.check_write_stalls();
+        }
+        self.drain_on_shutdown();
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Persistent accept failures (e.g. fd exhaustion) must
+                    // not busy-spin the loop; level-triggered epoll will
+                    // re-report the backlog after the pause.
+                    std::thread::sleep(Duration::from_millis(10));
+                    break;
+                }
+            };
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            // Response frames are small; waiting for ACKs to coalesce them
+            // (Nagle) would serialize the request/response pattern.
+            stream.set_nodelay(true).ok();
+            let token = self.next_token;
+            self.next_token += 1;
+            let stats = &self.shared.stats;
+            stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+            stats.connections_active.fetch_add(1, Ordering::Relaxed);
+            let conn = Conn::new(stream, self.shared.config.max_frame);
+            if self
+                .poller
+                .add(conn.stream.as_raw_fd(), token, true, false)
+                .is_err()
+            {
+                stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            self.conns.insert(token, conn);
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match self.wake_rx.read(&mut buf) {
+                Ok(0) => break, // writer gone: shutdown path will notice
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_readable(&mut self, token: u64) {
+        let config = self.shared.config.clone();
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.poisoned || conn.peer_eof {
+            return;
+        }
+        let mut budget = READ_BUDGET;
+        loop {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.counters
+                        .bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    conn.decoder.push(&self.scratch[..n]);
+                    budget = budget.saturating_sub(n);
+                    if budget == 0 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        // Decode everything complete; a malformed payload answers in
+        // order and poisons the stream, a hostile length prefix kills the
+        // framing outright (no response can be attributed to a seq).
+        while !conn.poisoned {
+            match conn.decoder.next_frame() {
+                Ok(Some(payload)) => match wire::decode_request(&payload) {
+                    Ok((seq, body)) => conn.pending.push_back(DecodedOp::Request { seq, body }),
+                    Err(err) => {
+                        self.shared
+                            .stats
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let seq = payload
+                            .get(..8)
+                            .map_or(0, |b| u64::from_be_bytes(b.try_into().unwrap()));
+                        conn.pending
+                            .push_back(DecodedOp::Canned(wire::encode_response(
+                                seq,
+                                &ResponseBody::Protocol(err.to_string()),
+                            )));
+                        conn.poisoned = true;
+                        conn.close_after_flush = true;
+                        conn.decoder.clear();
+                    }
+                },
+                Ok(None) => break,
+                Err(_hostile_len) => {
+                    self.shared
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.poisoned = true;
+                    conn.close_after_flush = true;
+                    conn.decoder.clear();
+                }
+            }
+        }
+        if conn.peer_eof {
+            conn.close_after_flush = true;
+            if conn.drained() {
+                self.close_conn(token);
+                return;
+            }
+        }
+        self.try_submit(token);
+        self.update_interest(token, &config);
+    }
+
+    /// Hand the connection's pending burst to the executor as one batch —
+    /// unless one is already in flight (ordering) or the executor is full
+    /// (the batch stays pending; retried on the next completion wake).
+    fn try_submit(&mut self, token: u64) {
+        let max_batch = self.shared.config.max_batch;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.in_flight || conn.pending.is_empty() {
+            return;
+        }
+        if !self.shared.executor.has_capacity() {
+            if !self.stalled.contains(&token) {
+                self.stalled.push(token);
+            }
+            return;
+        }
+        let take = conn.pending.len().min(max_batch.max(1));
+        let ops: Vec<DecodedOp> = conn.pending.drain(..take).collect();
+        conn.in_flight = true;
+        let shared = Arc::clone(&self.shared);
+        let counters = Arc::clone(&conn.counters);
+        let submitted = self.shared.executor.submit(Box::new(move || {
+            let bytes = run_batch(&shared, &counters, ops);
+            shared.completions.lock().push(Completion { token, bytes });
+            shared.waker.wake();
+        }));
+        if !submitted {
+            // Shutting down: the loop is about to exit; drop the batch.
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.in_flight = false;
+            }
+        }
+    }
+
+    fn process_completions(&mut self) {
+        let config = self.shared.config.clone();
+        loop {
+            let done: Vec<Completion> = {
+                let mut completions = self.shared.completions.lock();
+                if completions.is_empty() {
+                    break;
+                }
+                std::mem::take(&mut *completions)
+            };
+            for completion in done {
+                let Some(conn) = self.conns.get_mut(&completion.token) else {
+                    continue;
+                };
+                conn.in_flight = false;
+                if conn.outbuf.is_empty() && !completion.bytes.is_empty() {
+                    // The write obligation starts now; stall tracking
+                    // must not count the idle time before it.
+                    conn.last_write_progress = Instant::now();
+                }
+                conn.outbuf.extend(completion.bytes);
+                // Opportunistic write: a just-completed batch almost
+                // always fits the socket buffer, so skip the EPOLLOUT
+                // round trip entirely in the common case.
+                self.flush_conn(completion.token);
+                self.try_submit(completion.token);
+                self.update_interest(completion.token, &config);
+            }
+            // Freed executor slots: retry connections parked on a full
+            // queue.
+            let stalled = std::mem::take(&mut self.stalled);
+            for token in stalled {
+                self.try_submit(token);
+                self.update_interest(token, &config);
+            }
+        }
+    }
+
+    /// Drain the outbuf as far as the socket accepts; closes the
+    /// connection on write failure or once everything owed is out and the
+    /// connection is marked to close.
+    fn flush_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while !conn.outbuf.is_empty() {
+            match conn.stream.write(conn.outbuf.remaining()) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.counters
+                        .bytes_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    conn.outbuf.advance(n);
+                    conn.last_write_progress = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        if conn.outbuf.is_empty() && conn.close_after_flush && conn.drained() {
+            self.close_conn(token);
+        }
+    }
+
+    /// Recompute and apply the connection's epoll interest from its state.
+    fn update_interest(&mut self, token: u64, config: &crate::server::ServerConfig) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let readable = !conn.poisoned
+            && !conn.peer_eof
+            && conn.pending.len() < config.max_pending_ops.max(1)
+            && conn.outbuf.len() < config.outbuf_high_water.max(1);
+        let writable = !conn.outbuf.is_empty();
+        if (readable, writable) != conn.interest {
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, readable, writable)
+                .is_err()
+            {
+                self.close_conn(token);
+                return;
+            }
+            conn.interest = (readable, writable);
+        }
+    }
+
+    /// Kill connections owing output that made no write progress for the
+    /// configured timeout — a pipelining client that never drains
+    /// responses must not hold buffers (and batches) forever.
+    fn check_write_stalls(&mut self) {
+        let timeout = self.shared.config.write_timeout;
+        if timeout.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        if now.duration_since(self.last_stall_check) < Duration::from_millis(100) {
+            return;
+        }
+        self.last_stall_check = now;
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                !conn.outbuf.is_empty() && now.duration_since(conn.last_write_progress) > timeout
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in dead {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.shared
+                .stats
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+        self.stalled.retain(|&t| t != token);
+    }
+
+    /// Graceful exit: stop reading, let in-flight batches complete, flush
+    /// what the sockets accept within a short deadline, close everything.
+    fn drain_on_shutdown(&mut self) {
+        for conn in self.conns.values_mut() {
+            conn.pending.clear();
+            conn.poisoned = true;
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            self.process_shutdown_completions();
+            let tokens: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| !c.outbuf.is_empty())
+                .map(|(&t, _)| t)
+                .collect();
+            for token in tokens {
+                self.flush_conn(token);
+            }
+            let owed = self
+                .conns
+                .values()
+                .any(|c| c.in_flight || !c.outbuf.is_empty());
+            if !owed || Instant::now() >= deadline {
+                break;
+            }
+            if self.poller.wait(&mut self.events, 50).is_err() {
+                break;
+            }
+            if self.events.iter().any(|e| e.token == TOKEN_WAKE) {
+                self.drain_wake();
+            }
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token);
+        }
+    }
+
+    /// Completion intake during drain: append and flush, but never submit
+    /// new batches.
+    fn process_shutdown_completions(&mut self) {
+        let done: Vec<Completion> = std::mem::take(&mut *self.shared.completions.lock());
+        for completion in done {
+            let Some(conn) = self.conns.get_mut(&completion.token) else {
+                continue;
+            };
+            conn.in_flight = false;
+            conn.outbuf.extend(completion.bytes);
+            self.flush_conn(completion.token);
+        }
+    }
+}

@@ -11,10 +11,15 @@
 //!   [`gdpr_core::GdprResponse`], and [`gdpr_core::GdprError`] variant
 //!   (audit-log payloads included), so remote semantics are byte-equivalent
 //!   to in-process execution;
-//! * [`pool`] — a bounded worker pool, hand-rolled on threads (the offline
-//!   build has no executor crate);
-//! * [`server`] — accept loop, pipelining with strictly ordered responses,
-//!   per-connection stats, graceful shutdown.
+//! * [`sys`] — a thin level-triggered epoll shim over raw syscalls (the
+//!   offline build has no I/O crate);
+//! * [`conn`] — per-connection state: an incremental [`conn::FrameDecoder`]
+//!   tolerating arbitrarily fragmented input, plus outbound buffering;
+//! * [`pool`] — the batch executor: a small hand-rolled thread pool running
+//!   one engine-side batch per job;
+//! * [`server`] — the readiness-driven event loop: one thread multiplexes
+//!   every connection, pipelined bursts execute as single engine batches,
+//!   responses stay strictly ordered, shutdown is graceful.
 //!
 //! The client side (`GdprClient`, `RemoteConnector`) lives in the
 //! `connectors` crate, next to the other connector variants, so the
@@ -23,11 +28,15 @@
 //! documented for external implementations in `crates/server/README.md`.
 
 pub mod codec;
+pub mod conn;
+mod event_loop;
 pub mod pool;
 pub mod server;
+pub mod sys;
 pub mod wire;
 
 pub use codec::{WireError, WireResult};
-pub use pool::WorkerPool;
+pub use conn::FrameDecoder;
+pub use pool::Executor;
 pub use server::{GdprServer, ServerConfig, ServerStats};
 pub use wire::{RequestBody, ResponseBody, StatsSnapshot, MAX_FRAME};

@@ -1,8 +1,14 @@
-//! A bounded worker pool, hand-rolled on threads + a condvar'd queue (the
-//! offline build has no executor crate). Submitting to a full queue blocks
-//! the caller — for the server that caller is a connection's frame reader,
-//! so a saturated pool turns into TCP backpressure on the client instead
-//! of unbounded buffering in the server.
+//! The engine-batch executor: a small hand-rolled thread pool (the
+//! offline build has no executor crate) that runs one job per
+//! server-side batch. Unlike the per-op worker pool it replaced, `submit`
+//! never blocks — the event loop must never park on a full queue — so
+//! admission control lives in [`Executor::has_capacity`]: the loop checks
+//! it before submitting and, when full, leaves the batch queued on its
+//! connection (which eventually pauses that connection's reads — TCP
+//! backpressure, same end state as the old blocking submit).
+//!
+//! The loop is the only submitter and workers only consume, so the
+//! check-then-submit pair cannot overshoot the capacity bound.
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -11,29 +17,27 @@ use std::sync::{Arc, Condvar};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-struct PoolShared {
+struct ExecShared {
     queue: Mutex<VecDeque<Job>>,
     /// Signals workers that a job (or shutdown) is available.
     not_empty: Condvar,
-    /// Signals submitters that queue slots freed up.
-    not_full: Condvar,
     capacity: usize,
     shutdown: AtomicBool,
 }
 
-/// Fixed worker threads over a bounded job queue.
-pub struct WorkerPool {
-    shared: Arc<PoolShared>,
+/// Fixed worker threads over a capacity-advised job queue.
+pub struct Executor {
+    shared: Arc<ExecShared>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
-impl WorkerPool {
-    /// `workers` threads over a queue of at most `capacity` waiting jobs.
-    pub fn new(workers: usize, capacity: usize) -> WorkerPool {
-        let shared = Arc::new(PoolShared {
+impl Executor {
+    /// `workers` threads; `has_capacity` reports false once `capacity`
+    /// jobs are waiting.
+    pub fn new(workers: usize, capacity: usize) -> Executor {
+        let shared = Arc::new(ExecShared {
             queue: Mutex::new(VecDeque::new()),
             not_empty: Condvar::new(),
-            not_full: Condvar::new(),
             capacity: capacity.max(1),
             shutdown: AtomicBool::new(false),
         });
@@ -43,31 +47,24 @@ impl WorkerPool {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        WorkerPool {
+        Executor {
             shared,
             workers: Mutex::new(handles),
         }
     }
 
-    /// Enqueue a job, blocking while the queue is at capacity. Returns
-    /// `false` (dropping the job) only after shutdown.
+    /// Is there room for another job under the advisory capacity bound?
+    pub fn has_capacity(&self) -> bool {
+        self.shared.queue.lock().len() < self.shared.capacity
+    }
+
+    /// Enqueue a job without blocking. Returns `false` (dropping the job)
+    /// only after shutdown.
     pub fn submit(&self, job: Job) -> bool {
-        let mut queue = self.shared.queue.lock();
-        while queue.len() >= self.shared.capacity {
-            if self.shared.shutdown.load(Ordering::Acquire) {
-                return false;
-            }
-            queue = self
-                .shared
-                .not_full
-                .wait(queue)
-                .unwrap_or_else(|e| e.into_inner());
-        }
         if self.shared.shutdown.load(Ordering::Acquire) {
             return false;
         }
-        queue.push_back(job);
-        drop(queue);
+        self.shared.queue.lock().push_back(job);
         self.shared.not_empty.notify_one();
         true
     }
@@ -82,26 +79,24 @@ impl WorkerPool {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
         for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-impl Drop for WorkerPool {
+impl Drop for Executor {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &ExecShared) {
     loop {
         let job = {
             let mut queue = shared.queue.lock();
             loop {
                 if let Some(job) = queue.pop_front() {
-                    shared.not_full.notify_one();
                     break job;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -113,8 +108,8 @@ fn worker_loop(shared: &PoolShared) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
-        // A panicking job must not take the worker (and with it a slot of
-        // the pool's capacity) down with it.
+        // A panicking job must not take the worker (and with it a slice of
+        // the executor's throughput) down with it.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
     }
 }
@@ -127,51 +122,71 @@ mod tests {
 
     #[test]
     fn runs_every_submitted_job() {
-        let pool = WorkerPool::new(4, 8);
+        let executor = Executor::new(4, 8);
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..100 {
             let counter = Arc::clone(&counter);
-            assert!(pool.submit(Box::new(move || {
+            assert!(executor.submit(Box::new(move || {
                 counter.fetch_add(1, Ordering::SeqCst);
             })));
         }
-        pool.shutdown();
+        executor.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 100);
     }
 
     #[test]
-    fn bounded_queue_applies_backpressure_without_loss() {
-        // One slow worker, capacity 2: submitters must block, not drop.
-        let pool = WorkerPool::new(1, 2);
-        let counter = Arc::new(AtomicUsize::new(0));
-        for _ in 0..20 {
-            let counter = Arc::clone(&counter);
-            pool.submit(Box::new(move || {
-                std::thread::sleep(Duration::from_millis(1));
-                counter.fetch_add(1, Ordering::SeqCst);
-            }));
+    fn capacity_is_advisory_and_observable() {
+        // One worker parked on a gate; capacity 2.
+        let executor = Executor::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        executor.submit(Box::new(move || {
+            let mut open = g.0.lock();
+            while !*open {
+                open = g.1.wait(open).unwrap_or_else(|e| e.into_inner());
+            }
+        }));
+        // Wait for the worker to take the gate job off the queue.
+        for _ in 0..200 {
+            if executor.queued() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
         }
-        pool.shutdown();
-        assert_eq!(counter.load(Ordering::SeqCst), 20);
+        assert!(executor.has_capacity());
+        executor.submit(Box::new(|| {}));
+        executor.submit(Box::new(|| {}));
+        // Two waiting jobs: the advisory bound is reached, but submit
+        // itself still never blocks or drops.
+        assert!(!executor.has_capacity());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        assert!(executor.submit(Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        })));
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        executor.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
 
     #[test]
     fn survives_panicking_jobs() {
-        let pool = WorkerPool::new(1, 4);
-        pool.submit(Box::new(|| panic!("job panic")));
+        let executor = Executor::new(1, 4);
+        executor.submit(Box::new(|| panic!("job panic")));
         let counter = Arc::new(AtomicUsize::new(0));
         let c = Arc::clone(&counter);
-        pool.submit(Box::new(move || {
+        executor.submit(Box::new(move || {
             c.fetch_add(1, Ordering::SeqCst);
         }));
-        pool.shutdown();
+        executor.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
 
     #[test]
     fn submit_after_shutdown_is_refused() {
-        let pool = WorkerPool::new(1, 1);
-        pool.shutdown();
-        assert!(!pool.submit(Box::new(|| {})));
+        let executor = Executor::new(1, 1);
+        executor.shutdown();
+        assert!(!executor.submit(Box::new(|| {})));
     }
 }

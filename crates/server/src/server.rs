@@ -1,29 +1,34 @@
-//! The TCP front-end: an accept loop, per-connection frame readers, a
-//! bounded worker pool executing requests, and a per-connection sequencer
-//! that emits responses in request order — so clients may pipeline many
-//! requests per connection and still rely on ordered, un-crossed replies.
+//! The TCP front-end: a readiness-driven event loop multiplexing every
+//! connection on one thread, with engine work executed as per-connection
+//! batches on a small executor pool.
 //!
 //! ```text
-//! client ──frames──▶ reader thread ──jobs──▶ WorkerPool (bounded)
-//!                       │ ticket per frame        │ execute on EngineHandle
-//!                       ▼                         ▼
-//!                  Sequencer (per connection): complete(ticket, bytes)
-//!                       └── writes contiguous tickets, in order ──▶ client
+//! clients ══╗   ┌────────── event loop (epoll, 1 thread) ──────────┐
+//!           ╠══▶│ nonblocking reads → FrameDecoder → pending ops   │
+//!           ╠══▶│   burst of N ops ──▶ Executor: execute_batch(N)  │
+//!           ╚══▶│ completions → per-conn outbuf → write draining   │
+//!               └──────────────────────────────────────────────────┘
 //! ```
 //!
-//! The reader is I/O-bound and cheap (one thread per connection); all
-//! engine work happens on the shared pool, whose bounded queue converts
-//! overload into TCP backpressure at the reader. Responses may *finish*
-//! out of order on the pool; the sequencer buffers completions and writes
-//! only the contiguous prefix, which restores request order exactly.
+//! Pipelined clients get their whole in-flight window executed as one
+//! engine-side batch: one executor handoff, one audit-lock acquisition,
+//! and one response write per burst instead of per op. Responses stay in
+//! request order because each connection has at most one batch in flight
+//! and a batch's responses are encoded in op order — no sequencer needed.
+//! Slow consumers are isolated by per-connection outbound buffers with a
+//! progress-based write timeout; slow producers cost one idle epoll
+//! registration, not a parked thread, so thousands of idle connections
+//! are served by the loop thread plus `workers` executor threads.
 
-use crate::pool::WorkerPool;
+use crate::conn::{ConnCounters, DecodedOp};
+use crate::event_loop::{wake_pair, Completion, EventLoop, Waker};
+use crate::pool::Executor;
+use crate::sys;
 use crate::wire::{self, RequestBody, ResponseBody, StatsSnapshot};
-use gdpr_core::EngineHandle;
+use gdpr_core::{EngineHandle, GdprQuery, Session};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
-use std::io::{self, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,20 +36,30 @@ use std::time::Duration;
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads executing requests (default: the machine's
+    /// Executor threads running engine batches (default: the machine's
     /// parallelism).
     pub workers: usize,
-    /// Bound on jobs waiting for a worker; a full queue blocks the
-    /// connection readers (TCP backpressure).
+    /// Bound on batches waiting for an executor thread; past it the event
+    /// loop leaves bursts pending on their connections, whose reads pause
+    /// once `max_pending_ops` accumulate (TCP backpressure).
     pub queue_depth: usize,
     /// Largest accepted frame.
     pub max_frame: usize,
-    /// Cap on one blocking response write. A client that pipelines
-    /// requests but never drains responses would otherwise park a pool
-    /// worker forever inside the connection's sequencer lock — with every
-    /// worker so parked, one misbehaving client starves the whole server.
-    /// Hitting the cap kills that connection instead.
+    /// A connection owing response bytes that makes no write progress for
+    /// this long is killed. A client that pipelines requests but never
+    /// drains responses would otherwise hold its outbound buffer (and the
+    /// memory behind it) forever.
     pub write_timeout: Duration,
+    /// Most ops one server-side batch may carry; a longer pipelined burst
+    /// is split so a single connection cannot monopolize an executor
+    /// thread for an unbounded stretch.
+    pub max_batch: usize,
+    /// Decoded-but-unexecuted ops a connection may accumulate before its
+    /// read interest is dropped.
+    pub max_pending_ops: usize,
+    /// Outbound-buffer size past which a connection's read interest is
+    /// dropped until the client drains responses.
+    pub outbuf_high_water: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +70,9 @@ impl Default for ServerConfig {
             queue_depth: workers * 32,
             max_frame: wire::MAX_FRAME,
             write_timeout: Duration::from_secs(30),
+            max_batch: 128,
+            max_pending_ops: 4096,
+            outbuf_high_water: 8 << 20,
         }
     }
 }
@@ -69,104 +87,24 @@ pub struct ServerStats {
     pub protocol_errors: AtomicU64,
 }
 
-/// Per-connection counters, served over the wire for `ConnStats`.
-#[derive(Debug, Default)]
-struct ConnCounters {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-}
-
-/// Orders responses of one connection: workers complete tickets in any
-/// order; only the contiguous prefix is written to the socket.
-struct Sequencer {
-    inner: Mutex<SequencerInner>,
-    counters: Arc<ConnCounters>,
-}
-
-struct SequencerInner {
-    stream: TcpStream,
-    /// The next ticket the socket is owed.
-    next: u64,
-    /// Completed-but-not-yet-writable responses, keyed by ticket.
-    pending: BTreeMap<u64, Vec<u8>>,
-    /// A failed write poisons the connection; later completions are
-    /// dropped instead of written out of order.
-    dead: bool,
-}
-
-impl Sequencer {
-    fn new(stream: TcpStream, counters: Arc<ConnCounters>) -> Sequencer {
-        Sequencer {
-            inner: Mutex::new(SequencerInner {
-                stream,
-                next: 0,
-                pending: BTreeMap::new(),
-                dead: false,
-            }),
-            counters,
-        }
-    }
-
-    fn complete(&self, ticket: u64, payload: Vec<u8>) {
-        let mut inner = self.inner.lock();
-        inner.pending.insert(ticket, payload);
-        // Drain the whole contiguous prefix into one buffer and write it
-        // with a single syscall — under pipelining many tickets complete
-        // close together, and per-response writes would dominate.
-        let mut burst = Vec::new();
-        loop {
-            let next = inner.next;
-            let Some(payload) = inner.pending.remove(&next) else {
-                break;
-            };
-            inner.next += 1;
-            if !inner.dead {
-                // Infallible: writing into a Vec.
-                let _ = wire::write_frame(&mut burst, &payload);
-            }
-        }
-        if !burst.is_empty() && !inner.dead {
-            if inner.stream.write_all(&burst).is_err() {
-                // Failed or timed out (see ServerConfig::write_timeout):
-                // the stream's framing can no longer be trusted. Poison
-                // the connection and shut the socket down so the reader
-                // side stops accepting work for it too.
-                inner.dead = true;
-                let _ = inner.stream.shutdown(Shutdown::Both);
-            } else {
-                self.counters
-                    .bytes_out
-                    .fetch_add(burst.len() as u64, Ordering::Relaxed);
-            }
-        }
-    }
-}
-
-struct ServerShared {
-    engine: EngineHandle,
-    pool: WorkerPool,
-    addr: SocketAddr,
-    max_frame: usize,
-    write_timeout: Duration,
-    shutdown: AtomicBool,
-    stats: ServerStats,
-    /// Stream clones per live connection, for unblocking readers at
-    /// shutdown; keyed by connection id so finished connections prune
-    /// themselves.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    /// Reader JoinHandles by connection id. Finished connections report
-    /// into `finished`; the accept loop reaps those handles so the map
-    /// tracks live connections, not every connection ever accepted.
-    readers: Mutex<HashMap<u64, std::thread::JoinHandle<()>>>,
-    finished: Mutex<Vec<u64>>,
+/// State shared between the server handle, the event loop, and executor
+/// batch jobs.
+pub(crate) struct ServerShared {
+    pub(crate) engine: EngineHandle,
+    pub(crate) executor: Executor,
+    pub(crate) addr: SocketAddr,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) stats: ServerStats,
+    /// Finished batches awaiting the loop (paired with a wake).
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    pub(crate) waker: Waker,
 }
 
 /// A running GDPR wire-protocol server over any [`EngineHandle`].
 pub struct GdprServer {
     shared: Arc<ServerShared>,
-    accept_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    loop_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl GdprServer {
@@ -175,23 +113,23 @@ impl GdprServer {
     pub fn bind(engine: EngineHandle, addr: &str, config: ServerConfig) -> io::Result<GdprServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let poller = sys::Poller::new()?;
+        let (waker, wake_rx) = wake_pair()?;
         let shared = Arc::new(ServerShared {
             engine,
-            pool: WorkerPool::new(config.workers, config.queue_depth),
+            executor: Executor::new(config.workers, config.queue_depth),
             addr: local,
-            max_frame: config.max_frame,
-            write_timeout: config.write_timeout,
+            config,
             shutdown: AtomicBool::new(false),
             stats: ServerStats::default(),
-            conns: Mutex::new(HashMap::new()),
-            readers: Mutex::new(HashMap::new()),
-            finished: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            waker,
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        let event_loop = EventLoop::new(Arc::clone(&shared), poller, listener, wake_rx)?;
+        let loop_handle = std::thread::spawn(move || event_loop.run());
         Ok(GdprServer {
             shared,
-            accept_handle: Mutex::new(Some(accept_handle)),
+            loop_handle: Mutex::new(Some(loop_handle)),
         })
     }
 
@@ -205,27 +143,18 @@ impl GdprServer {
         &self.shared.stats
     }
 
-    /// Graceful shutdown: stop accepting, unblock and join every
-    /// connection reader, drain in-flight requests, join the workers.
-    /// Idempotent.
+    /// Graceful shutdown: stop accepting, let in-flight batches complete,
+    /// flush what the sockets accept, close every connection, join the
+    /// loop and the executor. Idempotent.
     pub fn shutdown(&self) {
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.shared.addr);
-        if let Some(handle) = self.accept_handle.lock().take() {
+        self.shared.waker.wake();
+        if let Some(handle) = self.loop_handle.lock().take() {
             let _ = handle.join();
         }
-        // Unblock every reader parked in read_frame.
-        for stream in self.shared.conns.lock().values() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        let readers: Vec<_> = self.shared.readers.lock().drain().map(|(_, h)| h).collect();
-        for handle in readers {
-            let _ = handle.join();
-        }
-        self.shared.pool.shutdown();
+        self.shared.executor.shutdown();
     }
 }
 
@@ -235,127 +164,106 @@ impl Drop for GdprServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
-    let mut next_conn_id = 0u64;
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
+/// Execute one connection's batch and encode its responses, in op order,
+/// into a single buffer. Runs of consecutive `Execute` ops go through the
+/// engine's batch entry point; control ops and pre-encoded protocol
+/// errors are emitted at their positions.
+pub(crate) fn run_batch(
+    shared: &ServerShared,
+    counters: &ConnCounters,
+    ops: Vec<DecodedOp>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut run_seqs: Vec<u64> = Vec::new();
+    let mut run_ops: Vec<(Session, GdprQuery)> = Vec::new();
+    for op in ops {
+        match op {
+            DecodedOp::Request {
+                seq,
+                body: RequestBody::Execute(session, query),
+            } => {
+                run_seqs.push(seq);
+                run_ops.push((session, query));
+            }
+            other => {
+                flush_run(shared, counters, &mut run_seqs, &mut run_ops, &mut out);
+                match other {
+                    DecodedOp::Canned(payload) => {
+                        // Infallible: writing into a Vec.
+                        let _ = wire::write_frame(&mut out, &payload);
+                    }
+                    DecodedOp::Request { seq, body } => {
+                        let response = handle_control(shared, counters, body);
+                        let _ = wire::write_frame(&mut out, &wire::encode_response(seq, &response));
+                    }
                 }
-                // Persistent accept failures (e.g. fd exhaustion) must not
-                // busy-spin a core away from the worker pool.
-                std::thread::sleep(Duration::from_millis(20));
-                continue;
-            }
-        };
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        // Reap readers whose connections have ended — joining a finished
-        // thread is immediate, and without this the handle map would grow
-        // with every connection ever accepted on a long-lived server.
-        for conn_id in shared.finished.lock().drain(..) {
-            if let Some(handle) = shared.readers.lock().remove(&conn_id) {
-                let _ = handle.join();
             }
         }
-        // Response frames are small; waiting for ACKs to coalesce them
-        // (Nagle) would serialize the whole request/response pattern.
-        stream.set_nodelay(true).ok();
-        // See ServerConfig::write_timeout.
-        stream.set_write_timeout(Some(shared.write_timeout)).ok();
-        let conn_id = next_conn_id;
-        next_conn_id += 1;
-        shared
-            .stats
-            .connections_accepted
-            .fetch_add(1, Ordering::Relaxed);
-        shared
-            .stats
-            .connections_active
-            .fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().insert(conn_id, clone);
-        }
-        let conn_shared = Arc::clone(shared);
-        let handle = std::thread::spawn(move || {
-            serve_connection(&conn_shared, conn_id, stream);
-            conn_shared.conns.lock().remove(&conn_id);
-            conn_shared
-                .stats
-                .connections_active
-                .fetch_sub(1, Ordering::Relaxed);
-            conn_shared.finished.lock().push(conn_id);
-        });
-        shared.readers.lock().insert(conn_id, handle);
     }
+    flush_run(shared, counters, &mut run_seqs, &mut run_ops, &mut out);
+    out
 }
 
-/// Read frames until EOF/shutdown, handing each request to the pool under
-/// a read-order ticket; the sequencer restores that order on the way out.
-fn serve_connection(shared: &Arc<ServerShared>, _conn_id: u64, stream: TcpStream) {
-    let counters = Arc::new(ConnCounters::default());
-    let write_half = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let sequencer = Arc::new(Sequencer::new(write_half, Arc::clone(&counters)));
-    let mut reader = BufReader::new(stream);
-    let mut next_ticket = 0u64;
-    // Clean EOF or a dead/oversized stream ends the loop; in-flight jobs
-    // still complete through the sequencer.
-    while let Ok(Some(payload)) = wire::read_frame(&mut reader, shared.max_frame) {
-        counters
-            .bytes_in
-            .fetch_add(4 + payload.len() as u64, Ordering::Relaxed);
-        let ticket = next_ticket;
-        next_ticket += 1;
-        match wire::decode_request(&payload) {
-            Ok((seq, body)) => {
-                let job_shared = Arc::clone(shared);
-                let job_counters = Arc::clone(&counters);
-                let job_sequencer = Arc::clone(&sequencer);
-                let submitted = shared.pool.submit(Box::new(move || {
-                    // A panic below must still complete the ticket, or the
-                    // connection's response stream would stall forever.
-                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        handle_request(&job_shared, &job_counters, body)
-                    }))
-                    .unwrap_or_else(|_| {
-                        job_shared
-                            .stats
-                            .protocol_errors
-                            .fetch_add(1, Ordering::Relaxed);
-                        ResponseBody::Protocol("internal error executing request".to_string())
-                    });
-                    job_sequencer.complete(ticket, wire::encode_response(seq, &response));
-                }));
-                if !submitted {
-                    // Pool refused: the server is shutting down.
-                    break;
-                }
+/// Execute a run of `Execute` ops as one engine batch and encode its
+/// responses. A panic anywhere in the batch answers every op of the run
+/// with a protocol error instead of stalling the connection.
+fn flush_run(
+    shared: &ServerShared,
+    counters: &ConnCounters,
+    run_seqs: &mut Vec<u64>,
+    run_ops: &mut Vec<(Session, GdprQuery)>,
+    out: &mut Vec<u8>,
+) {
+    if run_ops.is_empty() {
+        return;
+    }
+    let seqs = std::mem::take(run_seqs);
+    let ops = std::mem::take(run_ops);
+    let count = ops.len() as u64;
+    shared.stats.requests.fetch_add(count, Ordering::Relaxed);
+    counters.requests.fetch_add(count, Ordering::Relaxed);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.engine.execute_batch(ops)
+    }));
+    match outcome {
+        Ok(results) => {
+            let mut results = results.into_iter();
+            for seq in seqs {
+                let body = match results.next() {
+                    Some(Ok(response)) => ResponseBody::Response(response),
+                    Some(Err(error)) => {
+                        shared.stats.gdpr_errors.fetch_add(1, Ordering::Relaxed);
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        ResponseBody::Error(error)
+                    }
+                    // A connector returning fewer results than ops would
+                    // otherwise desynchronize every later response.
+                    None => {
+                        shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        ResponseBody::Protocol(
+                            "batch executor returned too few results".to_string(),
+                        )
+                    }
+                };
+                let _ = wire::write_frame(out, &wire::encode_response(seq, &body));
             }
-            Err(err) => {
-                // The frame was intact but the payload is malformed: answer
-                // in order (the client may have pipelined good requests
-                // ahead of it), then stop trusting the stream.
+        }
+        Err(_) => {
+            for seq in seqs {
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let seq = payload
-                    .get(..8)
-                    .map_or(0, |b| u64::from_be_bytes(b.try_into().unwrap()));
-                sequencer.complete(
-                    ticket,
-                    wire::encode_response(seq, &ResponseBody::Protocol(err.to_string())),
+                let _ = wire::write_frame(
+                    out,
+                    &wire::encode_response(
+                        seq,
+                        &ResponseBody::Protocol("internal error executing request".to_string()),
+                    ),
                 );
-                break;
             }
         }
     }
 }
 
-fn handle_request(
+fn handle_control(
     shared: &ServerShared,
     counters: &ConnCounters,
     body: RequestBody,
@@ -363,6 +271,8 @@ fn handle_request(
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     counters.requests.fetch_add(1, Ordering::Relaxed);
     match body {
+        // Execute runs are batched in `run_batch`; a stray one here still
+        // answers correctly.
         RequestBody::Execute(session, query) => match shared.engine.execute(&session, &query) {
             Ok(response) => ResponseBody::Response(response),
             Err(error) => {
@@ -397,7 +307,9 @@ mod tests {
     use gdpr_core::store::RecordStore;
     use gdpr_core::{ComplianceEngine, GdprQuery, GdprResponse, Session};
     use std::collections::BTreeMap;
-    use std::time::Duration;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
 
     /// The same trivial in-memory store the engine's own tests use — the
     /// server must work over any RecordStore-backed engine.
@@ -583,10 +495,47 @@ mod tests {
         server.shutdown();
     }
 
+    /// Requests pipelined ahead of a malformed frame still answer, in
+    /// order, before the protocol error and the close.
+    #[test]
+    fn good_requests_ahead_of_poison_still_answer() {
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let controller = Session::controller();
+        for i in 0..3u64 {
+            let body = RequestBody::Execute(
+                controller.clone(),
+                GdprQuery::CreateRecord(record(&format!("p{i}"))),
+            );
+            wire::write_frame(&mut stream, &wire::encode_request(i, &body)).unwrap();
+        }
+        let mut garbage = 9u64.to_be_bytes().to_vec();
+        garbage.push(0xEE);
+        wire::write_frame(&mut stream, &garbage).unwrap();
+        for i in 0..3u64 {
+            let payload = wire::read_frame(&mut stream, wire::MAX_FRAME)
+                .unwrap()
+                .unwrap();
+            let (seq, body) = wire::decode_response(&payload).unwrap();
+            assert_eq!(seq, i);
+            assert_eq!(body, ResponseBody::Response(GdprResponse::Created));
+        }
+        let payload = wire::read_frame(&mut stream, wire::MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        let (seq, body) = wire::decode_response(&payload).unwrap();
+        assert_eq!(seq, 9);
+        assert!(matches!(body, ResponseBody::Protocol(_)));
+        assert!(matches!(
+            wire::read_frame(&mut stream, wire::MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        server.shutdown();
+    }
+
     /// A client that pipelines requests but never drains responses must
-    /// not park the (single) pool worker forever inside its sequencer:
-    /// the write timeout kills that connection and other clients keep
-    /// being served.
+    /// not wedge the server: its stalled outbound buffer trips the write
+    /// timeout and other clients keep being served.
     #[test]
     fn non_draining_client_cannot_starve_other_connections() {
         let engine: EngineHandle = Arc::new(ComplianceEngine::new(MemStore::new()));
@@ -596,8 +545,8 @@ mod tests {
             ServerConfig {
                 workers: 1,
                 queue_depth: 4,
-                max_frame: wire::MAX_FRAME,
                 write_timeout: Duration::from_millis(200),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -636,7 +585,183 @@ mod tests {
             .unwrap();
         let (_, body) = call(&mut probe, 1, &RequestBody::Ping(vec![42]));
         assert_eq!(body, ResponseBody::Pong(vec![42]));
+        // And the staller is eventually killed, releasing its state.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().connections_active.load(Ordering::Relaxed) > 2 {
+            assert!(Instant::now() < deadline, "staller never reaped");
+            std::thread::sleep(Duration::from_millis(20));
+        }
         drop(staller);
+        server.shutdown();
+    }
+
+    /// Frames delivered one byte at a time (and split across arbitrary
+    /// write boundaries) must reassemble exactly — the nonblocking decode
+    /// path sees whatever fragments the kernel delivers.
+    #[test]
+    fn byte_by_byte_frames_reassemble() {
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let frame = {
+            let mut buf = Vec::new();
+            wire::write_frame(
+                &mut buf,
+                &wire::encode_request(5, &RequestBody::Ping(vec![9, 9])),
+            )
+            .unwrap();
+            buf
+        };
+        for byte in &frame {
+            stream.write_all(&[*byte]).unwrap();
+            stream.flush().unwrap();
+        }
+        let payload = wire::read_frame(&mut stream, wire::MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        let (seq, body) = wire::decode_response(&payload).unwrap();
+        assert_eq!((seq, body), (5, ResponseBody::Pong(vec![9, 9])));
+
+        // Two frames split mid-header across one write boundary.
+        let mut two = Vec::new();
+        wire::write_frame(
+            &mut two,
+            &wire::encode_request(6, &RequestBody::Ping(vec![1])),
+        )
+        .unwrap();
+        wire::write_frame(
+            &mut two,
+            &wire::encode_request(7, &RequestBody::Ping(vec![2])),
+        )
+        .unwrap();
+        let cut = two.len() / 2 + 1;
+        stream.write_all(&two[..cut]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        stream.write_all(&two[cut..]).unwrap();
+        for (want_seq, want_blob) in [(6u64, vec![1u8]), (7, vec![2])] {
+            let payload = wire::read_frame(&mut stream, wire::MAX_FRAME)
+                .unwrap()
+                .unwrap();
+            let (seq, body) = wire::decode_response(&payload).unwrap();
+            assert_eq!((seq, body), (want_seq, ResponseBody::Pong(want_blob)));
+        }
+        server.shutdown();
+    }
+
+    /// An oversized length prefix is fatal for the connection — no
+    /// response can be attributed to a seq once framing is gone.
+    #[test]
+    fn hostile_length_kills_the_connection() {
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        stream.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(matches!(
+            wire::read_frame(&mut stream, wire::MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        assert_eq!(server.stats().protocol_errors.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    /// A churn of short-lived connections must leave no per-connection
+    /// state behind: the active gauge returns to zero and the server
+    /// still serves.
+    #[test]
+    fn connection_churn_leaves_no_state() {
+        let server = spawn_server();
+        let churn = 500u64;
+        for i in 0..churn {
+            let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+            let (_, body) = call(&mut stream, i, &RequestBody::Ping(vec![i as u8]));
+            assert_eq!(body, ResponseBody::Pong(vec![i as u8]));
+        }
+        assert_eq!(
+            server.stats().connections_accepted.load(Ordering::Relaxed),
+            churn
+        );
+        // Closures are detected on the loop's next wake; give them time.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().connections_active.load(Ordering::Relaxed) > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "leaked {} connections' state",
+                server.stats().connections_active.load(Ordering::Relaxed)
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut probe = TcpStream::connect(server.local_addr()).unwrap();
+        let (_, body) = call(&mut probe, 0, &RequestBody::Ping(vec![1]));
+        assert_eq!(body, ResponseBody::Pong(vec![1]));
+        server.shutdown();
+    }
+
+    /// A slow writer (request dribbled byte-by-byte) and a slow reader
+    /// (responses drained in tiny chunks) sharing the server with a
+    /// pipelining client: everyone completes, nothing crosses.
+    #[test]
+    fn slow_reader_slow_writer_pair_under_load() {
+        let server = spawn_server();
+        let addr = server.local_addr();
+        let flood = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let controller = Session::controller();
+            let n = 200u64;
+            for i in 0..n {
+                let body = RequestBody::Execute(
+                    controller.clone(),
+                    GdprQuery::CreateRecord(record(&format!("f{i}"))),
+                );
+                wire::write_frame(&mut stream, &wire::encode_request(i, &body)).unwrap();
+            }
+            for i in 0..n {
+                let payload = wire::read_frame(&mut stream, wire::MAX_FRAME)
+                    .unwrap()
+                    .unwrap();
+                let (seq, body) = wire::decode_response(&payload).unwrap();
+                assert_eq!(seq, i);
+                assert_eq!(body, ResponseBody::Response(GdprResponse::Created));
+            }
+        });
+
+        // Slow writer: dribble a ping frame with pauses while the flood
+        // runs.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        let mut frame = Vec::new();
+        wire::write_frame(
+            &mut frame,
+            &wire::encode_request(1, &RequestBody::Ping(vec![5; 32])),
+        )
+        .unwrap();
+        for chunk in frame.chunks(3) {
+            slow.write_all(chunk).unwrap();
+            slow.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Slow reader: drain the response two bytes at a time.
+        let mut response = Vec::new();
+        let mut buf = [0u8; 2];
+        slow.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        loop {
+            let n = slow.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed on the slow client");
+            response.extend_from_slice(&buf[..n]);
+            if response.len() >= 4 {
+                let len = u32::from_be_bytes(response[..4].try_into().unwrap()) as usize;
+                if response.len() >= 4 + len {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (seq, body) = wire::decode_response(&response[4..]).unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(body, ResponseBody::Pong(vec![5; 32]));
+        flood.join().unwrap();
         server.shutdown();
     }
 

@@ -1,0 +1,357 @@
+//! A thin epoll shim over raw Linux syscalls — the readiness layer under
+//! the server's event loop. Hand-rolled (inline `syscall`/`svc`
+//! instructions, no libc) because the offline build has no I/O crate, in
+//! the same no-external-deps style as [`crate::pool`].
+//!
+//! Only what the loop needs is exposed: create, register/modify/remove a
+//! fd with a `u64` token, and wait. Registration is level-triggered — the
+//! loop re-arms nothing and can leave data unread (e.g. a paused
+//! connection) without losing the readiness edge.
+//!
+//! Non-Linux (or non-x86_64/aarch64) builds compile against a stub whose
+//! [`Poller::new`] fails with `Unsupported`; the server surfaces that at
+//! bind time instead of at first wait.
+
+/// One readiness notification for a registered fd.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable — including error/hangup conditions, so the handler's
+    /// `read()` observes and reports them.
+    pub readable: bool,
+    /// Writable — including error conditions, surfaced via `write()`.
+    pub writable: bool,
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const CLOSE: usize = 3;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EPOLL_CREATE1: usize = 291;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const CLOSE: usize = 57;
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+    const EPOLL_CLOEXEC: usize = 0x80000;
+
+    /// The kernel's `struct epoll_event`: packed on x86_64 only, exactly
+    /// as the UAPI header declares it.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc #0",
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            in("x8") nr,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    fn interest_mask(readable: bool, writable: bool) -> u32 {
+        let mut events = 0;
+        if readable {
+            events |= EPOLLIN | EPOLLRDHUP;
+        }
+        if writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    /// A level-triggered epoll instance.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+            Ok(Poller { epfd: fd as RawFd })
+        }
+
+        fn ctl(&self, op: usize, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events,
+                data: token,
+            };
+            let ptr = if op == EPOLL_CTL_DEL {
+                std::ptr::null_mut()
+            } else {
+                &mut event as *mut EpollEvent
+            };
+            check(unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    self.epfd as usize,
+                    op,
+                    fd as usize,
+                    ptr as usize,
+                    0,
+                    0,
+                )
+            })
+            .map(|_| ())
+        }
+
+        /// Register `fd` under `token` with the given interest.
+        pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest_mask(readable, writable), token)
+        }
+
+        /// Replace the interest of an already-registered fd.
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest_mask(readable, writable), token)
+        }
+
+        /// Deregister `fd`.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Block up to `timeout_ms` (-1 = forever) for readiness; fills
+        /// `out` (cleared first) with up to its capacity in events.
+        /// Retries interrupted waits internally.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            out.clear();
+            let cap = out.capacity().max(64);
+            let mut raw: Vec<EpollEvent> = vec![EpollEvent { events: 0, data: 0 }; cap];
+            loop {
+                let ret = unsafe {
+                    syscall6(
+                        nr::EPOLL_PWAIT,
+                        self.epfd as usize,
+                        raw.as_mut_ptr() as usize,
+                        cap,
+                        timeout_ms as usize,
+                        0, // NULL sigmask: plain epoll_wait semantics
+                        0,
+                    )
+                };
+                match check(ret) {
+                    Ok(n) => {
+                        for event in &raw[..n] {
+                            let bits = event.events;
+                            out.push(Event {
+                                token: event.data,
+                                readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                                writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                            });
+                        }
+                        return Ok(());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            let _ = unsafe { syscall6(nr::CLOSE, self.epfd as usize, 0, 0, 0, 0, 0) };
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+
+    /// Stub for targets without the raw-epoll shim: construction fails,
+    /// so `GdprServer::bind` reports the missing readiness backend
+    /// up front rather than at first wait.
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "gdpr-server event loop requires Linux epoll (x86_64/aarch64)",
+            ))
+        }
+
+        pub fn add(&self, _fd: RawFd, _token: u64, _r: bool, _w: bool) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn modify(&self, _fd: RawFd, _token: u64, _r: bool, _w: bool) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn wait(&self, _out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+    }
+}
+
+pub use imp::Poller;
+
+#[cfg(all(
+    test,
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readiness_tracks_data_and_interest() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = loopback_pair();
+        poller.add(b.as_raw_fd(), 7, true, false).unwrap();
+
+        // Nothing to read yet: a short wait returns no events.
+        let mut events = Vec::with_capacity(8);
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.iter().all(|e| e.token != 7));
+
+        a.write_all(b"ping").unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        let event = events.iter().find(|e| e.token == 7).expect("readable");
+        assert!(event.readable && !event.writable);
+
+        // Level-triggered: unread data keeps reporting.
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        let mut buf = [0u8; 16];
+        let n = b.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Write interest on an idle socket fires immediately.
+        poller.modify(b.as_raw_fd(), 7, true, true).unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+
+        poller.delete(b.as_raw_fd()).unwrap();
+        a.write_all(b"more").unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.iter().all(|e| e.token != 7));
+    }
+
+    #[test]
+    fn hangup_reports_as_readable() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = loopback_pair();
+        poller.add(b.as_raw_fd(), 3, true, false).unwrap();
+        drop(a);
+        let mut events = Vec::with_capacity(8);
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+    }
+}

@@ -638,6 +638,71 @@ mod server_wire {
             }
         });
     }
+
+    /// The nonblocking [`FrameDecoder`] agrees with the blocking
+    /// `read_frame` on every stream, however the kernel fragments it:
+    /// random chunking yields the same frames in the same order, and
+    /// truncation at any point leaves the tail pending — never an error,
+    /// never a bogus frame (the event loop must treat a partial frame as
+    /// "wait for more", not as EOF or poison).
+    #[test]
+    fn frame_decoder_matches_blocking_reads_under_any_chunking() {
+        use gdprbench_repro::gdpr_server::FrameDecoder;
+        run_cases(64, |rng| {
+            let payloads: Vec<Vec<u8>> = (0..rng.gen_range(1usize..6))
+                .map(|_| {
+                    let (seq, rv) = (rng.gen::<u64>(), rng.gen::<u32>());
+                    encode_request(seq, &arb_request(rng, rv))
+                })
+                .collect();
+            let mut stream = Vec::new();
+            for payload in &payloads {
+                write_frame(&mut stream, payload).unwrap();
+            }
+            // Deliver in random-size chunks (1..=32 bytes), draining after
+            // each push.
+            let mut decoder = FrameDecoder::new(MAX_FRAME);
+            let mut got = Vec::new();
+            let mut at = 0;
+            while at < stream.len() {
+                let step = rng.gen_range(1usize..33).min(stream.len() - at);
+                decoder.push(&stream[at..at + step]);
+                at += step;
+                while let Some(frame) = decoder.next_frame().expect("valid lengths only") {
+                    got.push(frame);
+                }
+            }
+            assert_eq!(got, payloads);
+            assert_eq!(decoder.buffered(), 0, "a clean stream leaves nothing");
+
+            // Truncation anywhere: complete prefix frames decode, the cut
+            // frame stays pending.
+            let cut = rng.gen_range(0usize..stream.len() + 1);
+            let mut decoder = FrameDecoder::new(MAX_FRAME);
+            decoder.push(&stream[..cut]);
+            let mut prefix = Vec::new();
+            while let Some(frame) = decoder.next_frame().expect("valid lengths only") {
+                prefix.push(frame);
+            }
+            let whole: Vec<&Vec<u8>> = payloads
+                .iter()
+                .scan(0usize, |end, p| {
+                    *end += 4 + p.len();
+                    Some((*end, p))
+                })
+                .filter(|(end, _)| *end <= cut)
+                .map(|(_, p)| p)
+                .collect();
+            assert_eq!(prefix.iter().collect::<Vec<_>>(), whole, "cut at {cut}");
+            // Feeding the rest completes the stream exactly.
+            decoder.push(&stream[cut..]);
+            let mut rest = Vec::new();
+            while let Some(frame) = decoder.next_frame().expect("valid lengths only") {
+                rest.push(frame);
+            }
+            assert_eq!(prefix.len() + rest.len(), payloads.len());
+        });
+    }
 }
 
 // ---------------------------------------------------------------------------
