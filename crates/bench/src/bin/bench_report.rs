@@ -1,10 +1,10 @@
-//! Machine-readable benchmark report: runs the `remote_throughput` and
-//! `shard_scaling` experiment suites in one process and writes a
-//! suite → metric → value JSON file (default `BENCH_6.json`) alongside
-//! the usual text tables.
+//! Machine-readable benchmark report: runs the `remote_throughput`,
+//! encrypted-transport, and `shard_scaling` experiment suites in one
+//! process and writes a suite → metric → value JSON file (default
+//! `BENCH_7.json`) alongside the usual text tables.
 //!
 //! ```sh
-//! bench_report --records 20000 --ops 60000 --out BENCH_6.json
+//! bench_report --records 20000 --ops 60000 --out BENCH_7.json
 //! ```
 //!
 //! Accepts the common experiment flags (`--records`, `--ops`,
@@ -14,15 +14,15 @@
 
 use bench::cli::Params;
 use bench::experiments::remote::{
-    run_connection_scaling, run_depth_sweep, run_remote_comparison, DEFAULT_CLIENTS, DEPTH_SWEEP,
-    IDLE_LADDER,
+    run_connection_scaling, run_depth_sweep, run_encryption_ladder, run_remote_comparison,
+    DEFAULT_CLIENTS, DEPTH_SWEEP, IDLE_LADDER,
 };
 use bench::experiments::sharding::{run_point_op_scaling, DEFAULT_LADDER};
 use bench::report::BenchReport;
 
 fn main() {
     // Peel off `--out PATH`; everything else is the common flag set.
-    let mut out_path = "BENCH_6.json".to_string();
+    let mut out_path = "BENCH_7.json".to_string();
     let mut rest = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -41,7 +41,7 @@ fn main() {
     let params = match Params::parse_from(rest) {
         Ok(params) => params,
         Err(msg) => {
-            eprintln!("{msg}\nplus: [--out PATH] (default BENCH_6.json)");
+            eprintln!("{msg}\nplus: [--out PATH] (default BENCH_7.json)");
             std::process::exit(2);
         }
     };
@@ -79,7 +79,34 @@ fn main() {
         }
     }
 
-    // Suite 2: pipeline-depth sweep at a fixed client count.
+    // Suite 2: plaintext vs encrypted transport, pipelined.
+    let (enc_table, enc_series) =
+        run_encryption_ladder(&clients, shards, params.records, params.ops);
+    println!("{}", enc_table.render());
+    for (transport, client_count, throughput) in &enc_series {
+        let metric = format!(
+            "{}_c{client_count}_ops_per_sec",
+            transport.replace('/', "_")
+        );
+        report.record("encrypted_transport", &metric, *throughput);
+    }
+    for &client_count in &clients {
+        let find = |transport: &str| {
+            enc_series
+                .iter()
+                .find(|(t, c, _)| *t == transport && *c == client_count)
+                .map(|&(_, _, tp)| tp)
+        };
+        if let (Some(plain), Some(encrypted)) = (find("tcp/plaintext"), find("tcp/encrypted")) {
+            report.record(
+                "encrypted_transport",
+                &format!("encrypted_vs_plaintext_c{client_count}"),
+                encrypted / plain.max(1e-9),
+            );
+        }
+    }
+
+    // Suite 3: pipeline-depth sweep at a fixed client count.
     let (depth_table, depth_series) =
         run_depth_sweep(shards, params.records, params.ops, params.threads);
     println!("{}", depth_table.render());
@@ -98,7 +125,7 @@ fn main() {
         );
     }
 
-    // Suite 3: active pipelined throughput vs idle-connection count.
+    // Suite 4: active pipelined throughput vs idle-connection count.
     let (conn_table, conn_series) = run_connection_scaling(
         shards,
         params.records,
@@ -115,7 +142,7 @@ fn main() {
         );
     }
 
-    // Suite 4: shard-scaling ladder (in-process point ops).
+    // Suite 5: shard-scaling ladder (in-process point ops).
     let (shard_table, shard_series) =
         run_point_op_scaling(&DEFAULT_LADDER, params.records, params.ops, params.threads);
     println!("{}", shard_table.render());

@@ -22,10 +22,14 @@ conn_scale — connection-scale smoke against a running gdpr-serve
 
 USAGE:
   conn_scale [--addr HOST:PORT] [--conns N] [--active N] [--ops N] [--records N]
+             [--encrypt] [--encrypt-key KEY]
 
 Defaults: --addr 127.0.0.1:7878, --conns 1000 idle connections, --active 8
 pipelined clients, --ops 20000, --records 2000 preloaded keys (prefix cs,
-disjoint from other workloads on the same server).";
+disjoint from other workloads on the same server). --encrypt (or
+GDPR_ENCRYPT=1) runs every connection over the SecureChannel transport —
+the key must match the server's. The process raises its own fd soft limit
+toward 2*conns+1024 before connecting.";
 
 const PIPELINE_DEPTH: usize = 32;
 
@@ -35,6 +39,7 @@ struct Args {
     active: usize,
     ops: u64,
     records: usize,
+    encrypt: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         active: 8,
         ops: 20_000,
         records: 2_000,
+        encrypt: gdpr_server::secure::encrypt_key_from_env(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -69,6 +75,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--records: {e}"))?;
             }
+            "--encrypt" => {
+                args.encrypt
+                    .get_or_insert_with(|| gdpr_server::secure::DEFAULT_PSK.to_string());
+            }
+            "--encrypt-key" => args.encrypt = Some(take("encrypt-key")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
@@ -116,13 +127,36 @@ fn main() {
         }
     };
 
+    // The client side needs one fd per connection too; raise the soft
+    // limit before opening a 10k population (the server raises its own).
+    let fd_target = (args.conns as u64 * 2 + 1024).max(4096);
+    match gdpr_server::sys::raise_nofile_limit(fd_target) {
+        Ok(limit) if limit < args.conns as u64 + 64 => {
+            eprintln!(
+                "conn_scale: fd soft limit {limit} is below --conns {}; connects may fail",
+                args.conns
+            );
+        }
+        Ok(_) => {}
+        Err(e) => eprintln!("conn_scale: could not raise fd limit: {e}"),
+    }
+    let encrypt = args.encrypt.as_deref();
+    println!(
+        "conn_scale: transport {}",
+        if encrypt.is_some() {
+            "encrypted (SecureChannel)"
+        } else {
+            "plaintext"
+        }
+    );
+
     // 1. Open the idle population. One echo each so every socket is fully
     // accepted and registered with the server's event loop before the
     // load starts.
     let connect_start = Instant::now();
     let idle: Vec<GdprClient> = (0..args.conns)
         .map(|i| {
-            let conn = GdprClient::connect(&args.addr)
+            let conn = GdprClient::connect_with(&args.addr, encrypt)
                 .unwrap_or_else(|e| panic!("idle connect #{i} to {}: {e}", args.addr));
             conn.ping(b"idle")
                 .unwrap_or_else(|e| panic!("idle ping #{i}: {e}"));
@@ -137,7 +171,7 @@ fn main() {
 
     // 2. Preload the smoke keyspace (prefix cs — disjoint from anything
     // else driving the same server) through one pipelined client.
-    let loader = GdprClient::connect(&args.addr).expect("loader connect");
+    let loader = GdprClient::connect_with(&args.addr, encrypt).expect("loader connect");
     let controller = Session::controller();
     for chunk_start in (0..args.records).step_by(PIPELINE_DEPTH) {
         let batch: Vec<_> = (chunk_start..(chunk_start + PIPELINE_DEPTH).min(args.records))
@@ -157,9 +191,11 @@ fn main() {
     std::thread::scope(|scope| {
         for t in 0..active {
             let addr = args.addr.clone();
+            let encrypt_key = args.encrypt.clone();
             let quota = ops / active as u64 + u64::from((t as u64) < ops % active as u64);
             scope.spawn(move || {
-                let client = GdprClient::connect(&addr).expect("active connect");
+                let client = GdprClient::connect_with(&addr, encrypt_key.as_deref())
+                    .expect("active connect");
                 let mut rng = SmallRng::seed_from_u64(0xC0A7 ^ t as u64);
                 let mut left = quota;
                 while left > 0 {

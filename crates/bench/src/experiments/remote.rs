@@ -103,6 +103,8 @@ pub fn run_in_process(engine: &EngineHandle, records: usize, ops: u64, clients: 
 
 /// Loopback TCP: one `GdprClient` per thread against `addr`, one round
 /// trip per op (`pipeline_depth` = 1) or batched (`pipeline_depth` > 1).
+/// The transport follows `GDPR_ENCRYPT` (like the server's default
+/// config); [`run_remote_with`] pins it explicitly.
 pub fn run_remote(
     addr: &str,
     records: usize,
@@ -110,12 +112,26 @@ pub fn run_remote(
     clients: usize,
     pipeline_depth: usize,
 ) -> Duration {
+    let key = gdpr_server::secure::encrypt_key_from_env();
+    run_remote_with(addr, records, ops, clients, pipeline_depth, key.as_deref())
+}
+
+/// [`run_remote`] with the transport pinned: `encrypt` carries the
+/// pre-shared key for the SecureChannel handshake, `None` is plaintext.
+pub fn run_remote_with(
+    addr: &str,
+    records: usize,
+    ops: u64,
+    clients: usize,
+    pipeline_depth: usize,
+    encrypt: Option<&str>,
+) -> Duration {
     let start = Instant::now();
     std::thread::scope(|scope| {
         for (t, quota) in quotas(ops, clients).into_iter().enumerate() {
             let addr = addr.to_string();
             scope.spawn(move || {
-                let client = GdprClient::connect(&addr).expect("connect");
+                let client = GdprClient::connect_with(&addr, encrypt).expect("connect");
                 let mut rng = SmallRng::seed_from_u64(0x5EED ^ t as u64);
                 let mut left = quota;
                 while left > 0 {
@@ -244,8 +260,9 @@ pub fn run_depth_sweep(
     (table, series)
 }
 
-/// Idle-connection ladder for the connection-scaling experiment.
-pub const IDLE_LADDER: [usize; 3] = [0, 512, 2048];
+/// Idle-connection ladder for the connection-scaling experiment. The top
+/// rung matches the 10k-connection CI smoke (`conn_scale --conns 10000`).
+pub const IDLE_LADDER: [usize; 4] = [0, 512, 2048, 10_000];
 
 /// Measured `(idle_connections, ops/s)` rows.
 pub type ConnSeries = Vec<(usize, f64)>;
@@ -270,6 +287,19 @@ pub fn run_connection_scaling(
         &["idle conns", "completion", "ops/s", "vs 0 idle"],
     );
     let mut series = ConnSeries::new();
+    // Client and server share this process, so every idle connection
+    // costs two descriptors; raise the soft limit before the big rungs,
+    // and skip (loudly) any rung the hard limit cannot fit — the
+    // separate-process `conn_scale` smoke covers those populations with
+    // one descriptor per side.
+    let peak = idle_ladder.iter().copied().max().unwrap_or(0);
+    let budget = match gdpr_server::sys::raise_nofile_limit((peak as u64 * 2 + 1024).max(4096)) {
+        Ok(limit) => (limit.saturating_sub(512) / 2) as usize,
+        Err(e) => {
+            eprintln!("connection scaling: could not raise fd limit: {e}");
+            usize::MAX
+        }
+    };
     let engine = build_engine(shards, records);
     let server = GdprServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default())
         .expect("bind loopback server");
@@ -277,6 +307,14 @@ pub fn run_connection_scaling(
 
     let mut baseline: Option<f64> = None;
     for &idle in idle_ladder {
+        if idle > budget {
+            eprintln!(
+                "connection scaling: skipping the {idle}-idle rung — the fd limit fits \
+                 ~{budget} in-process connections (run `conn_scale --conns {idle}` against \
+                 a separate gdpr-serve process instead)"
+            );
+            continue;
+        }
         let idle_conns: Vec<GdprClient> = (0..idle)
             .map(|_| GdprClient::connect(&addr).expect("idle connect"))
             .collect();
@@ -303,6 +341,93 @@ pub fn run_connection_scaling(
         series.push((idle, throughput));
     }
     server.shutdown();
+    (table, series)
+}
+
+/// Measured `(transport, clients, ops/s)` rows.
+pub type EncSeries = Vec<(&'static str, usize, f64)>;
+
+/// Plaintext vs encrypted loopback TCP: the pipelined point-op workload
+/// against two servers over the *same* engine, one plaintext and one
+/// requiring the SecureChannel handshake. The delta is the end-to-end
+/// cost of the record layer (seal + open + 16 bytes per frame) at each
+/// client count.
+pub fn run_encryption_ladder(
+    client_counts: &[usize],
+    shards: usize,
+    records: usize,
+    ops: u64,
+) -> (ExperimentTable, EncSeries) {
+    let mut table = ExperimentTable::new(
+        format!(
+            "Plaintext vs encrypted TCP — pipelined point-op workload ({records} records, \
+             {ops} ops, {shards} shards, pipeline depth {PIPELINE_DEPTH})"
+        ),
+        &[
+            "transport",
+            "clients",
+            "completion",
+            "ops/s",
+            "vs plaintext",
+        ],
+    );
+    let mut series = EncSeries::new();
+    let engine = build_engine(shards, records);
+    let plain_config = ServerConfig {
+        encrypt: None,
+        ..Default::default()
+    };
+    let enc_config = ServerConfig {
+        encrypt: Some(gdpr_server::secure::DEFAULT_PSK.to_string()),
+        ..Default::default()
+    };
+    let plain_server = GdprServer::bind(Arc::clone(&engine), "127.0.0.1:0", plain_config)
+        .expect("bind plaintext server");
+    let enc_server = GdprServer::bind(Arc::clone(&engine), "127.0.0.1:0", enc_config)
+        .expect("bind encrypted server");
+    let plain_addr = plain_server.local_addr().to_string();
+    let enc_addr = enc_server.local_addr().to_string();
+    let key = Some(gdpr_server::secure::DEFAULT_PSK);
+
+    for &clients in client_counts {
+        run_remote_with(
+            &plain_addr,
+            records,
+            (ops / 10).max(1),
+            clients,
+            PIPELINE_DEPTH,
+            None,
+        );
+        let plain = run_remote_with(&plain_addr, records, ops, clients, PIPELINE_DEPTH, None);
+        let plain_tp = ops as f64 / plain.as_secs_f64().max(1e-9);
+
+        run_remote_with(
+            &enc_addr,
+            records,
+            (ops / 10).max(1),
+            clients,
+            PIPELINE_DEPTH,
+            key,
+        );
+        let encrypted = run_remote_with(&enc_addr, records, ops, clients, PIPELINE_DEPTH, key);
+        let encrypted_tp = ops as f64 / encrypted.as_secs_f64().max(1e-9);
+
+        for (transport, completion, throughput) in [
+            ("tcp/plaintext", plain, plain_tp),
+            ("tcp/encrypted", encrypted, encrypted_tp),
+        ] {
+            table.push_row(vec![
+                transport.to_string(),
+                clients.to_string(),
+                crate::report::fmt_duration(completion),
+                fmt_ops(throughput),
+                format!("{:.0}%", 100.0 * throughput / plain_tp.max(1e-9)),
+            ]);
+            series.push((transport, clients, throughput));
+        }
+    }
+    plain_server.shutdown();
+    enc_server.shutdown();
     (table, series)
 }
 
@@ -354,6 +479,26 @@ mod tests {
         assert_eq!(series[0].0, 0);
         assert_eq!(series[1].0, 64);
         assert!(series.iter().all(|&(_, tp)| tp > 0.0));
+    }
+
+    /// The encryption ladder reports both transports at every client
+    /// count, and the two servers really differ: the encrypted rung is
+    /// driven through the SecureChannel handshake, the plaintext one
+    /// without.
+    #[test]
+    fn encryption_ladder_runs_both_transports() {
+        let _gate = crate::timing_gate();
+        let (table, series) = run_encryption_ladder(&[1, 2], 2, 120, 400);
+        assert_eq!(table.rows.len(), 4);
+        assert_eq!(series.len(), 4);
+        for (transport, clients, throughput) in &series {
+            assert!(
+                *throughput > 0.0,
+                "transport {transport} at {clients} clients reported no throughput"
+            );
+        }
+        assert!(series.iter().any(|(t, _, _)| *t == "tcp/encrypted"));
+        assert!(series.iter().any(|(t, _, _)| *t == "tcp/plaintext"));
     }
 
     /// Remote and in-process modes drive the same engine: the record count

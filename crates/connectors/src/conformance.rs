@@ -1385,6 +1385,91 @@ fn remote_view_is_byte_equivalent_to_in_process() {
     }
 }
 
+/// The same acceptance bar for the *encrypted* transport, pinned
+/// explicitly (not via `GDPR_ENCRYPT`) so it runs in every suite
+/// invocation: one engine instance reachable in-process, over plaintext
+/// TCP, and over the encrypted transport — all three views must agree on
+/// every response, and the cipher boundary must reject a mismatched key.
+#[test]
+fn encrypted_transport_is_byte_equivalent_to_plaintext_and_in_process() {
+    let local: EngineHandle = Arc::new(RedisConnector::with_metadata_index(open_kv()).unwrap());
+    let plain_config = gdpr_server::ServerConfig {
+        workers: 2,
+        queue_depth: 32,
+        encrypt: None,
+        ..Default::default()
+    };
+    let enc_config = gdpr_server::ServerConfig {
+        encrypt: Some("conformance-psk".to_string()),
+        ..plain_config.clone()
+    };
+    let plain =
+        RemoteConnector::serve_in_process_with(Arc::clone(&local) as EngineHandle, 2, plain_config)
+            .unwrap();
+    let encrypted =
+        RemoteConnector::serve_in_process_with(Arc::clone(&local) as EngineHandle, 2, enc_config)
+            .unwrap();
+    assert!(encrypted.clients().iter().all(|c| c.is_encrypted()));
+    assert!(plain.clients().iter().all(|c| !c.is_encrypted()));
+    seed(&local);
+
+    let neo = Session::customer("neo");
+    let queries: Vec<(Session, GdprQuery)> = vec![
+        (neo.clone(), GdprQuery::ReadDataByUser("neo".into())),
+        (neo.clone(), GdprQuery::ReadMetadataByUser("neo".into())),
+        (
+            Session::processor("ads"),
+            GdprQuery::ReadDataByPurpose("ads".into()),
+        ),
+        (Session::controller(), GdprQuery::GetSystemFeatures),
+        // Errors must cross the cipher boundary exactly too.
+        (neo.clone(), GdprQuery::ReadDataByUser("trinity".into())),
+    ];
+    for (session, query) in &queries {
+        let direct = local.execute(session, query);
+        let over_plain = plain.execute(session, query);
+        let over_cipher = encrypted.execute(session, query);
+        assert_eq!(over_plain, direct, "plaintext diverges on {query:?}");
+        assert_eq!(over_cipher, direct, "encrypted diverges on {query:?}");
+    }
+    // Pipelined batches cross sealed too.
+    let batch: Vec<(Session, GdprQuery)> = (0..20)
+        .map(|_| (neo.clone(), GdprQuery::ReadDataByUser("neo".into())))
+        .collect();
+    let plain_batch = plain.execute_batch(batch.clone());
+    let cipher_batch = encrypted.execute_batch(batch);
+    assert_eq!(cipher_batch, plain_batch);
+    assert_eq!(encrypted.record_count(), local.record_count());
+    assert_eq!(encrypted.space_report(), local.space_report());
+    assert_eq!(encrypted.features(), local.features());
+
+    let enc_addr = encrypted.server().unwrap().local_addr().to_string();
+    let stats = encrypted.server().unwrap().stats();
+    assert_eq!(
+        stats
+            .handshakes_completed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+    // Wrong pre-shared key: the handshake completes (randoms are
+    // unauthenticated) but the first sealed op fails on both sides.
+    let wrong = crate::GdprClient::connect_encrypted(&enc_addr, Some("not-the-psk")).unwrap();
+    assert!(wrong.ping(b"x").is_err());
+    // Plaintext client against the encrypted endpoint: rejected, and
+    // reported as a handshake failure — not a protocol error.
+    let downgrade = crate::GdprClient::connect_plain(&enc_addr).unwrap();
+    assert!(downgrade.ping(b"x").is_err());
+    // Encrypted client against the plaintext endpoint: loud refusal.
+    let plain_addr = plain.server().unwrap().local_addr().to_string();
+    let err = crate::GdprClient::connect_encrypted(&plain_addr, None)
+        .err()
+        .expect("handshake against a plaintext server must fail");
+    assert!(
+        err.to_string().contains("downgrade"),
+        "downgrade rejection must be loud, got: {err}"
+    );
+}
+
 // ---- restart equivalence (index snapshot recovery) ----
 
 /// A unique scratch directory per call (tests run concurrently).

@@ -17,6 +17,7 @@ use gdpr_core::query::GdprQuery;
 use gdpr_core::response::GdprResponse;
 use gdpr_core::role::Session;
 use gdpr_core::GdprConnector;
+use gdpr_server::secure;
 use gdpr_server::wire::{self, RequestBody, ResponseBody, StatsSnapshot};
 use gdpr_server::{GdprServer, ServerConfig};
 use parking_lot::Mutex;
@@ -40,32 +41,140 @@ pub struct GdprClient {
 }
 
 struct ClientIo {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    /// One descriptor serves both directions: calls are serialized by the
+    /// client's mutex and strictly write-then-read, and writes go through
+    /// [`BufReader::get_mut`] (duplicating the fd with `try_clone` would
+    /// double the descriptor cost of a 10k-connection population).
+    stream: BufReader<TcpStream>,
+    /// `Some` once the encrypted-transport handshake completed; every
+    /// outbound frame payload is then sealed and every inbound one opened.
+    channel: Option<Box<crypto::channel::DuplexChannel>>,
+}
+
+impl ClientIo {
+    fn send(&mut self, bytes: &[u8]) -> GdprResult<()> {
+        self.stream
+            .get_mut()
+            .write_all(bytes)
+            .map_err(|e| io_err("send", e))
+    }
+
+    /// Encode (and, on an encrypted transport, seal) one request payload
+    /// into its wire frame.
+    fn frame_bytes(&mut self, plaintext: &[u8]) -> GdprResult<Vec<u8>> {
+        let mut buf = Vec::new();
+        match &mut self.channel {
+            Some(channel) => wire::write_frame(&mut buf, &channel.seal(plaintext)),
+            None => wire::write_frame(&mut buf, plaintext),
+        }
+        .map_err(|e| io_err("send", e))?;
+        Ok(buf)
+    }
+
+    /// Read one frame and open it when the transport is encrypted.
+    /// `Ok(None)` is a clean server close.
+    fn recv_frame(&mut self) -> GdprResult<Option<Vec<u8>>> {
+        let max = wire::MAX_FRAME
+            + if self.channel.is_some() {
+                secure::SEAL_OVERHEAD
+            } else {
+                0
+            };
+        let Some(payload) =
+            wire::read_frame(&mut self.stream, max).map_err(|e| io_err("receive", e))?
+        else {
+            return Ok(None);
+        };
+        match &mut self.channel {
+            Some(channel) => channel
+                .open(&payload)
+                .map(Some)
+                .map_err(|e| io_err("open sealed record", e)),
+            None => Ok(Some(payload)),
+        }
+    }
+}
+
+/// Run the client half of the [`secure`] handshake. Rejects any answer
+/// that is not a well-formed server hello — in particular a plaintext
+/// server's protocol-error response — so an encrypted client can never be
+/// silently downgraded to plaintext.
+fn client_handshake(
+    stream: &mut BufReader<TcpStream>,
+    key: &str,
+) -> GdprResult<crypto::channel::DuplexChannel> {
+    let client_random = secure::session_random();
+    let hello = secure::encode_hello(secure::ROLE_CLIENT, &client_random);
+    wire::write_frame(stream.get_mut(), &hello).map_err(|e| io_err("handshake send", e))?;
+    let ack = wire::read_frame(stream, wire::MAX_FRAME)
+        .map_err(|e| io_err("handshake receive", e))?
+        .ok_or_else(|| {
+            io_err(
+                "handshake",
+                "server closed during handshake (wrong pre-shared key, or no --encrypt?)",
+            )
+        })?;
+    let server_random = secure::decode_hello(&ack, secure::ROLE_SERVER).map_err(|e| {
+        io_err(
+            "handshake",
+            format!(
+                "{e} — refusing to continue: the endpoint did not complete the \
+                 encrypted handshake (plaintext downgrade rejected)"
+            ),
+        )
+    })?;
+    Ok(secure::client_channel(key, &client_random, &server_random))
 }
 
 impl GdprClient {
-    /// Connect to `addr` (`host:port`).
+    /// Connect to `addr` (`host:port`), following `GDPR_ENCRYPT` /
+    /// `GDPR_ENCRYPT_KEY` for the transport — the same environment the
+    /// server's `ServerConfig::default` reads, so suites flip both ends
+    /// together.
     pub fn connect(addr: &str) -> GdprResult<GdprClient> {
+        Self::connect_with(addr, secure::encrypt_key_from_env().as_deref())
+    }
+
+    /// Connect in plaintext regardless of environment.
+    pub fn connect_plain(addr: &str) -> GdprResult<GdprClient> {
+        Self::connect_with(addr, None)
+    }
+
+    /// Connect over the encrypted transport with `key` (the server's
+    /// pre-shared key; `None` uses the default). Fails loudly if the
+    /// endpoint does not complete the handshake.
+    pub fn connect_encrypted(addr: &str, key: Option<&str>) -> GdprResult<GdprClient> {
+        Self::connect_with(addr, Some(key.unwrap_or(secure::DEFAULT_PSK)))
+    }
+
+    /// Connect with an explicit transport choice: `Some(key)` runs the
+    /// encrypted handshake before the first op, `None` stays plaintext.
+    pub fn connect_with(addr: &str, encrypt_key: Option<&str>) -> GdprResult<GdprClient> {
         let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
         stream.set_nodelay(true).ok();
-        let writer = stream.try_clone().map_err(|e| io_err("connect", e))?;
+        let mut stream = BufReader::new(stream);
+        let channel = match encrypt_key {
+            Some(key) => Some(Box::new(client_handshake(&mut stream, key)?)),
+            None => None,
+        };
         Ok(GdprClient {
-            io: Mutex::new(ClientIo {
-                reader: BufReader::new(stream),
-                writer,
-            }),
+            io: Mutex::new(ClientIo { stream, channel }),
             seq: AtomicU64::new(0),
         })
+    }
+
+    /// Whether this connection runs the encrypted transport.
+    pub fn is_encrypted(&self) -> bool {
+        self.io.lock().channel.is_some()
     }
 
     fn roundtrip(&self, body: &RequestBody) -> GdprResult<ResponseBody> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut io = self.io.lock();
-        wire::write_frame(&mut io.writer, &wire::encode_request(seq, body))
-            .map_err(|e| io_err("send", e))?;
-        let payload = wire::read_frame(&mut io.reader, wire::MAX_FRAME)
-            .map_err(|e| io_err("receive", e))?
+        let frame = io.frame_bytes(&wire::encode_request(seq, body))?;
+        io.send(&frame)?;
+        let payload = io
+            .recv_frame()?
             .ok_or_else(|| io_err("receive", "server closed the connection"))?;
         let (got_seq, response) =
             wire::decode_response(&payload).map_err(|e| io_err("decode", e))?;
@@ -118,27 +227,28 @@ impl GdprClient {
             .iter()
             .map(|_| self.seq.fetch_add(1, Ordering::Relaxed))
             .collect();
-        let frame_for = |i: usize| -> GdprResult<Vec<u8>> {
+        // Frames are built (and on an encrypted transport sealed) at
+        // write time, not up front: record sequence numbers must follow
+        // the actual send order as responses refill the window.
+        let frame_for = |io: &mut ClientIo, i: usize| -> GdprResult<Vec<u8>> {
             let (session, query) = &batch[i];
             let body = RequestBody::Execute(session.clone(), query.clone());
-            let mut buf = Vec::new();
-            wire::write_frame(&mut buf, &wire::encode_request(seqs[i], &body))
-                .map_err(|e| io_err("send", e))?;
-            Ok(buf)
+            io.frame_bytes(&wire::encode_request(seqs[i], &body))
         };
         // Prime the window as one buffered burst: the wire carries it in
         // as few segments as possible.
         let prime = batch.len().min(window);
         let mut burst = Vec::new();
         for i in 0..prime {
-            burst.extend(frame_for(i)?);
+            let frame = frame_for(&mut io, i)?;
+            burst.extend(frame);
         }
-        io.writer.write_all(&burst).map_err(|e| io_err("send", e))?;
+        io.send(&burst)?;
         let mut next_write = prime;
         let mut out = Vec::with_capacity(batch.len());
         for &expected_seq in &seqs {
-            let payload = wire::read_frame(&mut io.reader, wire::MAX_FRAME)
-                .map_err(|e| io_err("receive", e))?
+            let payload = io
+                .recv_frame()?
                 .ok_or_else(|| io_err("receive", "server closed mid-pipeline"))?;
             let (seq, response) =
                 wire::decode_response(&payload).map_err(|e| io_err("decode", e))?;
@@ -154,8 +264,8 @@ impl GdprClient {
                 other => Err(io_err("protocol", format!("unexpected response {other:?}"))),
             });
             if next_write < batch.len() {
-                let frame = frame_for(next_write)?;
-                io.writer.write_all(&frame).map_err(|e| io_err("send", e))?;
+                let frame = frame_for(&mut io, next_write)?;
+                io.send(&frame)?;
                 next_write += 1;
             }
         }
@@ -228,10 +338,30 @@ impl RemoteConnector {
         Self::connect_pool(addr, 1)
     }
 
-    /// Connect a pool of `clients` connections to `addr`.
+    /// Connect a pool of `clients` connections to `addr`, with the
+    /// transport chosen by `GDPR_ENCRYPT` / `GDPR_ENCRYPT_KEY`.
     pub fn connect_pool(addr: &str, clients: usize) -> GdprResult<RemoteConnector> {
+        Self::connect_pool_with(addr, clients, secure::encrypt_key_from_env().as_deref())
+    }
+
+    /// Connect a pool over the encrypted transport (`None` key = default
+    /// pre-shared key).
+    pub fn connect_pool_encrypted(
+        addr: &str,
+        clients: usize,
+        key: Option<&str>,
+    ) -> GdprResult<RemoteConnector> {
+        Self::connect_pool_with(addr, clients, Some(key.unwrap_or(secure::DEFAULT_PSK)))
+    }
+
+    /// Connect a pool with an explicit transport choice.
+    pub fn connect_pool_with(
+        addr: &str,
+        clients: usize,
+        encrypt_key: Option<&str>,
+    ) -> GdprResult<RemoteConnector> {
         let clients = (0..clients.max(1))
-            .map(|_| GdprClient::connect(addr))
+            .map(|_| GdprClient::connect_with(addr, encrypt_key))
             .collect::<GdprResult<Vec<_>>>()?;
         let name = clients[0].server_name()?;
         Ok(RemoteConnector {
@@ -249,15 +379,22 @@ impl RemoteConnector {
         Self::serve_in_process_with(engine, clients, ServerConfig::default())
     }
 
-    /// [`Self::serve_in_process`] with explicit server tuning.
+    /// [`Self::serve_in_process`] with explicit server tuning. The pool's
+    /// transport follows `config.encrypt`, so an encrypted in-process
+    /// server always gets matching clients.
     pub fn serve_in_process_with(
         engine: EngineHandle,
         clients: usize,
         config: ServerConfig,
     ) -> GdprResult<RemoteConnector> {
+        let encrypt = config.encrypt.clone();
         let server =
             GdprServer::bind(engine, "127.0.0.1:0", config).map_err(|e| io_err("bind", e))?;
-        let mut connector = Self::connect_pool(&server.local_addr().to_string(), clients)?;
+        let mut connector = Self::connect_pool_with(
+            &server.local_addr().to_string(),
+            clients,
+            encrypt.as_deref(),
+        )?;
         connector.server = Some(server);
         Ok(connector)
     }

@@ -75,14 +75,22 @@ impl SecureChannel {
 
     /// Open the next inbound message. Rejects tampering, truncation, and
     /// out-of-order/replayed sequence numbers.
+    ///
+    /// The sequence check runs first and reports [`CryptoError::Replay`],
+    /// so a replayed capture is distinguishable from corruption; a frame
+    /// with the expected sequence but a wrong tag is [`CryptoError::TagMismatch`].
+    /// The tag comparison is constant-time ([`ct_eq`]) — a short-circuiting
+    /// `!=` would leak how many tag bytes an attacker got right.
     pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
         if sealed.len() < HEADER_LEN {
             return Err(CryptoError::Truncated);
         }
         let seq = u64::from_le_bytes(sealed[..8].try_into().unwrap());
-        let tag = u64::from_le_bytes(sealed[8..16].try_into().unwrap());
+        if seq != self.recv_seq {
+            return Err(CryptoError::Replay);
+        }
         let ct = &sealed[HEADER_LEN..];
-        if seq != self.recv_seq || self.tag(seq, ct) != tag {
+        if !ct_eq(&self.tag(seq, ct).to_le_bytes(), &sealed[8..16]) {
             return Err(CryptoError::TagMismatch);
         }
         self.recv_seq += 1;
@@ -117,6 +125,24 @@ impl DuplexChannel {
     pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
         self.rx.open(sealed)
     }
+}
+
+/// Constant-time equality for same-length byte strings.
+///
+/// Every byte is examined regardless of where the first difference sits:
+/// differences are OR-accumulated and only the final accumulator decides,
+/// with a `black_box` keeping the optimizer from reintroducing an early
+/// exit. A length mismatch returns `false` immediately — lengths are
+/// public (the wire framing announces them), only contents are secret.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc = std::hint::black_box(acc | (x ^ y));
+    }
+    acc == 0
 }
 
 fn seq_nonce(seq: u64) -> [u8; NONCE_LEN] {
@@ -154,7 +180,9 @@ mod tests {
         let (mut client, mut server) = SecureChannel::pair(b"k");
         let wire = client.seal(b"delete my data");
         server.open(&wire).unwrap();
-        assert_eq!(server.open(&wire), Err(CryptoError::TagMismatch));
+        // A replayed capture is a sequencing violation, not corruption —
+        // the transport can audit it separately.
+        assert_eq!(server.open(&wire), Err(CryptoError::Replay));
     }
 
     #[test]
@@ -162,7 +190,7 @@ mod tests {
         let (mut client, mut server) = SecureChannel::pair(b"k");
         let first = client.seal(b"one");
         let second = client.seal(b"two");
-        assert_eq!(server.open(&second), Err(CryptoError::TagMismatch));
+        assert_eq!(server.open(&second), Err(CryptoError::Replay));
         // The in-order message still works afterwards.
         assert_eq!(server.open(&first).unwrap(), b"one");
     }
@@ -174,6 +202,45 @@ mod tests {
         let last = wire.len() - 1;
         wire[last] ^= 0xff;
         assert_eq!(server.open(&wire), Err(CryptoError::TagMismatch));
+    }
+
+    /// A wrong tag on the *expected* sequence number is corruption
+    /// (`TagMismatch`), never `Replay` — the seq check must not swallow
+    /// tag failures, and vice versa.
+    #[test]
+    fn wrong_tag_at_expected_seq_is_tag_mismatch_not_replay() {
+        let (mut client, mut server) = SecureChannel::pair(b"k");
+        let mut wire = client.seal(b"benign");
+        // Flip a tag byte only; seq (bytes 0..8) stays the expected 0.
+        wire[12] ^= 0x01;
+        assert_eq!(server.open(&wire), Err(CryptoError::TagMismatch));
+        // A tampered seq on the same capture reports Replay instead.
+        let mut wire2 = client.seal(b"next");
+        wire2[7] ^= 0x01;
+        assert_eq!(server.open(&wire2), Err(CryptoError::Replay));
+    }
+
+    #[test]
+    fn ct_eq_agrees_with_equality_everywhere() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"same-bytes", b"same-bytes"));
+        assert!(!ct_eq(b"length", b"length-differs"));
+        // Equal-length inputs differing at the first, a middle, and the
+        // last byte all take the full accumulate-and-compare path and
+        // still report inequality.
+        let base = *b"\x00\x11\x22\x33\x44\x55\x66\x77";
+        for flip_at in [0usize, 3, 7] {
+            let mut other = base;
+            other[flip_at] ^= 0x80;
+            assert!(!ct_eq(&base, &other), "difference at byte {flip_at}");
+            assert!(!ct_eq(&other, &base), "difference at byte {flip_at}");
+        }
+        // Multi-byte differences that XOR-cancel pairwise must not read
+        // as equal (the accumulator ORs, it does not XOR-sum).
+        let mut cancel = base;
+        cancel[1] ^= 0x0f;
+        cancel[2] ^= 0x0f;
+        assert!(!ct_eq(&base, &cancel));
     }
 
     #[test]

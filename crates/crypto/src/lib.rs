@@ -33,6 +33,10 @@ pub enum CryptoError {
     TagMismatch,
     /// The sealed blob is too short to contain a header.
     Truncated,
+    /// The sequence number is not the next expected one: a replayed or
+    /// reordered message. Distinct from [`CryptoError::TagMismatch`] so
+    /// transports can audit replay attempts separately from corruption.
+    Replay,
 }
 
 impl std::fmt::Display for CryptoError {
@@ -40,6 +44,7 @@ impl std::fmt::Display for CryptoError {
         match self {
             CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
             CryptoError::Truncated => write!(f, "sealed blob truncated"),
+            CryptoError::Replay => write!(f, "replayed or reordered sequence number"),
         }
     }
 }

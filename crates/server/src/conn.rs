@@ -9,6 +9,7 @@
 //! drive it byte-by-byte without a socket.
 
 use crate::wire::RequestBody;
+use crypto::channel::DuplexChannel;
 use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::sync::atomic::AtomicU64;
@@ -140,6 +141,20 @@ pub(crate) enum DecodedOp {
     Canned(Vec<u8>),
 }
 
+/// The connection's position in the encrypted-transport lifecycle (see
+/// [`crate::secure`]). Plaintext servers stay `Plain` forever; encrypted
+/// servers start every connection at `Handshaking` and refuse to carry a
+/// single op frame until the hello exchange upgrades it to `Secure`.
+pub(crate) enum Transport {
+    /// Unencrypted: frame payloads are op payloads.
+    Plain,
+    /// Encryption required but the client hello has not arrived yet.
+    Handshaking,
+    /// Established: every frame payload is a sealed record. Boxed so an
+    /// idle connection costs one pointer, not the full cipher state.
+    Secure(Box<DuplexChannel>),
+}
+
 /// Per-connection counters, served over the wire for `ConnStats`.
 #[derive(Debug, Default)]
 pub(crate) struct ConnCounters {
@@ -171,13 +186,23 @@ pub(crate) struct Conn {
     /// Last instant the outbound buffer made progress (or became owed);
     /// a stalled non-draining peer is killed past the write timeout.
     pub last_write_progress: Instant,
+    /// Record-layer state: plaintext, awaiting handshake, or established.
+    pub(crate) transport: Transport,
 }
 
 impl Conn {
-    pub fn new(stream: TcpStream, max_frame: usize) -> Conn {
+    pub(crate) fn new(stream: TcpStream, max_frame: usize, encrypted: bool) -> Conn {
+        // Sealed records carry a 16-byte header on top of the plaintext
+        // frame payload, so the decoder must admit slightly larger frames
+        // than the plaintext limit.
+        let decode_max = if encrypted {
+            max_frame + crate::secure::SEAL_OVERHEAD
+        } else {
+            max_frame
+        };
         Conn {
             stream,
-            decoder: FrameDecoder::new(max_frame),
+            decoder: FrameDecoder::new(decode_max),
             pending: VecDeque::new(),
             outbuf: OutBuf::default(),
             in_flight: false,
@@ -187,7 +212,43 @@ impl Conn {
             interest: (true, false),
             counters: Arc::new(ConnCounters::default()),
             last_write_progress: Instant::now(),
+            transport: if encrypted {
+                Transport::Handshaking
+            } else {
+                Transport::Plain
+            },
         }
+    }
+
+    /// Append outbound response frames, sealing each frame's payload when
+    /// the transport is established. `bytes` must be a whole number of
+    /// wire frames (`u32` BE length + payload) — exactly what `run_batch`
+    /// produces — because sealing happens per frame: the record layer
+    /// re-frames `frame(payload)` as `frame(seal(payload))`.
+    ///
+    /// Sealing on enqueue (loop thread) rather than in the executor keeps
+    /// cipher state single-threaded and sequence numbers in send order —
+    /// completions land here in submission order, one batch in flight per
+    /// connection.
+    pub fn enqueue(&mut self, bytes: Vec<u8>) {
+        let Transport::Secure(channel) = &mut self.transport else {
+            self.outbuf.extend(bytes);
+            return;
+        };
+        let mut sealed_out =
+            Vec::with_capacity(bytes.len() + crate::secure::SEAL_OVERHEAD.saturating_mul(4));
+        let mut pos = 0;
+        while pos + 4 <= bytes.len() {
+            let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            debug_assert!(pos + 4 + len <= bytes.len(), "enqueue of a partial frame");
+            let payload = &bytes[pos + 4..pos + 4 + len];
+            let sealed = channel.seal(payload);
+            sealed_out.extend_from_slice(&(sealed.len() as u32).to_be_bytes());
+            sealed_out.extend_from_slice(&sealed);
+            pos += 4 + len;
+        }
+        debug_assert_eq!(pos, bytes.len(), "enqueue of a partial frame");
+        self.outbuf.extend(sealed_out);
     }
 
     /// Nothing owed to the peer and nothing executing.

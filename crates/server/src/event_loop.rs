@@ -24,10 +24,12 @@
 //! end state the old blocking pool submit produced, but without a thread
 //! parked per connection.
 
-use crate::conn::{Conn, DecodedOp};
+use crate::conn::{Conn, DecodedOp, Transport};
+use crate::secure;
 use crate::server::{run_batch, ServerShared};
 use crate::sys;
 use crate::wire::{self, ResponseBody};
+use crypto::CryptoError;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -43,6 +45,19 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// How much one readiness wake may read from a single connection before
 /// yielding to the others (level-triggered epoll re-reports the rest).
 const READ_BUDGET: usize = 256 * 1024;
+
+/// Most connections accepted per listener wake. At 10k-connection scale a
+/// connect storm must not starve established connections of loop time;
+/// level-triggered epoll re-reports the listener backlog on the next wake.
+const ACCEPT_BURST: usize = 256;
+
+/// How long the listener stays deaf after fd exhaustion before retrying.
+/// A connection closing resumes it earlier — that is the event that
+/// actually frees a descriptor.
+const ACCEPT_PAUSE: Duration = Duration::from_millis(50);
+
+const EMFILE: i32 = 24;
+const ENFILE: i32 = 23;
 
 /// A batch's encoded responses, handed back from the executor.
 pub(crate) struct Completion {
@@ -93,6 +108,9 @@ pub(crate) struct EventLoop {
     events: Vec<sys::Event>,
     scratch: Vec<u8>,
     last_stall_check: Instant,
+    /// When `Some`, the listener's read interest is dropped after fd
+    /// exhaustion; the instant is the retry deadline.
+    accept_paused_until: Option<Instant>,
 }
 
 impl EventLoop {
@@ -116,6 +134,7 @@ impl EventLoop {
             events: Vec::with_capacity(256),
             scratch: vec![0; 64 * 1024],
             last_stall_check: Instant::now(),
+            accept_paused_until: None,
         })
     }
 
@@ -124,8 +143,15 @@ impl EventLoop {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            // The tick bounds how late a write-stall kill can fire.
-            if self.poller.wait(&mut self.events, 500).is_err() {
+            // The tick bounds how late a write-stall kill can fire — and,
+            // while accepting is paused on fd exhaustion, how late the
+            // listener retry happens.
+            let timeout = if self.accept_paused_until.is_some() {
+                20
+            } else {
+                500
+            };
+            if self.poller.wait(&mut self.events, timeout).is_err() {
                 break;
             }
             if self.shared.shutdown.load(Ordering::Acquire) {
@@ -149,19 +175,30 @@ impl EventLoop {
             self.events = events;
             self.process_completions();
             self.check_write_stalls();
+            self.resume_accepting(false);
         }
         self.drain_on_shutdown();
     }
 
     fn accept_ready(&mut self) {
-        loop {
+        for _ in 0..ACCEPT_BURST {
             let stream = match self.listener.accept() {
                 Ok((stream, _)) => stream,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) => {
+                    // Out of descriptors: go deaf on the listener instead
+                    // of spinning on a backlog this process cannot accept.
+                    // Existing connections keep full service; the next
+                    // close (or the pause deadline) resumes accepting.
+                    self.pause_accepting();
+                    return;
+                }
+                // Transient per-connection failures (e.g. the peer reset
+                // before accept); keep draining the backlog.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
                 Err(_) => {
-                    // Persistent accept failures (e.g. fd exhaustion) must
-                    // not busy-spin the loop; level-triggered epoll will
-                    // re-report the backlog after the pause.
+                    // Unknown persistent accept failure: avoid a busy
+                    // spin; level-triggered epoll re-reports the backlog.
                     std::thread::sleep(Duration::from_millis(10));
                     break;
                 }
@@ -180,7 +217,11 @@ impl EventLoop {
             let stats = &self.shared.stats;
             stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
             stats.connections_active.fetch_add(1, Ordering::Relaxed);
-            let conn = Conn::new(stream, self.shared.config.max_frame);
+            let conn = Conn::new(
+                stream,
+                self.shared.config.max_frame,
+                self.shared.config.encrypt.is_some(),
+            );
             if self
                 .poller
                 .add(conn.stream.as_raw_fd(), token, true, false)
@@ -190,6 +231,40 @@ impl EventLoop {
                 continue;
             }
             self.conns.insert(token, conn);
+        }
+    }
+
+    fn pause_accepting(&mut self) {
+        if self.accept_paused_until.is_none()
+            && self
+                .poller
+                .modify(self.listener.as_raw_fd(), TOKEN_LISTENER, false, false)
+                .is_err()
+        {
+            // Could not silence the listener; fall back to a short sleep
+            // so the loop does not spin on the un-acceptable backlog.
+            std::thread::sleep(Duration::from_millis(10));
+            return;
+        }
+        self.accept_paused_until = Some(Instant::now() + ACCEPT_PAUSE);
+    }
+
+    /// Re-arm the listener after fd exhaustion. `force` retries
+    /// immediately (a descriptor was just freed); otherwise only once the
+    /// pause deadline passes.
+    fn resume_accepting(&mut self, force: bool) {
+        let Some(deadline) = self.accept_paused_until else {
+            return;
+        };
+        if !force && Instant::now() < deadline {
+            return;
+        }
+        if self
+            .poller
+            .modify(self.listener.as_raw_fd(), TOKEN_LISTENER, true, false)
+            .is_ok()
+        {
+            self.accept_paused_until = None;
         }
     }
 
@@ -241,28 +316,94 @@ impl EventLoop {
         // Decode everything complete; a malformed payload answers in
         // order and poisons the stream, a hostile length prefix kills the
         // framing outright (no response can be attributed to a seq).
+        // On an encrypted transport each frame payload first crosses the
+        // record layer: the hello while handshaking, sealed records after.
         while !conn.poisoned {
             match conn.decoder.next_frame() {
-                Ok(Some(payload)) => match wire::decode_request(&payload) {
-                    Ok((seq, body)) => conn.pending.push_back(DecodedOp::Request { seq, body }),
-                    Err(err) => {
-                        self.shared
-                            .stats
-                            .protocol_errors
-                            .fetch_add(1, Ordering::Relaxed);
-                        let seq = payload
-                            .get(..8)
-                            .map_or(0, |b| u64::from_be_bytes(b.try_into().unwrap()));
-                        conn.pending
-                            .push_back(DecodedOp::Canned(wire::encode_response(
-                                seq,
-                                &ResponseBody::Protocol(err.to_string()),
-                            )));
-                        conn.poisoned = true;
-                        conn.close_after_flush = true;
-                        conn.decoder.clear();
+                Ok(Some(payload)) => {
+                    let plaintext = match &mut conn.transport {
+                        Transport::Plain => payload,
+                        Transport::Handshaking => {
+                            match secure::decode_hello(&payload, secure::ROLE_CLIENT) {
+                                Ok(client_random) => {
+                                    let key =
+                                        config.encrypt.as_deref().unwrap_or(secure::DEFAULT_PSK);
+                                    let server_random = secure::session_random();
+                                    let ack =
+                                        secure::encode_hello(secure::ROLE_SERVER, &server_random);
+                                    // The ack itself travels pre-cipher;
+                                    // straight to the outbuf, not enqueue.
+                                    let mut frame = Vec::with_capacity(4 + ack.len());
+                                    let _ = wire::write_frame(&mut frame, &ack);
+                                    if conn.outbuf.is_empty() {
+                                        conn.last_write_progress = Instant::now();
+                                    }
+                                    conn.outbuf.extend(frame);
+                                    conn.transport = Transport::Secure(Box::new(
+                                        secure::server_channel(key, &client_random, &server_random),
+                                    ));
+                                    self.shared
+                                        .stats
+                                        .handshakes_completed
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                Err(_) => {
+                                    // A plaintext op frame, garbage, or a
+                                    // skewed version: refuse the downgrade
+                                    // without answering — an unauthenticated
+                                    // peer gets no protocol oracle.
+                                    self.shared
+                                        .stats
+                                        .handshake_failures
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    conn.poisoned = true;
+                                    conn.close_after_flush = true;
+                                    conn.decoder.clear();
+                                    continue;
+                                }
+                            }
+                        }
+                        Transport::Secure(channel) => match channel.open(&payload) {
+                            Ok(plaintext) => plaintext,
+                            Err(e) => {
+                                // A record-layer failure desynchronizes the
+                                // channel permanently; close without a
+                                // response, but audit replays apart from
+                                // corruption.
+                                let stat = match e {
+                                    CryptoError::Replay => &self.shared.stats.replay_rejects,
+                                    _ => &self.shared.stats.decrypt_failures,
+                                };
+                                stat.fetch_add(1, Ordering::Relaxed);
+                                conn.poisoned = true;
+                                conn.close_after_flush = true;
+                                conn.decoder.clear();
+                                continue;
+                            }
+                        },
+                    };
+                    match wire::decode_request(&plaintext) {
+                        Ok((seq, body)) => conn.pending.push_back(DecodedOp::Request { seq, body }),
+                        Err(err) => {
+                            self.shared
+                                .stats
+                                .protocol_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            let seq = plaintext
+                                .get(..8)
+                                .map_or(0, |b| u64::from_be_bytes(b.try_into().unwrap()));
+                            conn.pending
+                                .push_back(DecodedOp::Canned(wire::encode_response(
+                                    seq,
+                                    &ResponseBody::Protocol(err.to_string()),
+                                )));
+                            conn.poisoned = true;
+                            conn.close_after_flush = true;
+                            conn.decoder.clear();
+                        }
                     }
-                },
+                }
                 Ok(None) => break,
                 Err(_hostile_len) => {
                     self.shared
@@ -277,10 +418,14 @@ impl EventLoop {
         }
         if conn.peer_eof {
             conn.close_after_flush = true;
-            if conn.drained() {
-                self.close_conn(token);
-                return;
-            }
+        }
+        if conn.close_after_flush && conn.drained() {
+            self.close_conn(token);
+            return;
+        }
+        // Flush eagerly so a handshake ack does not wait a poll cycle.
+        if !conn.outbuf.is_empty() {
+            self.flush_conn(token);
         }
         self.try_submit(token);
         self.update_interest(token, &config);
@@ -341,7 +486,7 @@ impl EventLoop {
                     // must not count the idle time before it.
                     conn.last_write_progress = Instant::now();
                 }
-                conn.outbuf.extend(completion.bytes);
+                conn.enqueue(completion.bytes);
                 // Opportunistic write: a just-completed batch almost
                 // always fits the socket buffer, so skip the EPOLLOUT
                 // round trip entirely in the common case.
@@ -449,6 +594,9 @@ impl EventLoop {
                 .stats
                 .connections_active
                 .fetch_sub(1, Ordering::Relaxed);
+            // A descriptor just freed: if accepts were paused on fd
+            // exhaustion there is room for exactly this listener retry.
+            self.resume_accepting(true);
         }
         self.stalled.retain(|&t| t != token);
     }
@@ -501,7 +649,7 @@ impl EventLoop {
                 continue;
             };
             conn.in_flight = false;
-            conn.outbuf.extend(completion.bytes);
+            conn.enqueue(completion.bytes);
             self.flush_conn(completion.token);
         }
     }

@@ -31,6 +31,7 @@ pub mod codec;
 pub mod conn;
 mod event_loop;
 pub mod pool;
+pub mod secure;
 pub mod server;
 pub mod sys;
 pub mod wire;

@@ -60,6 +60,13 @@ pub struct ServerConfig {
     /// Outbound-buffer size past which a connection's read interest is
     /// dropped until the client drains responses.
     pub outbuf_high_water: usize,
+    /// `Some(pre-shared key)` runs [`crate::secure`]'s encrypted transport:
+    /// every connection must complete the handshake before its first op,
+    /// and every frame payload afterwards is a sealed record. `None`
+    /// serves plaintext. The default follows `GDPR_ENCRYPT` /
+    /// `GDPR_ENCRYPT_KEY` so whole test suites switch transport via the
+    /// environment.
+    pub encrypt: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +80,7 @@ impl Default for ServerConfig {
             max_batch: 128,
             max_pending_ops: 4096,
             outbuf_high_water: 8 << 20,
+            encrypt: crate::secure::encrypt_key_from_env(),
         }
     }
 }
@@ -85,6 +93,16 @@ pub struct ServerStats {
     pub requests: AtomicU64,
     pub gdpr_errors: AtomicU64,
     pub protocol_errors: AtomicU64,
+    /// Connections that completed the encrypted-transport handshake.
+    pub handshakes_completed: AtomicU64,
+    /// Connections dropped for a bad hello — including plaintext clients
+    /// hitting an encrypted server (downgrade attempts land here).
+    pub handshake_failures: AtomicU64,
+    /// Sealed records rejected for a replayed/reordered sequence number,
+    /// audited separately from corruption per `CryptoError::Replay`.
+    pub replay_rejects: AtomicU64,
+    /// Sealed records rejected for tag mismatch or truncation.
+    pub decrypt_failures: AtomicU64,
 }
 
 /// State shared between the server handle, the event loop, and executor
@@ -381,6 +399,9 @@ mod tests {
                 workers: 2,
                 queue_depth: 8,
                 max_frame: 1 << 20,
+                // These tests exercise the raw plaintext wire; they must
+                // not flip encrypted under a suite-wide GDPR_ENCRYPT=1.
+                encrypt: None,
                 ..Default::default()
             },
         )
@@ -546,6 +567,7 @@ mod tests {
                 workers: 1,
                 queue_depth: 4,
                 write_timeout: Duration::from_millis(200),
+                encrypt: None,
                 ..Default::default()
             },
         )
@@ -762,6 +784,235 @@ mod tests {
         assert_eq!(seq, 1);
         assert_eq!(body, ResponseBody::Pong(vec![5; 32]));
         flood.join().unwrap();
+        server.shutdown();
+    }
+
+    fn spawn_encrypted_server(key: &str) -> GdprServer {
+        let engine: EngineHandle = Arc::new(ComplianceEngine::new(MemStore::new()));
+        GdprServer::bind(
+            engine,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                queue_depth: 8,
+                encrypt: Some(key.to_string()),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Run the client half of the handshake by hand — these tests pin the
+    /// wire behavior below `GdprClient`'s convenience layer.
+    fn client_handshake(stream: &mut TcpStream, key: &str) -> crypto::channel::DuplexChannel {
+        let client_random = crate::secure::session_random();
+        wire::write_frame(
+            stream,
+            &crate::secure::encode_hello(crate::secure::ROLE_CLIENT, &client_random),
+        )
+        .unwrap();
+        let ack = wire::read_frame(stream, wire::MAX_FRAME).unwrap().unwrap();
+        let server_random = crate::secure::decode_hello(&ack, crate::secure::ROLE_SERVER).unwrap();
+        crate::secure::client_channel(key, &client_random, &server_random)
+    }
+
+    fn call_sealed(
+        stream: &mut TcpStream,
+        channel: &mut crypto::channel::DuplexChannel,
+        seq: u64,
+        body: &RequestBody,
+    ) -> (u64, ResponseBody) {
+        let sealed = channel.seal(&wire::encode_request(seq, body));
+        wire::write_frame(stream, &sealed).unwrap();
+        let record = wire::read_frame(stream, wire::MAX_FRAME + crate::secure::SEAL_OVERHEAD)
+            .unwrap()
+            .unwrap();
+        let plaintext = channel.open(&record).unwrap();
+        wire::decode_response(&plaintext).unwrap()
+    }
+
+    #[test]
+    fn encrypted_transport_serves_end_to_end() {
+        let server = spawn_encrypted_server("unit-psk");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut channel = client_handshake(&mut stream, "unit-psk");
+        let controller = Session::controller();
+
+        let (seq, body) = call_sealed(
+            &mut stream,
+            &mut channel,
+            3,
+            &RequestBody::Execute(controller.clone(), GdprQuery::CreateRecord(record("e1"))),
+        );
+        assert_eq!(
+            (seq, body),
+            (3, ResponseBody::Response(GdprResponse::Created))
+        );
+        // GDPR errors and introspection answer identically to plaintext.
+        let (_, body) = call_sealed(
+            &mut stream,
+            &mut channel,
+            4,
+            &RequestBody::Execute(controller, GdprQuery::CreateRecord(record("e1"))),
+        );
+        assert_eq!(
+            body,
+            ResponseBody::Error(GdprError::AlreadyExists("e1".to_string()))
+        );
+        let (_, body) = call_sealed(&mut stream, &mut channel, 5, &RequestBody::RecordCount);
+        assert_eq!(body, ResponseBody::Count(1));
+        let (_, body) = call_sealed(&mut stream, &mut channel, 6, &RequestBody::Ping(vec![8; 8]));
+        assert_eq!(body, ResponseBody::Pong(vec![8; 8]));
+
+        // Pipelining seals every request up front; responses stay ordered.
+        let mut burst = Vec::new();
+        for i in 10..20u64 {
+            let sealed = channel.seal(&wire::encode_request(i, &RequestBody::Ping(vec![i as u8])));
+            wire::write_frame(&mut burst, &sealed).unwrap();
+        }
+        stream.write_all(&burst).unwrap();
+        for i in 10..20u64 {
+            let record = wire::read_frame(&mut stream, wire::MAX_FRAME + 64)
+                .unwrap()
+                .unwrap();
+            let plaintext = channel.open(&record).unwrap();
+            let (seq, body) = wire::decode_response(&plaintext).unwrap();
+            assert_eq!((seq, body), (i, ResponseBody::Pong(vec![i as u8])));
+        }
+        assert_eq!(
+            server.stats().handshakes_completed.load(Ordering::Relaxed),
+            1
+        );
+        server.shutdown();
+    }
+
+    /// A plaintext client on an encrypted server gets no answer at all:
+    /// the op frame fails hello validation and the connection drops —
+    /// no downgrade, no protocol-error oracle for unauthenticated peers.
+    #[test]
+    fn plaintext_client_is_rejected_without_response() {
+        let server = spawn_encrypted_server("unit-psk");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        wire::write_frame(
+            &mut stream,
+            &wire::encode_request(1, &RequestBody::Ping(vec![1])),
+        )
+        .unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(matches!(
+            wire::read_frame(&mut stream, wire::MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        assert_eq!(server.stats().handshake_failures.load(Ordering::Relaxed), 1);
+        assert_eq!(server.stats().protocol_errors.load(Ordering::Relaxed), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn version_skew_and_garbage_hellos_are_rejected() {
+        let server = spawn_encrypted_server("unit-psk");
+        // Version skew: well-formed hello, wrong version.
+        let mut skewed = TcpStream::connect(server.local_addr()).unwrap();
+        let mut hello = crate::secure::encode_hello(crate::secure::ROLE_CLIENT, &[3; 32]);
+        hello[4..6].copy_from_slice(&7u16.to_be_bytes());
+        wire::write_frame(&mut skewed, &hello).unwrap();
+        skewed
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(matches!(
+            wire::read_frame(&mut skewed, wire::MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        // Garbage: a framed blob that is not a hello.
+        let mut garbage = TcpStream::connect(server.local_addr()).unwrap();
+        wire::write_frame(&mut garbage, &[0xEE; 11]).unwrap();
+        garbage
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(matches!(
+            wire::read_frame(&mut garbage, wire::MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        assert_eq!(server.stats().handshake_failures.load(Ordering::Relaxed), 2);
+        // The server still serves a correct client afterwards.
+        let mut good = TcpStream::connect(server.local_addr()).unwrap();
+        let mut channel = client_handshake(&mut good, "unit-psk");
+        let (_, body) = call_sealed(&mut good, &mut channel, 1, &RequestBody::Ping(vec![4]));
+        assert_eq!(body, ResponseBody::Pong(vec![4]));
+        server.shutdown();
+    }
+
+    /// Mid-handshake EOF (a scanner connecting and leaving, or a partial
+    /// hello) must release connection state without a panic or a leak.
+    #[test]
+    fn mid_handshake_eof_closes_cleanly() {
+        let server = spawn_encrypted_server("unit-psk");
+        {
+            let mut partial = TcpStream::connect(server.local_addr()).unwrap();
+            let hello = crate::secure::encode_hello(crate::secure::ROLE_CLIENT, &[5; 32]);
+            let mut framed = Vec::new();
+            wire::write_frame(&mut framed, &hello).unwrap();
+            partial.write_all(&framed[..framed.len() / 2]).unwrap();
+            partial.flush().unwrap();
+        } // dropped: EOF with half a hello buffered
+        {
+            let _silent = TcpStream::connect(server.local_addr()).unwrap();
+        } // dropped: EOF before any byte
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().connections_active.load(Ordering::Relaxed) > 0 {
+            assert!(Instant::now() < deadline, "handshake conn state leaked");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut good = TcpStream::connect(server.local_addr()).unwrap();
+        let mut channel = client_handshake(&mut good, "unit-psk");
+        let (_, body) = call_sealed(&mut good, &mut channel, 1, &RequestBody::Ping(vec![6]));
+        assert_eq!(body, ResponseBody::Pong(vec![6]));
+        server.shutdown();
+    }
+
+    /// Replayed records are audited as replays and kill the connection;
+    /// tampered records count as decrypt failures.
+    #[test]
+    fn replay_and_tamper_audit_separately() {
+        let server = spawn_encrypted_server("unit-psk");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut channel = client_handshake(&mut stream, "unit-psk");
+        let sealed = channel.seal(&wire::encode_request(1, &RequestBody::Ping(vec![1])));
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &sealed).unwrap();
+        stream.write_all(&framed).unwrap();
+        // First copy answers; the replayed copy kills the connection.
+        let record = wire::read_frame(&mut stream, wire::MAX_FRAME + 64)
+            .unwrap()
+            .unwrap();
+        assert!(channel.open(&record).is_ok());
+        stream.write_all(&framed).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(matches!(
+            wire::read_frame(&mut stream, wire::MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        assert_eq!(server.stats().replay_rejects.load(Ordering::Relaxed), 1);
+
+        // Fresh connection, tampered ciphertext.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut channel = client_handshake(&mut stream, "unit-psk");
+        let mut sealed = channel.seal(&wire::encode_request(1, &RequestBody::Ping(vec![2])));
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0xFF;
+        wire::write_frame(&mut stream, &sealed).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(matches!(
+            wire::read_frame(&mut stream, wire::MAX_FRAME),
+            Ok(None) | Err(_)
+        ));
+        assert_eq!(server.stats().decrypt_failures.load(Ordering::Relaxed), 1);
         server.shutdown();
     }
 

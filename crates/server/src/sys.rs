@@ -39,6 +39,7 @@ mod imp {
         pub const EPOLL_CTL: usize = 233;
         pub const EPOLL_PWAIT: usize = 281;
         pub const EPOLL_CREATE1: usize = 291;
+        pub const PRLIMIT64: usize = 302;
     }
     #[cfg(target_arch = "aarch64")]
     mod nr {
@@ -46,6 +47,7 @@ mod imp {
         pub const EPOLL_CTL: usize = 21;
         pub const EPOLL_PWAIT: usize = 22;
         pub const CLOSE: usize = 57;
+        pub const PRLIMIT64: usize = 261;
     }
 
     const EPOLLIN: u32 = 0x001;
@@ -245,6 +247,67 @@ mod imp {
             let _ = unsafe { syscall6(nr::CLOSE, self.epfd as usize, 0, 0, 0, 0, 0) };
         }
     }
+
+    const RLIMIT_NOFILE: usize = 7;
+
+    /// The kernel's `struct rlimit64`.
+    #[repr(C)]
+    struct RLimit64 {
+        cur: u64,
+        max: u64,
+    }
+
+    /// This process's `RLIMIT_NOFILE` as `(soft, hard)`.
+    pub fn nofile_limit() -> io::Result<(u64, u64)> {
+        let mut lim = RLimit64 { cur: 0, max: 0 };
+        check(unsafe {
+            syscall6(
+                nr::PRLIMIT64,
+                0, // pid 0: the calling process
+                RLIMIT_NOFILE,
+                0, // no new limit
+                &mut lim as *mut RLimit64 as usize,
+                0,
+                0,
+            )
+        })?;
+        Ok((lim.cur, lim.max))
+    }
+
+    /// Set this process's `RLIMIT_NOFILE` to `(soft, hard)`. Lowering the
+    /// soft limit needs no privilege; raising the hard one does.
+    pub fn set_nofile_limit(soft: u64, hard: u64) -> io::Result<()> {
+        let lim = RLimit64 {
+            cur: soft,
+            max: hard,
+        };
+        check(unsafe {
+            syscall6(
+                nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                &lim as *const RLimit64 as usize,
+                0,
+                0,
+                0,
+            )
+        })
+        .map(|_| ())
+    }
+
+    /// Raise the soft fd limit toward `target` (capped at the hard limit,
+    /// which unprivileged processes cannot exceed). Returns the resulting
+    /// soft limit — callers serving tens of thousands of sockets check it
+    /// against their connection budget.
+    pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+        let (soft, hard) = nofile_limit()?;
+        if soft >= target {
+            return Ok(soft);
+        }
+        let want = target.min(hard);
+        set_nofile_limit(want, hard)?;
+        Ok(want)
+    }
 }
 
 #[cfg(not(all(
@@ -285,9 +348,28 @@ mod imp {
             unreachable!("stub Poller cannot be constructed")
         }
     }
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "fd-limit control requires Linux prlimit64 (x86_64/aarch64)",
+        ))
+    }
+
+    pub fn nofile_limit() -> io::Result<(u64, u64)> {
+        unsupported()
+    }
+
+    pub fn set_nofile_limit(_soft: u64, _hard: u64) -> io::Result<()> {
+        unsupported()
+    }
+
+    pub fn raise_nofile_limit(_target: u64) -> io::Result<u64> {
+        unsupported()
+    }
 }
 
-pub use imp::Poller;
+pub use imp::{nofile_limit, raise_nofile_limit, set_nofile_limit, Poller};
 
 #[cfg(all(
     test,
@@ -342,6 +424,18 @@ mod tests {
         a.write_all(b"more").unwrap();
         poller.wait(&mut events, 0).unwrap();
         assert!(events.iter().all(|e| e.token != 7));
+    }
+
+    /// Read-only checks for the rlimit shim; mutations live in the
+    /// dedicated fd-exhaustion integration test, which owns its process —
+    /// lowering the soft limit here would sabotage parallel tests.
+    #[test]
+    fn nofile_limit_reads_sane_values() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft >= 8, "soft fd limit {soft} below any working minimum");
+        assert!(hard >= soft);
+        // Raising to the current soft limit is a no-op that must succeed.
+        assert_eq!(raise_nofile_limit(soft).unwrap(), soft);
     }
 
     #[test]

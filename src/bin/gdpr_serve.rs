@@ -28,12 +28,20 @@ gdpr-serve — wire-protocol network front-end for the GDPR compliance engine
 USAGE:
   gdpr-serve [--db redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi]
              [--addr HOST:PORT] [--shards N] [--workers N] [--compliant]
+             [--encrypt] [--encrypt-key KEY]
              [--data-dir DIR] [--index-snapshot-dir DIR]
 
 Defaults: --db redis-mi, --addr 127.0.0.1:7878, --shards $GDPR_SHARDS (else 4),
 --workers = CPU parallelism. The server pipelines: clients may keep many
 requests in flight per connection; responses come back in request order.
 
+--encrypt                 require the SecureChannel handshake on every
+                          connection; all frames travel as sealed records.
+                          Plaintext clients are dropped without answer.
+                          (GDPR_ENCRYPT=1 in the environment does the same.)
+--encrypt-key KEY         pre-shared key for --encrypt (default: a well-known
+                          benchmark key; also GDPR_ENCRYPT_KEY). Implies
+                          --encrypt.
 --data-dir DIR            persist kvstore shards to DIR/shard-N.aof (replayed
                           on restart, torn tails truncated away)
 --index-snapshot-dir DIR  recover metadata indexes from snapshot images in
@@ -45,12 +53,16 @@ struct ServeArgs {
     spec: ConnectorSpec,
     addr: String,
     workers: Option<usize>,
+    encrypt: Option<String>,
 }
 
 fn parse_args() -> Result<ServeArgs, String> {
     let mut spec = ConnectorSpec::new("redis-mi");
     let mut addr = "127.0.0.1:7878".to_string();
     let mut workers = None;
+    // Start from the environment (GDPR_ENCRYPT / GDPR_ENCRYPT_KEY);
+    // explicit flags override.
+    let mut encrypt = gdprbench_repro::gdpr_server::secure::encrypt_key_from_env();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut take = |name: &str| {
@@ -73,6 +85,12 @@ fn parse_args() -> Result<ServeArgs, String> {
                 );
             }
             "--compliant" => spec.compliant = true,
+            "--encrypt" => {
+                encrypt.get_or_insert_with(|| {
+                    gdprbench_repro::gdpr_server::secure::DEFAULT_PSK.to_string()
+                });
+            }
+            "--encrypt-key" => encrypt = Some(take("encrypt-key")?),
             "--data-dir" => spec.data_dir = Some(take("data-dir")?),
             "--index-snapshot-dir" => spec.snapshot_dir = Some(take("index-snapshot-dir")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -89,6 +107,7 @@ fn parse_args() -> Result<ServeArgs, String> {
         spec,
         addr,
         workers,
+        encrypt,
     })
 }
 
@@ -112,6 +131,21 @@ fn main() {
         config.workers = workers.max(1);
         config.queue_depth = config.workers * 32;
     }
+    config.encrypt = args.encrypt;
+    // Serving many thousands of connections needs more descriptors than
+    // the usual 1024 soft default; raise toward the hard limit up front.
+    match gdprbench_repro::gdpr_server::sys::raise_nofile_limit(65536) {
+        Ok(limit) => {
+            if limit < 65536 {
+                eprintln!(
+                    "gdpr-serve: fd soft limit capped at {limit} by the hard limit; \
+                     very high connection counts may hit EMFILE (accepts pause, \
+                     established connections keep serving)"
+                );
+            }
+        }
+        Err(e) => eprintln!("gdpr-serve: could not raise fd limit: {e}"),
+    }
     let name = engine.name().to_string();
     // Keep a handle for the graceful-shutdown flush; the server owns its
     // own clone.
@@ -124,11 +158,21 @@ fn main() {
         }
     };
     println!(
-        "gdpr-serve: serving {name} on {} ({} workers); drive it with \
-         `gdprbench run --db remote --addr {}`",
+        "gdpr-serve: serving {name} on {} ({} workers, {} transport); drive it with \
+         `gdprbench run --db remote --addr {}{}`",
         server.local_addr(),
         config.workers,
+        if config.encrypt.is_some() {
+            "encrypted"
+        } else {
+            "plaintext"
+        },
         server.local_addr(),
+        if config.encrypt.is_some() {
+            " --encrypt"
+        } else {
+            ""
+        },
     );
     if args.spec.data_dir.is_some() || args.spec.snapshot_dir.is_some() {
         // Durable state configured: honour a graceful-shutdown request so

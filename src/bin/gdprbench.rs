@@ -30,7 +30,7 @@ USAGE:
   gdprbench run      --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote>
                      --workload <controller|customer|processor|regulator|all>
                      [--records N] [--ops N] [--threads N] [--shards N] [--no-oracle] [--compliant]
-                     [--addr HOST:PORT] [--clients N]
+                     [--addr HOST:PORT] [--clients N] [--encrypt] [--encrypt-key KEY]
   gdprbench ycsb     --db <redis|postgres> --workload <A|B|C|D|E|F|all>
                      [--records N] [--ops N] [--threads N]
   gdprbench features --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote>
@@ -43,7 +43,10 @@ The sharded variant hash-partitions records across N engines (default
 server, --clients sizes the connection pool (default: --threads), and the
 run measures real networked request/response cost. Note the server keeps
 its state across workloads — point `gdprbench run` at a fresh server for
-oracle-checked correctness runs.
+oracle-checked correctness runs. --encrypt (or GDPR_ENCRYPT=1) runs the
+SecureChannel transport: the handshake precedes the first op and every
+frame travels sealed; the key comes from --encrypt-key / GDPR_ENCRYPT_KEY
+and must match the server's.
 
 METRICS (as defined in §4.2.3 of the paper):
   correctness     fraction of responses matching the oracle (single-threaded runs)
@@ -65,7 +68,7 @@ fn parse_args() -> Result<Args, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {flag}"))?
             .to_string();
-        if key == "no-oracle" || key == "compliant" {
+        if key == "no-oracle" || key == "compliant" || key == "encrypt" {
             flags.insert(key, "true".to_string());
         } else {
             let value = argv
@@ -105,6 +108,13 @@ fn spec_from_args(args: &Args, threads: usize) -> Result<ConnectorSpec, String> 
     spec.addr = args.flags.get("addr").cloned();
     // One pooled connection per client thread unless pinned explicitly.
     spec.clients = args.get_num("clients", threads.max(1))?;
+    // --encrypt / --encrypt-key override the GDPR_ENCRYPT environment
+    // default already resolved by `ConnectorSpec::new`.
+    if let Some(key) = args.flags.get("encrypt-key") {
+        spec.encrypt = Some(key.clone());
+    } else if args.has("encrypt") && spec.encrypt.is_none() {
+        spec.encrypt = Some(gdprbench_repro::gdpr_server::secure::DEFAULT_PSK.to_string());
+    }
     Ok(spec)
 }
 

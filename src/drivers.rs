@@ -22,6 +22,10 @@ pub struct ConnectorSpec {
     pub addr: Option<String>,
     /// Client connections to pool (remote only; defaults to 1).
     pub clients: usize,
+    /// `Some(pre-shared key)` runs the remote transport encrypted
+    /// (`SecureChannel` handshake before the first op); defaults from
+    /// `GDPR_ENCRYPT` / `GDPR_ENCRYPT_KEY` like the server side.
+    pub encrypt: Option<String>,
     /// Directory for per-shard AOF files (`redis*` variants): stores open
     /// through [`kvstore::KvStore::open_persistent`], replaying any
     /// existing log, so data survives restarts.
@@ -40,6 +44,7 @@ impl ConnectorSpec {
             shards: gdpr_core::shard_count_from_env(),
             addr: None,
             clients: 1,
+            encrypt: gdpr_server::secure::encrypt_key_from_env(),
             data_dir: None,
             snapshot_dir: None,
         }
@@ -167,8 +172,12 @@ pub fn build_connector(spec: &ConnectorSpec) -> Result<EngineHandle, String> {
                 .as_deref()
                 .ok_or_else(|| "--db remote requires --addr HOST:PORT".to_string())?;
             Arc::new(
-                connectors::RemoteConnector::connect_pool(addr, spec.clients.max(1))
-                    .map_err(|e| e.to_string())?,
+                connectors::RemoteConnector::connect_pool_with(
+                    addr,
+                    spec.clients.max(1),
+                    spec.encrypt.as_deref(),
+                )
+                .map_err(|e| e.to_string())?,
             )
         }
         other => return Err(format!("unknown --db {other} (expected {DB_CHOICES})")),
@@ -231,6 +240,30 @@ mod tests {
         )
         .unwrap();
         assert_eq!(conn.record_count(), 1);
+        server.shutdown();
+    }
+
+    /// `--encrypt` on both ends talks; a plaintext spec against an
+    /// encrypted server is refused at connect, not silently downgraded.
+    #[test]
+    fn remote_spec_encrypted_roundtrip_and_downgrade_refusal() {
+        let engine = build_connector(&ConnectorSpec::new("redis-mi")).unwrap();
+        let config = gdpr_server::ServerConfig {
+            encrypt: Some("drv-psk".to_string()),
+            ..Default::default()
+        };
+        let server = gdpr_server::GdprServer::bind(engine, "127.0.0.1:0", config).unwrap();
+        let mut spec = ConnectorSpec::new("remote");
+        spec.addr = Some(server.local_addr().to_string());
+        spec.encrypt = Some("drv-psk".to_string());
+        let conn = build_connector(&spec).unwrap();
+        assert_eq!(conn.name(), "redis-mi");
+        assert_eq!(conn.record_count(), 0);
+        spec.encrypt = None;
+        assert!(
+            build_connector(&spec).is_err(),
+            "plaintext client must not reach an encrypted server"
+        );
         server.shutdown();
     }
 }
