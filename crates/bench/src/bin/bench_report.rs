@@ -1,10 +1,10 @@
 //! Machine-readable benchmark report: runs the `remote_throughput`,
-//! encrypted-transport, and `shard_scaling` experiment suites in one
-//! process and writes a suite → metric → value JSON file (default
-//! `BENCH_7.json`) alongside the usual text tables.
+//! encrypted-transport, `shard_scaling`, and open-loop `latency` suites in
+//! one process and writes a suite → metric → value JSON file (default
+//! `BENCH_8.json`) alongside the usual text tables.
 //!
 //! ```sh
-//! bench_report --records 20000 --ops 60000 --out BENCH_7.json
+//! bench_report --records 20000 --ops 60000 --out BENCH_8.json
 //! ```
 //!
 //! Accepts the common experiment flags (`--records`, `--ops`,
@@ -14,15 +14,15 @@
 
 use bench::cli::Params;
 use bench::experiments::remote::{
-    run_connection_scaling, run_depth_sweep, run_encryption_ladder, run_remote_comparison,
-    DEFAULT_CLIENTS, DEPTH_SWEEP, IDLE_LADDER,
+    run_connection_scaling, run_depth_sweep, run_encryption_ladder, run_instrumentation_overhead,
+    run_latency_profile, run_remote_comparison, DEFAULT_CLIENTS, DEPTH_SWEEP, IDLE_LADDER,
 };
 use bench::experiments::sharding::{run_point_op_scaling, DEFAULT_LADDER};
 use bench::report::BenchReport;
 
 fn main() {
     // Peel off `--out PATH`; everything else is the common flag set.
-    let mut out_path = "BENCH_7.json".to_string();
+    let mut out_path = "BENCH_8.json".to_string();
     let mut rest = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -41,7 +41,7 @@ fn main() {
     let params = match Params::parse_from(rest) {
         Ok(params) => params,
         Err(msg) => {
-            eprintln!("{msg}\nplus: [--out PATH] (default BENCH_7.json)");
+            eprintln!("{msg}\nplus: [--out PATH] (default BENCH_8.json)");
             std::process::exit(2);
         }
     };
@@ -161,6 +161,29 @@ fn main() {
             top / one.max(1e-9),
         );
     }
+
+    // Suite 6: open-loop latency percentiles (coordinated-omission-safe)
+    // for roundtrip/pipelined × plaintext/encrypted, plus the telemetry
+    // instrumentation-overhead A/B on the pipelined ladder.
+    let (lat_table, lat_series) = run_latency_profile(
+        shards,
+        params.records,
+        params.ops.min(40_000),
+        params.threads.max(4),
+    );
+    println!("{}", lat_table.render());
+    for (metric, value) in &lat_series {
+        report.record("latency", metric, *value);
+    }
+    let (tp_on, tp_off, overhead_pct) =
+        run_instrumentation_overhead(shards, params.records, params.ops, params.threads.max(4));
+    println!(
+        "instrumentation overhead: {:.1} ops/s recording on vs {:.1} off ({overhead_pct:.2}%)\n",
+        tp_on, tp_off
+    );
+    report.record("latency", "recording_on_ops_per_sec", tp_on);
+    report.record("latency", "recording_off_ops_per_sec", tp_off);
+    report.record("latency", "instrumentation_overhead_pct", overhead_pct);
 
     let json = report.to_json();
     if let Err(e) = std::fs::write(&out_path, &json) {

@@ -475,6 +475,10 @@ impl GdprConnector for PostgresConnector {
         self.engine.name()
     }
 
+    fn op_telemetry(&self) -> Option<gdpr_core::telemetry::OpTelemetrySnapshot> {
+        self.engine.op_telemetry()
+    }
+
     fn close(&self) -> GdprResult<()> {
         PostgresConnector::close(self).map(|_| ())
     }

@@ -425,6 +425,10 @@ impl GdprConnector for RedisConnector {
         self.engine.name()
     }
 
+    fn op_telemetry(&self) -> Option<gdpr_core::telemetry::OpTelemetrySnapshot> {
+        self.engine.op_telemetry()
+    }
+
     fn close(&self) -> GdprResult<()> {
         RedisConnector::close(self).map(|_| ())
     }

@@ -18,7 +18,7 @@ use gdpr_core::response::GdprResponse;
 use gdpr_core::role::Session;
 use gdpr_core::GdprConnector;
 use gdpr_server::secure;
-use gdpr_server::wire::{self, RequestBody, ResponseBody, StatsSnapshot};
+use gdpr_server::wire::{self, MetricsReport, RequestBody, ResponseBody, StatsSnapshot};
 use gdpr_server::{GdprServer, ServerConfig};
 use parking_lot::Mutex;
 use std::io::{BufReader, Write};
@@ -315,6 +315,16 @@ impl GdprClient {
             other => Err(io_err("protocol", format!("unexpected response {other:?}"))),
         }
     }
+
+    /// The server's full telemetry snapshot: per-opcode op/error counts and
+    /// latency histograms, per-stage pipeline histograms, and the flat
+    /// server/security counters.
+    pub fn metrics(&self) -> GdprResult<MetricsReport> {
+        match self.roundtrip(&RequestBody::GetMetrics)? {
+            ResponseBody::Metrics(report) => Ok(report),
+            other => Err(io_err("protocol", format!("unexpected response {other:?}"))),
+        }
+    }
 }
 
 /// A [`GdprConnector`] over the wire: a pool of [`GdprClient`] connections
@@ -459,5 +469,15 @@ impl GdprConnector for RemoteConnector {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The server engine's per-opcode table, fetched over the wire via
+    /// `GetMetrics`; `None` when the server is unreachable rather than a
+    /// fabricated empty table.
+    fn op_telemetry(&self) -> Option<gdpr_core::telemetry::OpTelemetrySnapshot> {
+        self.client()
+            .metrics()
+            .ok()
+            .map(|report| gdpr_core::telemetry::OpTelemetrySnapshot { ops: report.ops })
     }
 }

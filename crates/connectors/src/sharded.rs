@@ -208,6 +208,10 @@ impl GdprConnector for ShardedRedisConnector {
         GdprConnector::name(&self.engine)
     }
 
+    fn op_telemetry(&self) -> Option<gdpr_core::telemetry::OpTelemetrySnapshot> {
+        self.engine.op_telemetry()
+    }
+
     fn close(&self) -> GdprResult<()> {
         ShardedRedisConnector::close(self).map(|_| ())
     }

@@ -7,6 +7,7 @@ use crate::error::GdprResult;
 use crate::query::GdprQuery;
 use crate::response::GdprResponse;
 use crate::role::Session;
+use crate::telemetry::OpTelemetrySnapshot;
 
 /// Space accounting for the Table 3 metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,6 +74,14 @@ pub trait GdprConnector: Send + Sync {
     fn close(&self) -> GdprResult<()> {
         Ok(())
     }
+
+    /// A snapshot of this connector's per-opcode telemetry, when it keeps
+    /// one. The local engines override this; remote/proxy connectors keep
+    /// the default `None` (their server owns the authoritative counters —
+    /// fetch them with the `GetMetrics` wire op instead).
+    fn op_telemetry(&self) -> Option<OpTelemetrySnapshot> {
+        None
+    }
 }
 
 /// A shareable handle to any engine/connector — what a network front-end
@@ -111,6 +120,10 @@ impl<T: GdprConnector + ?Sized> GdprConnector for std::sync::Arc<T> {
 
     fn close(&self) -> GdprResult<()> {
         (**self).close()
+    }
+
+    fn op_telemetry(&self) -> Option<OpTelemetrySnapshot> {
+        (**self).op_telemetry()
     }
 }
 

@@ -35,10 +35,12 @@ use crate::response::GdprResponse;
 use crate::role::Session;
 use crate::snapshot::{self, IndexRecovery, SnapshotStamp};
 use crate::store::{RecordPredicate, RecordStore};
+use crate::telemetry::{OpTelemetry, OpTelemetrySnapshot};
 use crate::GdprConnector;
 use clock::SharedClock;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Where (and as which shard of which topology) this engine persists its
 /// index snapshot.
@@ -59,6 +61,10 @@ pub struct ComplianceEngine<S: RecordStore> {
     snapshot: Option<SnapshotConfig>,
     /// How the index came up on the snapshot-aware open path.
     recovery: Option<IndexRecovery>,
+    /// Per-opcode service-time telemetry, recorded at the execute entry
+    /// points (never inside `dispatch`, so a sharded router timing its
+    /// shards' dispatches directly counts each op exactly once).
+    telemetry: Arc<OpTelemetry>,
 }
 
 impl<S: RecordStore> ComplianceEngine<S> {
@@ -74,6 +80,7 @@ impl<S: RecordStore> ComplianceEngine<S> {
             store,
             snapshot: None,
             recovery: None,
+            telemetry: Arc::new(OpTelemetry::new()),
         }
     }
 
@@ -257,10 +264,18 @@ impl<S: RecordStore> ComplianceEngine<S> {
         self.index.as_ref()
     }
 
+    /// This engine's per-opcode telemetry table.
+    pub fn telemetry(&self) -> &Arc<OpTelemetry> {
+        &self.telemetry
+    }
+
     /// Execute one GDPR query under a session, recording it in the audit
     /// trail whatever the outcome (G30: every interaction is logged).
     pub fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        let started = Instant::now();
         let result = self.dispatch(session, query);
+        self.telemetry
+            .record(query, started.elapsed(), result.is_err());
         self.audit
             .record_batch(vec![audit_draft(session, query, &result)]);
         result
@@ -279,7 +294,10 @@ impl<S: RecordStore> ComplianceEngine<S> {
             if matches!(query, GdprQuery::GetSystemLogs { .. }) {
                 self.audit.record_batch(std::mem::take(&mut drafts));
             }
+            let started = Instant::now();
             let result = self.dispatch(session, query);
+            self.telemetry
+                .record(query, started.elapsed(), result.is_err());
             drafts.push(audit_draft(session, query, &result));
             results.push(result);
         }
@@ -648,6 +666,10 @@ impl<S: RecordStore> GdprConnector for ComplianceEngine<S> {
 
     fn close(&self) -> GdprResult<()> {
         ComplianceEngine::close(self).map(|_| ())
+    }
+
+    fn op_telemetry(&self) -> Option<OpTelemetrySnapshot> {
+        Some(self.telemetry.snapshot())
     }
 }
 

@@ -59,6 +59,7 @@ pub mod role;
 pub mod sharded;
 pub mod snapshot;
 pub mod store;
+pub mod telemetry;
 pub mod wire;
 
 pub use compliance::{ComplianceFeature, FeatureReport};
@@ -73,3 +74,6 @@ pub use role::{Role, Session};
 pub use sharded::{shard_count_from_env, shard_of, ShardedEngine};
 pub use snapshot::{IndexRecovery, SnapshotInvalid, SnapshotStamp};
 pub use store::{RecordPredicate, RecordStore};
+pub use telemetry::{
+    AtomicHistogram, HistogramSnapshot, OpSnapshot, OpTelemetry, OpTelemetrySnapshot,
+};

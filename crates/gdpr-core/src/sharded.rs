@@ -47,9 +47,11 @@ use crate::query::{GdprQuery, MetadataUpdate};
 use crate::response::GdprResponse;
 use crate::role::Session;
 use crate::store::{RecordPredicate, RecordStore};
+use crate::telemetry::{OpTelemetry, OpTelemetrySnapshot};
 use crate::GdprConnector;
 use parking_lot::Mutex;
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 /// The stable key→shard map: FNV-1a over the key bytes, mod `shard_count`.
 /// Deliberately *not* a randomized hasher — the placement must be identical
@@ -143,6 +145,11 @@ pub struct ShardedEngine<S: RecordStore> {
     /// Workers for parallel predicate fan-out; `None` for a single shard,
     /// where fan-out degenerates to one probe.
     fanout: Option<FanoutPool>,
+    /// Per-opcode telemetry at the router, the deployment's entry point:
+    /// every op (point, fanned-out, or system) is timed end-to-end here
+    /// exactly once. The shards' own tables stay untouched — the router
+    /// reaches them via `dispatch`, below their execute entry points.
+    telemetry: Arc<OpTelemetry>,
 }
 
 impl<S: RecordStore + 'static> ShardedEngine<S> {
@@ -263,6 +270,7 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
             name,
             fanout,
             shards,
+            telemetry: Arc::new(OpTelemetry::new()),
         })
     }
 
@@ -302,10 +310,18 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
         &self.audit
     }
 
+    /// The router's per-opcode telemetry table.
+    pub fn telemetry(&self) -> &Arc<OpTelemetry> {
+        &self.telemetry
+    }
+
     /// Execute one GDPR query, recording exactly one event in the unified
     /// audit trail whatever the outcome or fan-out (G30).
     pub fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        let started = Instant::now();
         let result = self.route(session, query);
+        self.telemetry
+            .record(query, started.elapsed(), result.is_err());
         self.audit
             .record_batch(vec![audit_draft(session, query, &result)]);
         result
@@ -344,7 +360,10 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
                 if matches!(query, GdprQuery::GetSystemLogs { .. }) {
                     self.audit.record_batch(std::mem::take(&mut drafts));
                 }
+                let started = Instant::now();
                 let result = self.route(session, query);
+                self.telemetry
+                    .record(query, started.elapsed(), result.is_err());
                 drafts.push(audit_draft(session, query, &result));
                 results[i] = Some(result);
                 i += 1;
@@ -383,9 +402,11 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
                     let shard = Arc::clone(&self.shards[s]);
                     let ops = Arc::clone(ops);
                     let tx = tx.clone();
+                    let telemetry = Arc::clone(&self.telemetry);
                     pool.submit(Box::new(move || {
                         for idx in group {
                             let (session, query) = &ops[idx];
+                            let started = Instant::now();
                             // A panicking op must neither hang the collector
                             // nor take its group's successors with it.
                             let result =
@@ -395,6 +416,7 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
                                 .unwrap_or_else(|_| {
                                     Err(GdprError::Store("shard batch worker panicked".to_string()))
                                 });
+                            telemetry.record(query, started.elapsed(), result.is_err());
                             let _ = tx.send((idx, result));
                         }
                     }));
@@ -415,7 +437,11 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
                 for idx in start..end {
                     let (session, query) = &ops[idx];
                     let key = point_key(query).expect("segment holds only point ops");
-                    results[idx] = Some(self.shard_for(key).dispatch(session, query));
+                    let started = Instant::now();
+                    let result = self.shard_for(key).dispatch(session, query);
+                    self.telemetry
+                        .record(query, started.elapsed(), result.is_err());
+                    results[idx] = Some(result);
                 }
             }
         }
@@ -754,6 +780,10 @@ impl<S: RecordStore + 'static> GdprConnector for ShardedEngine<S> {
 
     fn close(&self) -> GdprResult<()> {
         ShardedEngine::close(self).map(|_| ())
+    }
+
+    fn op_telemetry(&self) -> Option<OpTelemetrySnapshot> {
+        Some(self.telemetry.snapshot())
     }
 }
 
@@ -1450,5 +1480,59 @@ mod tests {
         assert!(space.total_bytes > space.personal_data_bytes);
         assert_eq!(engine.name(), "mem-sharded");
         assert_eq!(engine.named("custom").name(), "custom");
+    }
+
+    /// The no-double-count invariant: the router records every op exactly
+    /// once — across single-op execute, the parallel point-segment path,
+    /// and fanned-out predicates — and the shards' own tables stay empty
+    /// (the router reaches them via `dispatch`, below their telemetry).
+    #[test]
+    fn telemetry_counts_each_op_exactly_once() {
+        for shards in [1usize, 8] {
+            let engine = sharded(shards);
+            let controller = Session::controller();
+            // 16 creates through the batched (parallel) path, spanning
+            // several shards.
+            let ops: Vec<_> = (0..16)
+                .map(|i| {
+                    (
+                        controller.clone(),
+                        GdprQuery::CreateRecord(record(&format!("k{i}"), "neo", &["ads"])),
+                    )
+                })
+                .collect();
+            for r in engine.execute_batch(ops) {
+                r.unwrap();
+            }
+            // One single-op read, one fanned-out predicate, one error.
+            let processor = Session::processor("ads");
+            engine
+                .execute(&processor, &GdprQuery::ReadDataByKey("k0".into()))
+                .unwrap();
+            engine
+                .execute(
+                    &Session::customer("neo"),
+                    &GdprQuery::ReadDataByUser("neo".into()),
+                )
+                .unwrap();
+            engine
+                .execute(&processor, &GdprQuery::ReadDataByKey("missing".into()))
+                .unwrap_err();
+
+            let snap = engine.op_telemetry().expect("router keeps telemetry");
+            let creates = snap.get("create-record").unwrap();
+            assert_eq!((creates.ok, creates.errors), (16, 0), "shards={shards}");
+            assert_eq!(creates.latency.count, 16);
+            let reads = snap.get("read-data-by-key").unwrap();
+            assert_eq!((reads.ok, reads.errors), (1, 1), "shards={shards}");
+            let by_user = snap.get("read-data-by-usr").unwrap();
+            assert_eq!((by_user.ok, by_user.errors), (1, 0), "shards={shards}");
+            assert_eq!(snap.total_ops(), 19, "shards={shards}");
+            // Shard-inner tables must be empty, or GetMetrics would
+            // double-report at shard counts > 1.
+            for shard in engine.shards() {
+                assert_eq!(shard.telemetry().snapshot().total_ops(), 0);
+            }
+        }
     }
 }

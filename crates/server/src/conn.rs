@@ -135,7 +135,13 @@ impl OutBuf {
 #[allow(clippy::large_enum_variant)]
 pub(crate) enum DecodedOp {
     /// A well-formed request awaiting execution.
-    Request { seq: u64, body: RequestBody },
+    Request {
+        seq: u64,
+        body: RequestBody,
+        /// When the frame came off the decoder — the start of the
+        /// `decode_wait` telemetry stage (decode → executor pickup).
+        decoded_at: Instant,
+    },
     /// A pre-encoded response payload (protocol error) that must be
     /// emitted at exactly this position in the response order.
     Canned(Vec<u8>),
@@ -186,6 +192,10 @@ pub(crate) struct Conn {
     /// Last instant the outbound buffer made progress (or became owed);
     /// a stalled non-draining peer is killed past the write timeout.
     pub last_write_progress: Instant,
+    /// When the current batch's responses were enqueued on a previously
+    /// empty outbuf — the start of the `write_drain` telemetry stage,
+    /// recorded (and cleared) when the outbuf next drains to the socket.
+    pub write_batch_started: Option<Instant>,
     /// Record-layer state: plaintext, awaiting handshake, or established.
     pub(crate) transport: Transport,
 }
@@ -212,6 +222,7 @@ impl Conn {
             interest: (true, false),
             counters: Arc::new(ConnCounters::default()),
             last_write_progress: Instant::now(),
+            write_batch_started: None,
             transport: if encrypted {
                 Transport::Handshaking
             } else {

@@ -40,7 +40,9 @@ use std::time::{Duration, Instant};
 
 const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKE: u64 = 1;
-const FIRST_CONN_TOKEN: u64 = 2;
+/// The optional Prometheus exposition listener (`--metrics-addr`).
+const TOKEN_METRICS: u64 = 2;
+const FIRST_CONN_TOKEN: u64 = 3;
 
 /// How much one readiness wake may read from a single connection before
 /// yielding to the others (level-triggered epoll re-reports the rest).
@@ -96,12 +98,27 @@ pub(crate) fn wake_pair() -> io::Result<(Waker, TcpStream)> {
     ))
 }
 
+/// One connection to the metrics exposition listener: the full HTTP
+/// response is composed at accept time; all that remains is draining it.
+/// The request itself is never read — the endpoint serves exactly one
+/// document.
+struct MetricsConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
 pub(crate) struct EventLoop {
     shared: Arc<ServerShared>,
     poller: sys::Poller,
     listener: TcpListener,
+    /// Plaintext Prometheus exposition listener, when configured.
+    metrics_listener: Option<TcpListener>,
     wake_rx: TcpStream,
     conns: HashMap<u64, Conn>,
+    /// In-progress metrics responses, keyed by token (same space as
+    /// `conns`; a token is in at most one of the two maps).
+    metrics_conns: HashMap<u64, MetricsConn>,
     next_token: u64,
     /// Connections whose batch submission found the executor full.
     stalled: Vec<u64>,
@@ -118,17 +135,24 @@ impl EventLoop {
         shared: Arc<ServerShared>,
         poller: sys::Poller,
         listener: TcpListener,
+        metrics_listener: Option<TcpListener>,
         wake_rx: TcpStream,
     ) -> io::Result<EventLoop> {
         listener.set_nonblocking(true)?;
         poller.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
         poller.add(wake_rx.as_raw_fd(), TOKEN_WAKE, true, false)?;
+        if let Some(metrics) = &metrics_listener {
+            metrics.set_nonblocking(true)?;
+            poller.add(metrics.as_raw_fd(), TOKEN_METRICS, true, false)?;
+        }
         Ok(EventLoop {
             shared,
             poller,
             listener,
+            metrics_listener,
             wake_rx,
             conns: HashMap::new(),
+            metrics_conns: HashMap::new(),
             next_token: FIRST_CONN_TOKEN,
             stalled: Vec::new(),
             events: Vec::with_capacity(256),
@@ -162,6 +186,12 @@ impl EventLoop {
                 match event.token {
                     TOKEN_LISTENER => self.accept_ready(),
                     TOKEN_WAKE => self.drain_wake(),
+                    TOKEN_METRICS => self.accept_metrics(),
+                    token if self.metrics_conns.contains_key(&token) => {
+                        if event.writable {
+                            self.flush_metrics_conn(token);
+                        }
+                    }
                     token => {
                         if event.writable {
                             self.flush_conn(token);
@@ -231,6 +261,85 @@ impl EventLoop {
                 continue;
             }
             self.conns.insert(token, conn);
+        }
+    }
+
+    /// Accept metrics scrapes: compose the full HTTP response immediately
+    /// (the snapshot belongs to the accept instant) and drain it as the
+    /// socket allows. Never reads — a scraper that wants a second sample
+    /// opens a second connection.
+    fn accept_metrics(&mut self) {
+        let mut accepted = Vec::new();
+        if let Some(listener) = &self.metrics_listener {
+            for _ in 0..ACCEPT_BURST {
+                match listener.accept() {
+                    Ok((stream, _)) => accepted.push(stream),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    // Metrics scrapes are best-effort; any other accept
+                    // failure just waits for the next readiness report.
+                    Err(_) => break,
+                }
+            }
+        }
+        for stream in accepted {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            stream.set_nodelay(true).ok();
+            let report = crate::metrics::build_metrics_report(&self.shared);
+            let buf = crate::metrics::http_response(&report);
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poller
+                .add(stream.as_raw_fd(), token, false, true)
+                .is_err()
+            {
+                continue;
+            }
+            self.metrics_conns.insert(
+                token,
+                MetricsConn {
+                    stream,
+                    buf,
+                    pos: 0,
+                },
+            );
+            self.flush_metrics_conn(token);
+        }
+    }
+
+    /// Drain one metrics response; close once it is fully written (or on
+    /// any write failure — there is nothing to salvage).
+    fn flush_metrics_conn(&mut self, token: u64) {
+        let Some(mc) = self.metrics_conns.get_mut(&token) else {
+            return;
+        };
+        loop {
+            if mc.pos == mc.buf.len() {
+                self.close_metrics_conn(token);
+                return;
+            }
+            match mc.stream.write(&mc.buf[mc.pos..]) {
+                Ok(0) => {
+                    self.close_metrics_conn(token);
+                    return;
+                }
+                Ok(n) => mc.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_metrics_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn close_metrics_conn(&mut self, token: u64) {
+        if let Some(mc) = self.metrics_conns.remove(&token) {
+            let _ = self.poller.delete(mc.stream.as_raw_fd());
+            let _ = mc.stream.shutdown(Shutdown::Both);
         }
     }
 
@@ -384,7 +493,11 @@ impl EventLoop {
                         },
                     };
                     match wire::decode_request(&plaintext) {
-                        Ok((seq, body)) => conn.pending.push_back(DecodedOp::Request { seq, body }),
+                        Ok((seq, body)) => conn.pending.push_back(DecodedOp::Request {
+                            seq,
+                            body,
+                            decoded_at: Instant::now(),
+                        }),
                         Err(err) => {
                             self.shared
                                 .stats
@@ -453,7 +566,10 @@ impl EventLoop {
         conn.in_flight = true;
         let shared = Arc::clone(&self.shared);
         let counters = Arc::clone(&conn.counters);
+        let submitted_at = Instant::now();
         let submitted = self.shared.executor.submit(Box::new(move || {
+            // Submit → worker pickup: pure executor queue pressure.
+            shared.telemetry.queue_wait.record(submitted_at.elapsed());
             let bytes = run_batch(&shared, &counters, ops);
             shared.completions.lock().push(Completion { token, bytes });
             shared.waker.wake();
@@ -483,8 +599,11 @@ impl EventLoop {
                 conn.in_flight = false;
                 if conn.outbuf.is_empty() && !completion.bytes.is_empty() {
                     // The write obligation starts now; stall tracking
-                    // must not count the idle time before it.
-                    conn.last_write_progress = Instant::now();
+                    // must not count the idle time before it. The same
+                    // instant starts the write_drain telemetry stage.
+                    let now = Instant::now();
+                    conn.last_write_progress = now;
+                    conn.write_batch_started = Some(now);
                 }
                 conn.enqueue(completion.bytes);
                 // Opportunistic write: a just-completed batch almost
@@ -530,6 +649,11 @@ impl EventLoop {
                     self.close_conn(token);
                     return;
                 }
+            }
+        }
+        if conn.outbuf.is_empty() {
+            if let Some(started) = conn.write_batch_started.take() {
+                self.shared.telemetry.write_drain.record(started.elapsed());
             }
         }
         if conn.outbuf.is_empty() && conn.close_after_flush && conn.drained() {
@@ -637,6 +761,10 @@ impl EventLoop {
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
             self.close_conn(token);
+        }
+        let metrics_tokens: Vec<u64> = self.metrics_conns.keys().copied().collect();
+        for token in metrics_tokens {
+            self.close_metrics_conn(token);
         }
     }
 

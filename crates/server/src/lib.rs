@@ -30,6 +30,7 @@
 pub mod codec;
 pub mod conn;
 mod event_loop;
+pub mod metrics;
 pub mod pool;
 pub mod secure;
 pub mod server;
@@ -38,6 +39,7 @@ pub mod wire;
 
 pub use codec::{WireError, WireResult};
 pub use conn::FrameDecoder;
+pub use metrics::render_prometheus;
 pub use pool::Executor;
 pub use server::{GdprServer, ServerConfig, ServerStats};
-pub use wire::{RequestBody, ResponseBody, StatsSnapshot, MAX_FRAME};
+pub use wire::{MetricsReport, RequestBody, ResponseBody, StageMetrics, StatsSnapshot, MAX_FRAME};

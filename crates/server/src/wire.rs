@@ -34,6 +34,7 @@ use gdpr_core::query::{MetadataField, MetadataUpdate};
 use gdpr_core::record::{Metadata, PersonalRecord};
 use gdpr_core::response::LogLine;
 use gdpr_core::role::{Role, Session};
+use gdpr_core::telemetry::{self, HistogramSnapshot, OpSnapshot};
 use gdpr_core::{GdprError, GdprQuery, GdprResponse};
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -118,6 +119,10 @@ pub enum RequestBody {
     Ping(Vec<u8>),
     /// opcode 0x06 — this connection's and the server's counters.
     ConnStats,
+    /// opcode 0x07 — the server's full telemetry snapshot: per-opcode
+    /// service-time histograms, per-stage pipeline histograms, and the
+    /// server/security counters.
+    GetMetrics,
 }
 
 pub fn encode_request(seq: u64, body: &RequestBody) -> Vec<u8> {
@@ -138,6 +143,7 @@ pub fn encode_request(seq: u64, body: &RequestBody) -> Vec<u8> {
             w.bytes(blob);
         }
         RequestBody::ConnStats => w.u8(0x06),
+        RequestBody::GetMetrics => w.u8(0x07),
     }
     w.into_bytes()
 }
@@ -158,6 +164,7 @@ pub fn decode_request(payload: &[u8]) -> WireResult<(u64, RequestBody)> {
         0x04 => RequestBody::Name,
         0x05 => RequestBody::Ping(r.bytes("ping blob")?.to_vec()),
         0x06 => RequestBody::ConnStats,
+        0x07 => RequestBody::GetMetrics,
         other => {
             return Err(WireError::new(
                 r.offset() - 1,
@@ -190,6 +197,52 @@ pub struct StatsSnapshot {
     pub server_requests: u64,
 }
 
+/// One named pipeline-stage histogram inside a [`MetricsReport`]
+/// (`queue_wait`, `execute`, `write_drain`, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageMetrics {
+    pub name: String,
+    pub histogram: HistogramSnapshot,
+}
+
+/// The server's full telemetry snapshot, served for `GetMetrics`: the
+/// engine's per-opcode table, the event loop's per-stage histograms, and
+/// the flat server/security counters — everything the Prometheus endpoint
+/// exposes, through the binary codec instead.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsReport {
+    /// Per-opcode service times and ok/error counts (engine-side).
+    pub ops: Vec<OpSnapshot>,
+    /// Per-stage request lifecycle histograms (server-side).
+    pub stages: Vec<StageMetrics>,
+    /// Flat named counters: connections, requests, and the transport
+    /// security counters (handshakes, replay/decrypt rejects).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsReport {
+    /// The value of a flat counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The per-opcode snapshot for a query name, if present.
+    pub fn op(&self, name: &str) -> Option<&OpSnapshot> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+
+    /// The stage histogram for a stage name, if present.
+    pub fn stage(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.histogram)
+    }
+}
+
 /// Every answer the server sends. The status byte doubles as the body tag.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ResponseBody {
@@ -214,6 +267,8 @@ pub enum ResponseBody {
     Pong(Vec<u8>),
     /// status 0x08 — answer to `ConnStats`.
     Stats(StatsSnapshot),
+    /// status 0x09 — answer to `GetMetrics`.
+    Metrics(MetricsReport),
 }
 
 pub fn encode_response(seq: u64, body: &ResponseBody) -> Vec<u8> {
@@ -262,6 +317,10 @@ pub fn encode_response(seq: u64, body: &ResponseBody) -> Vec<u8> {
             w.u64(stats.server_connections);
             w.u64(stats.server_requests);
         }
+        ResponseBody::Metrics(report) => {
+            w.u8(0x09);
+            encode_metrics_report(&mut w, report);
+        }
     }
     w.into_bytes()
 }
@@ -290,6 +349,7 @@ pub fn decode_response(payload: &[u8]) -> WireResult<(u64, ResponseBody)> {
             server_connections: r.u64("server connections")?,
             server_requests: r.u64("server requests")?,
         }),
+        0x09 => ResponseBody::Metrics(decode_metrics_report(&mut r)?),
         other => {
             return Err(WireError::new(
                 r.offset() - 1,
@@ -299,6 +359,116 @@ pub fn decode_response(payload: &[u8]) -> WireResult<(u64, ResponseBody)> {
     };
     r.finish()?;
     Ok((seq, body))
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry snapshots
+// ---------------------------------------------------------------------------
+
+/// Histograms travel sparse: `count | sum | min | max`, then a `u32` run of
+/// `(u32 bucket index, u64 bucket count)` pairs for the nonzero buckets
+/// only — a mostly-idle histogram is a few dozen bytes instead of 64×8.
+pub fn encode_histogram(w: &mut Writer, h: &HistogramSnapshot) {
+    w.u64(h.count);
+    w.u64(h.sum_ns);
+    w.u64(h.min_ns);
+    w.u64(h.max_ns);
+    let nonzero: Vec<(usize, u64)> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0)
+        .map(|(i, &c)| (i, c))
+        .collect();
+    w.count(nonzero.len());
+    for (idx, c) in nonzero {
+        w.u32(idx as u32);
+        w.u64(c);
+    }
+}
+
+pub fn decode_histogram(r: &mut Reader<'_>) -> WireResult<HistogramSnapshot> {
+    let mut h = HistogramSnapshot {
+        count: r.u64("histogram count")?,
+        sum_ns: r.u64("histogram sum")?,
+        min_ns: r.u64("histogram min")?,
+        max_ns: r.u64("histogram max")?,
+        ..HistogramSnapshot::default()
+    };
+    // Each sparse entry is 12 bytes (u32 index + u64 count) on the wire.
+    let n = r.count(12, "histogram buckets")?;
+    if n > telemetry::BUCKETS {
+        return Err(WireError::new(
+            r.offset(),
+            format!("{n} sparse buckets exceed the {} fixed", telemetry::BUCKETS),
+        ));
+    }
+    for _ in 0..n {
+        let at = r.offset();
+        let idx = r.u32("bucket index")? as usize;
+        if idx >= telemetry::BUCKETS {
+            return Err(WireError::new(
+                at,
+                format!(
+                    "bucket index {idx} out of range (max {})",
+                    telemetry::BUCKETS
+                ),
+            ));
+        }
+        h.buckets[idx] = r.u64("bucket count")?;
+    }
+    Ok(h)
+}
+
+pub fn encode_metrics_report(w: &mut Writer, report: &MetricsReport) {
+    w.count(report.ops.len());
+    for op in &report.ops {
+        w.string(&op.name);
+        w.u64(op.ok);
+        w.u64(op.errors);
+        encode_histogram(w, &op.latency);
+    }
+    w.count(report.stages.len());
+    for stage in &report.stages {
+        w.string(&stage.name);
+        encode_histogram(w, &stage.histogram);
+    }
+    w.count(report.counters.len());
+    for (name, value) in &report.counters {
+        w.string(name);
+        w.u64(*value);
+    }
+}
+
+pub fn decode_metrics_report(r: &mut Reader<'_>) -> WireResult<MetricsReport> {
+    let n_ops = r.count(52, "metric ops")?;
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        ops.push(OpSnapshot {
+            name: r.string("op name")?,
+            ok: r.u64("op ok count")?,
+            errors: r.u64("op error count")?,
+            latency: decode_histogram(r)?,
+        });
+    }
+    let n_stages = r.count(40, "metric stages")?;
+    let mut stages = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        stages.push(StageMetrics {
+            name: r.string("stage name")?,
+            histogram: decode_histogram(r)?,
+        });
+    }
+    let n_counters = r.count(12, "metric counters")?;
+    let mut counters = Vec::with_capacity(n_counters);
+    for _ in 0..n_counters {
+        counters.push((r.string("counter name")?, r.u64("counter value")?));
+    }
+    Ok(MetricsReport {
+        ops,
+        stages,
+        counters,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -881,6 +1051,64 @@ mod tests {
         PersonalRecord::new("ph-1", "123-456", metadata)
     }
 
+    fn sample_metrics() -> MetricsReport {
+        let hist = gdpr_core::AtomicHistogram::new();
+        hist.record(Duration::from_micros(3));
+        hist.record(Duration::from_millis(40));
+        hist.record_value(u64::MAX); // saturated bucket must survive the wire
+        MetricsReport {
+            ops: vec![OpSnapshot {
+                name: "create-record".to_string(),
+                ok: 41,
+                errors: 1,
+                latency: hist.snapshot(),
+            }],
+            stages: vec![
+                StageMetrics {
+                    name: "queue_wait".to_string(),
+                    histogram: hist.snapshot(),
+                },
+                StageMetrics {
+                    name: "execute".to_string(),
+                    histogram: HistogramSnapshot::default(), // empty histogram
+                },
+            ],
+            counters: vec![
+                ("connections".to_string(), 7),
+                ("replay_rejects".to_string(), 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn metrics_report_roundtrips_exactly() {
+        let report = sample_metrics();
+        let encoded = encode_response(99, &ResponseBody::Metrics(report.clone()));
+        let (seq, got) = decode_response(&encoded).unwrap();
+        assert_eq!(seq, 99);
+        assert_eq!(got, ResponseBody::Metrics(report.clone()));
+        // Accessors find what was encoded.
+        assert_eq!(report.counter("connections"), Some(7));
+        assert_eq!(report.counter("missing"), None);
+        assert_eq!(report.op("create-record").unwrap().ok, 41);
+        assert!(report.stage("execute").unwrap().is_empty());
+    }
+
+    #[test]
+    fn histogram_decode_rejects_out_of_range_bucket() {
+        let mut w = Writer::new();
+        w.u64(3); // count
+        w.u64(100); // sum
+        w.u64(1); // min
+        w.u64(50); // max
+        w.count(1);
+        w.u32(telemetry::BUCKETS as u32); // one past the last valid index
+        w.u64(3);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(decode_histogram(&mut r).is_err());
+    }
+
     #[test]
     fn request_roundtrip_covers_every_opcode() {
         let bodies = vec![
@@ -898,6 +1126,7 @@ mod tests {
             RequestBody::Name,
             RequestBody::Ping(vec![0, 1, 255]),
             RequestBody::ConnStats,
+            RequestBody::GetMetrics,
         ];
         for (seq, body) in bodies.into_iter().enumerate() {
             let encoded = encode_request(seq as u64 * 7, &body);
@@ -941,6 +1170,7 @@ mod tests {
                 server_connections: 5,
                 server_requests: 6,
             }),
+            ResponseBody::Metrics(sample_metrics()),
         ];
         for (seq, body) in bodies.into_iter().enumerate() {
             let encoded = encode_response(seq as u64, &body);

@@ -27,5 +27,8 @@ pub mod stats;
 pub mod ycsb;
 
 pub use gdpr::{GdprWorkload, GdprWorkloadKind};
-pub use runner::{run_gdpr_workload, run_ycsb_workload, GdprRunReport, YcsbRunReport};
+pub use runner::{
+    run_gdpr_workload, run_gdpr_workload_open_loop, run_ycsb_workload, GdprRunReport,
+    OpenLoopReport, YcsbRunReport,
+};
 pub use stats::{Histogram, OpStats};

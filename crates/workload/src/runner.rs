@@ -6,6 +6,7 @@ use crate::oracle::{responses_match, Oracle};
 use crate::stats::OpStats;
 use crate::ycsb::{apply_op, KvInterface, YcsbConfig, YcsbWorkload};
 use gdpr_core::connector::SpaceReport;
+use gdpr_core::telemetry::{AtomicHistogram, HistogramSnapshot};
 use gdpr_core::GdprConnector;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -204,6 +205,122 @@ pub fn run_gdpr_workload(
     }
 }
 
+/// Result of an open-loop run: latency measured against the arrival
+/// schedule, so the percentiles are immune to coordinated omission.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    pub workload: &'static str,
+    pub connector: String,
+    /// The offered rate (ops/sec across all sender threads).
+    pub arrival_rate: f64,
+    pub operations: u64,
+    pub errors: u64,
+    /// First intended send → last response.
+    pub completion: Duration,
+    /// Per-op latency from the op's *intended* send time (the fixed
+    /// schedule), not from when the sender actually got around to it.
+    pub latency: HistogramSnapshot,
+    /// Ops whose intended send time had already passed when the sender
+    /// reached them (the system is not keeping up with the offered rate;
+    /// their schedule-relative latencies still count — that is the point).
+    pub late_sends: u64,
+}
+
+impl OpenLoopReport {
+    /// The rate actually sustained (≤ the offered rate when saturated).
+    pub fn achieved_ops_per_sec(&self) -> f64 {
+        if self.completion.is_zero() {
+            return 0.0;
+        }
+        self.operations as f64 / self.completion.as_secs_f64()
+    }
+}
+
+/// Run one GDPRbench workload *open-loop*: op `i` is due at
+/// `start + i / arrival_rate`, senders sleep until each op's due time and
+/// never adjust the schedule to the system's pace. Latency is measured
+/// from the intended send time, so when the system falls behind, the
+/// waiting time counts against it — a closed-loop driver would silently
+/// stop offering load exactly when the system is slow (coordinated
+/// omission), making p99/p999 look far better than any real arrival
+/// process would experience.
+///
+/// The global schedule is interleaved across `threads` senders (thread
+/// `t` owns ops `t, t+threads, ...`), so one slow response delays only
+/// that sender's share of the schedule; with enough threads the offered
+/// rate holds through per-op stalls.
+pub fn run_gdpr_workload_open_loop(
+    connector: Arc<dyn GdprConnector>,
+    kind: GdprWorkloadKind,
+    corpus: crate::datagen::CorpusConfig,
+    ops: u64,
+    threads: usize,
+    arrival_rate: f64,
+) -> OpenLoopReport {
+    let threads = threads.max(1);
+    let arrival_rate = arrival_rate.max(1e-6);
+    let create_counter = Arc::new(AtomicU64::new(corpus.records as u64));
+    let interval = Duration::from_secs_f64(1.0 / arrival_rate);
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let connector = Arc::clone(&connector);
+        let corpus = corpus.clone();
+        let counter = Arc::clone(&create_counter);
+        handles.push(std::thread::spawn(move || {
+            let mut workload = GdprWorkload::new(kind, corpus, counter);
+            let mut rng = SmallRng::seed_from_u64(0xFACE ^ t as u64);
+            let latency = AtomicHistogram::new();
+            let mut errors = 0u64;
+            let mut late_sends = 0u64;
+            let mut sent = 0u64;
+            let mut i = t as u64;
+            while i < ops {
+                let (session, query) = workload.next_op(&mut rng);
+                let due = interval.mul_f64(i as f64);
+                let intended = start + due;
+                let now = Instant::now();
+                if now < intended {
+                    std::thread::sleep(intended - now);
+                } else if now > intended {
+                    late_sends += 1;
+                }
+                let result = connector.execute(&session, &query);
+                // From the schedule, not from the actual send: queueing
+                // behind a slow system is charged to the system.
+                latency.record(intended.elapsed());
+                if result.is_err() {
+                    errors += 1;
+                }
+                sent += 1;
+                i += threads as u64;
+            }
+            (latency.snapshot(), errors, late_sends, sent)
+        }));
+    }
+    let mut latency = HistogramSnapshot::default();
+    let mut errors = 0u64;
+    let mut late_sends = 0u64;
+    let mut operations = 0u64;
+    for h in handles {
+        let (snap, errs, late, sent) = h.join().expect("open-loop sender panicked");
+        latency.merge(&snap);
+        errors += errs;
+        late_sends += late;
+        operations += sent;
+    }
+    OpenLoopReport {
+        workload: kind.name(),
+        connector: connector.name().to_string(),
+        arrival_rate,
+        operations,
+        errors,
+        completion: start.elapsed(),
+        latency,
+        late_sends,
+    }
+}
+
 fn totals(per_query: &HashMap<&'static str, OpStats>) -> (u64, u64) {
     let operations = per_query.values().map(OpStats::total).sum();
     let errors = per_query.values().map(|s| s.errors).sum();
@@ -284,6 +401,89 @@ mod tests {
                     .collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn open_loop_run_follows_the_schedule_and_measures_from_it() {
+        let conn = Arc::new(connectors::RedisConnector::new(
+            kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap(),
+        ));
+        let corpus = stable_corpus(100);
+        load_corpus(conn.as_ref(), &corpus).unwrap();
+        // 200 ops at 2000/s over 2 senders: the schedule spans ~100ms and
+        // a local engine keeps up easily.
+        let report = run_gdpr_workload_open_loop(
+            conn as Arc<dyn GdprConnector>,
+            GdprWorkloadKind::Customer,
+            corpus,
+            200,
+            2,
+            2000.0,
+        );
+        assert_eq!(report.operations, 200);
+        assert_eq!(report.latency.count, 200);
+        // The run cannot finish before the last op's due time.
+        assert!(report.completion >= Duration::from_millis(90), "{report:?}");
+        // Percentiles come out monotone and populated.
+        let p50 = report.latency.p50_ns();
+        let p99 = report.latency.p99_ns();
+        let p999 = report.latency.p999_ns();
+        assert!(p50 > 0 && p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!(report.achieved_ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_charges_stall_time_to_the_schedule() {
+        use gdpr_core::compliance::FeatureReport;
+        use gdpr_core::{GdprError, GdprQuery, GdprResponse, Session};
+
+        /// A connector that stalls every op — the pathological case where
+        /// closed-loop drivers under-report: with a 5ms stall per op on
+        /// one sender, ops due while a stall is in progress must see the
+        /// stall in their measured latency.
+        struct SlowConnector;
+        impl GdprConnector for SlowConnector {
+            fn execute(
+                &self,
+                _session: &Session,
+                _query: &GdprQuery,
+            ) -> gdpr_core::error::GdprResult<GdprResponse> {
+                std::thread::sleep(Duration::from_millis(5));
+                Err(GdprError::NotFound("slow".to_string()))
+            }
+            fn features(&self) -> FeatureReport {
+                FeatureReport::default()
+            }
+            fn space_report(&self) -> SpaceReport {
+                SpaceReport::default()
+            }
+            fn record_count(&self) -> usize {
+                0
+            }
+            fn name(&self) -> &str {
+                "slow"
+            }
+        }
+
+        // 40 ops offered at 1000/s (1ms apart) on 1 sender, served at
+        // ~5ms each: the backlog grows ~4ms per op, so late ops must be
+        // charged tens of milliseconds even though each service time is
+        // only 5ms. A closed-loop driver would report ~5ms for every op.
+        let report = run_gdpr_workload_open_loop(
+            Arc::new(SlowConnector),
+            GdprWorkloadKind::Customer,
+            stable_corpus(10),
+            40,
+            1,
+            1000.0,
+        );
+        assert_eq!(report.operations, 40);
+        assert!(report.late_sends > 0, "{report:?}");
+        let p999 = Duration::from_nanos(report.latency.p999_ns());
+        assert!(
+            p999 >= Duration::from_millis(50),
+            "p999 {p999:?} should include schedule backlog, not just 5ms service time"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ USAGE:
   gdpr-serve [--db redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi]
              [--addr HOST:PORT] [--shards N] [--workers N] [--compliant]
              [--encrypt] [--encrypt-key KEY]
+             [--metrics-addr HOST:PORT] [--slow-op-ms MS]
              [--data-dir DIR] [--index-snapshot-dir DIR]
 
 Defaults: --db redis-mi, --addr 127.0.0.1:7878, --shards $GDPR_SHARDS (else 4),
@@ -42,6 +43,14 @@ requests in flight per connection; responses come back in request order.
 --encrypt-key KEY         pre-shared key for --encrypt (default: a well-known
                           benchmark key; also GDPR_ENCRYPT_KEY). Implies
                           --encrypt.
+--metrics-addr HOST:PORT  additionally serve the telemetry snapshot (per-op
+                          counts, latency histograms, pipeline stage
+                          histograms, security counters) as Prometheus text
+                          over plain TCP — one HTTP/1.0 response per
+                          connection, handled by the same event loop.
+--slow-op-ms MS           log ops slower than MS milliseconds to stderr
+                          (rate-limited to one line per second; also
+                          GDPR_SLOW_OP_MS).
 --data-dir DIR            persist kvstore shards to DIR/shard-N.aof (replayed
                           on restart, torn tails truncated away)
 --index-snapshot-dir DIR  recover metadata indexes from snapshot images in
@@ -54,6 +63,8 @@ struct ServeArgs {
     addr: String,
     workers: Option<usize>,
     encrypt: Option<String>,
+    metrics_addr: Option<String>,
+    slow_op_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<ServeArgs, String> {
@@ -63,6 +74,8 @@ fn parse_args() -> Result<ServeArgs, String> {
     // Start from the environment (GDPR_ENCRYPT / GDPR_ENCRYPT_KEY);
     // explicit flags override.
     let mut encrypt = gdprbench_repro::gdpr_server::secure::encrypt_key_from_env();
+    let mut metrics_addr = None;
+    let mut slow_op_ms = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut take = |name: &str| {
@@ -91,6 +104,14 @@ fn parse_args() -> Result<ServeArgs, String> {
                 });
             }
             "--encrypt-key" => encrypt = Some(take("encrypt-key")?),
+            "--metrics-addr" => metrics_addr = Some(take("metrics-addr")?),
+            "--slow-op-ms" => {
+                slow_op_ms = Some(
+                    take("slow-op-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slow-op-ms: {e}"))?,
+                );
+            }
             "--data-dir" => spec.data_dir = Some(take("data-dir")?),
             "--index-snapshot-dir" => spec.snapshot_dir = Some(take("index-snapshot-dir")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -108,6 +129,8 @@ fn parse_args() -> Result<ServeArgs, String> {
         addr,
         workers,
         encrypt,
+        metrics_addr,
+        slow_op_ms,
     })
 }
 
@@ -119,6 +142,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(ms) = args.slow_op_ms {
+        // The engines read the threshold from the environment when their
+        // telemetry is constructed, so this must precede build_connector.
+        std::env::set_var("GDPR_SLOW_OP_MS", ms.to_string());
+    }
     let engine = match build_connector(&args.spec) {
         Ok(engine) => engine,
         Err(msg) => {
@@ -132,6 +160,7 @@ fn main() {
         config.queue_depth = config.workers * 32;
     }
     config.encrypt = args.encrypt;
+    config.metrics_addr = args.metrics_addr;
     // Serving many thousands of connections needs more descriptors than
     // the usual 1024 soft default; raise toward the hard limit up front.
     match gdprbench_repro::gdpr_server::sys::raise_nofile_limit(65536) {
@@ -174,6 +203,9 @@ fn main() {
             ""
         },
     );
+    if let Some(metrics) = server.metrics_addr() {
+        println!("gdpr-serve: Prometheus metrics on http://{metrics}/metrics (plain TCP)");
+    }
     if args.spec.data_dir.is_some() || args.spec.snapshot_dir.is_some() {
         // Durable state configured: honour a graceful-shutdown request so
         // the index snapshots get written (a later start then recovers in

@@ -19,7 +19,9 @@ use gdprbench_repro::workload::gdpr::{
 use gdprbench_repro::workload::ycsb::{
     ycsb_key, KvInterface, KvStoreYcsb, RelStoreYcsb, YcsbConfig,
 };
-use gdprbench_repro::workload::{datagen, run_gdpr_workload, run_ycsb_workload};
+use gdprbench_repro::workload::{
+    datagen, run_gdpr_workload, run_gdpr_workload_open_loop, run_ycsb_workload,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -31,6 +33,7 @@ USAGE:
                      --workload <controller|customer|processor|regulator|all>
                      [--records N] [--ops N] [--threads N] [--shards N] [--no-oracle] [--compliant]
                      [--addr HOST:PORT] [--clients N] [--encrypt] [--encrypt-key KEY]
+                     [--arrival-rate OPS_PER_SEC]
   gdprbench ycsb     --db <redis|postgres> --workload <A|B|C|D|E|F|all>
                      [--records N] [--ops N] [--threads N]
   gdprbench features --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote>
@@ -47,6 +50,13 @@ oracle-checked correctness runs. --encrypt (or GDPR_ENCRYPT=1) runs the
 SecureChannel transport: the handshake precedes the first op and every
 frame travels sealed; the key comes from --encrypt-key / GDPR_ENCRYPT_KEY
 and must match the server's.
+
+--arrival-rate R  run open-loop: ops are due at fixed 1/R intervals and
+                  latency is measured from each op's *intended* send time,
+                  so percentiles include any time the system fell behind
+                  the schedule (no coordinated omission). Reports p50,
+                  p99, and p999 instead of the closed-loop metrics; the
+                  oracle is disabled.
 
 METRICS (as defined in §4.2.3 of the paper):
   correctness     fraction of responses matching the oracle (single-threaded runs)
@@ -124,7 +134,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let ops: u64 = args.get_num("ops", 1000)?;
     let threads: usize = args.get_num("threads", 1)?;
     let spec = spec_from_args(args, threads)?;
-    let oracle = !args.has("no-oracle") && threads == 1 && db != "remote";
+    let arrival_rate: Option<f64> = match args.flags.get("arrival-rate") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--arrival-rate: bad number {v:?}"))?,
+        ),
+        None => None,
+    };
+    let oracle = !args.has("no-oracle") && threads == 1 && db != "remote" && arrival_rate.is_none();
     let workload_arg = args.get("workload", "all");
     let kinds: Vec<GdprWorkloadKind> = match workload_arg.as_str() {
         "all" => GdprWorkloadKind::ALL.to_vec(),
@@ -133,6 +150,49 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             .find(|k| k.name() == name)
             .ok_or_else(|| format!("unknown --workload {name}"))?],
     };
+
+    if let Some(rate) = arrival_rate {
+        println!(
+            "gdprbench (open-loop): db={db} records={records} ops={ops} threads={threads} \
+             arrival-rate={rate}/s\nlatency measured from each op's intended send time \
+             (coordinated-omission-safe)\n"
+        );
+        println!(
+            "{:<11} {:>13} {:>11} {:>8} {:>6} {:>10} {:>10} {:>10}",
+            "workload", "completion", "achieved/s", "errors", "late", "p50", "p99", "p999"
+        );
+        for kind in kinds {
+            let connector = build_connector(&spec)?;
+            let corpus = stable_corpus(records);
+            if db == "remote" {
+                load_corpus_tolerant(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
+            } else {
+                load_corpus(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
+            }
+            let report = run_gdpr_workload_open_loop(connector, kind, corpus, ops, threads, rate);
+            println!(
+                "{:<11} {:>13} {:>11.1} {:>8} {:>6} {:>10} {:>10} {:>10}",
+                report.workload,
+                format!("{:.2?}", report.completion),
+                report.achieved_ops_per_sec(),
+                report.errors,
+                report.late_sends,
+                format!(
+                    "{:.2?}",
+                    std::time::Duration::from_nanos(report.latency.p50_ns())
+                ),
+                format!(
+                    "{:.2?}",
+                    std::time::Duration::from_nanos(report.latency.p99_ns())
+                ),
+                format!(
+                    "{:.2?}",
+                    std::time::Duration::from_nanos(report.latency.p999_ns())
+                ),
+            );
+        }
+        return Ok(());
+    }
 
     println!("gdprbench: db={db} records={records} ops={ops} threads={threads} oracle={oracle}\n");
     println!(
