@@ -1,7 +1,7 @@
 //! CI regression gate over two `bench_report` JSON artifacts.
 //!
 //! ```sh
-//! bench_gate BENCH_6.json BENCH_8.json [--tolerance PCT]
+//! bench_gate BENCH_6.json BENCH_8.json [--tolerance PCT] [--gate-latency]
 //! ```
 //!
 //! Compares every metric present in *both* files. Throughput metrics
@@ -16,6 +16,14 @@
 //! overrides every class. All other shared metrics are printed for
 //! context but never fail the gate — ratios and percentiles move with
 //! machine load; the throughput floor is the contract CI enforces.
+//!
+//! `--gate-latency` additionally gates tail-latency metrics (name ends
+//! in `_p99_us`) in the *inverted* direction: the run fails when the new
+//! p99 exceeds the old by more than 40% (tails swing harder than means,
+//! so the throughput tolerance classes don't apply; `--tolerance`
+//! overrides this too). Opt-in because it is only meaningful for two
+//! reports from the same machine class — cross-machine p99 comparisons
+//! gate noise, not regressions.
 //!
 //! The parser is hand-rolled for the exact `BenchReport::to_json` shape
 //! (object → object → number-or-null); it is not a general JSON reader.
@@ -40,8 +48,13 @@ fn default_tolerance(metric: &str) -> f64 {
     }
 }
 
+/// Tolerance (percent) for a `--gate-latency`-gated p99 metric: tails
+/// swing harder than throughput means even on one machine.
+const LATENCY_TOLERANCE_PCT: f64 = 40.0;
+
 fn main() {
     let mut tolerance_override: Option<f64> = None;
+    let mut gate_latency = false;
     let mut paths = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -51,15 +64,17 @@ fn main() {
                 Some(pct) if (0.0..100.0).contains(&pct) => tolerance_override = Some(pct),
                 _ => die("--tolerance requires a percentage in [0, 100)"),
             }
+        } else if flag == "--gate-latency" {
+            gate_latency = true;
         } else if flag == "--help" || flag == "-h" {
-            println!("usage: bench_gate OLD.json NEW.json [--tolerance PCT]");
+            println!("usage: bench_gate OLD.json NEW.json [--tolerance PCT] [--gate-latency]");
             return;
         } else {
             paths.push(flag);
         }
     }
     if paths.len() != 2 {
-        die("usage: bench_gate OLD.json NEW.json [--tolerance PCT]");
+        die("usage: bench_gate OLD.json NEW.json [--tolerance PCT] [--gate-latency]");
     }
     let old = load(&paths[0]);
     let new = load(&paths[1]);
@@ -84,9 +99,19 @@ fn main() {
             } else {
                 0.0
             };
-            let gated = metric.ends_with("_ops_per_sec");
-            let tolerance_pct = tolerance_override.unwrap_or_else(|| default_tolerance(metric));
-            let regressed = gated && new_value < old_value * (1.0 - tolerance_pct / 100.0);
+            let throughput_gated = metric.ends_with("_ops_per_sec");
+            let latency_gated = gate_latency && metric.ends_with("_p99_us");
+            let tolerance_pct = tolerance_override.unwrap_or_else(|| {
+                if latency_gated {
+                    LATENCY_TOLERANCE_PCT
+                } else {
+                    default_tolerance(metric)
+                }
+            });
+            // Throughput regresses downward; latency regresses upward.
+            let regressed = (throughput_gated
+                && new_value < old_value * (1.0 - tolerance_pct / 100.0))
+                || (latency_gated && new_value > old_value * (1.0 + tolerance_pct / 100.0));
             println!(
                 "{:<22} {:<36} {:>14.3} {:>14.3} {:>+7.1}%{}",
                 suite,
@@ -108,11 +133,16 @@ fn main() {
     }
     if regressions.is_empty() {
         println!(
-            "\nbench_gate: OK — {compared} shared metrics, no throughput drop beyond tolerance"
+            "\nbench_gate: OK — {compared} shared metrics, no gated metric beyond tolerance{}",
+            if gate_latency {
+                " (throughput + p99 latency)"
+            } else {
+                ""
+            }
         );
     } else {
         eprintln!(
-            "\nbench_gate: FAIL — {} throughput metric(s) regressed beyond tolerance:",
+            "\nbench_gate: FAIL — {} gated metric(s) regressed beyond tolerance:",
             regressions.len()
         );
         for line in &regressions {

@@ -92,7 +92,15 @@ fn record(key: &str, user: &str, purposes: &[&str], data: &str) -> PersonalRecor
 }
 
 fn seed(conn: &dyn GdprConnector) {
-    let controller = Session::controller();
+    seed_as(conn, &gdpr_core::tenant::TenantId::default());
+}
+
+/// The same five-record corpus, created by one tenant's controller —
+/// multi-tenant scenarios seed every tenant with *identical* logical
+/// keys, so any cross-tenant leakage doubles cardinalities or resolves
+/// the wrong tenant's record and fails loudly.
+fn seed_as(conn: &dyn GdprConnector, tenant: &gdpr_core::tenant::TenantId) {
+    let controller = Session::controller().with_tenant(tenant.clone());
     let specs = [
         ("ph-1", "neo", &["ads", "2fa"][..], "111-111"),
         ("ph-2", "neo", &["2fa"][..], "222-222"),
@@ -1468,6 +1476,207 @@ fn encrypted_transport_is_byte_equivalent_to_plaintext_and_in_process() {
         err.to_string().contains("downgrade"),
         "downgrade rejection must be loud, got: {err}"
     );
+}
+
+// ---- multi-tenant isolation ----
+
+/// Drive two tenants holding *identical* logical corpora through one
+/// connector and require that no predicate read, erasure, purge, audit
+/// query, or metrics report ever crosses the tenant boundary. Tenant
+/// names are parameters so callers sharing one engine (the encrypted /
+/// plaintext pair) can use disjoint tenants per transport.
+fn assert_tenant_isolation(conn: &dyn GdprConnector, acme_name: &str, zeta_name: &str) {
+    use gdpr_core::tenant::TenantId;
+    let acme = TenantId::new(acme_name).unwrap();
+    let zeta = TenantId::new(zeta_name).unwrap();
+    let name = conn.name().to_string();
+    seed_as(conn, &acme);
+    seed_as(conn, &zeta);
+
+    // Predicate reads resolve only the caller's tenant: both tenants hold
+    // the same keys, so leakage doubles the cardinality.
+    let neo_acme = Session::customer("neo").with_tenant(acme.clone());
+    let resp = conn
+        .execute(&neo_acme, &GdprQuery::ReadDataByUser("neo".into()))
+        .unwrap();
+    let mut keys: Vec<_> = resp
+        .as_data()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.clone())
+        .collect();
+    keys.sort();
+    assert_eq!(keys, vec!["ph-1", "ph-2"], "{name}: predicate read leaked");
+    let ads_acme = Session::processor("ads").with_tenant(acme.clone());
+    assert_eq!(
+        conn.execute(&ads_acme, &GdprQuery::ReadDataByPurpose("ads".into()))
+            .unwrap()
+            .cardinality(),
+        3,
+        "{name}: purpose read crossed the tenant boundary"
+    );
+
+    // Erasure in one tenant leaves the other's record untouched.
+    conn.execute(&neo_acme, &GdprQuery::DeleteByKey("ph-1".into()))
+        .unwrap();
+    assert!(
+        matches!(
+            conn.execute(&neo_acme, &GdprQuery::ReadMetadataByKey("ph-1".into())),
+            Err(GdprError::NotFound(_))
+        ),
+        "{name}: erased record still visible in its own tenant"
+    );
+    let neo_zeta = Session::customer("neo").with_tenant(zeta.clone());
+    conn.execute(&neo_zeta, &GdprQuery::ReadMetadataByKey("ph-1".into()))
+        .unwrap_or_else(|e| panic!("{name}: erasure crossed into the other tenant: {e}"));
+
+    // User-scoped purge stays inside the tenant.
+    let controller_acme = Session::controller().with_tenant(acme.clone());
+    assert_eq!(
+        conn.execute(
+            &controller_acme,
+            &GdprQuery::DeleteByUser("morpheus".into())
+        )
+        .unwrap(),
+        GdprResponse::Deleted(1),
+        "{name}"
+    );
+    let ads_zeta = Session::processor("ads").with_tenant(zeta.clone());
+    conn.execute(&ads_zeta, &GdprQuery::ReadDataByKey("ph-5".into()))
+        .unwrap_or_else(|e| panic!("{name}: purge crossed into the other tenant: {e}"));
+    assert!(matches!(
+        conn.execute(&ads_acme, &GdprQuery::ReadDataByKey("ph-5".into())),
+        Err(GdprError::NotFound(_))
+    ));
+
+    // Deletion verification answers for the caller's tenant only: ph-5 is
+    // erased in acme but alive in zeta.
+    let regulator_acme = Session::regulator().with_tenant(acme.clone());
+    let regulator_zeta = Session::regulator().with_tenant(zeta.clone());
+    assert_eq!(
+        conn.execute(&regulator_acme, &GdprQuery::VerifyDeletion("ph-5".into()))
+            .unwrap(),
+        GdprResponse::DeletionVerified(true),
+        "{name}"
+    );
+    assert_eq!(
+        conn.execute(&regulator_zeta, &GdprQuery::VerifyDeletion("ph-5".into()))
+            .unwrap(),
+        GdprResponse::DeletionVerified(false),
+        "{name}"
+    );
+
+    // One zeta-only operation the acme trail must never show.
+    conn.execute(
+        &regulator_zeta,
+        &GdprQuery::ReadMetadataByUser("trinity".into()),
+    )
+    .unwrap();
+
+    // GET-SYSTEM-LOGS returns only the caller's trail. Acme ran exactly
+    // 12 audited ops (5 creates, 2 reads, 1 erasure + failed re-read,
+    // 1 purge + failed read, 1 verification); zeta ran 9 (5 creates,
+    // 2 reads, 1 verification, 1 metadata read). A trail query audits
+    // itself *after* dispatch, so neither count includes its own query.
+    let logs = |resp: gdpr_core::error::GdprResult<GdprResponse>| match resp.unwrap() {
+        GdprResponse::Logs(lines) => lines,
+        other => panic!("expected logs, got {other:?}"),
+    };
+    let acme_logs = logs(conn.execute(
+        &regulator_acme,
+        &GdprQuery::GetSystemLogs {
+            from_ms: 0,
+            to_ms: u64::MAX,
+        },
+    ));
+    assert_eq!(acme_logs.len(), 12, "{name}: acme trail wrong size");
+    assert!(
+        acme_logs
+            .iter()
+            .all(|l| l.operation != "read-metadata-by-usr"),
+        "{name}: zeta's audit lines leaked into acme's trail"
+    );
+    let zeta_logs = logs(conn.execute(
+        &regulator_zeta,
+        &GdprQuery::GetSystemLogs {
+            from_ms: 0,
+            to_ms: u64::MAX,
+        },
+    ));
+    assert_eq!(zeta_logs.len(), 9, "{name}: zeta trail wrong size");
+    assert_eq!(
+        zeta_logs.last().unwrap().operation,
+        "read-metadata-by-usr",
+        "{name}"
+    );
+
+    // Per-tenant metrics: each tenant's table counts its own ops only.
+    let acme_ops = conn
+        .op_telemetry_for(&acme)
+        .unwrap_or_else(|| panic!("{name}: no telemetry for acme"));
+    let zeta_ops = conn
+        .op_telemetry_for(&zeta)
+        .unwrap_or_else(|| panic!("{name}: no telemetry for zeta"));
+    assert_eq!(acme_ops.get("create-record").map(|o| o.total()), Some(5));
+    assert_eq!(zeta_ops.get("create-record").map(|o| o.total()), Some(5));
+    assert_eq!(
+        acme_ops.get("delete-record-by-usr").map(|o| o.total()),
+        Some(1),
+        "{name}"
+    );
+    assert!(
+        zeta_ops
+            .get("delete-record-by-usr")
+            .is_none_or(|o| o.total() == 0),
+        "{name}: acme's purge counted in zeta's metrics"
+    );
+}
+
+/// The tenant-isolation invariant across the whole fleet: every engine
+/// variant in-process and again over loopback TCP, at whatever shard
+/// count `GDPR_SHARDS` selects (CI pins 1 and 8).
+#[test]
+fn tenants_are_fully_isolated_on_every_connector() {
+    for conn in connectors() {
+        assert_tenant_isolation(conn.as_ref(), "acme", "zeta");
+    }
+}
+
+/// The same invariant over the encrypted transport, sharing one engine
+/// with a plaintext endpoint: isolation must hold per transport (disjoint
+/// tenant pairs), and the sealed channel must carry the tenant header
+/// as faithfully as plaintext does.
+#[test]
+fn tenants_are_fully_isolated_over_the_encrypted_transport() {
+    let local: EngineHandle = Arc::new(RedisConnector::with_metadata_index(open_kv()).unwrap());
+    let plain_config = gdpr_server::ServerConfig {
+        workers: 2,
+        queue_depth: 32,
+        encrypt: None,
+        ..Default::default()
+    };
+    let enc_config = gdpr_server::ServerConfig {
+        encrypt: Some("tenant-psk".to_string()),
+        ..plain_config.clone()
+    };
+    let plain =
+        RemoteConnector::serve_in_process_with(Arc::clone(&local) as EngineHandle, 2, plain_config)
+            .unwrap();
+    let encrypted =
+        RemoteConnector::serve_in_process_with(Arc::clone(&local) as EngineHandle, 2, enc_config)
+            .unwrap();
+    assert!(encrypted.clients().iter().all(|c| c.is_encrypted()));
+    assert_tenant_isolation(&encrypted, "enc-acme", "enc-zeta");
+    assert_tenant_isolation(&plain, "pt-acme", "pt-zeta");
+    // Both transports see the same engine: a tenant written over the
+    // sealed channel is readable in-process under that tenant.
+    use gdpr_core::tenant::TenantId;
+    let enc_acme = TenantId::new("enc-acme").unwrap();
+    let neo = Session::customer("neo").with_tenant(enc_acme);
+    let resp = local
+        .execute(&neo, &GdprQuery::ReadDataByUser("neo".into()))
+        .unwrap();
+    assert_eq!(resp.cardinality(), 1); // ph-2 survives the isolation run
 }
 
 // ---- restart equivalence (index snapshot recovery) ----

@@ -234,6 +234,53 @@ impl RecordStore for RedisStore {
         Ok(self.store.run_expiration_cycle().reaped)
     }
 
+    /// Past-due keys *without* reaping. The default scan-derived
+    /// enumeration is wrong here: a GET lazily destroys an expired record
+    /// and its deadline, so the cursor walk must stay key-only and the
+    /// deadline check must go through the pure `expiry_at` read.
+    fn expired_keys(&self) -> GdprResult<Vec<String>> {
+        let now_ms = self.store.clock().now().as_millis();
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        loop {
+            let reply = self
+                .store
+                .execute(Command::Scan {
+                    cursor,
+                    count: SCAN_BATCH,
+                    pattern: Some(Bytes::from_static(b"rec:*")),
+                })
+                .map_err(Self::store_err)?;
+            let parts = reply
+                .as_array()
+                .ok_or_else(|| GdprError::Store("SCAN reply shape".into()))?;
+            let next = parts[0].as_int().unwrap_or(0) as usize;
+            for storage_key in parts[1]
+                .as_array()
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|r| r.as_bulk())
+            {
+                let due = self
+                    .store
+                    .expiry_at(storage_key.as_ref())
+                    .is_some_and(|at| at.as_millis() <= now_ms);
+                if due {
+                    if let Ok(text) = std::str::from_utf8(storage_key.as_ref()) {
+                        if let Some(key) = text.strip_prefix(KEY_PREFIX) {
+                            out.push(key.to_string());
+                        }
+                    }
+                }
+            }
+            if next == 0 {
+                break;
+            }
+            cursor = next;
+        }
+        Ok(out)
+    }
+
     fn deadline_ms(&self, key: &str) -> Option<u64> {
         self.store
             .expiry_at(Self::storage_key(key).as_ref())
@@ -427,6 +474,21 @@ impl GdprConnector for RedisConnector {
 
     fn op_telemetry(&self) -> Option<gdpr_core::telemetry::OpTelemetrySnapshot> {
         self.engine.op_telemetry()
+    }
+
+    fn op_telemetry_for(
+        &self,
+        tenant: &gdpr_core::tenant::TenantId,
+    ) -> Option<gdpr_core::telemetry::OpTelemetrySnapshot> {
+        self.engine.op_telemetry_for(tenant)
+    }
+
+    fn tenant_telemetry(&self) -> Vec<(String, gdpr_core::telemetry::OpTelemetrySnapshot)> {
+        self.engine.tenant_telemetry()
+    }
+
+    fn provision_tenant(&self, tenant: &gdpr_core::tenant::TenantId) -> GdprResult<()> {
+        self.engine.provision_tenant(tenant)
     }
 
     fn close(&self) -> GdprResult<()> {

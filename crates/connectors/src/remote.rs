@@ -16,6 +16,7 @@ use gdpr_core::error::{GdprError, GdprResult};
 use gdpr_core::query::GdprQuery;
 use gdpr_core::response::GdprResponse;
 use gdpr_core::role::Session;
+use gdpr_core::tenant::TenantId;
 use gdpr_core::GdprConnector;
 use gdpr_server::secure;
 use gdpr_server::wire::{self, MetricsReport, RequestBody, ResponseBody, StatsSnapshot};
@@ -38,6 +39,10 @@ fn io_err(context: &str, e: impl std::fmt::Display) -> GdprError {
 pub struct GdprClient {
     io: Mutex<ClientIo>,
     seq: AtomicU64,
+    /// The tenant stamped into control-request headers (`GetMetrics`,
+    /// `Features`, ...). `Execute` headers use the session's tenant
+    /// instead — the session is authoritative for data ops.
+    tenant: TenantId,
 }
 
 struct ClientIo {
@@ -160,6 +165,7 @@ impl GdprClient {
         Ok(GdprClient {
             io: Mutex::new(ClientIo { stream, channel }),
             seq: AtomicU64::new(0),
+            tenant: TenantId::default(),
         })
     }
 
@@ -168,10 +174,24 @@ impl GdprClient {
         self.io.lock().channel.is_some()
     }
 
+    /// Scope this client's control requests to `tenant`.
+    pub fn set_tenant(&mut self, tenant: TenantId) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant this client's control requests run as.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
     fn roundtrip(&self, body: &RequestBody) -> GdprResult<ResponseBody> {
+        self.roundtrip_as(&self.tenant, body)
+    }
+
+    fn roundtrip_as(&self, tenant: &TenantId, body: &RequestBody) -> GdprResult<ResponseBody> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut io = self.io.lock();
-        let frame = io.frame_bytes(&wire::encode_request(seq, body))?;
+        let frame = io.frame_bytes(&wire::encode_request(seq, tenant, body))?;
         io.send(&frame)?;
         let payload = io
             .recv_frame()?
@@ -192,7 +212,11 @@ impl GdprClient {
     /// Execute one GDPR query. GDPR-layer errors decode back to the exact
     /// [`GdprError`] the in-process engine would have returned.
     pub fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
-        match self.roundtrip(&RequestBody::Execute(session.clone(), query.clone()))? {
+        let tenant = session.tenant.clone();
+        match self.roundtrip_as(
+            &tenant,
+            &RequestBody::Execute(session.clone(), query.clone()),
+        )? {
             ResponseBody::Response(response) => Ok(response),
             ResponseBody::Error(error) => Err(error),
             ResponseBody::Protocol(msg) => Err(io_err("protocol", msg)),
@@ -233,7 +257,7 @@ impl GdprClient {
         let frame_for = |io: &mut ClientIo, i: usize| -> GdprResult<Vec<u8>> {
             let (session, query) = &batch[i];
             let body = RequestBody::Execute(session.clone(), query.clone());
-            io.frame_bytes(&wire::encode_request(seqs[i], &body))
+            io.frame_bytes(&wire::encode_request(seqs[i], &session.tenant, &body))
         };
         // Prime the window as one buffered burst: the wire carries it in
         // as few segments as possible.
@@ -320,7 +344,13 @@ impl GdprClient {
     /// latency histograms, per-stage pipeline histograms, and the flat
     /// server/security counters.
     pub fn metrics(&self) -> GdprResult<MetricsReport> {
-        match self.roundtrip(&RequestBody::GetMetrics)? {
+        self.metrics_for(&self.tenant)
+    }
+
+    /// [`Self::metrics`] scoped to an explicit tenant: the per-opcode
+    /// table covers that tenant's traffic alone.
+    pub fn metrics_for(&self, tenant: &TenantId) -> GdprResult<MetricsReport> {
+        match self.roundtrip_as(tenant, &RequestBody::GetMetrics)? {
             ResponseBody::Metrics(report) => Ok(report),
             other => Err(io_err("protocol", format!("unexpected response {other:?}"))),
         }
@@ -409,6 +439,14 @@ impl RemoteConnector {
         Ok(connector)
     }
 
+    /// Scope every pooled connection's control requests to `tenant` —
+    /// what `gdprbench --tenant` applies after connecting.
+    pub fn set_tenant(&mut self, tenant: &TenantId) {
+        for client in &mut self.clients {
+            client.set_tenant(tenant.clone());
+        }
+    }
+
     /// The pooled connections.
     pub fn clients(&self) -> &[GdprClient] {
         &self.clients
@@ -477,6 +515,17 @@ impl GdprConnector for RemoteConnector {
     fn op_telemetry(&self) -> Option<gdpr_core::telemetry::OpTelemetrySnapshot> {
         self.client()
             .metrics()
+            .ok()
+            .map(|report| gdpr_core::telemetry::OpTelemetrySnapshot { ops: report.ops })
+    }
+
+    /// One tenant's table, via a tenant-scoped `GetMetrics`.
+    fn op_telemetry_for(
+        &self,
+        tenant: &TenantId,
+    ) -> Option<gdpr_core::telemetry::OpTelemetrySnapshot> {
+        self.client()
+            .metrics_for(tenant)
             .ok()
             .map(|report| gdpr_core::telemetry::OpTelemetrySnapshot { ops: report.ops })
     }

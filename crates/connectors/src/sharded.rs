@@ -212,6 +212,21 @@ impl GdprConnector for ShardedRedisConnector {
         self.engine.op_telemetry()
     }
 
+    fn op_telemetry_for(
+        &self,
+        tenant: &gdpr_core::tenant::TenantId,
+    ) -> Option<gdpr_core::telemetry::OpTelemetrySnapshot> {
+        self.engine.op_telemetry_for(tenant)
+    }
+
+    fn tenant_telemetry(&self) -> Vec<(String, gdpr_core::telemetry::OpTelemetrySnapshot)> {
+        self.engine.tenant_telemetry()
+    }
+
+    fn provision_tenant(&self, tenant: &gdpr_core::tenant::TenantId) -> GdprResult<()> {
+        self.engine.provision_tenant(tenant)
+    }
+
     fn close(&self) -> GdprResult<()> {
         ShardedRedisConnector::close(self).map(|_| ())
     }

@@ -278,12 +278,14 @@ mod tests {
             role: Role::Customer,
             user: None,
             purpose: None,
+            tenant: Default::default(),
         };
         assert!(authorize(&bad_customer, &GdprQuery::ReadDataByUser("u".into())).is_err());
         let bad_processor = Session {
             role: Role::Processor,
             user: None,
             purpose: None,
+            tenant: Default::default(),
         };
         assert!(authorize(&bad_processor, &GdprQuery::ReadDataByKey("k".into())).is_err());
     }

@@ -8,6 +8,7 @@ use crate::query::GdprQuery;
 use crate::response::GdprResponse;
 use crate::role::Session;
 use crate::telemetry::OpTelemetrySnapshot;
+use crate::tenant::TenantId;
 
 /// Space accounting for the Table 3 metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +83,27 @@ pub trait GdprConnector: Send + Sync {
     fn op_telemetry(&self) -> Option<OpTelemetrySnapshot> {
         None
     }
+
+    /// Telemetry scoped to one tenant. The wire `GetMetrics` handler uses
+    /// this so a tenant only ever reads its own counters. The default
+    /// falls back to the deployment-wide view, which is correct for
+    /// single-tenant connectors where the default tenant is the only one.
+    fn op_telemetry_for(&self, _tenant: &TenantId) -> Option<OpTelemetrySnapshot> {
+        self.op_telemetry()
+    }
+
+    /// Per-tenant telemetry snapshots, labeled for Prometheus export
+    /// (`"default"` first, then named tenants in name order). Connectors
+    /// without per-tenant counters return nothing.
+    fn tenant_telemetry(&self) -> Vec<(String, OpTelemetrySnapshot)> {
+        Vec::new()
+    }
+
+    /// Pre-create a tenant's partition (index, audit trail, telemetry) so
+    /// first use doesn't pay the lazy-creation backfill. Default no-op.
+    fn provision_tenant(&self, _tenant: &TenantId) -> GdprResult<()> {
+        Ok(())
+    }
 }
 
 /// A shareable handle to any engine/connector — what a network front-end
@@ -124,6 +146,18 @@ impl<T: GdprConnector + ?Sized> GdprConnector for std::sync::Arc<T> {
 
     fn op_telemetry(&self) -> Option<OpTelemetrySnapshot> {
         (**self).op_telemetry()
+    }
+
+    fn op_telemetry_for(&self, tenant: &TenantId) -> Option<OpTelemetrySnapshot> {
+        (**self).op_telemetry_for(tenant)
+    }
+
+    fn tenant_telemetry(&self) -> Vec<(String, OpTelemetrySnapshot)> {
+        (**self).tenant_telemetry()
+    }
+
+    fn provision_tenant(&self, tenant: &TenantId) -> GdprResult<()> {
+        (**self).provision_tenant(tenant)
     }
 }
 

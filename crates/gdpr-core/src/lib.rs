@@ -60,6 +60,7 @@ pub mod sharded;
 pub mod snapshot;
 pub mod store;
 pub mod telemetry;
+pub mod tenant;
 pub mod wire;
 
 pub use compliance::{ComplianceFeature, FeatureReport};
@@ -77,3 +78,4 @@ pub use store::{RecordPredicate, RecordStore};
 pub use telemetry::{
     AtomicHistogram, HistogramSnapshot, OpSnapshot, OpTelemetry, OpTelemetrySnapshot,
 };
+pub use tenant::TenantId;

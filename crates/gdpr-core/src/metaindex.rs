@@ -616,6 +616,28 @@ impl IndexBatch {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Partition the batch by a key-derived group label (in practice: the
+    /// tenant prefix of the storage key), preserving op order within each
+    /// group. Groups come back in first-appearance order, so replaying
+    /// every group's batch is equivalent to replaying the original batch
+    /// as long as the grouping function is consistent per key.
+    pub fn split_by(self, group_of: impl Fn(&str) -> String) -> Vec<(String, IndexBatch)> {
+        let mut groups: Vec<(String, IndexBatch)> = Vec::new();
+        for op in self.ops {
+            let key = match &op {
+                IndexOp::Upsert { key, .. }
+                | IndexOp::UpsertAt { key, .. }
+                | IndexOp::Remove { key } => key.as_str(),
+            };
+            let label = group_of(key);
+            match groups.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, batch)) => batch.ops.push(op),
+                None => groups.push((label, IndexBatch { ops: vec![op] })),
+            }
+        }
+        groups
+    }
 }
 
 /// One key's complete index image — everything the index knows about it,

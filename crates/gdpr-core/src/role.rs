@@ -1,6 +1,7 @@
 //! The four GDPR roles and the session identity a query executes under
 //! (Figure 1 of the paper).
 
+use crate::tenant::TenantId;
 use std::fmt;
 
 /// Who is talking to the datastore.
@@ -54,6 +55,9 @@ pub struct Session {
     pub user: Option<String>,
     /// The processing purpose (required for [`Role::Processor`] data reads).
     pub purpose: Option<String>,
+    /// Which controller's partition the session operates in. Defaults to
+    /// the degenerate single-tenant [`TenantId::default`].
+    pub tenant: TenantId,
 }
 
 impl Session {
@@ -62,6 +66,7 @@ impl Session {
             role: Role::Controller,
             user: None,
             purpose: None,
+            tenant: TenantId::default(),
         }
     }
 
@@ -70,6 +75,7 @@ impl Session {
             role: Role::Customer,
             user: Some(user.into()),
             purpose: None,
+            tenant: TenantId::default(),
         }
     }
 
@@ -78,6 +84,7 @@ impl Session {
             role: Role::Processor,
             user: None,
             purpose: Some(purpose.into()),
+            tenant: TenantId::default(),
         }
     }
 
@@ -86,7 +93,14 @@ impl Session {
             role: Role::Regulator,
             user: None,
             purpose: None,
+            tenant: TenantId::default(),
         }
+    }
+
+    /// The same session, scoped to `tenant`.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Session {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -103,6 +117,9 @@ mod tests {
         let p = Session::processor("ads");
         assert_eq!(p.purpose.as_deref(), Some("ads"));
         assert_eq!(Session::regulator().role, Role::Regulator);
+        assert!(Session::controller().tenant.is_default());
+        let t = Session::controller().with_tenant(TenantId::new("acme").unwrap());
+        assert_eq!(t.tenant.name(), "acme");
     }
 
     #[test]

@@ -48,8 +48,11 @@ use crate::response::GdprResponse;
 use crate::role::Session;
 use crate::store::{RecordPredicate, RecordStore};
 use crate::telemetry::{OpTelemetry, OpTelemetrySnapshot};
+use crate::tenant::TenantId;
 use crate::GdprConnector;
-use parking_lot::Mutex;
+use clock::SharedClock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
@@ -134,22 +137,69 @@ impl Drop for FanoutPool {
     }
 }
 
+/// One tenant's router-side state: the unified audit stream (exactly one
+/// event per executed query, whatever its fan-out — shards never audit on
+/// their own) and the per-opcode telemetry table. Mirrors the unsharded
+/// engine's per-tenant partitioning, so `GET-SYSTEM-LOGS` and `GetMetrics`
+/// isolation hold identically behind a router.
+struct RouterTenantState {
+    audit: AuditTrail,
+    telemetry: Arc<OpTelemetry>,
+}
+
+/// The router's tenant table: the default tenant's state is resolved
+/// lock-free (the single-tenant hot path); named tenants go through one
+/// RwLock-guarded map. Creation never fails — a [`TenantId`] is valid by
+/// construction, and router state is just an empty trail + counters.
+struct RouterTenants {
+    clock: SharedClock,
+    default_state: Arc<RouterTenantState>,
+    extra: RwLock<BTreeMap<String, Arc<RouterTenantState>>>,
+}
+
+impl RouterTenants {
+    fn new(clock: SharedClock) -> Arc<RouterTenants> {
+        Arc::new(RouterTenants {
+            default_state: Arc::new(RouterTenantState {
+                audit: AuditTrail::new(clock.clone()),
+                telemetry: Arc::new(OpTelemetry::new()),
+            }),
+            clock,
+            extra: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    fn state(&self, tenant: &TenantId) -> Arc<RouterTenantState> {
+        if tenant.is_default() {
+            return Arc::clone(&self.default_state);
+        }
+        if let Some(state) = self.extra.read().get(tenant.name()) {
+            return Arc::clone(state);
+        }
+        let mut extra = self.extra.write();
+        Arc::clone(extra.entry(tenant.name().to_string()).or_insert_with(|| {
+            Arc::new(RouterTenantState {
+                audit: AuditTrail::new(self.clock.clone()),
+                telemetry: Arc::new(OpTelemetry::labeled(tenant.label())),
+            })
+        }))
+    }
+}
+
 /// A compliance engine hash-partitioned across N inner engines, one store
 /// (and optional metadata index) per shard.
 pub struct ShardedEngine<S: RecordStore> {
     shards: Vec<Arc<ComplianceEngine<S>>>,
-    /// The unified audit stream: exactly one event per executed query,
-    /// whatever its fan-out — shards never audit on their own.
-    audit: AuditTrail,
+    /// Per-tenant audit streams and telemetry at the router, the
+    /// deployment's entry point: every op (point, fanned-out, or system)
+    /// is timed end-to-end here exactly once, under its session's tenant.
+    /// The shards' own tables stay untouched — the router reaches them
+    /// via `dispatch`, below their execute entry points.
+    tenants: Arc<RouterTenants>,
     name: String,
     /// Workers for parallel predicate fan-out; `None` for a single shard,
     /// where fan-out degenerates to one probe.
     fanout: Option<FanoutPool>,
-    /// Per-opcode telemetry at the router, the deployment's entry point:
-    /// every op (point, fanned-out, or system) is timed end-to-end here
-    /// exactly once. The shards' own tables stay untouched — the router
-    /// reaches them via `dispatch`, below their execute entry points.
-    telemetry: Arc<OpTelemetry>,
 }
 
 impl<S: RecordStore + 'static> ShardedEngine<S> {
@@ -266,11 +316,10 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
             FanoutPool::new(shards.len().min(cores.max(2)))
         });
         Ok(ShardedEngine {
-            audit: AuditTrail::new(clock),
+            tenants: RouterTenants::new(clock),
             name,
             fanout,
             shards,
-            telemetry: Arc::new(OpTelemetry::new()),
         })
     }
 
@@ -290,14 +339,28 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
         &self.shards
     }
 
-    /// The shard index owning `key`.
-    pub fn shard_index_of(&self, key: &str) -> usize {
-        shard_of(key, self.shards.len())
+    /// The shard index owning a **storage** key (the tenant-namespaced
+    /// form a record is stored under).
+    pub fn shard_index_of(&self, storage_key: &str) -> usize {
+        shard_of(storage_key, self.shards.len())
     }
 
-    /// The engine owning `key`.
-    pub fn shard_for(&self, key: &str) -> &ComplianceEngine<S> {
-        &self.shards[self.shard_index_of(key)]
+    /// The engine owning a storage key.
+    pub fn shard_for(&self, storage_key: &str) -> &ComplianceEngine<S> {
+        &self.shards[self.shard_index_of(storage_key)]
+    }
+
+    /// The engine owning `key` as seen by `session`'s tenant: routing
+    /// hashes the storage key, the same bytes the owning shard's store
+    /// keeps the record under — so placement, `verify_placement`, and
+    /// `rebalance` (which hash stored keys) always agree, and a tenant's
+    /// keyspace spreads independently of every other tenant's.
+    fn shard_for_session(&self, session: &Session, key: &str) -> &ComplianceEngine<S> {
+        if session.tenant.is_default() {
+            self.shard_for(key)
+        } else {
+            self.shard_for(&session.tenant.storage_key(key))
+        }
     }
 
     /// Is predicate fan-out running on the worker pool (vs sequentially)?
@@ -305,24 +368,55 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
         self.fanout.is_some()
     }
 
-    /// The unified audit trail serving GET-SYSTEM-LOGS.
+    /// The default tenant's unified audit trail serving GET-SYSTEM-LOGS
+    /// (the degenerate single-tenant stream).
     pub fn audit(&self) -> &AuditTrail {
-        &self.audit
+        // The default state is never replaced, so handing out a borrow
+        // through the Arc is sound for the engine's lifetime.
+        &self.tenants.default_state.audit
     }
 
-    /// The router's per-opcode telemetry table.
+    /// The router's default-tenant per-opcode telemetry table.
     pub fn telemetry(&self) -> &Arc<OpTelemetry> {
-        &self.telemetry
+        &self.tenants.default_state.telemetry
     }
 
-    /// Execute one GDPR query, recording exactly one event in the unified
-    /// audit trail whatever the outcome or fan-out (G30).
+    /// Pre-create `tenant`'s partitions on the router and on every shard
+    /// (index partition, audit trail, telemetry) so first use doesn't pay
+    /// the lazy-creation backfill.
+    pub fn ensure_tenant(&self, tenant: &TenantId) -> GdprResult<()> {
+        self.tenants.state(tenant);
+        for shard in &self.shards {
+            shard.ensure_tenant(tenant)?;
+        }
+        Ok(())
+    }
+
+    /// Per-tenant telemetry snapshots at the router, `"default"` first,
+    /// then named tenants in name order.
+    pub fn tenant_telemetry_snapshots(&self) -> Vec<(String, OpTelemetrySnapshot)> {
+        let mut out = vec![(
+            "default".to_string(),
+            self.tenants.default_state.telemetry.snapshot(),
+        )];
+        for (name, state) in self.tenants.extra.read().iter() {
+            out.push((name.clone(), state.telemetry.snapshot()));
+        }
+        out
+    }
+
+    /// Execute one GDPR query, recording exactly one event in the
+    /// caller's tenant's unified audit trail whatever the outcome or
+    /// fan-out (G30).
     pub fn execute(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
+        let state = self.tenants.state(&session.tenant);
         let started = Instant::now();
         let result = self.route(session, query);
-        self.telemetry
+        state
+            .telemetry
             .record(query, started.elapsed(), result.is_err());
-        self.audit
+        state
+            .audit
             .record_batch(vec![audit_draft(session, query, &result)]);
         result
     }
@@ -341,7 +435,19 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
         let len = ops.len();
         let ops = Arc::new(ops);
         let mut results: Vec<Option<GdprResult<GdprResponse>>> = (0..len).map(|_| None).collect();
-        let mut drafts: Vec<AuditDraft> = Vec::with_capacity(len);
+        // Pending audit drafts, grouped per tenant (ptr-identity on the
+        // router state; batches hold a handful of tenants at most, so a
+        // linear probe beats a map). Each tenant's group commits with one
+        // timestamp, exactly like the unsharded engine's batching.
+        let mut drafts: Vec<(Arc<RouterTenantState>, Vec<AuditDraft>)> = Vec::new();
+        let push_draft = |drafts: &mut Vec<(Arc<RouterTenantState>, Vec<AuditDraft>)>,
+                          state: &Arc<RouterTenantState>,
+                          draft: AuditDraft| {
+            match drafts.iter_mut().find(|(s, _)| Arc::ptr_eq(s, state)) {
+                Some((_, group)) => group.push(draft),
+                None => drafts.push((Arc::clone(state), vec![draft])),
+            }
+        };
         let mut i = 0;
         while i < len {
             if point_key(&ops[i].1).is_some() {
@@ -353,23 +459,36 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
                 for idx in start..i {
                     let (session, query) = &ops[idx];
                     let result = results[idx].as_ref().expect("segment filled every slot");
-                    drafts.push(audit_draft(session, query, result));
+                    let state = self.tenants.state(&session.tenant);
+                    push_draft(&mut drafts, &state, audit_draft(session, query, result));
                 }
             } else {
                 let (session, query) = &ops[i];
+                let state = self.tenants.state(&session.tenant);
                 if matches!(query, GdprQuery::GetSystemLogs { .. }) {
-                    self.audit.record_batch(std::mem::take(&mut drafts));
+                    // Flush only the querying tenant's pending entries:
+                    // its log read observes its own batch predecessors,
+                    // and other tenants' drafts stay unflushed (their
+                    // trails are invisible to this caller anyway).
+                    if let Some((_, group)) =
+                        drafts.iter_mut().find(|(s, _)| Arc::ptr_eq(s, &state))
+                    {
+                        state.audit.record_batch(std::mem::take(group));
+                    }
                 }
                 let started = Instant::now();
                 let result = self.route(session, query);
-                self.telemetry
+                state
+                    .telemetry
                     .record(query, started.elapsed(), result.is_err());
-                drafts.push(audit_draft(session, query, &result));
+                push_draft(&mut drafts, &state, audit_draft(session, query, &result));
                 results[i] = Some(result);
                 i += 1;
             }
         }
-        self.audit.record_batch(drafts);
+        for (state, group) in drafts {
+            state.audit.record_batch(group);
+        }
         results
             .into_iter()
             .map(|r| r.expect("every op answered"))
@@ -390,8 +509,14 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
         let n = self.shards.len();
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
         for idx in start..end {
-            let key = point_key(&ops[idx].1).expect("segment holds only point ops");
-            groups[shard_of(key, n)].push(idx);
+            let (session, query) = &ops[idx];
+            let key = point_key(query).expect("segment holds only point ops");
+            let shard = if session.tenant.is_default() {
+                shard_of(key, n)
+            } else {
+                shard_of(&session.tenant.storage_key(key), n)
+            };
+            groups[shard].push(idx);
         }
         let busy: Vec<usize> = (0..n).filter(|&s| !groups[s].is_empty()).collect();
         match &self.fanout {
@@ -402,7 +527,7 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
                     let shard = Arc::clone(&self.shards[s]);
                     let ops = Arc::clone(ops);
                     let tx = tx.clone();
-                    let telemetry = Arc::clone(&self.telemetry);
+                    let tenants = Arc::clone(&self.tenants);
                     pool.submit(Box::new(move || {
                         for idx in group {
                             let (session, query) = &ops[idx];
@@ -416,7 +541,11 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
                                 .unwrap_or_else(|_| {
                                     Err(GdprError::Store("shard batch worker panicked".to_string()))
                                 });
-                            telemetry.record(query, started.elapsed(), result.is_err());
+                            tenants.state(&session.tenant).telemetry.record(
+                                query,
+                                started.elapsed(),
+                                result.is_err(),
+                            );
                             let _ = tx.send((idx, result));
                         }
                     }));
@@ -438,9 +567,14 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
                     let (session, query) = &ops[idx];
                     let key = point_key(query).expect("segment holds only point ops");
                     let started = Instant::now();
-                    let result = self.shard_for(key).dispatch(session, query);
-                    self.telemetry
-                        .record(query, started.elapsed(), result.is_err());
+                    let result = self
+                        .shard_for_session(session, key)
+                        .dispatch(session, query);
+                    self.tenants.state(&session.tenant).telemetry.record(
+                        query,
+                        started.elapsed(),
+                        result.is_err(),
+                    );
                     results[idx] = Some(result);
                 }
             }
@@ -452,19 +586,27 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
     fn route(&self, session: &Session, query: &GdprQuery) -> GdprResult<GdprResponse> {
         use GdprQuery::*;
         match query {
-            CreateRecord(record) => self.shard_for(&record.key).dispatch(session, query),
+            CreateRecord(record) => self
+                .shard_for_session(session, &record.key)
+                .dispatch(session, query),
             DeleteByKey(key)
             | ReadDataByKey(key)
             | ReadMetadataByKey(key)
             | VerifyDeletion(key)
             | UpdateDataByKey { key, .. }
-            | UpdateMetadataByKey { key, .. } => self.shard_for(key).dispatch(session, query),
+            | UpdateMetadataByKey { key, .. } => self
+                .shard_for_session(session, key)
+                .dispatch(session, query),
 
-            // The audit stream is the router's, not any shard's.
+            // The audit stream is the router's (the caller's tenant's
+            // slice of it), not any shard's.
             GetSystemLogs { from_ms, to_ms } => {
                 crate::acl::authorize(session, query)?;
                 Ok(GdprResponse::Logs(
-                    self.audit.lines_between(*from_ms, *to_ms),
+                    self.tenants
+                        .state(&session.tenant)
+                        .audit
+                        .lines_between(*from_ms, *to_ms),
                 ))
             }
             // Shards are homogeneous; any one speaks for the posture.
@@ -529,7 +671,7 @@ impl<S: RecordStore + 'static> ShardedEngine<S> {
                     && crate::acl::authorize(session, query).is_ok()
                 {
                     for shard in &self.shards {
-                        shard.validate_update(&pred, update)?;
+                        shard.validate_update(&session.tenant, &pred, update)?;
                     }
                 }
             }
@@ -783,7 +925,32 @@ impl<S: RecordStore + 'static> GdprConnector for ShardedEngine<S> {
     }
 
     fn op_telemetry(&self) -> Option<OpTelemetrySnapshot> {
-        Some(self.telemetry.snapshot())
+        // Deployment-wide: every tenant's router counters merged.
+        let mut merged = self.tenants.default_state.telemetry.snapshot();
+        for state in self.tenants.extra.read().values() {
+            merged.merge(&state.telemetry.snapshot());
+        }
+        Some(merged)
+    }
+
+    fn op_telemetry_for(&self, tenant: &TenantId) -> Option<OpTelemetrySnapshot> {
+        if tenant.is_default() {
+            return Some(self.tenants.default_state.telemetry.snapshot());
+        }
+        // Lookup only — a metrics probe must not create tenant state.
+        self.tenants
+            .extra
+            .read()
+            .get(tenant.name())
+            .map(|state| state.telemetry.snapshot())
+    }
+
+    fn tenant_telemetry(&self) -> Vec<(String, OpTelemetrySnapshot)> {
+        self.tenant_telemetry_snapshots()
+    }
+
+    fn provision_tenant(&self, tenant: &TenantId) -> GdprResult<()> {
+        self.ensure_tenant(tenant)
     }
 }
 

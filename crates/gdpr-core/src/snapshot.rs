@@ -14,10 +14,15 @@
 //! (Article 21) — so the failure mode of every corruption class is
 //! *rebuild*, never *wrong answers*.
 //!
-//! # File format (version 1)
+//! # File format (version 2)
 //!
 //! All integers little-endian. Strings are `u32 length ‖ UTF-8 bytes`.
-//! The metadata vocabulary (users, purposes, usage and party names) is
+//! One image holds **one section per tenant** (a single-tenant engine
+//! writes exactly the default-tenant section), so all of an engine's
+//! index partitions recover from one atomic file — a per-tenant sibling
+//! file scheme was rejected because a deleted sibling is
+//! indistinguishable from an empty partition. Within a section, the
+//! metadata vocabulary (users, purposes, usage and party names) is
 //! stored **once** in a term table; entries reference it by `u32` id —
 //! which both halves the image and lets the restore path rebuild the
 //! index without hashing a single term string (memberships become array
@@ -26,24 +31,32 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"GDPRIDX\x01"
-//! 8       4     u32    format version (= 1)
+//! 8       4     u32    format version (= 2)
 //! 12      1     u8     flags (bit 0: generation stamp present)
 //! 13      8     u64    generation stamp (0 when unstamped)
 //! 21      4     u32    shard index of the engine that wrote the image
 //! 25      4     u32    shard count of the topology it belonged to
-//! 29      8     u64    entry count
-//! 37      4     u32    term-table size
-//! 41      ...          term table: the distinct metadata terms, in
-//!                      first-use order (strings)
-//! ...     ...          entries (strictly ascending by key), each:
-//!                        key (string), u32 user term id,
-//!                        purposes / objections / sharing as
-//!                          `u32 count ‖ u32 term ids`,
-//!                        u8  flags (bit 0: decision-eligible,
-//!                                   bit 1: deadline present)
-//!                        u64 absolute deadline ms (iff bit 1)
+//! 29      4     u32    section count
+//! 33      ...          sections (strictly ascending by tenant name; the
+//!                      default tenant's empty name sorts first), each:
+//!                        tenant name (string, "" = default tenant)
+//!                        u64 entry count
+//!                        u32 term-table size, then the term table: the
+//!                          distinct metadata terms, in first-use order
+//!                        entries (strictly ascending by key, every key
+//!                        owned by the section's tenant), each:
+//!                          key (string), u32 user term id,
+//!                          purposes / objections / sharing as
+//!                            `u32 count ‖ u32 term ids`,
+//!                          u8  flags (bit 0: decision-eligible,
+//!                                     bit 1: deadline present)
+//!                          u64 absolute deadline ms (iff bit 1)
 //! end-8   8     u64    SipHash-2-4 over every preceding byte
 //! ```
+//!
+//! Version-1 images (single tenant, no section framing) are rejected as
+//! [`SnapshotInvalid::UnsupportedVersion`] and rebuild loudly — the
+//! upgrade cost is one O(n) backfill, never a misread image.
 //!
 //! The **generation stamp** ties the image to the backing store's
 //! persistence state ([`crate::store::RecordStore::persistence_generation`]:
@@ -75,15 +88,17 @@
 //! byte-prefix truncation and flip class against this guarantee.
 
 use crate::error::{GdprError, GdprResult};
-use crate::metaindex::{IndexEntry, MetadataIndex};
+use crate::metaindex::{IndexEntry, MetadataIndex, VocabIndexBuilder};
+use crate::tenant::TenantId;
 use crypto::SipHash24;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Leading magic: `GDPRIDX` plus a format byte.
 pub const MAGIC: [u8; 8] = *b"GDPRIDX\x01";
 /// Current format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Fixed SipHash-2-4 key for the integrity checksum. The checksum guards
 /// against torn writes and bitrot, not adversaries — an attacker who can
@@ -133,6 +148,11 @@ pub enum SnapshotInvalid {
     Malformed(String),
     /// A version this build does not read.
     UnsupportedVersion(u32),
+    /// A tenant section the opening engine cannot accept: an invalid
+    /// tenant name in the image, or a partition the engine cannot
+    /// materialize (e.g. restoring a tenant section into an unindexed
+    /// engine).
+    BadTenant(String),
     /// The SipHash integrity check failed (bitrot or tampering).
     ChecksumMismatch,
     /// Written under a different shard topology: `(shard_index,
@@ -159,6 +179,7 @@ impl fmt::Display for SnapshotInvalid {
             SnapshotInvalid::UnsupportedVersion(v) => {
                 write!(f, "unsupported snapshot version {v}")
             }
+            SnapshotInvalid::BadTenant(e) => write!(f, "unacceptable tenant section: {e}"),
             SnapshotInvalid::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
             SnapshotInvalid::TopologyMismatch { snapshot, expected } => write!(
                 f,
@@ -217,9 +238,11 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-/// Serialize an entry dump under a stamp (header + term table + entries
-/// + checksum).
-pub fn encode(entries: &[IndexEntry], stamp: &SnapshotStamp) -> Vec<u8> {
+/// Serialize one tenant section: name, entry count, per-section term
+/// table, entries.
+fn encode_section(out: &mut Vec<u8>, tenant: &str, entries: &[IndexEntry]) {
+    put_str(out, tenant);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     // First pass: collect the term vocabulary in first-use order (terms
     // borrow from `entries`, which outlives both tables).
     let mut ids: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
@@ -238,18 +261,9 @@ pub fn encode(entries: &[IndexEntry], stamp: &SnapshotStamp) -> Vec<u8> {
             }
         }
     }
-
-    let mut out = Vec::with_capacity(64 + entries.len() * 48);
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.push(u8::from(stamp.generation.is_some()));
-    out.extend_from_slice(&stamp.generation.unwrap_or(0).to_le_bytes());
-    out.extend_from_slice(&stamp.shard_index.to_le_bytes());
-    out.extend_from_slice(&stamp.shard_count.to_le_bytes());
-    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     out.extend_from_slice(&(vocab.len() as u32).to_le_bytes());
     for term in &vocab {
-        put_str(&mut out, term);
+        put_str(out, term);
     }
     let put_ids = |out: &mut Vec<u8>, terms: &[String]| {
         out.extend_from_slice(&(terms.len() as u32).to_le_bytes());
@@ -258,20 +272,45 @@ pub fn encode(entries: &[IndexEntry], stamp: &SnapshotStamp) -> Vec<u8> {
         }
     };
     for e in entries {
-        put_str(&mut out, &e.key);
+        put_str(out, &e.key);
         out.extend_from_slice(&ids[e.user.as_str()].to_le_bytes());
-        put_ids(&mut out, &e.purposes);
-        put_ids(&mut out, &e.objections);
-        put_ids(&mut out, &e.sharing);
+        put_ids(out, &e.purposes);
+        put_ids(out, &e.objections);
+        put_ids(out, &e.sharing);
         let flags = u8::from(e.decision_eligible) | (u8::from(e.deadline_ms.is_some()) << 1);
         out.push(flags);
         if let Some(at) = e.deadline_ms {
             out.extend_from_slice(&at.to_le_bytes());
         }
     }
+}
+
+/// Serialize tenant sections under a stamp (header + sections +
+/// checksum). Callers pass sections in strictly ascending tenant order
+/// with section keys owned by the section tenant — the engine's export
+/// does so by construction, and both readers enforce it.
+pub fn encode_sections(sections: &[(String, Vec<IndexEntry>)], stamp: &SnapshotStamp) -> Vec<u8> {
+    let total: usize = sections.iter().map(|(_, e)| e.len()).sum();
+    let mut out = Vec::with_capacity(64 + sections.len() * 16 + total * 48);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(u8::from(stamp.generation.is_some()));
+    out.extend_from_slice(&stamp.generation.unwrap_or(0).to_le_bytes());
+    out.extend_from_slice(&stamp.shard_index.to_le_bytes());
+    out.extend_from_slice(&stamp.shard_count.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (tenant, entries) in sections {
+        encode_section(&mut out, tenant, entries);
+    }
     let sum = SipHash24::from_key_bytes(&CHECKSUM_KEY).hash(&out);
     out.extend_from_slice(&sum.to_le_bytes());
     out
+}
+
+/// Serialize a single default-tenant entry dump — the degenerate
+/// single-tenant image (one section, empty tenant name).
+pub fn encode(entries: &[IndexEntry], stamp: &SnapshotStamp) -> Vec<u8> {
+    encode_sections(&[(String::new(), entries.to_vec())], stamp)
 }
 
 // ---- decoding (bounds-checked; never panics, never over-allocates) ----
@@ -375,11 +414,12 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// The verified fixed header: checksum true, magic/version right, entry
-/// count sane; the cursor sits at the first entry.
+/// The verified fixed header: checksum true, magic/version right,
+/// section count sane; the cursor sits at the first section.
 struct VerifiedHeader<'a> {
     cur: Cursor<'a>,
-    count: usize,
+    /// Tenant-section count (a v2 image is a sequence of sections).
+    sections: usize,
     generation: Option<u64>,
     shard_index: u32,
     shard_count: u32,
@@ -411,8 +451,8 @@ fn check_stamp(
 
 /// Structure-and-checksum verification shared by both readers.
 fn verify_header(data: &[u8]) -> Result<VerifiedHeader<'_>, SnapshotInvalid> {
-    // Fixed header (37 bytes) + checksum (8).
-    if data.len() < MAGIC.len() + 4 + 1 + 8 + 4 + 4 + 8 + 8 {
+    // Fixed header (33 bytes) + checksum (8).
+    if data.len() < MAGIC.len() + 4 + 1 + 8 + 4 + 4 + 4 + 8 {
         return Err(SnapshotInvalid::Malformed("shorter than the header".into()));
     }
     if data[..MAGIC.len()] != MAGIC {
@@ -436,15 +476,15 @@ fn verify_header(data: &[u8]) -> Result<VerifiedHeader<'_>, SnapshotInvalid> {
     let generation = (flags & 1 != 0).then_some(generation_value);
     let shard_index = cur.u32()?;
     let shard_count = cur.u32()?;
-    let count = cur.u64()? as usize;
-    if count > (body.len() - cur.pos) / 11 {
-        // Minimum entry footprint: 2 string prefixes + 3 list prefixes +
-        // flags = 21 bytes; 11 is a safely small lower bound.
-        return Err(SnapshotInvalid::Malformed("hostile entry count".into()));
+    let sections = cur.u32()? as usize;
+    if sections > (body.len() - cur.pos) / 16 {
+        // Minimum section footprint: tenant-name prefix + u64 entry count
+        // + term-table size = 16 bytes.
+        return Err(SnapshotInvalid::Malformed("hostile section count".into()));
     }
     Ok(VerifiedHeader {
         cur,
-        count,
+        sections,
         generation,
         shard_index,
         shard_count,
@@ -452,58 +492,101 @@ fn verify_header(data: &[u8]) -> Result<VerifiedHeader<'_>, SnapshotInvalid> {
     })
 }
 
+/// Per-section validation shared by both readers: a well-formed tenant
+/// name, strictly ascending across sections (the default tenant's empty
+/// name sorts first).
+fn check_section_tenant(tenant: &str, prev: Option<&str>) -> Result<(), SnapshotInvalid> {
+    TenantId::check_name(tenant).map_err(SnapshotInvalid::BadTenant)?;
+    if prev.is_some_and(|p| p >= tenant) {
+        return Err(SnapshotInvalid::Malformed(
+            "tenant sections not strictly ascending".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Every entry key must live in its section's tenant partition — a
+/// checksum-valid image whose keys leak across sections is a forgery
+/// that would silently cross the isolation boundary at restore time.
+fn check_section_key(tenant: &str, key: &str) -> Result<(), SnapshotInvalid> {
+    if TenantId::split_storage_key(key).0 != tenant {
+        return Err(SnapshotInvalid::Malformed(
+            "entry key outside its tenant section".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// Parse and verify an image against `expected`, materializing the
-/// entries. Validation order: structure and checksum first (is this byte
-/// string a snapshot at all?), then topology, then the generation stamp
-/// — so the error names the *first* reason the image cannot be trusted.
-pub fn decode(data: &[u8], expected: &SnapshotStamp) -> Result<Vec<IndexEntry>, SnapshotInvalid> {
+/// sections. Validation order: structure and checksum first (is this
+/// byte string a snapshot at all?), then topology, then the generation
+/// stamp — so the error names the *first* reason the image cannot be
+/// trusted.
+pub fn decode_sections(
+    data: &[u8],
+    expected: &SnapshotStamp,
+) -> Result<Vec<(String, Vec<IndexEntry>)>, SnapshotInvalid> {
     let header = verify_header(data)?;
     let stamp = header.stamp();
     let VerifiedHeader {
         mut cur,
-        count,
+        sections: section_count,
         body_len,
         ..
     } = header;
-    let vocab = cur.vocab()?;
-    let mut entries = Vec::with_capacity(count);
+    let mut sections: Vec<(String, Vec<IndexEntry>)> = Vec::with_capacity(section_count);
     let mut ids: Vec<u32> = Vec::new();
-    for _ in 0..count {
-        let key = cur.string()?;
-        // Same strictly-ascending rule as the engine's streaming reader
-        // (`decode_into`): both readers must agree on what is a valid
-        // image, or diagnostics would accept files recovery rejects.
-        if entries
-            .last()
-            .is_some_and(|prev: &IndexEntry| prev.key >= key)
-        {
-            return Err(SnapshotInvalid::Malformed(
-                "keys not strictly ascending".into(),
-            ));
+    for _ in 0..section_count {
+        let tenant = cur.string()?;
+        check_section_tenant(&tenant, sections.last().map(|(t, _)| t.as_str()))?;
+        let count = cur.u64()? as usize;
+        if count > (body_len - cur.pos) / 11 {
+            // Minimum entry footprint: 2 string prefixes + 3 list
+            // prefixes + flags = 21 bytes; 11 is a safely small bound.
+            return Err(SnapshotInvalid::Malformed("hostile entry count".into()));
         }
-        let user = vocab[cur.id(vocab.len())? as usize].to_string();
-        let mut resolve = |cur: &mut Cursor| -> Result<Vec<String>, SnapshotInvalid> {
-            cur.id_list(vocab.len(), &mut ids)?;
-            Ok(ids.iter().map(|&i| vocab[i as usize].to_string()).collect())
-        };
-        let purposes = resolve(&mut cur)?;
-        let objections = resolve(&mut cur)?;
-        let sharing = resolve(&mut cur)?;
-        let eflags = cur.u8()?;
-        let deadline_ms = if eflags & 2 != 0 {
-            Some(cur.u64()?)
-        } else {
-            None
-        };
-        entries.push(IndexEntry {
-            key,
-            user,
-            purposes,
-            objections,
-            sharing,
-            decision_eligible: eflags & 1 != 0,
-            deadline_ms,
-        });
+        let vocab = cur.vocab()?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = cur.string()?;
+            // Same strictly-ascending rule as the engine's streaming
+            // reader (`parse_sections`): both readers must agree on what
+            // is a valid image, or diagnostics would accept files
+            // recovery rejects.
+            if entries
+                .last()
+                .is_some_and(|prev: &IndexEntry| prev.key >= key)
+            {
+                return Err(SnapshotInvalid::Malformed(
+                    "keys not strictly ascending".into(),
+                ));
+            }
+            check_section_key(&tenant, &key)?;
+            let user = vocab[cur.id(vocab.len())? as usize].to_string();
+            let mut resolve = |cur: &mut Cursor| -> Result<Vec<String>, SnapshotInvalid> {
+                cur.id_list(vocab.len(), &mut ids)?;
+                Ok(ids.iter().map(|&i| vocab[i as usize].to_string()).collect())
+            };
+            let purposes = resolve(&mut cur)?;
+            let objections = resolve(&mut cur)?;
+            let sharing = resolve(&mut cur)?;
+            let eflags = cur.u8()?;
+            let deadline_ms = if eflags & 2 != 0 {
+                Some(cur.u64()?)
+            } else {
+                None
+            };
+            entries.push(IndexEntry {
+                key,
+                user,
+                purposes,
+                objections,
+                sharing,
+                decision_eligible: eflags & 1 != 0,
+                deadline_ms,
+            });
+        }
+        sections.push((tenant, entries));
     }
     if cur.pos != body_len {
         return Err(SnapshotInvalid::Malformed(
@@ -511,88 +594,138 @@ pub fn decode(data: &[u8], expected: &SnapshotStamp) -> Result<Vec<IndexEntry>, 
         ));
     }
     check_stamp(stamp, expected)?;
-    Ok(entries)
+    Ok(sections)
 }
 
-/// The streaming restore reader: verify, then feed the image straight
-/// into a [`crate::metaindex::VocabIndexBuilder`] and install it into
-/// `index`. The term table becomes the index's shared vocabulary (one
-/// allocation per *distinct* term), entry keys are borrowed from the
-/// buffer until they enter the index, the stamp is checked *before* any
-/// building (a stale image fails in microseconds instead of after a full
-/// load), and keys must arrive strictly ascending — the writer sorts
-/// them, so anything else is a forgery even if the checksum holds. On
-/// any error the index is left untouched.
-fn decode_into(
+/// Parse and verify an image, flattening every tenant section into one
+/// entry list (storage keys are globally unique, so nothing collides).
+/// Diagnostics and single-tenant tooling; the recovery path streams via
+/// [`restore_or_rebuild_tenants`] instead.
+pub fn decode(data: &[u8], expected: &SnapshotStamp) -> Result<Vec<IndexEntry>, SnapshotInvalid> {
+    Ok(decode_sections(data, expected)?
+        .into_iter()
+        .flat_map(|(_, entries)| entries)
+        .collect())
+}
+
+/// The streaming restore reader: verify, then feed each tenant section
+/// straight into a [`VocabIndexBuilder`]. Each section's term table
+/// becomes its partition's shared vocabulary (one allocation per
+/// *distinct* term), entry keys are borrowed from the buffer until they
+/// enter a builder, the stamp is checked *before* any building (a stale
+/// image fails in microseconds instead of after a full load), and keys
+/// must arrive strictly ascending within their section — the writer
+/// sorts them, so anything else is a forgery even if the checksum holds.
+///
+/// Nothing is installed here: the staged builders come back only once
+/// the **whole** image has parsed, so a section that fails late can
+/// never leave an earlier tenant's partition half-restored.
+fn parse_sections(
     data: &[u8],
     expected: &SnapshotStamp,
-    index: &MetadataIndex,
-) -> Result<usize, SnapshotInvalid> {
+) -> Result<Vec<(String, VocabIndexBuilder)>, SnapshotInvalid> {
     let header = verify_header(data)?;
     check_stamp(header.stamp(), expected)?;
     let VerifiedHeader {
         mut cur,
-        count,
+        sections: section_count,
         body_len,
         ..
     } = header;
-    let vocab_refs = cur.vocab()?;
-    let vocab_len = vocab_refs.len();
-    let vocab: Vec<std::sync::Arc<str>> =
-        vocab_refs.into_iter().map(std::sync::Arc::from).collect();
-    let mut builder = crate::metaindex::VocabIndexBuilder::new(vocab, count);
+    let mut staged: Vec<(String, VocabIndexBuilder)> = Vec::with_capacity(section_count);
     let mut purposes: Vec<u32> = Vec::new();
     let mut objections: Vec<u32> = Vec::new();
     let mut sharing: Vec<u32> = Vec::new();
-    let mut prev_key: Option<&str> = None;
-    for _ in 0..count {
-        let key = cur.str_ref()?;
-        if prev_key.is_some_and(|prev| prev >= key) {
-            return Err(SnapshotInvalid::Malformed(
-                "keys not strictly ascending".into(),
-            ));
+    for _ in 0..section_count {
+        let tenant = cur.string()?;
+        check_section_tenant(&tenant, staged.last().map(|(t, _)| t.as_str()))?;
+        let count = cur.u64()? as usize;
+        if count > (body_len - cur.pos) / 11 {
+            return Err(SnapshotInvalid::Malformed("hostile entry count".into()));
         }
-        prev_key = Some(key);
-        let user_id = cur.id(vocab_len)?;
-        cur.id_list(vocab_len, &mut purposes)?;
-        cur.id_list(vocab_len, &mut objections)?;
-        cur.id_list(vocab_len, &mut sharing)?;
-        let eflags = cur.u8()?;
-        let deadline_ms = if eflags & 2 != 0 {
-            Some(cur.u64()?)
-        } else {
-            None
-        };
-        builder.add(
-            key,
-            user_id,
-            &purposes,
-            &objections,
-            &sharing,
-            eflags & 1 != 0,
-            deadline_ms,
-        );
+        let vocab_refs = cur.vocab()?;
+        let vocab_len = vocab_refs.len();
+        let vocab: Vec<Arc<str>> = vocab_refs.into_iter().map(Arc::from).collect();
+        let mut builder = VocabIndexBuilder::new(vocab, count);
+        let mut prev_key: Option<&str> = None;
+        for _ in 0..count {
+            let key = cur.str_ref()?;
+            if prev_key.is_some_and(|prev| prev >= key) {
+                return Err(SnapshotInvalid::Malformed(
+                    "keys not strictly ascending".into(),
+                ));
+            }
+            prev_key = Some(key);
+            check_section_key(&tenant, key)?;
+            let user_id = cur.id(vocab_len)?;
+            cur.id_list(vocab_len, &mut purposes)?;
+            cur.id_list(vocab_len, &mut objections)?;
+            cur.id_list(vocab_len, &mut sharing)?;
+            let eflags = cur.u8()?;
+            let deadline_ms = if eflags & 2 != 0 {
+                Some(cur.u64()?)
+            } else {
+                None
+            };
+            builder.add(
+                key,
+                user_id,
+                &purposes,
+                &objections,
+                &sharing,
+                eflags & 1 != 0,
+                deadline_ms,
+            );
+        }
+        staged.push((tenant, builder));
     }
     if cur.pos != body_len {
         return Err(SnapshotInvalid::Malformed(
             "trailing bytes after the last entry".into(),
         ));
     }
-    Ok(builder.install(index))
+    Ok(staged)
 }
 
-/// Write `index`'s dump to `path` atomically: encode, write `<path>.tmp`,
-/// fsync, rename over the target, fsync the directory. Returns the entry
-/// count. **Capture the stamp before calling** (before the export that
-/// happens inside): a write racing the snapshot then makes the image look
-/// stale rather than falsely fresh.
+/// Restore a **single-tenant** image into `index` — the default-tenant
+/// section only. Any named-tenant section makes the image untrustworthy
+/// for a single-index restore (nothing is installed).
+fn decode_into(
+    data: &[u8],
+    expected: &SnapshotStamp,
+    index: &MetadataIndex,
+) -> Result<usize, SnapshotInvalid> {
+    let staged = parse_sections(data, expected)?;
+    if staged.iter().any(|(tenant, _)| !tenant.is_empty()) {
+        return Err(SnapshotInvalid::BadTenant(
+            "multi-tenant image restored into a single index".into(),
+        ));
+    }
+    Ok(staged
+        .into_iter()
+        .map(|(_, builder)| builder.install(index))
+        .sum())
+}
+
+/// Write every tenant partition's dump to `path` atomically: export each
+/// section, encode, write `<path>.tmp`, fsync, rename over the target,
+/// fsync the directory. Returns the total entry count. Sections must
+/// arrive in strictly ascending tenant order (default tenant's `""`
+/// first — [`crate::engine::ComplianceEngine`]'s export does so by
+/// construction). **Capture the stamp before calling** (before the
+/// export that happens inside): a write racing the snapshot then makes
+/// the image look stale rather than falsely fresh.
 pub fn write_snapshot(
     path: &Path,
-    index: &MetadataIndex,
+    sections: &[(String, Arc<MetadataIndex>)],
     stamp: &SnapshotStamp,
 ) -> GdprResult<usize> {
-    let entries = index.export_entries();
-    let bytes = encode(&entries, stamp);
+    let exported: Vec<(String, Vec<IndexEntry>)> = sections
+        .iter()
+        .map(|(tenant, index)| (tenant.clone(), index.export_entries()))
+        .collect();
+    let total = exported.iter().map(|(_, e)| e.len()).sum();
+    let bytes = encode_sections(&exported, stamp);
     let io = |e: std::io::Error| GdprError::Store(format!("index snapshot {path:?}: {e}"));
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
@@ -612,7 +745,7 @@ pub fn write_snapshot(
             let _ = d.sync_all();
         }
     }
-    Ok(entries.len())
+    Ok(total)
 }
 
 fn read_file(path: &Path) -> Result<Vec<u8>, SnapshotInvalid> {
@@ -631,6 +764,52 @@ pub fn read_snapshot(
     expected: &SnapshotStamp,
 ) -> Result<Vec<IndexEntry>, SnapshotInvalid> {
     read_file(path).and_then(|data| decode(&data, expected))
+}
+
+/// The tenant-aware crash-recovery entry point: load the image at `path`
+/// when it is trustworthy, routing each tenant section into the index
+/// `sink` hands back for that tenant name (the engine materializes the
+/// tenant's partition there); otherwise complain on stderr and run
+/// `rebuild` (the caller's O(n) store backfill across every tenant).
+///
+/// Installation is all-or-nothing: every section is parsed and every
+/// sink resolved before a single partition is touched, so an image that
+/// fails late never leaves one tenant restored and another empty.
+/// Recovery never propagates a snapshot problem as an error — every
+/// untrustworthy-image class degrades to the rebuild, so the only
+/// failure surface is the rebuild's own store access.
+pub fn restore_or_rebuild_tenants<E>(
+    path: &Path,
+    expected: &SnapshotStamp,
+    sink: &mut dyn FnMut(&str) -> Result<Arc<MetadataIndex>, SnapshotInvalid>,
+    rebuild: impl FnOnce() -> Result<usize, E>,
+) -> Result<IndexRecovery, E> {
+    let attempt = read_file(path)
+        .and_then(|data| parse_sections(&data, expected))
+        .and_then(|staged| {
+            let mut resolved = Vec::with_capacity(staged.len());
+            for (tenant, builder) in staged {
+                resolved.push((sink(&tenant)?, builder));
+            }
+            Ok(resolved
+                .into_iter()
+                .map(|(index, builder)| builder.install(&index))
+                .sum())
+        });
+    match attempt {
+        Ok(n) => Ok(IndexRecovery::Restored {
+            entries: n,
+            generation: expected.generation.unwrap_or(0),
+        }),
+        Err(cause) => {
+            eprintln!(
+                "gdpr-core: index snapshot {path:?} not usable ({cause}); \
+                 rebuilding the metadata index from a full store scan"
+            );
+            let records = rebuild()?;
+            Ok(IndexRecovery::Rebuilt { records, cause })
+        }
+    }
 }
 
 impl MetadataIndex {
@@ -890,7 +1069,8 @@ mod tests {
             }
         );
 
-        assert_eq!(write_snapshot(&path, &idx, &stamp).unwrap(), 2);
+        let sections = vec![(String::new(), Arc::new(sample_index()))];
+        assert_eq!(write_snapshot(&path, &sections, &stamp).unwrap(), 2);
         let fresh = MetadataIndex::new();
         let outcome: Result<IndexRecovery, GdprError> =
             fresh.restore_or_rebuild(&path, &stamp, |_| panic!("must not rebuild"));
@@ -905,5 +1085,120 @@ mod tests {
         );
         assert!(bad.is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn tenant_index(tenant: &str) -> MetadataIndex {
+        let t = TenantId::new(tenant).unwrap();
+        let idx = MetadataIndex::new();
+        let m = Metadata::new("neo", vec!["ads".into()], Duration::from_secs(60));
+        idx.upsert(
+            &crate::record::PersonalRecord::new(t.storage_key("k1"), "d", m),
+            1_000,
+            false,
+        );
+        idx
+    }
+
+    #[test]
+    fn multi_tenant_sections_roundtrip_and_route() {
+        let stamp = SnapshotStamp::unsharded(Some(9));
+        let sections = vec![
+            (String::new(), Arc::new(sample_index())),
+            ("acme".to_string(), Arc::new(tenant_index("acme"))),
+            ("zeta".to_string(), Arc::new(tenant_index("zeta"))),
+        ];
+        let exported: Vec<(String, Vec<IndexEntry>)> = sections
+            .iter()
+            .map(|(t, i)| (t.clone(), i.export_entries()))
+            .collect();
+        let bytes = encode_sections(&exported, &stamp);
+        let decoded = decode_sections(&bytes, &stamp).unwrap();
+        assert_eq!(
+            decoded.iter().map(|(t, _)| t.as_str()).collect::<Vec<_>>(),
+            vec!["", "acme", "zeta"]
+        );
+        assert_eq!(decoded[0].1.len(), 2);
+        assert_eq!(decoded[1].1.len(), 1);
+        assert_eq!(decoded[1].1[0].key, "acme\u{1d}k1");
+
+        // The tenant-aware recovery routes each section to its partition.
+        let dir = std::env::temp_dir().join(format!("gidx-mt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("multi.snap");
+        write_snapshot(&path, &sections, &stamp).unwrap();
+        let mut restored: Vec<(String, Arc<MetadataIndex>)> = Vec::new();
+        let outcome: Result<IndexRecovery, GdprError> = restore_or_rebuild_tenants(
+            &path,
+            &stamp,
+            &mut |tenant| {
+                let idx = Arc::new(MetadataIndex::new());
+                restored.push((tenant.to_string(), Arc::clone(&idx)));
+                Ok(idx)
+            },
+            || panic!("must not rebuild"),
+        );
+        assert_eq!(
+            outcome.unwrap(),
+            IndexRecovery::Restored {
+                entries: 4,
+                generation: 9
+            }
+        );
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored[1].0, "acme");
+        assert_eq!(restored[1].1.len(), 1);
+        assert_equivalent(&sections[0].1, &restored[0].1);
+        std::fs::remove_file(&path).unwrap();
+
+        // A multi-tenant image never restores into a single bare index.
+        let single = MetadataIndex::new();
+        assert!(matches!(
+            decode_into(&bytes, &stamp, &single),
+            Err(SnapshotInvalid::BadTenant(_))
+        ));
+        assert!(single.is_empty());
+    }
+
+    #[test]
+    fn cross_tenant_and_misordered_sections_are_forgeries() {
+        let stamp = SnapshotStamp::unsharded(Some(2));
+        // Section order must be strictly ascending.
+        let misordered = encode_sections(
+            &[
+                ("zeta".to_string(), tenant_index("zeta").export_entries()),
+                ("acme".to_string(), tenant_index("acme").export_entries()),
+            ],
+            &stamp,
+        );
+        assert!(matches!(
+            decode_sections(&misordered, &stamp),
+            Err(SnapshotInvalid::Malformed(_))
+        ));
+        // A key parked in the wrong tenant's section is rejected even
+        // though the checksum holds.
+        let leaked = encode_sections(
+            &[("acme".to_string(), tenant_index("zeta").export_entries())],
+            &stamp,
+        );
+        assert!(matches!(
+            decode_sections(&leaked, &stamp),
+            Err(SnapshotInvalid::Malformed(_))
+        ));
+        // An invalid tenant name in the image is rejected.
+        let bad_name = encode_sections(&[("has space".to_string(), Vec::new())], &stamp);
+        assert!(matches!(
+            decode_sections(&bad_name, &stamp),
+            Err(SnapshotInvalid::BadTenant(_))
+        ));
+        // A version this build does not read rebuilds loudly.
+        let mut old = encode(&sample_index().export_entries(), &stamp);
+        old[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let body_len = old.len() - 8;
+        let sum = SipHash24::from_key_bytes(&CHECKSUM_KEY).hash(&old[..body_len]);
+        old[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode(&old, &stamp),
+            Err(SnapshotInvalid::UnsupportedVersion(1))
+        ));
     }
 }

@@ -111,6 +111,28 @@ pub trait RecordStore: Send + Sync {
     /// conformance suite's boundary test).
     fn purge_expired(&self) -> GdprResult<usize>;
 
+    /// Every key whose native deadline has already lapsed, **without
+    /// reaping anything** — the multi-tenant purge path uses this to count
+    /// and erase one tenant's expired records itself. The default derives
+    /// the set from [`Self::scan`] + [`Self::deadline_ms`], which is
+    /// correct for backends that serve past-due rows until their own sweep
+    /// runs (the relational store). Backends whose reads lazily reap (the
+    /// key-value store: a GET destroys the record *and* its deadline, so a
+    /// scan-derived set silently loses every expired key) must override
+    /// with a genuinely side-effect-free enumeration.
+    fn expired_keys(&self) -> GdprResult<Vec<String>> {
+        let now_ms = self.clock().now().as_millis();
+        Ok(self
+            .scan()?
+            .into_iter()
+            .map(|record| record.key)
+            .filter(|key| {
+                self.deadline_ms(key)
+                    .is_some_and(|deadline| deadline <= now_ms)
+            })
+            .collect())
+    }
+
     /// The store's own absolute expiry deadline for `key`, in milliseconds
     /// on [`Self::clock`], when it tracks one natively. `None` means
     /// unknown — callers fall back to deriving a deadline from the

@@ -326,6 +326,9 @@ pub struct OpTelemetry {
     slots: [OpSlot; QUERY_SLOTS],
     /// Slow-op threshold in nanoseconds; 0 = disabled.
     slow_threshold_ns: AtomicU64,
+    /// Tenant label stamped on slow-op log lines (`"default"` for the
+    /// degenerate single-tenant table).
+    label: String,
 }
 
 /// Monotonic milliseconds since the first call — the slow-op rate
@@ -349,6 +352,12 @@ impl Default for OpTelemetry {
 
 impl OpTelemetry {
     pub fn new() -> OpTelemetry {
+        Self::labeled("default")
+    }
+
+    /// A table whose slow-op log lines carry `tenant=<label>` — one per
+    /// tenant partition in a multi-tenant engine.
+    pub fn labeled(label: impl Into<String>) -> OpTelemetry {
         let slow_ms = std::env::var("GDPR_SLOW_OP_MS")
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
@@ -360,7 +369,13 @@ impl OpTelemetry {
                 latency: AtomicHistogram::new(),
             }),
             slow_threshold_ns: AtomicU64::new(slow_ms.saturating_mul(1_000_000)),
+            label: label.into(),
         }
+    }
+
+    /// The tenant label slow-op lines are attributed to.
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// Override the slow-op threshold (`None`/zero disables).
@@ -405,8 +420,9 @@ impl OpTelemetry {
             .is_ok()
         {
             eprintln!(
-                "[gdpr-telemetry] slow op: {} took {:.3} ms",
+                "[gdpr-telemetry] slow op: op={} tenant={} took {:.3} ms",
                 query.name(),
+                self.label,
                 elapsed.as_secs_f64() * 1e3,
             );
         }

@@ -1,0 +1,202 @@
+//! Tenant identity: the first-class dimension that lets one deployment
+//! serve many data controllers with hard isolation.
+//!
+//! A [`TenantId`] names one controller. The **default tenant** (the empty
+//! name) is the degenerate single-tenant case: every pre-tenancy caller
+//! lands there and observes byte-identical behavior to a build without
+//! tenancy at all.
+//!
+//! # Storage-key namespacing
+//!
+//! Isolation is enforced at the key layer: a non-default tenant's records
+//! live under `"<tenant>\x1d<key>"` in the shared [`crate::RecordStore`],
+//! where `\x1d` (ASCII GROUP SEPARATOR) is [`TENANT_SEPARATOR`]. The
+//! default tenant's records keep their raw keys, which is what makes the
+//! degenerate case byte-equivalent. Two rules make the scheme forgery-proof:
+//!
+//! * tenant names may not contain the separator (they are restricted to
+//!   `[A-Za-z0-9._-]`, at most [`MAX_TENANT_LEN`] bytes), and
+//! * **logical** keys containing the separator are rejected outright
+//!   ([`TenantId::check_logical_key`]), so no caller — default tenant
+//!   included — can craft a key that addresses another tenant's partition.
+//!
+//! Everything above the store (index partitions, audit trails, telemetry
+//! labels, snapshot sections, shard routing) keys off the same identity.
+
+use std::fmt;
+
+/// ASCII GROUP SEPARATOR — joins tenant name and logical key into a
+/// storage key. Not a valid byte in tenant names or logical keys.
+pub const TENANT_SEPARATOR: char = '\u{1d}';
+
+/// Longest accepted tenant name, in bytes.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// One controller's identity. `TenantId::default()` is the degenerate
+/// single-tenant case (empty name).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// Parse and validate a tenant name. The empty string is the default
+    /// tenant; anything else must be `[A-Za-z0-9._-]{1,64}`.
+    pub fn new(name: impl Into<String>) -> Result<TenantId, String> {
+        let name = name.into();
+        Self::check_name(&name)?;
+        Ok(TenantId(name))
+    }
+
+    /// Validate a tenant name without constructing one.
+    pub fn check_name(name: &str) -> Result<(), String> {
+        if name.is_empty() {
+            return Ok(());
+        }
+        if name.len() > MAX_TENANT_LEN {
+            return Err(format!(
+                "tenant name of {} bytes exceeds the {MAX_TENANT_LEN}-byte cap",
+                name.len()
+            ));
+        }
+        if let Some(bad) = name
+            .chars()
+            .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+        {
+            return Err(format!(
+                "tenant name {name:?} contains {bad:?}; allowed: [A-Za-z0-9._-]"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Reject logical keys that could forge a cross-tenant storage key.
+    /// Applied to every key-addressed query before translation.
+    pub fn check_logical_key(key: &str) -> Result<(), String> {
+        if key.contains(TENANT_SEPARATOR) {
+            return Err(format!(
+                "record key {key:?} contains the reserved tenant separator (0x1d)"
+            ));
+        }
+        Ok(())
+    }
+
+    /// The degenerate single-tenant case?
+    #[inline]
+    pub fn is_default(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw name (empty for the default tenant).
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// A human/metric label: `"default"` for the default tenant, the name
+    /// otherwise. Used by the slow-op log and the Prometheus series.
+    pub fn label(&self) -> &str {
+        if self.0.is_empty() {
+            "default"
+        } else {
+            &self.0
+        }
+    }
+
+    /// Translate a logical key into the storage key this tenant owns.
+    /// The default tenant's storage keys are the logical keys themselves.
+    pub fn storage_key(&self, logical: &str) -> String {
+        if self.is_default() {
+            logical.to_string()
+        } else {
+            let mut k = String::with_capacity(self.0.len() + 1 + logical.len());
+            k.push_str(&self.0);
+            k.push(TENANT_SEPARATOR);
+            k.push_str(logical);
+            k
+        }
+    }
+
+    /// Does this tenant own `storage_key`? The default tenant owns exactly
+    /// the keys without a separator.
+    pub fn owns(&self, storage_key: &str) -> bool {
+        match storage_key.find(TENANT_SEPARATOR) {
+            None => self.is_default(),
+            Some(at) => storage_key[..at] == self.0,
+        }
+    }
+
+    /// Strip this tenant's prefix off a storage key, yielding the logical
+    /// key. Keys the tenant does not own come back unchanged (callers
+    /// filter on [`Self::owns`] first).
+    pub fn logical<'a>(&self, storage_key: &'a str) -> &'a str {
+        if self.is_default() {
+            return storage_key;
+        }
+        match storage_key.find(TENANT_SEPARATOR) {
+            Some(at) if storage_key[..at] == self.0 => &storage_key[at + 1..],
+            _ => storage_key,
+        }
+    }
+
+    /// Split a storage key into `(tenant name, logical key)`. Keys without
+    /// a separator belong to the default tenant.
+    pub fn split_storage_key(storage_key: &str) -> (&str, &str) {
+        match storage_key.find(TENANT_SEPARATOR) {
+            None => ("", storage_key),
+            Some(at) => (&storage_key[..at], &storage_key[at + 1..]),
+        }
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tenant_is_transparent() {
+        let t = TenantId::default();
+        assert!(t.is_default());
+        assert_eq!(t.storage_key("ph-1"), "ph-1");
+        assert_eq!(t.logical("ph-1"), "ph-1");
+        assert!(t.owns("ph-1"));
+        assert!(!t.owns("acme\u{1d}ph-1"));
+        assert_eq!(t.label(), "default");
+    }
+
+    #[test]
+    fn named_tenant_prefixes_and_strips() {
+        let t = TenantId::new("acme").unwrap();
+        let sk = t.storage_key("ph-1");
+        assert_eq!(sk, "acme\u{1d}ph-1");
+        assert!(t.owns(&sk));
+        assert!(!t.owns("ph-1"));
+        assert!(!t.owns("acme2\u{1d}ph-1"));
+        assert_eq!(t.logical(&sk), "ph-1");
+        assert_eq!(TenantId::split_storage_key(&sk), ("acme", "ph-1"));
+        assert_eq!(TenantId::split_storage_key("ph-1"), ("", "ph-1"));
+    }
+
+    #[test]
+    fn hostile_names_and_keys_are_rejected() {
+        assert!(TenantId::new("ok-name_1.2").is_ok());
+        assert!(TenantId::new("").unwrap().is_default());
+        assert!(TenantId::new("has space").is_err());
+        assert!(TenantId::new("sep\u{1d}inside").is_err());
+        assert!(TenantId::new("x".repeat(MAX_TENANT_LEN + 1)).is_err());
+        assert!(TenantId::new("x".repeat(MAX_TENANT_LEN)).is_ok());
+        assert!(TenantId::check_logical_key("plain").is_ok());
+        assert!(TenantId::check_logical_key("a\u{1d}b").is_err());
+    }
+
+    #[test]
+    fn a_tenant_name_prefixing_another_does_not_collide() {
+        let a = TenantId::new("acme").unwrap();
+        let ab = TenantId::new("acme2").unwrap();
+        assert!(!a.owns(&ab.storage_key("k")));
+        assert!(!ab.owns(&a.storage_key("k")));
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::wire::RequestBody;
 use crypto::channel::DuplexChannel;
+use gdpr_core::tenant::TenantId;
 use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::sync::atomic::AtomicU64;
@@ -137,6 +138,9 @@ pub(crate) enum DecodedOp {
     /// A well-formed request awaiting execution.
     Request {
         seq: u64,
+        /// The request-header tenant — scopes control ops (`GetMetrics`);
+        /// for `Execute` the decoder already injected it into the session.
+        tenant: TenantId,
         body: RequestBody,
         /// When the frame came off the decoder — the start of the
         /// `decode_wait` telemetry stage (decode → executor pickup).

@@ -287,7 +287,8 @@ impl EventLoop {
             }
             stream.set_nodelay(true).ok();
             let report = crate::metrics::build_metrics_report(&self.shared);
-            let buf = crate::metrics::http_response(&report);
+            let tenants = self.shared.engine.tenant_telemetry();
+            let buf = crate::metrics::http_response(&report, &tenants);
             let token = self.next_token;
             self.next_token += 1;
             if self
@@ -493,8 +494,9 @@ impl EventLoop {
                         },
                     };
                     match wire::decode_request(&plaintext) {
-                        Ok((seq, body)) => conn.pending.push_back(DecodedOp::Request {
+                        Ok((seq, tenant, body)) => conn.pending.push_back(DecodedOp::Request {
                             seq,
+                            tenant,
                             body,
                             decoded_at: Instant::now(),
                         }),
@@ -503,8 +505,13 @@ impl EventLoop {
                                 .stats
                                 .protocol_errors
                                 .fetch_add(1, Ordering::Relaxed);
+                            // Best-effort seq echo: v2 payloads carry it
+                            // after the version byte. A v1/garbage frame
+                            // yields a junk seq, which is fine — the error
+                            // text names the real problem and the
+                            // connection closes.
                             let seq = plaintext
-                                .get(..8)
+                                .get(1..9)
                                 .map_or(0, |b| u64::from_be_bytes(b.try_into().unwrap()));
                             conn.pending
                                 .push_back(DecodedOp::Canned(wire::encode_response(

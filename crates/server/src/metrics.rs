@@ -20,7 +20,8 @@
 
 use crate::server::ServerShared;
 use crate::wire::{MetricsReport, StageMetrics};
-use gdpr_core::telemetry::{AtomicHistogram, HistogramSnapshot};
+use gdpr_core::telemetry::{AtomicHistogram, HistogramSnapshot, OpTelemetrySnapshot};
+use gdpr_core::tenant::TenantId;
 use std::sync::atomic::Ordering;
 
 /// The event loop's per-stage histograms.
@@ -82,6 +83,28 @@ pub(crate) fn build_metrics_report(shared: &ServerShared) -> MetricsReport {
         .op_telemetry()
         .map(|snap| snap.ops)
         .unwrap_or_default();
+    finish_report(shared, ops)
+}
+
+/// The tenant-scoped variant the wire `GetMetrics` handler uses: the
+/// per-opcode table comes from the requesting tenant's counters alone (a
+/// tenant that has never executed anything gets an empty table). The
+/// stage histograms and server counters are shared infrastructure —
+/// connection and pipeline plumbing, not per-tenant data — and stay
+/// deployment-wide.
+pub(crate) fn build_metrics_report_for(shared: &ServerShared, tenant: &TenantId) -> MetricsReport {
+    let ops = shared
+        .engine
+        .op_telemetry_for(tenant)
+        .map(|snap| snap.ops)
+        .unwrap_or_default();
+    finish_report(shared, ops)
+}
+
+fn finish_report(
+    shared: &ServerShared,
+    ops: Vec<gdpr_core::telemetry::OpSnapshot>,
+) -> MetricsReport {
     let stats = &shared.stats;
     let counters = vec![
         (
@@ -186,6 +209,35 @@ pub fn render_prometheus(report: &MetricsReport) -> String {
     out
 }
 
+/// Per-tenant opcode series, appended after the deployment-wide report:
+/// `gdpr_tenant_op_total{tenant=...,op=...}` and the matching
+/// `_errors_total`. Tenants and opcodes with zero traffic are omitted.
+pub fn render_tenant_prometheus(tenants: &[(String, OpTelemetrySnapshot)]) -> String {
+    let mut out = String::new();
+    if tenants.iter().all(|(_, snap)| snap.total_ops() == 0) {
+        return out;
+    }
+    out.push_str("# TYPE gdpr_tenant_op_total counter\n");
+    out.push_str("# TYPE gdpr_tenant_op_errors_total counter\n");
+    for (tenant, snap) in tenants {
+        for op in &snap.ops {
+            if op.total() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "gdpr_tenant_op_total{{tenant=\"{tenant}\",op=\"{}\"}} {}\n",
+                op.name,
+                op.total()
+            ));
+            out.push_str(&format!(
+                "gdpr_tenant_op_errors_total{{tenant=\"{tenant}\",op=\"{}\"}} {}\n",
+                op.name, op.errors
+            ));
+        }
+    }
+    out
+}
+
 /// One Prometheus histogram: cumulative `_bucket{le=...}` lines over the
 /// nonzero buckets, a `+Inf` catch-all, `_sum`, and `_count`. Latency
 /// buckets convert nanoseconds → seconds; dimensionless histograms (batch
@@ -246,8 +298,12 @@ fn render_histogram(
 /// The full HTTP response the metrics listener writes: minimal HTTP/1.0 —
 /// no request parsing, no keep-alive — because every scraper ever written
 /// handles "200, body, close".
-pub(crate) fn http_response(report: &MetricsReport) -> Vec<u8> {
-    let body = render_prometheus(report);
+pub(crate) fn http_response(
+    report: &MetricsReport,
+    tenants: &[(String, OpTelemetrySnapshot)],
+) -> Vec<u8> {
+    let mut body = render_prometheus(report);
+    body.push_str(&render_tenant_prometheus(tenants));
     let mut out = Vec::with_capacity(body.len() + 128);
     out.extend_from_slice(
         format!(
@@ -315,6 +371,28 @@ mod tests {
     }
 
     #[test]
+    fn tenant_series_are_labeled_and_skip_idle_tenants() {
+        let acme = OpTelemetry::labeled("acme");
+        acme.record(
+            &GdprQuery::ReadDataByKey("k".into()),
+            Duration::from_micros(3),
+            true,
+        );
+        let idle = OpTelemetry::labeled("idle");
+        let text = render_tenant_prometheus(&[
+            ("acme".to_string(), acme.snapshot()),
+            ("idle".to_string(), idle.snapshot()),
+        ]);
+        assert!(text.contains("gdpr_tenant_op_total{tenant=\"acme\",op=\"read-data-by-key\"} 1"));
+        assert!(
+            text.contains("gdpr_tenant_op_errors_total{tenant=\"acme\",op=\"read-data-by-key\"} 1")
+        );
+        assert!(!text.contains("tenant=\"idle\""));
+        // All-idle input renders nothing, not bare TYPE headers.
+        assert!(render_tenant_prometheus(&[("idle".to_string(), idle.snapshot())]).is_empty());
+    }
+
+    #[test]
     fn cumulative_bucket_counts_are_monotone() {
         let h = AtomicHistogram::new();
         for us in [1u64, 10, 10, 100, 1000, 10_000] {
@@ -333,7 +411,7 @@ mod tests {
 
     #[test]
     fn http_response_is_well_formed() {
-        let resp = http_response(&sample_report());
+        let resp = http_response(&sample_report(), &[]);
         let text = String::from_utf8(resp).unwrap();
         let (head, body) = text.split_once("\r\n\r\n").unwrap();
         assert!(head.starts_with("HTTP/1.0 200 OK"));

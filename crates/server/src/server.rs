@@ -26,6 +26,7 @@ use crate::metrics::ServerTelemetry;
 use crate::pool::Executor;
 use crate::sys;
 use crate::wire::{self, RequestBody, ResponseBody, StatsSnapshot};
+use gdpr_core::tenant::TenantId;
 use gdpr_core::{EngineHandle, GdprQuery, Session};
 use parking_lot::Mutex;
 use std::io;
@@ -254,8 +255,10 @@ pub(crate) fn run_batch(
                         // Infallible: writing into a Vec.
                         let _ = wire::write_frame(&mut out, &payload);
                     }
-                    DecodedOp::Request { seq, body, .. } => {
-                        let response = handle_control(shared, counters, body);
+                    DecodedOp::Request {
+                        seq, tenant, body, ..
+                    } => {
+                        let response = handle_control(shared, counters, &tenant, body);
                         let _ = wire::write_frame(&mut out, &wire::encode_response(seq, &response));
                     }
                 }
@@ -330,6 +333,7 @@ fn flush_run(
 fn handle_control(
     shared: &ServerShared,
     counters: &ConnCounters,
+    tenant: &TenantId,
     body: RequestBody,
 ) -> ResponseBody {
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -359,7 +363,9 @@ fn handle_control(
             server_requests: shared.stats.requests.load(Ordering::Relaxed),
         }),
         RequestBody::GetMetrics => {
-            ResponseBody::Metrics(crate::metrics::build_metrics_report(shared))
+            // Tenant-scoped: a tenant's metrics probe sees its own opcode
+            // counters, never another tenant's.
+            ResponseBody::Metrics(crate::metrics::build_metrics_report_for(shared, tenant))
         }
     }
 }
@@ -466,7 +472,11 @@ mod tests {
     }
 
     fn call(stream: &mut TcpStream, seq: u64, body: &RequestBody) -> (u64, ResponseBody) {
-        wire::write_frame(stream, &wire::encode_request(seq, body)).unwrap();
+        wire::write_frame(
+            stream,
+            &wire::encode_request(seq, &TenantId::default(), body),
+        )
+        .unwrap();
         let payload = wire::read_frame(stream, wire::MAX_FRAME).unwrap().unwrap();
         wire::decode_response(&payload).unwrap()
     }
@@ -526,7 +536,11 @@ mod tests {
                 controller.clone(),
                 GdprQuery::CreateRecord(record(&format!("k{i}"))),
             );
-            wire::write_frame(&mut stream, &wire::encode_request(i, &body)).unwrap();
+            wire::write_frame(
+                &mut stream,
+                &wire::encode_request(i, &TenantId::default(), &body),
+            )
+            .unwrap();
         }
         for i in 0..n {
             let payload = wire::read_frame(&mut stream, wire::MAX_FRAME)
@@ -545,8 +559,11 @@ mod tests {
     fn malformed_payload_gets_protocol_error_then_close() {
         let server = spawn_server();
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-        // Valid frame, garbage payload (seq readable, opcode bogus).
-        let mut payload = 42u64.to_be_bytes().to_vec();
+        // Valid frame, garbage payload (version/seq/tenant readable,
+        // opcode bogus).
+        let mut payload = vec![wire::PROTOCOL_VERSION];
+        payload.extend_from_slice(&42u64.to_be_bytes());
+        payload.extend_from_slice(&0u32.to_be_bytes()); // empty tenant
         payload.push(0xEE);
         wire::write_frame(&mut stream, &payload).unwrap();
         stream.flush().unwrap();
@@ -577,9 +594,15 @@ mod tests {
                 controller.clone(),
                 GdprQuery::CreateRecord(record(&format!("p{i}"))),
             );
-            wire::write_frame(&mut stream, &wire::encode_request(i, &body)).unwrap();
+            wire::write_frame(
+                &mut stream,
+                &wire::encode_request(i, &TenantId::default(), &body),
+            )
+            .unwrap();
         }
-        let mut garbage = 9u64.to_be_bytes().to_vec();
+        let mut garbage = vec![wire::PROTOCOL_VERSION];
+        garbage.extend_from_slice(&9u64.to_be_bytes());
+        garbage.extend_from_slice(&0u32.to_be_bytes()); // empty tenant
         garbage.push(0xEE);
         wire::write_frame(&mut stream, &garbage).unwrap();
         for i in 0..3u64 {
@@ -644,7 +667,11 @@ mod tests {
                     Session::processor("ads"),
                     GdprQuery::ReadDataByKey("big".to_string()),
                 );
-                wire::write_frame(&mut w, &wire::encode_request(i, &body)).unwrap();
+                wire::write_frame(
+                    &mut w,
+                    &wire::encode_request(i, &TenantId::default(), &body),
+                )
+                .unwrap();
             }
         }
 
@@ -677,7 +704,7 @@ mod tests {
             let mut buf = Vec::new();
             wire::write_frame(
                 &mut buf,
-                &wire::encode_request(5, &RequestBody::Ping(vec![9, 9])),
+                &wire::encode_request(5, &TenantId::default(), &RequestBody::Ping(vec![9, 9])),
             )
             .unwrap();
             buf
@@ -696,12 +723,12 @@ mod tests {
         let mut two = Vec::new();
         wire::write_frame(
             &mut two,
-            &wire::encode_request(6, &RequestBody::Ping(vec![1])),
+            &wire::encode_request(6, &TenantId::default(), &RequestBody::Ping(vec![1])),
         )
         .unwrap();
         wire::write_frame(
             &mut two,
-            &wire::encode_request(7, &RequestBody::Ping(vec![2])),
+            &wire::encode_request(7, &TenantId::default(), &RequestBody::Ping(vec![2])),
         )
         .unwrap();
         let cut = two.len() / 2 + 1;
@@ -786,7 +813,11 @@ mod tests {
                     controller.clone(),
                     GdprQuery::CreateRecord(record(&format!("f{i}"))),
                 );
-                wire::write_frame(&mut stream, &wire::encode_request(i, &body)).unwrap();
+                wire::write_frame(
+                    &mut stream,
+                    &wire::encode_request(i, &TenantId::default(), &body),
+                )
+                .unwrap();
             }
             for i in 0..n {
                 let payload = wire::read_frame(&mut stream, wire::MAX_FRAME)
@@ -804,7 +835,7 @@ mod tests {
         let mut frame = Vec::new();
         wire::write_frame(
             &mut frame,
-            &wire::encode_request(1, &RequestBody::Ping(vec![5; 32])),
+            &wire::encode_request(1, &TenantId::default(), &RequestBody::Ping(vec![5; 32])),
         )
         .unwrap();
         for chunk in frame.chunks(3) {
@@ -871,7 +902,7 @@ mod tests {
         seq: u64,
         body: &RequestBody,
     ) -> (u64, ResponseBody) {
-        let sealed = channel.seal(&wire::encode_request(seq, body));
+        let sealed = channel.seal(&wire::encode_request(seq, &TenantId::default(), body));
         wire::write_frame(stream, &sealed).unwrap();
         let record = wire::read_frame(stream, wire::MAX_FRAME + crate::secure::SEAL_OVERHEAD)
             .unwrap()
@@ -916,7 +947,11 @@ mod tests {
         // Pipelining seals every request up front; responses stay ordered.
         let mut burst = Vec::new();
         for i in 10..20u64 {
-            let sealed = channel.seal(&wire::encode_request(i, &RequestBody::Ping(vec![i as u8])));
+            let sealed = channel.seal(&wire::encode_request(
+                i,
+                &TenantId::default(),
+                &RequestBody::Ping(vec![i as u8]),
+            ));
             wire::write_frame(&mut burst, &sealed).unwrap();
         }
         stream.write_all(&burst).unwrap();
@@ -944,7 +979,7 @@ mod tests {
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         wire::write_frame(
             &mut stream,
-            &wire::encode_request(1, &RequestBody::Ping(vec![1])),
+            &wire::encode_request(1, &TenantId::default(), &RequestBody::Ping(vec![1])),
         )
         .unwrap();
         stream
@@ -1028,7 +1063,11 @@ mod tests {
         let server = spawn_encrypted_server("unit-psk");
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         let mut channel = client_handshake(&mut stream, "unit-psk");
-        let sealed = channel.seal(&wire::encode_request(1, &RequestBody::Ping(vec![1])));
+        let sealed = channel.seal(&wire::encode_request(
+            1,
+            &TenantId::default(),
+            &RequestBody::Ping(vec![1]),
+        ));
         let mut framed = Vec::new();
         wire::write_frame(&mut framed, &sealed).unwrap();
         stream.write_all(&framed).unwrap();
@@ -1050,7 +1089,11 @@ mod tests {
         // Fresh connection, tampered ciphertext.
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         let mut channel = client_handshake(&mut stream, "unit-psk");
-        let mut sealed = channel.seal(&wire::encode_request(1, &RequestBody::Ping(vec![2])));
+        let mut sealed = channel.seal(&wire::encode_request(
+            1,
+            &TenantId::default(),
+            &RequestBody::Ping(vec![2]),
+        ));
         let last = sealed.len() - 1;
         sealed[last] ^= 0xFF;
         wire::write_frame(&mut stream, &sealed).unwrap();
@@ -1226,7 +1269,8 @@ mod tests {
                         let Ok(mut stream) = TcpStream::connect(addr) else {
                             break;
                         };
-                        let frame = wire::encode_request(1, &RequestBody::GetMetrics);
+                        let frame =
+                            wire::encode_request(1, &TenantId::default(), &RequestBody::GetMetrics);
                         if wire::write_frame(&mut stream, &frame).is_err() {
                             break;
                         }

@@ -8,8 +8,22 @@
 //! ┌──────────────┬──────────────────────────────┐
 //! │ u32 BE len   │ payload (len bytes)          │
 //! └──────────────┴──────────────────────────────┘
-//! payload := u64 BE seq │ u8 opcode/status │ body
+//! request  payload := u8 version │ u64 BE seq │ string tenant │ u8 opcode │ body
+//! response payload := u8 version │ u64 BE seq │ u8 status │ body
 //! ```
+//!
+//! The leading byte is the protocol version ([`PROTOCOL_VERSION`], 0x02
+//! since multi-tenancy). Version-1 payloads began directly with the `u64`
+//! seq — their first byte is the sequence number's most-significant byte,
+//! which a client would have to send >7×10¹⁶ requests to raise to 0x02 —
+//! so mismatched peers fail loudly on the first frame instead of
+//! misparsing it.
+//!
+//! `tenant` is the caller's tenant name (empty string = the default
+//! tenant). It rides in the request header, not inside the session body,
+//! so control requests (`GetMetrics`) are tenant-scoped too; for `Execute`
+//! the decoder injects it into the session, making the header
+//! authoritative.
 //!
 //! `seq` is assigned by the client and echoed verbatim in the response —
 //! with pipelining (many requests in flight per connection) the server
@@ -35,6 +49,7 @@ use gdpr_core::record::{Metadata, PersonalRecord};
 use gdpr_core::response::LogLine;
 use gdpr_core::role::{Role, Session};
 use gdpr_core::telemetry::{self, HistogramSnapshot, OpSnapshot};
+use gdpr_core::tenant::TenantId;
 use gdpr_core::{GdprError, GdprQuery, GdprResponse};
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -42,6 +57,27 @@ use std::time::Duration;
 /// Frames larger than this are rejected before allocation — a corrupt or
 /// hostile length prefix must not balloon server memory.
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// The protocol revision both payload kinds open with. Bumped to 2 when
+/// the tenant field entered the request header; a peer speaking another
+/// revision is rejected on its first frame with an error naming both
+/// versions.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Read and check the leading version byte of a payload.
+fn check_version(r: &mut Reader<'_>) -> WireResult<()> {
+    let version = r.u8("protocol version")?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::new(
+            r.offset() - 1,
+            format!(
+                "unsupported protocol version {version:#04x} (this peer speaks {PROTOCOL_VERSION:#04x}; \
+                 version-1 frames have no version byte and no tenant field)"
+            ),
+        ));
+    }
+    Ok(())
+}
 
 // ---------------------------------------------------------------------------
 // Framing
@@ -125,9 +161,11 @@ pub enum RequestBody {
     GetMetrics,
 }
 
-pub fn encode_request(seq: u64, body: &RequestBody) -> Vec<u8> {
+pub fn encode_request(seq: u64, tenant: &TenantId, body: &RequestBody) -> Vec<u8> {
     let mut w = Writer::new();
+    w.u8(PROTOCOL_VERSION);
     w.u64(seq);
+    w.string(tenant.name());
     match body {
         RequestBody::Execute(session, query) => {
             w.u8(0x00);
@@ -148,13 +186,20 @@ pub fn encode_request(seq: u64, body: &RequestBody) -> Vec<u8> {
     w.into_bytes()
 }
 
-pub fn decode_request(payload: &[u8]) -> WireResult<(u64, RequestBody)> {
+pub fn decode_request(payload: &[u8]) -> WireResult<(u64, TenantId, RequestBody)> {
     let mut r = Reader::new(payload);
+    check_version(&mut r)?;
     let seq = r.u64("seq")?;
+    let tenant_name = r.string("tenant")?;
+    let tenant = TenantId::new(tenant_name)
+        .map_err(|e| WireError::new(r.offset(), format!("unacceptable tenant: {e}")))?;
     let op = r.u8("request opcode")?;
     let body = match op {
         0x00 => {
-            let session = decode_session(&mut r)?;
+            // The header tenant is authoritative: inject it into the
+            // session so the engine never sees a tenant the framing layer
+            // didn't vouch for.
+            let session = decode_session(&mut r)?.with_tenant(tenant.clone());
             let query = decode_query(&mut r)?;
             RequestBody::Execute(session, query)
         }
@@ -173,7 +218,7 @@ pub fn decode_request(payload: &[u8]) -> WireResult<(u64, RequestBody)> {
         }
     };
     r.finish()?;
-    Ok((seq, body))
+    Ok((seq, tenant, body))
 }
 
 // ---------------------------------------------------------------------------
@@ -273,6 +318,7 @@ pub enum ResponseBody {
 
 pub fn encode_response(seq: u64, body: &ResponseBody) -> Vec<u8> {
     let mut w = Writer::new();
+    w.u8(PROTOCOL_VERSION);
     w.u64(seq);
     match body {
         ResponseBody::Response(resp) => {
@@ -327,6 +373,7 @@ pub fn encode_response(seq: u64, body: &ResponseBody) -> Vec<u8> {
 
 pub fn decode_response(payload: &[u8]) -> WireResult<(u64, ResponseBody)> {
     let mut r = Reader::new(payload);
+    check_version(&mut r)?;
     let seq = r.u64("seq")?;
     let status = r.u8("response status")?;
     let body = match status {
@@ -521,6 +568,9 @@ pub fn decode_session(r: &mut Reader<'_>) -> WireResult<Session> {
         role,
         user: decode_option_string(r, "session user")?,
         purpose: decode_option_string(r, "session purpose")?,
+        // The request-header tenant is injected by `decode_request`; the
+        // session body deliberately does not carry one.
+        tenant: TenantId::default(),
     })
 }
 
@@ -1129,10 +1179,67 @@ mod tests {
             RequestBody::GetMetrics,
         ];
         for (seq, body) in bodies.into_iter().enumerate() {
-            let encoded = encode_request(seq as u64 * 7, &body);
-            let (got_seq, got) = decode_request(&encoded).unwrap();
+            let encoded = encode_request(seq as u64 * 7, &TenantId::default(), &body);
+            let (got_seq, tenant, got) = decode_request(&encoded).unwrap();
             assert_eq!(got_seq, seq as u64 * 7);
+            assert!(tenant.is_default());
             assert_eq!(got, body);
+        }
+    }
+
+    #[test]
+    fn request_header_tenant_roundtrips_and_enters_the_session() {
+        let acme = TenantId::new("acme").unwrap();
+        // Control requests carry the tenant in the header alone.
+        let encoded = encode_request(5, &acme, &RequestBody::GetMetrics);
+        let (seq, tenant, body) = decode_request(&encoded).unwrap();
+        assert_eq!((seq, &tenant, &body), (5, &acme, &RequestBody::GetMetrics));
+        // Execute: the decoder injects the header tenant into the session.
+        let session = Session::customer("neo").with_tenant(acme.clone());
+        let body = RequestBody::Execute(session, GdprQuery::ReadDataByKey("k".into()));
+        let encoded = encode_request(6, &acme, &body);
+        let (_, tenant, got) = decode_request(&encoded).unwrap();
+        assert_eq!(tenant, acme);
+        assert_eq!(got, body);
+    }
+
+    #[test]
+    fn version_1_and_alien_version_frames_are_rejected_loudly() {
+        // A v1 request payload began with the u64 seq — first byte 0x00.
+        let mut v1 = Writer::new();
+        v1.u64(3);
+        v1.u8(0x01); // Features
+        let err = decode_request(&v1.into_bytes()).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unsupported protocol version 0x00"),
+            "{err}"
+        );
+        // A hypothetical v3 peer is named in the error too.
+        let mut v3 = encode_request(1, &TenantId::default(), &RequestBody::Name);
+        v3[0] = 0x03;
+        let err = decode_request(&v3).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unsupported protocol version 0x03"),
+            "{err}"
+        );
+        // Responses carry the same leading byte.
+        let mut resp = encode_response(1, &ResponseBody::Count(1));
+        resp[0] = 0x01;
+        assert!(decode_response(&resp).is_err());
+    }
+
+    #[test]
+    fn malformed_header_tenants_are_rejected() {
+        for bad in ["has space", "a/b", &"x".repeat(65)] {
+            let mut w = Writer::new();
+            w.u8(PROTOCOL_VERSION);
+            w.u64(0);
+            w.string(bad);
+            w.u8(0x01); // Features
+            let err = decode_request(&w.into_bytes()).unwrap_err();
+            assert!(err.to_string().contains("unacceptable tenant"), "{err}");
         }
     }
 
@@ -1182,7 +1289,7 @@ mod tests {
 
     #[test]
     fn frames_roundtrip_and_reject_oversize() {
-        let payload = encode_request(1, &RequestBody::Name);
+        let payload = encode_request(1, &TenantId::default(), &RequestBody::Name);
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         write_frame(&mut buf, &payload).unwrap();
@@ -1206,7 +1313,7 @@ mod tests {
 
     #[test]
     fn mid_frame_death_is_an_error_not_eof() {
-        let payload = encode_request(1, &RequestBody::RecordCount);
+        let payload = encode_request(1, &TenantId::default(), &RequestBody::RecordCount);
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         buf.truncate(buf.len() - 1);
@@ -1216,7 +1323,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_after_body_is_rejected() {
-        let mut encoded = encode_request(3, &RequestBody::Features);
+        let mut encoded = encode_request(3, &TenantId::default(), &RequestBody::Features);
         encoded.push(0xAB);
         assert!(decode_request(&encoded).is_err());
         let mut encoded = encode_response(3, &ResponseBody::Count(1));
@@ -1227,10 +1334,13 @@ mod tests {
     #[test]
     fn unknown_opcodes_are_rejected() {
         let mut w = Writer::new();
+        w.u8(PROTOCOL_VERSION);
         w.u64(0);
+        w.string("");
         w.u8(0xEE);
         assert!(decode_request(&w.into_bytes()).is_err());
         let mut w = Writer::new();
+        w.u8(PROTOCOL_VERSION);
         w.u64(0);
         w.u8(0xEE);
         assert!(decode_response(&w.into_bytes()).is_err());

@@ -20,6 +20,7 @@ use crate::datagen::{self, CorpusConfig, PURPOSES, THIRD_PARTIES};
 use crate::generator::{Discrete, IndexGenerator, Uniform, Zipfian};
 use gdpr_core::query::{GdprQuery, MetadataField, MetadataUpdate};
 use gdpr_core::role::Session;
+use gdpr_core::tenant::TenantId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,6 +91,11 @@ pub struct GdprWorkload {
     /// Keys owned by each user index (derived from the deterministic corpus).
     user_keys: Arc<HashMap<usize, Vec<usize>>>,
     create_counter: Arc<AtomicU64>,
+    /// Every generated session executes under this tenant.
+    tenant: TenantId,
+    /// When set (`--skew zipf:THETA`), purpose picks become zipf-ranked
+    /// instead of uniform, matching the re-skewed key/user generators.
+    purpose_zipf: Option<Zipfian>,
 }
 
 impl GdprWorkload {
@@ -119,7 +125,28 @@ impl GdprWorkload {
             uniform_users: Uniform::new(users),
             user_keys: Arc::new(user_keys),
             create_counter,
+            tenant: TenantId::default(),
+            purpose_zipf: None,
         }
+    }
+
+    /// Run every generated session under `tenant`. The default tenant is
+    /// the single-controller degenerate case and changes nothing.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Override the zipf skew constant for record/user picks and switch
+    /// purpose picks from uniform to zipf-ranked (`--skew zipf:THETA`).
+    /// Higher theta → hotter head; YCSB's default is 0.99.
+    pub fn with_zipf_theta(mut self, theta: f64) -> Self {
+        let n = self.corpus.records.max(1) as u64;
+        let users = self.corpus.users.max(1) as u64;
+        self.zipf_records = Zipfian::with_theta(n, theta);
+        self.zipf_users = Zipfian::with_theta(users, theta);
+        self.purpose_zipf = Some(Zipfian::with_theta(PURPOSES.len() as u64, theta));
+        self
     }
 
     /// The Table 2a operation mixes.
@@ -180,6 +207,15 @@ impl GdprWorkload {
         format!("user{idx:06}")
     }
 
+    /// A vocabulary purpose: uniform by default, zipf-ranked under skew
+    /// (rank 0 = hottest purpose, mirroring the hot-key head).
+    fn pick_purpose(&mut self, rng: &mut dyn rand::RngCore) -> &'static str {
+        match self.purpose_zipf.as_mut() {
+            Some(z) => PURPOSES[z.next(rng) as usize % PURPOSES.len()],
+            None => PURPOSES[rng.next_u64() as usize % PURPOSES.len()],
+        }
+    }
+
     /// A key belonging to `user_idx`, or any record key if that user holds
     /// none in the corpus.
     fn key_of_user(&mut self, user_idx: usize, rng: &mut dyn rand::RngCore) -> (usize, String) {
@@ -199,7 +235,7 @@ impl GdprWorkload {
     pub fn next_op(&mut self, rng: &mut dyn rand::RngCore) -> (Session, GdprQuery) {
         use OpName::*;
         let op = *self.op_chooser.next(rng);
-        match op {
+        let (session, query) = match op {
             // --- controller ---
             Create => {
                 let idx = self.create_counter.fetch_add(1, Ordering::Relaxed) as usize;
@@ -223,7 +259,7 @@ impl GdprWorkload {
                 (Session::controller(), GdprQuery::DeleteByUser(user))
             }
             UpdateMetaByPur => {
-                let purpose = PURPOSES[self.uniform_records.next(rng) as usize % PURPOSES.len()];
+                let purpose = self.pick_purpose(rng);
                 let party = THIRD_PARTIES[rng.next_u64() as usize % THIRD_PARTIES.len()];
                 (
                     Session::controller(),
@@ -285,7 +321,7 @@ impl GdprWorkload {
             UpdateMetaByKey => {
                 let user_idx = self.user_index(rng, true);
                 let (_, key) = self.key_of_user(user_idx, rng);
-                let purpose = PURPOSES[rng.next_u64() as usize % PURPOSES.len()];
+                let purpose = self.pick_purpose(rng);
                 (
                     Session::customer(Self::user_name(user_idx)),
                     GdprQuery::UpdateMetadataByKey {
@@ -320,21 +356,21 @@ impl GdprWorkload {
                 )
             }
             ReadDataByPur => {
-                let purpose = PURPOSES[self.uniform_records.next(rng) as usize % PURPOSES.len()];
+                let purpose = self.pick_purpose(rng);
                 (
                     Session::processor(purpose),
                     GdprQuery::ReadDataByPurpose(purpose.into()),
                 )
             }
             ReadDataByObj => {
-                let purpose = PURPOSES[self.uniform_records.next(rng) as usize % PURPOSES.len()];
+                let purpose = self.pick_purpose(rng);
                 (
                     Session::processor(purpose),
                     GdprQuery::ReadDataNotObjecting(purpose.into()),
                 )
             }
             ReadDataByDec => {
-                let purpose = PURPOSES[self.uniform_records.next(rng) as usize % PURPOSES.len()];
+                let purpose = self.pick_purpose(rng);
                 (
                     Session::processor(purpose),
                     GdprQuery::ReadDataDecisionEligible,
@@ -361,7 +397,8 @@ impl GdprWorkload {
                     GdprQuery::VerifyDeletion(datagen::key_of(idx)),
                 )
             }
-        }
+        };
+        (session.with_tenant(self.tenant.clone()), query)
     }
 }
 
@@ -376,7 +413,17 @@ pub fn load_corpus(
     connector: &dyn gdpr_core::GdprConnector,
     corpus: &CorpusConfig,
 ) -> Result<(), gdpr_core::GdprError> {
-    let controller = Session::controller();
+    load_corpus_as(connector, corpus, &TenantId::default())
+}
+
+/// Load the corpus under one tenant's controller — the multi-tenant Load
+/// phase runs this once per tenant, giving each its own full corpus.
+pub fn load_corpus_as(
+    connector: &dyn gdpr_core::GdprConnector,
+    corpus: &CorpusConfig,
+    tenant: &TenantId,
+) -> Result<(), gdpr_core::GdprError> {
+    let controller = Session::controller().with_tenant(tenant.clone());
     for i in 0..corpus.records {
         let record = datagen::record_of(i, corpus);
         connector.execute(&controller, &GdprQuery::CreateRecord(record))?;
@@ -393,7 +440,16 @@ pub fn load_corpus_tolerant(
     connector: &dyn gdpr_core::GdprConnector,
     corpus: &CorpusConfig,
 ) -> Result<usize, gdpr_core::GdprError> {
-    let controller = Session::controller();
+    load_corpus_tolerant_as(connector, corpus, &TenantId::default())
+}
+
+/// [`load_corpus_tolerant`] under one tenant's controller.
+pub fn load_corpus_tolerant_as(
+    connector: &dyn gdpr_core::GdprConnector,
+    corpus: &CorpusConfig,
+    tenant: &TenantId,
+) -> Result<usize, gdpr_core::GdprError> {
+    let controller = Session::controller().with_tenant(tenant.clone());
     let mut created = 0;
     for i in 0..corpus.records {
         let record = datagen::record_of(i, corpus);
@@ -535,6 +591,60 @@ mod tests {
             let idx = usize::from_str_radix(key.trim_start_matches("ph-"), 16).unwrap();
             assert!(idx >= 500);
         }
+    }
+
+    #[test]
+    fn tenant_rides_on_every_generated_session() {
+        let corpus = stable_corpus(200);
+        let tenant = TenantId::new("acme").unwrap();
+        for kind in GdprWorkloadKind::ALL {
+            let counter = Arc::new(AtomicU64::new(corpus.records as u64));
+            let mut w =
+                GdprWorkload::new(kind, corpus.clone(), counter).with_tenant(tenant.clone());
+            let mut rng = SmallRng::seed_from_u64(11);
+            for _ in 0..200 {
+                let (session, _) = w.next_op(&mut rng);
+                assert_eq!(session.tenant, tenant);
+            }
+        }
+        // And the default stays the degenerate single-tenant case.
+        let counter = Arc::new(AtomicU64::new(corpus.records as u64));
+        let mut w = GdprWorkload::new(GdprWorkloadKind::Customer, corpus, counter);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (session, _) = w.next_op(&mut rng);
+        assert!(session.tenant.is_default());
+    }
+
+    #[test]
+    fn zipf_skew_ranks_purposes_and_keeps_keys_in_range() {
+        let corpus = stable_corpus(500);
+        let counter = Arc::new(AtomicU64::new(corpus.records as u64));
+        let mut w =
+            GdprWorkload::new(GdprWorkloadKind::Processor, corpus, counter).with_zipf_theta(1.2);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut purpose_picks = 0usize;
+        let mut hottest = 0usize;
+        for _ in 0..20_000 {
+            let (_, query) = w.next_op(&mut rng);
+            if let GdprQuery::ReadDataByPurpose(p) = &query {
+                purpose_picks += 1;
+                if p == PURPOSES[0] {
+                    hottest += 1;
+                }
+            }
+            if let GdprQuery::ReadDataByKey(key) = &query {
+                let idx = usize::from_str_radix(key.trim_start_matches("ph-"), 16).unwrap();
+                assert!(idx < 500, "skewed pick out of corpus range: {idx}");
+            }
+        }
+        // Under uniform picking each purpose gets ~1/|PURPOSES| of the
+        // draws; zipf(1.2) concentrates ~40% on rank 0.
+        assert!(purpose_picks > 200, "too few purpose ops: {purpose_picks}");
+        let head = hottest as f64 / purpose_picks as f64;
+        assert!(
+            head > 2.0 / PURPOSES.len() as f64,
+            "purpose skew too weak: {head}"
+        );
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub mod ycsb;
 
 pub use gdpr::{GdprWorkload, GdprWorkloadKind};
 pub use runner::{
-    run_gdpr_workload, run_gdpr_workload_open_loop, run_ycsb_workload, GdprRunReport,
-    OpenLoopReport, YcsbRunReport,
+    run_gdpr_workload, run_gdpr_workload_open_loop, run_gdpr_workload_open_loop_with,
+    run_gdpr_workload_with, run_ycsb_workload, GdprRunOptions, GdprRunReport, OpenLoopReport,
+    YcsbRunReport,
 };
 pub use stats::{Histogram, OpStats};

@@ -7,6 +7,7 @@ use crate::stats::OpStats;
 use crate::ycsb::{apply_op, KvInterface, YcsbConfig, YcsbWorkload};
 use gdpr_core::connector::SpaceReport;
 use gdpr_core::telemetry::{AtomicHistogram, HistogramSnapshot};
+use gdpr_core::tenant::TenantId;
 use gdpr_core::GdprConnector;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -107,6 +108,41 @@ impl GdprRunReport {
     }
 }
 
+/// Per-run knobs beyond the workload kind: tenancy and key skew.
+#[derive(Debug, Clone, Default)]
+pub struct GdprRunOptions {
+    /// Tenants to spread client threads across round-robin (thread `t`
+    /// runs as `tenants[t % len]`). Empty = the default single tenant.
+    pub tenants: Vec<TenantId>,
+    /// Zipf theta override for record/user/purpose picks (`--skew
+    /// zipf:THETA`); `None` keeps the Table 2a default distributions.
+    pub zipf_theta: Option<f64>,
+}
+
+impl GdprRunOptions {
+    fn tenant_of(&self, thread: usize) -> TenantId {
+        if self.tenants.is_empty() {
+            TenantId::default()
+        } else {
+            self.tenants[thread % self.tenants.len()].clone()
+        }
+    }
+
+    fn workload(
+        &self,
+        kind: GdprWorkloadKind,
+        corpus: crate::datagen::CorpusConfig,
+        counter: Arc<AtomicU64>,
+        thread: usize,
+    ) -> GdprWorkload {
+        let mut w = GdprWorkload::new(kind, corpus, counter).with_tenant(self.tenant_of(thread));
+        if let Some(theta) = self.zipf_theta {
+            w = w.with_zipf_theta(theta);
+        }
+        w
+    }
+}
+
 /// Run one GDPRbench workload against a connector.
 ///
 /// With `check_correctness` the run is forced single-threaded and every
@@ -121,12 +157,35 @@ pub fn run_gdpr_workload(
     threads: usize,
     check_correctness: bool,
 ) -> GdprRunReport {
+    run_gdpr_workload_with(
+        connector,
+        kind,
+        corpus,
+        ops,
+        threads,
+        check_correctness,
+        GdprRunOptions::default(),
+    )
+}
+
+/// [`run_gdpr_workload`] with tenancy/skew options. Correctness checking
+/// runs the whole stream under `tenants[0]` (the oracle models one
+/// tenant's view, which tenant namespacing leaves unchanged).
+pub fn run_gdpr_workload_with(
+    connector: Arc<dyn GdprConnector>,
+    kind: GdprWorkloadKind,
+    corpus: crate::datagen::CorpusConfig,
+    ops: u64,
+    threads: usize,
+    check_correctness: bool,
+    options: GdprRunOptions,
+) -> GdprRunReport {
     let create_counter = Arc::new(AtomicU64::new(corpus.records as u64));
 
     if check_correctness {
         let mut oracle = Oracle::new();
         oracle.load((0..corpus.records).map(|i| crate::datagen::record_of(i, &corpus)));
-        let mut workload = GdprWorkload::new(kind, corpus.clone(), create_counter);
+        let mut workload = options.workload(kind, corpus.clone(), create_counter, 0);
         let mut rng = SmallRng::seed_from_u64(0xFACE);
         let mut per_query: HashMap<&'static str, OpStats> = HashMap::new();
         let mut matches = 0u64;
@@ -166,8 +225,9 @@ pub fn run_gdpr_workload(
             let connector = Arc::clone(&connector);
             let corpus = corpus.clone();
             let counter = Arc::clone(&create_counter);
+            let options = options.clone();
             handles.push(std::thread::spawn(move || {
-                let mut workload = GdprWorkload::new(kind, corpus, counter);
+                let mut workload = options.workload(kind, corpus, counter, t);
                 let mut rng = SmallRng::seed_from_u64(0xFACE ^ t as u64);
                 let mut per_query: HashMap<&'static str, OpStats> = HashMap::new();
                 for _ in 0..per_thread {
@@ -257,6 +317,28 @@ pub fn run_gdpr_workload_open_loop(
     threads: usize,
     arrival_rate: f64,
 ) -> OpenLoopReport {
+    run_gdpr_workload_open_loop_with(
+        connector,
+        kind,
+        corpus,
+        ops,
+        threads,
+        arrival_rate,
+        GdprRunOptions::default(),
+    )
+}
+
+/// [`run_gdpr_workload_open_loop`] with tenancy/skew options (sender `t`
+/// runs as `tenants[t % len]`, so the offered load interleaves tenants).
+pub fn run_gdpr_workload_open_loop_with(
+    connector: Arc<dyn GdprConnector>,
+    kind: GdprWorkloadKind,
+    corpus: crate::datagen::CorpusConfig,
+    ops: u64,
+    threads: usize,
+    arrival_rate: f64,
+    options: GdprRunOptions,
+) -> OpenLoopReport {
     let threads = threads.max(1);
     let arrival_rate = arrival_rate.max(1e-6);
     let create_counter = Arc::new(AtomicU64::new(corpus.records as u64));
@@ -267,8 +349,9 @@ pub fn run_gdpr_workload_open_loop(
         let connector = Arc::clone(&connector);
         let corpus = corpus.clone();
         let counter = Arc::clone(&create_counter);
+        let options = options.clone();
         handles.push(std::thread::spawn(move || {
-            let mut workload = GdprWorkload::new(kind, corpus, counter);
+            let mut workload = options.workload(kind, corpus, counter, t);
             let mut rng = SmallRng::seed_from_u64(0xFACE ^ t as u64);
             let latency = AtomicHistogram::new();
             let mut errors = 0u64;
@@ -484,6 +567,47 @@ mod tests {
             p999 >= Duration::from_millis(50),
             "p999 {p999:?} should include schedule backlog, not just 5ms service time"
         );
+    }
+
+    #[test]
+    fn gdpr_run_spreads_threads_across_tenants() {
+        let conn = Arc::new(connectors::RedisConnector::new(
+            kvstore::KvStore::open(kvstore::KvConfig::default()).unwrap(),
+        ));
+        let tenants: Vec<TenantId> = ["t0", "t1"]
+            .iter()
+            .map(|t| TenantId::new(*t).unwrap())
+            .collect();
+        let corpus = stable_corpus(100);
+        for t in &tenants {
+            crate::gdpr::load_corpus_as(conn.as_ref(), &corpus, t).unwrap();
+        }
+        let report = run_gdpr_workload_with(
+            Arc::clone(&conn) as Arc<dyn GdprConnector>,
+            GdprWorkloadKind::Customer,
+            corpus,
+            200,
+            4,
+            false,
+            GdprRunOptions {
+                tenants: tenants.clone(),
+                zipf_theta: Some(0.99),
+            },
+        );
+        assert_eq!(report.operations, 200);
+        // Both tenants took traffic and show up in the per-tenant metrics.
+        let seen: Vec<String> = conn
+            .tenant_telemetry()
+            .into_iter()
+            .filter(|(_, snap)| snap.total_ops() > 0)
+            .map(|(t, _)| t)
+            .collect();
+        for t in &tenants {
+            assert!(
+                seen.contains(&t.name().to_string()),
+                "missing {t:?} in {seen:?}"
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ gdpr-serve — wire-protocol network front-end for the GDPR compliance engine
 USAGE:
   gdpr-serve [--db redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi]
              [--addr HOST:PORT] [--shards N] [--workers N] [--compliant]
-             [--encrypt] [--encrypt-key KEY]
+             [--tenants N] [--encrypt] [--encrypt-key KEY]
              [--metrics-addr HOST:PORT] [--slow-op-ms MS]
              [--data-dir DIR] [--index-snapshot-dir DIR]
 
@@ -36,6 +36,12 @@ Defaults: --db redis-mi, --addr 127.0.0.1:7878, --shards $GDPR_SHARDS (else 4),
 --workers = CPU parallelism. The server pipelines: clients may keep many
 requests in flight per connection; responses come back in request order.
 
+--tenants N               pre-provision tenants t0..t{N-1} so multi-tenant
+                          benchmark traffic (gdprbench --tenants N) never
+                          pays first-op tenant setup; each tenant gets its
+                          own audit trail, index partition, and metrics
+                          series. Any valid tenant named in a request frame
+                          is still provisioned lazily.
 --encrypt                 require the SecureChannel handshake on every
                           connection; all frames travel as sealed records.
                           Plaintext clients are dropped without answer.
@@ -98,6 +104,11 @@ fn parse_args() -> Result<ServeArgs, String> {
                 );
             }
             "--compliant" => spec.compliant = true,
+            "--tenants" => {
+                spec.tenants = take("tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+            }
             "--encrypt" => {
                 encrypt.get_or_insert_with(|| {
                     gdprbench_repro::gdpr_server::secure::DEFAULT_PSK.to_string()
@@ -205,6 +216,14 @@ fn main() {
     );
     if let Some(metrics) = server.metrics_addr() {
         println!("gdpr-serve: Prometheus metrics on http://{metrics}/metrics (plain TCP)");
+    }
+    if args.spec.tenants > 0 {
+        println!(
+            "gdpr-serve: pre-provisioned {} tenants (t0..t{}); each has its own \
+             audit trail, index partition, and metrics series",
+            args.spec.tenants,
+            args.spec.tenants - 1
+        );
     }
     if args.spec.data_dir.is_some() || args.spec.snapshot_dir.is_some() {
         // Durable state configured: honour a graceful-shutdown request so

@@ -11,16 +11,18 @@
 //! gdprbench features --db redis
 //! ```
 
-use gdprbench_repro::drivers::{build_connector, ConnectorSpec};
+use gdprbench_repro::drivers::{build_connector, tenant_ids, ConnectorSpec};
+use gdprbench_repro::gdpr_core::tenant::TenantId;
 use gdprbench_repro::gdpr_core::GdprConnector;
 use gdprbench_repro::workload::gdpr::{
-    load_corpus, load_corpus_tolerant, stable_corpus, GdprWorkloadKind,
+    load_corpus_as, load_corpus_tolerant_as, stable_corpus, GdprWorkloadKind,
 };
+use gdprbench_repro::workload::runner::GdprRunOptions;
 use gdprbench_repro::workload::ycsb::{
     ycsb_key, KvInterface, KvStoreYcsb, RelStoreYcsb, YcsbConfig,
 };
 use gdprbench_repro::workload::{
-    datagen, run_gdpr_workload, run_gdpr_workload_open_loop, run_ycsb_workload,
+    datagen, run_gdpr_workload_open_loop_with, run_gdpr_workload_with, run_ycsb_workload,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,6 +34,7 @@ USAGE:
   gdprbench run      --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote>
                      --workload <controller|customer|processor|regulator|all>
                      [--records N] [--ops N] [--threads N] [--shards N] [--no-oracle] [--compliant]
+                     [--tenant NAME] [--tenants N] [--skew zipf:THETA]
                      [--addr HOST:PORT] [--clients N] [--encrypt] [--encrypt-key KEY]
                      [--arrival-rate OPS_PER_SEC]
   gdprbench ycsb     --db <redis|postgres> --workload <A|B|C|D|E|F|all>
@@ -50,6 +53,16 @@ oracle-checked correctness runs. --encrypt (or GDPR_ENCRYPT=1) runs the
 SecureChannel transport: the handshake precedes the first op and every
 frame travels sealed; the key comes from --encrypt-key / GDPR_ENCRYPT_KEY
 and must match the server's.
+
+--tenant NAME     run the whole workload as one named tenant (its own audit
+                  trail, index partition, and metrics series; the oracle
+                  stays valid). --tenants N spreads the client threads
+                  round-robin across tenants t0..t{N-1} instead — each
+                  tenant is loaded with its own full corpus and the oracle
+                  is disabled (interleaving is not modeled).
+--skew zipf:T     re-skew record/user picks with zipf constant T and rank
+                  purpose picks zipf instead of uniform (default: the
+                  Table 2a distributions; YCSB's zipf constant is 0.99).
 
 --arrival-rate R  run open-loop: ops are due at fixed 1/R intervals and
                   latency is measured from each op's *intended* send time,
@@ -128,6 +141,38 @@ fn spec_from_args(args: &Args, threads: usize) -> Result<ConnectorSpec, String> 
     Ok(spec)
 }
 
+/// The tenants `--tenant NAME` / `--tenants N` describe (empty = the
+/// default single tenant).
+fn tenants_from_args(args: &Args) -> Result<Vec<TenantId>, String> {
+    match (args.flags.get("tenant"), args.flags.get("tenants")) {
+        (Some(_), Some(_)) => Err("--tenant and --tenants are mutually exclusive".to_string()),
+        (Some(name), None) => Ok(vec![
+            TenantId::new(name.clone()).map_err(|e| format!("--tenant: {e}"))?
+        ]),
+        (None, Some(n)) => {
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("--tenants: bad number {n:?}"))?;
+            Ok(tenant_ids(n))
+        }
+        (None, None) => Ok(Vec::new()),
+    }
+}
+
+/// The zipf theta `--skew zipf:THETA` selects.
+fn skew_from_args(args: &Args) -> Result<Option<f64>, String> {
+    match args.flags.get("skew") {
+        None => Ok(None),
+        Some(s) => match s.strip_prefix("zipf:") {
+            Some(theta) => theta
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--skew: bad theta in {s:?}")),
+            None => Err(format!("--skew: expected zipf:THETA, got {s:?}")),
+        },
+    }
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let db = args.get("db", "redis");
     let records: usize = args.get_num("records", 1000)?;
@@ -141,7 +186,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         ),
         None => None,
     };
-    let oracle = !args.has("no-oracle") && threads == 1 && db != "remote" && arrival_rate.is_none();
+    let options = GdprRunOptions {
+        tenants: tenants_from_args(args)?,
+        zipf_theta: skew_from_args(args)?,
+    };
+    // Interleaved multi-tenant traffic is not modeled by the oracle; one
+    // named tenant is just a namespaced single-tenant run and stays valid.
+    let oracle = !args.has("no-oracle")
+        && threads == 1
+        && db != "remote"
+        && arrival_rate.is_none()
+        && options.tenants.len() <= 1;
     let workload_arg = args.get("workload", "all");
     let kinds: Vec<GdprWorkloadKind> = match workload_arg.as_str() {
         "all" => GdprWorkloadKind::ALL.to_vec(),
@@ -149,6 +204,23 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             .into_iter()
             .find(|k| k.name() == name)
             .ok_or_else(|| format!("unknown --workload {name}"))?],
+    };
+
+    // Each tenant gets its own full corpus (tenant keyspaces are disjoint).
+    let load_tenants: Vec<TenantId> = if options.tenants.is_empty() {
+        vec![TenantId::default()]
+    } else {
+        options.tenants.clone()
+    };
+    let load = |connector: &dyn GdprConnector, corpus: &_| -> Result<(), String> {
+        for tenant in &load_tenants {
+            if db == "remote" {
+                load_corpus_tolerant_as(connector, corpus, tenant).map_err(|e| e.to_string())?;
+            } else {
+                load_corpus_as(connector, corpus, tenant).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
     };
 
     if let Some(rate) = arrival_rate {
@@ -164,12 +236,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         for kind in kinds {
             let connector = build_connector(&spec)?;
             let corpus = stable_corpus(records);
-            if db == "remote" {
-                load_corpus_tolerant(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
-            } else {
-                load_corpus(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
-            }
-            let report = run_gdpr_workload_open_loop(connector, kind, corpus, ops, threads, rate);
+            load(connector.as_ref(), &corpus)?;
+            let report = run_gdpr_workload_open_loop_with(
+                connector,
+                kind,
+                corpus,
+                ops,
+                threads,
+                rate,
+                options.clone(),
+            );
             println!(
                 "{:<11} {:>13} {:>11.1} {:>8} {:>6} {:>10} {:>10} {:>10}",
                 report.workload,
@@ -206,12 +282,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         // tolerates records surviving a previous workload.
         let connector = build_connector(&spec)?;
         let corpus = stable_corpus(records);
-        if db == "remote" {
-            load_corpus_tolerant(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
-        } else {
-            load_corpus(connector.as_ref(), &corpus).map_err(|e| e.to_string())?;
-        }
-        let report = run_gdpr_workload(connector, kind, corpus, ops, threads, oracle);
+        load(connector.as_ref(), &corpus)?;
+        let report = run_gdpr_workload_with(
+            connector,
+            kind,
+            corpus,
+            ops,
+            threads,
+            oracle,
+            options.clone(),
+        );
         println!(
             "{:<11} {:>13} {:>11.1} {:>8} {:>12} {:>12.2}x",
             report.workload,

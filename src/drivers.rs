@@ -34,6 +34,10 @@ pub struct ConnectorSpec {
     /// `redis-sharded`): the index recovers in O(index) when an image
     /// matches the reopened store, and `close()` persists it again.
     pub snapshot_dir: Option<String>,
+    /// Pre-provision tenants `t0..t{N-1}` on the built engine (`--tenants
+    /// N`), so multi-tenant benchmark traffic never pays first-op tenant
+    /// setup. 0 = single-tenant (the default degenerate case).
+    pub tenants: usize,
 }
 
 impl ConnectorSpec {
@@ -47,8 +51,19 @@ impl ConnectorSpec {
             encrypt: gdpr_server::secure::encrypt_key_from_env(),
             data_dir: None,
             snapshot_dir: None,
+            tenants: 0,
         }
     }
+}
+
+/// The tenant ids `--tenants N` provisions and the benchmark drives:
+/// `t0..t{N-1}`.
+pub fn tenant_ids(n: usize) -> Vec<gdpr_core::tenant::TenantId> {
+    (0..n)
+        .map(|i| {
+            gdpr_core::tenant::TenantId::new(format!("t{i}")).expect("generated tenant id is valid")
+        })
+        .collect()
 }
 
 /// Open one kvstore shard honoring `data_dir`: file-persistent (with AOF
@@ -182,6 +197,10 @@ pub fn build_connector(spec: &ConnectorSpec) -> Result<EngineHandle, String> {
         }
         other => return Err(format!("unknown --db {other} (expected {DB_CHOICES})")),
     };
+    for tenant in tenant_ids(spec.tenants) {
+        conn.provision_tenant(&tenant)
+            .map_err(|e| format!("provisioning tenant {tenant:?}: {e}"))?;
+    }
     Ok(conn)
 }
 
@@ -210,6 +229,21 @@ mod tests {
             build_connector(&ConnectorSpec::new("remote")).is_err(),
             "remote without --addr must be refused"
         );
+    }
+
+    #[test]
+    fn tenant_preprovisioning_registers_per_tenant_telemetry() {
+        let mut spec = ConnectorSpec::new("redis-mi");
+        spec.tenants = 3;
+        let conn = build_connector(&spec).unwrap();
+        let names: Vec<String> = conn
+            .tenant_telemetry()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        for t in ["t0", "t1", "t2"] {
+            assert!(names.contains(&t.to_string()), "missing {t} in {names:?}");
+        }
     }
 
     #[test]

@@ -274,6 +274,7 @@ mod server_wire {
     use gdprbench_repro::gdpr_core::compliance::{FeatureReport, FeatureSupport};
     use gdprbench_repro::gdpr_core::connector::SpaceReport;
     use gdprbench_repro::gdpr_core::response::LogLine;
+    use gdprbench_repro::gdpr_core::tenant::TenantId;
     use gdprbench_repro::gdpr_core::{
         GdprError, GdprQuery, GdprResponse, MetadataField, MetadataUpdate, Session,
     };
@@ -288,6 +289,14 @@ mod server_wire {
             1 => Session::customer(field(rng)),
             2 => Session::processor(field(rng)),
             _ => Session::regulator(),
+        }
+    }
+
+    fn arb_tenant(rng: &mut SmallRng) -> TenantId {
+        match rng.gen_range(0u32..3) {
+            0 => TenantId::default(),
+            1 => TenantId::new("acme").unwrap(),
+            _ => TenantId::new("zeta-9").unwrap(),
         }
     }
 
@@ -513,10 +522,19 @@ mod server_wire {
             let seq = rng.gen::<u64>();
             // Also force each opcode to appear, independent of rng bias.
             for v in [variant, variant % 8, (variant % 8) + 8] {
-                let body = arb_request(rng, v);
-                let encoded = encode_request(seq, &body);
-                let (got_seq, got) = decode_request(&encoded).unwrap();
+                let tenant = arb_tenant(rng);
+                // The header tenant is injected into Execute sessions on
+                // decode, so the reference body must carry it too.
+                let body = match arb_request(rng, v) {
+                    RequestBody::Execute(session, query) => {
+                        RequestBody::Execute(session.with_tenant(tenant.clone()), query)
+                    }
+                    other => other,
+                };
+                let encoded = encode_request(seq, &tenant, &body);
+                let (got_seq, got_tenant, got) = decode_request(&encoded).unwrap();
                 assert_eq!(got_seq, seq);
+                assert_eq!(got_tenant, tenant);
                 assert_eq!(got, body);
             }
         });
@@ -545,7 +563,7 @@ mod server_wire {
     fn truncated_frames_are_rejected() {
         run_cases(48, |rng| {
             let (seq, rv) = (rng.gen::<u64>(), rng.gen::<u32>());
-            let request = encode_request(seq, &arb_request(rng, rv));
+            let request = encode_request(seq, &arb_tenant(rng), &arb_request(rng, rv));
             for cut in 0..request.len() {
                 assert!(
                     decode_request(&request[..cut]).is_err(),
@@ -573,9 +591,9 @@ mod server_wire {
             let garbage = byte_vec(rng, 160);
             let _ = decode_request(&garbage);
             let _ = decode_response(&garbage);
-            let mut valid = encode_request(1, &RequestBody::Name);
+            let mut valid = encode_request(1, &TenantId::default(), &RequestBody::Name);
             valid.extend_from_slice(&byte_vec(rng, 8));
-            if valid.len() > encode_request(1, &RequestBody::Name).len() {
+            if valid.len() > encode_request(1, &TenantId::default(), &RequestBody::Name).len() {
                 assert!(
                     decode_request(&valid).is_err(),
                     "trailing garbage must be rejected"
@@ -591,7 +609,7 @@ mod server_wire {
             let payloads: Vec<Vec<u8>> = (0..rng.gen_range(1usize..6))
                 .map(|_| {
                     let (seq, rv) = (rng.gen::<u64>(), rng.gen::<u32>());
-                    encode_request(seq, &arb_request(rng, rv))
+                    encode_request(seq, &arb_tenant(rng), &arb_request(rng, rv))
                 })
                 .collect();
             let mut stream = Vec::new();
@@ -652,7 +670,7 @@ mod server_wire {
             let payloads: Vec<Vec<u8>> = (0..rng.gen_range(1usize..6))
                 .map(|_| {
                     let (seq, rv) = (rng.gen::<u64>(), rng.gen::<u32>());
-                    encode_request(seq, &arb_request(rng, rv))
+                    encode_request(seq, &arb_tenant(rng), &arb_request(rng, rv))
                 })
                 .collect();
             let mut stream = Vec::new();
@@ -1289,6 +1307,202 @@ mod sharded_invariance {
                 }
             }
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tenant isolation properties
+// ---------------------------------------------------------------------------
+
+mod tenant_isolation {
+    use super::gdpr_gen::*;
+    use super::*;
+    use gdprbench_repro::connectors::ShardedRedisConnector;
+    use gdprbench_repro::gdpr_core::tenant::TenantId;
+    use gdprbench_repro::gdpr_core::{
+        GdprConnector, GdprQuery, MetadataField, MetadataUpdate, Session,
+    };
+    use gdprbench_repro::kvstore::{KvConfig, KvStore};
+
+    /// Three tenants interleaving arbitrary op streams over one shared
+    /// engine observe exactly what three independent single-tenant engines
+    /// replaying each tenant's subsequence would: every response (data,
+    /// metadata, deletion counts, errors, audit trails) byte-identical
+    /// modulo result-set order, at 1 and 8 shards. The combined engine and
+    /// the solo replicas share one simulated clock, so even audit-line
+    /// timestamps must match — any cross-tenant read, purge, erasure, or
+    /// audit leak diverges here.
+    #[test]
+    fn interleaved_tenants_match_independent_engines() {
+        for shards in [1usize, 8] {
+            run_cases(8, |rng| {
+                let sim = clock::sim();
+                let open = || KvStore::open_with_clock(KvConfig::default(), sim.clone()).unwrap();
+                let build = || {
+                    ShardedRedisConnector::with_metadata_index(
+                        (0..shards).map(|_| open()).collect(),
+                    )
+                    .unwrap()
+                };
+                let tenants: Vec<TenantId> = ["t-a", "t-b", "t-c"]
+                    .iter()
+                    .map(|t| TenantId::new(*t).unwrap())
+                    .collect();
+                let combined = build();
+                let solos: Vec<ShardedRedisConnector> =
+                    (0..tenants.len()).map(|_| build()).collect();
+
+                // Mirror one tenant's op into the combined engine (tenant
+                // on the session) and that tenant's solo replica (default
+                // tenant), asserting response equality — errors included.
+                // Raw result-set order may differ: the tenant prefix is
+                // part of the storage key, so the same logical corpus
+                // lands on different shards in the two topologies.
+                let apply = |ti: usize, session: &Session, query: &GdprQuery| {
+                    let tagged = session.clone().with_tenant(tenants[ti].clone());
+                    let ours = combined.execute(&tagged, query).map(sorted);
+                    let solo = solos[ti].execute(session, query).map(sorted);
+                    assert_eq!(
+                        ours,
+                        solo,
+                        "tenant {} diverges on {query:?} at {shards} shards",
+                        tenants[ti].name()
+                    );
+                };
+                let controller = Session::controller();
+
+                // Overlapping logical keyspace: every tenant owns its own
+                // "k{i}" — isolation means the shared engine never lets
+                // one tenant's k3 shadow another's.
+                let n_records = rng.gen_range(4usize..20);
+                let keys: Vec<String> = (0..n_records).map(|i| format!("k{i}")).collect();
+                for key in &keys {
+                    for ti in 0..tenants.len() {
+                        let record = arb_gdpr_record(rng, key.clone());
+                        apply(ti, &controller, &GdprQuery::CreateRecord(record));
+                    }
+                }
+
+                for _ in 0..rng.gen_range(6usize..20) {
+                    let ti = rng.gen_range(0usize..tenants.len());
+                    let key = keys[rng.gen_range(0usize..keys.len())].clone();
+                    let (session, query) = match rng.gen_range(0u32..12) {
+                        0 => (
+                            controller.clone(),
+                            GdprQuery::UpdateMetadataByKey {
+                                key,
+                                update: MetadataUpdate::Add(
+                                    MetadataField::Objections,
+                                    pick(rng, &PURPOSES).to_string(),
+                                ),
+                            },
+                        ),
+                        1 => (
+                            controller.clone(),
+                            GdprQuery::UpdateMetadataByKey {
+                                key,
+                                update: MetadataUpdate::SetTtl(Duration::from_secs(
+                                    rng.gen_range(1u64..120),
+                                )),
+                            },
+                        ),
+                        2 => (controller.clone(), GdprQuery::DeleteByKey(key)),
+                        3 => (
+                            controller.clone(),
+                            GdprQuery::UpdateDataByKey {
+                                key,
+                                data: field(rng),
+                            },
+                        ),
+                        4 => (
+                            controller.clone(),
+                            GdprQuery::UpdateMetadataByUser {
+                                user: pick(rng, &USERS).to_string(),
+                                update: MetadataUpdate::Add(
+                                    MetadataField::Sharing,
+                                    pick(rng, &PARTIES).to_string(),
+                                ),
+                            },
+                        ),
+                        5 => (
+                            controller.clone(),
+                            GdprQuery::DeleteByUser(pick(rng, &USERS).to_string()),
+                        ),
+                        6 => (
+                            controller.clone(),
+                            GdprQuery::DeleteByPurpose(pick(rng, &PURPOSES).to_string()),
+                        ),
+                        7 => {
+                            // One shared clock: the advance lands on the
+                            // combined engine and every solo alike, so the
+                            // same TTLs lapse everywhere.
+                            sim.advance(Duration::from_secs(rng.gen_range(0u64..40)));
+                            (controller.clone(), GdprQuery::DeleteExpired)
+                        }
+                        8 => (
+                            Session::processor("any"),
+                            GdprQuery::ReadDataNotObjecting(pick(rng, &PURPOSES).to_string()),
+                        ),
+                        9 => (
+                            Session::customer(pick(rng, &USERS)),
+                            GdprQuery::ReadDataByUser(pick(rng, &USERS).to_string()),
+                        ),
+                        // The audit trail is the leak-prone surface: the
+                        // combined engine's per-tenant trail must replay
+                        // the solo's line for line (same ops, same sim
+                        // timestamps), with nobody else's ops in between.
+                        10 => (
+                            Session::regulator(),
+                            GdprQuery::GetSystemLogs {
+                                from_ms: 0,
+                                to_ms: u64::MAX,
+                            },
+                        ),
+                        _ => (Session::regulator(), GdprQuery::VerifyDeletion(key)),
+                    };
+                    apply(ti, &session, &query);
+                }
+
+                // Lapse a random slice of TTLs, then sweep the entire
+                // read-side surface for every tenant: predicates, point
+                // reads, deletion verification, and the full audit trail.
+                sim.advance(Duration::from_secs(rng.gen_range(0u64..130)));
+                for ti in 0..tenants.len() {
+                    for (session, query) in predicate_queries() {
+                        apply(ti, &session, &query);
+                    }
+                    for key in &keys {
+                        apply(
+                            ti,
+                            &Session::regulator(),
+                            &GdprQuery::VerifyDeletion(key.clone()),
+                        );
+                        apply(
+                            ti,
+                            &Session::processor(pick(rng, &PURPOSES)),
+                            &GdprQuery::ReadDataByKey(key.clone()),
+                        );
+                    }
+                    apply(
+                        ti,
+                        &Session::regulator(),
+                        &GdprQuery::GetSystemLogs {
+                            from_ms: 0,
+                            to_ms: u64::MAX,
+                        },
+                    );
+                }
+
+                // Conservation: the shared store holds exactly the union
+                // of the per-tenant record sets — nothing leaked, nothing
+                // double-counted, nothing lost.
+                assert_eq!(
+                    combined.record_count(),
+                    solos.iter().map(|s| s.record_count()).sum::<usize>(),
+                    "combined record count must be the sum of its tenants at {shards} shards"
+                );
+            });
+        }
     }
 }
 
