@@ -185,6 +185,47 @@ fn main() {
     report.record("latency", "recording_off_ops_per_sec", tp_off);
     report.record("latency", "instrumentation_overhead_pct", overhead_pct);
 
+    // Suite 7: the disk-native pagestore backend — both restart axes
+    // (WAL-tail replay vs checkpointed reopen, snapshot restore vs scan
+    // rebuild) and the indexed-vs-scan query ladder. Context metrics:
+    // none are throughput floors, so the gate never fails on them, but
+    // drift shows up in the report diff.
+    let (disk_rec_table, disk_rec) = bench::experiments::recovery::run_disk(params.records);
+    println!("{}", disk_rec_table.render());
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    report.record("pagestore", "wal_reopen_ms", ms(disk_rec.wal_reopen));
+    report.record(
+        "pagestore",
+        "wal_frames_replayed",
+        disk_rec.wal_frames as f64,
+    );
+    report.record(
+        "pagestore",
+        "checkpointed_reopen_ms",
+        ms(disk_rec.checkpointed_reopen),
+    );
+    report.record("pagestore", "index_rebuild_ms", ms(disk_rec.rebuild));
+    report.record("pagestore", "index_restore_ms", ms(disk_rec.restore));
+    report.record(
+        "pagestore",
+        "snapshot_write_ms",
+        ms(disk_rec.snapshot_write),
+    );
+    report.record("pagestore", "restore_speedup", disk_rec.speedup());
+    let (disk_idx_table, disk_idx) =
+        bench::experiments::metaindex::run_disk(params.records.min(20_000), 10);
+    println!("{}", disk_idx_table.render());
+    for point in &disk_idx {
+        let metric = format!(
+            "indexed_vs_scan_{}",
+            point
+                .query
+                .replace("read-data-by-", "")
+                .replace([' ', '(', ')'], "")
+        );
+        report.record("pagestore", &metric, point.speedup());
+    }
+
     let json = report.to_json();
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("bench_report: cannot write {out_path}: {e}");

@@ -1,7 +1,9 @@
 //! Restore-vs-rebuild index recovery at scale: the O(index) snapshot
 //! load against the O(n) scan-decrypt-parse backfill, plus the honest
 //! stale-fallback and snapshot-write rows. `--records N` scales the
-//! store (the roadmap's acceptance point is 100000).
+//! store (the roadmap's acceptance point is 100000). The pagestore
+//! table adds the store-recovery axis the kvstore doesn't have: reopen
+//! through WAL-tail replay vs reopen from a checkpointed data file.
 
 use bench::cli::Params;
 
@@ -10,8 +12,18 @@ fn main() {
     let (table, point) = bench::experiments::recovery::run(params.records);
     println!("{}", table.render());
     println!(
-        "restore is {:.1}x faster than rebuild at {} records",
+        "restore is {:.1}x faster than rebuild at {} records\n",
         point.speedup(),
         point.records
+    );
+    let (disk_table, disk_point) = bench::experiments::recovery::run_disk(params.records);
+    println!("{}", disk_table.render());
+    println!(
+        "pagestore: restore is {:.1}x faster than rebuild at {} records; \
+         WAL tail of {} frames replayed in {:?}",
+        disk_point.speedup(),
+        disk_point.records,
+        disk_point.wal_frames,
+        disk_point.wal_reopen
     );
 }

@@ -54,6 +54,36 @@ pub fn build_pair(
     (scan, indexed)
 }
 
+/// The same pair over the disk-native pagestore backend: the scan path
+/// walks B-tree leaves, unseals and parses every record per query
+/// (through a buffer pool it may well overflow); the indexed path is the
+/// same inverted lookup as on the kvstore. Both over one scratch
+/// directory each, default pool (256 pages).
+pub fn build_disk_pair(
+    records: usize,
+) -> (
+    Arc<connectors::DiskConnector>,
+    Arc<connectors::DiskConnector>,
+) {
+    use pagestore::{PageStore, PageStoreConfig};
+    let open = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "gdpr-metaindex-{tag}-{}-{records}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        PageStore::open(&dir, PageStoreConfig::default(), clock::wall()).expect("open pagestore")
+    };
+    let corpus = stable_corpus(records);
+    let scan = Arc::new(connectors::DiskConnector::new(open("scan")));
+    load_corpus(scan.as_ref(), &corpus).expect("load scan corpus");
+    let indexed = Arc::new(
+        connectors::DiskConnector::with_metadata_index(open("indexed")).expect("attach index"),
+    );
+    load_corpus(indexed.as_ref(), &corpus).expect("load indexed corpus");
+    (scan, indexed)
+}
+
 fn mean_latency(
     conn: &dyn GdprConnector,
     session: &Session,
@@ -73,6 +103,34 @@ fn mean_latency(
 /// both connector variants.
 pub fn run(records: usize, samples: usize) -> (ExperimentTable, Vec<IndexedVsScan>) {
     let (scan_conn, index_conn) = build_pair(records);
+    measure(
+        scan_conn.as_ref(),
+        index_conn.as_ref(),
+        records,
+        samples,
+        "Redis",
+    )
+}
+
+/// The same comparison on the disk-native pagestore backend.
+pub fn run_disk(records: usize, samples: usize) -> (ExperimentTable, Vec<IndexedVsScan>) {
+    let (scan_conn, index_conn) = build_disk_pair(records);
+    measure(
+        scan_conn.as_ref(),
+        index_conn.as_ref(),
+        records,
+        samples,
+        "disk",
+    )
+}
+
+fn measure(
+    scan_conn: &dyn GdprConnector,
+    index_conn: &dyn GdprConnector,
+    records: usize,
+    samples: usize,
+    backend: &str,
+) -> (ExperimentTable, Vec<IndexedVsScan>) {
     let corpus = stable_corpus(records);
     let probe = datagen::record_of(records / 2, &corpus);
     let user = probe.metadata.user.clone();
@@ -110,13 +168,13 @@ pub fn run(records: usize, samples: usize) -> (ExperimentTable, Vec<IndexedVsSca
     ];
 
     let mut table = ExperimentTable::new(
-        format!("Metadata index vs full scan on the Redis backend ({records} records)"),
+        format!("Metadata index vs full scan on the {backend} backend ({records} records)"),
         &["query", "scan", "indexed", "speedup"],
     );
     let mut points = Vec::new();
     for (name, session, query) in cases {
-        let scan = mean_latency(scan_conn.as_ref(), &session, &query, samples);
-        let indexed = mean_latency(index_conn.as_ref(), &session, &query, samples);
+        let scan = mean_latency(scan_conn, &session, &query, samples);
+        let indexed = mean_latency(index_conn, &session, &query, samples);
         let point = IndexedVsScan {
             query: name,
             scan,
@@ -162,6 +220,76 @@ mod tests {
                 point.scan,
                 point.indexed
             );
+        }
+    }
+
+    /// The disk backend clears the same bar on its selective predicates:
+    /// the scan path pays a full leaf walk with per-record unseal+parse
+    /// per query, the indexed path only the inverted lookup plus
+    /// O(matches) point fetches. The broad vocabulary purpose is the
+    /// honest selectivity crossover: matches ≈ n/4 random descents
+    /// through the buffer pool run neck-and-neck with one sequential
+    /// leaf walk (~0.7–1.0×; a planner would pick the scan here), so the
+    /// bound only pins that the indexed path isn't pathological, not
+    /// that it wins. Smaller corpus than the kvstore test — the scan
+    /// rounds are real page I/O.
+    #[test]
+    fn disk_indexed_reads_beat_scans() {
+        let _gate = crate::timing_gate();
+        let (_, points) = run_disk(8_000, 3);
+        for point in points {
+            let required = if point.query.contains("broad") {
+                0.25
+            } else {
+                10.0
+            };
+            assert!(
+                point.speedup() >= required,
+                "{}: expected ≥{required}x, got {:.1}x (scan {:?}, indexed {:?})",
+                point.query,
+                point.speedup(),
+                point.scan,
+                point.indexed
+            );
+        }
+    }
+
+    /// Scan and indexed paths agree record-for-record on the disk
+    /// backend too.
+    #[test]
+    fn disk_paths_agree_on_the_corpus() {
+        let records = 2_000;
+        let (scan_conn, index_conn) = build_disk_pair(records);
+        let corpus = stable_corpus(records);
+        let probe = datagen::record_of(17, &corpus);
+        let user = probe.metadata.user.clone();
+        let purpose = probe.metadata.purposes[0].clone();
+        for (session, query) in [
+            (
+                Session::customer(user.clone()),
+                GdprQuery::ReadDataByUser(user),
+            ),
+            (
+                Session::processor(purpose.clone()),
+                GdprQuery::ReadDataByPurpose(purpose),
+            ),
+        ] {
+            let mut scan = scan_conn
+                .execute(&session, &query)
+                .unwrap()
+                .as_data()
+                .unwrap()
+                .to_vec();
+            let mut indexed = index_conn
+                .execute(&session, &query)
+                .unwrap()
+                .as_data()
+                .unwrap()
+                .to_vec();
+            scan.sort();
+            indexed.sort();
+            assert_eq!(scan, indexed, "divergence on {query:?}");
+            assert!(!scan.is_empty(), "probe query should match something");
         }
     }
 

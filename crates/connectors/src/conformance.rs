@@ -33,27 +33,11 @@ fn open_kv_fleet(n: usize) -> Vec<Arc<kvstore::KvStore>> {
         .collect()
 }
 
-/// One fresh instance of every in-process connector variant.
+/// One fresh instance of every in-process connector variant — the list
+/// itself lives in [`crate::registry`], so a new backend lands in this
+/// suite by registering there.
 fn engine_handles() -> Vec<EngineHandle> {
-    let shards = gdpr_core::shard_count_from_env();
-    vec![
-        Arc::new(RedisConnector::new(open_kv())),
-        Arc::new(RedisConnector::with_metadata_index(open_kv()).unwrap()),
-        Arc::new(ShardedRedisConnector::with_metadata_index(open_kv_fleet(shards)).unwrap()),
-        Arc::new(ShardedRedisConnector::new(open_kv_fleet(shards)).unwrap()),
-        Arc::new(
-            PostgresConnector::new(
-                relstore::Database::open(relstore::RelConfig::default()).unwrap(),
-            )
-            .unwrap(),
-        ),
-        Arc::new(
-            PostgresConnector::with_metadata_indices(
-                relstore::Database::open(relstore::RelConfig::default()).unwrap(),
-            )
-            .unwrap(),
-        ),
-    ]
+    crate::registry::engine_handles()
 }
 
 /// Wrap a fresh engine instance behind an in-process `gdpr-server` on an
@@ -68,8 +52,8 @@ fn served(engine: EngineHandle) -> Box<dyn GdprConnector> {
     Box::new(RemoteConnector::serve_in_process_with(engine, 2, config).unwrap())
 }
 
-/// The full conformance fleet: all six variants in-process, then all six
-/// again over loopback TCP.
+/// The full conformance fleet: every registry variant in-process, then
+/// every one again over loopback TCP.
 fn connectors() -> Vec<Box<dyn GdprConnector>> {
     let mut out: Vec<Box<dyn GdprConnector>> = engine_handles()
         .into_iter()
@@ -1875,6 +1859,182 @@ fn restart_equivalence_redis_mi() {
     assert_restart_equivalent(&original, &restarted, "redis-mi in-process");
     let remote = served(Arc::new(restarted));
     assert_restart_equivalent(&original, remote.as_ref(), "redis-mi over TCP");
+}
+
+/// A page-store config for restart tests: pool far smaller than the
+/// dataset (recovery must page through eviction, not RAM residency) and
+/// auto-checkpoint disabled so the reopen is forced through the WAL
+/// replay path rather than a clean data file.
+fn disk_restart_config() -> pagestore::PageStoreConfig {
+    pagestore::PageStoreConfig {
+        pool_pages: 4,
+        checkpoint_frames: usize::MAX,
+        ..Default::default()
+    }
+}
+
+/// Restart equivalence for the `disk` variant through **WAL recovery**:
+/// run the op mix, then reopen the directory with *no* graceful close —
+/// no checkpoint, no index snapshot. The reopened store must come up by
+/// replaying the WAL (asserted), rebuild its metadata index from the
+/// recovered tree, and answer the whole battery byte-identically to the
+/// never-restarted engine, in-process and over loopback TCP.
+#[test]
+fn restart_equivalence_disk_wal_recovery() {
+    let dir = snapshot_scratch_dir("disk-wal");
+    let sim = clock::sim();
+    let store =
+        pagestore::PageStore::open(dir.join("store"), disk_restart_config(), sim.clone()).unwrap();
+    let original = crate::DiskConnector::with_metadata_index(Arc::clone(&store)).unwrap();
+    restart_op_mix(&original);
+    let generation = store.generation();
+    drop(store); // simulate the crash: no close(), no checkpoint
+
+    let reopened =
+        pagestore::PageStore::open(dir.join("store"), disk_restart_config(), sim.clone()).unwrap();
+    assert!(
+        reopened.recovery().wal_frames > 0,
+        "reopen must take the WAL recovery path, got {}",
+        reopened.recovery()
+    );
+    assert_eq!(
+        reopened.generation(),
+        generation,
+        "WAL replay must reproduce the commit sequence"
+    );
+    let restarted = crate::DiskConnector::with_metadata_index(reopened).unwrap();
+    assert_restart_equivalent(&original, &restarted, "disk in-process");
+    let remote = served(Arc::new(restarted));
+    assert_restart_equivalent(&original, remote.as_ref(), "disk over TCP");
+}
+
+/// Restart equivalence for `disk-sharded` with index snapshots: persist
+/// the per-shard index images, crash without checkpoint, and require
+/// every shard to come back through BOTH the WAL replay (store level) and
+/// the O(index) snapshot restore (engine level) — the generation stamp in
+/// each image must match the generation the shard's WAL reproduces.
+/// `GDPR_SHARDS` sets the topology (CI runs 1 and 8).
+#[test]
+fn restart_equivalence_disk_sharded_wal_and_snapshots() {
+    let shards = gdpr_core::shard_count_from_env();
+    let dir = snapshot_scratch_dir("disk-sharded");
+    let snaps = dir.join("snaps");
+    std::fs::create_dir_all(&snaps).unwrap();
+    let sim = clock::sim();
+    let fleet = crate::disk::open_store_fleet(
+        dir.join("stores"),
+        shards,
+        disk_restart_config(),
+        sim.clone(),
+    )
+    .unwrap();
+    let original =
+        crate::ShardedDiskConnector::with_metadata_index_snapshots(fleet.clone(), &snaps).unwrap();
+    restart_op_mix(&original);
+    assert!(
+        original.write_index_snapshots().unwrap() > 0,
+        "snapshots persist without a checkpoint"
+    );
+    drop(fleet); // crash: WAL is the only durable mutation record
+
+    let refleet = crate::disk::open_store_fleet(
+        dir.join("stores"),
+        shards,
+        disk_restart_config(),
+        sim.clone(),
+    )
+    .unwrap();
+    // At high shard counts some shards never saw a mutation — those come
+    // up empty legitimately; every shard that committed must replay.
+    let mut replayed = 0;
+    for (i, store) in refleet.iter().enumerate() {
+        if store.generation() > 0 {
+            assert!(
+                store.recovery().wal_frames > 0,
+                "shard {i} committed but did not replay its WAL, got {}",
+                store.recovery()
+            );
+            replayed += 1;
+        }
+    }
+    assert!(replayed > 0, "the op mix must land on at least one shard");
+    let restarted =
+        crate::ShardedDiskConnector::with_metadata_index_snapshots(refleet, &snaps).unwrap();
+    for shard in 0..shards {
+        assert!(
+            restarted.index_recovery(shard).unwrap().is_restored(),
+            "shard {shard} must recover through the snapshot, got {:?}",
+            restarted.index_recovery(shard)
+        );
+    }
+    assert_restart_equivalent(&original, &restarted, "disk-sharded in-process");
+    let remote = served(Arc::new(restarted));
+    assert_restart_equivalent(&original, remote.as_ref(), "disk-sharded over TCP");
+}
+
+/// The conformance read battery under hard eviction pressure: a 2-page
+/// buffer pool (~1–2% of the dataset's page footprint) serving ~1000
+/// records. Every access faults pages in and out; after **every** engine
+/// op the pin count must be back at zero (a leaked pin under pressure
+/// would wedge eviction fleet-wide), and every read must still be exact.
+#[test]
+fn disk_conformance_under_eviction_pressure() {
+    let dir = snapshot_scratch_dir("disk-evict");
+    let config = pagestore::PageStoreConfig {
+        pool_pages: 2,
+        ..Default::default()
+    };
+    let store = pagestore::PageStore::open(&dir, config, clock::wall()).unwrap();
+    let conn = crate::DiskConnector::with_metadata_index(Arc::clone(&store)).unwrap();
+    let controller = Session::controller();
+
+    seed(&conn);
+    let users = ["neo", "trinity", "morpheus"];
+    let mut per_user = [2usize, 2, 1]; // the seeded corpus
+    for i in 0..1000 {
+        let user = users[i % 3];
+        per_user[i % 3] += 1;
+        let mut r = record(&format!("evict-{i:04}"), user, &["ads"], &"x".repeat(256));
+        if i % 7 == 0 {
+            r.metadata.ttl = Some(Duration::from_secs(3600));
+        }
+        conn.execute(&controller, &GdprQuery::CreateRecord(r))
+            .unwrap();
+        assert_eq!(store.pinned_pages(), 0, "pin leak after create {i}");
+    }
+    assert_eq!(conn.record_count(), 1005);
+
+    // Point reads for every key, by a processor on the declared purpose.
+    let ads = Session::processor("ads");
+    for i in 0..1000 {
+        let resp = conn
+            .execute(&ads, &GdprQuery::ReadDataByKey(format!("evict-{i:04}")))
+            .unwrap();
+        assert_eq!(resp.cardinality(), 1, "evict-{i:04} must read back exactly");
+        assert_eq!(store.pinned_pages(), 0, "pin leak after read {i}");
+    }
+    // Predicate reads across the whole dataset.
+    for (i, user) in users.iter().copied().enumerate() {
+        let resp = conn
+            .execute(
+                &Session::customer(user),
+                &GdprQuery::ReadDataByUser(user.to_string()),
+            )
+            .unwrap();
+        assert_eq!(resp.cardinality(), per_user[i], "{user}");
+        assert_eq!(store.pinned_pages(), 0, "pin leak after user read");
+    }
+    // The standard battery (including denied queries) leaks no pins either.
+    for (session, query) in restart_battery() {
+        let _ = conn.execute(&session, &query);
+        assert_eq!(store.pinned_pages(), 0, "pin leak on {query:?}");
+    }
+    let stats = store.pool_stats();
+    assert_eq!(stats.capacity, 2);
+    assert!(
+        stats.evictions > 1000,
+        "the battery must churn the pool, got {stats:?}"
+    );
 }
 
 #[test]

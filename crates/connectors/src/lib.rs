@@ -39,11 +39,14 @@
 //! trail through the engine — the behaviour is defined once, so the
 //! conformance suite holds for every backend by construction.
 
+pub mod disk;
 pub mod postgres;
 pub mod redis;
+pub mod registry;
 pub mod remote;
 pub mod sharded;
 
+pub use disk::{DiskConnector, DiskStore, ShardedDiskConnector};
 pub use postgres::{PostgresConnector, PostgresStore};
 pub use redis::{RedisConnector, RedisStore};
 pub use remote::{GdprClient, RemoteConnector};

@@ -7,10 +7,13 @@
 //! ```
 //!
 //! With `--data-dir` the kvstore shards persist to per-shard AOF files
-//! (replayed on the next start); with `--index-snapshot-dir` the
-//! engine-indexed variants (`redis-mi`, `redis-sharded`) recover their
-//! metadata indexes from checksummed snapshot images in O(index) instead
-//! of rescanning the store, and write fresh images on graceful shutdown.
+//! (replayed on the next start) and the `disk*` variants keep their paged
+//! data files and write-ahead logs there (reopened through checksummed
+//! WAL recovery, torn tails truncated away); with `--index-snapshot-dir`
+//! the engine-indexed variants (`redis-mi`, `redis-sharded`, `disk`,
+//! `disk-sharded`) recover their metadata indexes from checksummed
+//! snapshot images in O(index) instead of rescanning the store, and write
+//! fresh images on graceful shutdown.
 //!
 //! When either directory is configured the process owns durable state, so
 //! it watches stdin for a graceful-shutdown request: a `shutdown` line or
@@ -26,7 +29,7 @@ const USAGE: &str = "\
 gdpr-serve — wire-protocol network front-end for the GDPR compliance engine
 
 USAGE:
-  gdpr-serve [--db redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi]
+  gdpr-serve [--db redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|disk|disk-sharded]
              [--addr HOST:PORT] [--shards N] [--workers N] [--compliant]
              [--tenants N] [--encrypt] [--encrypt-key KEY]
              [--metrics-addr HOST:PORT] [--slow-op-ms MS]
@@ -57,12 +60,16 @@ requests in flight per connection; responses come back in request order.
 --slow-op-ms MS           log ops slower than MS milliseconds to stderr
                           (rate-limited to one line per second; also
                           GDPR_SLOW_OP_MS).
---data-dir DIR            persist kvstore shards to DIR/shard-N.aof (replayed
-                          on restart, torn tails truncated away)
+--data-dir DIR            persist store state to DIR: kvstore shards as
+                          DIR/shard-N.aof (replayed on restart, torn tails
+                          truncated away), disk* variants as paged data
+                          files + WALs under DIR/shard-N/ (reopened through
+                          WAL recovery)
 --index-snapshot-dir DIR  recover metadata indexes from snapshot images in
-                          DIR (redis-mi/redis-sharded); written on graceful
-                          shutdown. With either directory set, send the line
-                          'shutdown' (or close stdin) for a graceful exit.";
+                          DIR (redis-mi/redis-sharded/disk/disk-sharded);
+                          written on graceful shutdown. With either
+                          directory set, send the line 'shutdown' (or close
+                          stdin) for a graceful exit.";
 
 struct ServeArgs {
     spec: ConnectorSpec,

@@ -31,7 +31,7 @@ const USAGE: &str = "\
 gdprbench — the GDPR benchmark (reproduction of Shastri et al., VLDB 2020)
 
 USAGE:
-  gdprbench run      --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote>
+  gdprbench run      --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|disk|disk-sharded|remote>
                      --workload <controller|customer|processor|regulator|all>
                      [--records N] [--ops N] [--threads N] [--shards N] [--no-oracle] [--compliant]
                      [--tenant NAME] [--tenants N] [--skew zipf:THETA]
@@ -39,7 +39,7 @@ USAGE:
                      [--arrival-rate OPS_PER_SEC]
   gdprbench ycsb     --db <redis|postgres> --workload <A|B|C|D|E|F|all>
                      [--records N] [--ops N] [--threads N]
-  gdprbench features --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote>
+  gdprbench features --db <redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|disk|disk-sharded|remote>
   gdprbench help
 
 The sharded variant hash-partitions records across N engines (default

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 /// Databases `build_connector` accepts.
 pub const DB_CHOICES: &str =
-    "redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|remote";
+    "redis|redis-mi|redis-sharded|redis-sharded-scan|postgres|postgres-mi|disk|disk-sharded|remote";
 
 /// How to reach/configure the store behind the connector.
 #[derive(Debug, Clone)]
@@ -26,13 +26,17 @@ pub struct ConnectorSpec {
     /// (`SecureChannel` handshake before the first op); defaults from
     /// `GDPR_ENCRYPT` / `GDPR_ENCRYPT_KEY` like the server side.
     pub encrypt: Option<String>,
-    /// Directory for per-shard AOF files (`redis*` variants): stores open
-    /// through [`kvstore::KvStore::open_persistent`], replaying any
-    /// existing log, so data survives restarts.
+    /// Directory for on-disk state. `redis*` variants keep per-shard AOF
+    /// files here (opened through [`kvstore::KvStore::open_persistent`],
+    /// replaying any existing log); `disk*` variants keep their paged
+    /// data files and WALs here (reopened through WAL recovery). Data
+    /// survives restarts either way. `disk*` without `--data-dir` runs in
+    /// a fresh scratch directory under the system temp dir.
     pub data_dir: Option<String>,
-    /// Directory for metadata-index snapshot images (`redis-mi` /
-    /// `redis-sharded`): the index recovers in O(index) when an image
-    /// matches the reopened store, and `close()` persists it again.
+    /// Directory for metadata-index snapshot images (`redis-mi`,
+    /// `redis-sharded`, `disk`, `disk-sharded`): the index recovers in
+    /// O(index) when an image matches the reopened store, and `close()`
+    /// persists it again.
     pub snapshot_dir: Option<String>,
     /// Pre-provision tenants `t0..t{N-1}` on the built engine (`--tenants
     /// N`), so multi-tenant benchmark traffic never pays first-op tenant
@@ -87,6 +91,25 @@ fn open_kv_shard(
     kvstore::KvStore::open_persistent(config, clock).map_err(|e| e.to_string())
 }
 
+/// Open `n` page stores honoring `data_dir` (scratch temp dir when
+/// unset), sharing one clock. `--compliant` fsyncs the WAL on every
+/// commit instead of relying on the OS cache.
+fn open_disk_fleet(
+    spec: &ConnectorSpec,
+    n: usize,
+) -> Result<Vec<std::sync::Arc<pagestore::PageStore>>, String> {
+    let dir = match &spec.data_dir {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => connectors::registry::scratch_dir("serve-disk"),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("--data-dir {dir:?}: {e}"))?;
+    let config = pagestore::PageStoreConfig {
+        fsync_wal: spec.compliant,
+        ..Default::default()
+    };
+    connectors::disk::open_store_fleet(&dir, n, config, clock::wall()).map_err(|e| e.to_string())
+}
+
 /// Print how each snapshot-recovered index came up — operators need to
 /// see a fallback rebuild (it is the O(n) path the snapshot exists to
 /// avoid).
@@ -100,16 +123,21 @@ fn report_recovery(name: &str, shard: usize, recovery: Option<&gdpr_core::IndexR
 /// serves and what the workload runner drives — in-process and remote
 /// variants are interchangeable behind it.
 pub fn build_connector(spec: &ConnectorSpec) -> Result<EngineHandle, String> {
-    if spec.snapshot_dir.is_some() && !matches!(spec.db.as_str(), "redis-mi" | "redis-sharded") {
+    if spec.snapshot_dir.is_some()
+        && !matches!(
+            spec.db.as_str(),
+            "redis-mi" | "redis-sharded" | "disk" | "disk-sharded"
+        )
+    {
         return Err(format!(
-            "--index-snapshot-dir needs an engine-indexed kvstore variant \
-             (redis-mi|redis-sharded), not {}",
+            "--index-snapshot-dir needs an engine-indexed persistent variant \
+             (redis-mi|redis-sharded|disk|disk-sharded), not {}",
             spec.db
         ));
     }
-    if spec.data_dir.is_some() && !spec.db.starts_with("redis") {
+    if spec.data_dir.is_some() && !(spec.db.starts_with("redis") || spec.db.starts_with("disk")) {
         return Err(format!(
-            "--data-dir persists kvstore AOFs and needs a redis* variant, not {}",
+            "--data-dir persists store state and needs a redis* or disk* variant, not {}",
             spec.db
         ));
     }
@@ -181,6 +209,46 @@ pub fn build_connector(spec: &ConnectorSpec) -> Result<EngineHandle, String> {
             .map_err(|e| e.to_string())?;
             Arc::new(connector)
         }
+        "disk" => {
+            let store = open_disk_fleet(spec, 1)?.pop().expect("one store");
+            println!("disk: shard 0: {}", store.recovery());
+            let conn = if let Some(dir) = &spec.snapshot_dir {
+                let dir = std::path::Path::new(dir);
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("--index-snapshot-dir {dir:?}: {e}"))?;
+                let conn = connectors::DiskConnector::with_metadata_index_snapshot(
+                    store,
+                    dir.join("metaindex.snap"),
+                )
+                .map_err(|e| e.to_string())?;
+                report_recovery("disk", 0, conn.index_recovery());
+                conn
+            } else {
+                connectors::DiskConnector::with_metadata_index(store).map_err(|e| e.to_string())?
+            };
+            Arc::new(conn)
+        }
+        "disk-sharded" => {
+            let stores = open_disk_fleet(spec, spec.shards.max(1))?;
+            for (i, store) in stores.iter().enumerate() {
+                println!("disk-sharded: shard {i}: {}", store.recovery());
+            }
+            let conn = if let Some(dir) = &spec.snapshot_dir {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("--index-snapshot-dir {dir:?}: {e}"))?;
+                let conn =
+                    connectors::ShardedDiskConnector::with_metadata_index_snapshots(stores, dir)
+                        .map_err(|e| e.to_string())?;
+                for i in 0..conn.shard_count() {
+                    report_recovery("disk-sharded", i, conn.index_recovery(i));
+                }
+                conn
+            } else {
+                connectors::ShardedDiskConnector::with_metadata_index(stores)
+                    .map_err(|e| e.to_string())?
+            };
+            Arc::new(conn)
+        }
         "remote" => {
             let addr = spec
                 .addr
@@ -209,25 +277,26 @@ mod tests {
     use super::*;
     use gdpr_core::{GdprQuery, Session};
 
+    /// Every registry variant must be buildable through `--db` — the
+    /// variant list lives in `connectors::registry`, so a backend added
+    /// there without a driver arm fails here, and vice versa.
     #[test]
     fn builds_every_in_process_variant() {
-        for db in [
-            "redis",
-            "redis-mi",
-            "redis-sharded",
-            "redis-sharded-scan",
-            "postgres",
-            "postgres-mi",
-        ] {
+        for db in connectors::registry::names() {
             let mut spec = ConnectorSpec::new(db);
             spec.shards = 2;
             let conn = build_connector(&spec).unwrap_or_else(|e| panic!("{db}: {e}"));
             assert_eq!(conn.record_count(), 0, "{db}");
+            assert_eq!(conn.name(), db, "--db {db} built the wrong variant");
         }
         assert!(build_connector(&ConnectorSpec::new("bogus")).is_err());
         assert!(
             build_connector(&ConnectorSpec::new("remote")).is_err(),
             "remote without --addr must be refused"
+        );
+        assert!(
+            DB_CHOICES.contains("disk|disk-sharded"),
+            "usage text must advertise the disk variants"
         );
     }
 

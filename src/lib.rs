@@ -5,6 +5,7 @@ pub use crypto;
 pub use gdpr_core;
 pub use gdpr_server;
 pub use kvstore;
+pub use pagestore;
 pub use relstore;
 pub use workload;
 

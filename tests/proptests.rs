@@ -1007,12 +1007,15 @@ mod engine_index {
 mod sharded_invariance {
     use super::gdpr_gen::*;
     use super::*;
-    use gdprbench_repro::connectors::{RedisConnector, ShardedRedisConnector};
+    use gdprbench_repro::connectors::{
+        registry, DiskConnector, RedisConnector, ShardedDiskConnector, ShardedRedisConnector,
+    };
     use gdprbench_repro::gdpr_core::{
         GdprConnector, GdprError, GdprQuery, GdprResponse, MetadataField, MetadataUpdate,
         RecordStore, Session,
     };
     use gdprbench_repro::kvstore::{KvConfig, KvStore};
+    use gdprbench_repro::pagestore::PageStore;
 
     /// The shard counts every property must be invariant over: the ISSUE's
     /// N ∈ {1, 2, 8} plus whatever `GDPR_SHARDS` the CI matrix pins.
@@ -1026,12 +1029,24 @@ mod sharded_invariance {
     }
 
     /// A labelled fleet: the unsharded engine (scan and indexed variants),
-    /// an indexed `ShardedEngine` per shard count, and a sharded engine
-    /// served over loopback TCP — all on one clock. The remote entry runs
-    /// the entire response-equality harness through the wire codec: any
-    /// lossiness or transport-dependent semantic diverges here.
+    /// an indexed `ShardedEngine` per shard count, the disk-native
+    /// pagestore engine (unsharded plus a sharded fleet per shard count,
+    /// on a pool far smaller than the corpus so eviction rides along), and
+    /// a sharded engine served over loopback TCP — all on one clock. The
+    /// remote entry runs the entire response-equality harness through the
+    /// wire codec: any lossiness or transport-dependent semantic diverges
+    /// here; the disk entries make every seeded op stream a cross-backend
+    /// store-equivalence property.
     fn fleet(sim: &clock::SharedClock) -> Vec<(String, Box<dyn GdprConnector>)> {
         let open = || KvStore::open_with_clock(KvConfig::default(), sim.clone()).unwrap();
+        let open_disk = |tag: &str| {
+            PageStore::open(
+                registry::scratch_dir(tag),
+                registry::small_pool_config(),
+                sim.clone(),
+            )
+            .unwrap()
+        };
         let mut conns: Vec<(String, Box<dyn GdprConnector>)> = vec![
             (
                 "unsharded-scan".to_string(),
@@ -1041,6 +1056,10 @@ mod sharded_invariance {
                 "unsharded-mi".to_string(),
                 Box::new(RedisConnector::with_metadata_index(open()).unwrap()),
             ),
+            (
+                "disk".to_string(),
+                Box::new(DiskConnector::with_metadata_index(open_disk("prop-disk")).unwrap()),
+            ),
         ];
         for n in shard_counts() {
             conns.push((
@@ -1048,6 +1067,15 @@ mod sharded_invariance {
                 Box::new(
                     ShardedRedisConnector::with_metadata_index((0..n).map(|_| open()).collect())
                         .unwrap(),
+                ),
+            ));
+            conns.push((
+                format!("disk-sharded-{n}"),
+                Box::new(
+                    ShardedDiskConnector::with_metadata_index(
+                        (0..n).map(|_| open_disk("prop-disk-sharded")).collect(),
+                    )
+                    .unwrap(),
                 ),
             ));
         }
@@ -1306,6 +1334,219 @@ mod sharded_invariance {
                     }
                 }
             }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend store equivalence (kvstore vs pagestore)
+// ---------------------------------------------------------------------------
+
+mod store_equivalence {
+    use super::gdpr_gen::*;
+    use super::*;
+    use gdprbench_repro::connectors::{registry, DiskConnector, RedisConnector};
+    use gdprbench_repro::gdpr_core::tenant::TenantId;
+    use gdprbench_repro::gdpr_core::{
+        GdprConnector, GdprQuery, MetadataField, MetadataUpdate, Session,
+    };
+    use gdprbench_repro::kvstore::{KvConfig, KvStore};
+    use gdprbench_repro::pagestore::{PageStore, PageStoreConfig};
+
+    /// Pool far smaller than any generated corpus, auto-checkpoint off so
+    /// the reopen at the end is forced through full WAL replay.
+    fn disk_config() -> PageStoreConfig {
+        PageStoreConfig {
+            pool_pages: 4,
+            checkpoint_frames: usize::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// The in-memory kvstore engine and the disk-native pagestore engine
+    /// are observationally equivalent: seeded op streams — creates over an
+    /// overlapping multi-tenant keyspace, point and group metadata
+    /// updates, group purpose removals (the all-or-nothing G5.1b path),
+    /// data rewrites, per-key/user/purpose deletions, and sim-clock expiry
+    /// purges — produce byte-identical responses (modulo result-set order)
+    /// at every step, errors included, and identical final logical states.
+    /// Tenant-prefixed storage keys take the same page paths as plain
+    /// ones, and the whole read surface must agree again after the
+    /// pagestore is dropped mid-flight and reopened through WAL recovery.
+    #[test]
+    fn kvstore_and_pagestore_agree_on_arbitrary_op_streams() {
+        run_cases(10, |rng| {
+            let sim = clock::sim();
+            let kv = RedisConnector::with_metadata_index(
+                KvStore::open_with_clock(KvConfig::default(), sim.clone()).unwrap(),
+            )
+            .unwrap();
+            let dir = registry::scratch_dir("prop-equiv");
+            let disk = DiskConnector::with_metadata_index(
+                PageStore::open(&dir, disk_config(), sim.clone()).unwrap(),
+            )
+            .unwrap();
+            // The default tenant and a named one share the engines: the
+            // tenant prefix is part of the storage key, so the pagestore
+            // must round-trip prefixed keys bit-for-bit and keep the
+            // tenants' overlapping logical keyspaces disjoint on disk.
+            let tenants = [TenantId::default(), TenantId::new("acme").unwrap()];
+
+            let apply = |session: &Session, query: &GdprQuery| {
+                let reference = kv.execute(session, query).map(sorted);
+                let got = disk.execute(session, query).map(sorted);
+                assert_eq!(got, reference, "pagestore diverges on {query:?}");
+            };
+            let controller = Session::controller();
+
+            let n_records = rng.gen_range(5usize..30);
+            let keys: Vec<String> = (0..n_records).map(|i| format!("k{i}")).collect();
+            for key in &keys {
+                for tenant in &tenants {
+                    let record = arb_gdpr_record(rng, key.clone());
+                    apply(
+                        &controller.clone().with_tenant(tenant.clone()),
+                        &GdprQuery::CreateRecord(record),
+                    );
+                }
+            }
+
+            for _ in 0..rng.gen_range(6usize..20) {
+                let tenant = tenants[rng.gen_range(0usize..tenants.len())].clone();
+                let key = keys[rng.gen_range(0usize..keys.len())].clone();
+                let (session, query) = match rng.gen_range(0u32..12) {
+                    0 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByKey {
+                            key,
+                            update: MetadataUpdate::Add(
+                                MetadataField::Objections,
+                                pick(rng, &PURPOSES).to_string(),
+                            ),
+                        },
+                    ),
+                    1 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByKey {
+                            key,
+                            update: MetadataUpdate::SetTtl(Duration::from_secs(
+                                rng.gen_range(1u64..120),
+                            )),
+                        },
+                    ),
+                    2 => (controller.clone(), GdprQuery::DeleteByKey(key)),
+                    3 => (
+                        controller.clone(),
+                        GdprQuery::UpdateDataByKey {
+                            key,
+                            data: field(rng),
+                        },
+                    ),
+                    // Group updates: every matching record rewrites in
+                    // place, deadline preserved to the millisecond.
+                    4 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByUser {
+                            user: pick(rng, &USERS).to_string(),
+                            update: MetadataUpdate::Add(
+                                MetadataField::Sharing,
+                                pick(rng, &PARTIES).to_string(),
+                            ),
+                        },
+                    ),
+                    5 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByPurpose {
+                            purpose: pick(rng, &PURPOSES).to_string(),
+                            update: MetadataUpdate::Add(
+                                MetadataField::Sharing,
+                                pick(rng, &PARTIES).to_string(),
+                            ),
+                        },
+                    ),
+                    // Group purpose removal: data-dependent all-or-nothing
+                    // validation — success and failure must both agree.
+                    6 => (
+                        controller.clone(),
+                        GdprQuery::UpdateMetadataByPurpose {
+                            purpose: pick(rng, &PURPOSES).to_string(),
+                            update: MetadataUpdate::Remove(
+                                MetadataField::Purposes,
+                                pick(rng, &PURPOSES).to_string(),
+                            ),
+                        },
+                    ),
+                    7 => (
+                        controller.clone(),
+                        GdprQuery::DeleteByUser(pick(rng, &USERS).to_string()),
+                    ),
+                    8 => (
+                        controller.clone(),
+                        GdprQuery::DeleteByPurpose(pick(rng, &PURPOSES).to_string()),
+                    ),
+                    // Sim-clock expiry purge: both stores must reap exactly
+                    // the same deadline set at the inclusive boundary.
+                    9 => {
+                        sim.advance(Duration::from_secs(rng.gen_range(0u64..40)));
+                        (controller.clone(), GdprQuery::DeleteExpired)
+                    }
+                    10 => (
+                        Session::processor("any"),
+                        GdprQuery::ReadDataNotObjecting(pick(rng, &PURPOSES).to_string()),
+                    ),
+                    _ => (Session::regulator(), GdprQuery::VerifyDeletion(key)),
+                };
+                apply(&session.with_tenant(tenant), &query);
+            }
+
+            // Lapse a random slice of TTLs, then sweep the entire
+            // read-side surface for every tenant.
+            sim.advance(Duration::from_secs(rng.gen_range(0u64..130)));
+            let mut sweep = |disk: &DiskConnector| {
+                for tenant in &tenants {
+                    for (session, query) in predicate_queries() {
+                        let session = session.with_tenant(tenant.clone());
+                        let reference = kv.execute(&session, &query).map(sorted);
+                        let got = disk.execute(&session, &query).map(sorted);
+                        assert_eq!(got, reference, "pagestore diverges on {query:?}");
+                    }
+                    for key in &keys {
+                        for (session, query) in [
+                            (Session::regulator(), GdprQuery::VerifyDeletion(key.clone())),
+                            (
+                                Session::processor(pick(rng, &PURPOSES)),
+                                GdprQuery::ReadDataByKey(key.clone()),
+                            ),
+                            (
+                                Session::regulator(),
+                                GdprQuery::ReadMetadataByKey(key.clone()),
+                            ),
+                        ] {
+                            let session = session.with_tenant(tenant.clone());
+                            let reference = kv.execute(&session, &query).map(sorted);
+                            let got = disk.execute(&session, &query).map(sorted);
+                            assert_eq!(got, reference, "pagestore diverges on {query:?}");
+                        }
+                    }
+                }
+                assert_eq!(disk.record_count(), kv.record_count());
+            };
+            sweep(&disk);
+
+            // Crash the pagestore (drop without checkpoint — everything
+            // since open lives only in the WAL) and recover: the reopened
+            // store must replay to the same logical state and agree with
+            // the kvstore on the whole read surface again.
+            let generation = disk.store().generation();
+            drop(disk);
+            let store = PageStore::open(&dir, disk_config(), sim.clone()).unwrap();
+            assert_eq!(
+                store.recovery().generation,
+                generation,
+                "WAL recovery must land on the pre-crash generation"
+            );
+            let reopened = DiskConnector::with_metadata_index(store).unwrap();
+            sweep(&reopened);
         });
     }
 }
